@@ -1,0 +1,65 @@
+//! Capability ablation: remove one optimizer capability at a time from the
+//! full (HANA) profile and report which of the paper's experiment queries
+//! stop optimizing. This maps each Y-cell of Tables 1–4 to the exact
+//! derivation/rewrite it depends on — the design-choice accounting
+//! DESIGN.md promises.
+//!
+//! Run: `cargo run --release -p vdm-bench --bin ablation`
+
+use vdm_bench::{harness, queries};
+use vdm_optimizer::{Capability, Optimizer, Profile};
+use vdm_plan::PlanRef;
+
+fn main() {
+    let (catalog, _engine) = harness::setup_tpch(0.02, false);
+    let mut suite: Vec<(&str, PlanRef)> = queries::all_uaj(&catalog);
+    suite.extend(queries::all_asj(&catalog));
+    suite.extend(queries::all_union(&catalog));
+    suite.push(("Fig. 13(a)", queries::asj_anchor_union(&catalog).expect("fig 13a")));
+
+    let ablations: &[(Capability, &str)] = &[
+        (Capability::UajElimination, "UAJ elimination (rule)"),
+        (Capability::UniqueFromPrimaryKey, "uniqueness from primary keys"),
+        (Capability::UniqueFromGroupBy, "uniqueness from GROUP BY"),
+        (Capability::UniqueFromConstFilter, "uniqueness from constant filters"),
+        (Capability::UniqueThroughJoin, "uniqueness through joins"),
+        (Capability::UniqueThroughSortLimit, "uniqueness through sort+limit"),
+        (Capability::UnionUniqueDisjoint, "uniqueness over disjoint unions"),
+        (Capability::UnionUniqueBranchId, "uniqueness over branch-id unions"),
+        (Capability::AsjBasic, "ASJ: bare self-joins"),
+        (Capability::AsjSubquery, "ASJ: subquery anchors"),
+        (Capability::AsjFilteredAugmenter, "ASJ: filtered augmenters"),
+        (Capability::AsjThroughUnion, "ASJ: anchor-side unions"),
+    ];
+
+    let full = Profile::hana();
+    let baseline: Vec<bool> =
+        suite.iter().map(|(_, q)| harness::join_free_under(&full, q)).collect();
+    assert!(baseline.iter().all(|&b| b), "full profile optimizes every suite query");
+
+    println!("Removed capability                        | queries that stop optimizing");
+    println!("{}", "-".repeat(90));
+    for (cap, label) in ablations {
+        let profile = Profile::hana().without(*cap);
+        let broken: Vec<&str> = suite
+            .iter()
+            .filter(|(_, q)| !harness::join_free_under(&profile, q))
+            .map(|(name, _)| *name)
+            .collect();
+        println!(
+            "{label:41} | {}",
+            if broken.is_empty() { "(none)".to_string() } else { broken.join(", ") }
+        );
+    }
+
+    // Limit pushdown ablation uses its own success criterion.
+    let paging = queries::paging(&catalog).expect("paging");
+    let without = Optimizer::new(Profile::hana().without(Capability::LimitPushdownAj))
+        .optimize(&paging)
+        .expect("optimize");
+    println!(
+        "{:41} | {}",
+        "limit pushdown across AJ",
+        if queries::limit_below_join(&without) { "(none)" } else { "Fig. 6 paging" }
+    );
+}

@@ -1,0 +1,99 @@
+//! Shared measurement and reporting tooling.
+
+use std::time::{Duration, Instant};
+use vdm_catalog::Catalog;
+use vdm_optimizer::{Optimizer, Profile};
+use vdm_plan::{plan_stats, PlanRef};
+use vdm_storage::StorageEngine;
+
+/// Builds a loaded TPC-H environment at the given scale factor.
+pub fn setup_tpch(sf: f64, with_foreign_keys: bool) -> (Catalog, StorageEngine) {
+    let gen = vdm_data::tpch::Tpch { sf, seed: 42, with_foreign_keys };
+    let mut catalog = Catalog::new();
+    let engine = StorageEngine::new();
+    gen.build(&mut catalog, &engine).expect("TPC-H generation");
+    (catalog, engine)
+}
+
+/// Median wall time of `iters` executions of an (already optimized) plan.
+pub fn time_plan(engine: &StorageEngine, plan: &PlanRef, iters: usize) -> Duration {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let batch = vdm_exec::execute(plan, engine).expect("plan executes");
+        std::hint::black_box(batch.num_rows());
+        samples.push(start.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Optimizes under `profile` and reports whether the plan became join-free
+/// (the success criterion of Tables 1, 3, 4: "optimized into a single
+/// projection").
+pub fn join_free_under(profile: &Profile, plan: &PlanRef) -> bool {
+    let optimizer = Optimizer::new(profile.clone());
+    let optimized = optimizer.optimize(plan).expect("optimization succeeds");
+    plan_stats(&optimized).joins == 0
+}
+
+/// Renders a paper-style Y/− status matrix.
+pub fn render_matrix(title: &str, row_names: &[String], systems: &[Profile], cells: &[Vec<bool>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let name_width = row_names.iter().map(|r| r.len()).max().unwrap_or(8).max(8);
+    out.push_str(&format!("{:name_width$}", ""));
+    for s in systems {
+        out.push_str(&format!(" | {:>8}", s.name()));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(name_width + systems.len() * 11));
+    out.push('\n');
+    for (row, cell_row) in row_names.iter().zip(cells) {
+        out.push_str(&format!("{row:name_width$}"));
+        for &y in cell_row {
+            out.push_str(&format!(" | {:>8}", if y { "Y" } else { "-" }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_millis() >= 10 {
+        format!("{:.1} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.0} µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_rendering() {
+        let systems = vec![Profile::hana(), Profile::postgres()];
+        let text = render_matrix(
+            "Table T",
+            &["Q1".to_string(), "Q2".to_string()],
+            &systems,
+            &[vec![true, false], vec![true, true]],
+        );
+        assert!(text.contains("hana"));
+        assert!(text.contains('Y'));
+        assert!(text.contains('-'));
+        assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn tpch_setup_and_timing() {
+        let (catalog, engine) = setup_tpch(0.01, false);
+        let q = crate::queries::uaj1(&catalog).unwrap();
+        let d = time_plan(&engine, &q, 3);
+        assert!(d.as_nanos() > 0);
+        assert!(join_free_under(&Profile::hana(), &q));
+        assert!(!join_free_under(&Profile::system_x(), &q));
+    }
+}

@@ -1,0 +1,9 @@
+//! Benchmark harness: the paper's evaluation queries and shared tooling.
+//!
+//! Every table and figure of the paper has a regenerating binary in
+//! `src/bin/` (see `DESIGN.md` §5 for the index), and a timing counterpart
+//! in `benches/paper.rs`. The query builders here are shared between both
+//! and the workspace integration tests.
+
+pub mod harness;
+pub mod queries;

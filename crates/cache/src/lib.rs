@@ -1,0 +1,402 @@
+//! Cached (materialized) views — the SCV/DCV feature the paper notes in
+//! §3: "SAP HANA provides static cached views (SCV) and dynamic cached
+//! views (DCV). They are primarily materialized in memory … SCV is
+//! refreshed periodically, providing a delayed snapshot of a view. DCV is
+//! incrementally maintained, providing the up-to-date snapshot."
+//!
+//! * **SCV**: serves the materialization as of its last refresh; reads are
+//!   O(1) but may be stale. [`CachedView::refresh`] re-materializes,
+//!   [`ViewCache::refresh_all_static`] is the periodic tick.
+//! * **DCV**: every read is up to date. When the base tables only saw
+//!   inserts since the materialization *and* the view plan is
+//!   **distributive** (scans, filters, projections, UNION ALL — no joins,
+//!   aggregates, DISTINCT, sorts or limits), maintenance is incremental:
+//!   the plan runs over just the inserted rows and the results append to
+//!   the materialization. Anything else falls back to full recomputation.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use vdm_plan::{LogicalPlan, PlanRef};
+use vdm_storage::{Batch, Snapshot, StorageEngine};
+use vdm_types::{Result, Value, VdmError};
+
+/// Refresh discipline of a cached view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Static cached view: serves the last refresh, however old.
+    Static,
+    /// Dynamic cached view: transparently maintained on read.
+    Dynamic,
+}
+
+/// Maintenance counters (observability for tests and benches).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: usize,
+    pub full_refreshes: usize,
+    pub incremental_refreshes: usize,
+}
+
+struct CacheState {
+    rows: Vec<Vec<Value>>,
+    as_of: Snapshot,
+    stats: CacheStats,
+}
+
+/// One materialized view.
+pub struct CachedView {
+    name: String,
+    plan: PlanRef,
+    mode: CacheMode,
+    /// Base tables the plan scans (maintenance dependencies).
+    dependencies: Vec<String>,
+    state: Mutex<CacheState>,
+}
+
+impl CachedView {
+    fn new(name: &str, plan: PlanRef, mode: CacheMode, engine: &StorageEngine) -> Result<CachedView> {
+        let snapshot = engine.snapshot();
+        let batch = vdm_exec::execute_at(&plan, engine, snapshot)?.0;
+        let mut dependencies = Vec::new();
+        collect_scans(&plan, &mut dependencies);
+        dependencies.sort();
+        dependencies.dedup();
+        Ok(CachedView {
+            name: name.to_string(),
+            plan,
+            mode,
+            dependencies,
+            state: Mutex::new(CacheState {
+                rows: batch.to_rows(),
+                as_of: snapshot,
+                stats: CacheStats { full_refreshes: 1, ..CacheStats::default() },
+            }),
+        })
+    }
+
+    /// The cached view's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// Base tables this view depends on.
+    pub fn dependencies(&self) -> &[String] {
+        &self.dependencies
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().stats
+    }
+
+    /// Snapshot the current materialization was computed at.
+    pub fn as_of(&self) -> Snapshot {
+        self.state.lock().as_of
+    }
+
+    /// How far the materialization lags the engine clock (SCV staleness).
+    pub fn staleness(&self, engine: &StorageEngine) -> u64 {
+        engine.snapshot().0.saturating_sub(self.state.lock().as_of.0)
+    }
+
+    /// Reads the view. SCV: the stored snapshot. DCV: maintained first.
+    pub fn read(&self, engine: &StorageEngine) -> Result<Batch> {
+        if self.mode == CacheMode::Dynamic {
+            self.maintain(engine)?;
+        }
+        let mut state = self.state.lock();
+        state.stats.hits += 1;
+        Batch::from_rows(self.plan.schema(), &state.rows)
+    }
+
+    /// Forces a full re-materialization (the SCV periodic refresh).
+    pub fn refresh(&self, engine: &StorageEngine) -> Result<()> {
+        let snapshot = engine.snapshot();
+        let batch = vdm_exec::execute_at(&self.plan, engine, snapshot)?.0;
+        let mut state = self.state.lock();
+        state.rows = batch.to_rows();
+        state.as_of = snapshot;
+        state.stats.full_refreshes += 1;
+        Ok(())
+    }
+
+    /// Brings a DCV up to date: no-op when the dependencies are unchanged,
+    /// incremental append when possible, full recompute otherwise.
+    fn maintain(&self, engine: &StorageEngine) -> Result<()> {
+        let now = engine.snapshot();
+        let as_of = self.state.lock().as_of;
+        let mut changed = false;
+        let mut any_delete = false;
+        for dep in &self.dependencies {
+            if engine.table_version(dep)? > as_of.0 {
+                changed = true;
+            }
+            if engine.deleted_since(dep, as_of)? {
+                any_delete = true;
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+        if !any_delete && is_distributive(&self.plan) {
+            // Incremental: run the plan over only the inserted rows.
+            let delta_rows = eval_distributive_delta(&self.plan, engine, as_of, now)?;
+            let mut state = self.state.lock();
+            state.rows.extend(delta_rows);
+            state.as_of = now;
+            state.stats.incremental_refreshes += 1;
+            return Ok(());
+        }
+        self.refresh(engine)
+    }
+}
+
+/// The registry of cached views.
+#[derive(Default)]
+pub struct ViewCache {
+    views: HashMap<String, Arc<CachedView>>,
+}
+
+impl ViewCache {
+    /// Empty cache.
+    pub fn new() -> ViewCache {
+        ViewCache::default()
+    }
+
+    /// Registers and immediately materializes a cached view.
+    pub fn register(
+        &mut self,
+        name: &str,
+        plan: PlanRef,
+        mode: CacheMode,
+        engine: &StorageEngine,
+    ) -> Result<Arc<CachedView>> {
+        let key = name.to_ascii_lowercase();
+        if self.views.contains_key(&key) {
+            return Err(VdmError::Catalog(format!("cached view {name:?} already exists")));
+        }
+        let view = Arc::new(CachedView::new(name, plan, mode, engine)?);
+        self.views.insert(key, Arc::clone(&view));
+        Ok(view)
+    }
+
+    /// Looks up a cached view.
+    pub fn get(&self, name: &str) -> Option<Arc<CachedView>> {
+        self.views.get(&name.to_ascii_lowercase()).cloned()
+    }
+
+    /// Drops a cached view's materialization.
+    pub fn drop_view(&mut self, name: &str) -> Result<()> {
+        self.views
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| VdmError::Catalog(format!("unknown cached view {name:?}")))
+    }
+
+    /// Refreshes every static view (the "periodic" refresh tick).
+    pub fn refresh_all_static(&self, engine: &StorageEngine) -> Result<usize> {
+        let mut n = 0;
+        for v in self.views.values() {
+            if v.mode() == CacheMode::Static {
+                v.refresh(engine)?;
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+}
+
+fn collect_scans(plan: &PlanRef, out: &mut Vec<String>) {
+    if let LogicalPlan::Scan { table, .. } = plan.as_ref() {
+        out.push(table.name.to_ascii_lowercase());
+    }
+    for c in plan.children() {
+        collect_scans(c, out);
+    }
+}
+
+/// True when the plan distributes over row insertion: evaluating it on the
+/// inserted rows alone yields exactly the rows added to the view.
+fn is_distributive(plan: &PlanRef) -> bool {
+    match plan.as_ref() {
+        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
+            is_distributive(input)
+        }
+        LogicalPlan::UnionAll { inputs, .. } => inputs.iter().all(is_distributive),
+        _ => false,
+    }
+}
+
+/// Evaluates a distributive plan over the rows inserted in `(as_of, now]`.
+fn eval_distributive_delta(
+    plan: &PlanRef,
+    engine: &StorageEngine,
+    as_of: Snapshot,
+    now: Snapshot,
+) -> Result<Vec<Vec<Value>>> {
+    let batch = match plan.as_ref() {
+        LogicalPlan::Scan { table, schema, .. } => {
+            let b = engine.inserted_between(&table.name, as_of, now)?;
+            Batch::new(Arc::clone(schema), b.columns)?
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let rows = eval_distributive_delta(input, engine, as_of, now)?;
+            let mut out = Vec::new();
+            for row in rows {
+                if predicate.eval_row(&row)?.as_bool()? == Some(true) {
+                    out.push(row);
+                }
+            }
+            return Ok(out);
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let rows = eval_distributive_delta(input, engine, as_of, now)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut projected = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    projected.push(e.eval_row(&row)?);
+                }
+                out.push(projected);
+            }
+            return Ok(out);
+        }
+        LogicalPlan::UnionAll { inputs, .. } => {
+            let mut out = Vec::new();
+            for c in inputs {
+                out.extend(eval_distributive_delta(c, engine, as_of, now)?);
+            }
+            return Ok(out);
+        }
+        other => {
+            return Err(VdmError::Plan(format!(
+                "plan operator {} is not distributive",
+                other.op_name()
+            )))
+        }
+    };
+    Ok(batch.to_rows())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_catalog::TableBuilder;
+    use vdm_expr::{AggExpr, BinOp, Expr};
+    use vdm_types::SqlType;
+
+    fn setup() -> (StorageEngine, PlanRef, PlanRef) {
+        let engine = StorageEngine::new();
+        let t = Arc::new(
+            TableBuilder::new("sales")
+                .column("id", SqlType::Int, false)
+                .column("amount", SqlType::Int, false)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        );
+        engine.create_table(Arc::clone(&t)).unwrap();
+        engine
+            .insert("sales", (0..10).map(|i| vec![Value::Int(i), Value::Int(i * 10)]).collect())
+            .unwrap();
+        // Distributive plan: filter + project.
+        let filtered = LogicalPlan::filter(
+            LogicalPlan::scan(Arc::clone(&t)),
+            Expr::col(1).binary(BinOp::GtEq, Expr::int(50)),
+        )
+        .unwrap();
+        let distributive =
+            LogicalPlan::project(filtered, vec![(Expr::col(0), "id".into())]).unwrap();
+        // Non-distributive plan: aggregate.
+        let agg = LogicalPlan::aggregate(
+            LogicalPlan::scan(t),
+            vec![],
+            vec![(AggExpr::count_star(), "n".into())],
+        )
+        .unwrap();
+        (engine, distributive, agg)
+    }
+
+    #[test]
+    fn scv_serves_stale_until_refresh() {
+        let (engine, plan, _) = setup();
+        let mut cache = ViewCache::new();
+        let scv = cache.register("big_sales", plan, CacheMode::Static, &engine).unwrap();
+        assert_eq!(scv.read(&engine).unwrap().num_rows(), 5);
+        engine.insert("sales", vec![vec![Value::Int(100), Value::Int(999)]]).unwrap();
+        // Still the old snapshot...
+        assert_eq!(scv.read(&engine).unwrap().num_rows(), 5);
+        assert!(scv.staleness(&engine) > 0);
+        // ...until the periodic refresh.
+        cache.refresh_all_static(&engine).unwrap();
+        assert_eq!(scv.read(&engine).unwrap().num_rows(), 6);
+        assert_eq!(scv.stats().full_refreshes, 2);
+    }
+
+    #[test]
+    fn dcv_incremental_on_insert_only() {
+        let (engine, plan, _) = setup();
+        let mut cache = ViewCache::new();
+        let dcv = cache.register("big_sales", plan, CacheMode::Dynamic, &engine).unwrap();
+        assert_eq!(dcv.read(&engine).unwrap().num_rows(), 5);
+        engine
+            .insert(
+                "sales",
+                vec![
+                    vec![Value::Int(100), Value::Int(999)],
+                    vec![Value::Int(101), Value::Int(1)], // filtered out
+                ],
+            )
+            .unwrap();
+        assert_eq!(dcv.read(&engine).unwrap().num_rows(), 6, "up to date without refresh");
+        let stats = dcv.stats();
+        assert_eq!(stats.incremental_refreshes, 1, "maintained incrementally");
+        assert_eq!(stats.full_refreshes, 1, "only the initial materialization");
+        // An unchanged dependency costs nothing.
+        assert_eq!(dcv.read(&engine).unwrap().num_rows(), 6);
+        assert_eq!(dcv.stats().incremental_refreshes, 1);
+    }
+
+    #[test]
+    fn dcv_falls_back_to_full_on_delete() {
+        let (engine, plan, _) = setup();
+        let mut cache = ViewCache::new();
+        let dcv = cache.register("v", plan, CacheMode::Dynamic, &engine).unwrap();
+        engine.delete_where("sales", &|r| r[0] == Value::Int(9)).unwrap();
+        assert_eq!(dcv.read(&engine).unwrap().num_rows(), 4);
+        assert_eq!(dcv.stats().full_refreshes, 2, "delete forces recompute");
+    }
+
+    #[test]
+    fn dcv_full_recompute_for_non_distributive_plans() {
+        let (engine, _, agg) = setup();
+        let mut cache = ViewCache::new();
+        let dcv = cache.register("cnt", agg, CacheMode::Dynamic, &engine).unwrap();
+        assert_eq!(dcv.read(&engine).unwrap().row(0)[0], Value::Int(10));
+        engine.insert("sales", vec![vec![Value::Int(50), Value::Int(5)]]).unwrap();
+        assert_eq!(dcv.read(&engine).unwrap().row(0)[0], Value::Int(11));
+        assert_eq!(dcv.stats().full_refreshes, 2);
+        assert_eq!(dcv.stats().incremental_refreshes, 0);
+    }
+
+    #[test]
+    fn registry_semantics() {
+        let (engine, plan, _) = setup();
+        let mut cache = ViewCache::new();
+        cache.register("v", plan.clone(), CacheMode::Static, &engine).unwrap();
+        assert!(cache.register("V", plan, CacheMode::Static, &engine).is_err());
+        assert!(cache.get("v").is_some());
+        let deps = cache.get("v").unwrap().dependencies().to_vec();
+        assert_eq!(deps, vec!["sales".to_string()]);
+        cache.drop_view("v").unwrap();
+        assert!(cache.get("v").is_none());
+        assert!(cache.drop_view("v").is_err());
+    }
+}

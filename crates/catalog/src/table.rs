@@ -1,0 +1,238 @@
+//! Table definitions and constraints.
+
+use vdm_types::{Field, Result, Schema, SqlType, VdmError};
+
+/// A foreign-key constraint: `columns` of this table reference
+/// `ref_columns` of `ref_table` (which must be unique there).
+///
+/// When the referencing columns are non-nullable, an inner equi-join along
+/// the FK is *many-to-exactly-one* (AJ 1a in the paper): every left record
+/// finds exactly one match, so the join neither filters nor duplicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Column ordinals in the referencing table.
+    pub columns: Vec<usize>,
+    /// Referenced table name.
+    pub ref_table: String,
+    /// Referenced column *names* — resolved against the referenced table at
+    /// plan time, because the referenced table may not exist in the catalog
+    /// yet when this table is defined.
+    pub ref_columns: Vec<String>,
+}
+
+/// A base table: schema plus key constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    pub name: String,
+    pub schema: Schema,
+    /// Primary-key column ordinals (empty = no PK).
+    pub primary_key: Vec<usize>,
+    /// Additional unique constraints (each a set of column ordinals).
+    pub uniques: Vec<Vec<usize>>,
+    /// Outgoing foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl TableDef {
+    /// All unique column sets: the PK (if any) plus declared uniques.
+    pub fn unique_sets(&self) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        if !self.primary_key.is_empty() {
+            out.push(self.primary_key.clone());
+        }
+        out.extend(self.uniques.iter().cloned());
+        out
+    }
+
+    /// True if `cols` is a superset of some unique set, i.e. at most one row
+    /// can share a value combination over `cols`.
+    pub fn cols_unique(&self, cols: &[usize]) -> bool {
+        self.unique_sets()
+            .iter()
+            .any(|u| u.iter().all(|c| cols.contains(c)))
+    }
+}
+
+/// Fluent builder for [`TableDef`]; validates names and ordinals.
+///
+/// ```
+/// use vdm_catalog::TableBuilder;
+/// use vdm_types::SqlType;
+/// let t = TableBuilder::new("orders")
+///     .column("o_orderkey", SqlType::Int, false)
+///     .column("o_custkey", SqlType::Int, false)
+///     .primary_key(&["o_orderkey"])
+///     .build()
+///     .unwrap();
+/// assert!(t.cols_unique(&[0]));
+/// assert!(!t.cols_unique(&[1]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    fields: Vec<Field>,
+    primary_key: Vec<String>,
+    uniques: Vec<Vec<String>>,
+    foreign_keys: Vec<(Vec<String>, String, Vec<String>)>,
+}
+
+impl TableBuilder {
+    /// Starts a builder for table `name`.
+    pub fn new(name: impl Into<String>) -> TableBuilder {
+        TableBuilder {
+            name: name.into(),
+            fields: Vec::new(),
+            primary_key: Vec::new(),
+            uniques: Vec::new(),
+            foreign_keys: Vec::new(),
+        }
+    }
+
+    /// Appends a column.
+    pub fn column(mut self, name: impl Into<String>, ty: SqlType, nullable: bool) -> Self {
+        self.fields.push(Field::new(name, ty, nullable));
+        self
+    }
+
+    /// Declares the primary key by column names.
+    pub fn primary_key(mut self, cols: &[&str]) -> Self {
+        self.primary_key = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Declares an additional unique constraint by column names.
+    pub fn unique(mut self, cols: &[&str]) -> Self {
+        self.uniques.push(cols.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Declares a foreign key by column names. `ref_columns` ordinals are
+    /// resolved against the referenced table lazily at plan time, so the
+    /// builder only records names here and `build` stores name-resolved
+    /// local ordinals plus the referenced names.
+    pub fn foreign_key(mut self, cols: &[&str], ref_table: &str, ref_cols: &[&str]) -> Self {
+        self.foreign_keys.push((
+            cols.iter().map(|s| s.to_string()).collect(),
+            ref_table.to_string(),
+            ref_cols.iter().map(|s| s.to_string()).collect(),
+        ));
+        self
+    }
+
+    /// Validates and builds the [`TableDef`].
+    ///
+    /// Foreign-key *referenced* ordinals are resolved positionally by the
+    /// caller when the referenced table is known; here we record them as
+    /// ordinals into the referenced table's column list only if the caller
+    /// passes names that we cannot check — so `build` stores them by the
+    /// name order given and the planner re-validates against the catalog.
+    pub fn build(self) -> Result<TableDef> {
+        if self.fields.is_empty() {
+            return Err(VdmError::Catalog(format!("table {:?} has no columns", self.name)));
+        }
+        let schema = Schema::new(self.fields);
+        {
+            let mut seen = std::collections::HashSet::new();
+            for f in schema.fields() {
+                if !seen.insert(f.name.to_ascii_lowercase()) {
+                    return Err(VdmError::Catalog(format!(
+                        "table {:?} has duplicate column {:?}",
+                        self.name, f.name
+                    )));
+                }
+            }
+        }
+        let resolve = |names: &[String]| -> Result<Vec<usize>> {
+            names
+                .iter()
+                .map(|n| {
+                    schema.index_of(n).ok_or_else(|| {
+                        VdmError::Catalog(format!("table {:?}: unknown column {n:?}", self.name))
+                    })
+                })
+                .collect()
+        };
+        let primary_key = resolve(&self.primary_key)?;
+        let uniques = self
+            .uniques
+            .iter()
+            .map(|u| resolve(u))
+            .collect::<Result<Vec<_>>>()?;
+        let mut foreign_keys = Vec::new();
+        for (cols, ref_table, ref_cols) in &self.foreign_keys {
+            if cols.len() != ref_cols.len() {
+                return Err(VdmError::Catalog(format!(
+                    "table {:?}: foreign key arity mismatch",
+                    self.name
+                )));
+            }
+            foreign_keys.push(ForeignKey {
+                columns: resolve(cols)?,
+                ref_table: ref_table.clone(),
+                ref_columns: ref_cols.clone(),
+            });
+        }
+        Ok(TableDef {
+            name: self.name,
+            schema,
+            primary_key,
+            uniques,
+            foreign_keys,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_resolves_constraints() {
+        let t = TableBuilder::new("t")
+            .column("a", SqlType::Int, false)
+            .column("b", SqlType::Text, true)
+            .column("c", SqlType::Int, false)
+            .primary_key(&["a"])
+            .unique(&["b", "c"])
+            .build()
+            .unwrap();
+        assert_eq!(t.primary_key, vec![0]);
+        assert_eq!(t.uniques, vec![vec![1, 2]]);
+        assert!(t.cols_unique(&[0]));
+        assert!(t.cols_unique(&[0, 1]));
+        assert!(t.cols_unique(&[1, 2]));
+        assert!(!t.cols_unique(&[1]));
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        assert!(TableBuilder::new("t").build().is_err());
+        assert!(TableBuilder::new("t")
+            .column("a", SqlType::Int, false)
+            .column("A", SqlType::Int, false)
+            .build()
+            .is_err());
+        assert!(TableBuilder::new("t")
+            .column("a", SqlType::Int, false)
+            .primary_key(&["zzz"])
+            .build()
+            .is_err());
+        assert!(TableBuilder::new("t")
+            .column("a", SqlType::Int, false)
+            .foreign_key(&["a"], "u", &["x", "y"])
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn unique_sets_combines_pk_and_uniques() {
+        let t = TableBuilder::new("t")
+            .column("a", SqlType::Int, false)
+            .column("b", SqlType::Int, false)
+            .primary_key(&["a"])
+            .unique(&["b"])
+            .build()
+            .unwrap();
+        assert_eq!(t.unique_sets(), vec![vec![0], vec![1]]);
+    }
+}

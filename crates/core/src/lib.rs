@@ -1,0 +1,426 @@
+//! `vdm-core`: the database facade.
+//!
+//! [`Database`] wires the whole stack together — catalog, view registry,
+//! expression-macro registry, columnar storage, SQL front end, optimizer
+//! (with a selectable capability [`Profile`]), and executor — behind a
+//! `db.execute(sql)` API.
+//!
+//! ```
+//! use vdm_core::Database;
+//! let mut db = Database::hana();
+//! db.execute("create table t (k bigint primary key, v text)").unwrap();
+//! db.execute("insert into t values (1, 'hello')").unwrap();
+//! let batch = db.query("select v from t where k = 1").unwrap();
+//! assert_eq!(batch.row(0)[0], vdm_types::Value::str("hello"));
+//! ```
+
+use std::sync::Arc;
+use vdm_cache::{CacheMode, CachedView, ViewCache};
+use vdm_catalog::Catalog;
+use vdm_exec::Metrics;
+use vdm_optimizer::{Optimizer, Profile};
+use vdm_plan::{plan_stats, PlanRef, ViewRegistry};
+use vdm_sql::{Binder, MacroRegistry, Statement};
+use vdm_storage::{Batch, StorageEngine};
+use vdm_types::{Result, VdmError};
+
+/// Outcome of one executed statement.
+#[derive(Debug)]
+pub enum StatementResult {
+    /// SELECT results.
+    Rows(Batch),
+    /// DDL acknowledgement with the object name.
+    Created(String),
+    /// Rows inserted.
+    Inserted(usize),
+    /// EXPLAIN output.
+    Explained(String),
+}
+
+impl StatementResult {
+    /// Unwraps SELECT rows.
+    pub fn rows(self) -> Result<Batch> {
+        match self {
+            StatementResult::Rows(b) => Ok(b),
+            other => Err(VdmError::Exec(format!("statement produced {other:?}, not rows"))),
+        }
+    }
+}
+
+/// The assembled database.
+pub struct Database {
+    catalog: Catalog,
+    views: ViewRegistry,
+    macros: MacroRegistry,
+    engine: StorageEngine,
+    optimizer: Optimizer,
+    cache: ViewCache,
+}
+
+impl Database {
+    /// Database with the given optimizer profile.
+    pub fn new(profile: Profile) -> Database {
+        Database {
+            catalog: Catalog::new(),
+            views: ViewRegistry::new(),
+            macros: MacroRegistry::new(),
+            engine: StorageEngine::new(),
+            optimizer: Optimizer::new(profile),
+            cache: ViewCache::new(),
+        }
+    }
+
+    /// Database with every optimizer capability (the paper's HANA column).
+    pub fn hana() -> Database {
+        Database::new(Profile::hana())
+    }
+
+    /// Swaps the optimizer profile (e.g. to compare systems on one dataset).
+    pub fn set_profile(&mut self, profile: Profile) {
+        self.optimizer = Optimizer::new(profile);
+    }
+
+    /// The active optimizer.
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// Catalog access.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access (for generators).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Split borrow for data generators that register schema and load data
+    /// in one call (`gen.build(catalog, engine)`).
+    pub fn catalog_and_engine(&mut self) -> (&mut Catalog, &StorageEngine) {
+        (&mut self.catalog, &self.engine)
+    }
+
+    /// Storage access.
+    pub fn engine(&self) -> &StorageEngine {
+        &self.engine
+    }
+
+    /// Plan-view registry access (for the VDM layer).
+    pub fn views_mut(&mut self) -> &mut ViewRegistry {
+        &mut self.views
+    }
+
+    /// Registers a plan-backed view (VDM layer entry point).
+    pub fn register_view(&mut self, name: &str, plan: PlanRef) {
+        self.views.register(name, plan);
+    }
+
+    /// Creates a cached (materialized) view over a SELECT — the SCV/DCV
+    /// feature of §3. The optimized plan is materialized immediately.
+    pub fn create_cached_view(
+        &mut self,
+        name: &str,
+        sql: &str,
+        mode: CacheMode,
+    ) -> Result<Arc<CachedView>> {
+        let plan = self.optimized_plan(sql)?;
+        self.cache.register(name, plan, mode, &self.engine)
+    }
+
+    /// Looks up a cached view.
+    pub fn cached_view(&self, name: &str) -> Option<Arc<CachedView>> {
+        self.cache.get(name)
+    }
+
+    /// Reads a cached view (SCV: last refresh; DCV: maintained first).
+    pub fn read_cached(&self, name: &str) -> Result<Batch> {
+        let view = self
+            .cache
+            .get(name)
+            .ok_or_else(|| VdmError::Catalog(format!("unknown cached view {name:?}")))?;
+        view.read(&self.engine)
+    }
+
+    /// Refreshes every static cached view (the periodic refresh tick).
+    pub fn refresh_cached_views(&self) -> Result<usize> {
+        self.cache.refresh_all_static(&self.engine)
+    }
+
+    /// Executes a single statement.
+    pub fn execute(&mut self, sql: &str) -> Result<StatementResult> {
+        let mut results = self.execute_script(sql)?;
+        results
+            .pop()
+            .ok_or_else(|| VdmError::Exec("no statement executed".into()))
+    }
+
+    /// Executes a `;`-separated script, returning one result per statement.
+    pub fn execute_script(&mut self, sql: &str) -> Result<Vec<StatementResult>> {
+        let stmts = vdm_sql::parse(sql)?;
+        stmts.iter().map(|s| self.run_statement(s)).collect()
+    }
+
+    /// Runs a SELECT and returns its rows.
+    pub fn query(&mut self, sql: &str) -> Result<Batch> {
+        self.execute(sql)?.rows()
+    }
+
+    /// Binds a SELECT to its *unoptimized* logical plan.
+    pub fn plan(&self, sql: &str) -> Result<PlanRef> {
+        let stmt = vdm_sql::parser::parse_one(sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(VdmError::Bind("plan() expects a SELECT".into()));
+        };
+        Binder::new(&self.catalog, &self.views, &self.macros).bind_select(&sel)
+    }
+
+    /// Binds and optimizes a SELECT.
+    pub fn optimized_plan(&self, sql: &str) -> Result<PlanRef> {
+        self.optimizer.optimize(&self.plan(sql)?)
+    }
+
+    /// Optimizes an externally built plan with the active profile.
+    pub fn optimize(&self, plan: &PlanRef) -> Result<PlanRef> {
+        self.optimizer.optimize(plan)
+    }
+
+    /// Executes a prebuilt logical plan (optimizing it first).
+    pub fn execute_plan(&self, plan: &PlanRef) -> Result<(Batch, Metrics)> {
+        let optimized = self.optimizer.optimize(plan)?;
+        vdm_exec::execute_at(&optimized, &self.engine, self.engine.snapshot())
+    }
+
+    /// Executes a prebuilt plan WITHOUT optimization (baseline measurement).
+    pub fn execute_plan_unoptimized(&self, plan: &PlanRef) -> Result<(Batch, Metrics)> {
+        vdm_exec::execute_at(plan, &self.engine, self.engine.snapshot())
+    }
+
+    /// EXPLAIN text for a SELECT: both the bound and the optimized plan,
+    /// with operator-count summaries and the optimizer's pass trace.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let plan = self.plan(sql)?;
+        let (optimized, trace) = self.optimizer.optimize_traced(&plan)?;
+        let before = plan_stats(&plan);
+        let after = plan_stats(&optimized);
+        Ok(format!(
+            "== bound plan ({} tables, {} joins) ==\n{}\n== optimized plan ({} tables, {} joins) ==\n{}\n== optimizer trace ==\n{}",
+            before.table_instances,
+            before.joins,
+            vdm_plan::explain(&plan),
+            after.table_instances,
+            after.joins,
+            vdm_plan::explain(&optimized),
+            trace.render(),
+        ))
+    }
+
+    fn run_statement(&mut self, stmt: &Statement) -> Result<StatementResult> {
+        match stmt {
+            Statement::Select(sel) => {
+                let binder = Binder::new(&self.catalog, &self.views, &self.macros);
+                let plan = binder.bind_select(sel)?;
+                let optimized = self.optimizer.optimize(&plan)?;
+                let batch = vdm_exec::execute(&optimized, &self.engine)?;
+                Ok(StatementResult::Rows(batch))
+            }
+            Statement::CreateTable(ct) => {
+                let binder = Binder::new(&self.catalog, &self.views, &self.macros);
+                let def = binder.table_def(ct)?;
+                let arc = self.catalog.create_table(def)?;
+                self.engine.create_table(Arc::clone(&arc))?;
+                Ok(StatementResult::Created(ct.name.clone()))
+            }
+            Statement::CreateView { name, or_replace, query, macros } => {
+                let (plan, defs) = {
+                    let binder = Binder::new(&self.catalog, &self.views, &self.macros);
+                    let plan = binder.bind_select(query)?;
+                    let defs = macros
+                        .iter()
+                        .map(|m| binder.bind_macro(m, &plan.schema()))
+                        .collect::<Result<Vec<_>>>()?;
+                    (plan, defs)
+                };
+                // Views are registered as plans (inlined at bind time).
+                if *or_replace {
+                    self.views.register(name, plan);
+                } else {
+                    self.views.register_new(name, plan)?;
+                }
+                for def in defs {
+                    self.macros.insert(def.name.to_ascii_lowercase(), def);
+                }
+                Ok(StatementResult::Created(name.clone()))
+            }
+            Statement::Insert { table, columns, rows } => {
+                let values = {
+                    let binder = Binder::new(&self.catalog, &self.views, &self.macros);
+                    let def = self.catalog.table_or_err(table)?;
+                    binder.insert_rows(&def, columns, rows)?
+                };
+                let n = self.engine.insert(table, values)?;
+                Ok(StatementResult::Inserted(n))
+            }
+            Statement::Explain(inner) => match inner.as_ref() {
+                Statement::Select(sel) => {
+                    let binder = Binder::new(&self.catalog, &self.views, &self.macros);
+                    let plan = binder.bind_select(sel)?;
+                    let optimized = self.optimizer.optimize(&plan)?;
+                    let before = plan_stats(&plan);
+                    let after = plan_stats(&optimized);
+                    Ok(StatementResult::Explained(format!(
+                        "== bound plan ({} tables, {} joins) ==\n{}\n== optimized plan ({} tables, {} joins) ==\n{}",
+                        before.table_instances,
+                        before.joins,
+                        vdm_plan::explain(&plan),
+                        after.table_instances,
+                        after.joins,
+                        vdm_plan::explain(&optimized),
+                    )))
+                }
+                _ => Err(VdmError::Unsupported("EXPLAIN supports SELECT only".into())),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_types::Value;
+
+    fn db() -> Database {
+        let mut db = Database::hana();
+        db.execute_script(
+            "create table customer (c_custkey bigint primary key, c_name text not null);
+             create table orders (o_orderkey bigint primary key, o_custkey bigint not null,
+                                  o_total decimal(10,2) not null);
+             insert into customer values (1, 'alice'), (2, 'bob');
+             insert into orders values (10, 1, 5.00), (11, 1, 2.50), (12, 2, 9.99);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let mut db = db();
+        let b = db
+            .query("select c_name, count(*) as n from orders o left join customer c on o.o_custkey = c.c_custkey group by c_name order by n desc")
+            .unwrap();
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.row(0), vec![Value::str("alice"), Value::Int(2)]);
+    }
+
+    #[test]
+    fn uaj_eliminated_under_hana_not_under_system_x() {
+        let mut db = db();
+        let sql = "select o_orderkey from orders left join customer on o_custkey = c_custkey";
+        let hana_plan = db.optimized_plan(sql).unwrap();
+        assert_eq!(plan_stats(&hana_plan).joins, 0);
+        db.set_profile(Profile::system_x());
+        let weak_plan = db.optimized_plan(sql).unwrap();
+        assert_eq!(plan_stats(&weak_plan).joins, 1);
+        // Both still compute the same answer.
+        let a = db.query(sql).unwrap();
+        db.set_profile(Profile::hana());
+        let b = db.query(sql).unwrap();
+        assert_eq!(a.num_rows(), b.num_rows());
+    }
+
+    #[test]
+    fn explain_shows_both_plans() {
+        let mut db = db();
+        let text = db
+            .explain("select o_orderkey from orders left join customer on o_custkey = c_custkey")
+            .unwrap();
+        assert!(text.contains("bound plan (2 tables, 1 joins)"), "{text}");
+        assert!(text.contains("optimized plan (1 tables, 0 joins)"), "{text}");
+        let StatementResult::Explained(e) = db
+            .execute("explain select o_orderkey from orders")
+            .unwrap()
+        else {
+            panic!("expected EXPLAIN output")
+        };
+        assert!(e.contains("Scan orders"));
+    }
+
+    #[test]
+    fn views_and_macros_via_sql() {
+        let mut db = db();
+        db.execute(
+            "create view sales as select o_custkey, o_total from orders \
+             with expression macros (sum(o_total) / count(*) as avg_order)",
+        )
+        .unwrap();
+        let b = db
+            .query("select o_custkey, expression_macro(avg_order) from sales group by o_custkey order by 1")
+            .unwrap();
+        assert_eq!(b.num_rows(), 2);
+        // Duplicate view creation fails; OR REPLACE succeeds.
+        assert!(db.execute("create view sales as select 1 from orders").is_err());
+        db.execute("create or replace view sales as select o_custkey from orders").unwrap();
+    }
+
+    #[test]
+    fn constraint_violations_surface() {
+        let mut db = db();
+        assert!(db.execute("insert into customer values (1, 'dup')").is_err());
+        assert!(db.execute("insert into customer values (5, null)").is_err());
+        assert!(db.execute("select nope from customer").is_err());
+    }
+
+    #[test]
+    fn cached_views_through_facade() {
+        let mut db = db();
+        let scv = db
+            .create_cached_view(
+                "order_totals",
+                "select o_custkey, sum(o_total) as total from orders group by o_custkey",
+                CacheMode::Static,
+            )
+            .unwrap();
+        assert_eq!(db.read_cached("order_totals").unwrap().num_rows(), 2);
+        db.execute("insert into orders values (13, 2, 1.00)").unwrap();
+        // SCV is stale until refreshed.
+        assert!(scv.staleness(db.engine()) > 0);
+        db.refresh_cached_views().unwrap();
+        assert_eq!(scv.staleness(db.engine()), 0);
+        // DCV keeps itself current.
+        let _dcv = db
+            .create_cached_view(
+                "order_count",
+                "select count(*) as n from orders",
+                CacheMode::Dynamic,
+            )
+            .unwrap();
+        db.execute("insert into orders values (14, 2, 2.00)").unwrap();
+        let n = db.read_cached("order_count").unwrap();
+        assert_eq!(n.row(0)[0], vdm_types::Value::Int(5));
+        assert!(db.read_cached("missing").is_err());
+    }
+
+    #[test]
+    fn like_predicate_end_to_end() {
+        let mut db = db();
+        let rows = db
+            .query("select c_name from customer where c_name like 'al%' order by 1")
+            .unwrap();
+        assert_eq!(rows.num_rows(), 1);
+        assert_eq!(rows.row(0)[0], vdm_types::Value::str("alice"));
+        let rows = db
+            .query("select c_name from customer where c_name not like '%ob' order by 1")
+            .unwrap();
+        assert_eq!(rows.num_rows(), 1);
+    }
+
+    #[test]
+    fn execute_plan_paths() {
+        let db = db();
+        let plan = db.plan("select count(*) from orders").unwrap();
+        let (opt_batch, opt_metrics) = db.execute_plan(&plan).unwrap();
+        let (raw_batch, _raw_metrics) = db.execute_plan_unoptimized(&plan).unwrap();
+        assert_eq!(opt_batch.row(0), raw_batch.row(0));
+        assert!(opt_metrics.operators >= 1);
+    }
+}

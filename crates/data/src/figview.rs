@@ -1,0 +1,256 @@
+//! The Fig. 14 view population: custom-field extension views over
+//! draft-enabled tables, with and without declared CASE JOIN intent.
+//!
+//! The paper ran `select * from V limit 10` against 100 VDM views and
+//! their custom-field extension views. When the optimizer had to
+//! *recognize* the ASJ-over-UNION-ALL pattern heuristically (Fig. 14a),
+//! many extension views were drastically slower than their originals;
+//! with the CASE JOIN intent declared (Fig. 14b) every pair stayed near
+//! the diagonal. We reproduce the *population*: a mix of shallow views
+//! (heuristically recognizable) and deep views (anchor branches contain
+//! further joins, defeating the shallow matcher), each paired with plain
+//! and case-join extension plans.
+
+use rand::RngExt;
+use std::sync::Arc;
+use vdm_catalog::{Catalog, TableBuilder, TableDef};
+use vdm_expr::Expr;
+use vdm_model::{extension::extend_draft_with_fields, DraftPair, ExtensionSpec};
+use vdm_plan::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef};
+use vdm_storage::StorageEngine;
+use vdm_types::{Decimal, Result, SqlType, Value};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct Fig14Config {
+    /// Number of view pairs (the paper used 100).
+    pub n_views: usize,
+    /// Rows per active table (draft gets 1/10).
+    pub rows_per_table: usize,
+    pub seed: u64,
+}
+
+impl Default for Fig14Config {
+    fn default() -> Self {
+        Fig14Config { n_views: 100, rows_per_table: 5_000, seed: 1414 }
+    }
+}
+
+/// One original view plus its two extension variants.
+#[derive(Debug, Clone)]
+pub struct Fig14Case {
+    pub name: String,
+    /// The managed view (no custom field).
+    pub original: PlanRef,
+    /// Extension without declared intent (heuristic recognition only).
+    pub extended_plain: PlanRef,
+    /// Extension with CASE JOIN intent.
+    pub extended_case: PlanRef,
+    /// Anchor branches contain joins: defeats the shallow heuristic.
+    pub deep: bool,
+}
+
+/// The generated population.
+#[derive(Debug)]
+pub struct Fig14 {
+    pub cases: Vec<Fig14Case>,
+}
+
+/// Generates the population: tables, data, and the three plans per case.
+pub fn generate(
+    cfg: &Fig14Config,
+    catalog: &mut Catalog,
+    engine: &StorageEngine,
+) -> Result<Fig14> {
+    let mut rng = crate::rng(cfg.seed);
+    // One shared dimension used by deep views.
+    let dim = Arc::new(
+        TableBuilder::new("f14_dim")
+            .column("dimkey", SqlType::Int, false)
+            .column("txt", SqlType::Text, false)
+            .primary_key(&["dimkey"])
+            .build()?,
+    );
+    catalog.create_table((*dim).clone())?;
+    engine.create_table(Arc::clone(&dim))?;
+    engine.insert(
+        "f14_dim",
+        (1..=50)
+            .map(|i| vec![Value::Int(i), Value::str(format!("dim-{i:03}"))])
+            .collect(),
+    )?;
+
+    let mut cases = Vec::with_capacity(cfg.n_views);
+    for i in 0..cfg.n_views {
+        let deep = rng.random_range(0..2) == 1;
+        let doc_table = |name: &str| -> Result<TableDef> {
+            TableBuilder::new(name)
+                .column("doc_id", SqlType::Int, false)
+                .column("amount", SqlType::Decimal { scale: 2 }, false)
+                .column("status", SqlType::Int, false)
+                .column("dimkey", SqlType::Int, false)
+                .column("docname", SqlType::Text, false)
+                .column("zz_ext", SqlType::Text, true)
+                .primary_key(&["doc_id"])
+                .build()
+        };
+        let active_name = format!("f14_doc_{i:03}");
+        let draft_name = format!("f14_doc_{i:03}_draft");
+        let active = catalog.create_table(doc_table(&active_name)?)?;
+        let draft = catalog.create_table(doc_table(&draft_name)?)?;
+        engine.create_table(Arc::clone(&active))?;
+        engine.create_table(Arc::clone(&draft))?;
+        let load = |table: &str, n: usize, rng: &mut rand::rngs::StdRng| -> Result<()> {
+            let rows = (1..=n as i64)
+                .map(|d| {
+                    vec![
+                        Value::Int(d),
+                        Value::Dec(Decimal::from_units(rng.random_range(0..1_000_000), 2)),
+                        Value::Int(rng.random_range(0..5)),
+                        Value::Int(rng.random_range(1..=50)),
+                        Value::str(format!("Document {d:06}")),
+                        Value::str(format!("ext-{d}")),
+                    ]
+                })
+                .collect();
+            engine.insert(table, rows)?;
+            Ok(())
+        };
+        load(&active_name, cfg.rows_per_table, &mut rng)?;
+        load(&draft_name, (cfg.rows_per_table / 10).max(1), &mut rng)?;
+
+        let pair = DraftPair::new(Arc::clone(&active), Arc::clone(&draft))?;
+
+        // The managed view: bid ⊎ union, NOT projecting zz_ext. Deep views
+        // join the dimension inside each branch.
+        let mk_branch = |table: &Arc<TableDef>, bid: i64| -> Result<PlanRef> {
+            let scan = LogicalPlan::scan(Arc::clone(table));
+            if deep {
+                let joined = LogicalPlan::join(
+                    scan,
+                    LogicalPlan::scan(Arc::clone(&dim)),
+                    JoinKind::LeftOuter,
+                    vec![(3, 0)],
+                    None,
+                    Some(DeclaredCardinality::ManyToOne),
+                    false,
+                )?;
+                LogicalPlan::project(
+                    joined,
+                    vec![
+                        (Expr::int(bid), "bid".into()),
+                        (Expr::col(0), "DocId".into()),
+                        (Expr::col(1), "Amount".into()),
+                        (Expr::col(2), "Status".into()),
+                        (Expr::col(4), "DocName".into()),
+                        (Expr::col(7), "DimText".into()),
+                    ],
+                )
+            } else {
+                LogicalPlan::project(
+                    scan,
+                    vec![
+                        (Expr::int(bid), "bid".into()),
+                        (Expr::col(0), "DocId".into()),
+                        (Expr::col(1), "Amount".into()),
+                        (Expr::col(2), "Status".into()),
+                        (Expr::col(4), "DocName".into()),
+                    ],
+                )
+            }
+        };
+        let union = LogicalPlan::union_all(vec![
+            mk_branch(&active, vdm_model::draft::BID_ACTIVE)?,
+            mk_branch(&draft, vdm_model::draft::BID_DRAFT)?,
+        ])?;
+        // Some views carry an extra managed projection layer on top.
+        let original = if rng.random_range(0..2) == 0 {
+            let s = union.schema();
+            let exprs = (0..s.len())
+                .map(|c| (Expr::col(c), s.field(c).name.clone()))
+                .collect();
+            LogicalPlan::project(union, exprs)?
+        } else {
+            union
+        };
+
+        let spec = ExtensionSpec {
+            key: vec![("DocId".into(), "doc_id".into())],
+            fields: vec!["zz_ext".into()],
+        };
+        let extended_plain =
+            extend_draft_with_fields(original.clone(), &pair, "bid", &spec, false)?;
+        let extended_case =
+            extend_draft_with_fields(original.clone(), &pair, "bid", &spec, true)?;
+        cases.push(Fig14Case {
+            name: format!("view_{i:03}"),
+            original,
+            extended_plain,
+            extended_case,
+            deep,
+        });
+    }
+    Ok(Fig14 { cases })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_optimizer::Optimizer;
+    use vdm_plan::plan_stats;
+
+    fn small() -> (Fig14, StorageEngine) {
+        let cfg = Fig14Config { n_views: 10, rows_per_table: 50, seed: 5 };
+        let mut catalog = Catalog::new();
+        let engine = StorageEngine::new();
+        let fig = generate(&cfg, &mut catalog, &engine).unwrap();
+        (fig, engine)
+    }
+
+    #[test]
+    fn population_has_both_shapes() {
+        let (fig, _) = small();
+        assert_eq!(fig.cases.len(), 10);
+        assert!(fig.cases.iter().any(|c| c.deep));
+        assert!(fig.cases.iter().any(|c| !c.deep));
+    }
+
+    #[test]
+    fn case_join_always_collapses_heuristic_only_on_shallow() {
+        let (fig, _) = small();
+        let hana = Optimizer::hana();
+        for case in &fig.cases {
+            let with_intent = hana.optimize(&case.extended_case).unwrap();
+            assert_eq!(
+                plan_stats(&with_intent).joins,
+                plan_stats(&hana.optimize(&case.original).unwrap()).joins,
+                "case join must reduce {} to its original's cost",
+                case.name
+            );
+            let plain = hana.optimize(&case.extended_plain).unwrap();
+            let orig = hana.optimize(&case.original).unwrap();
+            if case.deep {
+                assert!(
+                    plan_stats(&plain).joins > plan_stats(&orig).joins,
+                    "{}: deep shape must defeat the heuristic",
+                    case.name
+                );
+            } else {
+                assert_eq!(plan_stats(&plain).joins, plan_stats(&orig).joins);
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_plans_agree_on_data() {
+        let (fig, engine) = small();
+        let hana = Optimizer::hana();
+        for case in fig.cases.iter().take(4) {
+            let base = vdm_exec::execute(&case.extended_plain, &engine).unwrap();
+            for plan in [&case.extended_case, &hana.optimize(&case.extended_case).unwrap()] {
+                let out = vdm_exec::execute(plan, &engine).unwrap();
+                assert_eq!(out.num_rows(), base.num_rows(), "{}", case.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic data and schema generators for the reproduction.
+//!
+//! * [`tpch`] — the TPC-H subset of Fig. 5 (primary keys per the benchmark;
+//!   foreign keys optional, mirroring the paper's setup note);
+//! * [`erp`] — a synthetic S/4HANA-like ERP schema centered on the
+//!   universal journal `acdoca`, plus the programmatic assembly of a
+//!   `journal_entry_item_browser` consumption view with the exact
+//!   complexity profile of Fig. 3 (47 table instances, 49 joins, one
+//!   five-way UNION ALL, one GROUP BY, one DISTINCT, DAC-guarded supplier
+//!   and customer joins);
+//! * [`figview`] — the Fig. 14 population: generated VDM views paired with
+//!   custom-field extension views over draft-enabled tables, with and
+//!   without declared CASE JOIN intent.
+//!
+//! All generators are seeded and deterministic: the same parameters always
+//! produce the same rows.
+
+pub mod erp;
+pub mod figview;
+pub mod tpch;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Seeded RNG used by every generator.
+pub(crate) fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

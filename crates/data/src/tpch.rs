@@ -1,0 +1,349 @@
+//! TPC-H subset generator (the Fig. 5 schema).
+//!
+//! Primary keys follow the benchmark; foreign keys are omitted by default
+//! because the paper's evaluation setup omits them ("optional foreign-key
+//! constraints are omitted") — pass `with_foreign_keys(true)` for the
+//! AJ 1a inner-join experiments.
+
+use rand::RngExt;
+use std::sync::Arc;
+use vdm_catalog::{Catalog, TableBuilder, TableDef};
+use vdm_storage::StorageEngine;
+use vdm_types::{Decimal, Result, SqlType, Value};
+
+/// TPC-H subset generator.
+#[derive(Debug, Clone)]
+pub struct Tpch {
+    /// Scale factor: 1.0 ≙ 1 500 customers / 15 000 orders / ~60 000 line
+    /// items (1/100 of official TPC-H sizes — in-memory test scale).
+    pub sf: f64,
+    pub seed: u64,
+    pub with_foreign_keys: bool,
+}
+
+impl Default for Tpch {
+    fn default() -> Self {
+        Tpch { sf: 0.1, seed: 42, with_foreign_keys: false }
+    }
+}
+
+const NATIONS: &[(&str, i64)] = &[
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const STATUSES: &[&str] = &["O", "F", "P"];
+
+impl Tpch {
+    /// Row counts implied by the scale factor.
+    pub fn customers(&self) -> i64 {
+        ((1500.0 * self.sf) as i64).max(10)
+    }
+
+    /// Orders count.
+    pub fn orders(&self) -> i64 {
+        self.customers() * 10
+    }
+
+    /// Parts count.
+    pub fn parts(&self) -> i64 {
+        ((2000.0 * self.sf) as i64).max(10)
+    }
+
+    /// Suppliers count.
+    pub fn suppliers(&self) -> i64 {
+        ((100.0 * self.sf) as i64).max(5)
+    }
+
+    /// All table definitions, in creation order.
+    pub fn table_defs(&self) -> Vec<TableDef> {
+        let region = TableBuilder::new("region")
+            .column("r_regionkey", SqlType::Int, false)
+            .column("r_name", SqlType::Text, false)
+            .primary_key(&["r_regionkey"]);
+        let mut nation = TableBuilder::new("nation")
+            .column("n_nationkey", SqlType::Int, false)
+            .column("n_name", SqlType::Text, false)
+            .column("n_regionkey", SqlType::Int, false)
+            .primary_key(&["n_nationkey"]);
+        let mut customer = TableBuilder::new("customer")
+            .column("c_custkey", SqlType::Int, false)
+            .column("c_name", SqlType::Text, false)
+            .column("c_nationkey", SqlType::Int, false)
+            .column("c_acctbal", SqlType::Decimal { scale: 2 }, false)
+            .column("c_mktsegment", SqlType::Text, false)
+            .primary_key(&["c_custkey"]);
+        let mut orders = TableBuilder::new("orders")
+            .column("o_orderkey", SqlType::Int, false)
+            .column("o_custkey", SqlType::Int, false)
+            .column("o_orderstatus", SqlType::Text, false)
+            .column("o_totalprice", SqlType::Decimal { scale: 2 }, false)
+            .column("o_orderdate", SqlType::Date, false)
+            .primary_key(&["o_orderkey"]);
+        let mut supplier = TableBuilder::new("supplier")
+            .column("s_suppkey", SqlType::Int, false)
+            .column("s_name", SqlType::Text, false)
+            .column("s_nationkey", SqlType::Int, false)
+            .column("s_acctbal", SqlType::Decimal { scale: 2 }, false)
+            .primary_key(&["s_suppkey"]);
+        let part = TableBuilder::new("part")
+            .column("p_partkey", SqlType::Int, false)
+            .column("p_name", SqlType::Text, false)
+            .column("p_retailprice", SqlType::Decimal { scale: 2 }, false)
+            .primary_key(&["p_partkey"]);
+        let mut partsupp = TableBuilder::new("partsupp")
+            .column("ps_partkey", SqlType::Int, false)
+            .column("ps_suppkey", SqlType::Int, false)
+            .column("ps_availqty", SqlType::Int, false)
+            .column("ps_supplycost", SqlType::Decimal { scale: 2 }, false)
+            .primary_key(&["ps_partkey", "ps_suppkey"]);
+        let mut lineitem = TableBuilder::new("lineitem")
+            .column("l_orderkey", SqlType::Int, false)
+            .column("l_linenumber", SqlType::Int, false)
+            .column("l_partkey", SqlType::Int, false)
+            .column("l_suppkey", SqlType::Int, false)
+            .column("l_quantity", SqlType::Int, false)
+            .column("l_extendedprice", SqlType::Decimal { scale: 2 }, false)
+            .column("l_discount", SqlType::Decimal { scale: 2 }, false)
+            .column("l_tax", SqlType::Decimal { scale: 2 }, false)
+            .primary_key(&["l_orderkey", "l_linenumber"]);
+        if self.with_foreign_keys {
+            nation = nation.foreign_key(&["n_regionkey"], "region", &["r_regionkey"]);
+            customer = customer.foreign_key(&["c_nationkey"], "nation", &["n_nationkey"]);
+            orders = orders.foreign_key(&["o_custkey"], "customer", &["c_custkey"]);
+            supplier = supplier.foreign_key(&["s_nationkey"], "nation", &["n_nationkey"]);
+            partsupp = partsupp
+                .foreign_key(&["ps_partkey"], "part", &["p_partkey"])
+                .foreign_key(&["ps_suppkey"], "supplier", &["s_suppkey"]);
+            lineitem = lineitem
+                .foreign_key(&["l_orderkey"], "orders", &["o_orderkey"])
+                .foreign_key(&["l_partkey"], "part", &["p_partkey"])
+                .foreign_key(&["l_suppkey"], "supplier", &["s_suppkey"]);
+        }
+        vec![
+            region.build().expect("region"),
+            nation.build().expect("nation"),
+            customer.build().expect("customer"),
+            orders.build().expect("orders"),
+            supplier.build().expect("supplier"),
+            part.build().expect("part"),
+            partsupp.build().expect("partsupp"),
+            lineitem.build().expect("lineitem"),
+        ]
+    }
+
+    /// Registers the schema in catalog + storage.
+    pub fn create_schema(&self, catalog: &mut Catalog, engine: &StorageEngine) -> Result<Vec<Arc<TableDef>>> {
+        let mut out = Vec::new();
+        for def in self.table_defs() {
+            let arc = catalog.create_table(def)?;
+            engine.create_table(Arc::clone(&arc))?;
+            out.push(arc);
+        }
+        Ok(out)
+    }
+
+    /// Generates and loads all rows. Returns the total row count.
+    pub fn load(&self, engine: &StorageEngine) -> Result<usize> {
+        let mut rng = crate::rng(self.seed);
+        let mut total = 0;
+        let dec = |units: i64| Value::Dec(Decimal::from_units(units as i128, 2));
+
+        let regions: Vec<Vec<Value>> = REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| vec![Value::Int(i as i64), Value::str(*name)])
+            .collect();
+        total += engine.insert("region", regions)?;
+
+        let nations: Vec<Vec<Value>> = NATIONS
+            .iter()
+            .enumerate()
+            .map(|(i, (name, region))| {
+                vec![Value::Int(i as i64), Value::str(*name), Value::Int(*region)]
+            })
+            .collect();
+        total += engine.insert("nation", nations)?;
+
+        let n_cust = self.customers();
+        let customers: Vec<Vec<Value>> = (1..=n_cust)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("Customer#{i:09}")),
+                    Value::Int(rng.random_range(0..NATIONS.len() as i64)),
+                    dec(rng.random_range(-99_999..999_999)),
+                    Value::str(SEGMENTS[rng.random_range(0..SEGMENTS.len())]),
+                ]
+            })
+            .collect();
+        total += engine.insert("customer", customers)?;
+
+        let n_supp = self.suppliers();
+        let suppliers: Vec<Vec<Value>> = (1..=n_supp)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("Supplier#{i:09}")),
+                    Value::Int(rng.random_range(0..NATIONS.len() as i64)),
+                    dec(rng.random_range(-99_999..999_999)),
+                ]
+            })
+            .collect();
+        total += engine.insert("supplier", suppliers)?;
+
+        let n_part = self.parts();
+        let parts: Vec<Vec<Value>> = (1..=n_part)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("Part#{i:09}")),
+                    dec(rng.random_range(100..99_999)),
+                ]
+            })
+            .collect();
+        total += engine.insert("part", parts)?;
+
+        let mut partsupp = Vec::new();
+        for p in 1..=n_part {
+            for k in 0..4 {
+                partsupp.push(vec![
+                    Value::Int(p),
+                    Value::Int((p + k * 17) % n_supp + 1),
+                    Value::Int(rng.random_range(1..10_000)),
+                    dec(rng.random_range(100..100_000)),
+                ]);
+            }
+        }
+        total += engine.insert("partsupp", partsupp)?;
+
+        let n_orders = self.orders();
+        let mut orders = Vec::with_capacity(n_orders as usize);
+        let mut lineitems = Vec::new();
+        for o in 1..=n_orders {
+            let custkey = rng.random_range(1..=n_cust);
+            let n_lines = rng.random_range(1..=7i64);
+            let mut order_total: i64 = 0;
+            for ln in 1..=n_lines {
+                let price = rng.random_range(1_000..120_000);
+                order_total += price;
+                lineitems.push(vec![
+                    Value::Int(o),
+                    Value::Int(ln),
+                    Value::Int(rng.random_range(1..=n_part)),
+                    Value::Int(rng.random_range(1..=n_supp)),
+                    Value::Int(rng.random_range(1..=50)),
+                    dec(price),
+                    dec(rng.random_range(0..10)),
+                    dec(rng.random_range(0..8)),
+                ]);
+            }
+            orders.push(vec![
+                Value::Int(o),
+                Value::Int(custkey),
+                Value::str(STATUSES[rng.random_range(0..STATUSES.len())]),
+                dec(order_total),
+                Value::Date(rng.random_range(8_000..12_000)),
+            ]);
+        }
+        total += engine.insert("orders", orders)?;
+        total += engine.insert("lineitem", lineitems)?;
+        Ok(total)
+    }
+
+    /// Convenience: schema + data in one call.
+    pub fn build(&self, catalog: &mut Catalog, engine: &StorageEngine) -> Result<usize> {
+        self.create_schema(catalog, engine)?;
+        self.load(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_data_load() {
+        let gen = Tpch { sf: 0.02, seed: 7, with_foreign_keys: false };
+        let mut catalog = Catalog::new();
+        let engine = StorageEngine::new();
+        let rows = gen.build(&mut catalog, &engine).unwrap();
+        assert!(rows > 500, "generated {rows} rows");
+        assert_eq!(catalog.table_names().len(), 8);
+        let snap = engine.snapshot();
+        assert_eq!(engine.row_count("region", snap).unwrap(), 5);
+        assert_eq!(engine.row_count("nation", snap).unwrap(), 25);
+        assert_eq!(engine.row_count("customer", snap).unwrap() as i64, gen.customers());
+        assert_eq!(engine.row_count("orders", snap).unwrap() as i64, gen.orders());
+        assert!(engine.row_count("lineitem", snap).unwrap() >= gen.orders() as usize);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let run = || {
+            let gen = Tpch { sf: 0.01, seed: 99, with_foreign_keys: false };
+            let mut catalog = Catalog::new();
+            let engine = StorageEngine::new();
+            gen.build(&mut catalog, &engine).unwrap();
+            let b = engine.scan("customer", engine.snapshot()).unwrap();
+            b.to_rows()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn foreign_keys_optional() {
+        let without = Tpch { with_foreign_keys: false, ..Tpch::default() };
+        let with = Tpch { with_foreign_keys: true, ..Tpch::default() };
+        let find = |defs: &[TableDef], name: &str| {
+            defs.iter().find(|d| d.name == name).unwrap().foreign_keys.len()
+        };
+        assert_eq!(find(&without.table_defs(), "orders"), 0);
+        assert_eq!(find(&with.table_defs(), "orders"), 1);
+        assert_eq!(find(&with.table_defs(), "lineitem"), 3);
+    }
+
+    #[test]
+    fn referential_integrity_holds() {
+        // FKs are omitted, but the *data* is referentially consistent —
+        // required for augmentation-join semantics to be observable.
+        let gen = Tpch { sf: 0.01, seed: 3, with_foreign_keys: false };
+        let mut catalog = Catalog::new();
+        let engine = StorageEngine::new();
+        gen.build(&mut catalog, &engine).unwrap();
+        let snap = engine.snapshot();
+        let customers = engine.scan("customer", snap).unwrap();
+        let keys: std::collections::HashSet<i64> = (0..customers.num_rows())
+            .map(|i| customers.columns[0].get(i).as_int().unwrap())
+            .collect();
+        let orders = engine.scan("orders", snap).unwrap();
+        for i in 0..orders.num_rows() {
+            let ck = orders.columns[1].get(i).as_int().unwrap();
+            assert!(keys.contains(&ck), "order references missing customer {ck}");
+        }
+    }
+}

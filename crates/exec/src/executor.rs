@@ -1,0 +1,419 @@
+//! The recursive plan executor.
+
+use crate::ops;
+use std::sync::Arc;
+use vdm_plan::{LogicalPlan, PlanRef};
+use vdm_storage::{Batch, Snapshot, StorageEngine};
+use vdm_types::{Result, VdmError};
+
+/// Rows-processed counters, grouped by operator class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Rows produced by scans.
+    pub rows_scanned: usize,
+    /// Rows inserted into join hash tables.
+    pub join_build_rows: usize,
+    /// Rows emitted by joins.
+    pub join_output_rows: usize,
+    /// Rows fed into aggregations.
+    pub agg_input_rows: usize,
+    /// Rows evaluated by filters.
+    pub filter_input_rows: usize,
+    /// Operators executed.
+    pub operators: usize,
+}
+
+/// Execution context: storage handle, snapshot, metrics.
+pub struct ExecContext<'a> {
+    pub engine: &'a StorageEngine,
+    pub snapshot: Snapshot,
+    pub metrics: Metrics,
+    /// Guard against runaway plans in tests.
+    pub row_limit: usize,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Context reading at the engine's current snapshot.
+    pub fn new(engine: &'a StorageEngine) -> ExecContext<'a> {
+        ExecContext { engine, snapshot: engine.snapshot(), metrics: Metrics::default(), row_limit: usize::MAX }
+    }
+
+    /// Context pinned to a snapshot.
+    pub fn at(engine: &'a StorageEngine, snapshot: Snapshot) -> ExecContext<'a> {
+        ExecContext { engine, snapshot, metrics: Metrics::default(), row_limit: usize::MAX }
+    }
+}
+
+/// Executes `plan` against `engine` at the current snapshot.
+pub fn execute(plan: &PlanRef, engine: &StorageEngine) -> Result<Batch> {
+    let mut ctx = ExecContext::new(engine);
+    run(plan, &mut ctx)
+}
+
+/// Executes `plan` at a pinned snapshot, returning the batch and metrics.
+pub fn execute_at(plan: &PlanRef, engine: &StorageEngine, snapshot: Snapshot) -> Result<(Batch, Metrics)> {
+    let mut ctx = ExecContext::at(engine, snapshot);
+    let batch = run(plan, &mut ctx)?;
+    Ok((batch, ctx.metrics))
+}
+
+pub(crate) fn run(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    ctx.metrics.operators += 1;
+    let out = match plan.as_ref() {
+        LogicalPlan::Scan { table, schema, .. } => {
+            let batch = ctx.engine.scan(&table.name, ctx.snapshot)?;
+            ctx.metrics.rows_scanned += batch.num_rows();
+            // Storage returns the table's own schema; adopt the plan's
+            // (identical fields, shared Arc).
+            Batch::new(Arc::clone(schema), batch.columns)?
+        }
+        LogicalPlan::Values { schema, rows } => Batch::from_rows(Arc::clone(schema), rows)?,
+        LogicalPlan::Project { input, exprs, schema } => {
+            let child = run(input, ctx)?;
+            ops::project(&child, exprs, Arc::clone(schema))?
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            // Zone-map fast path: a range atom over a base-table scan prunes
+            // main-fragment blocks before the predicate even runs.
+            let child = match (input.as_ref(), prune_range(predicate)) {
+                (LogicalPlan::Scan { table, schema, .. }, Some((col, range))) => {
+                    let batch = ctx.engine.scan_pruned(&table.name, ctx.snapshot, col, &range)?;
+                    ctx.metrics.rows_scanned += batch.num_rows();
+                    ctx.metrics.operators += 1; // the scan it replaces
+                    Batch::new(Arc::clone(schema), batch.columns)?
+                }
+                _ => run(input, ctx)?,
+            };
+            ctx.metrics.filter_input_rows += child.num_rows();
+            ops::filter(&child, predicate)?
+        }
+        LogicalPlan::Join { left, right, kind, on, filter, schema, .. } => {
+            let lb = run(left, ctx)?;
+            let rb = run(right, ctx)?;
+            ctx.metrics.join_build_rows += rb.num_rows();
+            let out = ops::hash_join(&lb, &rb, *kind, on, filter.as_ref(), Arc::clone(schema))?;
+            ctx.metrics.join_output_rows += out.num_rows();
+            out
+        }
+        LogicalPlan::UnionAll { inputs, schema } => {
+            let mut rows = Vec::new();
+            for inp in inputs {
+                let b = run(inp, ctx)?;
+                rows.extend(b.to_rows());
+            }
+            Batch::from_rows(Arc::clone(schema), &rows)?
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs, schema } => {
+            let child = run(input, ctx)?;
+            ctx.metrics.agg_input_rows += child.num_rows();
+            ops::aggregate(&child, group_by, aggs, Arc::clone(schema))?
+        }
+        LogicalPlan::Distinct { input } => {
+            let child = run(input, ctx)?;
+            ops::distinct(&child)?
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child = run(input, ctx)?;
+            ops::sort(&child, keys)?
+        }
+        LogicalPlan::Limit { input, skip, fetch } => {
+            // Budgeted execution: a finite fetch lets the subtree stop
+            // materializing once skip+fetch rows exist (sound without an
+            // intervening Sort — Sort falls back to full execution below).
+            let child = match fetch {
+                Some(f) => {
+                    let budget = (*skip as usize).saturating_add(*f as usize);
+                    run_budgeted(input, budget, ctx)?
+                }
+                None => run(input, ctx)?,
+            };
+            ops::limit(&child, *skip, *fetch)
+        }
+    };
+    if out.num_rows() > ctx.row_limit {
+        return Err(VdmError::Exec(format!(
+            "operator {} exceeded row limit ({} > {})",
+            plan.op_name(),
+            out.num_rows(),
+            ctx.row_limit
+        )));
+    }
+    Ok(out)
+}
+
+/// Extracts a prunable `(column, range)` from a filter predicate: the
+/// first conjunct of the form `col ⟨cmp⟩ literal` over an orderable type.
+fn prune_range(predicate: &vdm_expr::Expr) -> Option<(usize, vdm_storage::ScanRange)> {
+    use vdm_expr::{predicate as preds, BinOp};
+    use vdm_storage::ScanRange;
+    for conj in preds::split_conjunction(predicate) {
+        if let Some(atom) = preds::as_atom(conj) {
+            let range = match atom.op {
+                BinOp::Eq => ScanRange::point(atom.value.clone()),
+                BinOp::Gt | BinOp::GtEq => ScanRange::at_least(atom.value.clone()),
+                BinOp::Lt | BinOp::LtEq => ScanRange::at_most(atom.value.clone()),
+                _ => continue,
+            };
+            return Some((atom.col, range));
+        }
+    }
+    None
+}
+
+/// Executes `plan` needing at most `budget` output rows. Truncation is
+/// only applied where it cannot change which rows *could* appear under a
+/// LIMIT-without-ORDER semantics: scans, projections, unions, stacked
+/// limits, and literal rows. Anything else executes fully and is truncated
+/// afterwards.
+fn run_budgeted(plan: &PlanRef, budget: usize, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    ctx.metrics.operators += 1;
+    match plan.as_ref() {
+        LogicalPlan::Scan { table, schema, .. } => {
+            let batch = ctx.engine.scan_limited(&table.name, ctx.snapshot, budget)?;
+            ctx.metrics.rows_scanned += batch.num_rows();
+            Batch::new(Arc::clone(schema), batch.columns)
+        }
+        LogicalPlan::Values { schema, rows } => {
+            let take = rows.len().min(budget);
+            Batch::from_rows(Arc::clone(schema), &rows[..take])
+        }
+        LogicalPlan::Project { input, exprs, schema } => {
+            let child = run_budgeted(input, budget, ctx)?;
+            ops::project(&child, exprs, Arc::clone(schema))
+        }
+        LogicalPlan::UnionAll { inputs, schema } => {
+            let mut rows = Vec::new();
+            for inp in inputs {
+                if rows.len() >= budget {
+                    break;
+                }
+                let b = run_budgeted(inp, budget - rows.len(), ctx)?;
+                rows.extend(b.to_rows());
+            }
+            rows.truncate(budget);
+            Batch::from_rows(Arc::clone(schema), &rows)
+        }
+        LogicalPlan::Limit { input, skip, fetch } => {
+            let inner_budget = match fetch {
+                Some(f) => budget.min((*skip as usize).saturating_add(*f as usize)),
+                None => budget.saturating_add(*skip as usize),
+            };
+            let child = run_budgeted(input, inner_budget, ctx)?;
+            let limited = ops::limit(&child, *skip, *fetch);
+            let take: Vec<usize> = (0..limited.num_rows().min(budget)).collect();
+            Ok(limited.take(&take))
+        }
+        _ => {
+            ctx.metrics.operators -= 1; // run() counts this node itself
+            let full = run(plan, ctx)?;
+            let take: Vec<usize> = (0..full.num_rows().min(budget)).collect();
+            Ok(full.take(&take))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_catalog::TableBuilder;
+    use vdm_expr::{AggExpr, AggFunc, Expr};
+    use vdm_plan::{JoinKind, SortKey};
+    use vdm_types::{SqlType, Value};
+
+    fn setup() -> (StorageEngine, Arc<vdm_catalog::TableDef>, Arc<vdm_catalog::TableDef>) {
+        let orders = Arc::new(
+            TableBuilder::new("orders")
+                .column("o_orderkey", SqlType::Int, false)
+                .column("o_custkey", SqlType::Int, false)
+                .column("o_total", SqlType::Decimal { scale: 2 }, false)
+                .primary_key(&["o_orderkey"])
+                .build()
+                .unwrap(),
+        );
+        let customer = Arc::new(
+            TableBuilder::new("customer")
+                .column("c_custkey", SqlType::Int, false)
+                .column("c_name", SqlType::Text, false)
+                .primary_key(&["c_custkey"])
+                .build()
+                .unwrap(),
+        );
+        let e = StorageEngine::new();
+        e.create_table(Arc::clone(&orders)).unwrap();
+        e.create_table(Arc::clone(&customer)).unwrap();
+        e.insert(
+            "customer",
+            vec![
+                vec![Value::Int(1), Value::str("alice")],
+                vec![Value::Int(2), Value::str("bob")],
+            ],
+        )
+        .unwrap();
+        e.insert(
+            "orders",
+            vec![
+                vec![Value::Int(10), Value::Int(1), Value::Dec("5.00".parse().unwrap())],
+                vec![Value::Int(11), Value::Int(1), Value::Dec("7.50".parse().unwrap())],
+                vec![Value::Int(12), Value::Int(9), Value::Dec("1.00".parse().unwrap())],
+            ],
+        )
+        .unwrap();
+        (e, orders, customer)
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let (e, orders, _) = setup();
+        let scan = LogicalPlan::scan(orders);
+        let f = LogicalPlan::filter(scan, Expr::col(1).eq(Expr::int(1))).unwrap();
+        let p = LogicalPlan::project(f, vec![(Expr::col(0), "k".into())]).unwrap();
+        let b = execute(&p, &e).unwrap();
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.schema.field(0).name, "k");
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let (e, orders, customer) = setup();
+        let j = LogicalPlan::inner_join(
+            LogicalPlan::scan(orders),
+            LogicalPlan::scan(customer),
+            vec![(1, 0)],
+        )
+        .unwrap();
+        let b = execute(&j, &e).unwrap();
+        assert_eq!(b.num_rows(), 2, "order 12 has no customer 9");
+    }
+
+    #[test]
+    fn left_outer_join_pads_nulls() {
+        let (e, orders, customer) = setup();
+        let j = LogicalPlan::left_join(
+            LogicalPlan::scan(orders),
+            LogicalPlan::scan(customer),
+            vec![(1, 0)],
+        )
+        .unwrap();
+        let b = execute(&j, &e).unwrap();
+        assert_eq!(b.num_rows(), 3);
+        let rows = b.to_rows();
+        let unmatched = rows.iter().find(|r| r[0] == Value::Int(12)).unwrap();
+        assert!(unmatched[3].is_null() && unmatched[4].is_null());
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let (e, orders, _) = setup();
+        let a = LogicalPlan::aggregate(
+            LogicalPlan::scan(orders),
+            vec![(Expr::col(1), "cust".into())],
+            vec![
+                (AggExpr::count_star(), "n".into()),
+                (AggExpr::new(AggFunc::Sum, Expr::col(2)), "total".into()),
+            ],
+        )
+        .unwrap();
+        let b = execute(&a, &e).unwrap();
+        let mut rows = b.to_rows();
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(2), Value::Dec("12.50".parse().unwrap())]);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let (e, orders, _) = setup();
+        let empty = LogicalPlan::filter(
+            LogicalPlan::scan(orders),
+            Expr::boolean(false),
+        )
+        .unwrap();
+        let a = LogicalPlan::aggregate(
+            empty,
+            vec![],
+            vec![
+                (AggExpr::count_star(), "n".into()),
+                (AggExpr::new(AggFunc::Sum, Expr::col(2)), "s".into()),
+            ],
+        )
+        .unwrap();
+        let b = execute(&a, &e).unwrap();
+        assert_eq!(b.num_rows(), 1);
+        assert_eq!(b.row(0), vec![Value::Int(0), Value::Null]);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let (e, orders, _) = setup();
+        let s = LogicalPlan::sort(LogicalPlan::scan(orders), vec![SortKey::desc(2)]).unwrap();
+        let l = LogicalPlan::limit(s, 1, Some(1));
+        let b = execute(&l, &e).unwrap();
+        assert_eq!(b.num_rows(), 1);
+        assert_eq!(b.row(0)[0], Value::Int(10), "second-highest total");
+    }
+
+    #[test]
+    fn union_all_and_distinct() {
+        let (e, orders, _) = setup();
+        let a = LogicalPlan::project(LogicalPlan::scan(Arc::clone(&orders)), vec![(Expr::col(1), "c".into())]).unwrap();
+        let b2 = LogicalPlan::project(LogicalPlan::scan(orders), vec![(Expr::col(1), "c".into())]).unwrap();
+        let u = LogicalPlan::union_all(vec![a, b2]).unwrap();
+        let all = execute(&u, &e).unwrap();
+        assert_eq!(all.num_rows(), 6);
+        let d = LogicalPlan::distinct(u);
+        let b = execute(&d, &e).unwrap();
+        assert_eq!(b.num_rows(), 2);
+    }
+
+    #[test]
+    fn snapshot_pinning() {
+        let (e, orders, _) = setup();
+        let snap = e.snapshot();
+        e.insert(
+            "orders",
+            vec![vec![Value::Int(13), Value::Int(2), Value::Dec("3.00".parse().unwrap())]],
+        )
+        .unwrap();
+        let scan = LogicalPlan::scan(orders);
+        let (b, m) = execute_at(&scan, &e, snap).unwrap();
+        assert_eq!(b.num_rows(), 3, "pinned snapshot misses the new row");
+        assert_eq!(m.rows_scanned, 3);
+        assert_eq!(execute(&scan, &e).unwrap().num_rows(), 4);
+    }
+
+    #[test]
+    fn metrics_count_join_work() {
+        let (e, orders, customer) = setup();
+        let j = LogicalPlan::left_join(
+            LogicalPlan::scan(orders),
+            LogicalPlan::scan(customer),
+            vec![(1, 0)],
+        )
+        .unwrap();
+        let (_, m) = execute_at(&j, &e, e.snapshot()).unwrap();
+        assert_eq!(m.join_build_rows, 2, "customer side builds the hash table");
+        assert_eq!(m.join_output_rows, 3);
+        assert_eq!(m.rows_scanned, 5);
+    }
+
+    #[test]
+    fn join_residual_filter_left_outer_semantics() {
+        // ON c.custkey = o.custkey AND c.name = 'bob' — alice orders get NULLs.
+        let (e, orders, customer) = setup();
+        let j = LogicalPlan::join(
+            LogicalPlan::scan(orders),
+            LogicalPlan::scan(customer),
+            JoinKind::LeftOuter,
+            vec![(1, 0)],
+            Some(Expr::col(4).eq(Expr::str("bob"))),
+            None,
+            false,
+        )
+        .unwrap();
+        let b = execute(&j, &e).unwrap();
+        assert_eq!(b.num_rows(), 3, "every order survives a left join");
+        for r in b.to_rows() {
+            assert!(r[4].is_null(), "no order belongs to bob: {r:?}");
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Edge-case tests for the physical operators: empty inputs, NULL join
+//! keys, offsets past the end, type coercion across unions, and the
+//! budgeted execution path.
+
+use crate::executor::{execute, execute_at};
+use std::sync::Arc;
+use vdm_catalog::{TableBuilder, TableDef};
+use vdm_expr::{AggExpr, AggFunc, BinOp, Expr};
+use vdm_plan::{JoinKind, LogicalPlan, PlanRef, SortKey};
+use vdm_storage::StorageEngine;
+use vdm_types::{Schema, SqlType, Value};
+
+fn table(name: &str) -> Arc<TableDef> {
+    Arc::new(
+        TableBuilder::new(name)
+            .column("k", SqlType::Int, false)
+            .column("v", SqlType::Int, true)
+            .primary_key(&["k"])
+            .build()
+            .unwrap(),
+    )
+}
+
+fn engine_with(name: &str, rows: Vec<Vec<Value>>) -> (StorageEngine, Arc<TableDef>) {
+    let e = StorageEngine::new();
+    let t = table(name);
+    e.create_table(Arc::clone(&t)).unwrap();
+    e.insert(name, rows).unwrap();
+    (e, t)
+}
+
+#[test]
+fn operators_over_empty_tables() {
+    let (e, t) = engine_with("t", vec![]);
+    let scan = LogicalPlan::scan(Arc::clone(&t));
+    // Filter, project, sort, distinct, limit over empty input.
+    let plan = LogicalPlan::limit(
+        LogicalPlan::distinct(
+            LogicalPlan::sort(
+                LogicalPlan::project(
+                    LogicalPlan::filter(scan, Expr::col(0).binary(BinOp::Gt, Expr::int(0)))
+                        .unwrap(),
+                    vec![(Expr::col(0), "k".into())],
+                )
+                .unwrap(),
+                vec![SortKey::asc(0)],
+            )
+            .unwrap(),
+        ),
+        0,
+        Some(10),
+    );
+    assert_eq!(execute(&plan, &e).unwrap().num_rows(), 0);
+    // Join of two empties.
+    let j = LogicalPlan::left_join(
+        LogicalPlan::scan(Arc::clone(&t)),
+        LogicalPlan::scan(t),
+        vec![(0, 0)],
+    )
+    .unwrap();
+    assert_eq!(execute(&j, &e).unwrap().num_rows(), 0);
+}
+
+#[test]
+fn null_join_keys_never_match() {
+    let e = StorageEngine::new();
+    let t = Arc::new(
+        TableBuilder::new("n")
+            .column("k", SqlType::Int, true)
+            .column("v", SqlType::Int, false)
+            .build()
+            .unwrap(),
+    );
+    e.create_table(Arc::clone(&t)).unwrap();
+    e.insert(
+        "n",
+        vec![
+            vec![Value::Null, Value::Int(1)],
+            vec![Value::Int(1), Value::Int(2)],
+            vec![Value::Null, Value::Int(3)],
+        ],
+    )
+    .unwrap();
+    // Inner self-join on the nullable key: NULLs match nothing.
+    let inner = LogicalPlan::inner_join(
+        LogicalPlan::scan(Arc::clone(&t)),
+        LogicalPlan::scan(Arc::clone(&t)),
+        vec![(0, 0)],
+    )
+    .unwrap();
+    assert_eq!(execute(&inner, &e).unwrap().num_rows(), 1, "only k=1 matches itself");
+    // Left outer: NULL-keyed left rows survive, NULL-padded.
+    let outer = LogicalPlan::left_join(
+        LogicalPlan::scan(Arc::clone(&t)),
+        LogicalPlan::scan(t),
+        vec![(0, 0)],
+    )
+    .unwrap();
+    let out = execute(&outer, &e).unwrap();
+    assert_eq!(out.num_rows(), 3);
+    let padded = out.to_rows().iter().filter(|r| r[2].is_null() && r[3].is_null()).count();
+    assert_eq!(padded, 2);
+}
+
+#[test]
+fn limit_offset_beyond_input() {
+    let (e, t) = engine_with("t", vec![vec![Value::Int(1), Value::Int(10)]]);
+    let plan = LogicalPlan::limit(LogicalPlan::scan(Arc::clone(&t)), 5, Some(10));
+    assert_eq!(execute(&plan, &e).unwrap().num_rows(), 0);
+    let plan = LogicalPlan::limit(LogicalPlan::scan(t), 0, Some(0));
+    assert_eq!(execute(&plan, &e).unwrap().num_rows(), 0);
+}
+
+#[test]
+fn union_coerces_int_into_decimal() {
+    let e = StorageEngine::new();
+    let ints = table("ints");
+    let decs = Arc::new(
+        TableBuilder::new("decs")
+            .column("k", SqlType::Int, false)
+            .column("v", SqlType::Decimal { scale: 2 }, false)
+            .primary_key(&["k"])
+            .build()
+            .unwrap(),
+    );
+    e.create_table(Arc::clone(&ints)).unwrap();
+    e.create_table(Arc::clone(&decs)).unwrap();
+    e.insert("ints", vec![vec![Value::Int(1), Value::Int(7)]]).unwrap();
+    e.insert("decs", vec![vec![Value::Int(2), Value::Dec("1.25".parse().unwrap())]]).unwrap();
+    let u = LogicalPlan::union_all(vec![
+        LogicalPlan::scan(ints),
+        LogicalPlan::scan(decs),
+    ])
+    .unwrap();
+    assert_eq!(u.schema().field(1).ty, SqlType::Decimal { scale: 2 });
+    let out = execute(&u, &e).unwrap();
+    assert_eq!(out.num_rows(), 2);
+    let mut vals: Vec<String> = out.to_rows().iter().map(|r| r[1].to_string()).collect();
+    vals.sort();
+    assert_eq!(vals, vec!["1.25".to_string(), "7.00".to_string()]);
+}
+
+#[test]
+fn distinct_treats_nulls_as_equal() {
+    let e = StorageEngine::new();
+    let t = Arc::new(
+        TableBuilder::new("d")
+            .column("v", SqlType::Int, true)
+            .build()
+            .unwrap(),
+    );
+    e.create_table(Arc::clone(&t)).unwrap();
+    e.insert(
+        "d",
+        vec![vec![Value::Null], vec![Value::Null], vec![Value::Int(1)], vec![Value::Int(1)]],
+    )
+    .unwrap();
+    let plan = LogicalPlan::distinct(LogicalPlan::scan(t));
+    assert_eq!(execute(&plan, &e).unwrap().num_rows(), 2);
+}
+
+#[test]
+fn group_by_nullable_key_forms_null_group() {
+    let e = StorageEngine::new();
+    let t = Arc::new(
+        TableBuilder::new("g")
+            .column("grp", SqlType::Int, true)
+            .column("v", SqlType::Int, false)
+            .build()
+            .unwrap(),
+    );
+    e.create_table(Arc::clone(&t)).unwrap();
+    e.insert(
+        "g",
+        vec![
+            vec![Value::Null, Value::Int(1)],
+            vec![Value::Null, Value::Int(2)],
+            vec![Value::Int(7), Value::Int(3)],
+        ],
+    )
+    .unwrap();
+    let plan = LogicalPlan::aggregate(
+        LogicalPlan::scan(t),
+        vec![(Expr::col(0), "g".into())],
+        vec![(AggExpr::new(AggFunc::Sum, Expr::col(1)), "s".into())],
+    )
+    .unwrap();
+    let mut rows = execute(&plan, &e).unwrap().to_rows();
+    rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+    assert_eq!(rows.len(), 2);
+    assert_eq!(rows[0], vec![Value::Null, Value::Int(3)], "NULLs group together");
+    assert_eq!(rows[1], vec![Value::Int(7), Value::Int(3)]);
+}
+
+#[test]
+fn sort_null_placement_follows_keys() {
+    let e = StorageEngine::new();
+    let t = Arc::new(
+        TableBuilder::new("s")
+            .column("v", SqlType::Int, true)
+            .build()
+            .unwrap(),
+    );
+    e.create_table(Arc::clone(&t)).unwrap();
+    e.insert("s", vec![vec![Value::Int(2)], vec![Value::Null], vec![Value::Int(1)]]).unwrap();
+    let asc = LogicalPlan::sort(LogicalPlan::scan(Arc::clone(&t)), vec![SortKey::asc(0)]).unwrap();
+    let rows = execute(&asc, &e).unwrap().to_rows();
+    assert!(rows[0][0].is_null(), "ASC places NULLs first: {rows:?}");
+    let desc = LogicalPlan::sort(LogicalPlan::scan(t), vec![SortKey::desc(0)]).unwrap();
+    let rows = execute(&desc, &e).unwrap().to_rows();
+    assert!(rows[2][0].is_null(), "DESC places NULLs last: {rows:?}");
+}
+
+#[test]
+fn budgeted_execution_matches_full_execution() {
+    let rows: Vec<Vec<Value>> =
+        (0..500).map(|i| vec![Value::Int(i), Value::Int(i % 13)]).collect();
+    let (e, t) = engine_with("big", rows);
+    // Limit over union over projected scans: the budgeted path covers all.
+    let mk = || {
+        LogicalPlan::project(
+            LogicalPlan::scan(Arc::clone(&t)),
+            vec![(Expr::col(0), "k".into()), (Expr::col(1), "v".into())],
+        )
+        .unwrap()
+    };
+    let u = LogicalPlan::union_all(vec![mk(), mk()]).unwrap();
+    let plan = LogicalPlan::limit(u, 3, Some(7));
+    let (batch, metrics) = execute_at(&plan, &e, e.snapshot()).unwrap();
+    assert_eq!(batch.num_rows(), 7);
+    assert!(
+        metrics.rows_scanned <= 10,
+        "budgeted execution must not scan the full table: {metrics:?}"
+    );
+    // A filter below the limit disables the scan shortcut but stays correct.
+    let f = LogicalPlan::filter(
+        LogicalPlan::scan(Arc::clone(&t)),
+        Expr::col(1).eq(Expr::int(3)),
+    )
+    .unwrap();
+    let plan = LogicalPlan::limit(f, 0, Some(5));
+    let (batch, _) = execute_at(&plan, &e, e.snapshot()).unwrap();
+    assert_eq!(batch.num_rows(), 5);
+    for row in batch.to_rows() {
+        assert_eq!(row[1], Value::Int(3));
+    }
+}
+
+#[test]
+fn values_node_executes() {
+    let e = StorageEngine::new();
+    let schema = Schema::new(vec![vdm_types::Field::new("x", SqlType::Int, false)]);
+    let plan: PlanRef =
+        LogicalPlan::values(schema, vec![vec![Value::Int(1)], vec![Value::Int(2)]]).unwrap();
+    assert_eq!(execute(&plan, &e).unwrap().num_rows(), 2);
+    let limited = LogicalPlan::limit(plan, 0, Some(1));
+    assert_eq!(execute(&limited, &e).unwrap().num_rows(), 1);
+}
+
+#[test]
+fn join_kind_residual_combinations() {
+    let (e, t) = engine_with(
+        "t",
+        vec![
+            vec![Value::Int(1), Value::Int(10)],
+            vec![Value::Int(2), Value::Int(20)],
+        ],
+    );
+    // Inner join with a residual that rejects everything.
+    let j = LogicalPlan::join(
+        LogicalPlan::scan(Arc::clone(&t)),
+        LogicalPlan::scan(Arc::clone(&t)),
+        JoinKind::Inner,
+        vec![(0, 0)],
+        Some(Expr::col(1).binary(BinOp::Gt, Expr::int(100))),
+        None,
+        false,
+    )
+    .unwrap();
+    assert_eq!(execute(&j, &e).unwrap().num_rows(), 0);
+    // Left outer with the same residual: all rows survive, padded.
+    let j = LogicalPlan::join(
+        LogicalPlan::scan(Arc::clone(&t)),
+        LogicalPlan::scan(t),
+        JoinKind::LeftOuter,
+        vec![(0, 0)],
+        Some(Expr::col(1).binary(BinOp::Gt, Expr::int(100))),
+        None,
+        false,
+    )
+    .unwrap();
+    let out = execute(&j, &e).unwrap();
+    assert_eq!(out.num_rows(), 2);
+    assert!(out.to_rows().iter().all(|r| r[2].is_null()));
+}
+
+#[test]
+fn adaptive_inner_join_build_side_agrees() {
+    // Small left, big right: the adaptive path builds on the left; the
+    // left-outer variant of the same join builds on the right. Their inner
+    // rows must agree.
+    let e = StorageEngine::new();
+    let small = table("small");
+    let big = table("big2");
+    e.create_table(Arc::clone(&small)).unwrap();
+    e.create_table(Arc::clone(&big)).unwrap();
+    e.insert("small", (0..5).map(|i| vec![Value::Int(i), Value::Int(i)]).collect())
+        .unwrap();
+    e.insert("big2", (0..200).map(|i| vec![Value::Int(i), Value::Int(i % 5)]).collect())
+        .unwrap();
+    let inner = LogicalPlan::inner_join(
+        LogicalPlan::scan(Arc::clone(&small)),
+        LogicalPlan::scan(Arc::clone(&big)),
+        vec![(0, 1)],
+    )
+    .unwrap();
+    let outer = LogicalPlan::left_join(
+        LogicalPlan::scan(small),
+        LogicalPlan::scan(big),
+        vec![(0, 1)],
+    )
+    .unwrap();
+    let mut inner_rows = execute(&inner, &e).unwrap().to_rows();
+    let mut outer_rows: Vec<Vec<Value>> = execute(&outer, &e)
+        .unwrap()
+        .to_rows()
+        .into_iter()
+        .filter(|r| !r[2].is_null())
+        .collect();
+    let sort = |rows: &mut Vec<Vec<Value>>| {
+        rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b.iter()) {
+                let c = x.total_cmp(y);
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        })
+    };
+    sort(&mut inner_rows);
+    sort(&mut outer_rows);
+    assert_eq!(inner_rows.len(), 200, "every big row matches one small row");
+    assert_eq!(inner_rows, outer_rows);
+}

@@ -1,0 +1,372 @@
+//! Aggregate functions and accumulators.
+
+use crate::expr::Expr;
+use std::collections::HashSet;
+use std::fmt;
+use vdm_types::{Decimal, Result, Schema, SqlType, Value, VdmError};
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts rows.
+    CountStar,
+    /// `COUNT(expr)` — counts non-NULL values.
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::CountStar => "COUNT(*)",
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+/// One aggregate expression in an `Aggregate` plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    /// Argument; `None` only for `COUNT(*)`.
+    pub arg: Option<Expr>,
+    /// `COUNT(DISTINCT x)` / `SUM(DISTINCT x)`.
+    pub distinct: bool,
+    /// §7.1: the user opted into `allow_precision_loss(...)`, permitting the
+    /// optimizer to interchange decimal rounding and addition inside this
+    /// aggregate.
+    pub allow_precision_loss: bool,
+}
+
+impl AggExpr {
+    /// `COUNT(*)`.
+    pub fn count_star() -> AggExpr {
+        AggExpr { func: AggFunc::CountStar, arg: None, distinct: false, allow_precision_loss: false }
+    }
+
+    /// A plain aggregate over `arg`.
+    pub fn new(func: AggFunc, arg: Expr) -> AggExpr {
+        AggExpr { func, arg: Some(arg), distinct: false, allow_precision_loss: false }
+    }
+
+    /// Marks the aggregate as `allow_precision_loss`.
+    pub fn with_precision_loss(mut self) -> AggExpr {
+        self.allow_precision_loss = true;
+        self
+    }
+
+    /// Result type and nullability against the aggregate input schema.
+    pub fn data_type(&self, input: &Schema) -> Result<(SqlType, bool)> {
+        match self.func {
+            AggFunc::CountStar | AggFunc::Count => Ok((SqlType::Int, false)),
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max | AggFunc::Avg => {
+                let arg = self.arg.as_ref().ok_or_else(|| {
+                    VdmError::Type(format!("{} requires an argument", self.func.name()))
+                })?;
+                let (t, _) = arg.data_type(input)?;
+                let ty = match (self.func, t) {
+                    (AggFunc::Avg, SqlType::Int) => SqlType::Decimal { scale: 6 },
+                    (AggFunc::Avg, SqlType::Decimal { scale }) => {
+                        SqlType::Decimal { scale: (scale + 4).min(vdm_types::decimal::MAX_SCALE) }
+                    }
+                    (AggFunc::Sum, t) | (AggFunc::Min, t) | (AggFunc::Max, t) => {
+                        if matches!(self.func, AggFunc::Sum)
+                            && !matches!(t, SqlType::Int | SqlType::Decimal { .. })
+                        {
+                            return Err(VdmError::Type(format!("SUM requires numeric, got {t}")));
+                        }
+                        t
+                    }
+                    (_, t) => t,
+                };
+                // Aggregates over empty groups yield NULL.
+                Ok((ty, true))
+            }
+        }
+    }
+
+    /// Collects columns referenced by the argument.
+    pub fn referenced_columns(&self, out: &mut std::collections::BTreeSet<usize>) {
+        if let Some(a) = &self.arg {
+            a.referenced_columns(out);
+        }
+    }
+
+    /// Remaps argument column ordinals.
+    pub fn remap_columns(&self, f: &impl Fn(usize) -> usize) -> AggExpr {
+        AggExpr {
+            func: self.func,
+            arg: self.arg.as_ref().map(|a| a.remap_columns(f)),
+            distinct: self.distinct,
+            allow_precision_loss: self.allow_precision_loss,
+        }
+    }
+
+    /// Creates the runtime accumulator for this aggregate.
+    pub fn accumulator(&self) -> Accumulator {
+        Accumulator::new(self.func, self.distinct)
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.allow_precision_loss {
+            write!(f, "ALLOW_PRECISION_LOSS(")?;
+        }
+        match (&self.func, &self.arg) {
+            (AggFunc::CountStar, _) => write!(f, "COUNT(*)")?,
+            (func, Some(a)) => {
+                write!(f, "{}({}{a})", func.name(), if self.distinct { "DISTINCT " } else { "" })?
+            }
+            (func, None) => write!(f, "{}()", func.name())?,
+        }
+        if self.allow_precision_loss {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental aggregate state.
+///
+/// `SUM`/`AVG` keep exact integer/decimal state; integer sums overflow into
+/// an error rather than wrapping, matching the engine's exact-arithmetic
+/// contract.
+#[derive(Debug)]
+pub struct Accumulator {
+    func: AggFunc,
+    distinct: Option<HashSet<Value>>,
+    count: i64,
+    int_sum: Option<i128>,
+    dec_sum: Option<Decimal>,
+    extreme: Option<Value>,
+}
+
+impl Accumulator {
+    /// Fresh state for `func`.
+    pub fn new(func: AggFunc, distinct: bool) -> Accumulator {
+        Accumulator {
+            func,
+            distinct: if distinct { Some(HashSet::new()) } else { None },
+            count: 0,
+            int_sum: None,
+            dec_sum: None,
+            extreme: None,
+        }
+    }
+
+    /// Feeds one value (the evaluated argument; ignored content for
+    /// `COUNT(*)`, which must be fed exactly once per row with any value).
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        if self.func == AggFunc::CountStar {
+            self.count += 1;
+            return Ok(());
+        }
+        if v.is_null() {
+            return Ok(());
+        }
+        if let Some(seen) = &mut self.distinct {
+            if !seen.insert(v.clone()) {
+                return Ok(());
+            }
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => match v {
+                Value::Int(i) => {
+                    let cur = self.int_sum.unwrap_or(0);
+                    self.int_sum = Some(cur.checked_add(*i as i128).ok_or_else(|| {
+                        VdmError::Overflow("SUM overflow".into())
+                    })?);
+                }
+                Value::Dec(d) => {
+                    let cur = self.dec_sum.unwrap_or_else(|| Decimal::zero(d.scale()));
+                    self.dec_sum = Some(cur.checked_add(d)?);
+                }
+                other => {
+                    return Err(VdmError::Type(format!(
+                        "{} requires numeric, got {other}",
+                        self.func.name()
+                    )))
+                }
+            },
+            AggFunc::Min => {
+                let replace = match &self.extreme {
+                    None => true,
+                    Some(cur) => v.total_cmp_non_null(cur) == std::cmp::Ordering::Less,
+                };
+                if replace {
+                    self.extreme = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                let replace = match &self.extreme {
+                    None => true,
+                    Some(cur) => v.total_cmp_non_null(cur) == std::cmp::Ordering::Greater,
+                };
+                if replace {
+                    self.extreme = Some(v.clone());
+                }
+            }
+            AggFunc::CountStar => unreachable!(),
+        }
+        Ok(())
+    }
+
+    /// Produces the final aggregate value.
+    pub fn finish(&self) -> Result<Value> {
+        match self.func {
+            AggFunc::CountStar | AggFunc::Count => Ok(Value::Int(self.count)),
+            AggFunc::Sum => self.sum_value(),
+            AggFunc::Min | AggFunc::Max => {
+                Ok(self.extreme.clone().unwrap_or(Value::Null))
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    return Ok(Value::Null);
+                }
+                let sum = match self.sum_value()? {
+                    Value::Null => return Ok(Value::Null),
+                    v => v.as_dec()?,
+                };
+                let scale = (sum.scale() + 4).clamp(6, vdm_types::decimal::MAX_SCALE);
+                Ok(Value::Dec(sum.checked_div(&Decimal::from_int(self.count), scale)?))
+            }
+        }
+    }
+
+    fn sum_value(&self) -> Result<Value> {
+        match (self.int_sum, self.dec_sum) {
+            (None, None) => Ok(Value::Null),
+            (Some(i), None) => i64::try_from(i)
+                .map(Value::Int)
+                .map_err(|_| VdmError::Overflow("SUM does not fit BIGINT".into())),
+            (None, Some(d)) => Ok(Value::Dec(d)),
+            (Some(i), Some(d)) => {
+                // Mixed int/decimal input: widen the int part.
+                Ok(Value::Dec(Decimal::from_units(i, 0).checked_add(&d)?))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec(s: &str) -> Value {
+        Value::Dec(s.parse().unwrap())
+    }
+
+    #[test]
+    fn count_star_counts_every_row_including_nulls() {
+        let mut acc = AggExpr::count_star().accumulator();
+        acc.update(&Value::Null).unwrap();
+        acc.update(&Value::Int(1)).unwrap();
+        assert_eq!(acc.finish().unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn count_ignores_nulls() {
+        let mut acc = Accumulator::new(AggFunc::Count, false);
+        acc.update(&Value::Null).unwrap();
+        acc.update(&Value::Int(1)).unwrap();
+        acc.update(&Value::Int(1)).unwrap();
+        assert_eq!(acc.finish().unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let mut acc = Accumulator::new(AggFunc::Count, true);
+        for v in [Value::Int(1), Value::Int(1), Value::Int(2), Value::Null] {
+            acc.update(&v).unwrap();
+        }
+        assert_eq!(acc.finish().unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn sum_int_and_decimal() {
+        let mut acc = Accumulator::new(AggFunc::Sum, false);
+        acc.update(&Value::Int(5)).unwrap();
+        acc.update(&Value::Int(7)).unwrap();
+        assert_eq!(acc.finish().unwrap(), Value::Int(12));
+
+        let mut acc = Accumulator::new(AggFunc::Sum, false);
+        acc.update(&dec("1.25")).unwrap();
+        acc.update(&dec("2.50")).unwrap();
+        assert_eq!(acc.finish().unwrap(), dec("3.75"));
+    }
+
+    #[test]
+    fn sum_of_empty_is_null() {
+        let acc = Accumulator::new(AggFunc::Sum, false);
+        assert_eq!(acc.finish().unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn min_max() {
+        let mut mn = Accumulator::new(AggFunc::Min, false);
+        let mut mx = Accumulator::new(AggFunc::Max, false);
+        for v in [Value::Int(3), Value::Null, Value::Int(1), Value::Int(2)] {
+            mn.update(&v).unwrap();
+            mx.update(&v).unwrap();
+        }
+        assert_eq!(mn.finish().unwrap(), Value::Int(1));
+        assert_eq!(mx.finish().unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn avg_weighting() {
+        // The paper's margin example: averages of ratios are wrong, sums are
+        // right — here we just check AVG itself is exact.
+        let mut acc = Accumulator::new(AggFunc::Avg, false);
+        acc.update(&Value::Int(10)).unwrap();
+        acc.update(&Value::Int(20)).unwrap();
+        acc.update(&Value::Int(40)).unwrap();
+        match acc.finish().unwrap() {
+            Value::Dec(d) => assert_eq!(d.to_string(), "23.333333"),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn sum_overflow_detected() {
+        let mut acc = Accumulator::new(AggFunc::Sum, false);
+        acc.update(&Value::Int(i64::MAX)).unwrap();
+        acc.update(&Value::Int(i64::MAX)).unwrap();
+        assert!(acc.finish().is_err());
+    }
+
+    #[test]
+    fn agg_type_inference() {
+        let s = Schema::new(vec![
+            vdm_types::Field::new("q", SqlType::Int, false),
+            vdm_types::Field::new("p", SqlType::Decimal { scale: 2 }, false),
+        ]);
+        assert_eq!(AggExpr::count_star().data_type(&s).unwrap(), (SqlType::Int, false));
+        assert_eq!(
+            AggExpr::new(AggFunc::Sum, Expr::col(1)).data_type(&s).unwrap(),
+            (SqlType::Decimal { scale: 2 }, true)
+        );
+        assert_eq!(
+            AggExpr::new(AggFunc::Avg, Expr::col(0)).data_type(&s).unwrap().0,
+            SqlType::Decimal { scale: 6 }
+        );
+        assert!(AggExpr::new(AggFunc::Sum, Expr::str("x")).data_type(&s).is_err());
+    }
+
+    #[test]
+    fn display_shows_precision_loss_wrapper() {
+        let a = AggExpr::new(AggFunc::Sum, Expr::col(0)).with_precision_loss();
+        assert_eq!(a.to_string(), "ALLOW_PRECISION_LOSS(SUM($0))");
+    }
+}

@@ -1,0 +1,420 @@
+//! Row-at-a-time expression evaluation with SQL NULL semantics.
+
+use crate::expr::{BinOp, Expr, ScalarFunc};
+use vdm_types::{Decimal, Result, Value, VdmError};
+
+impl Expr {
+    /// Evaluates the expression against one input row.
+    ///
+    /// Three-valued logic: comparisons over NULL yield NULL; `AND`/`OR`
+    /// short-circuit per Kleene logic (`FALSE AND NULL = FALSE`,
+    /// `TRUE OR NULL = TRUE`).
+    pub fn eval_row(&self, row: &[Value]) -> Result<Value> {
+        match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| VdmError::Exec(format!("row has no column {i}"))),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Binary { op, left, right } => {
+                if matches!(op, BinOp::And | BinOp::Or) {
+                    return eval_logical(*op, left, right, row);
+                }
+                let l = left.eval_row(row)?;
+                let r = right.eval_row(row)?;
+                eval_binary(*op, &l, &r)
+            }
+            Expr::Not(e) => match e.eval_row(row)?.as_bool()? {
+                None => Ok(Value::Null),
+                Some(b) => Ok(Value::Bool(!b)),
+            },
+            Expr::IsNull(e) => Ok(Value::Bool(e.eval_row(row)?.is_null())),
+            Expr::IsNotNull(e) => Ok(Value::Bool(!e.eval_row(row)?.is_null())),
+            Expr::Case { branches, else_expr } => {
+                for (cond, val) in branches {
+                    if cond.eval_row(row)?.as_bool()? == Some(true) {
+                        return val.eval_row(row);
+                    }
+                }
+                match else_expr {
+                    Some(e) => e.eval_row(row),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::Func { func, args } => eval_func(*func, args, row),
+            Expr::Cast { expr, ty } => cast(expr.eval_row(row)?, ty),
+        }
+    }
+}
+
+fn eval_logical(op: BinOp, left: &Expr, right: &Expr, row: &[Value]) -> Result<Value> {
+    let l = left.eval_row(row)?.as_bool()?;
+    match (op, l) {
+        (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+        (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+        _ => {}
+    }
+    let r = right.eval_row(row)?.as_bool()?;
+    let out = match op {
+        BinOp::And => match (l, r) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        },
+        BinOp::Or => match (l, r) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        },
+        _ => unreachable!("eval_logical called with non-logical op"),
+    };
+    Ok(out.map(Value::Bool).unwrap_or(Value::Null))
+}
+
+/// Evaluates a non-logical binary operator over two values.
+pub fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    if op.is_comparison() {
+        let cmp = match l.sql_cmp(r) {
+            None => return Ok(Value::Null),
+            Some(c) => c,
+        };
+        use std::cmp::Ordering::*;
+        let b = match op {
+            BinOp::Eq => cmp == Equal,
+            BinOp::NotEq => cmp != Equal,
+            BinOp::Lt => cmp == Less,
+            BinOp::LtEq => cmp != Greater,
+            BinOp::Gt => cmp == Greater,
+            BinOp::GtEq => cmp != Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Bool(b));
+    }
+    // Arithmetic.
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) if op != BinOp::Div => {
+            let out = match op {
+                BinOp::Add => a.checked_add(*b),
+                BinOp::Sub => a.checked_sub(*b),
+                BinOp::Mul => a.checked_mul(*b),
+                _ => unreachable!(),
+            };
+            out.map(Value::Int)
+                .ok_or_else(|| VdmError::Overflow(format!("integer {} overflow", op.symbol())))
+        }
+        _ => {
+            let a = l.as_dec()?;
+            let b = r.as_dec()?;
+            let out = match op {
+                BinOp::Add => a.checked_add(&b)?,
+                BinOp::Sub => a.checked_sub(&b)?,
+                BinOp::Mul => a.checked_mul(&b)?,
+                BinOp::Div => {
+                    let scale = (a.scale().max(b.scale()) + 4)
+                        .clamp(6, vdm_types::decimal::MAX_SCALE);
+                    a.checked_div(&b, scale)?
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Dec(out))
+        }
+    }
+}
+
+fn eval_func(func: ScalarFunc, args: &[Expr], row: &[Value]) -> Result<Value> {
+    match func {
+        ScalarFunc::Round => {
+            let v = args[0].eval_row(row)?;
+            let s = args[1].eval_row(row)?;
+            if v.is_null() || s.is_null() {
+                return Ok(Value::Null);
+            }
+            let scale = s.as_int()?;
+            if !(0..=vdm_types::decimal::MAX_SCALE as i64).contains(&scale) {
+                return Err(VdmError::Exec(format!("ROUND scale {scale} out of range")));
+            }
+            match v {
+                Value::Int(i) => Ok(Value::Int(i)),
+                Value::Dec(d) => Ok(Value::Dec(d.round_to(scale as u8))),
+                other => Err(VdmError::Type(format!("ROUND requires numeric, got {other}"))),
+            }
+        }
+        ScalarFunc::Coalesce => {
+            for a in args {
+                let v = a.eval_row(row)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        ScalarFunc::Abs => {
+            let v = args[0].eval_row(row)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => i
+                    .checked_abs()
+                    .map(Value::Int)
+                    .ok_or_else(|| VdmError::Overflow("ABS overflow".into())),
+                Value::Dec(d) => Ok(Value::Dec(if d.units() < 0 { d.negate() } else { d })),
+                other => Err(VdmError::Type(format!("ABS requires numeric, got {other}"))),
+            }
+        }
+        ScalarFunc::Upper | ScalarFunc::Lower => {
+            let v = args[0].eval_row(row)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::str(if func == ScalarFunc::Upper {
+                    s.to_ascii_uppercase()
+                } else {
+                    s.to_ascii_lowercase()
+                })),
+                other => Err(VdmError::Type(format!("{} requires TEXT, got {other}", func.name()))),
+            }
+        }
+        ScalarFunc::Length => {
+            let v = args[0].eval_row(row)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+                other => Err(VdmError::Type(format!("LENGTH requires TEXT, got {other}"))),
+            }
+        }
+        ScalarFunc::Like => {
+            let v = args[0].eval_row(row)?;
+            let p = args[1].eval_row(row)?;
+            if v.is_null() || p.is_null() {
+                return Ok(Value::Null);
+            }
+            Ok(Value::Bool(like_match(v.as_str()?, p.as_str()?)))
+        }
+        ScalarFunc::Concat => {
+            let mut out = String::new();
+            for a in args {
+                let v = a.eval_row(row)?;
+                match v {
+                    Value::Null => return Ok(Value::Null),
+                    Value::Str(s) => out.push_str(&s),
+                    other => {
+                        return Err(VdmError::Type(format!("CONCAT requires TEXT, got {other}")))
+                    }
+                }
+            }
+            Ok(Value::str(out))
+        }
+    }
+}
+
+/// SQL LIKE matching: `%` matches any run (including empty), `_` exactly
+/// one character. Iterative two-pointer algorithm with backtracking to the
+/// most recent `%` — linear in practice, no pathological recursion.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, matched s idx)
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, si));
+            pi += 1;
+        } else if let Some((sp, ss)) = star {
+            // Backtrack: let the last % absorb one more character.
+            pi = sp;
+            si = ss + 1;
+            star = Some((sp, ss + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+fn cast(v: Value, ty: &vdm_types::SqlType) -> Result<Value> {
+    use vdm_types::SqlType;
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    match (ty, &v) {
+        (SqlType::Int, Value::Int(_)) | (SqlType::Text, Value::Str(_)) => Ok(v),
+        (SqlType::Bool, Value::Bool(_)) | (SqlType::Date, Value::Date(_)) => Ok(v),
+        (SqlType::Decimal { scale }, Value::Dec(d)) => Ok(Value::Dec(d.round_to(*scale))),
+        // Days since the Unix epoch.
+        (SqlType::Date, Value::Int(i)) => i32::try_from(*i)
+            .map(Value::Date)
+            .map_err(|_| VdmError::Overflow("day number does not fit DATE".into())),
+        (SqlType::Decimal { scale }, Value::Int(i)) => {
+            Ok(Value::Dec(Decimal::from_int(*i).rescale(*scale)?))
+        }
+        (SqlType::Int, Value::Dec(d)) => {
+            let r = d.round_to(0);
+            i64::try_from(r.units())
+                .map(Value::Int)
+                .map_err(|_| VdmError::Overflow("decimal does not fit BIGINT".into()))
+        }
+        (SqlType::Text, other) => Ok(Value::str(other.to_string())),
+        (SqlType::Int, Value::Str(s)) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| VdmError::Exec(format!("cannot cast {s:?} to BIGINT"))),
+        (SqlType::Decimal { scale }, Value::Str(s)) => {
+            let d: Decimal = s.trim().parse()?;
+            Ok(Value::Dec(d.round_to(*scale)))
+        }
+        (t, v) => Err(VdmError::Type(format!("cannot cast {v} to {t}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec(s: &str) -> Value {
+        Value::Dec(s.parse().unwrap())
+    }
+
+    #[test]
+    fn arithmetic_and_nulls() {
+        let row = vec![Value::Int(10), Value::Null, dec("2.50")];
+        let e = Expr::col(0).binary(BinOp::Add, Expr::int(5));
+        assert_eq!(e.eval_row(&row).unwrap(), Value::Int(15));
+        let e = Expr::col(0).binary(BinOp::Add, Expr::col(1));
+        assert_eq!(e.eval_row(&row).unwrap(), Value::Null);
+        let e = Expr::col(0).binary(BinOp::Mul, Expr::col(2));
+        assert_eq!(e.eval_row(&row).unwrap(), dec("25.00"));
+    }
+
+    #[test]
+    fn division_produces_decimal() {
+        let row = vec![Value::Int(1)];
+        let e = Expr::col(0).binary(BinOp::Div, Expr::int(3));
+        match e.eval_row(&row).unwrap() {
+            Value::Dec(d) => assert_eq!(d.to_string(), "0.333333"),
+            other => panic!("expected decimal, got {other}"),
+        }
+        let e = Expr::int(1).binary(BinOp::Div, Expr::int(0));
+        assert!(e.eval_row(&row).is_err());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let row = vec![Value::Null];
+        let null_b = Expr::Cast { expr: Box::new(Expr::Lit(Value::Null)), ty: vdm_types::SqlType::Bool };
+        // FALSE AND NULL = FALSE
+        let e = Expr::boolean(false).and(null_b.clone());
+        assert_eq!(e.eval_row(&row).unwrap(), Value::Bool(false));
+        // TRUE OR NULL = TRUE
+        let e = Expr::boolean(true).or(null_b.clone());
+        assert_eq!(e.eval_row(&row).unwrap(), Value::Bool(true));
+        // TRUE AND NULL = NULL
+        let e = Expr::boolean(true).and(null_b.clone());
+        assert_eq!(e.eval_row(&row).unwrap(), Value::Null);
+        // NOT NULL = NULL
+        let e = Expr::Not(Box::new(null_b));
+        assert_eq!(e.eval_row(&row).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn comparisons_with_null_yield_null() {
+        let row = vec![Value::Null, Value::Int(3)];
+        let e = Expr::col(0).eq(Expr::col(1));
+        assert_eq!(e.eval_row(&row).unwrap(), Value::Null);
+        let e = Expr::IsNull(Box::new(Expr::col(0)));
+        assert_eq!(e.eval_row(&row).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn round_function_commercial() {
+        let row = vec![dec("13.1945")];
+        let e = Expr::Func { func: ScalarFunc::Round, args: vec![Expr::col(0), Expr::int(2)] };
+        assert_eq!(e.eval_row(&row).unwrap(), dec("13.19"));
+        let row = vec![dec("2.45")];
+        let e = Expr::Func { func: ScalarFunc::Round, args: vec![Expr::col(0), Expr::int(1)] };
+        assert_eq!(e.eval_row(&row).unwrap(), dec("2.5"));
+    }
+
+    #[test]
+    fn case_and_coalesce() {
+        let row = vec![Value::Int(2), Value::Null];
+        let e = Expr::Case {
+            branches: vec![
+                (Expr::col(0).eq(Expr::int(1)), Expr::str("one")),
+                (Expr::col(0).eq(Expr::int(2)), Expr::str("two")),
+            ],
+            else_expr: Some(Box::new(Expr::str("many"))),
+        };
+        assert_eq!(e.eval_row(&row).unwrap(), Value::str("two"));
+        let e = Expr::Func {
+            func: ScalarFunc::Coalesce,
+            args: vec![Expr::col(1), Expr::int(42)],
+        };
+        assert_eq!(e.eval_row(&row).unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn string_functions() {
+        let row = vec![Value::str("Acme")];
+        let up = Expr::Func { func: ScalarFunc::Upper, args: vec![Expr::col(0)] };
+        assert_eq!(up.eval_row(&row).unwrap(), Value::str("ACME"));
+        let len = Expr::Func { func: ScalarFunc::Length, args: vec![Expr::col(0)] };
+        assert_eq!(len.eval_row(&row).unwrap(), Value::Int(4));
+        let cat = Expr::Func {
+            func: ScalarFunc::Concat,
+            args: vec![Expr::col(0), Expr::str("!"), Expr::Lit(Value::Null)],
+        };
+        assert_eq!(cat.eval_row(&row).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn like_patterns() {
+        use super::like_match;
+        assert!(like_match("Customer 42", "Customer%"));
+        assert!(like_match("Customer 42", "%42"));
+        assert!(like_match("Customer 42", "%tome%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+        assert!(!like_match("xyz", "xy"));
+        assert!(like_match("aaab", "%aab"));
+        // NULL propagation through the expression.
+        let row = vec![Value::Null];
+        let e = Expr::Func {
+            func: ScalarFunc::Like,
+            args: vec![Expr::col(0), Expr::str("%")],
+        };
+        assert_eq!(e.eval_row(&row).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn casts() {
+        use vdm_types::SqlType;
+        let row: Vec<Value> = vec![];
+        let c = Expr::Cast { expr: Box::new(Expr::str(" 42 ")), ty: SqlType::Int };
+        assert_eq!(c.eval_row(&row).unwrap(), Value::Int(42));
+        let c = Expr::Cast {
+            expr: Box::new(Expr::int(7)),
+            ty: SqlType::Decimal { scale: 2 },
+        };
+        assert_eq!(c.eval_row(&row).unwrap(), dec("7.00"));
+        let c = Expr::Cast { expr: Box::new(Expr::Lit(dec("2.6"))), ty: SqlType::Int };
+        assert_eq!(c.eval_row(&row).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        let row: Vec<Value> = vec![];
+        let e = Expr::int(i64::MAX).binary(BinOp::Add, Expr::int(1));
+        assert!(e.eval_row(&row).is_err());
+    }
+}

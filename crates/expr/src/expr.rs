@@ -1,0 +1,620 @@
+//! The scalar expression tree.
+
+use std::fmt;
+use vdm_types::{Result, Schema, SqlType, Value, VdmError};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for `= <> < <= > >=`.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// True for `+ - * /`.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+    }
+
+    /// The comparison with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn flip(&self) -> BinOp {
+        match self {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::LtEq => BinOp::GtEq,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::GtEq => BinOp::LtEq,
+            other => *other,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarFunc {
+    /// `ROUND(x, s)` — commercial rounding to `s` decimal digits. The
+    /// function at the heart of §7.1.
+    Round,
+    /// `COALESCE(a, b, ...)` — first non-NULL argument.
+    Coalesce,
+    /// `ABS(x)`.
+    Abs,
+    /// `UPPER(s)`.
+    Upper,
+    /// `LOWER(s)`.
+    Lower,
+    /// `LENGTH(s)`.
+    Length,
+    /// `CONCAT(a, b, ...)` — NULL-propagating string concatenation.
+    Concat,
+    /// `LIKE(s, pattern)` — SQL pattern match (`%` any run, `_` one char).
+    Like,
+}
+
+impl ScalarFunc {
+    /// SQL name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalarFunc::Round => "ROUND",
+            ScalarFunc::Coalesce => "COALESCE",
+            ScalarFunc::Abs => "ABS",
+            ScalarFunc::Upper => "UPPER",
+            ScalarFunc::Lower => "LOWER",
+            ScalarFunc::Length => "LENGTH",
+            ScalarFunc::Concat => "CONCAT",
+            ScalarFunc::Like => "LIKE",
+        }
+    }
+
+    /// Looks a function up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<ScalarFunc> {
+        let n = name.to_ascii_uppercase();
+        Some(match n.as_str() {
+            "ROUND" => ScalarFunc::Round,
+            "COALESCE" | "IFNULL" => ScalarFunc::Coalesce,
+            "ABS" => ScalarFunc::Abs,
+            "UPPER" => ScalarFunc::Upper,
+            "LOWER" => ScalarFunc::Lower,
+            "LENGTH" => ScalarFunc::Length,
+            "CONCAT" => ScalarFunc::Concat,
+            "LIKE" => ScalarFunc::Like,
+            _ => return None,
+        })
+    }
+}
+
+/// A scalar expression over the ordinals of one input schema.
+///
+/// Column references are positional ([`Expr::Col`]); the binder resolves
+/// names to ordinals, and every plan rewrite that changes child column
+/// layout remaps ordinals via [`Expr::remap_columns`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Input column by ordinal.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Binary operation.
+    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `x IS NULL`.
+    IsNull(Box<Expr>),
+    /// `x IS NOT NULL`.
+    IsNotNull(Box<Expr>),
+    /// Searched CASE: `CASE WHEN c1 THEN v1 ... ELSE e END`.
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    /// Scalar function call.
+    Func { func: ScalarFunc, args: Vec<Expr> },
+    /// Explicit cast.
+    Cast { expr: Box<Expr>, ty: SqlType },
+}
+
+impl Expr {
+    /// Shorthand for a column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Shorthand for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(Value::Int(v))
+    }
+
+    /// Shorthand for a string literal.
+    pub fn str(s: &str) -> Expr {
+        Expr::Lit(Value::str(s))
+    }
+
+    /// Shorthand for a boolean literal.
+    pub fn boolean(b: bool) -> Expr {
+        Expr::Lit(Value::Bool(b))
+    }
+
+    /// Builds `self op other`.
+    pub fn binary(self, op: BinOp, other: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(self), right: Box::new(other) }
+    }
+
+    /// Builds `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.binary(BinOp::Eq, other)
+    }
+
+    /// Builds `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        self.binary(BinOp::And, other)
+    }
+
+    /// Builds `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        self.binary(BinOp::Or, other)
+    }
+
+    /// Conjunction of a non-empty list (TRUE when empty).
+    pub fn conjunction(mut parts: Vec<Expr>) -> Expr {
+        match parts.len() {
+            0 => Expr::boolean(true),
+            1 => parts.pop().expect("len checked"),
+            _ => {
+                let mut it = parts.into_iter();
+                let first = it.next().expect("len checked");
+                it.fold(first, |acc, p| acc.and(p))
+            }
+        }
+    }
+
+    /// Static result type and nullability against `input`.
+    pub fn data_type(&self, input: &Schema) -> Result<(SqlType, bool)> {
+        match self {
+            Expr::Col(i) => {
+                if *i >= input.len() {
+                    return Err(VdmError::Plan(format!(
+                        "column ordinal {i} out of range for schema of {} fields",
+                        input.len()
+                    )));
+                }
+                let f = input.field(*i);
+                Ok((f.ty, f.nullable))
+            }
+            Expr::Lit(v) => match v.sql_type() {
+                Some(t) => Ok((t, false)),
+                // NULL literal: typeless; default to Int for schema purposes.
+                None => Ok((SqlType::Int, true)),
+            },
+            Expr::Binary { op, left, right } => {
+                let (lt, ln) = left.data_type(input)?;
+                let (rt, rn) = right.data_type(input)?;
+                if op.is_arithmetic() {
+                    let ty = lt.unify(&rt).ok_or_else(|| {
+                        VdmError::Type(format!("cannot apply {} to {lt} and {rt}", op.symbol()))
+                    })?;
+                    if !matches!(ty, SqlType::Int | SqlType::Decimal { .. }) {
+                        return Err(VdmError::Type(format!(
+                            "arithmetic requires numeric operands, got {ty}"
+                        )));
+                    }
+                    let ty = match (op, ty) {
+                        // Division always produces a decimal with headroom.
+                        (BinOp::Div, SqlType::Int) => SqlType::Decimal { scale: 6 },
+                        (BinOp::Div, SqlType::Decimal { scale }) => {
+                            SqlType::Decimal { scale: (scale + 4).min(vdm_types::decimal::MAX_SCALE) }
+                        }
+                        (BinOp::Mul, SqlType::Decimal { scale }) => {
+                            // Scales add at runtime; report a conservative bound.
+                            SqlType::Decimal { scale: (scale * 2).min(vdm_types::decimal::MAX_SCALE) }
+                        }
+                        (_, t) => t,
+                    };
+                    Ok((ty, ln || rn))
+                } else if op.is_comparison() {
+                    if lt.unify(&rt).is_none() {
+                        return Err(VdmError::Type(format!(
+                            "cannot compare {lt} with {rt}"
+                        )));
+                    }
+                    Ok((SqlType::Bool, ln || rn))
+                } else {
+                    // AND / OR
+                    if lt != SqlType::Bool || rt != SqlType::Bool {
+                        return Err(VdmError::Type(format!(
+                            "{} requires boolean operands, got {lt} and {rt}",
+                            op.symbol()
+                        )));
+                    }
+                    Ok((SqlType::Bool, ln || rn))
+                }
+            }
+            Expr::Not(e) => {
+                let (t, n) = e.data_type(input)?;
+                if t != SqlType::Bool {
+                    return Err(VdmError::Type(format!("NOT requires boolean, got {t}")));
+                }
+                Ok((SqlType::Bool, n))
+            }
+            Expr::IsNull(e) | Expr::IsNotNull(e) => {
+                e.data_type(input)?;
+                Ok((SqlType::Bool, false))
+            }
+            Expr::Case { branches, else_expr } => {
+                let mut ty: Option<SqlType> = None;
+                let mut nullable = else_expr.is_none();
+                for (cond, val) in branches {
+                    let (ct, _) = cond.data_type(input)?;
+                    if ct != SqlType::Bool {
+                        return Err(VdmError::Type("CASE condition must be boolean".into()));
+                    }
+                    let (vt, vn) = val.data_type(input)?;
+                    nullable |= vn;
+                    ty = Some(match ty {
+                        None => vt,
+                        Some(prev) => prev.unify(&vt).ok_or_else(|| {
+                            VdmError::Type(format!("CASE branches disagree: {prev} vs {vt}"))
+                        })?,
+                    });
+                }
+                if let Some(e) = else_expr {
+                    let (et, en) = e.data_type(input)?;
+                    nullable |= en;
+                    ty = Some(match ty {
+                        None => et,
+                        Some(prev) => prev.unify(&et).ok_or_else(|| {
+                            VdmError::Type(format!("CASE branches disagree: {prev} vs {et}"))
+                        })?,
+                    });
+                }
+                let ty = ty.ok_or_else(|| VdmError::Type("CASE without branches".into()))?;
+                Ok((ty, nullable))
+            }
+            Expr::Func { func, args } => func_type(*func, args, input),
+            Expr::Cast { expr, ty } => {
+                let (_, n) = expr.data_type(input)?;
+                Ok((*ty, n))
+            }
+        }
+    }
+
+    /// Visits every node (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            Expr::Not(e) | Expr::IsNull(e) | Expr::IsNotNull(e) => e.visit(f),
+            Expr::Case { branches, else_expr } => {
+                for (c, v) in branches {
+                    c.visit(f);
+                    v.visit(f);
+                }
+                if let Some(e) = else_expr {
+                    e.visit(f);
+                }
+            }
+            Expr::Func { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.visit(f),
+        }
+    }
+
+    /// Collects all referenced column ordinals.
+    pub fn referenced_columns(&self, out: &mut std::collections::BTreeSet<usize>) {
+        self.visit(&mut |e| {
+            if let Expr::Col(i) = e {
+                out.insert(*i);
+            }
+        });
+    }
+
+    /// True if the expression references no columns at all.
+    pub fn is_constant(&self) -> bool {
+        let mut any = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Col(_)) {
+                any = true;
+            }
+        });
+        !any
+    }
+
+    /// Rebuilds the expression with every column ordinal passed through `f`.
+    pub fn remap_columns(&self, f: &impl Fn(usize) -> usize) -> Expr {
+        self.transform(&|e| match e {
+            Expr::Col(i) => Some(Expr::Col(f(*i))),
+            _ => None,
+        })
+    }
+
+    /// Rebuilds the expression, substituting every column reference with the
+    /// expression returned by `f` (used to inline projections).
+    pub fn substitute_columns(&self, f: &impl Fn(usize) -> Expr) -> Expr {
+        self.transform(&|e| match e {
+            Expr::Col(i) => Some(f(*i)),
+            _ => None,
+        })
+    }
+
+    /// Bottom-up rebuild where `f` may replace a node (applied to the node
+    /// *before* children are rebuilt; if `f` returns a replacement, that
+    /// replacement is used as-is and not descended into).
+    pub fn transform(&self, f: &impl Fn(&Expr) -> Option<Expr>) -> Expr {
+        if let Some(replaced) = f(self) {
+            return replaced;
+        }
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => self.clone(),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.transform(f)),
+                right: Box::new(right.transform(f)),
+            },
+            Expr::Not(e) => Expr::Not(Box::new(e.transform(f))),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.transform(f))),
+            Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(e.transform(f))),
+            Expr::Case { branches, else_expr } => Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| (c.transform(f), v.transform(f)))
+                    .collect(),
+                else_expr: else_expr.as_ref().map(|e| Box::new(e.transform(f))),
+            },
+            Expr::Func { func, args } => Expr::Func {
+                func: *func,
+                args: args.iter().map(|a| a.transform(f)).collect(),
+            },
+            Expr::Cast { expr, ty } => Expr::Cast { expr: Box::new(expr.transform(f)), ty: *ty },
+        }
+    }
+}
+
+fn func_type(func: ScalarFunc, args: &[Expr], input: &Schema) -> Result<(SqlType, bool)> {
+    let arg_types: Vec<(SqlType, bool)> =
+        args.iter().map(|a| a.data_type(input)).collect::<Result<_>>()?;
+    match func {
+        ScalarFunc::Round => {
+            if args.len() != 2 {
+                return Err(VdmError::Type("ROUND takes (value, scale)".into()));
+            }
+            let (t, n) = arg_types[0];
+            match t {
+                SqlType::Int => Ok((SqlType::Int, n)),
+                SqlType::Decimal { .. } => {
+                    // Result scale is the literal second argument when known.
+                    let scale = match &args[1] {
+                        Expr::Lit(Value::Int(s)) if *s >= 0 => *s as u8,
+                        _ => 0,
+                    };
+                    Ok((SqlType::Decimal { scale }, n))
+                }
+                other => Err(VdmError::Type(format!("ROUND requires numeric, got {other}"))),
+            }
+        }
+        ScalarFunc::Coalesce => {
+            if args.is_empty() {
+                return Err(VdmError::Type("COALESCE needs at least one argument".into()));
+            }
+            let mut ty = arg_types[0].0;
+            for (t, _) in &arg_types[1..] {
+                ty = ty.unify(t).ok_or_else(|| {
+                    VdmError::Type(format!("COALESCE arguments disagree: {ty} vs {t}"))
+                })?;
+            }
+            let nullable = arg_types.iter().all(|(_, n)| *n);
+            Ok((ty, nullable))
+        }
+        ScalarFunc::Abs => {
+            if args.len() != 1 {
+                return Err(VdmError::Type("ABS takes one argument".into()));
+            }
+            let (t, n) = arg_types[0];
+            if !matches!(t, SqlType::Int | SqlType::Decimal { .. }) {
+                return Err(VdmError::Type(format!("ABS requires numeric, got {t}")));
+            }
+            Ok((t, n))
+        }
+        ScalarFunc::Upper | ScalarFunc::Lower => {
+            if args.len() != 1 {
+                return Err(VdmError::Type(format!("{} takes one argument", func.name())));
+            }
+            let (t, n) = arg_types[0];
+            if t != SqlType::Text {
+                return Err(VdmError::Type(format!("{} requires TEXT, got {t}", func.name())));
+            }
+            Ok((SqlType::Text, n))
+        }
+        ScalarFunc::Length => {
+            if args.len() != 1 {
+                return Err(VdmError::Type("LENGTH takes one argument".into()));
+            }
+            let (t, n) = arg_types[0];
+            if t != SqlType::Text {
+                return Err(VdmError::Type(format!("LENGTH requires TEXT, got {t}")));
+            }
+            Ok((SqlType::Int, n))
+        }
+        ScalarFunc::Concat => {
+            if args.is_empty() {
+                return Err(VdmError::Type("CONCAT needs at least one argument".into()));
+            }
+            for (t, _) in &arg_types {
+                if *t != SqlType::Text {
+                    return Err(VdmError::Type(format!("CONCAT requires TEXT, got {t}")));
+                }
+            }
+            Ok((SqlType::Text, arg_types.iter().any(|(_, n)| *n)))
+        }
+        ScalarFunc::Like => {
+            if args.len() != 2 {
+                return Err(VdmError::Type("LIKE takes (value, pattern)".into()));
+            }
+            for (t, _) in &arg_types {
+                if *t != SqlType::Text {
+                    return Err(VdmError::Type(format!("LIKE requires TEXT, got {t}")));
+                }
+            }
+            Ok((SqlType::Bool, arg_types.iter().any(|(_, n)| *n)))
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "${i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {} {right})", op.symbol()),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            Expr::IsNotNull(e) => write!(f, "({e} IS NOT NULL)"),
+            Expr::Case { branches, else_expr } => {
+                write!(f, "CASE")?;
+                for (c, v) in branches {
+                    write!(f, " WHEN {c} THEN {v}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Func { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Cast { expr, ty } => write!(f, "CAST({expr} AS {ty})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_types::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", SqlType::Int, false),
+            Field::new("b", SqlType::Decimal { scale: 2 }, true),
+            Field::new("s", SqlType::Text, false),
+        ])
+    }
+
+    #[test]
+    fn type_inference_arithmetic() {
+        let s = schema();
+        let e = Expr::col(0).binary(BinOp::Add, Expr::int(1));
+        assert_eq!(e.data_type(&s).unwrap(), (SqlType::Int, false));
+        let e = Expr::col(0).binary(BinOp::Add, Expr::col(1));
+        assert_eq!(e.data_type(&s).unwrap(), (SqlType::Decimal { scale: 2 }, true));
+        let e = Expr::col(0).binary(BinOp::Div, Expr::int(3));
+        assert_eq!(e.data_type(&s).unwrap().0, SqlType::Decimal { scale: 6 });
+    }
+
+    #[test]
+    fn type_errors_are_caught() {
+        let s = schema();
+        assert!(Expr::col(2).binary(BinOp::Add, Expr::int(1)).data_type(&s).is_err());
+        assert!(Expr::col(0).and(Expr::col(1)).data_type(&s).is_err());
+        assert!(Expr::Not(Box::new(Expr::col(0))).data_type(&s).is_err());
+        assert!(Expr::col(9).data_type(&s).is_err());
+    }
+
+    #[test]
+    fn comparison_nullability() {
+        let s = schema();
+        let cmp = Expr::col(0).binary(BinOp::Lt, Expr::col(1));
+        assert_eq!(cmp.data_type(&s).unwrap(), (SqlType::Bool, true));
+        let isnull = Expr::IsNull(Box::new(Expr::col(1)));
+        assert_eq!(isnull.data_type(&s).unwrap(), (SqlType::Bool, false));
+    }
+
+    #[test]
+    fn referenced_columns_and_remap() {
+        let e = Expr::col(0).eq(Expr::col(2)).and(Expr::col(2).eq(Expr::int(5)));
+        let mut cols = std::collections::BTreeSet::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols.into_iter().collect::<Vec<_>>(), vec![0, 2]);
+        let remapped = e.remap_columns(&|i| i + 10);
+        let mut cols = std::collections::BTreeSet::new();
+        remapped.referenced_columns(&mut cols);
+        assert_eq!(cols.into_iter().collect::<Vec<_>>(), vec![10, 12]);
+    }
+
+    #[test]
+    fn substitute_columns_inlines() {
+        let e = Expr::col(0).binary(BinOp::Add, Expr::int(1));
+        let sub = e.substitute_columns(&|_| Expr::int(41));
+        assert_eq!(sub, Expr::int(41).binary(BinOp::Add, Expr::int(1)));
+    }
+
+    #[test]
+    fn conjunction_builder() {
+        assert_eq!(Expr::conjunction(vec![]), Expr::boolean(true));
+        let one = Expr::col(0).eq(Expr::int(1));
+        assert_eq!(Expr::conjunction(vec![one.clone()]), one);
+    }
+
+    #[test]
+    fn round_result_scale_comes_from_literal() {
+        let s = schema();
+        let e = Expr::Func {
+            func: ScalarFunc::Round,
+            args: vec![Expr::col(1), Expr::int(1)],
+        };
+        assert_eq!(e.data_type(&s).unwrap().0, SqlType::Decimal { scale: 1 });
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::col(0).eq(Expr::int(5));
+        assert_eq!(e.to_string(), "($0 = 5)");
+    }
+}

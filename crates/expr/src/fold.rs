@@ -1,0 +1,127 @@
+//! Constant folding.
+//!
+//! Besides shrinking expressions, folding is what makes AJ 2b (a left-outer
+//! join against an *empty* relation) detectable: an always-false filter like
+//! `1 = 0` folds to `FALSE`, and the plan layer then knows the augmenter is
+//! empty.
+
+use crate::expr::{BinOp, Expr};
+use vdm_types::Value;
+
+/// Folds constant subtrees bottom-up. Evaluation errors (overflow, division
+/// by zero) leave the node unfolded so the error surfaces at runtime with
+/// proper context instead of at plan time.
+pub fn fold(expr: &Expr) -> Expr {
+    let folded = match expr {
+        Expr::Col(_) | Expr::Lit(_) => expr.clone(),
+        Expr::Binary { op, left, right } => {
+            let l = fold(left);
+            let r = fold(right);
+            // Boolean identity simplifications that don't need full
+            // constant operands.
+            match (op, &l, &r) {
+                (BinOp::And, Expr::Lit(Value::Bool(true)), other)
+                | (BinOp::And, other, Expr::Lit(Value::Bool(true))) => return other.clone(),
+                (BinOp::And, Expr::Lit(Value::Bool(false)), _)
+                | (BinOp::And, _, Expr::Lit(Value::Bool(false))) => {
+                    return Expr::boolean(false)
+                }
+                (BinOp::Or, Expr::Lit(Value::Bool(false)), other)
+                | (BinOp::Or, other, Expr::Lit(Value::Bool(false))) => return other.clone(),
+                (BinOp::Or, Expr::Lit(Value::Bool(true)), _)
+                | (BinOp::Or, _, Expr::Lit(Value::Bool(true))) => return Expr::boolean(true),
+                _ => {}
+            }
+            Expr::Binary { op: *op, left: Box::new(l), right: Box::new(r) }
+        }
+        Expr::Not(e) => {
+            let inner = fold(e);
+            if let Expr::Not(grand) = &inner {
+                return (**grand).clone();
+            }
+            Expr::Not(Box::new(inner))
+        }
+        Expr::IsNull(e) => Expr::IsNull(Box::new(fold(e))),
+        Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(fold(e))),
+        Expr::Case { branches, else_expr } => Expr::Case {
+            branches: branches.iter().map(|(c, v)| (fold(c), fold(v))).collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(fold(e))),
+        },
+        Expr::Func { func, args } => {
+            Expr::Func { func: *func, args: args.iter().map(fold).collect() }
+        }
+        Expr::Cast { expr, ty } => Expr::Cast { expr: Box::new(fold(expr)), ty: *ty },
+    };
+    if folded.is_constant() && !matches!(folded, Expr::Lit(_)) {
+        if let Ok(v) = folded.eval_row(&[]) {
+            return Expr::Lit(v);
+        }
+    }
+    folded
+}
+
+/// True when the predicate is statically known to reject every row
+/// (a folded `FALSE` or NULL literal — SQL filters drop non-TRUE rows).
+pub fn is_always_false(pred: &Expr) -> bool {
+    matches!(fold(pred), Expr::Lit(Value::Bool(false)) | Expr::Lit(Value::Null))
+}
+
+/// True when the predicate is statically known to keep every row.
+pub fn is_always_true(pred: &Expr) -> bool {
+    matches!(fold(pred), Expr::Lit(Value::Bool(true)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_arithmetic() {
+        let e = Expr::int(2).binary(BinOp::Add, Expr::int(3));
+        assert_eq!(fold(&e), Expr::int(5));
+    }
+
+    #[test]
+    fn folds_one_equals_zero_to_false() {
+        let e = Expr::int(1).eq(Expr::int(0));
+        assert_eq!(fold(&e), Expr::boolean(false));
+        assert!(is_always_false(&e));
+        assert!(!is_always_false(&Expr::col(0).eq(Expr::int(0))));
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let p = Expr::col(0).eq(Expr::int(1));
+        assert_eq!(fold(&p.clone().and(Expr::boolean(true))), p);
+        assert_eq!(fold(&p.clone().and(Expr::boolean(false))), Expr::boolean(false));
+        assert_eq!(fold(&p.clone().or(Expr::boolean(false))), p);
+        assert_eq!(fold(&p.clone().or(Expr::boolean(true))), Expr::boolean(true));
+        assert!(is_always_true(&Expr::int(1).eq(Expr::int(1))));
+    }
+
+    #[test]
+    fn double_negation_removed() {
+        let p = Expr::col(0).eq(Expr::int(1));
+        let nn = Expr::Not(Box::new(Expr::Not(Box::new(p.clone()))));
+        assert_eq!(fold(&nn), p);
+    }
+
+    #[test]
+    fn division_by_zero_not_folded() {
+        let e = Expr::int(1).binary(BinOp::Div, Expr::int(0));
+        // Stays unfolded — must error at runtime, not silently disappear.
+        assert!(matches!(fold(&e), Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn folds_inside_functions() {
+        let e = Expr::Func {
+            func: crate::expr::ScalarFunc::Round,
+            args: vec![
+                Expr::Lit(Value::Dec("3.7".parse().unwrap())),
+                Expr::int(0),
+            ],
+        };
+        assert_eq!(fold(&e), Expr::Lit(Value::Dec("4".parse().unwrap())));
+    }
+}

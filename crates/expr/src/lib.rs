@@ -1,0 +1,27 @@
+//! Scalar and aggregate expressions.
+//!
+//! Everything the optimizer reasons about symbolically lives here:
+//!
+//! * [`Expr`] — scalar expression trees over input-column ordinals, with
+//!   static type inference and row-at-a-time evaluation;
+//! * [`AggExpr`] / [`Accumulator`] — aggregate functions with the
+//!   `allow_precision_loss` flag from §7.1 of the paper;
+//! * [`fold()`](fold::fold) — constant folding (turns `1 = 0` into `FALSE`, which is how
+//!   AJ 2b "left-outer join with an empty relation" becomes detectable);
+//! * [`predicate`] — conjunction splitting, implication (the *subsumption*
+//!   check of Fig. 10c), disjointness (the Fig. 12a UNION ALL uniqueness
+//!   pattern), and constant-binding extraction (AJ 2a-3);
+//! * [`MacroDef`] — expression macros (§7.2): reusable calculation formulas
+//!   over aggregates.
+
+pub mod agg;
+pub mod eval;
+pub mod expr;
+pub mod fold;
+pub mod macros;
+pub mod predicate;
+
+pub use agg::{Accumulator, AggExpr, AggFunc};
+pub use expr::{BinOp, Expr, ScalarFunc};
+pub use fold::fold;
+pub use macros::MacroDef;

@@ -1,0 +1,146 @@
+//! Expression macros (§7.2).
+//!
+//! A macro names a *calculation formula over aggregates* — e.g. the paper's
+//! `margin = 1 - sum(ps_supplycost) / sum(l_extendedprice*(1-l_discount))` —
+//! defined once on a view and reusable under any `GROUP BY`. A macro is a
+//! scalar [`Expr`] whose column ordinals refer to the results of its
+//! embedded [`AggExpr`]s, *not* to view columns: ordinal `i` in `body` is
+//! the value of `aggs[i]`. The aggregate arguments themselves reference the
+//! view's columns. Expansion (done by the binder) hoists `aggs` into the
+//! query's `Aggregate` node and splices `body` into a post-projection.
+
+use crate::agg::AggExpr;
+use crate::expr::Expr;
+use vdm_types::{Result, VdmError};
+
+/// A named, reusable formula over aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroDef {
+    /// Macro name (case-insensitive lookup).
+    pub name: String,
+    /// Scalar formula; `Col(i)` refers to `aggs[i]`'s result.
+    pub body: Expr,
+    /// The embedded aggregates, with arguments over the defining view's
+    /// columns.
+    pub aggs: Vec<AggExpr>,
+}
+
+impl MacroDef {
+    /// Validates internal consistency: every column the body references
+    /// must name an aggregate slot.
+    pub fn validate(&self) -> Result<()> {
+        let mut cols = std::collections::BTreeSet::new();
+        self.body.referenced_columns(&mut cols);
+        for c in cols {
+            if c >= self.aggs.len() {
+                return Err(VdmError::Bind(format!(
+                    "macro {:?}: body references aggregate slot {c} but only {} aggregates defined",
+                    self.name,
+                    self.aggs.len()
+                )));
+            }
+        }
+        if self.aggs.is_empty() {
+            return Err(VdmError::Bind(format!(
+                "macro {:?} defines no aggregates; use a plain view column instead",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Expands the macro for a query whose aggregate node already has
+    /// `existing_aggs` entries: appends this macro's aggregates and returns
+    /// the body rewritten to reference their slots.
+    ///
+    /// Identical aggregates already present are shared rather than
+    /// duplicated.
+    pub fn expand(&self, existing_aggs: &mut Vec<AggExpr>) -> Expr {
+        let mut slot_of = Vec::with_capacity(self.aggs.len());
+        for agg in &self.aggs {
+            let slot = match existing_aggs.iter().position(|a| a == agg) {
+                Some(i) => i,
+                None => {
+                    existing_aggs.push(agg.clone());
+                    existing_aggs.len() - 1
+                }
+            };
+            slot_of.push(slot);
+        }
+        self.body.remap_columns(&|i| slot_of[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::expr::BinOp;
+
+    /// The paper's margin macro:
+    /// `1 - sum(supplycost) / sum(extendedprice * (1 - discount))`.
+    fn margin() -> MacroDef {
+        let sum_cost = AggExpr::new(AggFunc::Sum, Expr::col(0));
+        let revenue_arg = Expr::col(1).binary(
+            BinOp::Mul,
+            Expr::int(1).binary(BinOp::Sub, Expr::col(2)),
+        );
+        let sum_rev = AggExpr::new(AggFunc::Sum, revenue_arg);
+        MacroDef {
+            name: "margin".into(),
+            body: Expr::int(1).binary(BinOp::Sub, Expr::col(0).binary(BinOp::Div, Expr::col(1))),
+            aggs: vec![sum_cost, sum_rev],
+        }
+    }
+
+    #[test]
+    fn validate_checks_slots() {
+        assert!(margin().validate().is_ok());
+        let bad = MacroDef { name: "m".into(), body: Expr::col(5), aggs: vec![AggExpr::count_star()] };
+        assert!(bad.validate().is_err());
+        let empty = MacroDef { name: "m".into(), body: Expr::int(1), aggs: vec![] };
+        assert!(empty.validate().is_err());
+    }
+
+    #[test]
+    fn expand_appends_aggs_and_rewires_body() {
+        let m = margin();
+        let mut aggs = vec![AggExpr::count_star()];
+        let body = m.expand(&mut aggs);
+        assert_eq!(aggs.len(), 3);
+        let mut cols = std::collections::BTreeSet::new();
+        body.referenced_columns(&mut cols);
+        assert_eq!(cols.into_iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn expand_shares_identical_aggregates() {
+        let m = margin();
+        let mut aggs = vec![m.aggs[0].clone()];
+        let body = m.expand(&mut aggs);
+        // sum_cost was shared, only sum_rev appended.
+        assert_eq!(aggs.len(), 2);
+        let mut cols = std::collections::BTreeSet::new();
+        body.referenced_columns(&mut cols);
+        assert_eq!(cols.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn margin_weighting_matches_paper_example() {
+        // Day 1: 10% margin on $100 revenue → cost 90. Day 2: 20% on $900 → cost 720.
+        // Correct overall margin = 1 - 810/1000 = 19%, not avg(10%, 20%) = 15%.
+        let m = margin();
+        // Evaluate body against the aggregate results.
+        let row = vec![
+            vdm_types::Value::Dec("810".parse().unwrap()),
+            vdm_types::Value::Dec("1000".parse().unwrap()),
+        ];
+        let v = m.body.eval_row(&row).unwrap();
+        match v {
+            vdm_types::Value::Dec(d) => {
+                assert_eq!(d.round_to(2).to_string(), "0.19");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

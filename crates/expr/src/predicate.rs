@@ -1,0 +1,283 @@
+//! Predicate analysis: conjunctions, implication, disjointness, and
+//! constant bindings.
+//!
+//! Three paper-critical judgements live here:
+//!
+//! * **Subsumption** ([`implies`]) — Fig. 10(c): an ASJ with a filtered
+//!   augmenter may only be removed when the augmenter predicate *subsumes*
+//!   the anchor predicate (every row the anchor keeps would also be kept by
+//!   the augmenter filter).
+//! * **Disjointness** ([`disjoint`]) — Fig. 12(a): a UNION ALL of provably
+//!   disjoint subsets of the same relation preserves key uniqueness.
+//! * **Constant bindings** ([`constant_bindings`]) — AJ 2a-3: a filter
+//!   `y = 1` pins `y`, so a composite unique key `(x, y)` shrinks to `x`.
+//!
+//! All judgements are conservative: `false` answers are always safe.
+
+use crate::expr::{BinOp, Expr};
+use vdm_types::Value;
+
+/// Splits a predicate into its top-level conjuncts.
+pub fn split_conjunction(pred: &Expr) -> Vec<&Expr> {
+    let mut out = Vec::new();
+    fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+        match e {
+            Expr::Binary { op: BinOp::And, left, right } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            other => out.push(other),
+        }
+    }
+    walk(pred, &mut out);
+    out
+}
+
+/// An atomic range constraint `col ⟨op⟩ literal` extracted from a conjunct.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    pub col: usize,
+    pub op: BinOp,
+    pub value: Value,
+}
+
+/// Extracts an [`Atom`] from a conjunct of the form `col ⟨cmp⟩ lit` or
+/// `lit ⟨cmp⟩ col` (flipping the comparison).
+pub fn as_atom(e: &Expr) -> Option<Atom> {
+    if let Expr::Binary { op, left, right } = e {
+        if !op.is_comparison() {
+            return None;
+        }
+        match (left.as_ref(), right.as_ref()) {
+            (Expr::Col(c), Expr::Lit(v)) if !v.is_null() => {
+                Some(Atom { col: *c, op: *op, value: v.clone() })
+            }
+            (Expr::Lit(v), Expr::Col(c)) if !v.is_null() => {
+                Some(Atom { col: *c, op: op.flip(), value: v.clone() })
+            }
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+/// Does atom `p` imply atom `q`? (Both must constrain the same column.)
+fn atom_implies(p: &Atom, q: &Atom) -> bool {
+    if p.col != q.col {
+        return false;
+    }
+    let (pv, qv) = (&p.value, &q.value);
+    let cmp = match pv.sql_cmp(qv) {
+        Some(c) => c,
+        None => return false,
+    };
+    use std::cmp::Ordering::*;
+    match (p.op, q.op) {
+        // x = a  ⇒  x ⟨op⟩ b when a ⟨op⟩ b holds.
+        (BinOp::Eq, BinOp::Eq) => cmp == Equal,
+        (BinOp::Eq, BinOp::NotEq) => cmp != Equal,
+        (BinOp::Eq, BinOp::Lt) => cmp == Less,
+        (BinOp::Eq, BinOp::LtEq) => cmp != Greater,
+        (BinOp::Eq, BinOp::Gt) => cmp == Greater,
+        (BinOp::Eq, BinOp::GtEq) => cmp != Less,
+        // Range-to-range implications.
+        (BinOp::Lt, BinOp::Lt) => cmp != Greater,  // x < a ⇒ x < b if a <= b
+        (BinOp::Lt, BinOp::LtEq) => cmp != Greater,
+        (BinOp::LtEq, BinOp::LtEq) => cmp != Greater,
+        (BinOp::LtEq, BinOp::Lt) => cmp == Less, // x <= a ⇒ x < b if a < b
+        (BinOp::Gt, BinOp::Gt) => cmp != Less,
+        (BinOp::Gt, BinOp::GtEq) => cmp != Less,
+        (BinOp::GtEq, BinOp::GtEq) => cmp != Less,
+        (BinOp::GtEq, BinOp::Gt) => cmp == Greater,
+        // x < a ⇒ x <> b if b >= a; x > a ⇒ x <> b if b <= a.
+        (BinOp::Lt, BinOp::NotEq) => cmp != Greater,
+        (BinOp::Gt, BinOp::NotEq) => cmp != Less,
+        (BinOp::NotEq, BinOp::NotEq) => cmp == Equal,
+        _ => false,
+    }
+}
+
+/// Conservative implication check: `p ⇒ q`.
+///
+/// True when every conjunct of `q` is either syntactically present in `p`
+/// or implied by some atomic conjunct of `p`. Column ordinals must refer to
+/// the *same* relation layout on both sides — callers remap before asking.
+pub fn implies(p: &Expr, q: &Expr) -> bool {
+    if crate::fold::is_always_true(q) {
+        return true;
+    }
+    let p_parts = split_conjunction(p);
+    let q_parts = split_conjunction(q);
+    let p_atoms: Vec<Option<Atom>> = p_parts.iter().map(|e| as_atom(e)).collect();
+    q_parts.iter().all(|qc| {
+        // Syntactic match.
+        if p_parts.iter().any(|pc| pc == qc) {
+            return true;
+        }
+        // Atomic range implication.
+        if let Some(qa) = as_atom(qc) {
+            return p_atoms
+                .iter()
+                .flatten()
+                .any(|pa| atom_implies(pa, &qa));
+        }
+        false
+    })
+}
+
+/// Conservative disjointness check: no row can satisfy both `p` and `q`.
+///
+/// Detected when both predicates contain atoms over the same column whose
+/// ranges cannot intersect (`x = 1` vs `x = 2`, `x = 1` vs `x <> 1`,
+/// `x < 5` vs `x >= 5`, ...).
+pub fn disjoint(p: &Expr, q: &Expr) -> bool {
+    let pa: Vec<Atom> = split_conjunction(p).iter().filter_map(|e| as_atom(e)).collect();
+    let qa: Vec<Atom> = split_conjunction(q).iter().filter_map(|e| as_atom(e)).collect();
+    for a in &pa {
+        for b in &qa {
+            if a.col != b.col {
+                continue;
+            }
+            let cmp = match a.value.sql_cmp(&b.value) {
+                Some(c) => c,
+                None => continue,
+            };
+            use std::cmp::Ordering::*;
+            let clash = match (a.op, b.op) {
+                (BinOp::Eq, BinOp::Eq) => cmp != Equal,
+                (BinOp::Eq, BinOp::NotEq) | (BinOp::NotEq, BinOp::Eq) => cmp == Equal,
+                (BinOp::Eq, BinOp::Lt) => cmp != Less,
+                (BinOp::Eq, BinOp::LtEq) => cmp == Greater,
+                (BinOp::Eq, BinOp::Gt) => cmp != Greater,
+                (BinOp::Eq, BinOp::GtEq) => cmp == Less,
+                (BinOp::Lt, BinOp::Eq) => cmp != Greater,
+                (BinOp::LtEq, BinOp::Eq) => cmp == Less,
+                (BinOp::Gt, BinOp::Eq) => cmp != Less,
+                (BinOp::GtEq, BinOp::Eq) => cmp == Greater,
+                // x < a disjoint x > b when a <= b (no integer-gap reasoning);
+                // similarly for the other range pairings.
+                (BinOp::Lt, BinOp::Gt) | (BinOp::Lt, BinOp::GtEq) => cmp != Greater,
+                (BinOp::LtEq, BinOp::Gt) => cmp != Greater,
+                (BinOp::LtEq, BinOp::GtEq) => cmp == Less,
+                (BinOp::Gt, BinOp::Lt) | (BinOp::GtEq, BinOp::Lt) => cmp != Less,
+                (BinOp::Gt, BinOp::LtEq) => cmp != Less,
+                (BinOp::GtEq, BinOp::LtEq) => cmp == Greater,
+                _ => false,
+            };
+            if clash {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Extracts `(column, constant)` pairs pinned by equality conjuncts
+/// (`col = lit`). Used by AJ 2a-3 key shrinking.
+pub fn constant_bindings(pred: &Expr) -> Vec<(usize, Value)> {
+    split_conjunction(pred)
+        .iter()
+        .filter_map(|e| as_atom(e))
+        .filter(|a| a.op == BinOp::Eq)
+        .map(|a| (a.col, a.value))
+        .collect()
+}
+
+/// Extracts the columns pinned to constants.
+pub fn constant_bound_columns(pred: &Expr) -> std::collections::BTreeSet<usize> {
+    constant_bindings(pred).into_iter().map(|(c, _)| c).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> Expr {
+        Expr::col(i)
+    }
+
+    #[test]
+    fn split_flattens_nested_ands() {
+        let p = c(0).eq(Expr::int(1)).and(c(1).eq(Expr::int(2)).and(c(2).eq(Expr::int(3))));
+        assert_eq!(split_conjunction(&p).len(), 3);
+    }
+
+    #[test]
+    fn atom_extraction_flips_literal_side() {
+        let a = as_atom(&Expr::int(5).binary(BinOp::Lt, c(3))).unwrap();
+        assert_eq!(a.col, 3);
+        assert_eq!(a.op, BinOp::Gt);
+        assert!(as_atom(&c(0).eq(c(1))).is_none());
+    }
+
+    #[test]
+    fn implication_syntactic_and_range() {
+        let p = c(0).eq(Expr::int(5)).and(c(1).eq(Expr::str("x")));
+        let q = c(0).eq(Expr::int(5));
+        assert!(implies(&p, &q));
+        assert!(!implies(&q, &p));
+        // x = 5 implies x > 3
+        assert!(implies(&c(0).eq(Expr::int(5)), &c(0).binary(BinOp::Gt, Expr::int(3))));
+        // x > 5 implies x > 3
+        assert!(implies(
+            &c(0).binary(BinOp::Gt, Expr::int(5)),
+            &c(0).binary(BinOp::Gt, Expr::int(3))
+        ));
+        // x > 3 does NOT imply x > 5
+        assert!(!implies(
+            &c(0).binary(BinOp::Gt, Expr::int(3)),
+            &c(0).binary(BinOp::Gt, Expr::int(5))
+        ));
+        // x = 5 implies x <> 7
+        assert!(implies(&c(0).eq(Expr::int(5)), &c(0).binary(BinOp::NotEq, Expr::int(7))));
+        // Anything implies TRUE.
+        assert!(implies(&c(0).eq(Expr::int(1)), &Expr::boolean(true)));
+    }
+
+    #[test]
+    fn implication_is_conservative_on_unknown_shapes() {
+        // x + 1 = 2 should not be claimed to imply anything non-syntactic.
+        let p = c(0).binary(BinOp::Add, Expr::int(1)).eq(Expr::int(2));
+        let q = c(0).eq(Expr::int(1));
+        assert!(!implies(&p, &q));
+        // But syntactic identity still works for complex conjuncts.
+        assert!(implies(&p, &p));
+    }
+
+    #[test]
+    fn disjointness_on_equality_and_ranges() {
+        assert!(disjoint(&c(0).eq(Expr::int(1)), &c(0).eq(Expr::int(2))));
+        assert!(!disjoint(&c(0).eq(Expr::int(1)), &c(0).eq(Expr::int(1))));
+        assert!(disjoint(
+            &c(0).eq(Expr::int(1)),
+            &c(0).binary(BinOp::NotEq, Expr::int(1))
+        ));
+        assert!(disjoint(
+            &c(0).binary(BinOp::Lt, Expr::int(5)),
+            &c(0).binary(BinOp::GtEq, Expr::int(5))
+        ));
+        assert!(!disjoint(
+            &c(0).binary(BinOp::Lt, Expr::int(5)),
+            &c(0).binary(BinOp::Gt, Expr::int(3))
+        ));
+        // Different columns: never disjoint by this analysis.
+        assert!(!disjoint(&c(0).eq(Expr::int(1)), &c(1).eq(Expr::int(2))));
+    }
+
+    #[test]
+    fn draft_pattern_disjointness() {
+        // Fig. 11(a): active vs draft split by a status column.
+        let active = c(2).eq(Expr::str("A"));
+        let draft = c(2).eq(Expr::str("D"));
+        assert!(disjoint(&active, &draft));
+    }
+
+    #[test]
+    fn constant_bindings_extraction() {
+        let p = c(1).eq(Expr::int(1)).and(c(3).binary(BinOp::Gt, Expr::int(0)));
+        let binds = constant_bindings(&p);
+        assert_eq!(binds, vec![(1, Value::Int(1))]);
+        assert_eq!(constant_bound_columns(&p).into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+}

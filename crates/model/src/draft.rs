@@ -1,0 +1,136 @@
+//! The draft-table pattern (Fig. 11b).
+//!
+//! Stateless cloud apps keep in-progress user input in a separate *draft*
+//! table next to the *active* table. Operational queries see the union of
+//! both (with a branch-id column so the optimizer can derive ⟨bid, key⟩
+//! uniqueness — Fig. 12b); analytical queries see only the active data.
+
+use std::sync::Arc;
+use vdm_catalog::TableDef;
+use vdm_expr::Expr;
+use vdm_plan::{LogicalPlan, PlanRef};
+use vdm_types::{Result, VdmError};
+
+/// Branch-id value for active rows.
+pub const BID_ACTIVE: i64 = 0;
+/// Branch-id value for draft rows.
+pub const BID_DRAFT: i64 = 1;
+
+/// An active/draft table pair forming one logical document table.
+#[derive(Debug, Clone)]
+pub struct DraftPair {
+    pub active: Arc<TableDef>,
+    pub draft: Arc<TableDef>,
+}
+
+impl DraftPair {
+    /// Pairs two tables; their schemas must agree column-for-column (the
+    /// draft table mirrors the active one).
+    pub fn new(active: Arc<TableDef>, draft: Arc<TableDef>) -> Result<DraftPair> {
+        if active.schema.len() != draft.schema.len() {
+            return Err(VdmError::Catalog(format!(
+                "draft table {:?} does not mirror {:?}: {} vs {} columns",
+                draft.name,
+                active.name,
+                draft.schema.len(),
+                active.schema.len()
+            )));
+        }
+        for (a, d) in active.schema.fields().iter().zip(draft.schema.fields()) {
+            if !a.ty.accepts(&d.ty) {
+                return Err(VdmError::Catalog(format!(
+                    "draft column {:?} type mismatch: {} vs {}",
+                    d.name, a.ty, d.ty
+                )));
+            }
+        }
+        Ok(DraftPair { active, draft })
+    }
+
+    /// The operational plan: `bid` column plus the union of both tables
+    /// (the Fig. 11b / Fig. 12b shape, branch-id first).
+    pub fn operational_plan(&self) -> Result<PlanRef> {
+        let mk = |table: &Arc<TableDef>, bid: i64| -> Result<PlanRef> {
+            let scan = LogicalPlan::scan(Arc::clone(table));
+            let schema = scan.schema();
+            let mut exprs = vec![(Expr::int(bid), "bid".to_string())];
+            for (i, f) in schema.fields().iter().enumerate() {
+                exprs.push((Expr::col(i), f.name.clone()));
+            }
+            LogicalPlan::project(scan, exprs)
+        };
+        LogicalPlan::union_all(vec![
+            mk(&self.active, BID_ACTIVE)?,
+            mk(&self.draft, BID_DRAFT)?,
+        ])
+    }
+
+    /// The analytical plan: active data only, no branch column.
+    pub fn analytical_plan(&self) -> PlanRef {
+        LogicalPlan::scan(Arc::clone(&self.active))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_catalog::TableBuilder;
+    use vdm_plan::{plan_stats, unique_sets, DeriveOptions};
+    use vdm_types::SqlType;
+
+    fn doc_table(name: &str) -> Arc<TableDef> {
+        Arc::new(
+            TableBuilder::new(name)
+                .column("doc_id", SqlType::Int, false)
+                .column("amount", SqlType::Decimal { scale: 2 }, false)
+                .primary_key(&["doc_id"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn operational_plan_has_branch_id_uniqueness() {
+        let pair = DraftPair::new(doc_table("sales_doc"), doc_table("sales_doc_draft")).unwrap();
+        let plan = pair.operational_plan().unwrap();
+        let stats = plan_stats(&plan);
+        assert_eq!(stats.unions, 1);
+        assert_eq!(stats.max_union_width, 2);
+        assert_eq!(plan.schema().field(0).name, "bid");
+        // Fig. 12b: ⟨bid, doc_id⟩ is derivably unique.
+        let sets = unique_sets(&plan, &DeriveOptions::all());
+        let expected: std::collections::BTreeSet<usize> = [0usize, 1].into_iter().collect();
+        assert!(
+            vdm_plan::props::covers_unique(&sets, &expected),
+            "⟨bid, key⟩ must be unique: {sets:?}"
+        );
+    }
+
+    #[test]
+    fn analytical_plan_is_active_only() {
+        let pair = DraftPair::new(doc_table("d"), doc_table("d_draft")).unwrap();
+        let stats = plan_stats(&pair.analytical_plan());
+        assert_eq!(stats.table_instances, 1);
+        assert_eq!(stats.unions, 0);
+    }
+
+    #[test]
+    fn mismatched_draft_schema_rejected() {
+        let active = doc_table("a");
+        let bad = Arc::new(
+            TableBuilder::new("a_draft")
+                .column("doc_id", SqlType::Int, false)
+                .build()
+                .unwrap(),
+        );
+        assert!(DraftPair::new(active, bad).is_err());
+        let bad_type = Arc::new(
+            TableBuilder::new("a_draft")
+                .column("doc_id", SqlType::Int, false)
+                .column("amount", SqlType::Text, false)
+                .build()
+                .unwrap(),
+        );
+        assert!(DraftPair::new(doc_table("a2"), bad_type).is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Upgrade-safe custom-field extension (§5, Fig. 8/9; §6.3, Fig. 13b).
+//!
+//! A customer adds field `ext` to an SAP-managed table `T`. The stable
+//! consumption view `CV'` must expose `ext`, but the interim views between
+//! `CV'` and `T` are SAP-internal and must not be redefined. SAP's answer:
+//! redefine only `CV'`, joining the *existing* view back to `T` on its key
+//! — an augmentation self-join that a capable optimizer removes again.
+//!
+//! When `T` is draft-enabled, the logical table is `active ⊎ draft`
+//! (both extended with `ext`), and the self-join target becomes a UNION
+//! ALL — the shape only a **case join** reliably collapses (Fig. 14).
+
+use crate::draft::DraftPair;
+use std::sync::Arc;
+use vdm_catalog::TableDef;
+use vdm_expr::Expr;
+use vdm_plan::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef};
+use vdm_types::{Result, VdmError};
+
+/// How to expose custom fields on an existing view.
+#[derive(Debug, Clone)]
+pub struct ExtensionSpec {
+    /// (view column, base-table column) key pairs the self-join uses.
+    pub key: Vec<(String, String)>,
+    /// The custom fields to expose from the base table.
+    pub fields: Vec<String>,
+}
+
+/// Extends `view_plan` with custom `fields` of `table` via an augmentation
+/// self-join on the key (Fig. 9b). The result exposes the view's columns
+/// followed by the custom fields.
+pub fn extend_with_fields(
+    view_plan: PlanRef,
+    table: Arc<TableDef>,
+    spec: &ExtensionSpec,
+) -> Result<PlanRef> {
+    let aug = LogicalPlan::scan(Arc::clone(&table));
+    let exposed = build_extension_join(view_plan, aug, &table, spec, false)?;
+    Ok(exposed)
+}
+
+/// Extends a view over a draft-enabled logical table: the augmenter is the
+/// branch-id UNION ALL of active and draft (both carrying the custom
+/// fields). `use_case_join` declares the ASJ intent (§6.3) — without it the
+/// optimizer must fall back to heuristic recognition (the Fig. 14a regime).
+///
+/// `bid_column`: the view column carrying the branch id (the view must have
+/// been built over [`DraftPair::operational_plan`]).
+pub fn extend_draft_with_fields(
+    view_plan: PlanRef,
+    pair: &DraftPair,
+    bid_column: &str,
+    spec: &ExtensionSpec,
+    use_case_join: bool,
+) -> Result<PlanRef> {
+    // Augmenter: bid ⊎ union of both tables, projecting bid + key + fields.
+    let mk = |table: &Arc<TableDef>, bid: i64| -> Result<PlanRef> {
+        let scan = LogicalPlan::scan(Arc::clone(table));
+        let schema = scan.schema();
+        let mut exprs = vec![(Expr::int(bid), "bid".to_string())];
+        for (_, key_col) in &spec.key {
+            let idx = schema.index_of_or_err(key_col)?;
+            exprs.push((Expr::col(idx), key_col.clone()));
+        }
+        for f in &spec.fields {
+            let idx = schema.index_of_or_err(f)?;
+            exprs.push((Expr::col(idx), f.clone()));
+        }
+        LogicalPlan::project(scan, exprs)
+    };
+    let aug = LogicalPlan::union_all(vec![
+        mk(&pair.active, crate::draft::BID_ACTIVE)?,
+        mk(&pair.draft, crate::draft::BID_DRAFT)?,
+    ])?;
+    let vs = view_plan.schema();
+    let bid_l = vs.index_of_or_err(bid_column)?;
+    let mut on = vec![(bid_l, 0usize)];
+    for (i, (view_col, _)) in spec.key.iter().enumerate() {
+        on.push((vs.index_of_or_err(view_col)?, 1 + i));
+    }
+    let join = LogicalPlan::join(
+        view_plan,
+        aug,
+        JoinKind::LeftOuter,
+        on,
+        None,
+        Some(DeclaredCardinality::ManyToOne),
+        use_case_join,
+    )?;
+    // Expose: view columns, then the custom fields.
+    let js = join.schema();
+    let nl = vs.len();
+    let mut exprs: Vec<(Expr, String)> = (0..nl)
+        .map(|i| (Expr::col(i), js.field(i).name.clone()))
+        .collect();
+    for (k, f) in spec.fields.iter().enumerate() {
+        exprs.push((Expr::col(nl + 1 + spec.key.len() + k), f.clone()));
+    }
+    LogicalPlan::project(join, exprs)
+}
+
+fn build_extension_join(
+    view_plan: PlanRef,
+    aug: PlanRef,
+    table: &TableDef,
+    spec: &ExtensionSpec,
+    case_join: bool,
+) -> Result<PlanRef> {
+    if spec.fields.is_empty() {
+        return Err(VdmError::Plan("extension needs at least one custom field".into()));
+    }
+    let vs = view_plan.schema();
+    let ts = aug.schema();
+    let on = spec
+        .key
+        .iter()
+        .map(|(v, t)| Ok((vs.index_of_or_err(v)?, ts.index_of_or_err(t)?)))
+        .collect::<Result<Vec<_>>>()?;
+    if on.is_empty() {
+        return Err(VdmError::Plan("extension self-join needs key columns".into()));
+    }
+    // Sanity: the key must be unique on the base table, else this is not an
+    // augmentation join at all.
+    let key_ords: Vec<usize> = spec
+        .key
+        .iter()
+        .map(|(_, t)| table.schema.index_of_or_err(t))
+        .collect::<Result<_>>()?;
+    if !table.cols_unique(&key_ords) {
+        return Err(VdmError::Plan(format!(
+            "extension key {:?} is not unique on {:?}",
+            spec.key, table.name
+        )));
+    }
+    let join =
+        LogicalPlan::join(view_plan, aug, JoinKind::LeftOuter, on, None, None, case_join)?;
+    // Expose view columns + the custom fields.
+    let js = join.schema();
+    let nl = vs.len();
+    let mut exprs: Vec<(Expr, String)> = (0..nl)
+        .map(|i| (Expr::col(i), js.field(i).name.clone()))
+        .collect();
+    for f in &spec.fields {
+        let idx = ts.index_of_or_err(f)?;
+        exprs.push((Expr::col(nl + idx), f.clone()));
+    }
+    LogicalPlan::project(join, exprs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_catalog::TableBuilder;
+    use vdm_optimizer::{Optimizer, Profile};
+    use vdm_plan::plan_stats;
+    use vdm_types::SqlType;
+
+    fn base_table() -> Arc<TableDef> {
+        Arc::new(
+            TableBuilder::new("vbak")
+                .column("vbeln", SqlType::Int, false)
+                .column("kunnr", SqlType::Int, false)
+                .column("zz_priority", SqlType::Text, true)
+                .primary_key(&["vbeln"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    /// A stand-in for the SAP-managed interim view stack: it does NOT
+    /// project the custom field.
+    fn managed_view(table: &Arc<TableDef>) -> PlanRef {
+        LogicalPlan::project(
+            LogicalPlan::scan(Arc::clone(table)),
+            vec![
+                (Expr::col(0), "SalesOrder".into()),
+                (Expr::col(1), "SoldToParty".into()),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extension_exposes_field_and_optimizes_away() {
+        let t = base_table();
+        let view = managed_view(&t);
+        let spec = ExtensionSpec {
+            key: vec![("SalesOrder".into(), "vbeln".into())],
+            fields: vec!["zz_priority".into()],
+        };
+        let extended = extend_with_fields(view, Arc::clone(&t), &spec).unwrap();
+        assert_eq!(extended.schema().len(), 3);
+        assert_eq!(extended.schema().field(2).name, "zz_priority");
+        // The self-join must be optimized out by the HANA profile (Fig. 9c).
+        let opt = Optimizer::hana().optimize(&extended).unwrap();
+        let stats = plan_stats(&opt);
+        assert_eq!(stats.joins, 0, "{}", vdm_plan::explain(&opt));
+        assert_eq!(stats.table_instances, 1);
+        // Weaker profiles keep paying for it.
+        let pg = Optimizer::new(Profile::postgres()).optimize(&extended).unwrap();
+        assert_eq!(plan_stats(&pg).joins, 1);
+    }
+
+    #[test]
+    fn extension_validates_inputs() {
+        let t = base_table();
+        let view = managed_view(&t);
+        let no_fields =
+            ExtensionSpec { key: vec![("SalesOrder".into(), "vbeln".into())], fields: vec![] };
+        assert!(extend_with_fields(view.clone(), Arc::clone(&t), &no_fields).is_err());
+        let bad_key = ExtensionSpec {
+            key: vec![("SoldToParty".into(), "kunnr".into())],
+            fields: vec!["zz_priority".into()],
+        };
+        assert!(
+            extend_with_fields(view, Arc::clone(&t), &bad_key).is_err(),
+            "kunnr is not unique on vbak"
+        );
+    }
+
+    #[test]
+    fn draft_extension_builds_case_join_shape() {
+        let active = base_table();
+        let draft = Arc::new(
+            TableBuilder::new("vbak_draft")
+                .column("vbeln", SqlType::Int, false)
+                .column("kunnr", SqlType::Int, false)
+                .column("zz_priority", SqlType::Text, true)
+                .primary_key(&["vbeln"])
+                .build()
+                .unwrap(),
+        );
+        let pair = DraftPair::new(active, draft).unwrap();
+        // The "managed view" over the logical table, without the custom field.
+        let op = pair.operational_plan().unwrap();
+        let schema = op.schema();
+        let exprs = vec![
+            (Expr::col(0), schema.field(0).name.clone()), // bid
+            (Expr::col(1), "SalesOrder".to_string()),
+            (Expr::col(2), "SoldToParty".to_string()),
+        ];
+        let view = LogicalPlan::project(op, exprs).unwrap();
+        let spec = ExtensionSpec {
+            key: vec![("SalesOrder".into(), "vbeln".into())],
+            fields: vec!["zz_priority".into()],
+        };
+        let with_intent =
+            extend_draft_with_fields(view.clone(), &pair, "bid", &spec, true).unwrap();
+        let without_intent =
+            extend_draft_with_fields(view, &pair, "bid", &spec, false).unwrap();
+        // Declared intent collapses the ASJ; both unions merge into one.
+        let hana = Optimizer::hana();
+        let opt = hana.optimize(&with_intent).unwrap();
+        assert_eq!(plan_stats(&opt).joins, 0, "{}", vdm_plan::explain(&opt));
+        // The heuristic also manages this *simple* shape (view is shallow) —
+        // per Fig. 14a some shapes work without intent.
+        let opt = hana.optimize(&without_intent).unwrap();
+        assert_eq!(plan_stats(&opt).joins, 0);
+        // Without either capability the join stays.
+        let weak = Optimizer::new(
+            Profile::hana()
+                .without(vdm_optimizer::Capability::CaseJoin)
+                .without(vdm_optimizer::Capability::AsjUnionHeuristic),
+        );
+        let kept = weak.optimize(&with_intent).unwrap();
+        assert!(plan_stats(&kept).joins >= 1);
+    }
+}

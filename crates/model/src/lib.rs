@@ -1,0 +1,31 @@
+//! The Virtual Data Model (VDM) layer — §2.3, §5, §6 of the paper.
+//!
+//! VDM views expose application data as standardized, business-oriented
+//! views in three layers (Fig. 2): **basic** views close to the tables,
+//! **composite** views built on basic views, and **consumption** views
+//! tailored to one UI or API. Views carry **associations** — declared
+//! many-to-one relationships that a path expression turns into an
+//! augmentation join on demand.
+//!
+//! This crate also implements the application-level patterns the paper's
+//! optimizations exist for:
+//!
+//! * [`dac`] — record-wise data access control: per-user filters injected
+//!   above consumption views (the two guarded joins of Fig. 4);
+//! * [`draft`] — the active ⊎ draft stateless-app pattern (Fig. 11b);
+//! * [`extension`] — upgrade-safe custom-field extension via augmentation
+//!   self-joins and case joins (Fig. 8/9, §6.3);
+//! * [`verify`] — the §7.3 tool that checks a declared join cardinality
+//!   against the actual data.
+
+pub mod dac;
+pub mod draft;
+pub mod extension;
+pub mod model;
+pub mod verify;
+
+pub use dac::{AccessPolicy, DacRule};
+pub use draft::DraftPair;
+pub use extension::{extend_with_fields, ExtensionSpec};
+pub use model::{Association, VdmModel, VdmView, ViewLayer};
+pub use verify::{verify_join_cardinality, CardinalityReport};

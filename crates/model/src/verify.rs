@@ -1,0 +1,243 @@
+//! §7.3: the join-cardinality verification tool.
+//!
+//! Declared cardinalities (`LEFT OUTER MANY TO ONE JOIN`) are *not*
+//! enforced by the engine — the paper's rationale is that uniqueness
+//! constraints cost storage/CPU and restrict application design. To
+//! mitigate the risk, SAP HANA "offers a tool that verifies whether the
+//! specified join cardinality in a query aligns with the actual data";
+//! this module is that tool.
+
+use std::collections::HashMap;
+use vdm_plan::DeclaredCardinality;
+use vdm_storage::{Snapshot, StorageEngine};
+use vdm_types::{Result, Value};
+
+/// Outcome of verifying one declared cardinality against data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardinalityReport {
+    pub declared: DeclaredCardinality,
+    /// Whether the declaration holds on the current data.
+    pub holds: bool,
+    /// Largest number of right-side matches observed for one key value.
+    pub max_matches: usize,
+    /// Left key values with no right match (breaks `MANY TO EXACT ONE`).
+    pub unmatched_left_keys: usize,
+    /// A witness key violating the declaration, if any.
+    pub violating_key: Option<Vec<Value>>,
+}
+
+/// Verifies `declared` for a join `left.on_left = right.on_right` between
+/// two stored tables at `snapshot`.
+pub fn verify_join_cardinality(
+    engine: &StorageEngine,
+    snapshot: Snapshot,
+    left_table: &str,
+    on_left: &[&str],
+    right_table: &str,
+    on_right: &[&str],
+    declared: DeclaredCardinality,
+) -> Result<CardinalityReport> {
+    let left = engine.scan(left_table, snapshot)?;
+    let right = engine.scan(right_table, snapshot)?;
+    let l_ords: Vec<usize> = on_left
+        .iter()
+        .map(|c| left.schema.index_of_or_err(c))
+        .collect::<Result<_>>()?;
+    let r_ords: Vec<usize> = on_right
+        .iter()
+        .map(|c| right.schema.index_of_or_err(c))
+        .collect::<Result<_>>()?;
+
+    // Count right rows per key value.
+    let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+    for i in 0..right.num_rows() {
+        let key: Vec<Value> = r_ords.iter().map(|&c| right.columns[c].get(i)).collect();
+        if key.iter().any(|v| v.is_null()) {
+            continue; // NULL keys never match.
+        }
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    let mut max_matches = 0;
+    let mut violating_key = None;
+    for (k, &n) in &counts {
+        if n > max_matches {
+            max_matches = n;
+            if n > 1 {
+                violating_key = Some(k.clone());
+            }
+        }
+    }
+    // For MANY TO EXACT ONE, every (non-null) left key must have a match.
+    let mut unmatched_left_keys = 0;
+    let mut unmatched_witness = None;
+    for i in 0..left.num_rows() {
+        let key: Vec<Value> = l_ords.iter().map(|&c| left.columns[c].get(i)).collect();
+        if key.iter().any(|v| v.is_null()) {
+            continue;
+        }
+        if !counts.contains_key(&key) {
+            unmatched_left_keys += 1;
+            unmatched_witness.get_or_insert(key);
+        }
+    }
+    let holds = match declared {
+        DeclaredCardinality::ManyToOne => max_matches <= 1,
+        DeclaredCardinality::ManyToExactOne => max_matches <= 1 && unmatched_left_keys == 0,
+    };
+    if violating_key.is_none() && declared == DeclaredCardinality::ManyToExactOne {
+        violating_key = unmatched_witness.filter(|_| unmatched_left_keys > 0);
+    }
+    Ok(CardinalityReport { declared, holds, max_matches, unmatched_left_keys, violating_key })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vdm_catalog::TableBuilder;
+    use vdm_types::SqlType;
+
+    fn setup(currency_rows: Vec<Vec<Value>>) -> StorageEngine {
+        let e = StorageEngine::new();
+        e.create_table(Arc::new(
+            TableBuilder::new("orders")
+                .column("id", SqlType::Int, false)
+                .column("curr", SqlType::Text, true)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        ))
+        .unwrap();
+        // Deliberately constraint-free, like real SAP dimension tables.
+        e.create_table(Arc::new(
+            TableBuilder::new("currency")
+                .column("code", SqlType::Text, false)
+                .column("rate", SqlType::Decimal { scale: 4 }, false)
+                .build()
+                .unwrap(),
+        ))
+        .unwrap();
+        e.insert(
+            "orders",
+            vec![
+                vec![Value::Int(1), Value::str("EUR")],
+                vec![Value::Int(2), Value::str("USD")],
+                vec![Value::Int(3), Value::Null],
+            ],
+        )
+        .unwrap();
+        e.insert("currency", currency_rows).unwrap();
+        e
+    }
+
+    fn dec(s: &str) -> Value {
+        Value::Dec(s.parse().unwrap())
+    }
+
+    #[test]
+    fn many_to_one_holds_on_clean_data() {
+        let e = setup(vec![
+            vec![Value::str("EUR"), dec("1.0000")],
+            vec![Value::str("USD"), dec("0.9200")],
+        ]);
+        let r = verify_join_cardinality(
+            &e,
+            e.snapshot(),
+            "orders",
+            &["curr"],
+            "currency",
+            &["code"],
+            DeclaredCardinality::ManyToOne,
+        )
+        .unwrap();
+        assert!(r.holds);
+        assert_eq!(r.max_matches, 1);
+    }
+
+    #[test]
+    fn duplicate_right_keys_violate_many_to_one() {
+        let e = setup(vec![
+            vec![Value::str("EUR"), dec("1.0000")],
+            vec![Value::str("EUR"), dec("1.0500")],
+        ]);
+        let r = verify_join_cardinality(
+            &e,
+            e.snapshot(),
+            "orders",
+            &["curr"],
+            "currency",
+            &["code"],
+            DeclaredCardinality::ManyToOne,
+        )
+        .unwrap();
+        assert!(!r.holds);
+        assert_eq!(r.max_matches, 2);
+        assert_eq!(r.violating_key, Some(vec![Value::str("EUR")]));
+    }
+
+    #[test]
+    fn exact_one_requires_full_coverage() {
+        // USD missing: MANY TO ONE holds, MANY TO EXACT ONE does not.
+        let e = setup(vec![vec![Value::str("EUR"), dec("1.0000")]]);
+        let m2o = verify_join_cardinality(
+            &e,
+            e.snapshot(),
+            "orders",
+            &["curr"],
+            "currency",
+            &["code"],
+            DeclaredCardinality::ManyToOne,
+        )
+        .unwrap();
+        assert!(m2o.holds);
+        let exact = verify_join_cardinality(
+            &e,
+            e.snapshot(),
+            "orders",
+            &["curr"],
+            "currency",
+            &["code"],
+            DeclaredCardinality::ManyToExactOne,
+        )
+        .unwrap();
+        assert!(!exact.holds);
+        assert_eq!(exact.unmatched_left_keys, 1);
+        assert_eq!(exact.violating_key, Some(vec![Value::str("USD")]));
+    }
+
+    #[test]
+    fn null_keys_are_ignored() {
+        // The NULL `curr` on order 3 counts neither as matched nor unmatched.
+        let e = setup(vec![
+            vec![Value::str("EUR"), dec("1.0")],
+            vec![Value::str("USD"), dec("0.9")],
+        ]);
+        let r = verify_join_cardinality(
+            &e,
+            e.snapshot(),
+            "orders",
+            &["curr"],
+            "currency",
+            &["code"],
+            DeclaredCardinality::ManyToExactOne,
+        )
+        .unwrap();
+        assert!(r.holds);
+        assert_eq!(r.unmatched_left_keys, 0);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let e = setup(vec![]);
+        assert!(verify_join_cardinality(
+            &e,
+            e.snapshot(),
+            "orders",
+            &["nope"],
+            "currency",
+            &["code"],
+            DeclaredCardinality::ManyToOne,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Baseline rules: constant folding, filter pushdown, redundant-DISTINCT
+//! removal, and plan cleanup. Every system the paper evaluates implements
+//! these, so all five profiles include them.
+
+use crate::profile::Profile;
+use std::collections::BTreeSet;
+use vdm_expr::{fold, predicate, Expr};
+use vdm_plan::{JoinKind, LogicalPlan, PlanRef};
+use vdm_types::Result;
+
+/// Folds constants in every expression of the plan.
+pub fn fold_constants(plan: &PlanRef) -> Result<PlanRef> {
+    let rebuilt = crate::asj::rebuild_children(plan, &|c| fold_constants(c))?;
+    Ok(match rebuilt.as_ref() {
+        LogicalPlan::Project { input, exprs, .. } => {
+            let folded = exprs.iter().map(|(e, n)| (fold::fold(e), n.clone())).collect();
+            LogicalPlan::project(input.clone(), folded)?
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::filter(input.clone(), fold::fold(predicate))?
+        }
+        LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } => {
+            LogicalPlan::join(
+                left.clone(),
+                right.clone(),
+                *kind,
+                on.clone(),
+                filter.as_ref().map(fold::fold),
+                *declared,
+                *asj_intent,
+            )?
+        }
+        _ => rebuilt,
+    })
+}
+
+/// Pushes filter conjuncts toward the leaves: through projections (pure
+/// columns), into the matching side of joins (inner joins both sides,
+/// left-outer joins left side only), and into every UNION ALL child.
+pub fn pushdown_filters(plan: &PlanRef) -> Result<PlanRef> {
+    let rebuilt = crate::asj::rebuild_children(plan, &|c| pushdown_filters(c))?;
+    if let LogicalPlan::Filter { input, predicate } = rebuilt.as_ref() {
+        let conjuncts: Vec<Expr> =
+            predicate::split_conjunction(predicate).into_iter().cloned().collect();
+        let (pushed, kept) = push_conjuncts(input, conjuncts)?;
+        let out = if kept.is_empty() {
+            pushed
+        } else {
+            LogicalPlan::filter(pushed, Expr::conjunction(kept))?
+        };
+        return Ok(out);
+    }
+    Ok(rebuilt)
+}
+
+/// Attempts to push each conjunct below `plan`; returns the new plan and
+/// the conjuncts that could not be pushed.
+fn push_conjuncts(plan: &PlanRef, conjuncts: Vec<Expr>) -> Result<(PlanRef, Vec<Expr>)> {
+    match plan.as_ref() {
+        LogicalPlan::Project { input, exprs, .. } => {
+            // A conjunct pushes when every referenced output column is a
+            // pure column reference (substitute and descend).
+            let mut pushable = Vec::new();
+            let mut kept = Vec::new();
+            for c in conjuncts {
+                let mut refs = BTreeSet::new();
+                c.referenced_columns(&mut refs);
+                if refs.iter().all(|&i| matches!(exprs[i].0, Expr::Col(_))) {
+                    pushable.push(c.substitute_columns(&|i| exprs[i].0.clone()));
+                } else {
+                    kept.push(c);
+                }
+            }
+            if pushable.is_empty() {
+                return Ok((plan.clone(), kept));
+            }
+            let (new_input, rest) = push_conjuncts(input, pushable)?;
+            let inner = if rest.is_empty() {
+                new_input
+            } else {
+                LogicalPlan::filter(new_input, Expr::conjunction(rest))?
+            };
+            Ok((LogicalPlan::project(inner, exprs.clone())?, kept))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            // Merge with the existing filter and push the union of
+            // conjuncts below it.
+            let mut all: Vec<Expr> =
+                predicate::split_conjunction(predicate).into_iter().cloned().collect();
+            all.extend(conjuncts);
+            let (new_input, rest) = push_conjuncts(input, all)?;
+            let out = if rest.is_empty() {
+                new_input
+            } else {
+                LogicalPlan::filter(new_input, Expr::conjunction(rest))?
+            };
+            Ok((out, Vec::new()))
+        }
+        LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } => {
+            let nl = left.schema().len();
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut kept = Vec::new();
+            for c in conjuncts {
+                let mut refs = BTreeSet::new();
+                c.referenced_columns(&mut refs);
+                let left_only = refs.iter().all(|&i| i < nl);
+                let right_only = refs.iter().all(|&i| i >= nl);
+                if left_only {
+                    to_left.push(c);
+                } else if right_only && *kind == JoinKind::Inner {
+                    to_right.push(c.remap_columns(&|i| i - nl));
+                } else {
+                    // Right-side conjuncts cannot cross a left-outer join
+                    // (they would filter before NULL-padding).
+                    kept.push(c);
+                }
+            }
+            if to_left.is_empty() && to_right.is_empty() {
+                return Ok((plan.clone(), kept));
+            }
+            let (new_left, rest_l) = push_conjuncts(left, to_left)?;
+            let new_left = if rest_l.is_empty() {
+                new_left
+            } else {
+                LogicalPlan::filter(new_left, Expr::conjunction(rest_l))?
+            };
+            let (new_right, rest_r) = push_conjuncts(right, to_right)?;
+            let new_right = if rest_r.is_empty() {
+                new_right
+            } else {
+                LogicalPlan::filter(new_right, Expr::conjunction(rest_r))?
+            };
+            let new_join = LogicalPlan::join(
+                new_left,
+                new_right,
+                *kind,
+                on.clone(),
+                filter.clone(),
+                *declared,
+                *asj_intent,
+            )?;
+            Ok((new_join, kept))
+        }
+        LogicalPlan::UnionAll { inputs, .. } => {
+            if conjuncts.is_empty() {
+                return Ok((plan.clone(), conjuncts));
+            }
+            let mut new_children = Vec::with_capacity(inputs.len());
+            for child in inputs {
+                let (new_child, rest) = push_conjuncts(child, conjuncts.clone())?;
+                let wrapped = if rest.is_empty() {
+                    new_child
+                } else {
+                    LogicalPlan::filter(new_child, Expr::conjunction(rest))?
+                };
+                new_children.push(wrapped);
+            }
+            Ok((LogicalPlan::union_all(new_children)?, Vec::new()))
+        }
+        _ => Ok((plan.clone(), conjuncts)),
+    }
+}
+
+/// Removes DISTINCT when the input is already duplicate-free (its full
+/// column set covers a unique set under the profile's derivations).
+pub fn remove_redundant_distinct(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
+    let rebuilt = crate::asj::rebuild_children(plan, &|c| remove_redundant_distinct(c, profile))?;
+    if let LogicalPlan::Distinct { input } = rebuilt.as_ref() {
+        let opts = profile.derive_options();
+        let all: BTreeSet<usize> = (0..input.schema().len()).collect();
+        let sets = vdm_plan::unique_sets(input, &opts);
+        if vdm_plan::props::covers_unique(&sets, &all) {
+            return Ok(input.clone());
+        }
+    }
+    Ok(rebuilt)
+}
+
+/// Cleanup: merges stacked projections and drops identity projections
+/// whose names match the child's.
+pub fn cleanup(plan: &PlanRef) -> Result<PlanRef> {
+    let rebuilt = crate::asj::rebuild_children(plan, &|c| cleanup(c))?;
+    if let LogicalPlan::Project { input, exprs, .. } = rebuilt.as_ref() {
+        // Merge Project(Project(x)).
+        if let LogicalPlan::Project { input: grand, exprs: inner_exprs, .. } = input.as_ref() {
+            let merged: Vec<(Expr, String)> = exprs
+                .iter()
+                .map(|(e, n)| {
+                    (e.substitute_columns(&|i| inner_exprs[i].0.clone()), n.clone())
+                })
+                .collect();
+            return cleanup(&LogicalPlan::project(grand.clone(), merged)?);
+        }
+        // Push Project(UnionAll(c...)) into the children: each child then
+        // merges with its own projection, removing a whole materialization
+        // pass (union output ordinals equal child ordinals positionally).
+        if let LogicalPlan::UnionAll { inputs, .. } = input.as_ref() {
+            let children = inputs
+                .iter()
+                .map(|c| LogicalPlan::project(c.clone(), exprs.clone()))
+                .collect::<Result<Vec<_>>>()?;
+            return cleanup(&LogicalPlan::union_all(children)?);
+        }
+        // Drop identity projections.
+        let cs = input.schema();
+        let identity = exprs.len() == cs.len()
+            && exprs.iter().enumerate().all(|(i, (e, n))| {
+                matches!(e, Expr::Col(c) if *c == i) && cs.field(i).name.eq_ignore_ascii_case(n)
+            });
+        if identity {
+            return Ok(input.clone());
+        }
+    }
+    Ok(rebuilt)
+}

@@ -1,0 +1,248 @@
+//! §7.1: aggregation pushdown across decimal rounding
+//! (`allow_precision_loss`), plus eager aggregation below augmentation
+//! joins.
+//!
+//! Decimal rounding does not commute with addition
+//! (`round(1.3)+round(2.4) = 3` but `round(1.3+2.4) = 4`), so
+//! `sum(round(x*k, s))` cannot normally become `round(sum(x)*k, s)`.
+//! When the user opts in via `allow_precision_loss(...)`, the interchange
+//! becomes legal: the per-row multiply-and-round work collapses into a
+//! single post-aggregation expression, and the bare `sum(x)` becomes
+//! eligible for further pushdown.
+
+use crate::profile::Profile;
+use vdm_expr::{AggExpr, AggFunc, BinOp, Expr, ScalarFunc};
+use vdm_plan::{JoinKind, LogicalPlan, PlanRef};
+use vdm_types::Result;
+
+/// Rewrites `allow_precision_loss(sum(round(...)))` aggregates.
+pub fn precision_pass(plan: &PlanRef) -> Result<PlanRef> {
+    let rebuilt = crate::asj::rebuild_children(plan, &|c| precision_pass(c))?;
+    if let LogicalPlan::Aggregate { input, group_by, aggs, .. } = rebuilt.as_ref() {
+        let mut changed = false;
+        let mut new_aggs: Vec<(AggExpr, String)> = Vec::with_capacity(aggs.len());
+        // Post-projection over [groups..., aggs...]: default passthrough.
+        let ng = group_by.len();
+        let mut post: Vec<Expr> = (0..ng + aggs.len()).map(Expr::col).collect();
+        for (j, (agg, name)) in aggs.iter().enumerate() {
+            match rewrite_agg(agg) {
+                Some((inner_agg, wrap)) => {
+                    changed = true;
+                    new_aggs.push((inner_agg, name.clone()));
+                    // wrap references Col(0) = the aggregate result slot.
+                    post[ng + j] = wrap.remap_columns(&|_| ng + j);
+                }
+                None => new_aggs.push((agg.clone(), name.clone())),
+            }
+        }
+        if changed {
+            let agg_plan = LogicalPlan::aggregate(input.clone(), group_by.clone(), new_aggs)?;
+            let schema = rebuilt.schema();
+            let exprs = post
+                .into_iter()
+                .enumerate()
+                .map(|(i, e)| (e, schema.field(i).name.clone()))
+                .collect();
+            return LogicalPlan::project(agg_plan, exprs);
+        }
+    }
+    Ok(rebuilt)
+}
+
+/// `sum(round(X, s))` → (`sum(X)`, `round($0, s)`), and
+/// `sum(round(X * K, s))` → (`sum(X)`, `round($0 * K, s)`) for constant
+/// `K`. Only fires when the aggregate carries `allow_precision_loss`.
+fn rewrite_agg(agg: &AggExpr) -> Option<(AggExpr, Expr)> {
+    if !agg.allow_precision_loss || agg.func != AggFunc::Sum || agg.distinct {
+        return None;
+    }
+    let arg = agg.arg.as_ref()?;
+    let (inner, scale) = match arg {
+        Expr::Func { func: ScalarFunc::Round, args } if args.len() == 2 => {
+            (&args[0], args[1].clone())
+        }
+        _ => return None,
+    };
+    if !scale.is_constant() {
+        return None;
+    }
+    // Split a constant factor out of the rounded expression.
+    let (sum_arg, factor): (Expr, Option<Expr>) = match inner {
+        Expr::Binary { op: BinOp::Mul, left, right } => {
+            if right.is_constant() {
+                ((**left).clone(), Some((**right).clone()))
+            } else if left.is_constant() {
+                ((**right).clone(), Some((**left).clone()))
+            } else {
+                (inner.clone(), None)
+            }
+        }
+        _ => (inner.clone(), None),
+    };
+    let mut new_agg = AggExpr::new(AggFunc::Sum, sum_arg);
+    new_agg.allow_precision_loss = true;
+    // Wrapper over the aggregate slot (Col(0) placeholder).
+    let slot = Expr::col(0);
+    let scaled = match factor {
+        Some(k) => slot.binary(BinOp::Mul, k),
+        None => slot,
+    };
+    let wrap = Expr::Func { func: ScalarFunc::Round, args: vec![scaled, scale] };
+    Some((new_agg, wrap))
+}
+
+/// Eager aggregation: `Aggregate(G, A) over AJ-Join(L, R)` where every
+/// aggregate argument references only `L` → pre-aggregate `L` by
+/// (join keys ∪ G∩L), join, and re-aggregate.
+///
+/// Sound for augmentation joins because the join neither filters nor
+/// duplicates left rows; `SUM`/`MIN`/`MAX` re-combine, `COUNT(*)` becomes a
+/// `SUM` of partial counts.
+pub fn eager_agg_pass(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
+    let rebuilt = crate::asj::rebuild_children(plan, &|c| eager_agg_pass(c, profile))?;
+    if let LogicalPlan::Aggregate { input, group_by, aggs, .. } = rebuilt.as_ref() {
+        if let Some(new_plan) = try_eager(input, group_by, aggs, profile)? {
+            return Ok(new_plan);
+        }
+    }
+    Ok(rebuilt)
+}
+
+fn try_eager(
+    join: &PlanRef,
+    group_by: &[(Expr, String)],
+    aggs: &[(AggExpr, String)],
+    profile: &Profile,
+) -> Result<Option<PlanRef>> {
+    let LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } =
+        join.as_ref()
+    else {
+        return Ok(None);
+    };
+    if *kind != JoinKind::LeftOuter || filter.is_some() || on.is_empty() {
+        return Ok(None);
+    }
+    // Already pre-aggregated (our own output): don't fire again.
+    if matches!(left.as_ref(), LogicalPlan::Aggregate { .. }) {
+        return Ok(None);
+    }
+    let opts = profile.derive_options();
+    if !vdm_plan::props::join_right_at_most_one(right, on, *declared, &opts) {
+        return Ok(None);
+    }
+    let nl = left.schema().len();
+    // Aggregate args must be left-only; group keys may touch either side
+    // but left-side group refs must be plain columns (they become part of
+    // the pre-aggregation key).
+    let mut supported = !aggs.is_empty();
+    for (a, _) in aggs {
+        if !matches!(a.func, AggFunc::Sum | AggFunc::Min | AggFunc::Max | AggFunc::CountStar)
+            || a.distinct
+        {
+            supported = false;
+            break;
+        }
+        let mut refs = std::collections::BTreeSet::new();
+        a.referenced_columns(&mut refs);
+        if refs.iter().any(|&c| c >= nl) {
+            supported = false;
+            break;
+        }
+    }
+    if !supported {
+        return Ok(None);
+    }
+    let mut group_left_cols = std::collections::BTreeSet::new();
+    for (g, _) in group_by {
+        let mut refs = std::collections::BTreeSet::new();
+        g.referenced_columns(&mut refs);
+        for c in refs {
+            if c < nl {
+                if !matches!(g, Expr::Col(_)) {
+                    return Ok(None);
+                }
+                group_left_cols.insert(c);
+            }
+        }
+    }
+    // Require at least one right-side group ref; otherwise plain UAJ
+    // pruning is the better rewrite and this one would just add operators.
+    let any_right_group = group_by.iter().any(|(g, _)| {
+        let mut refs = std::collections::BTreeSet::new();
+        g.referenced_columns(&mut refs);
+        refs.iter().any(|&c| c >= nl)
+    });
+    if !any_right_group {
+        return Ok(None);
+    }
+    // Pre-aggregation key: join keys ∪ left group columns.
+    let mut key_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    for &c in &group_left_cols {
+        if !key_cols.contains(&c) {
+            key_cols.push(c);
+        }
+    }
+    let left_schema = left.schema();
+    let pre_groups: Vec<(Expr, String)> = key_cols
+        .iter()
+        .map(|&c| (Expr::col(c), left_schema.field(c).name.clone()))
+        .collect();
+    let pre_aggs: Vec<(AggExpr, String)> = aggs
+        .iter()
+        .enumerate()
+        .map(|(j, (a, _))| {
+            let pre = match a.func {
+                AggFunc::CountStar => AggExpr::count_star(),
+                _ => a.clone(),
+            };
+            (pre, format!("__pre_{j}"))
+        })
+        .collect();
+    let n_pre_aggs = pre_aggs.len();
+    let pre = LogicalPlan::aggregate(left.clone(), pre_groups, pre_aggs)?;
+    // New join: pre-aggregated left (layout: key_cols..., partials...).
+    let new_on: Vec<(usize, usize)> = on
+        .iter()
+        .map(|&(l, r)| {
+            let pos = key_cols.iter().position(|&c| c == l).expect("join key in key_cols");
+            (pos, r)
+        })
+        .collect();
+    let new_join = LogicalPlan::join(
+        pre,
+        right.clone(),
+        *kind,
+        new_on,
+        None,
+        *declared,
+        *asj_intent,
+    )?;
+    // Final aggregation: same groups (remapped), re-combined aggregates.
+    let remap_col = |c: usize| -> usize {
+        if c < nl {
+            key_cols.iter().position(|&k| k == c).expect("left group col in key")
+        } else {
+            // Right columns now follow key_cols + partial aggs.
+            key_cols.len() + n_pre_aggs + (c - nl)
+        }
+    };
+    let final_groups: Vec<(Expr, String)> = group_by
+        .iter()
+        .map(|(g, n)| (g.remap_columns(&remap_col), n.clone()))
+        .collect();
+    let final_aggs: Vec<(AggExpr, String)> = aggs
+        .iter()
+        .enumerate()
+        .map(|(j, (a, n))| {
+            let slot = key_cols.len() + j;
+            let func = match a.func {
+                AggFunc::CountStar => AggFunc::Sum,
+                f => f,
+            };
+            let mut fa = AggExpr::new(func, Expr::col(slot));
+            fa.allow_precision_loss = a.allow_precision_loss;
+            (fa, n.clone())
+        })
+        .collect();
+    Ok(Some(LogicalPlan::aggregate(new_join, final_groups, final_aggs)?))
+}

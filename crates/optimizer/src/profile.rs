@@ -1,0 +1,263 @@
+//! Optimizer capability profiles.
+//!
+//! Each profile is a set of [`Capability`] flags. The five presets encode
+//! what the paper's evaluation observed in SAP HANA Cloud, PostgreSQL 17,
+//! and the three anonymous commercial systems (X, Y, Z): Table 1 (UAJ),
+//! Table 2 (limit on AJ), Table 3 (ASJ), Table 4 (UNION ALL). The presets
+//! set *derivation-level* capabilities; the per-query Y/− outcomes of the
+//! tables emerge from running the rules.
+
+use std::collections::BTreeSet;
+use vdm_plan::DeriveOptions;
+
+/// One switchable optimizer capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Capability {
+    // Baseline rules every evaluated system implements.
+    ConstantFolding,
+    FilterPushdown,
+    ProjectionPruning,
+
+    /// Master switch for unused-augmentation-join elimination (§4.3).
+    UajElimination,
+
+    // Uniqueness derivations feeding UAJ/ASJ detection (§4.2).
+    UniqueFromPrimaryKey,
+    UniqueFromGroupBy,
+    UniqueFromConstFilter,
+    UniqueThroughJoin,
+    UniqueThroughSortLimit,
+    UnionUniqueDisjoint,
+    UnionUniqueBranchId,
+    /// §7.3: trust `LEFT OUTER MANY TO ONE JOIN` cardinality declarations.
+    TrustDeclaredCardinality,
+
+    /// §4.4: push LIMIT across augmentation joins.
+    LimitPushdownAj,
+
+    // §5: augmentation self-join elimination, by increasing generality.
+    /// Fig. 10(a): bare self-join on key.
+    AsjBasic,
+    /// Fig. 10(b): anchor is a subquery (re-wiring through operators).
+    AsjSubquery,
+    /// Fig. 10(c): filtered augmenter with predicate subsumption.
+    AsjFilteredAugmenter,
+    /// Fig. 13(a): anchor-side UNION ALL traversal.
+    AsjThroughUnion,
+    /// Fig. 13(b) *without* declared intent: shallow heuristic recognition
+    /// of augmenter-side UNION ALL (recognizes only simple shapes — the
+    /// partial recognition visible in Fig. 14(a)).
+    AsjUnionHeuristic,
+    /// §6.3: the CASE JOIN extension — declared ASJ intent over UNION ALL,
+    /// enabling full recognition (Fig. 14(b)).
+    CaseJoin,
+
+    /// §7.1: interchange decimal rounding and addition inside aggregates
+    /// marked `allow_precision_loss`.
+    AllowPrecisionLoss,
+    /// Eager (partial) aggregation below augmentation joins.
+    EagerAggregation,
+
+    /// Remove DISTINCT over provably duplicate-free input.
+    RemoveRedundantDistinct,
+}
+
+/// A named capability set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    name: String,
+    caps: BTreeSet<Capability>,
+}
+
+impl Profile {
+    /// Empty profile (no rewrites at all).
+    pub fn named(name: &str) -> Profile {
+        Profile { name: name.to_string(), caps: BTreeSet::new() }
+    }
+
+    /// Profile name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a capability (builder style).
+    pub fn with(mut self, cap: Capability) -> Profile {
+        self.caps.insert(cap);
+        self
+    }
+
+    /// Removes a capability (builder style) — for ablations.
+    pub fn without(mut self, cap: Capability) -> Profile {
+        self.caps.remove(&cap);
+        self
+    }
+
+    /// Membership test.
+    pub fn has(&self, cap: Capability) -> bool {
+        self.caps.contains(&cap)
+    }
+
+    /// True when any ASJ-family capability is present.
+    pub fn any_asj(&self) -> bool {
+        use Capability::*;
+        [AsjBasic, AsjSubquery, AsjFilteredAugmenter, AsjThroughUnion, AsjUnionHeuristic, CaseJoin]
+            .iter()
+            .any(|c| self.has(*c))
+    }
+
+    /// The [`DeriveOptions`] implied by this profile's derivation flags.
+    pub fn derive_options(&self) -> DeriveOptions {
+        DeriveOptions {
+            from_primary_key: self.has(Capability::UniqueFromPrimaryKey),
+            from_group_by: self.has(Capability::UniqueFromGroupBy),
+            from_const_filter: self.has(Capability::UniqueFromConstFilter),
+            through_join: self.has(Capability::UniqueThroughJoin),
+            through_sort_limit: self.has(Capability::UniqueThroughSortLimit),
+            union_disjoint: self.has(Capability::UnionUniqueDisjoint),
+            union_branch_id: self.has(Capability::UnionUniqueBranchId),
+            trust_declared: self.has(Capability::TrustDeclaredCardinality),
+        }
+    }
+
+    fn base(name: &str) -> Profile {
+        Profile::named(name)
+            .with(Capability::ConstantFolding)
+            .with(Capability::FilterPushdown)
+            .with(Capability::ProjectionPruning)
+    }
+
+    /// SAP HANA: everything (Tables 1–4 all "Y").
+    pub fn hana() -> Profile {
+        use Capability::*;
+        let mut p = Profile::base("hana");
+        for c in [
+            UajElimination,
+            UniqueFromPrimaryKey,
+            UniqueFromGroupBy,
+            UniqueFromConstFilter,
+            UniqueThroughJoin,
+            UniqueThroughSortLimit,
+            UnionUniqueDisjoint,
+            UnionUniqueBranchId,
+            TrustDeclaredCardinality,
+            LimitPushdownAj,
+            AsjBasic,
+            AsjSubquery,
+            AsjFilteredAugmenter,
+            AsjThroughUnion,
+            AsjUnionHeuristic,
+            CaseJoin,
+            AllowPrecisionLoss,
+            EagerAggregation,
+            RemoveRedundantDistinct,
+        ] {
+            p = p.with(c);
+        }
+        p
+    }
+
+    /// PostgreSQL 17: UAJ with PK/GROUP BY/const-filter derivations, but no
+    /// derivation through joins or sort+limit, no limit pushdown across AJ,
+    /// no ASJ, no UNION ALL uniqueness (Table 1 row: Y Y Y − Y − −).
+    pub fn postgres() -> Profile {
+        use Capability::*;
+        Profile::base("postgres")
+            .with(UajElimination)
+            .with(UniqueFromPrimaryKey)
+            .with(UniqueFromGroupBy)
+            .with(UniqueFromConstFilter)
+    }
+
+    /// Commercial System X: none of the studied optimizations.
+    pub fn system_x() -> Profile {
+        Profile::base("system_x")
+    }
+
+    /// Commercial System Y: UAJ from primary keys and constant filters
+    /// only (Table 1 row: Y − Y − − − −).
+    pub fn system_y() -> Profile {
+        use Capability::*;
+        Profile::base("system_y")
+            .with(UajElimination)
+            .with(UniqueFromPrimaryKey)
+            .with(UniqueFromConstFilter)
+    }
+
+    /// Commercial System Z: full UAJ derivation except through sort+limit
+    /// (Table 1 row: Y Y Y Y Y Y −); nothing from Tables 2–4.
+    pub fn system_z() -> Profile {
+        use Capability::*;
+        Profile::base("system_z")
+            .with(UajElimination)
+            .with(UniqueFromPrimaryKey)
+            .with(UniqueFromGroupBy)
+            .with(UniqueFromConstFilter)
+            .with(UniqueThroughJoin)
+    }
+
+    /// The five evaluated systems in paper order.
+    pub fn paper_systems() -> Vec<Profile> {
+        vec![
+            Profile::hana(),
+            Profile::postgres(),
+            Profile::system_x(),
+            Profile::system_y(),
+            Profile::system_z(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_capability_claims() {
+        let hana = Profile::hana();
+        assert!(hana.has(Capability::CaseJoin));
+        assert!(hana.has(Capability::LimitPushdownAj));
+        assert!(hana.any_asj());
+
+        let pg = Profile::postgres();
+        assert!(pg.has(Capability::UajElimination));
+        assert!(pg.has(Capability::UniqueFromGroupBy));
+        assert!(!pg.has(Capability::UniqueThroughJoin));
+        assert!(!pg.has(Capability::LimitPushdownAj));
+        assert!(!pg.any_asj());
+
+        let x = Profile::system_x();
+        assert!(!x.has(Capability::UajElimination));
+
+        let y = Profile::system_y();
+        assert!(y.has(Capability::UniqueFromPrimaryKey));
+        assert!(!y.has(Capability::UniqueFromGroupBy));
+
+        let z = Profile::system_z();
+        assert!(z.has(Capability::UniqueThroughJoin));
+        assert!(!z.has(Capability::UniqueThroughSortLimit));
+    }
+
+    #[test]
+    fn derive_options_reflect_flags() {
+        let opts = Profile::postgres().derive_options();
+        assert!(opts.from_primary_key && opts.from_group_by && opts.from_const_filter);
+        assert!(!opts.through_join && !opts.through_sort_limit);
+        assert!(!opts.union_disjoint && !opts.union_branch_id && !opts.trust_declared);
+    }
+
+    #[test]
+    fn with_without_roundtrip() {
+        let p = Profile::hana().without(Capability::CaseJoin);
+        assert!(!p.has(Capability::CaseJoin));
+        assert!(p.has(Capability::AsjUnionHeuristic));
+        let p = p.with(Capability::CaseJoin);
+        assert!(p.has(Capability::CaseJoin));
+    }
+
+    #[test]
+    fn paper_systems_order() {
+        let names: Vec<String> =
+            Profile::paper_systems().iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(names, ["hana", "postgres", "system_x", "system_y", "system_z"]);
+    }
+}

@@ -1,0 +1,431 @@
+//! Projection pruning + unused-augmentation-join elimination (§4.2–4.3).
+//!
+//! One top-down pass: the set of *required* output columns flows from the
+//! root toward the leaves. At every join, if the parent requires nothing
+//! from the right child and the join is provably **purely augmentative**
+//! (it neither filters nor duplicates left rows), the join disappears:
+//!
+//! * **AJ 2** — left-outer equi-join whose right side matches at most one
+//!   row (right join columns cover a unique set — AJ 2a — or the right side
+//!   is statically empty — AJ 2b);
+//! * **AJ 1** — inner equi-join guaranteed *exactly one* match: declared
+//!   `MANY TO EXACT ONE` (§7.3) or witnessed by a foreign key over
+//!   non-nullable columns (AJ 1a).
+//!
+//! Everything else in the pass is plain column pruning, which is itself
+//! what makes the analysis compositional: pruning a join's unused output
+//! exposes the next UAJ above it.
+
+use crate::profile::{Capability, Profile};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use vdm_catalog::TableDef;
+use vdm_expr::{fold, Expr};
+use vdm_plan::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef};
+use vdm_types::{Result, VdmError};
+
+/// Old-ordinal → new-ordinal mapping produced by pruning a subtree.
+type ColMap = Vec<Option<usize>>;
+
+/// Runs the pruning/UAJ pass over a whole plan.
+pub fn prune_pass(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
+    let all: BTreeSet<usize> = (0..plan.schema().len()).collect();
+    let original = plan.schema();
+    let (pruned, map) = prune(plan, &all, profile)?;
+    // Root required everything, so the mapping must be total; restore the
+    // original column order/names with a projection if anything moved.
+    let identity = map.iter().enumerate().all(|(i, m)| *m == Some(i))
+        && pruned.schema().len() == original.len();
+    if identity {
+        return Ok(pruned);
+    }
+    let exprs = map
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let new = m.ok_or_else(|| {
+                VdmError::Optimize(format!("root column {i} lost during pruning"))
+            })?;
+            Ok((Expr::col(new), original.field(i).name.clone()))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    LogicalPlan::project(pruned, exprs)
+}
+
+fn prune(plan: &PlanRef, required: &BTreeSet<usize>, profile: &Profile) -> Result<(PlanRef, ColMap)> {
+    // Zero-column relations are not representable; always keep one column.
+    let mut required = required.clone();
+    if required.is_empty() && !plan.schema().is_empty() {
+        required.insert(0);
+    }
+    let width = plan.schema().len();
+    match plan.as_ref() {
+        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => {
+            Ok((plan.clone(), identity_map(width)))
+        }
+        LogicalPlan::Project { input, exprs, .. } => {
+            let kept: Vec<usize> = required.iter().copied().collect();
+            let mut child_req = BTreeSet::new();
+            for &i in &kept {
+                exprs[i].0.referenced_columns(&mut child_req);
+            }
+            let (new_input, cmap) = prune(input, &child_req, profile)?;
+            let new_exprs = kept
+                .iter()
+                .map(|&i| {
+                    let (e, n) = &exprs[i];
+                    (remap(e, &cmap), n.clone())
+                })
+                .collect();
+            let new_plan = LogicalPlan::project(new_input, new_exprs)?;
+            Ok((new_plan, positions_map(width, &kept)))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut child_req = required.clone();
+            predicate.referenced_columns(&mut child_req);
+            let (new_input, cmap) = prune(input, &child_req, profile)?;
+            let new_plan = LogicalPlan::filter(new_input, remap(predicate, &cmap))?;
+            Ok((new_plan, cmap))
+        }
+        LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } => prune_join(
+            plan, left, right, *kind, on, filter, *declared, *asj_intent, &required, profile,
+        ),
+        LogicalPlan::UnionAll { inputs, .. } => {
+            let kept: Vec<usize> = required.iter().copied().collect();
+            let mut new_children = Vec::with_capacity(inputs.len());
+            for child in inputs {
+                let (pruned_child, cmap) = prune(child, &required, profile)?;
+                // Normalize every child to the same [kept...] layout.
+                let exprs = kept
+                    .iter()
+                    .map(|&i| {
+                        let new = cmap[i].ok_or_else(|| {
+                            VdmError::Optimize(format!("union child lost required column {i}"))
+                        })?;
+                        Ok((Expr::col(new), child.schema().field(i).name.clone()))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                new_children.push(LogicalPlan::project(pruned_child, exprs)?);
+            }
+            let new_plan = LogicalPlan::union_all(new_children)?;
+            Ok((new_plan, positions_map(width, &kept)))
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
+            let ng = group_by.len();
+            // Group keys always stay (dropping one changes grouping).
+            let kept_aggs: Vec<usize> = (0..aggs.len())
+                .filter(|j| required.contains(&(ng + j)))
+                .collect();
+            let mut child_req = BTreeSet::new();
+            for (e, _) in group_by {
+                e.referenced_columns(&mut child_req);
+            }
+            for &j in &kept_aggs {
+                aggs[j].0.referenced_columns(&mut child_req);
+            }
+            let (new_input, cmap) = prune(input, &child_req, profile)?;
+            let new_groups = group_by
+                .iter()
+                .map(|(e, n)| (remap(e, &cmap), n.clone()))
+                .collect();
+            let new_aggs = kept_aggs
+                .iter()
+                .map(|&j| {
+                    let (a, n) = &aggs[j];
+                    (a.remap_columns(&|i| cmap[i].expect("agg ref pruned")), n.clone())
+                })
+                .collect();
+            let new_plan = LogicalPlan::aggregate(new_input, new_groups, new_aggs)?;
+            let mut map: ColMap = vec![None; width];
+            for (i, m) in map.iter_mut().enumerate().take(ng) {
+                *m = Some(i);
+            }
+            for (new_j, &old_j) in kept_aggs.iter().enumerate() {
+                map[ng + old_j] = Some(ng + new_j);
+            }
+            Ok((new_plan, map))
+        }
+        LogicalPlan::Distinct { input } => {
+            // DISTINCT semantics depend on every column: no pruning below,
+            // but still recurse to prune within (joins inside subtrees).
+            let all: BTreeSet<usize> = (0..input.schema().len()).collect();
+            let (new_input, cmap) = prune(input, &all, profile)?;
+            debug_assert!(cmap.iter().enumerate().all(|(i, m)| *m == Some(i)));
+            Ok((LogicalPlan::distinct(new_input), identity_map(width)))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let mut child_req = required.clone();
+            for k in keys {
+                k.expr.referenced_columns(&mut child_req);
+            }
+            let (new_input, cmap) = prune(input, &child_req, profile)?;
+            let new_keys = keys
+                .iter()
+                .map(|k| vdm_plan::SortKey {
+                    expr: remap(&k.expr, &cmap),
+                    asc: k.asc,
+                    nulls_first: k.nulls_first,
+                })
+                .collect();
+            let new_plan = LogicalPlan::sort(new_input, new_keys)?;
+            Ok((new_plan, cmap))
+        }
+        LogicalPlan::Limit { input, skip, fetch } => {
+            let (new_input, cmap) = prune(input, &required, profile)?;
+            Ok((LogicalPlan::limit(new_input, *skip, *fetch), cmap))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn prune_join(
+    plan: &PlanRef,
+    left: &PlanRef,
+    right: &PlanRef,
+    kind: JoinKind,
+    on: &[(usize, usize)],
+    filter: &Option<Expr>,
+    declared: Option<DeclaredCardinality>,
+    asj_intent: bool,
+    required: &BTreeSet<usize>,
+    profile: &Profile,
+) -> Result<(PlanRef, ColMap)> {
+    let width = plan.schema().len();
+    let nl = left.schema().len();
+    let req_left: BTreeSet<usize> = required.iter().copied().filter(|&i| i < nl).collect();
+    let req_right: BTreeSet<usize> =
+        required.iter().copied().filter(|&i| i >= nl).map(|i| i - nl).collect();
+
+    // ---- UAJ elimination ----------------------------------------------
+    if profile.has(Capability::UajElimination) && req_right.is_empty() {
+        let opts = profile.derive_options();
+        let removable = match kind {
+            JoinKind::LeftOuter => {
+                // AJ 2a: right matches at most one row; AJ 2b: right empty.
+                vdm_plan::props::join_right_at_most_one(right, on, declared, &opts)
+                    || statically_empty(right)
+            }
+            JoinKind::Inner => {
+                // AJ 1: exactly-one lower bound needed.
+                inner_exactly_one(left, right, on, declared, profile)
+            }
+        };
+        if removable {
+            let (new_left, lmap) = prune(left, &req_left, profile)?;
+            let mut map: ColMap = vec![None; width];
+            for &i in &req_left {
+                map[i] = lmap[i];
+            }
+            // Corner case: the parent required only right columns (all now
+            // gone) and the zero-column guard put col 0 of the join, which
+            // is a left column — covered by req_left handling above.
+            if req_left.is_empty() {
+                map[0] = lmap[0];
+            }
+            return Ok((new_left, map));
+        }
+    }
+
+    // ---- Regular pruning ------------------------------------------------
+    let mut left_req = req_left.clone();
+    let mut right_req = req_right.clone();
+    for &(l, r) in on {
+        left_req.insert(l);
+        right_req.insert(r);
+    }
+    if let Some(f) = filter {
+        let mut refs = BTreeSet::new();
+        f.referenced_columns(&mut refs);
+        for i in refs {
+            if i < nl {
+                left_req.insert(i);
+            } else {
+                right_req.insert(i - nl);
+            }
+        }
+    }
+    let (new_left, lmap) = prune(left, &left_req, profile)?;
+    let (new_right, rmap) = prune(right, &right_req, profile)?;
+    let new_nl = new_left.schema().len();
+    let new_on: Vec<(usize, usize)> = on
+        .iter()
+        .map(|&(l, r)| {
+            Ok((
+                lmap[l].ok_or_else(|| VdmError::Optimize("join key pruned (left)".into()))?,
+                rmap[r].ok_or_else(|| VdmError::Optimize("join key pruned (right)".into()))?,
+            ))
+        })
+        .collect::<Result<_>>()?;
+    let new_filter = filter.as_ref().map(|f| {
+        f.remap_columns(&|i| {
+            if i < nl {
+                lmap[i].expect("filter ref kept (left)")
+            } else {
+                new_nl + rmap[i - nl].expect("filter ref kept (right)")
+            }
+        })
+    });
+    let new_plan = LogicalPlan::join(
+        new_left, new_right, kind, new_on, new_filter, declared, asj_intent,
+    )?;
+    let mut map: ColMap = vec![None; width];
+    map[..nl].copy_from_slice(&lmap[..nl]);
+    for i in 0..(width - nl) {
+        map[nl + i] = rmap[i].map(|p| new_nl + p);
+    }
+    Ok((new_plan, map))
+}
+
+/// Statically-empty relation detection (AJ 2b: `R ⟕ ∅`).
+pub fn statically_empty(plan: &PlanRef) -> bool {
+    match plan.as_ref() {
+        LogicalPlan::Values { rows, .. } => rows.is_empty(),
+        LogicalPlan::Filter { input, predicate } => {
+            fold::is_always_false(predicate) || statically_empty(input)
+        }
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Sort { input, .. } => statically_empty(input),
+        LogicalPlan::Limit { input, fetch, .. } => {
+            *fetch == Some(0) || statically_empty(input)
+        }
+        LogicalPlan::Join { left, right, kind, .. } => {
+            statically_empty(left)
+                || (*kind == JoinKind::Inner && statically_empty(right))
+        }
+        LogicalPlan::UnionAll { inputs, .. } => inputs.iter().all(statically_empty),
+        _ => false,
+    }
+}
+
+/// Traces an output ordinal down a pure-column chain to its originating
+/// scan. Returns `(table, instance, scan ordinal, filtered, nulled)` —
+/// thin adapter over [`vdm_plan::lineage`].
+pub fn trace_to_scan(
+    plan: &PlanRef,
+    ord: usize,
+) -> Option<(Arc<TableDef>, usize, usize, bool, bool)> {
+    let o = vdm_plan::lineage::trace_column(plan, ord)?;
+    Some((o.table, o.instance, o.column, o.filtered, o.nulled))
+}
+
+/// AJ 1 witness: an inner equi-join with a guaranteed *exactly one* match —
+/// declared `MANY TO EXACT ONE`, or a foreign key over non-nullable columns
+/// referencing an unfiltered scan of the target table (AJ 1a).
+fn inner_exactly_one(
+    left: &PlanRef,
+    right: &PlanRef,
+    on: &[(usize, usize)],
+    declared: Option<DeclaredCardinality>,
+    profile: &Profile,
+) -> bool {
+    if profile.has(Capability::TrustDeclaredCardinality)
+        && declared == Some(DeclaredCardinality::ManyToExactOne)
+    {
+        return true;
+    }
+    if !profile.has(Capability::UniqueFromPrimaryKey) || on.is_empty() {
+        return false;
+    }
+    // Trace all left keys to one scan, un-nulled and non-nullable.
+    let mut left_scan: Option<(Arc<TableDef>, usize)> = None;
+    let mut left_ords = Vec::with_capacity(on.len());
+    for &(l, _) in on {
+        let (t, inst, c, _filtered, nulled) = match trace_to_scan(left, l) {
+            Some(x) => x,
+            None => return false,
+        };
+        if nulled || t.schema.field(c).nullable {
+            return false;
+        }
+        match &left_scan {
+            None => left_scan = Some((Arc::clone(&t), inst)),
+            Some((_, prev)) if *prev == inst => {}
+            _ => return false,
+        }
+        left_ords.push(c);
+    }
+    let (left_table, _) = left_scan.expect("on is non-empty");
+    // Trace all right keys to one *unfiltered* scan.
+    let mut right_scan: Option<(Arc<TableDef>, usize)> = None;
+    let mut right_ords = Vec::with_capacity(on.len());
+    for &(_, r) in on {
+        let (t, inst, c, filtered, nulled) = match trace_to_scan(right, r) {
+            Some(x) => x,
+            None => return false,
+        };
+        if filtered || nulled {
+            return false;
+        }
+        match &right_scan {
+            None => right_scan = Some((Arc::clone(&t), inst)),
+            Some((_, prev)) if *prev == inst => {}
+            _ => return false,
+        }
+        right_ords.push(c);
+    }
+    let (right_table, _) = right_scan.expect("on is non-empty");
+    // The right side must contain nothing but that scan (no extra joins
+    // that might duplicate; pure projections are fine).
+    if !pure_chain_to_scan(right) {
+        return false;
+    }
+    // Right keys must be unique, and a foreign key must align.
+    if !right_table.cols_unique(&right_ords) {
+        return false;
+    }
+    left_table.foreign_keys.iter().any(|fk| {
+        if !fk.ref_table.eq_ignore_ascii_case(&right_table.name) {
+            return false;
+        }
+        if fk.columns.len() != on.len() {
+            return false;
+        }
+        let resolved: Option<Vec<usize>> = fk
+            .ref_columns
+            .iter()
+            .map(|n| right_table.schema.index_of(n))
+            .collect();
+        match resolved {
+            Some(ref_ords) => {
+                // Pairwise alignment: fk.columns[i] ↔ ref_ords[i] must match
+                // the traced join pairs in some order.
+                on.len() == fk.columns.len()
+                    && left_ords.iter().zip(&right_ords).all(|(lc, rc)| {
+                        fk.columns
+                            .iter()
+                            .zip(&ref_ords)
+                            .any(|(fc, rf)| fc == lc && rf == rc)
+                    })
+            }
+            None => false,
+        }
+    })
+}
+
+/// True when the plan is just projections/sorts/limits over a single scan.
+fn pure_chain_to_scan(plan: &PlanRef) -> bool {
+    match plan.as_ref() {
+        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Project { input, exprs, .. } => {
+            exprs.iter().all(|(e, _)| matches!(e, Expr::Col(_))) && pure_chain_to_scan(input)
+        }
+        _ => false,
+    }
+}
+
+fn identity_map(width: usize) -> ColMap {
+    (0..width).map(Some).collect()
+}
+
+fn positions_map(width: usize, kept: &[usize]) -> ColMap {
+    let mut map = vec![None; width];
+    for (new, &old) in kept.iter().enumerate() {
+        map[old] = Some(new);
+    }
+    map
+}
+
+fn remap(e: &Expr, map: &ColMap) -> Expr {
+    e.remap_columns(&|i| map[i].expect("referenced column was kept"))
+}

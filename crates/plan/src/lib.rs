@@ -1,0 +1,26 @@
+//! Logical query plans and their derived properties.
+//!
+//! A [`LogicalPlan`] is an immutable DAG (`Arc`-shared children — SAP HANA
+//! shares subqueries the same way, which is why Fig. 3 of the paper counts
+//! 47 table instances shared vs 62 unshared). Construction goes through
+//! validating constructors that compute output schemas eagerly.
+//!
+//! The properties module implements the *unique key set* derivation at the
+//! heart of augmentation-join detection (§4.2), parameterised by
+//! [`props::DeriveOptions`] so optimizer capability profiles can disable
+//! individual derivations and reproduce the behaviour differences of
+//! Tables 1–4.
+
+pub mod explain;
+pub mod lineage;
+pub mod node;
+pub mod props;
+pub mod registry;
+pub mod stats;
+
+pub use explain::explain;
+pub use lineage::{column_lineage, trace_column, Origin};
+pub use node::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef, SortKey};
+pub use props::{unique_sets, DeriveOptions};
+pub use registry::ViewRegistry;
+pub use stats::{plan_stats, PlanStats};

@@ -1,0 +1,137 @@
+//! Plan complexity metrics — the numbers behind Fig. 3 / Fig. 4 of the
+//! paper ("47 table instances, 49 joins, one five-way UNION ALL, one GROUP
+//! BY, one DISTINCT"; 62 table instances when shared subtrees are counted
+//! per reference).
+
+use crate::node::{LogicalPlan, PlanRef};
+use std::collections::HashSet;
+
+/// Operator counts over a plan DAG.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Distinct scan nodes (shared subtrees counted once) — the paper's
+    /// "table instances" in DAG form.
+    pub table_instances: usize,
+    /// Scan references counted per path (shared subtrees multiplied) — the
+    /// paper's "unshared" count.
+    pub table_references: usize,
+    pub joins: usize,
+    pub left_outer_joins: usize,
+    pub unions: usize,
+    /// Largest UNION ALL fan-in.
+    pub max_union_width: usize,
+    pub aggregates: usize,
+    pub distincts: usize,
+    pub filters: usize,
+    pub projects: usize,
+    pub limits: usize,
+    pub sorts: usize,
+    /// Total distinct nodes in the DAG.
+    pub nodes: usize,
+    /// Longest root-to-leaf path (nesting depth proxy).
+    pub depth: usize,
+}
+
+/// Computes [`PlanStats`] for a plan DAG.
+pub fn plan_stats(plan: &PlanRef) -> PlanStats {
+    let mut stats = PlanStats::default();
+    let mut seen: HashSet<*const LogicalPlan> = HashSet::new();
+    count_dag(plan, &mut stats, &mut seen);
+    stats.table_references = count_refs(plan);
+    stats.depth = depth(plan);
+    stats
+}
+
+fn count_dag(plan: &PlanRef, stats: &mut PlanStats, seen: &mut HashSet<*const LogicalPlan>) {
+    let ptr = Arc_as_ptr(plan);
+    if !seen.insert(ptr) {
+        return;
+    }
+    stats.nodes += 1;
+    match plan.as_ref() {
+        LogicalPlan::Scan { .. } => stats.table_instances += 1,
+        LogicalPlan::Values { .. } => {}
+        LogicalPlan::Project { .. } => stats.projects += 1,
+        LogicalPlan::Filter { .. } => stats.filters += 1,
+        LogicalPlan::Join { kind, .. } => {
+            stats.joins += 1;
+            if *kind == crate::node::JoinKind::LeftOuter {
+                stats.left_outer_joins += 1;
+            }
+        }
+        LogicalPlan::UnionAll { inputs, .. } => {
+            stats.unions += 1;
+            stats.max_union_width = stats.max_union_width.max(inputs.len());
+        }
+        LogicalPlan::Aggregate { .. } => stats.aggregates += 1,
+        LogicalPlan::Distinct { .. } => stats.distincts += 1,
+        LogicalPlan::Sort { .. } => stats.sorts += 1,
+        LogicalPlan::Limit { .. } => stats.limits += 1,
+    }
+    for child in plan.children() {
+        count_dag(child, stats, seen);
+    }
+}
+
+fn count_refs(plan: &PlanRef) -> usize {
+    match plan.as_ref() {
+        LogicalPlan::Scan { .. } => 1,
+        _ => plan.children().iter().map(|c| count_refs(c)).sum(),
+    }
+}
+
+fn depth(plan: &PlanRef) -> usize {
+    1 + plan.children().iter().map(|c| depth(c)).max().unwrap_or(0)
+}
+
+#[allow(non_snake_case)]
+fn Arc_as_ptr(p: &PlanRef) -> *const LogicalPlan {
+    std::sync::Arc::as_ptr(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vdm_catalog::TableBuilder;
+    use vdm_types::SqlType;
+
+    fn table(name: &str) -> Arc<vdm_catalog::TableDef> {
+        Arc::new(
+            TableBuilder::new(name)
+                .column("k", SqlType::Int, false)
+                .primary_key(&["k"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn shared_subtree_counts_once_in_dag_twice_in_refs() {
+        let t = LogicalPlan::scan(table("t"));
+        // Join the SAME Arc with itself: DAG sharing.
+        let j = LogicalPlan::inner_join(Arc::clone(&t), t, vec![(0, 0)]).unwrap();
+        let s = plan_stats(&j);
+        assert_eq!(s.table_instances, 1, "shared scan counted once");
+        assert_eq!(s.table_references, 2, "but referenced twice");
+        assert_eq!(s.joins, 1);
+    }
+
+    #[test]
+    fn union_width_tracked() {
+        let inputs = (0..5).map(|_| LogicalPlan::scan(table("t"))).collect();
+        let u = LogicalPlan::union_all(inputs).unwrap();
+        let s = plan_stats(&u);
+        assert_eq!(s.unions, 1);
+        assert_eq!(s.max_union_width, 5);
+        assert_eq!(s.table_instances, 5);
+    }
+
+    #[test]
+    fn depth_counts_longest_path() {
+        let t = LogicalPlan::scan(table("t"));
+        let f = LogicalPlan::filter(t, vdm_expr::Expr::col(0).eq(vdm_expr::Expr::int(1))).unwrap();
+        let l = LogicalPlan::limit(f, 0, Some(1));
+        assert_eq!(plan_stats(&l).depth, 3);
+    }
+}

@@ -1,0 +1,174 @@
+//! Abstract syntax tree.
+
+use vdm_plan::DeclaredCardinality;
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    CreateTable(CreateTable),
+    /// `CREATE [OR REPLACE] VIEW name AS select [WITH EXPRESSION MACROS (...)]`.
+    CreateView {
+        name: String,
+        or_replace: bool,
+        query: SelectStmt,
+        macros: Vec<MacroAst>,
+    },
+    Insert {
+        table: String,
+        columns: Option<Vec<String>>,
+        rows: Vec<Vec<AstExpr>>,
+    },
+    Explain(Box<Statement>),
+}
+
+/// `expr AS name` inside `WITH EXPRESSION MACROS (...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MacroAst {
+    pub name: String,
+    pub body: AstExpr,
+}
+
+/// CREATE TABLE definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    pub columns: Vec<ColumnAst>,
+    pub primary_key: Vec<String>,
+    pub uniques: Vec<Vec<String>>,
+    pub foreign_keys: Vec<(Vec<String>, String, Vec<String>)>,
+}
+
+/// One column in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnAst {
+    pub name: String,
+    pub type_name: String,
+    /// DECIMAL scale, when given.
+    pub scale: Option<u8>,
+    pub not_null: bool,
+}
+
+/// A SELECT (one arm of a possible UNION ALL chain).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Option<TableRef>,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+    /// Further UNION ALL arms.
+    pub union_all: Vec<SelectStmt>,
+    /// `(expr, ascending)` pairs.
+    pub order_by: Vec<(AstExpr, bool)>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Wildcard,
+    /// `alias.*`
+    QualifiedWildcard(String),
+    /// `expr [AS alias]`
+    Expr { expr: AstExpr, alias: Option<String> },
+}
+
+/// FROM-clause item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// `name [AS alias]`
+    Named { name: String, alias: Option<String> },
+    /// `(select ...) alias`
+    Subquery { query: Box<SelectStmt>, alias: String },
+    /// `left <kind> JOIN right ON cond`
+    Join {
+        left: Box<TableRef>,
+        right: Box<TableRef>,
+        kind: AstJoinKind,
+        /// §7.3 cardinality annotation.
+        cardinality: Option<DeclaredCardinality>,
+        /// §6.3 `CASE JOIN`.
+        case_join: bool,
+        on: Option<AstExpr>,
+    },
+}
+
+/// Join kinds in the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstJoinKind {
+    Inner,
+    LeftOuter,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Possibly-qualified identifier: `x` or `t.x`.
+    Ident(Vec<String>),
+    Number(String),
+    Str(String),
+    Bool(bool),
+    Null,
+    /// `*` — only valid inside `COUNT(*)`.
+    Star,
+    Binary { op: AstBinOp, left: Box<AstExpr>, right: Box<AstExpr> },
+    Not(Box<AstExpr>),
+    IsNull { expr: Box<AstExpr>, negated: bool },
+    /// `x [NOT] IN (v1, v2, ...)` — desugared to an OR/AND chain at bind.
+    InList { expr: Box<AstExpr>, list: Vec<AstExpr>, negated: bool },
+    /// `x [NOT] BETWEEN lo AND hi` — desugared to range conjuncts at bind.
+    Between { expr: Box<AstExpr>, low: Box<AstExpr>, high: Box<AstExpr>, negated: bool },
+    Case {
+        branches: Vec<(AstExpr, AstExpr)>,
+        else_expr: Option<Box<AstExpr>>,
+    },
+    /// Function call (scalar or aggregate — resolved at bind time).
+    Func { name: String, args: Vec<AstExpr>, distinct: bool },
+    Cast { expr: Box<AstExpr>, type_name: String, scale: Option<u8> },
+    /// `ALLOW_PRECISION_LOSS(aggregate-expr)` (§7.1).
+    PrecisionLoss(Box<AstExpr>),
+    /// `EXPRESSION_MACRO(name)` (§7.2).
+    MacroRef(String),
+}
+
+/// Binary operators in the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AstBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+impl AstBinOp {
+    /// Mapping into the expression crate's operator.
+    pub fn to_binop(self) -> vdm_expr::BinOp {
+        use vdm_expr::BinOp as B;
+        match self {
+            AstBinOp::Add => B::Add,
+            AstBinOp::Sub => B::Sub,
+            AstBinOp::Mul => B::Mul,
+            AstBinOp::Div => B::Div,
+            AstBinOp::Eq => B::Eq,
+            AstBinOp::NotEq => B::NotEq,
+            AstBinOp::Lt => B::Lt,
+            AstBinOp::LtEq => B::LtEq,
+            AstBinOp::Gt => B::Gt,
+            AstBinOp::GtEq => B::GtEq,
+            AstBinOp::And => B::And,
+            AstBinOp::Or => B::Or,
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! SQL lexer.
+
+use vdm_types::{Result, VdmError};
+
+/// One lexical token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are not distinguished here — the parser matches
+/// identifiers case-insensitively, which keeps the keyword set open for
+/// the HANA extensions (`MANY`, `EXACT`, `CASE JOIN`, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (normalized case preserved).
+    Ident(String),
+    /// Quoted identifier (`"Mixed Case"`).
+    QuotedIdent(String),
+    /// Numeric literal (lexeme kept verbatim: `42`, `1.5`).
+    Number(String),
+    /// String literal with quotes removed and `''` unescaped.
+    Str(String),
+    /// Punctuation / operator: `( ) , . * + - / = < > <= >= <> !=`.
+    Sym(&'static str),
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable rendering for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier {s:?}"),
+            TokenKind::QuotedIdent(s) => format!("identifier \"{s}\""),
+            TokenKind::Number(s) => format!("number {s}"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Sym(s) => format!("symbol {s:?}"),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// Lexes `sql` into tokens (trailing [`TokenKind::Eof`] included).
+pub fn lex(sql: &str) -> Result<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Ident(sql[start..i].to_string()),
+                offset: start,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut seen_dot = false;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_digit() || (bytes[i] == b'.' && !seen_dot))
+            {
+                if bytes[i] == b'.' {
+                    // A dot not followed by a digit terminates the number
+                    // (e.g. `1.` is invalid; `t.1` never happens).
+                    if !(i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+                        break;
+                    }
+                    seen_dot = true;
+                }
+                i += 1;
+            }
+            out.push(Token {
+                kind: TokenKind::Number(sql[start..i].to_string()),
+                offset: start,
+            });
+            continue;
+        }
+        if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(VdmError::Parse(format!(
+                        "unterminated string literal at offset {start}"
+                    )));
+                }
+                if bytes[i] == b'\'' {
+                    if bytes.get(i + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                s.push(bytes[i] as char);
+                i += 1;
+            }
+            out.push(Token { kind: TokenKind::Str(s), offset: start });
+            continue;
+        }
+        if c == '"' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(VdmError::Parse(format!(
+                        "unterminated quoted identifier at offset {start}"
+                    )));
+                }
+                if bytes[i] == b'"' {
+                    i += 1;
+                    break;
+                }
+                s.push(bytes[i] as char);
+                i += 1;
+            }
+            out.push(Token { kind: TokenKind::QuotedIdent(s), offset: start });
+            continue;
+        }
+        // Multi-char operators first.
+        let two = sql.get(i..i + 2).unwrap_or("");
+        let sym: Option<&'static str> = match two {
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            "<>" => Some("<>"),
+            "!=" => Some("!="),
+            _ => None,
+        };
+        if let Some(s) = sym {
+            out.push(Token { kind: TokenKind::Sym(s), offset: start });
+            i += 2;
+            continue;
+        }
+        let sym: Option<&'static str> = match c {
+            '(' => Some("("),
+            ')' => Some(")"),
+            ',' => Some(","),
+            '.' => Some("."),
+            '*' => Some("*"),
+            '+' => Some("+"),
+            '-' => Some("-"),
+            '/' => Some("/"),
+            '=' => Some("="),
+            '<' => Some("<"),
+            '>' => Some(">"),
+            ';' => Some(";"),
+            _ => None,
+        };
+        match sym {
+            Some(s) => {
+                out.push(Token { kind: TokenKind::Sym(s), offset: start });
+                i += 1;
+            }
+            None => {
+                return Err(VdmError::Parse(format!(
+                    "unexpected character {c:?} at offset {i}"
+                )))
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, offset: sql.len() });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_basic_select() {
+        let k = kinds("select a, b from t where a <= 1.5");
+        assert_eq!(k[0], TokenKind::Ident("select".into()));
+        assert!(k.contains(&TokenKind::Sym("<=")));
+        assert!(k.contains(&TokenKind::Number("1.5".into())));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn string_escapes_and_comments() {
+        let k = kinds("select 'it''s' -- trailing comment\nfrom t");
+        assert!(k.contains(&TokenKind::Str("it's".into())));
+        assert!(k.contains(&TokenKind::Ident("from".into())));
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let k = kinds("select \"Mixed Case\" from t");
+        assert!(k.contains(&TokenKind::QuotedIdent("Mixed Case".into())));
+    }
+
+    #[test]
+    fn number_dot_boundary() {
+        // `count(*)` style and qualified names must not eat dots.
+        let k = kinds("t.col");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Ident("t".into()),
+                TokenKind::Sym("."),
+                TokenKind::Ident("col".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("select ~").is_err());
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+}

@@ -1,0 +1,22 @@
+//! SQL front end: lexer, parser, and binder.
+//!
+//! Covers the SQL subset the paper's workloads need — SELECT with joins,
+//! GROUP BY/HAVING, UNION ALL, ORDER BY/LIMIT/OFFSET, subqueries in FROM,
+//! CREATE TABLE/VIEW, INSERT — plus the four HANA extensions the paper
+//! introduces:
+//!
+//! * **join cardinality** (§7.3): `LEFT OUTER MANY TO ONE JOIN`,
+//!   `INNER MANY TO EXACT ONE JOIN`;
+//! * **case join** (§6.3): `LEFT OUTER CASE JOIN` — declares ASJ intent;
+//! * **`ALLOW_PRECISION_LOSS(...)`** (§7.1) around aggregates;
+//! * **expression macros** (§7.2): `CREATE VIEW ... WITH EXPRESSION MACROS
+//!   (expr AS name, ...)` and `EXPRESSION_MACRO(name)` in queries.
+
+pub mod ast;
+pub mod binder;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{SelectStmt, Statement};
+pub use binder::{Binder, MacroRegistry};
+pub use parser::parse;

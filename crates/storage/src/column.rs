@@ -1,0 +1,359 @@
+//! Typed columns and batches — the unit of data exchange between storage
+//! and the executor.
+
+use std::sync::Arc;
+use vdm_types::{Decimal, Result, Schema, SqlType, Value, VdmError};
+
+/// Dictionary-encoded string column: `codes[i]` indexes into the sorted,
+/// deduplicated `dict`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrColumn {
+    pub dict: Vec<Arc<str>>,
+    pub codes: Vec<u32>,
+}
+
+impl StrColumn {
+    /// Builds from raw values (dictionary deduplicated in first-seen order;
+    /// NULL slots receive code 0 and are masked by the column validity).
+    pub fn from_values(values: &[Option<Arc<str>>]) -> StrColumn {
+        let mut dict: Vec<Arc<str>> = Vec::new();
+        let mut code_of: std::collections::HashMap<Arc<str>, u32> = std::collections::HashMap::new();
+        let codes = values
+            .iter()
+            .map(|v| match v {
+                Some(s) => match code_of.get(s) {
+                    Some(&c) => c,
+                    None => {
+                        let c = dict.len() as u32;
+                        dict.push(Arc::clone(s));
+                        code_of.insert(Arc::clone(s), c);
+                        c
+                    }
+                },
+                None => 0,
+            })
+            .collect();
+        StrColumn { dict, codes }
+    }
+
+    /// Value at `i` (validity handled by the owning [`Column`]).
+    pub fn get(&self, i: usize) -> Arc<str> {
+        Arc::clone(&self.dict[self.codes[i] as usize])
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Distinct values stored — compression diagnostics.
+    pub fn dict_size(&self) -> usize {
+        self.dict.len()
+    }
+}
+
+/// Physical column payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    /// Fixed-point decimals normalized to one scale.
+    Dec { units: Vec<i128>, scale: u8 },
+    Bool(Vec<bool>),
+    Date(Vec<i32>),
+    Str(StrColumn),
+}
+
+impl ColumnData {
+    fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Dec { units, .. } => units.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Str(s) => s.len(),
+        }
+    }
+}
+
+/// A typed column with an optional validity mask (absent = all valid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Vec<bool>>,
+}
+
+impl Column {
+    /// Builds a column of `ty` from row values, normalizing decimal scales
+    /// and validating types. NULLs are allowed regardless of schema
+    /// nullability here — nullability enforcement is the store's job.
+    pub fn from_values(ty: SqlType, values: &[Value]) -> Result<Column> {
+        let mut validity: Vec<bool> = Vec::with_capacity(values.len());
+        let mut any_null = false;
+        for v in values {
+            let valid = !v.is_null();
+            any_null |= !valid;
+            validity.push(valid);
+        }
+        let data = match ty {
+            SqlType::Int => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Null => 0,
+                        Value::Int(i) => *i,
+                        other => return Err(type_err(ty, other)),
+                    });
+                }
+                ColumnData::Int(out)
+            }
+            SqlType::Decimal { scale } => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Null => 0,
+                        Value::Dec(d) => d.rescale(scale)?.units(),
+                        Value::Int(i) => Decimal::from_int(*i).rescale(scale)?.units(),
+                        other => return Err(type_err(ty, other)),
+                    });
+                }
+                ColumnData::Dec { units: out, scale }
+            }
+            SqlType::Bool => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Null => false,
+                        Value::Bool(b) => *b,
+                        other => return Err(type_err(ty, other)),
+                    });
+                }
+                ColumnData::Bool(out)
+            }
+            SqlType::Date => {
+                let mut out = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Null => 0,
+                        Value::Date(d) => *d,
+                        other => return Err(type_err(ty, other)),
+                    });
+                }
+                ColumnData::Date(out)
+            }
+            SqlType::Text => {
+                let mut out: Vec<Option<Arc<str>>> = Vec::with_capacity(values.len());
+                for v in values {
+                    out.push(match v {
+                        Value::Null => None,
+                        Value::Str(s) => Some(Arc::clone(s)),
+                        other => return Err(type_err(ty, other)),
+                    });
+                }
+                ColumnData::Str(StrColumn::from_values(&out))
+            }
+        };
+        Ok(Column { data, validity: if any_null { Some(validity) } else { None } })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The payload.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// True when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        self.validity.as_ref().is_some_and(|v| !v[i])
+    }
+
+    /// Value at row `i`.
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Dec { units, scale } => Value::Dec(Decimal::from_units(units[i], *scale)),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Str(s) => Value::Str(s.get(i)),
+        }
+    }
+
+    /// New column containing rows at `indices` in order.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let values: Vec<Value> = indices.iter().map(|&i| self.get(i)).collect();
+        let ty = match &self.data {
+            ColumnData::Int(_) => SqlType::Int,
+            ColumnData::Dec { scale, .. } => SqlType::Decimal { scale: *scale },
+            ColumnData::Bool(_) => SqlType::Bool,
+            ColumnData::Date(_) => SqlType::Date,
+            ColumnData::Str(_) => SqlType::Text,
+        };
+        Column::from_values(ty, &values).expect("take preserves types")
+    }
+}
+
+fn type_err(ty: SqlType, v: &Value) -> VdmError {
+    VdmError::Type(format!("column of type {ty} cannot store {v}"))
+}
+
+/// A set of equal-length columns plus the schema describing them.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    pub schema: Arc<Schema>,
+    pub columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Batch {
+    /// Builds a batch, validating column count and lengths.
+    pub fn new(schema: Arc<Schema>, columns: Vec<Column>) -> Result<Batch> {
+        if columns.len() != schema.len() {
+            return Err(VdmError::Exec(format!(
+                "batch has {} columns, schema {}",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        let rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        if columns.iter().any(|c| c.len() != rows) {
+            return Err(VdmError::Exec("batch columns disagree in length".into()));
+        }
+        Ok(Batch { schema, columns, rows })
+    }
+
+    /// An empty batch with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Batch {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::from_values(f.ty, &[]).expect("empty column"))
+            .collect();
+        Batch { schema, columns, rows: 0 }
+    }
+
+    /// Builds a batch from row-major values.
+    pub fn from_rows(schema: Arc<Schema>, rows: &[Vec<Value>]) -> Result<Batch> {
+        let mut cols = Vec::with_capacity(schema.len());
+        for (i, f) in schema.fields().iter().enumerate() {
+            let vals: Vec<Value> = rows.iter().map(|r| r[i].clone()).collect();
+            cols.push(Column::from_values(f.ty, &vals)?);
+        }
+        Batch::new(schema, cols)
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Materializes row `i`.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// All rows, row-major (tests and small results only).
+    pub fn to_rows(&self) -> Vec<Vec<Value>> {
+        (0..self.rows).map(|i| self.row(i)).collect()
+    }
+
+    /// New batch containing rows at `indices` in order.
+    pub fn take(&self, indices: &[usize]) -> Batch {
+        Batch {
+            schema: Arc::clone(&self.schema),
+            columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            rows: indices.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_types::Field;
+
+    #[test]
+    fn int_column_round_trip() {
+        let c = Column::from_values(SqlType::Int, &[Value::Int(1), Value::Null, Value::Int(3)])
+            .unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(0), Value::Int(1));
+        assert_eq!(c.get(1), Value::Null);
+        assert!(c.is_null(1));
+        assert_eq!(c.get(2), Value::Int(3));
+    }
+
+    #[test]
+    fn decimal_column_normalizes_scale() {
+        let c = Column::from_values(
+            SqlType::Decimal { scale: 2 },
+            &[Value::Dec("1.5".parse().unwrap()), Value::Int(2)],
+        )
+        .unwrap();
+        assert_eq!(c.get(0), Value::Dec("1.50".parse().unwrap()));
+        assert_eq!(c.get(1), Value::Dec("2.00".parse().unwrap()));
+    }
+
+    #[test]
+    fn string_dictionary_compresses() {
+        let vals: Vec<Value> =
+            (0..100).map(|i| Value::str(if i % 2 == 0 { "DE" } else { "FR" })).collect();
+        let c = Column::from_values(SqlType::Text, &vals).unwrap();
+        match c.data() {
+            ColumnData::Str(s) => assert_eq!(s.dict_size(), 2),
+            _ => panic!("expected string column"),
+        }
+        assert_eq!(c.get(0), Value::str("DE"));
+        assert_eq!(c.get(1), Value::str("FR"));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        assert!(Column::from_values(SqlType::Int, &[Value::str("x")]).is_err());
+        assert!(Column::from_values(SqlType::Text, &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn batch_validation_and_rows() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", SqlType::Int, false),
+            Field::new("name", SqlType::Text, true),
+        ]));
+        let rows = vec![
+            vec![Value::Int(1), Value::str("a")],
+            vec![Value::Int(2), Value::Null],
+        ];
+        let b = Batch::from_rows(Arc::clone(&schema), &rows).unwrap();
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.to_rows(), rows);
+        let taken = b.take(&[1]);
+        assert_eq!(taken.num_rows(), 1);
+        assert_eq!(taken.row(0), rows[1]);
+        // Column count mismatch.
+        assert!(Batch::new(schema, vec![]).is_err());
+    }
+
+    #[test]
+    fn take_preserves_nulls() {
+        let c = Column::from_values(SqlType::Int, &[Value::Int(1), Value::Null]).unwrap();
+        let t = c.take(&[1, 0, 1]);
+        assert_eq!(t.get(0), Value::Null);
+        assert_eq!(t.get(1), Value::Int(1));
+        assert_eq!(t.get(2), Value::Null);
+    }
+}

@@ -1,0 +1,297 @@
+//! The storage engine: named tables, monotone timestamps, snapshots.
+
+use crate::column::Batch;
+use crate::store::TableStore;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use vdm_catalog::TableDef;
+use vdm_types::{Result, Value, VdmError};
+
+/// A read timestamp. Scans against one snapshot observe a consistent state
+/// regardless of concurrent writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Snapshot(pub u64);
+
+/// Thread-safe multi-table storage engine with auto-commit writes.
+#[derive(Debug, Default)]
+pub struct StorageEngine {
+    tables: RwLock<HashMap<String, Arc<RwLock<TableStore>>>>,
+    clock: AtomicU64,
+}
+
+impl StorageEngine {
+    /// Fresh, empty engine.
+    pub fn new() -> StorageEngine {
+        StorageEngine::default()
+    }
+
+    /// Creates the backing store for a table definition.
+    pub fn create_table(&self, def: Arc<TableDef>) -> Result<()> {
+        let key = def.name.to_ascii_lowercase();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&key) {
+            return Err(VdmError::Storage(format!("table {:?} already stored", def.name)));
+        }
+        tables.insert(key, Arc::new(RwLock::new(TableStore::new(def))));
+        Ok(())
+    }
+
+    /// Drops a table's data.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.tables
+            .write()
+            .remove(&name.to_ascii_lowercase())
+            .map(|_| ())
+            .ok_or_else(|| VdmError::Storage(format!("unknown table {name:?}")))
+    }
+
+    fn table(&self, name: &str) -> Result<Arc<RwLock<TableStore>>> {
+        self.tables
+            .read()
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| VdmError::Storage(format!("unknown table {name:?}")))
+    }
+
+    /// The current read snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot(self.clock.load(Ordering::SeqCst))
+    }
+
+    fn next_ts(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Inserts rows (one auto-committed transaction). Returns rows written.
+    pub fn insert(&self, name: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
+        let table = self.table(name)?;
+        let ts = self.next_ts();
+        let result = table.write().insert(rows, ts);
+        result
+    }
+
+    /// Deletes rows matching `pred` (one auto-committed transaction).
+    pub fn delete_where(&self, name: &str, pred: &dyn Fn(&[Value]) -> bool) -> Result<usize> {
+        let table = self.table(name)?;
+        let ts = self.next_ts();
+        let n = table.write().delete_where(pred, ts);
+        Ok(n)
+    }
+
+    /// Updates rows matching `pred` by applying `f` (delete + insert).
+    pub fn update_where(
+        &self,
+        name: &str,
+        pred: &dyn Fn(&[Value]) -> bool,
+        f: &dyn Fn(&mut Vec<Value>),
+    ) -> Result<usize> {
+        let table = self.table(name)?;
+        let ts = self.next_ts();
+        let mut store = table.write();
+        let snapshot_rows = store.scan(ts - 1)?;
+        let mut updated = Vec::new();
+        for i in 0..snapshot_rows.num_rows() {
+            let row = snapshot_rows.row(i);
+            if pred(&row) {
+                let mut new_row = row;
+                f(&mut new_row);
+                updated.push(new_row);
+            }
+        }
+        if updated.is_empty() {
+            return Ok(0);
+        }
+        store.delete_where(pred, ts);
+        let n = updated.len();
+        store.insert(updated, ts)?;
+        Ok(n)
+    }
+
+    /// Scans a table at `snapshot`.
+    pub fn scan(&self, name: &str, snapshot: Snapshot) -> Result<Batch> {
+        self.table(name)?.read().scan(snapshot.0)
+    }
+
+    /// Scans at most `max_rows` of a table at `snapshot`.
+    pub fn scan_limited(&self, name: &str, snapshot: Snapshot, max_rows: usize) -> Result<Batch> {
+        self.table(name)?.read().scan_limited(snapshot.0, max_rows)
+    }
+
+    /// Timestamp of the table's most recent write (0 = never written).
+    pub fn table_version(&self, name: &str) -> Result<u64> {
+        Ok(self.table(name)?.read().last_write_ts())
+    }
+
+    /// True when the table saw deletes after `since`.
+    pub fn deleted_since(&self, name: &str, since: Snapshot) -> Result<bool> {
+        Ok(self.table(name)?.read().last_delete_ts() > since.0)
+    }
+
+    /// Rows inserted after `since` and still live at `now` (incremental
+    /// view maintenance feed).
+    pub fn inserted_between(&self, name: &str, since: Snapshot, now: Snapshot) -> Result<Batch> {
+        self.table(name)?.read().inserted_between(since.0, now.0)
+    }
+
+    /// Switches a table between column-loadable and page-loadable layouts
+    /// (the NSE metadata change + reload of §2.2).
+    pub fn set_load_mode(&self, name: &str, mode: crate::nse::LoadMode, buffer_pages: usize) -> Result<()> {
+        let table = self.table(name)?;
+        table.write().set_load_mode(mode, buffer_pages);
+        Ok(())
+    }
+
+    /// Page-buffer counters of a table.
+    pub fn page_stats(&self, name: &str) -> Result<crate::nse::PageStats> {
+        Ok(self.table(name)?.read().page_stats())
+    }
+
+    /// Scans with zone-map pruning on `column` over `range` (a superset of
+    /// the matching rows; callers re-apply their predicate).
+    pub fn scan_pruned(
+        &self,
+        name: &str,
+        snapshot: Snapshot,
+        column: usize,
+        range: &crate::zonemap::ScanRange,
+    ) -> Result<Batch> {
+        self.table(name)?.read().scan_pruned(snapshot.0, column, range)
+    }
+
+    /// Main-fragment blocks skipped by zone-map pruning so far.
+    pub fn blocks_skipped(&self, name: &str) -> Result<u64> {
+        Ok(self.table(name)?.read().blocks_skipped())
+    }
+
+    /// Live row count at `snapshot`.
+    pub fn row_count(&self, name: &str, snapshot: Snapshot) -> Result<usize> {
+        Ok(self.table(name)?.read().row_count(snapshot.0))
+    }
+
+    /// Merges a table's delta into its main fragment.
+    pub fn merge_delta(&self, name: &str) -> Result<()> {
+        let table = self.table(name)?;
+        let ts = self.clock.load(Ordering::SeqCst);
+        let result = table.write().merge_delta(ts);
+        result
+    }
+
+    /// Delta size diagnostics.
+    pub fn fragment_sizes(&self, name: &str) -> Result<(usize, usize)> {
+        let t = self.table(name)?;
+        let t = t.read();
+        Ok((t.main_len(), t.delta_len()))
+    }
+
+    /// Stored table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_catalog::TableBuilder;
+    use vdm_types::SqlType;
+
+    fn engine_with_table() -> StorageEngine {
+        let e = StorageEngine::new();
+        e.create_table(Arc::new(
+            TableBuilder::new("t")
+                .column("k", SqlType::Int, false)
+                .column("v", SqlType::Int, false)
+                .primary_key(&["k"])
+                .build()
+                .unwrap(),
+        ))
+        .unwrap();
+        e
+    }
+
+    fn row(k: i64, v: i64) -> Vec<Value> {
+        vec![Value::Int(k), Value::Int(v)]
+    }
+
+    #[test]
+    fn snapshot_sees_consistent_state() {
+        let e = engine_with_table();
+        e.insert("t", vec![row(1, 10)]).unwrap();
+        let snap = e.snapshot();
+        e.insert("t", vec![row(2, 20)]).unwrap();
+        assert_eq!(e.scan("t", snap).unwrap().num_rows(), 1);
+        assert_eq!(e.scan("t", e.snapshot()).unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn delete_invisible_after_commit() {
+        let e = engine_with_table();
+        e.insert("t", vec![row(1, 10), row(2, 20)]).unwrap();
+        let before = e.snapshot();
+        let n = e.delete_where("t", &|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(e.scan("t", e.snapshot()).unwrap().num_rows(), 1);
+        assert_eq!(e.scan("t", before).unwrap().num_rows(), 2, "old snapshot unaffected");
+    }
+
+    #[test]
+    fn update_where_rewrites_rows() {
+        let e = engine_with_table();
+        e.insert("t", vec![row(1, 10), row(2, 20)]).unwrap();
+        let n = e
+            .update_where(
+                "t",
+                &|r| r[0] == Value::Int(2),
+                &|r| r[1] = Value::Int(99),
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        let b = e.scan("t", e.snapshot()).unwrap();
+        let mut rows = b.to_rows();
+        rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(rows[1], row(2, 99));
+    }
+
+    #[test]
+    fn merge_keeps_visibility() {
+        let e = engine_with_table();
+        e.insert("t", vec![row(1, 10)]).unwrap();
+        let old = e.snapshot();
+        e.insert("t", vec![row(2, 20)]).unwrap();
+        e.merge_delta("t").unwrap();
+        let (main, delta) = e.fragment_sizes("t").unwrap();
+        assert_eq!((main, delta), (2, 0));
+        assert_eq!(e.scan("t", old).unwrap().num_rows(), 1, "merge preserves stamps");
+        assert_eq!(e.scan("t", e.snapshot()).unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let e = StorageEngine::new();
+        assert!(e.scan("nope", e.snapshot()).is_err());
+        assert!(e.insert("nope", vec![]).is_err());
+        assert!(e.drop_table("nope").is_err());
+    }
+
+    #[test]
+    fn concurrent_inserts_from_threads() {
+        let e = Arc::new(engine_with_table());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    e.insert("t", vec![row(t * 1000 + i, i)]).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(e.row_count("t", e.snapshot()).unwrap(), 200);
+    }
+}

@@ -1,0 +1,27 @@
+//! In-memory columnar storage engine.
+//!
+//! A deliberately HANA-shaped substrate (§2.2 of the paper):
+//!
+//! * every table has a **write-optimized delta** (row-wise append vector)
+//!   and a **read-optimized main** (typed columns, dictionary-encoded
+//!   strings);
+//! * a **delta merge** folds the delta into the main fragment;
+//! * rows carry `(insert_ts, delete_ts)` stamps; readers operate against a
+//!   [`Snapshot`] so analytical scans see a consistent state while
+//!   transactional writes continue (MVCC-lite — single-statement
+//!   auto-commit transactions, which is all the workloads here need);
+//! * primary-key and unique constraints are enforced on insert, because the
+//!   optimizer's uniqueness derivations must be *true* of the data the
+//!   benchmarks run on.
+
+pub mod column;
+pub mod engine;
+pub mod nse;
+pub mod store;
+pub mod zonemap;
+
+pub use column::{Batch, Column, ColumnData};
+pub use engine::{Snapshot, StorageEngine};
+pub use nse::{LoadMode, PageStats};
+pub use store::TableStore;
+pub use zonemap::ScanRange;

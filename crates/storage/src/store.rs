@@ -1,0 +1,443 @@
+//! Per-table storage: delta + main fragments with row visibility stamps.
+
+use crate::column::{Batch, Column};
+use crate::nse::{LoadMode, PageBuffer, PageStats};
+use crate::zonemap::{ScanRange, ZoneMaps, ZONE_BLOCK_ROWS};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+use vdm_catalog::TableDef;
+use vdm_types::{Result, Schema, Value, VdmError};
+
+/// Visibility stamps of one row version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RowMeta {
+    insert_ts: u64,
+    /// `u64::MAX` = live.
+    delete_ts: u64,
+}
+
+impl RowMeta {
+    fn visible_at(&self, ts: u64) -> bool {
+        self.insert_ts <= ts && ts < self.delete_ts
+    }
+}
+
+/// One table's data: a read-optimized columnar `main` fragment and a
+/// write-optimized row-wise `delta`, each with per-row visibility stamps.
+#[derive(Debug)]
+pub struct TableStore {
+    def: Arc<TableDef>,
+    schema: Arc<Schema>,
+    main: Vec<Column>,
+    main_meta: Vec<RowMeta>,
+    delta: Vec<Vec<Value>>,
+    delta_meta: Vec<RowMeta>,
+    /// Live key tuples per unique constraint (PK first), for enforcement.
+    key_index: Vec<HashSet<Vec<Value>>>,
+    merges: usize,
+    /// Timestamp of the most recent write (insert or delete).
+    last_write_ts: u64,
+    /// Timestamp of the most recent delete.
+    last_delete_ts: u64,
+    /// Per-block min/max over the main fragment, rebuilt at delta merge —
+    /// the scan-pruning analogue of S/4HANA's partition pruning (§2.2).
+    zone_maps: ZoneMaps,
+    /// Blocks skipped by zone-map pruning (diagnostics).
+    blocks_skipped: Mutex<u64>,
+    /// NSE simulation: how the main fragment is kept resident.
+    load_mode: LoadMode,
+    /// Page buffer for page-loadable tables (interior mutability: scans
+    /// take a read lock but still account page traffic).
+    page_buffer: Mutex<PageBuffer>,
+}
+
+impl TableStore {
+    /// Empty store for a table definition.
+    pub fn new(def: Arc<TableDef>) -> TableStore {
+        let schema = Arc::new(def.schema.clone());
+        let n_keys = def.unique_sets().len();
+        TableStore {
+            def,
+            schema,
+            main: Vec::new(),
+            main_meta: Vec::new(),
+            delta: Vec::new(),
+            delta_meta: Vec::new(),
+            key_index: vec![HashSet::new(); n_keys],
+            merges: 0,
+            last_write_ts: 0,
+            last_delete_ts: 0,
+            zone_maps: ZoneMaps::default(),
+            blocks_skipped: Mutex::new(0),
+            load_mode: LoadMode::ColumnLoadable,
+            page_buffer: Mutex::new(PageBuffer::new(64)),
+        }
+    }
+
+    /// The table's NSE load mode.
+    pub fn load_mode(&self) -> LoadMode {
+        self.load_mode
+    }
+
+    /// Switches the load mode — the paper's "changing the metadata of the
+    /// table and reloading": the page buffer is dropped.
+    pub fn set_load_mode(&mut self, mode: LoadMode, buffer_pages: usize) {
+        self.load_mode = mode;
+        *self.page_buffer.lock() = PageBuffer::new(buffer_pages);
+    }
+
+    /// Page-buffer counters (all zero for column-loadable tables).
+    pub fn page_stats(&self) -> PageStats {
+        self.page_buffer.lock().stats()
+    }
+
+    /// Accounts page traffic for a scan touching `rows` main-fragment rows.
+    fn account_scan(&self, rows: usize) {
+        if let LoadMode::PageLoadable { page_rows } = self.load_mode {
+            self.page_buffer.lock().touch_range(rows, page_rows);
+        }
+    }
+
+    /// Timestamp of the most recent write (insert or delete); 0 = never.
+    pub fn last_write_ts(&self) -> u64 {
+        self.last_write_ts
+    }
+
+    /// Timestamp of the most recent delete; 0 = never.
+    pub fn last_delete_ts(&self) -> u64 {
+        self.last_delete_ts
+    }
+
+    /// Rows inserted after `ts` (exclusive) that are still live at `now` —
+    /// the append-delta used by incremental view maintenance.
+    pub fn inserted_between(&self, ts: u64, now: u64) -> Result<Batch> {
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for (i, meta) in self.main_meta.iter().enumerate() {
+            if meta.insert_ts > ts && meta.visible_at(now) {
+                rows.push(self.main.iter().map(|c| c.get(i)).collect());
+            }
+        }
+        for (i, meta) in self.delta_meta.iter().enumerate() {
+            if meta.insert_ts > ts && meta.visible_at(now) {
+                rows.push(self.delta[i].clone());
+            }
+        }
+        Batch::from_rows(Arc::clone(&self.schema), &rows)
+    }
+
+    /// The table definition.
+    pub fn def(&self) -> &Arc<TableDef> {
+        &self.def
+    }
+
+    /// Rows in the delta fragment (merge diagnostics).
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Rows in the main fragment.
+    pub fn main_len(&self) -> usize {
+        self.main_meta.len()
+    }
+
+    /// Completed delta merges.
+    pub fn merge_count(&self) -> usize {
+        self.merges
+    }
+
+    /// Validates and appends rows at `ts`. Enforces arity, types (values
+    /// must coerce into the column type), NOT NULL, and key uniqueness.
+    pub fn insert(&mut self, rows: Vec<Vec<Value>>, ts: u64) -> Result<usize> {
+        let uniques = self.def.unique_sets();
+        for row in &rows {
+            if row.len() != self.schema.len() {
+                return Err(VdmError::Storage(format!(
+                    "insert into {:?}: row has {} values, table has {} columns",
+                    self.def.name,
+                    row.len(),
+                    self.schema.len()
+                )));
+            }
+            for (i, f) in self.schema.fields().iter().enumerate() {
+                if row[i].is_null() {
+                    if !f.nullable {
+                        return Err(VdmError::Storage(format!(
+                            "insert into {:?}: column {:?} is NOT NULL",
+                            self.def.name, f.name
+                        )));
+                    }
+                    continue;
+                }
+                if let Some(t) = row[i].sql_type() {
+                    if !f.ty.accepts(&t) {
+                        return Err(VdmError::Storage(format!(
+                            "insert into {:?}: column {:?} expects {}, got {}",
+                            self.def.name, f.name, f.ty, t
+                        )));
+                    }
+                }
+            }
+            for (ki, key_cols) in uniques.iter().enumerate() {
+                let key: Vec<Value> = key_cols.iter().map(|&c| row[c].clone()).collect();
+                if key.iter().any(|v| v.is_null()) {
+                    continue; // SQL unique constraints ignore NULL keys.
+                }
+                if !self.key_index[ki].insert(key) {
+                    return Err(VdmError::Storage(format!(
+                        "insert into {:?}: duplicate key for unique constraint {ki}",
+                        self.def.name
+                    )));
+                }
+            }
+        }
+        let n = rows.len();
+        for row in rows {
+            self.delta.push(row);
+            self.delta_meta.push(RowMeta { insert_ts: ts, delete_ts: u64::MAX });
+        }
+        if n > 0 {
+            self.last_write_ts = self.last_write_ts.max(ts);
+        }
+        Ok(n)
+    }
+
+    /// Marks rows matching `pred` (still live just before `ts`) as deleted:
+    /// they become invisible to snapshots at `ts` and later. Returns the
+    /// number of rows deleted.
+    pub fn delete_where(&mut self, pred: &dyn Fn(&[Value]) -> bool, ts: u64) -> usize {
+        let mut deleted = 0;
+        let uniques = self.def.unique_sets();
+        // Main fragment.
+        for i in 0..self.main_meta.len() {
+            if self.main_meta[i].visible_at(ts.saturating_sub(1)) {
+                let row: Vec<Value> = self.main.iter().map(|c| c.get(i)).collect();
+                if pred(&row) {
+                    self.main_meta[i].delete_ts = ts;
+                    remove_keys(&mut self.key_index, &uniques, &row);
+                    deleted += 1;
+                }
+            }
+        }
+        // Delta fragment.
+        for i in 0..self.delta.len() {
+            if self.delta_meta[i].visible_at(ts.saturating_sub(1)) && pred(&self.delta[i]) {
+                self.delta_meta[i].delete_ts = ts;
+                remove_keys(&mut self.key_index, &uniques, &self.delta[i]);
+                deleted += 1;
+            }
+        }
+        if deleted > 0 {
+            self.last_write_ts = self.last_write_ts.max(ts);
+            self.last_delete_ts = self.last_delete_ts.max(ts);
+        }
+        deleted
+    }
+
+    /// Materializes all rows visible at `ts` as a columnar batch.
+    pub fn scan(&self, ts: u64) -> Result<Batch> {
+        self.scan_limited(ts, usize::MAX)
+    }
+
+    /// Materializes at most `max_rows` visible rows — the early-termination
+    /// path that makes pushed-down LIMITs O(k) instead of O(table).
+    pub fn scan_limited(&self, ts: u64, max_rows: usize) -> Result<Batch> {
+        self.account_scan(self.main_meta.len().min(max_rows));
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for (i, meta) in self.main_meta.iter().enumerate() {
+            if rows.len() >= max_rows {
+                break;
+            }
+            if meta.visible_at(ts) {
+                rows.push(self.main.iter().map(|c| c.get(i)).collect());
+            }
+        }
+        for (i, meta) in self.delta_meta.iter().enumerate() {
+            if rows.len() >= max_rows {
+                break;
+            }
+            if meta.visible_at(ts) {
+                rows.push(self.delta[i].clone());
+            }
+        }
+        Batch::from_rows(Arc::clone(&self.schema), &rows)
+    }
+
+    /// Scans rows visible at `ts` whose `column` value may fall in `range`,
+    /// skipping main-fragment blocks whose zone map excludes the range.
+    /// Callers re-apply the full predicate — pruning is a superset filter.
+    pub fn scan_pruned(&self, ts: u64, column: usize, range: &ScanRange) -> Result<Batch> {
+        self.account_scan(self.main_meta.len());
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut skipped = 0u64;
+        let n_blocks = self.main_meta.len().div_ceil(ZONE_BLOCK_ROWS);
+        for block in 0..n_blocks {
+            if !self.zone_maps.block_may_match(column, block, range) {
+                skipped += 1;
+                continue;
+            }
+            let start = block * ZONE_BLOCK_ROWS;
+            let end = (start + ZONE_BLOCK_ROWS).min(self.main_meta.len());
+            for i in start..end {
+                if self.main_meta[i].visible_at(ts) {
+                    rows.push(self.main.iter().map(|c| c.get(i)).collect());
+                }
+            }
+        }
+        // The delta is unindexed: always scanned.
+        for (i, meta) in self.delta_meta.iter().enumerate() {
+            if meta.visible_at(ts) {
+                rows.push(self.delta[i].clone());
+            }
+        }
+        *self.blocks_skipped.lock() += skipped;
+        Batch::from_rows(Arc::clone(&self.schema), &rows)
+    }
+
+    /// Total main-fragment blocks skipped by zone-map pruning so far.
+    pub fn blocks_skipped(&self) -> u64 {
+        *self.blocks_skipped.lock()
+    }
+
+    /// Total live rows at `ts`.
+    pub fn row_count(&self, ts: u64) -> usize {
+        self.main_meta.iter().filter(|m| m.visible_at(ts)).count()
+            + self.delta_meta.iter().filter(|m| m.visible_at(ts)).count()
+    }
+
+    /// Folds the delta into the main fragment, dropping rows already
+    /// deleted before every possible reader (compaction at `ts`: row
+    /// versions with `delete_ts <= ts` vanish; others keep their stamps).
+    pub fn merge_delta(&mut self, ts: u64) -> Result<()> {
+        // Gather surviving (row, meta) pairs from both fragments.
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut meta: Vec<RowMeta> = Vec::new();
+        for (i, m) in self.main_meta.iter().enumerate() {
+            if m.delete_ts > ts {
+                rows.push(self.main.iter().map(|c| c.get(i)).collect());
+                meta.push(*m);
+            }
+        }
+        for (i, m) in self.delta_meta.iter().enumerate() {
+            if m.delete_ts > ts {
+                rows.push(std::mem::take(&mut self.delta[i]));
+                meta.push(*m);
+            }
+        }
+        // Rebuild main columns (re-encoding string dictionaries).
+        let mut columns = Vec::with_capacity(self.schema.len());
+        for (i, f) in self.schema.fields().iter().enumerate() {
+            let vals: Vec<Value> = rows.iter().map(|r| r[i].clone()).collect();
+            columns.push(Column::from_values(f.ty, &vals)?);
+        }
+        self.zone_maps = ZoneMaps::build(&columns);
+        self.main = columns;
+        self.main_meta = meta;
+        self.delta.clear();
+        self.delta_meta.clear();
+        self.merges += 1;
+        Ok(())
+    }
+}
+
+fn remove_keys(index: &mut [HashSet<Vec<Value>>], uniques: &[Vec<usize>], row: &[Value]) {
+    for (ki, key_cols) in uniques.iter().enumerate() {
+        let key: Vec<Value> = key_cols.iter().map(|&c| row[c].clone()).collect();
+        if !key.iter().any(|v| v.is_null()) {
+            index[ki].remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_catalog::TableBuilder;
+    use vdm_types::SqlType;
+
+    fn store() -> TableStore {
+        TableStore::new(Arc::new(
+            TableBuilder::new("t")
+                .column("k", SqlType::Int, false)
+                .column("v", SqlType::Text, true)
+                .primary_key(&["k"])
+                .build()
+                .unwrap(),
+        ))
+    }
+
+    fn row(k: i64, v: &str) -> Vec<Value> {
+        vec![Value::Int(k), Value::str(v)]
+    }
+
+    #[test]
+    fn insert_scan_round_trip() {
+        let mut s = store();
+        s.insert(vec![row(1, "a"), row(2, "b")], 1).unwrap();
+        let b = s.scan(1).unwrap();
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.row(0), row(1, "a"));
+    }
+
+    #[test]
+    fn snapshot_isolation() {
+        let mut s = store();
+        s.insert(vec![row(1, "a")], 1).unwrap();
+        s.insert(vec![row(2, "b")], 5).unwrap();
+        assert_eq!(s.scan(1).unwrap().num_rows(), 1, "older snapshot misses later insert");
+        assert_eq!(s.scan(5).unwrap().num_rows(), 2);
+        assert_eq!(s.row_count(0), 0);
+    }
+
+    #[test]
+    fn delete_respects_snapshots() {
+        let mut s = store();
+        s.insert(vec![row(1, "a"), row(2, "b")], 1).unwrap();
+        let n = s.delete_where(&|r| r[0] == Value::Int(1), 3);
+        assert_eq!(n, 1);
+        assert_eq!(s.scan(3).unwrap().num_rows(), 1, "invisible from ts 3 onward");
+        assert_eq!(s.scan(4).unwrap().num_rows(), 1);
+        assert_eq!(s.scan(2).unwrap().num_rows(), 2, "old snapshot still sees the row");
+    }
+
+    #[test]
+    fn constraints_enforced() {
+        let mut s = store();
+        s.insert(vec![row(1, "a")], 1).unwrap();
+        assert!(s.insert(vec![row(1, "dup")], 2).is_err(), "duplicate PK");
+        assert!(s.insert(vec![vec![Value::Null, Value::str("x")]], 2).is_err(), "NOT NULL");
+        assert!(s.insert(vec![vec![Value::str("bad"), Value::Null]], 2).is_err(), "type");
+        assert!(s.insert(vec![vec![Value::Int(3)]], 2).is_err(), "arity");
+        // Deleting frees the key for re-insert.
+        s.delete_where(&|r| r[0] == Value::Int(1), 3);
+        s.insert(vec![row(1, "again")], 4).unwrap();
+    }
+
+    #[test]
+    fn merge_delta_moves_rows_to_main() {
+        let mut s = store();
+        s.insert(vec![row(1, "a"), row(2, "b")], 1).unwrap();
+        assert_eq!(s.delta_len(), 2);
+        assert_eq!(s.main_len(), 0);
+        s.merge_delta(1).unwrap();
+        assert_eq!(s.delta_len(), 0);
+        assert_eq!(s.main_len(), 2);
+        assert_eq!(s.merge_count(), 1);
+        let b = s.scan(1).unwrap();
+        assert_eq!(b.num_rows(), 2);
+        // Writes after a merge land in the delta again.
+        s.insert(vec![row(3, "c")], 2).unwrap();
+        assert_eq!(s.delta_len(), 1);
+        assert_eq!(s.scan(2).unwrap().num_rows(), 3);
+    }
+
+    #[test]
+    fn merge_drops_fully_deleted_rows() {
+        let mut s = store();
+        s.insert(vec![row(1, "a"), row(2, "b")], 1).unwrap();
+        s.delete_where(&|r| r[0] == Value::Int(1), 2);
+        s.merge_delta(5).unwrap();
+        assert_eq!(s.main_len(), 1, "deleted row compacted away");
+        assert_eq!(s.scan(5).unwrap().num_rows(), 1);
+    }
+}

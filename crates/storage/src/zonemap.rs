@@ -1,0 +1,184 @@
+//! Block zone maps: per-block min/max statistics over the main fragment.
+//!
+//! S/4HANA relies on range partitioning so "partition pruning can be
+//! applied effectively" (§2.2). At this engine's scale the same effect
+//! comes from zone maps: the main fragment is divided into fixed-size row
+//! blocks, each carrying the min/max of every orderable column; a scan
+//! with a range predicate skips blocks that provably contain no match.
+//! Zone maps are rebuilt at delta merge — exactly when HANA's read-
+//! optimized structures are, so freshly merged "hot" data is immediately
+//! prunable while unmerged delta rows are always scanned.
+
+use crate::column::{Column, ColumnData};
+use vdm_types::Value;
+
+/// Rows per zone-map block.
+pub const ZONE_BLOCK_ROWS: usize = 1024;
+
+/// A half-open-ended range over one column: `min ≤ v ≤ max`, either side
+/// optional. Built from filter atoms (`v = k`, `v > k`, `v BETWEEN …`).
+#[derive(Debug, Clone, Default)]
+pub struct ScanRange {
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+}
+
+impl ScanRange {
+    /// The point range `v = k`.
+    pub fn point(v: Value) -> ScanRange {
+        ScanRange { min: Some(v.clone()), max: Some(v) }
+    }
+
+    /// `v >= lo`.
+    pub fn at_least(lo: Value) -> ScanRange {
+        ScanRange { min: Some(lo), max: None }
+    }
+
+    /// `v <= hi`.
+    pub fn at_most(hi: Value) -> ScanRange {
+        ScanRange { min: None, max: Some(hi) }
+    }
+
+    /// Could a value within `[block_min, block_max]` fall in this range?
+    fn overlaps(&self, block_min: &Value, block_max: &Value) -> bool {
+        if let Some(min) = &self.min {
+            if block_max.total_cmp(min) == std::cmp::Ordering::Less {
+                return false;
+            }
+        }
+        if let Some(max) = &self.max {
+            if block_min.total_cmp(max) == std::cmp::Ordering::Greater {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One block's statistics for one column.
+#[derive(Debug, Clone)]
+struct BlockStats {
+    min: Value,
+    max: Value,
+    /// Blocks containing NULLs can never be skipped by a range (NULL rows
+    /// are invisible to comparisons but other predicates may keep them).
+    has_null: bool,
+}
+
+/// Zone maps for a whole main fragment: `maps[column][block]`.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneMaps {
+    maps: Vec<Option<Vec<BlockStats>>>,
+}
+
+impl ZoneMaps {
+    /// Builds zone maps for every orderable column of the fragment.
+    pub fn build(columns: &[Column]) -> ZoneMaps {
+        let maps = columns
+            .iter()
+            .map(|col| {
+                // Strings are orderable too, but pruning value lies with
+                // numeric/date keys; skip dictionary columns to keep maps
+                // small.
+                if matches!(col.data(), ColumnData::Str(_)) {
+                    return None;
+                }
+                let rows = col.len();
+                let n_blocks = rows.div_ceil(ZONE_BLOCK_ROWS);
+                let mut stats = Vec::with_capacity(n_blocks);
+                for b in 0..n_blocks {
+                    let start = b * ZONE_BLOCK_ROWS;
+                    let end = (start + ZONE_BLOCK_ROWS).min(rows);
+                    let mut min: Option<Value> = None;
+                    let mut max: Option<Value> = None;
+                    let mut has_null = false;
+                    for i in start..end {
+                        let v = col.get(i);
+                        if v.is_null() {
+                            has_null = true;
+                            continue;
+                        }
+                        match &min {
+                            None => min = Some(v.clone()),
+                            Some(m) if v.total_cmp_non_null(m) == std::cmp::Ordering::Less => {
+                                min = Some(v.clone())
+                            }
+                            _ => {}
+                        }
+                        match &max {
+                            None => max = Some(v.clone()),
+                            Some(m) if v.total_cmp_non_null(m) == std::cmp::Ordering::Greater => {
+                                max = Some(v)
+                            }
+                            _ => {}
+                        }
+                    }
+                    stats.push(BlockStats {
+                        min: min.unwrap_or(Value::Null),
+                        max: max.unwrap_or(Value::Null),
+                        has_null,
+                    });
+                }
+                Some(stats)
+            })
+            .collect();
+        ZoneMaps { maps }
+    }
+
+    /// May block `block` of `column` contain a row matching `range`?
+    /// Conservative: unknown columns/blocks always "may match".
+    pub fn block_may_match(&self, column: usize, block: usize, range: &ScanRange) -> bool {
+        let Some(Some(stats)) = self.maps.get(column) else {
+            return true;
+        };
+        let Some(s) = stats.get(block) else {
+            return true;
+        };
+        if s.has_null || s.min.is_null() {
+            // All-NULL or mixed blocks cannot be excluded by a range.
+            return true;
+        }
+        range.overlaps(&s.min, &s.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_types::SqlType;
+
+    fn int_column(values: Vec<i64>) -> Column {
+        let vals: Vec<Value> = values.into_iter().map(Value::Int).collect();
+        Column::from_values(SqlType::Int, &vals).unwrap()
+    }
+
+    #[test]
+    fn builds_per_block_min_max() {
+        // Two blocks: [0..1024) ascending, [1024..2048) offset by 10_000.
+        let mut v: Vec<i64> = (0..1024).collect();
+        v.extend(10_000..11_024);
+        let maps = ZoneMaps::build(&[int_column(v)]);
+        assert!(maps.block_may_match(0, 0, &ScanRange::point(Value::Int(500))));
+        assert!(!maps.block_may_match(0, 1, &ScanRange::point(Value::Int(500))));
+        assert!(maps.block_may_match(0, 1, &ScanRange::at_least(Value::Int(10_500))));
+        assert!(!maps.block_may_match(0, 0, &ScanRange::at_least(Value::Int(2_000))));
+        assert!(maps.block_may_match(0, 0, &ScanRange::at_most(Value::Int(0))));
+    }
+
+    #[test]
+    fn null_blocks_never_skipped() {
+        let vals = vec![Value::Null, Value::Int(5)];
+        let col = Column::from_values(SqlType::Int, &vals).unwrap();
+        let maps = ZoneMaps::build(&[col]);
+        assert!(maps.block_may_match(0, 0, &ScanRange::point(Value::Int(999))));
+    }
+
+    #[test]
+    fn string_columns_and_unknown_blocks_are_conservative() {
+        let col = Column::from_values(SqlType::Text, &[Value::str("x")]).unwrap();
+        let maps = ZoneMaps::build(&[col]);
+        assert!(maps.block_may_match(0, 0, &ScanRange::point(Value::Int(1))));
+        assert!(maps.block_may_match(5, 0, &ScanRange::point(Value::Int(1))), "unknown column");
+        assert!(maps.block_may_match(0, 99, &ScanRange::point(Value::Int(1))), "unknown block");
+    }
+}

@@ -1,0 +1,438 @@
+//! Exact fixed-point decimal arithmetic.
+//!
+//! [`Decimal`] stores `units * 10^-scale` in an `i128`. Business
+//! applications round money amounts with *commercial rounding*
+//! (round-half-away-from-zero), which is what [`Decimal::round_to`]
+//! implements. The maximum supported scale is [`MAX_SCALE`]; with money
+//! amounts bounded far below `i64::MAX` this leaves ample headroom in
+//! `i128` for cross-scale comparisons and multiplication.
+
+use crate::error::{Result, VdmError};
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+/// Largest supported decimal scale (digits after the decimal point).
+pub const MAX_SCALE: u8 = 18;
+
+const POW10: [i128; 19] = [
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+    10_000_000_000,
+    100_000_000_000,
+    1_000_000_000_000,
+    10_000_000_000_000,
+    100_000_000_000_000,
+    1_000_000_000_000_000,
+    10_000_000_000_000_000,
+    100_000_000_000_000_000,
+    1_000_000_000_000_000_000,
+];
+
+#[inline]
+fn pow10(scale: u8) -> i128 {
+    POW10[scale as usize]
+}
+
+/// An exact fixed-point decimal: `units * 10^-scale`.
+#[derive(Debug, Clone, Copy)]
+pub struct Decimal {
+    units: i128,
+    scale: u8,
+}
+
+impl std::hash::Hash for Decimal {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash the canonical form so cross-scale equal values (1.5 == 1.50)
+        // hash identically, as Eq requires.
+        let (units, scale) = self.canonical();
+        units.hash(state);
+        scale.hash(state);
+    }
+}
+
+impl Decimal {
+    /// Builds a decimal from raw scaled units. `units = 1995, scale = 2`
+    /// represents `19.95`.
+    pub fn from_units(units: i128, scale: u8) -> Self {
+        debug_assert!(scale <= MAX_SCALE, "scale {scale} exceeds MAX_SCALE");
+        Decimal { units, scale }
+    }
+
+    /// Builds a whole-number decimal with scale 0.
+    pub fn from_int(v: i64) -> Self {
+        Decimal { units: v as i128, scale: 0 }
+    }
+
+    /// Raw scaled units.
+    pub fn units(&self) -> i128 {
+        self.units
+    }
+
+    /// Digits after the decimal point.
+    pub fn scale(&self) -> u8 {
+        self.scale
+    }
+
+    /// The zero value at the given scale.
+    pub fn zero(scale: u8) -> Self {
+        Decimal { units: 0, scale }
+    }
+
+    /// True if the value is exactly zero (at any scale).
+    pub fn is_zero(&self) -> bool {
+        self.units == 0
+    }
+
+    /// Changes the scale, rounding (commercially) if the scale shrinks.
+    ///
+    /// Widening the scale is exact; narrowing applies
+    /// round-half-away-from-zero, matching [`Decimal::round_to`].
+    pub fn rescale(&self, scale: u8) -> Result<Decimal> {
+        if scale > MAX_SCALE {
+            return Err(VdmError::Overflow(format!("decimal scale {scale} too large")));
+        }
+        match scale.cmp(&self.scale) {
+            Ordering::Equal => Ok(*self),
+            Ordering::Greater => {
+                let factor = pow10(scale - self.scale);
+                let units = self
+                    .units
+                    .checked_mul(factor)
+                    .ok_or_else(|| VdmError::Overflow("decimal rescale overflow".into()))?;
+                Ok(Decimal { units, scale })
+            }
+            Ordering::Less => Ok(self.round_to(scale)),
+        }
+    }
+
+    /// Commercial rounding (round-half-away-from-zero) to `scale` digits.
+    ///
+    /// This is the rounding mode business applications use for tax and
+    /// currency amounts: `13.1945.round_to(2) == 13.19`,
+    /// `0.5.round_to(0) == 1`, `(-0.5).round_to(0) == -1`.
+    pub fn round_to(&self, scale: u8) -> Decimal {
+        if scale >= self.scale {
+            // Widening never needs rounding; keep exactness, adopt scale lazily.
+            return self
+                .rescale(scale)
+                .unwrap_or(Decimal { units: self.units, scale: self.scale });
+        }
+        let factor = pow10(self.scale - scale);
+        let q = self.units / factor;
+        let r = self.units % factor;
+        let half = factor / 2;
+        let units = if r.abs() >= half {
+            if self.units >= 0 {
+                q + 1
+            } else {
+                q - 1
+            }
+        } else {
+            q
+        };
+        Decimal { units, scale }
+    }
+
+    /// Checked addition; the result takes the wider scale.
+    pub fn checked_add(&self, other: &Decimal) -> Result<Decimal> {
+        let scale = self.scale.max(other.scale);
+        let a = self.rescale(scale)?;
+        let b = other.rescale(scale)?;
+        let units = a
+            .units
+            .checked_add(b.units)
+            .ok_or_else(|| VdmError::Overflow("decimal add overflow".into()))?;
+        Ok(Decimal { units, scale })
+    }
+
+    /// Checked subtraction; the result takes the wider scale.
+    pub fn checked_sub(&self, other: &Decimal) -> Result<Decimal> {
+        self.checked_add(&other.negate())
+    }
+
+    /// Checked multiplication; scales add, then the result is clamped back
+    /// to [`MAX_SCALE`] by commercial rounding when it would exceed it.
+    pub fn checked_mul(&self, other: &Decimal) -> Result<Decimal> {
+        let units = self
+            .units
+            .checked_mul(other.units)
+            .ok_or_else(|| VdmError::Overflow("decimal mul overflow".into()))?;
+        let scale = self.scale + other.scale;
+        let out = Decimal { units, scale: scale.min(MAX_SCALE) };
+        if scale > MAX_SCALE {
+            // The intermediate had a deeper scale than supported; rescale it
+            // exactly by division with rounding.
+            let factor = pow10(scale - MAX_SCALE);
+            let q = units / factor;
+            let r = units % factor;
+            let half = factor / 2;
+            let adj = if r.abs() >= half { if units >= 0 { 1 } else { -1 } } else { 0 };
+            return Ok(Decimal { units: q + adj, scale: MAX_SCALE });
+        }
+        Ok(out)
+    }
+
+    /// Checked division producing a result with `result_scale` digits and
+    /// commercial rounding of the final digit.
+    pub fn checked_div(&self, other: &Decimal, result_scale: u8) -> Result<Decimal> {
+        if other.units == 0 {
+            return Err(VdmError::Exec("division by zero".into()));
+        }
+        if result_scale > MAX_SCALE {
+            return Err(VdmError::Overflow("division result scale too large".into()));
+        }
+        // numerator * 10^(result_scale + other.scale - self.scale) / other.units
+        let shift = result_scale as i32 + other.scale as i32 - self.scale as i32;
+        let mut num = self.units;
+        if shift > 0 {
+            num = num
+                .checked_mul(pow10(shift as u8))
+                .ok_or_else(|| VdmError::Overflow("decimal div overflow".into()))?;
+        }
+        let den = other.units;
+        let (mut num, den) = if shift < 0 { (num / pow10((-shift) as u8), den) } else { (num, den) };
+        let q = num / den;
+        let r = num % den;
+        // Round half away from zero on the remainder.
+        num = q;
+        if r.abs() * 2 >= den.abs() {
+            if (self.units >= 0) == (other.units >= 0) {
+                num += 1;
+            } else {
+                num -= 1;
+            }
+        }
+        Ok(Decimal { units: num, scale: result_scale })
+    }
+
+    /// Canonical `(units, scale)`: trailing zero digits stripped (zero
+    /// normalizes to scale 0). Equal values share one canonical form.
+    fn canonical(&self) -> (i128, u8) {
+        if self.units == 0 {
+            return (0, 0);
+        }
+        let mut units = self.units;
+        let mut scale = self.scale;
+        while scale > 0 && units % 10 == 0 {
+            units /= 10;
+            scale -= 1;
+        }
+        (units, scale)
+    }
+
+    /// Negation.
+    pub fn negate(&self) -> Decimal {
+        Decimal { units: -self.units, scale: self.scale }
+    }
+
+    /// Lossy conversion to `f64` (display/benchmark reporting only — never
+    /// used inside exact arithmetic).
+    pub fn to_f64(&self) -> f64 {
+        self.units as f64 / pow10(self.scale) as f64
+    }
+}
+
+impl PartialEq for Decimal {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Decimal {}
+
+impl PartialOrd for Decimal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Decimal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let scale = self.scale.max(other.scale);
+        // Scales are bounded by MAX_SCALE and business magnitudes fit in
+        // ~i64, so widening multiplication cannot overflow i128 in practice;
+        // fall back to sign/f64 comparison if it ever would.
+        let a = self.units.checked_mul(pow10(scale - self.scale));
+        let b = other.units.checked_mul(pow10(scale - other.scale));
+        match (a, b) {
+            (Some(a), Some(b)) => a.cmp(&b),
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Decimal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.scale == 0 {
+            return write!(f, "{}", self.units);
+        }
+        let factor = pow10(self.scale);
+        let sign = if self.units < 0 { "-" } else { "" };
+        let abs = self.units.unsigned_abs();
+        let int = abs / factor.unsigned_abs();
+        let frac = abs % factor.unsigned_abs();
+        write!(f, "{sign}{int}.{frac:0width$}", width = self.scale as usize)
+    }
+}
+
+impl FromStr for Decimal {
+    type Err = VdmError;
+
+    fn from_str(s: &str) -> Result<Decimal> {
+        let s = s.trim();
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let (int_part, frac_part) = match body.split_once('.') {
+            Some((i, fr)) => (i, fr),
+            None => (body, ""),
+        };
+        if int_part.is_empty() && frac_part.is_empty() {
+            return Err(VdmError::Parse(format!("invalid decimal literal: {s:?}")));
+        }
+        if frac_part.len() > MAX_SCALE as usize {
+            return Err(VdmError::Parse(format!(
+                "decimal literal {s:?} exceeds max scale {MAX_SCALE}"
+            )));
+        }
+        let digits_ok =
+            int_part.chars().all(|c| c.is_ascii_digit()) && frac_part.chars().all(|c| c.is_ascii_digit());
+        if !digits_ok {
+            return Err(VdmError::Parse(format!("invalid decimal literal: {s:?}")));
+        }
+        let scale = frac_part.len() as u8;
+        let mut units: i128 = 0;
+        for c in int_part.chars().chain(frac_part.chars()) {
+            units = units
+                .checked_mul(10)
+                .and_then(|u| u.checked_add((c as u8 - b'0') as i128))
+                .ok_or_else(|| VdmError::Overflow(format!("decimal literal {s:?} overflows")))?;
+        }
+        if neg {
+            units = -units;
+        }
+        Ok(Decimal { units, scale })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec(s: &str) -> Decimal {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["0.00", "19.95", "-13.19", "100", "-0.5", "0.001"] {
+            assert_eq!(dec(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Decimal::from_str("abc").is_err());
+        assert!(Decimal::from_str("1.2.3").is_err());
+        assert!(Decimal::from_str("").is_err());
+        assert!(Decimal::from_str(".").is_err());
+        assert!(Decimal::from_str("1e5").is_err());
+    }
+
+    #[test]
+    fn paper_tax_example() {
+        // An 11% tax on a $119.95 item calculates to $13.1945, rounded to $13.19.
+        let price = dec("119.95");
+        let tax = price.checked_mul(&dec("0.11")).unwrap();
+        assert_eq!(tax.to_string(), "13.1945");
+        assert_eq!(tax.round_to(2).to_string(), "13.19");
+    }
+
+    #[test]
+    fn rounding_is_not_interchangeable_with_addition() {
+        // round(1.3) + round(2.4) = 1 + 2 = 3, but round(1.3 + 2.4) = round(3.7) = 4.
+        let a = dec("1.3");
+        let b = dec("2.4");
+        let rounded_first = a.round_to(0).checked_add(&b.round_to(0)).unwrap();
+        let added_first = a.checked_add(&b).unwrap().round_to(0);
+        assert_eq!(rounded_first, Decimal::from_int(3));
+        assert_eq!(added_first, Decimal::from_int(4));
+        assert_ne!(rounded_first, added_first);
+    }
+
+    #[test]
+    fn commercial_rounding_half_away_from_zero() {
+        assert_eq!(dec("0.5").round_to(0), Decimal::from_int(1));
+        assert_eq!(dec("-0.5").round_to(0), Decimal::from_int(-1));
+        assert_eq!(dec("2.45").round_to(1).to_string(), "2.5");
+        assert_eq!(dec("-2.45").round_to(1).to_string(), "-2.5");
+        assert_eq!(dec("2.44").round_to(1).to_string(), "2.4");
+    }
+
+    #[test]
+    fn cross_scale_comparison() {
+        assert_eq!(dec("1.50"), dec("1.5"));
+        assert!(dec("1.51") > dec("1.5"));
+        assert!(dec("-2") < dec("1.99"));
+        assert_eq!(dec("0"), dec("0.000"));
+    }
+
+    #[test]
+    fn add_sub_mul_div() {
+        assert_eq!(dec("1.25").checked_add(&dec("2.5")).unwrap().to_string(), "3.75");
+        assert_eq!(dec("1.25").checked_sub(&dec("2.5")).unwrap().to_string(), "-1.25");
+        assert_eq!(dec("1.5").checked_mul(&dec("2.0")).unwrap().to_string(), "3.00");
+        assert_eq!(dec("1").checked_div(&dec("3"), 4).unwrap().to_string(), "0.3333");
+        assert_eq!(dec("2").checked_div(&dec("3"), 2).unwrap().to_string(), "0.67");
+        assert!(dec("1").checked_div(&Decimal::zero(0), 2).is_err());
+    }
+
+    #[test]
+    fn rescale_widens_exactly_and_narrows_with_rounding() {
+        assert_eq!(dec("1.5").rescale(3).unwrap().units(), 1500);
+        assert_eq!(dec("1.567").rescale(1).unwrap().to_string(), "1.6");
+    }
+
+    #[test]
+    fn mul_overflow_detected() {
+        let big = Decimal::from_units(i128::MAX / 2, 0);
+        assert!(big.checked_mul(&Decimal::from_int(3)).is_err());
+    }
+
+    #[test]
+    fn equal_values_hash_identically() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |d: &Decimal| {
+            let mut s = DefaultHasher::new();
+            d.hash(&mut s);
+            s.finish()
+        };
+        let pairs = [("1.5", "1.50"), ("0", "0.000"), ("-2.40", "-2.4"), ("100", "100.00")];
+        for (a, b) in pairs {
+            let (da, db): (Decimal, Decimal) = (a.parse().unwrap(), b.parse().unwrap());
+            assert_eq!(da, db);
+            assert_eq!(h(&da), h(&db), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn div_rounding_sign_handling() {
+        assert_eq!(dec("-1").checked_div(&dec("3"), 2).unwrap().to_string(), "-0.33");
+        assert_eq!(dec("-2").checked_div(&dec("3"), 2).unwrap().to_string(), "-0.67");
+        assert_eq!(dec("1").checked_div(&dec("-3"), 2).unwrap().to_string(), "-0.33");
+    }
+}

@@ -1,0 +1,108 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across all `vdm` crates.
+pub type Result<T> = std::result::Result<T, VdmError>;
+
+/// Error raised anywhere in the `vdm` stack.
+///
+/// The variants map onto pipeline stages so callers can distinguish user
+/// mistakes (parse/bind/type errors) from engine-side failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VdmError {
+    /// Lexing or parsing failed. Carries a human-readable message including
+    /// the offending position.
+    Parse(String),
+    /// Name resolution or view expansion failed.
+    Bind(String),
+    /// Catalog lookups or DDL failed (unknown/duplicate table, bad column).
+    Catalog(String),
+    /// Static type checking failed.
+    Type(String),
+    /// A logical-plan invariant was violated (always a bug upstream).
+    Plan(String),
+    /// Query optimization failed (always a bug in a rewrite rule).
+    Optimize(String),
+    /// Runtime execution failed (overflow, division by zero, ...).
+    Exec(String),
+    /// Storage-engine failure (visibility, fragment state).
+    Storage(String),
+    /// Arithmetic overflow in exact decimal/integer math.
+    Overflow(String),
+    /// Generic unsupported-feature marker.
+    Unsupported(String),
+}
+
+impl VdmError {
+    /// Short machine-readable category name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VdmError::Parse(_) => "parse",
+            VdmError::Bind(_) => "bind",
+            VdmError::Catalog(_) => "catalog",
+            VdmError::Type(_) => "type",
+            VdmError::Plan(_) => "plan",
+            VdmError::Optimize(_) => "optimize",
+            VdmError::Exec(_) => "exec",
+            VdmError::Storage(_) => "storage",
+            VdmError::Overflow(_) => "overflow",
+            VdmError::Unsupported(_) => "unsupported",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            VdmError::Parse(m)
+            | VdmError::Bind(m)
+            | VdmError::Catalog(m)
+            | VdmError::Type(m)
+            | VdmError::Plan(m)
+            | VdmError::Optimize(m)
+            | VdmError::Exec(m)
+            | VdmError::Storage(m)
+            | VdmError::Overflow(m)
+            | VdmError::Unsupported(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for VdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for VdmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = VdmError::Parse("unexpected token".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token");
+        assert_eq!(e.kind(), "parse");
+        assert_eq!(e.message(), "unexpected token");
+    }
+
+    #[test]
+    fn all_kinds_are_distinct() {
+        let kinds = [
+            VdmError::Parse(String::new()).kind(),
+            VdmError::Bind(String::new()).kind(),
+            VdmError::Catalog(String::new()).kind(),
+            VdmError::Type(String::new()).kind(),
+            VdmError::Plan(String::new()).kind(),
+            VdmError::Optimize(String::new()).kind(),
+            VdmError::Exec(String::new()).kind(),
+            VdmError::Storage(String::new()).kind(),
+            VdmError::Overflow(String::new()).kind(),
+            VdmError::Unsupported(String::new()).kind(),
+        ];
+        let set: std::collections::HashSet<_> = kinds.iter().collect();
+        assert_eq!(set.len(), kinds.len());
+    }
+}

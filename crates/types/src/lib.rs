@@ -1,0 +1,22 @@
+//! Fundamental types shared by every `vdm` crate.
+//!
+//! This crate defines the runtime value model ([`Value`]), the SQL type
+//! system ([`SqlType`]), fixed-point decimals with commercial rounding
+//! ([`Decimal`]), relation schemas ([`Schema`], [`Field`]), and the common
+//! error type ([`VdmError`]).
+//!
+//! Decimal semantics matter for the reproduction: §7.1 of the paper relies
+//! on decimal rounding *not* being interchangeable with addition
+//! (`round(1.3) + round(2.4) = 3` but `round(1.3 + 2.4) = 4`), which only
+//! holds under exact fixed-point arithmetic — floating point would blur the
+//! discrepancy the `allow_precision_loss` extension is about.
+
+pub mod decimal;
+pub mod error;
+pub mod schema;
+pub mod value;
+
+pub use decimal::Decimal;
+pub use error::{Result, VdmError};
+pub use schema::{Field, Schema};
+pub use value::{SqlType, Value};

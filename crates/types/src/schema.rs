@@ -1,0 +1,173 @@
+//! Relation schemas: ordered, named, typed fields.
+
+use crate::error::{Result, VdmError};
+use crate::value::SqlType;
+use std::fmt;
+use std::sync::Arc;
+
+/// One column of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub ty: SqlType,
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Builds a field.
+    pub fn new(name: impl Into<String>, ty: SqlType, nullable: bool) -> Field {
+        Field { name: name.into(), ty, nullable }
+    }
+
+    /// Returns a copy of this field marked nullable — the schema adjustment
+    /// applied to the inner side of an outer join.
+    pub fn as_nullable(&self) -> Field {
+        Field { name: self.name.clone(), ty: self.ty, nullable: true }
+    }
+}
+
+/// An ordered collection of fields describing one relation's output.
+///
+/// Wrapped in `Arc` throughout the planner so schema sharing across a plan
+/// DAG is free.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Builds a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// The empty schema (zero columns).
+    pub fn empty() -> Schema {
+        Schema { fields: Vec::new() }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at `idx`; panics if out of range (planner invariant).
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    /// Index of the first field whose name equals `name`
+    /// (ASCII-case-insensitive, SQL style).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`Schema::index_of`] but errors with the unknown name.
+    pub fn index_of_or_err(&self, name: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| VdmError::Bind(format!("unknown column {name:?}")))
+    }
+
+    /// All indices whose name matches (detects ambiguity at bind time).
+    pub fn indices_of(&self, name: &str) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name.eq_ignore_ascii_case(name))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Concatenates two schemas (join output), marking the right side
+    /// nullable when `null_right` is set (left outer join).
+    pub fn join(&self, right: &Schema, null_right: bool) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            fields.push(if null_right { f.as_nullable() } else { f.clone() });
+        }
+        Schema { fields }
+    }
+
+    /// A schema containing `indices` in order (projection pruning).
+    pub fn select(&self, indices: &[usize]) -> Schema {
+        Schema { fields: indices.iter().map(|&i| self.fields[i].clone()).collect() }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", fld.name, fld.ty)?;
+            if fld.nullable {
+                write!(f, "?")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", SqlType::Int, false),
+            Field::new("name", SqlType::Text, true),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = schema();
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("Name"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.index_of_or_err("missing").is_err());
+    }
+
+    #[test]
+    fn join_marks_right_nullable_for_outer() {
+        let l = schema();
+        let r = Schema::new(vec![Field::new("ext", SqlType::Text, false)]);
+        let inner = l.join(&r, false);
+        let outer = l.join(&r, true);
+        assert!(!inner.field(2).nullable);
+        assert!(outer.field(2).nullable);
+        assert_eq!(outer.len(), 3);
+    }
+
+    #[test]
+    fn select_projects_in_order() {
+        let s = schema();
+        let p = s.select(&[1, 0]);
+        assert_eq!(p.field(0).name, "name");
+        assert_eq!(p.field(1).name, "id");
+    }
+
+    #[test]
+    fn indices_of_detects_duplicates() {
+        let s = Schema::new(vec![
+            Field::new("k", SqlType::Int, false),
+            Field::new("K", SqlType::Int, false),
+        ]);
+        assert_eq!(s.indices_of("k").len(), 2);
+    }
+}

@@ -1,0 +1,303 @@
+//! Runtime values and the SQL type system.
+
+use crate::decimal::Decimal;
+use crate::error::{Result, VdmError};
+use std::fmt;
+use std::sync::Arc;
+
+/// The SQL types supported by the engine.
+///
+/// The set is deliberately small but covers everything the paper's queries
+/// need: integers for keys, exact decimals for money, text for business
+/// identifiers, booleans for predicates, and dates (day-precision, stored as
+/// days since 1970-01-01) for fiscal periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlType {
+    Bool,
+    Int,
+    /// Exact fixed-point decimal with the given scale.
+    Decimal { scale: u8 },
+    Text,
+    Date,
+}
+
+impl SqlType {
+    /// True when a value of `other` can be used where `self` is expected
+    /// without an explicit cast (same family; decimal scales unify).
+    pub fn accepts(&self, other: &SqlType) -> bool {
+        match (self, other) {
+            (SqlType::Decimal { .. }, SqlType::Decimal { .. }) => true,
+            (SqlType::Decimal { .. }, SqlType::Int) => true,
+            (a, b) => a == b,
+        }
+    }
+
+    /// The common type of two operands in arithmetic/comparison, if any.
+    pub fn unify(&self, other: &SqlType) -> Option<SqlType> {
+        match (self, other) {
+            (a, b) if a == b => Some(*a),
+            (SqlType::Decimal { scale: a }, SqlType::Decimal { scale: b }) => {
+                Some(SqlType::Decimal { scale: (*a).max(*b) })
+            }
+            (SqlType::Int, SqlType::Decimal { scale }) | (SqlType::Decimal { scale }, SqlType::Int) => {
+                Some(SqlType::Decimal { scale: *scale })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlType::Bool => write!(f, "BOOLEAN"),
+            SqlType::Int => write!(f, "BIGINT"),
+            SqlType::Decimal { scale } => write!(f, "DECIMAL(38,{scale})"),
+            SqlType::Text => write!(f, "TEXT"),
+            SqlType::Date => write!(f, "DATE"),
+        }
+    }
+}
+
+/// A single runtime value. `Null` is typeless (SQL semantics).
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Dec(Decimal),
+    Str(Arc<str>),
+    /// Days since the Unix epoch.
+    Date(i32),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True if the value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The runtime type, if not NULL.
+    pub fn sql_type(&self) -> Option<SqlType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(SqlType::Bool),
+            Value::Int(_) => Some(SqlType::Int),
+            Value::Dec(d) => Some(SqlType::Decimal { scale: d.scale() }),
+            Value::Str(_) => Some(SqlType::Text),
+            Value::Date(_) => Some(SqlType::Date),
+        }
+    }
+
+    /// Extracts a boolean, treating NULL as `None` (SQL three-valued logic).
+    pub fn as_bool(&self) -> Result<Option<bool>> {
+        match self {
+            Value::Null => Ok(None),
+            Value::Bool(b) => Ok(Some(*b)),
+            other => Err(VdmError::Type(format!("expected BOOLEAN, got {other}"))),
+        }
+    }
+
+    /// Extracts an i64 or errors.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(VdmError::Type(format!("expected BIGINT, got {other}"))),
+        }
+    }
+
+    /// Extracts a decimal, widening integers for free.
+    pub fn as_dec(&self) -> Result<Decimal> {
+        match self {
+            Value::Dec(d) => Ok(*d),
+            Value::Int(v) => Ok(Decimal::from_int(*v)),
+            other => Err(VdmError::Type(format!("expected DECIMAL, got {other}"))),
+        }
+    }
+
+    /// Extracts a string slice or errors.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(VdmError::Type(format!("expected TEXT, got {other}"))),
+        }
+    }
+
+    /// SQL equality: NULL = anything is unknown (`None`).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp_non_null(other) == std::cmp::Ordering::Equal)
+    }
+
+    /// SQL ordering comparison; `None` when either side is NULL.
+    pub fn sql_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp_non_null(other))
+    }
+
+    /// Total order over *non-null* values of a unified type. Used for
+    /// grouping/sorting where NULLs are handled separately by the caller.
+    /// Mixed numeric types compare numerically; anything else compares by a
+    /// stable cross-type rank so sorting never panics.
+    pub fn total_cmp_non_null(&self, other: &Value) -> std::cmp::Ordering {
+        use Value::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Dec(a), Dec(b)) => a.cmp(b),
+            (Int(a), Dec(b)) => Decimal::from_int(*a).cmp(b),
+            (Dec(a), Int(b)) => a.cmp(&Decimal::from_int(*b)),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Date(a), Date(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// Total order including NULL (NULL sorts first) — used by ORDER BY and
+    /// grouping keys.
+    pub fn total_cmp(&self, other: &Value) -> std::cmp::Ordering {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (false, false) => self.total_cmp_non_null(other),
+        }
+    }
+}
+
+fn rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Dec(_) => 2, // numeric family shares a rank
+        Value::Date(_) => 3,
+        Value::Str(_) => 4,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Dec must hash identically when numerically equal,
+            // because total_cmp treats them as one numeric family; Decimal's
+            // Hash is canonical across scales.
+            Value::Int(v) => {
+                2u8.hash(state);
+                Decimal::from_int(*v).hash(state);
+            }
+            Value::Dec(d) => {
+                2u8.hash(state);
+                d.hash(state);
+            }
+            Value::Date(d) => {
+                3u8.hash(state);
+                d.hash(state);
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Dec(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Date(d) => write!(f, "DATE#{d}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_propagates_in_comparisons() {
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+    }
+
+    #[test]
+    fn int_and_decimal_compare_numerically() {
+        let d = Value::Dec("2.00".parse().unwrap());
+        assert_eq!(Value::Int(2).sql_eq(&d), Some(true));
+        assert_eq!(Value::Int(3).sql_cmp(&d), Some(std::cmp::Ordering::Greater));
+    }
+
+    #[test]
+    fn int_and_decimal_hash_identically_when_equal() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        let a = Value::Int(42);
+        let b = Value::Dec("42.000".parse().unwrap());
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn total_cmp_orders_null_first() {
+        let mut vals = [Value::Int(2), Value::Null, Value::Int(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Int(1));
+    }
+
+    #[test]
+    fn type_unification() {
+        assert_eq!(SqlType::Int.unify(&SqlType::Int), Some(SqlType::Int));
+        assert_eq!(
+            SqlType::Int.unify(&SqlType::Decimal { scale: 2 }),
+            Some(SqlType::Decimal { scale: 2 })
+        );
+        assert_eq!(
+            SqlType::Decimal { scale: 2 }.unify(&SqlType::Decimal { scale: 4 }),
+            Some(SqlType::Decimal { scale: 4 })
+        );
+        assert_eq!(SqlType::Text.unify(&SqlType::Int), None);
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert!(Value::str("x").as_int().is_err());
+        assert_eq!(Value::Int(5).as_dec().unwrap(), Decimal::from_int(5));
+        assert_eq!(Value::Null.as_bool().unwrap(), None);
+        assert!(Value::Int(1).as_bool().is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: create tables, load data, and watch the optimizer remove an
+//! unused augmentation join.
+//!
+//! Run: `cargo run --example quickstart`
+
+use vdm_core::Database;
+
+fn main() -> vdm_types::Result<()> {
+    // A database with the full optimizer (the paper's "HANA" capability set).
+    let mut db = Database::hana();
+
+    db.execute_script(
+        "create table customer (
+             c_custkey  bigint primary key,
+             c_name     text not null,
+             c_country  text not null
+         );
+         create table orders (
+             o_orderkey bigint primary key,
+             o_custkey  bigint not null,
+             o_total    decimal(12,2) not null
+         );
+         insert into customer values
+             (1, 'Aurora Analytics', 'DE'),
+             (2, 'Borealis Trading', 'FR');
+         insert into orders values
+             (100, 1, 1250.00),
+             (101, 1, 380.25),
+             (102, 2, 99.90);",
+    )?;
+
+    // A VDM-style expansive view: the customer join is there for whoever
+    // needs customer fields...
+    db.execute(
+        "create view order_overview as
+         select o.o_orderkey, o.o_total, c.c_name, c.c_country
+         from orders o left outer many to one join customer c
+           on o.o_custkey = c.c_custkey",
+    )?;
+
+    // ...but this query doesn't use them, so the join is an unused
+    // augmentation join (UAJ) and disappears:
+    let sql = "select o_orderkey, o_total from order_overview";
+    println!("{}\n", db.explain(sql)?);
+
+    let batch = db.query(sql)?;
+    println!("results ({} rows):", batch.num_rows());
+    for row in batch.to_rows() {
+        println!("  {row:?}");
+    }
+
+    // A query that *does* use customer fields keeps the join:
+    let sql = "select c_name, sum(o_total) as revenue from order_overview group by c_name order by revenue desc";
+    let batch = db.query(sql)?;
+    println!("\nrevenue by customer:");
+    for row in batch.to_rows() {
+        println!("  {} -> {}", row[0], row[1]);
+    }
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Workspace-spanning examples and integration tests live under this root package.

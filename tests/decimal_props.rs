@@ -1,0 +1,97 @@
+//! Property tests for the exact-decimal substrate (§7.1 depends on its
+//! semantics being airtight).
+
+use proptest::prelude::*;
+use vdm_types::Decimal;
+
+fn dec_strategy() -> impl Strategy<Value = Decimal> {
+    // Units within money-like magnitudes, scales within business range.
+    (-1_000_000_000_000i128..1_000_000_000_000, 0u8..8)
+        .prop_map(|(units, scale)| Decimal::from_units(units, scale))
+}
+
+proptest! {
+    #[test]
+    fn addition_is_commutative_and_associative(a in dec_strategy(), b in dec_strategy(), c in dec_strategy()) {
+        let ab = a.checked_add(&b).unwrap();
+        let ba = b.checked_add(&a).unwrap();
+        prop_assert_eq!(ab, ba);
+        let ab_c = ab.checked_add(&c).unwrap();
+        let a_bc = a.checked_add(&b.checked_add(&c).unwrap()).unwrap();
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn add_then_subtract_round_trips(a in dec_strategy(), b in dec_strategy()) {
+        let sum = a.checked_add(&b).unwrap();
+        let back = sum.checked_sub(&b).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn display_parse_round_trips(a in dec_strategy()) {
+        let text = a.to_string();
+        let parsed: Decimal = text.parse().unwrap();
+        prop_assert_eq!(parsed, a);
+        prop_assert_eq!(parsed.scale(), a.scale());
+    }
+
+    #[test]
+    fn rounding_is_idempotent_and_monotone(a in dec_strategy(), b in dec_strategy(), s in 0u8..6) {
+        let ra = a.round_to(s);
+        prop_assert_eq!(ra.round_to(s), ra, "idempotent");
+        if a <= b {
+            prop_assert!(a.round_to(s) <= b.round_to(s), "monotone: {a} vs {b} at scale {s}");
+        }
+    }
+
+    #[test]
+    fn rounding_error_is_bounded(a in dec_strategy(), s in 0u8..6) {
+        let r = a.round_to(s);
+        let diff = r.checked_sub(&a).unwrap();
+        let half_ulp = Decimal::from_units(5, s + 1); // 0.5 * 10^-s
+        let abs = if diff < Decimal::zero(0) { diff.negate() } else { diff };
+        prop_assert!(abs <= half_ulp, "|{r} - {a}| = {abs} > {half_ulp}");
+    }
+
+    #[test]
+    fn comparison_agrees_with_subtraction(a in dec_strategy(), b in dec_strategy()) {
+        let diff = a.checked_sub(&b).unwrap();
+        let zero = Decimal::zero(diff.scale());
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(diff < zero),
+            std::cmp::Ordering::Equal => prop_assert!(diff == zero),
+            std::cmp::Ordering::Greater => prop_assert!(diff > zero),
+        }
+    }
+
+    #[test]
+    fn rescale_widening_is_exact(a in dec_strategy(), extra in 0u8..6) {
+        let wider = a.rescale((a.scale() + extra).min(18)).unwrap();
+        prop_assert_eq!(wider, a, "widening must not change the value");
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity(a in dec_strategy()) {
+        let one = Decimal::from_int(1);
+        prop_assert_eq!(a.checked_mul(&one).unwrap(), a);
+    }
+
+    /// The §7.1 bound: interchanging per-row rounding with summation can
+    /// move the total by at most half an ULP per row.
+    #[test]
+    fn sum_of_rounds_close_to_round_of_sum(values in prop::collection::vec(dec_strategy(), 1..40), s in 0u8..4) {
+        let mut sum_rounded = Decimal::zero(s);
+        let mut sum_exact = Decimal::zero(0);
+        for v in &values {
+            sum_rounded = sum_rounded.checked_add(&v.round_to(s)).unwrap();
+            sum_exact = sum_exact.checked_add(v).unwrap();
+        }
+        let interchange = sum_exact.round_to(s);
+        let diff = sum_rounded.checked_sub(&interchange).unwrap();
+        let abs = if diff < Decimal::zero(0) { diff.negate() } else { diff };
+        // n rows each contribute at most 0.5 ULP; plus 0.5 for the final round.
+        let bound = Decimal::from_units(5 * (values.len() as i128 + 1), s + 1);
+        prop_assert!(abs <= bound, "|{sum_rounded} - {interchange}| = {abs} > {bound}");
+    }
+}

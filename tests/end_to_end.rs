@@ -1,0 +1,164 @@
+//! End-to-end integration: SQL text → parse → bind → optimize → execute,
+//! across every optimizer profile.
+//!
+//! The fundamental soundness property of the whole reproduction: **every
+//! capability profile computes the same answers** — profiles only change
+//! how much work the plan does.
+
+use vdm_core::Database;
+use vdm_optimizer::Profile;
+use vdm_types::Value;
+
+/// Queries spanning every feature: joins, aggregation, unions, paging,
+/// views, macros, declared cardinalities.
+const QUERIES: &[&str] = &[
+    "select o_orderkey from orders left join customer on o_custkey = c_custkey",
+    "select o.o_orderkey, c.c_name from orders o left join customer c on o.o_custkey = c.c_custkey where o.o_totalprice > 500.00",
+    "select c_mktsegment, count(*) as n, sum(o_totalprice) as total from orders o left join customer c on o.o_custkey = c.c_custkey group by c_mktsegment order by n desc",
+    "select n_name, count(*) as suppliers from supplier s join nation n on s.s_nationkey = n.n_nationkey group by n_name order by suppliers desc, n_name",
+    "select l_orderkey, sum(l_quantity) as qty from lineitem group by l_orderkey having sum(l_quantity) > 100 order by qty desc limit 5",
+    "select o_orderkey from orders left outer many to one join customer on o_custkey = c_custkey order by o_orderkey limit 7 offset 3",
+    "select c_custkey as k from customer union all select s_suppkey as k from supplier",
+    "select distinct c_nationkey from customer order by c_nationkey",
+    "select x.n from (select count(*) as n from lineitem) x",
+    "select upper(c_name) as cname from customer where c_custkey <= 3 order by cname",
+    "select case when o_totalprice > 1000.00 then 'big' else 'small' end as bucket, count(*) from orders group by case when o_totalprice > 1000.00 then 'big' else 'small' end order by bucket",
+];
+
+fn tpch_db(profile: Profile) -> Database {
+    let mut db = Database::new(profile);
+    let gen = vdm_data::tpch::Tpch { sf: 0.02, seed: 42, with_foreign_keys: false };
+    let (catalog, engine) = db.catalog_and_engine();
+    gen.build(catalog, engine).expect("TPC-H load");
+    db
+}
+
+fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+    rows.sort_by(|a, b| {
+        for (x, y) in a.iter().zip(b.iter()) {
+            let c = x.total_cmp(y);
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows
+}
+
+#[test]
+fn all_profiles_agree_on_results() {
+    let mut reference: Vec<Vec<Vec<Value>>> = Vec::new();
+    {
+        let mut db = tpch_db(Profile::hana());
+        for q in QUERIES {
+            reference.push(sorted(db.query(q).unwrap_or_else(|e| panic!("{q}: {e}")).to_rows()));
+        }
+    }
+    for profile in [Profile::postgres(), Profile::system_x(), Profile::system_y(), Profile::system_z()] {
+        let name = profile.name().to_string();
+        let mut db = tpch_db(profile);
+        for (q, want) in QUERIES.iter().zip(&reference) {
+            let got = sorted(db.query(q).unwrap_or_else(|e| panic!("{name} / {q}: {e}")).to_rows());
+            assert_eq!(&got, want, "profile {name} diverged on: {q}");
+        }
+    }
+}
+
+#[test]
+fn optimized_and_unoptimized_plans_agree() {
+    let db = tpch_db(Profile::hana());
+    for q in QUERIES {
+        let plan = db.plan(q).unwrap();
+        let (opt, _) = db.execute_plan(&plan).unwrap();
+        let (raw, _) = db.execute_plan_unoptimized(&plan).unwrap();
+        assert_eq!(
+            sorted(opt.to_rows()),
+            sorted(raw.to_rows()),
+            "optimization changed results of: {q}"
+        );
+    }
+}
+
+#[test]
+fn hybrid_workload_transactions_visible_to_analytics() {
+    // The HTAP promise: a write is immediately visible to the analytical
+    // query — no ETL delay.
+    let mut db = tpch_db(Profile::hana());
+    let before = db.query("select count(*) from orders").unwrap().row(0)[0].as_int().unwrap();
+    db.execute("insert into orders values (999999, 1, 'O', 123.45, cast(10000 as date))").unwrap();
+    let after = db.query("select count(*) from orders").unwrap().row(0)[0].as_int().unwrap();
+    assert_eq!(after, before + 1);
+    // And a delete disappears immediately.
+    db.engine()
+        .delete_where("orders", &|row| row[0] == Value::Int(999999))
+        .unwrap();
+    let last = db.query("select count(*) from orders").unwrap().row(0)[0].as_int().unwrap();
+    assert_eq!(last, before);
+}
+
+#[test]
+fn delta_merge_preserves_query_results() {
+    let mut db = tpch_db(Profile::hana());
+    let q = "select c_mktsegment, count(*) from customer group by c_mktsegment order by 1";
+    let before = db.query(q).unwrap().to_rows();
+    db.engine().merge_delta("customer").unwrap();
+    let after = db.query(q).unwrap().to_rows();
+    assert_eq!(before, after, "delta merge must be invisible to queries");
+    let (main, delta) = db.engine().fragment_sizes("customer").unwrap();
+    assert!(main > 0);
+    assert_eq!(delta, 0);
+}
+
+#[test]
+fn expression_macro_end_to_end_margin() {
+    // §7.2: the paper's margin example over TPC-H.
+    let mut db = tpch_db(Profile::hana());
+    db.execute(
+        "create view vlineitem as
+         select l.l_orderkey, l.l_extendedprice, l.l_discount, ps.ps_supplycost
+         from lineitem l
+         join partsupp ps on l.l_partkey = ps.ps_partkey and l.l_suppkey = ps.ps_suppkey
+         with expression macros (
+             1 - sum(ps_supplycost) / sum(l_extendedprice * (1 - l_discount)) as margin
+         )",
+    )
+    .unwrap();
+    let rows = db
+        .query("select l_orderkey, expression_macro(margin) from vlineitem group by l_orderkey order by l_orderkey limit 5")
+        .unwrap();
+    assert_eq!(rows.num_rows(), 5);
+    // Hand-written equivalent must agree.
+    let manual = db
+        .query(
+            "select l_orderkey, 1 - sum(ps_supplycost) / sum(l_extendedprice * (1 - l_discount)) as margin
+             from vlineitem group by l_orderkey order by l_orderkey limit 5",
+        )
+        .unwrap();
+    for (a, b) in rows.to_rows().iter().zip(manual.to_rows()) {
+        assert_eq!(a[0], b[0]);
+        let x = a[1].as_dec().unwrap().to_f64();
+        let y = b[1].as_dec().unwrap().to_f64();
+        assert!((x - y).abs() < 1e-9, "macro vs manual margin: {x} vs {y}");
+    }
+}
+
+#[test]
+fn precision_loss_sql_round_trip() {
+    let mut db = tpch_db(Profile::hana());
+    let strict = db
+        .query("select sum(round(o_totalprice * 1.11, 2)) from orders")
+        .unwrap()
+        .row(0)[0]
+        .as_dec()
+        .unwrap();
+    let loose = db
+        .query("select allow_precision_loss(sum(round(o_totalprice * 1.11, 2))) from orders")
+        .unwrap()
+        .row(0)[0]
+        .as_dec()
+        .unwrap();
+    let delta = (strict.to_f64() - loose.to_f64()).abs();
+    let n_orders = db.query("select count(*) from orders").unwrap().row(0)[0].as_int().unwrap();
+    assert!(delta <= 0.005 * n_orders as f64, "delta {delta} exceeds rounding bound");
+}
