@@ -1,60 +1,62 @@
-//! Criterion benches: the execution-time consequence of every optimization
-//! the paper studies. Each group runs the same plan unoptimized (a system
-//! without the rule) and optimized (the HANA profile), so the reported
-//! ratio is the payoff of the rewrite.
+//! Paper benches, criterion-free: the execution-time consequence of every
+//! optimization the paper studies, plus a thread sweep over the parallel
+//! executor. Each group runs the same plan unoptimized (a system without
+//! the rule) and optimized (the HANA profile), so the reported ratio is
+//! the payoff of the rewrite. Runs offline with a plain `harness = false`
+//! main — no external benchmarking dependency.
+//!
+//! Run with `cargo bench --bench paper`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use std::time::Duration;
 use vdm_bench::{harness, queries};
+use vdm_exec::ParallelConfig;
 use vdm_optimizer::Optimizer;
 use vdm_plan::{LogicalPlan, PlanRef};
 use vdm_storage::StorageEngine;
 
-fn run(engine: &StorageEngine, plan: &PlanRef) {
-    let batch = vdm_exec::execute(plan, engine).expect("plan executes");
-    black_box(batch.num_rows());
+const ITERS: usize = 10;
+
+fn report(group: &str, name: &str, d: Duration) {
+    println!("{group:<28} {name:<22} {}", harness::fmt_duration(d));
 }
 
-fn bench_pair(c: &mut Criterion, group: &str, engine: &StorageEngine, plan: &PlanRef) {
+fn bench_pair(group: &str, engine: &StorageEngine, plan: &PlanRef) {
     let hana = Optimizer::hana();
     let optimized = hana.optimize(plan).expect("optimize");
-    let mut g = c.benchmark_group(group);
-    g.sample_size(10);
-    g.bench_function("unoptimized", |b| b.iter(|| run(engine, plan)));
-    g.bench_function("hana_optimized", |b| b.iter(|| run(engine, &optimized)));
-    g.finish();
+    report(group, "unoptimized", harness::time_plan(engine, plan, ITERS));
+    report(group, "hana_optimized", harness::time_plan(engine, &optimized, ITERS));
 }
 
 /// Table 1: UAJ elimination payoff (UAJ 1 and the hardest case UAJ 1b).
-fn uaj(c: &mut Criterion) {
+fn uaj() {
     let (catalog, engine) = harness::setup_tpch(0.05, false);
-    bench_pair(c, "table1/uaj1", &engine, &queries::uaj1(&catalog).unwrap());
-    bench_pair(c, "table1/uaj2a", &engine, &queries::uaj2a(&catalog).unwrap());
-    bench_pair(c, "table1/uaj1b", &engine, &queries::uaj1b(&catalog).unwrap());
+    bench_pair("table1/uaj1", &engine, &queries::uaj1(&catalog).unwrap());
+    bench_pair("table1/uaj2a", &engine, &queries::uaj2a(&catalog).unwrap());
+    bench_pair("table1/uaj1b", &engine, &queries::uaj1b(&catalog).unwrap());
 }
 
 /// Table 2 / Fig. 6: limit pushdown across an augmentation join.
-fn limit_pushdown(c: &mut Criterion) {
+fn limit_pushdown() {
     let (catalog, engine) = harness::setup_tpch(0.05, false);
-    bench_pair(c, "table2/paging", &engine, &queries::paging(&catalog).unwrap());
+    bench_pair("table2/paging", &engine, &queries::paging(&catalog).unwrap());
 }
 
 /// Table 3 / Fig. 10: ASJ elimination payoff.
-fn asj(c: &mut Criterion) {
+fn asj() {
     let (catalog, engine) = harness::setup_tpch(0.05, false);
-    bench_pair(c, "table3/asj_basic", &engine, &queries::asj_basic(&catalog).unwrap());
-    bench_pair(c, "table3/asj_subquery", &engine, &queries::asj_subquery(&catalog).unwrap());
+    bench_pair("table3/asj_basic", &engine, &queries::asj_basic(&catalog).unwrap());
+    bench_pair("table3/asj_subquery", &engine, &queries::asj_subquery(&catalog).unwrap());
 }
 
 /// Table 4 / Fig. 12: UAJ elimination across UNION ALL.
-fn union_uaj(c: &mut Criterion) {
+fn union_uaj() {
     let (catalog, engine) = harness::setup_tpch(0.05, false);
-    bench_pair(c, "table4/union_disjoint", &engine, &queries::union_disjoint(&catalog).unwrap());
-    bench_pair(c, "table4/union_branch_id", &engine, &queries::union_branch_id(&catalog).unwrap());
+    bench_pair("table4/union_disjoint", &engine, &queries::union_disjoint(&catalog).unwrap());
+    bench_pair("table4/union_branch_id", &engine, &queries::union_branch_id(&catalog).unwrap());
 }
 
 /// Fig. 3/4: the VDM consumption view, `select count(*)`.
-fn vdm_browser(c: &mut Criterion) {
+fn vdm_browser() {
     let erp = vdm_data::erp::Erp { journal_rows: 10_000, seed: 4711 };
     let mut catalog = vdm_catalog::Catalog::new();
     let engine = StorageEngine::new();
@@ -66,11 +68,11 @@ fn vdm_browser(c: &mut Criterion) {
         vec![(vdm_expr::AggExpr::count_star(), "n".into())],
     )
     .expect("count plan");
-    bench_pair(c, "fig3/count_star_browser", &engine, &count);
+    bench_pair("fig3/count_star_browser", &engine, &count);
 }
 
 /// Fig. 14: paging an extension view, heuristic miss vs case join.
-fn case_join(c: &mut Criterion) {
+fn case_join() {
     let cfg = vdm_data::figview::Fig14Config { n_views: 6, rows_per_table: 4_000, seed: 7 };
     let mut catalog = vdm_catalog::Catalog::new();
     let engine = StorageEngine::new();
@@ -81,37 +83,47 @@ fn case_join(c: &mut Criterion) {
     let orig = hana.optimize(&page(&deep.original)).unwrap();
     let plain = hana.optimize(&page(&deep.extended_plain)).unwrap();
     let with_case = hana.optimize(&page(&deep.extended_case)).unwrap();
-    let mut g = c.benchmark_group("fig14/deep_view_paging");
-    g.sample_size(10);
-    g.bench_function("original", |b| b.iter(|| run(&engine, &orig)));
-    g.bench_function("extended_no_intent", |b| b.iter(|| run(&engine, &plain)));
-    g.bench_function("extended_case_join", |b| b.iter(|| run(&engine, &with_case)));
-    g.finish();
+    report("fig14/deep_view_paging", "original", harness::time_plan(&engine, &orig, ITERS));
+    report("fig14/deep_view_paging", "extended_no_intent", harness::time_plan(&engine, &plain, ITERS));
+    report("fig14/deep_view_paging", "extended_case_join", harness::time_plan(&engine, &with_case, ITERS));
 }
 
 /// §7.1: aggregation pushdown across decimal rounding.
-fn precision(c: &mut Criterion) {
+fn precision() {
     let (catalog, engine) = harness::setup_tpch(0.2, false);
     let strict = queries::precision_query(&catalog, false).unwrap();
     let loose = queries::precision_query(&catalog, true).unwrap();
     let hana = Optimizer::hana();
     let strict_opt = hana.optimize(&strict).unwrap();
     let loose_opt = hana.optimize(&loose).unwrap();
-    let mut g = c.benchmark_group("sec7/precision_loss");
-    g.sample_size(10);
-    g.bench_function("exact_rounding", |b| b.iter(|| run(&engine, &strict_opt)));
-    g.bench_function("allow_precision_loss", |b| b.iter(|| run(&engine, &loose_opt)));
-    g.finish();
+    report("sec7/precision_loss", "exact_rounding", harness::time_plan(&engine, &strict_opt, ITERS));
+    report("sec7/precision_loss", "allow_precision_loss", harness::time_plan(&engine, &loose_opt, ITERS));
 }
 
-criterion_group!(
-    benches,
-    uaj,
-    limit_pushdown,
-    asj,
-    union_uaj,
-    vdm_browser,
-    case_join,
-    precision
-);
-criterion_main!(benches);
+/// Thread sweep: the morsel-driven parallel path over the Fig. 3 browser,
+/// at 1/2/4/8 worker threads (1 = the exact legacy serial path).
+fn thread_sweep() {
+    let erp = vdm_data::erp::Erp { journal_rows: 20_000, seed: 4711 };
+    let mut catalog = vdm_catalog::Catalog::new();
+    let engine = StorageEngine::new();
+    let schema = erp.build(&mut catalog, &engine).expect("erp");
+    let browser = vdm_data::erp::journal_entry_item_browser(&schema).expect("browser");
+    let hana = Optimizer::hana();
+    let plan = hana.optimize(&browser.protected).expect("optimize");
+    for threads in [1usize, 2, 4, 8] {
+        let config = ParallelConfig { threads, ..ParallelConfig::default() };
+        let d = harness::time_plan_parallel(&engine, &plan, config, 5);
+        report("parallel/fig3_browser", &format!("threads={threads}"), d);
+    }
+}
+
+fn main() {
+    uaj();
+    limit_pushdown();
+    asj();
+    union_uaj();
+    vdm_browser();
+    case_join();
+    precision();
+    thread_sweep();
+}

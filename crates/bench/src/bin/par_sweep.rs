@@ -1,0 +1,205 @@
+//! Thread sweep for the morsel-driven parallel executor.
+//!
+//! Two workloads, each run at `threads ∈ {1, 2, 4, 8}`:
+//!
+//! 1. **browser** — the Fig. 3 `journal_entry_item_browser` full
+//!    scan-and-join over the ERP dataset, optimized under the HANA
+//!    profile (the paper's interactive HTAP read).
+//! 2. **agg_over_join** — a ≥1M-row fact ⋈ dim probe feeding a grouped
+//!    aggregation (the classic analytical morsel-parallelism shape).
+//!
+//! Emits a human-readable table and machine-readable
+//! `BENCH_parallel.json` in the working directory (no external
+//! benchmarking framework).
+//!
+//! Run: `cargo run --release -p vdm-bench --bin par_sweep`
+//! Optional args: `par_sweep <fact_rows> <journal_rows>`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+use vdm_bench::harness;
+use vdm_catalog::TableBuilder;
+use vdm_data::erp::{journal_entry_item_browser, Erp};
+use vdm_exec::ParallelConfig;
+use vdm_expr::{AggExpr, AggFunc, Expr};
+use vdm_optimizer::{Optimizer, Profile};
+use vdm_plan::{LogicalPlan, PlanRef};
+use vdm_storage::StorageEngine;
+use vdm_types::{Decimal, SplitMix64, SqlType, Value};
+
+const THREAD_STEPS: [usize; 4] = [1, 2, 4, 8];
+
+struct SweepResult {
+    threads: usize,
+    median: Duration,
+}
+
+struct Workload {
+    name: &'static str,
+    rows: usize,
+    results: Vec<SweepResult>,
+}
+
+fn sweep(name: &'static str, rows: usize, engine: &StorageEngine, plan: &PlanRef, iters: usize) -> Workload {
+    let mut results = Vec::new();
+    for &threads in &THREAD_STEPS {
+        let config = ParallelConfig { threads, ..ParallelConfig::default() };
+        let median = harness::time_plan_parallel(engine, plan, config, iters);
+        println!(
+            "  {name:>14}  threads={threads}  median={}",
+            harness::fmt_duration(median)
+        );
+        results.push(SweepResult { threads, median });
+    }
+    // Per-operator-class CPU time at the sweep's endpoints, from the
+    // executor's timing counters (worker-local sums, merged at joins).
+    for threads in [1, THREAD_STEPS[THREAD_STEPS.len() - 1]] {
+        let config = ParallelConfig { threads, ..ParallelConfig::default() };
+        let (_, m) = vdm_exec::execute_parallel_at(plan, engine, engine.snapshot(), config)
+            .expect("plan executes");
+        let ms = |n: u64| n as f64 / 1e6;
+        println!(
+            "  {name:>14}  threads={threads} operator CPU ms: scan={:.1} filter={:.1} project={:.1} join={:.1} agg={:.1} sort={:.1} union={:.1}",
+            ms(m.scan_nanos),
+            ms(m.filter_nanos),
+            ms(m.project_nanos),
+            ms(m.join_nanos),
+            ms(m.agg_nanos),
+            ms(m.sort_nanos),
+            ms(m.union_nanos),
+        );
+    }
+    Workload { name, rows, results }
+}
+
+/// Builds the ≥1M-row fact ⋈ dim → group-by microbench directly in the
+/// storage engine (no SQL round trip) and returns the plan.
+fn agg_over_join(engine: &StorageEngine, fact_rows: usize) -> (PlanRef, usize) {
+    let dim_rows = 1_000i64;
+    let dim = Arc::new(
+        TableBuilder::new("dim_product")
+            .column("d_id", SqlType::Int, false)
+            .column("d_category", SqlType::Int, false)
+            .primary_key(&["d_id"])
+            .build()
+            .expect("dim table"),
+    );
+    let fact = Arc::new(
+        TableBuilder::new("fact_sales")
+            .column("f_id", SqlType::Int, false)
+            .column("f_product", SqlType::Int, false)
+            .column("f_amount", SqlType::Decimal { scale: 2 }, false)
+            .primary_key(&["f_id"])
+            .build()
+            .expect("fact table"),
+    );
+    engine.create_table(Arc::clone(&dim)).expect("create dim");
+    engine.create_table(Arc::clone(&fact)).expect("create fact");
+    engine
+        .insert(
+            "dim_product",
+            (0..dim_rows).map(|i| vec![Value::Int(i), Value::Int(i % 37)]).collect(),
+        )
+        .expect("load dim");
+    let mut rng = SplitMix64::seed_from_u64(0xFACADE);
+    let mut batch = Vec::with_capacity(50_000);
+    let mut next_id = 0i64;
+    while (next_id as usize) < fact_rows {
+        batch.push(vec![
+            Value::Int(next_id),
+            Value::Int(rng.random_range(0..dim_rows)),
+            Value::Dec(Decimal::from_units(rng.random_range(0..1_000_000i64) as i128, 2)),
+        ]);
+        next_id += 1;
+        if batch.len() == batch.capacity() {
+            engine.insert("fact_sales", std::mem::take(&mut batch)).expect("load fact");
+            batch.reserve(50_000);
+        }
+    }
+    if !batch.is_empty() {
+        engine.insert("fact_sales", batch).expect("load fact tail");
+    }
+    engine.merge_delta("fact_sales").expect("merge fact");
+    engine.merge_delta("dim_product").expect("merge dim");
+
+    let join = LogicalPlan::inner_join(
+        LogicalPlan::scan(fact),
+        LogicalPlan::scan(dim),
+        vec![(1, 0)],
+    )
+    .expect("join plan");
+    let plan = LogicalPlan::aggregate(
+        join,
+        vec![(Expr::col(4), "category".into())],
+        vec![
+            (AggExpr::count_star(), "n".into()),
+            (AggExpr::new(AggFunc::Sum, Expr::col(2)), "revenue".into()),
+        ],
+    )
+    .expect("aggregate plan");
+    (plan, fact_rows + dim_rows as usize)
+}
+
+fn to_json(workloads: &[Workload]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"par_sweep\",\n  \"workloads\": [\n");
+    for (wi, w) in workloads.iter().enumerate() {
+        let serial = w.results.first().map(|r| r.median.as_secs_f64()).unwrap_or(0.0);
+        let _ = write!(out, "    {{\"name\": \"{}\", \"rows\": {}, \"results\": [", w.name, w.rows);
+        for (i, r) in w.results.iter().enumerate() {
+            let millis = r.median.as_secs_f64() * 1e3;
+            let speedup = if r.median.as_secs_f64() > 0.0 { serial / r.median.as_secs_f64() } else { 0.0 };
+            let _ = write!(
+                out,
+                "{}{{\"threads\": {}, \"millis\": {millis:.3}, \"speedup\": {speedup:.2}}}",
+                if i == 0 { "" } else { ", " },
+                r.threads,
+            );
+        }
+        let _ = writeln!(out, "]}}{}", if wi + 1 == workloads.len() { "" } else { "," });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fact_rows: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let journal_rows: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+
+    println!("== par_sweep: morsel-driven executor thread sweep ==");
+    println!(
+        "available parallelism: {}",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+
+    // Workload 1: Fig. 3 browser over ERP data, optimized under HANA.
+    println!("\n[browser] journal_entry_item_browser, journal_rows={journal_rows}");
+    let erp = Erp { journal_rows, seed: 4711 };
+    let mut catalog = vdm_catalog::Catalog::new();
+    let erp_engine = StorageEngine::new();
+    let schema = erp.build(&mut catalog, &erp_engine).expect("ERP generation");
+    let browser = journal_entry_item_browser(&schema).expect("browser view");
+    let optimized =
+        Optimizer::new(Profile::hana()).optimize(&browser.protected).expect("optimize browser");
+    let w1 = sweep("browser", journal_rows, &erp_engine, &optimized, 5);
+
+    // Workload 2: ≥1M-row aggregate over join.
+    println!("\n[agg_over_join] fact_rows={fact_rows}");
+    let engine = StorageEngine::new();
+    let (plan, rows) = agg_over_join(&engine, fact_rows);
+    let w2 = sweep("agg_over_join", rows, &engine, &plan, 3);
+
+    let workloads = [w1, w2];
+    let json = to_json(&workloads);
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json:\n{json}");
+
+    for w in &workloads {
+        let serial = w.results[0].median.as_secs_f64();
+        if let Some(four) = w.results.iter().find(|r| r.threads == 4) {
+            let speedup = serial / four.median.as_secs_f64().max(f64::EPSILON);
+            println!("{}: threads=4 speedup over serial = {speedup:.2}x", w.name);
+        }
+    }
+}

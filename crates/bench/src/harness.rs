@@ -28,6 +28,25 @@ pub fn time_plan(engine: &StorageEngine, plan: &PlanRef, iters: usize) -> Durati
     samples[samples.len() / 2]
 }
 
+/// Median wall time of `iters` executions on the morsel-driven parallel
+/// executor under `config` (`threads: 1` measures the legacy serial path).
+pub fn time_plan_parallel(
+    engine: &StorageEngine,
+    plan: &PlanRef,
+    config: vdm_exec::ParallelConfig,
+    iters: usize,
+) -> Duration {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let batch = vdm_exec::execute_parallel(plan, engine, config).expect("plan executes");
+        std::hint::black_box(batch.num_rows());
+        samples.push(start.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
 /// Optimizes under `profile` and reports whether the plan became join-free
 /// (the success criterion of Tables 1, 3, 4: "optimized into a single
 /// projection").

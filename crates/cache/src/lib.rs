@@ -14,7 +14,7 @@
 //!   the plan runs over just the inserted rows and the results append to
 //!   the materialization. Anything else falls back to full recomputation.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use vdm_plan::{LogicalPlan, PlanRef};
@@ -92,17 +92,17 @@ impl CachedView {
 
     /// Counters snapshot.
     pub fn stats(&self) -> CacheStats {
-        self.state.lock().stats
+        self.state.lock().unwrap().stats
     }
 
     /// Snapshot the current materialization was computed at.
     pub fn as_of(&self) -> Snapshot {
-        self.state.lock().as_of
+        self.state.lock().unwrap().as_of
     }
 
     /// How far the materialization lags the engine clock (SCV staleness).
     pub fn staleness(&self, engine: &StorageEngine) -> u64 {
-        engine.snapshot().0.saturating_sub(self.state.lock().as_of.0)
+        engine.snapshot().0.saturating_sub(self.state.lock().unwrap().as_of.0)
     }
 
     /// Reads the view. SCV: the stored snapshot. DCV: maintained first.
@@ -110,7 +110,7 @@ impl CachedView {
         if self.mode == CacheMode::Dynamic {
             self.maintain(engine)?;
         }
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().unwrap();
         state.stats.hits += 1;
         Batch::from_rows(self.plan.schema(), &state.rows)
     }
@@ -119,7 +119,7 @@ impl CachedView {
     pub fn refresh(&self, engine: &StorageEngine) -> Result<()> {
         let snapshot = engine.snapshot();
         let batch = vdm_exec::execute_at(&self.plan, engine, snapshot)?.0;
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().unwrap();
         state.rows = batch.to_rows();
         state.as_of = snapshot;
         state.stats.full_refreshes += 1;
@@ -130,7 +130,7 @@ impl CachedView {
     /// incremental append when possible, full recompute otherwise.
     fn maintain(&self, engine: &StorageEngine) -> Result<()> {
         let now = engine.snapshot();
-        let as_of = self.state.lock().as_of;
+        let as_of = self.state.lock().unwrap().as_of;
         let mut changed = false;
         let mut any_delete = false;
         for dep in &self.dependencies {
@@ -147,7 +147,7 @@ impl CachedView {
         if !any_delete && is_distributive(&self.plan) {
             // Incremental: run the plan over only the inserted rows.
             let delta_rows = eval_distributive_delta(&self.plan, engine, as_of, now)?;
-            let mut state = self.state.lock();
+            let mut state = self.state.lock().unwrap();
             state.rows.extend(delta_rows);
             state.as_of = now;
             state.stats.incremental_refreshes += 1;

@@ -18,6 +18,7 @@ use std::sync::Arc;
 use vdm_cache::{CacheMode, CachedView, ViewCache};
 use vdm_catalog::Catalog;
 use vdm_exec::Metrics;
+pub use vdm_exec::ParallelConfig;
 use vdm_optimizer::{Optimizer, Profile};
 use vdm_plan::{plan_stats, PlanRef, ViewRegistry};
 use vdm_sql::{Binder, MacroRegistry, Statement};
@@ -55,6 +56,7 @@ pub struct Database {
     engine: StorageEngine,
     optimizer: Optimizer,
     cache: ViewCache,
+    parallel: ParallelConfig,
 }
 
 impl Database {
@@ -67,6 +69,7 @@ impl Database {
             engine: StorageEngine::new(),
             optimizer: Optimizer::new(profile),
             cache: ViewCache::new(),
+            parallel: ParallelConfig::default(),
         }
     }
 
@@ -78,6 +81,17 @@ impl Database {
     /// Swaps the optimizer profile (e.g. to compare systems on one dataset).
     pub fn set_profile(&mut self, profile: Profile) {
         self.optimizer = Optimizer::new(profile);
+    }
+
+    /// Sets the executor's worker-pool configuration. The default uses all
+    /// available cores; `threads: 1` takes the exact legacy serial path.
+    pub fn set_parallelism(&mut self, config: ParallelConfig) {
+        self.parallel = config;
+    }
+
+    /// The active executor configuration.
+    pub fn parallelism(&self) -> ParallelConfig {
+        self.parallel
     }
 
     /// The active optimizer.
@@ -188,12 +202,12 @@ impl Database {
     /// Executes a prebuilt logical plan (optimizing it first).
     pub fn execute_plan(&self, plan: &PlanRef) -> Result<(Batch, Metrics)> {
         let optimized = self.optimizer.optimize(plan)?;
-        vdm_exec::execute_at(&optimized, &self.engine, self.engine.snapshot())
+        vdm_exec::execute_parallel_at(&optimized, &self.engine, self.engine.snapshot(), self.parallel)
     }
 
     /// Executes a prebuilt plan WITHOUT optimization (baseline measurement).
     pub fn execute_plan_unoptimized(&self, plan: &PlanRef) -> Result<(Batch, Metrics)> {
-        vdm_exec::execute_at(plan, &self.engine, self.engine.snapshot())
+        vdm_exec::execute_parallel_at(plan, &self.engine, self.engine.snapshot(), self.parallel)
     }
 
     /// EXPLAIN text for a SELECT: both the bound and the optimized plan,
@@ -221,7 +235,8 @@ impl Database {
                 let binder = Binder::new(&self.catalog, &self.views, &self.macros);
                 let plan = binder.bind_select(sel)?;
                 let optimized = self.optimizer.optimize(&plan)?;
-                let batch = vdm_exec::execute(&optimized, &self.engine)?;
+                let batch =
+                    vdm_exec::execute_parallel(&optimized, &self.engine, self.parallel)?;
                 Ok(StatementResult::Rows(batch))
             }
             Statement::CreateTable(ct) => {
@@ -412,6 +427,20 @@ mod tests {
             .query("select c_name from customer where c_name not like '%ob' order by 1")
             .unwrap();
         assert_eq!(rows.num_rows(), 1);
+    }
+
+    #[test]
+    fn parallelism_config_round_trips_and_agrees_with_serial() {
+        let mut db = db();
+        let sql = "select c_name, count(*) as n from orders o \
+                   left join customer c on o.o_custkey = c.c_custkey \
+                   group by c_name order by n desc";
+        db.set_parallelism(ParallelConfig { threads: 1, morsel_rows: 2 });
+        assert_eq!(db.parallelism().threads, 1);
+        let serial = db.query(sql).unwrap();
+        db.set_parallelism(ParallelConfig { threads: 4, morsel_rows: 2 });
+        let parallel = db.query(sql).unwrap();
+        assert_eq!(parallel.to_rows(), serial.to_rows());
     }
 
     #[test]

@@ -22,7 +22,6 @@
 //!   (`⟕ G`), 4 text-joined dims, 3 three-level nested dims, 12 simple
 //!   dims, and 3 dims re-using another dim's scan (more sharing).
 
-use rand::RngExt;
 use std::collections::HashMap;
 use std::sync::Arc;
 use vdm_catalog::{Catalog, TableBuilder, TableDef};

@@ -11,7 +11,6 @@
 //! further joins, defeating the shallow matcher), each paired with plain
 //! and case-join extension plans.
 
-use rand::RngExt;
 use std::sync::Arc;
 use vdm_catalog::{Catalog, TableBuilder, TableDef};
 use vdm_expr::Expr;
@@ -100,7 +99,7 @@ pub fn generate(
         let draft = catalog.create_table(doc_table(&draft_name)?)?;
         engine.create_table(Arc::clone(&active))?;
         engine.create_table(Arc::clone(&draft))?;
-        let load = |table: &str, n: usize, rng: &mut rand::rngs::StdRng| -> Result<()> {
+        let load = |table: &str, n: usize, rng: &mut vdm_types::SplitMix64| -> Result<()> {
             let rows = (1..=n as i64)
                 .map(|d| {
                     vec![

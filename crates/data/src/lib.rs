@@ -19,10 +19,9 @@ pub mod erp;
 pub mod figview;
 pub mod tpch;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use vdm_types::SplitMix64;
 
 /// Seeded RNG used by every generator.
-pub(crate) fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub(crate) fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::seed_from_u64(seed)
 }

@@ -5,7 +5,6 @@
 //! constraints are omitted") — pass `with_foreign_keys(true)` for the
 //! AJ 1a inner-join experiments.
 
-use rand::RngExt;
 use std::sync::Arc;
 use vdm_catalog::{Catalog, TableBuilder, TableDef};
 use vdm_storage::StorageEngine;

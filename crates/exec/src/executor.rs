@@ -6,7 +6,14 @@ use vdm_plan::{LogicalPlan, PlanRef};
 use vdm_storage::{Batch, Snapshot, StorageEngine};
 use vdm_types::{Result, VdmError};
 
-/// Rows-processed counters, grouped by operator class.
+/// Rows-processed counters, grouped by operator class, plus wall-clock
+/// nanoseconds spent inside each class (children excluded — a join's time
+/// covers build+probe, not the scans feeding it).
+///
+/// Row counters are identical between the serial and the morsel-parallel
+/// executor (parallel workers merge their counters at pipeline joins);
+/// time counters sum worker-local time, so under parallelism they report
+/// aggregate CPU time per class, not elapsed wall time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Rows produced by scans.
@@ -21,6 +28,45 @@ pub struct Metrics {
     pub filter_input_rows: usize,
     /// Operators executed.
     pub operators: usize,
+    /// Time spent materializing scans.
+    pub scan_nanos: u64,
+    /// Time spent evaluating filter predicates.
+    pub filter_nanos: u64,
+    /// Time spent evaluating projections.
+    pub project_nanos: u64,
+    /// Time spent building and probing join hash tables.
+    pub join_nanos: u64,
+    /// Time spent in hash aggregation.
+    pub agg_nanos: u64,
+    /// Time spent sorting.
+    pub sort_nanos: u64,
+    /// Time spent concatenating UNION ALL branches.
+    pub union_nanos: u64,
+}
+
+impl Metrics {
+    /// Adds another metrics bundle into this one — used when per-worker
+    /// counters meet at a parallel pipeline join.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.rows_scanned += other.rows_scanned;
+        self.join_build_rows += other.join_build_rows;
+        self.join_output_rows += other.join_output_rows;
+        self.agg_input_rows += other.agg_input_rows;
+        self.filter_input_rows += other.filter_input_rows;
+        self.operators += other.operators;
+        self.scan_nanos += other.scan_nanos;
+        self.filter_nanos += other.filter_nanos;
+        self.project_nanos += other.project_nanos;
+        self.join_nanos += other.join_nanos;
+        self.agg_nanos += other.agg_nanos;
+        self.sort_nanos += other.sort_nanos;
+        self.union_nanos += other.union_nanos;
+    }
+}
+
+/// Elapsed nanoseconds since `start`, saturating into `u64`.
+pub(crate) fn nanos_since(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Execution context: storage handle, snapshot, metrics.
@@ -58,10 +104,13 @@ pub fn execute_at(plan: &PlanRef, engine: &StorageEngine, snapshot: Snapshot) ->
 }
 
 pub(crate) fn run(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    use std::time::Instant;
     ctx.metrics.operators += 1;
     let out = match plan.as_ref() {
         LogicalPlan::Scan { table, schema, .. } => {
+            let t = Instant::now();
             let batch = ctx.engine.scan(&table.name, ctx.snapshot)?;
+            ctx.metrics.scan_nanos += nanos_since(t);
             ctx.metrics.rows_scanned += batch.num_rows();
             // Storage returns the table's own schema; adopt the plan's
             // (identical fields, shared Arc).
@@ -70,14 +119,19 @@ pub(crate) fn run(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         LogicalPlan::Values { schema, rows } => Batch::from_rows(Arc::clone(schema), rows)?,
         LogicalPlan::Project { input, exprs, schema } => {
             let child = run(input, ctx)?;
-            ops::project(&child, exprs, Arc::clone(schema))?
+            let t = Instant::now();
+            let out = ops::project(&child, exprs, Arc::clone(schema))?;
+            ctx.metrics.project_nanos += nanos_since(t);
+            out
         }
         LogicalPlan::Filter { input, predicate } => {
             // Zone-map fast path: a range atom over a base-table scan prunes
             // main-fragment blocks before the predicate even runs.
             let child = match (input.as_ref(), prune_range(predicate)) {
                 (LogicalPlan::Scan { table, schema, .. }, Some((col, range))) => {
+                    let t = Instant::now();
                     let batch = ctx.engine.scan_pruned(&table.name, ctx.snapshot, col, &range)?;
+                    ctx.metrics.scan_nanos += nanos_since(t);
                     ctx.metrics.rows_scanned += batch.num_rows();
                     ctx.metrics.operators += 1; // the scan it replaces
                     Batch::new(Arc::clone(schema), batch.columns)?
@@ -85,28 +139,38 @@ pub(crate) fn run(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
                 _ => run(input, ctx)?,
             };
             ctx.metrics.filter_input_rows += child.num_rows();
-            ops::filter(&child, predicate)?
+            let t = Instant::now();
+            let out = ops::filter(&child, predicate)?;
+            ctx.metrics.filter_nanos += nanos_since(t);
+            out
         }
         LogicalPlan::Join { left, right, kind, on, filter, schema, .. } => {
             let lb = run(left, ctx)?;
             let rb = run(right, ctx)?;
             ctx.metrics.join_build_rows += rb.num_rows();
+            let t = Instant::now();
             let out = ops::hash_join(&lb, &rb, *kind, on, filter.as_ref(), Arc::clone(schema))?;
+            ctx.metrics.join_nanos += nanos_since(t);
             ctx.metrics.join_output_rows += out.num_rows();
             out
         }
         LogicalPlan::UnionAll { inputs, schema } => {
-            let mut rows = Vec::new();
+            let mut parts = Vec::with_capacity(inputs.len());
             for inp in inputs {
-                let b = run(inp, ctx)?;
-                rows.extend(b.to_rows());
+                parts.push(run(inp, ctx)?);
             }
-            Batch::from_rows(Arc::clone(schema), &rows)?
+            let t = Instant::now();
+            let out = Batch::concat(Arc::clone(schema), &parts)?;
+            ctx.metrics.union_nanos += nanos_since(t);
+            out
         }
         LogicalPlan::Aggregate { input, group_by, aggs, schema } => {
             let child = run(input, ctx)?;
             ctx.metrics.agg_input_rows += child.num_rows();
-            ops::aggregate(&child, group_by, aggs, Arc::clone(schema))?
+            let t = Instant::now();
+            let out = ops::aggregate(&child, group_by, aggs, Arc::clone(schema))?;
+            ctx.metrics.agg_nanos += nanos_since(t);
+            out
         }
         LogicalPlan::Distinct { input } => {
             let child = run(input, ctx)?;
@@ -114,7 +178,10 @@ pub(crate) fn run(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
         }
         LogicalPlan::Sort { input, keys } => {
             let child = run(input, ctx)?;
-            ops::sort(&child, keys)?
+            let t = Instant::now();
+            let out = ops::sort(&child, keys)?;
+            ctx.metrics.sort_nanos += nanos_since(t);
+            out
         }
         LogicalPlan::Limit { input, skip, fetch } => {
             // Budgeted execution: a finite fetch lets the subtree stop
@@ -143,7 +210,7 @@ pub(crate) fn run(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
 
 /// Extracts a prunable `(column, range)` from a filter predicate: the
 /// first conjunct of the form `col ⟨cmp⟩ literal` over an orderable type.
-fn prune_range(predicate: &vdm_expr::Expr) -> Option<(usize, vdm_storage::ScanRange)> {
+pub(crate) fn prune_range(predicate: &vdm_expr::Expr) -> Option<(usize, vdm_storage::ScanRange)> {
     use vdm_expr::{predicate as preds, BinOp};
     use vdm_storage::ScanRange;
     for conj in preds::split_conjunction(predicate) {
@@ -165,11 +232,14 @@ fn prune_range(predicate: &vdm_expr::Expr) -> Option<(usize, vdm_storage::ScanRa
 /// LIMIT-without-ORDER semantics: scans, projections, unions, stacked
 /// limits, and literal rows. Anything else executes fully and is truncated
 /// afterwards.
-fn run_budgeted(plan: &PlanRef, budget: usize, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+pub(crate) fn run_budgeted(plan: &PlanRef, budget: usize, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    use std::time::Instant;
     ctx.metrics.operators += 1;
     match plan.as_ref() {
         LogicalPlan::Scan { table, schema, .. } => {
+            let t = Instant::now();
             let batch = ctx.engine.scan_limited(&table.name, ctx.snapshot, budget)?;
+            ctx.metrics.scan_nanos += nanos_since(t);
             ctx.metrics.rows_scanned += batch.num_rows();
             Batch::new(Arc::clone(schema), batch.columns)
         }
@@ -179,19 +249,31 @@ fn run_budgeted(plan: &PlanRef, budget: usize, ctx: &mut ExecContext<'_>) -> Res
         }
         LogicalPlan::Project { input, exprs, schema } => {
             let child = run_budgeted(input, budget, ctx)?;
-            ops::project(&child, exprs, Arc::clone(schema))
+            let t = Instant::now();
+            let out = ops::project(&child, exprs, Arc::clone(schema));
+            ctx.metrics.project_nanos += nanos_since(t);
+            out
         }
         LogicalPlan::UnionAll { inputs, schema } => {
-            let mut rows = Vec::new();
+            let mut parts = Vec::new();
+            let mut have = 0usize;
             for inp in inputs {
-                if rows.len() >= budget {
+                if have >= budget {
                     break;
                 }
-                let b = run_budgeted(inp, budget - rows.len(), ctx)?;
-                rows.extend(b.to_rows());
+                let b = run_budgeted(inp, budget - have, ctx)?;
+                have += b.num_rows();
+                parts.push(b);
             }
-            rows.truncate(budget);
-            Batch::from_rows(Arc::clone(schema), &rows)
+            let t = Instant::now();
+            let merged = Batch::concat(Arc::clone(schema), &parts)?;
+            ctx.metrics.union_nanos += nanos_since(t);
+            if merged.num_rows() > budget {
+                let take: Vec<usize> = (0..budget).collect();
+                Ok(merged.take(&take))
+            } else {
+                Ok(merged)
+            }
         }
         LogicalPlan::Limit { input, skip, fetch } => {
             let inner_budget = match fetch {

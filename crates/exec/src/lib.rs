@@ -14,8 +14,10 @@
 
 mod executor;
 mod ops;
+mod parallel;
 
 #[cfg(test)]
 mod ops_tests;
 
 pub use executor::{execute, execute_at, ExecContext, Metrics};
+pub use parallel::{execute_parallel, execute_parallel_at, ParallelConfig};

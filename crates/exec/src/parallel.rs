@@ -1,0 +1,918 @@
+//! Morsel-driven parallel execution.
+//!
+//! The serial executor materializes each operator fully, one at a time.
+//! This module runs the same plans across a pool of `std::thread::scope`
+//! workers:
+//!
+//! * **scans** — and any filter/projection stack sitting directly on one —
+//!   split the table into fixed-size morsels claimed from a shared atomic
+//!   counter, so filters and projections run per-morsel on the pool;
+//! * **joins** partition the build side by key hash, build per-partition
+//!   hash maps in parallel, and probe morsels of the other side
+//!   concurrently;
+//! * **aggregations** accumulate thread-local partial states per chunk and
+//!   merge them in chunk order via [`vdm_expr::Accumulator::merge`];
+//! * **UNION ALL** concatenates branch results columnar-wise.
+//!
+//! Results are bit-identical to the serial executor *including row order*:
+//! every parallel merge happens in morsel/chunk index order, so output is
+//! independent of scheduling and of the worker count. The one exception is
+//! `Metrics::rows_scanned` under a pushed-down LIMIT, where the parallel
+//! scan dispatches whole waves of morsels and may scan up to
+//! `threads * morsel_rows` rows beyond the budget (the serial path stops
+//! at exactly the budget).
+
+use crate::executor::{nanos_since, prune_range, Metrics};
+use crate::ops;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use vdm_expr::{AggExpr, Expr};
+use vdm_plan::{JoinKind, LogicalPlan, PlanRef};
+use vdm_storage::zonemap::ZONE_BLOCK_ROWS;
+use vdm_storage::{Batch, ScanRange, Snapshot, StorageEngine};
+use vdm_types::{Result, Schema, Value, VdmError};
+
+/// Worker-pool configuration for the parallel executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads. `1` (or `0`) takes the exact legacy serial path.
+    pub threads: usize,
+    /// Rows per scan morsel and per operator chunk.
+    pub morsel_rows: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig {
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            morsel_rows: 4 * ZONE_BLOCK_ROWS,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// The legacy single-threaded executor.
+    pub fn serial() -> ParallelConfig {
+        ParallelConfig { threads: 1, ..ParallelConfig::default() }
+    }
+
+    /// A sane copy: at least one thread, at least one row per morsel.
+    fn normalized(self) -> ParallelConfig {
+        ParallelConfig { threads: self.threads.max(1), morsel_rows: self.morsel_rows.max(1) }
+    }
+}
+
+/// Executes `plan` on a worker pool at the engine's current snapshot.
+pub fn execute_parallel(
+    plan: &PlanRef,
+    engine: &StorageEngine,
+    config: ParallelConfig,
+) -> Result<Batch> {
+    Ok(execute_parallel_at(plan, engine, engine.snapshot(), config)?.0)
+}
+
+/// Executes `plan` on a worker pool at a pinned snapshot, returning the
+/// batch and the merged metrics. With `threads <= 1` this *is* the serial
+/// executor — same code path, not an emulation.
+pub fn execute_parallel_at(
+    plan: &PlanRef,
+    engine: &StorageEngine,
+    snapshot: Snapshot,
+    config: ParallelConfig,
+) -> Result<(Batch, Metrics)> {
+    let config = config.normalized();
+    if config.threads <= 1 {
+        return crate::executor::execute_at(plan, engine, snapshot);
+    }
+    let mut ctx = ParCtx { engine, snapshot, config, metrics: Metrics::default() };
+    let batch = run_par(plan, &mut ctx)?;
+    Ok((batch, ctx.metrics))
+}
+
+struct ParCtx<'a> {
+    engine: &'a StorageEngine,
+    snapshot: Snapshot,
+    config: ParallelConfig,
+    metrics: Metrics,
+}
+
+/// Runs `f` over indices `0..n` on up to `threads` workers. Results come
+/// back in index order and worker-local metrics are merged, so the output
+/// is schedule-independent; errors surface as the failing index's error
+/// (lowest index wins, matching the serial executor's first-error).
+fn parallel_map<T, F>(threads: usize, n: usize, f: F) -> Result<(Vec<T>, Metrics)>
+where
+    T: Send,
+    F: Fn(usize, &mut Metrics) -> Result<T> + Sync,
+{
+    let mut merged = Metrics::default();
+    if threads <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(f(i, &mut merged)?);
+        }
+        return Ok((out, merged));
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let pool_metrics: Mutex<Metrics> = Mutex::new(Metrics::default());
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(n) {
+            s.spawn(|| {
+                let mut local = Metrics::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *slots[i].lock().unwrap() = Some(f(i, &mut local));
+                }
+                pool_metrics.lock().unwrap().merge(&local);
+            });
+        }
+    });
+    merged.merge(&pool_metrics.into_inner().unwrap());
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.into_inner().unwrap() {
+            Some(Ok(v)) => out.push(v),
+            Some(Err(e)) => return Err(e),
+            None => return Err(VdmError::Exec("parallel worker dropped a morsel".into())),
+        }
+    }
+    Ok((out, merged))
+}
+
+/// Row range of chunk `i` when `total` rows split into `chunk`-row pieces.
+fn chunk_range(i: usize, chunk: usize, total: usize) -> Range<usize> {
+    let start = (i * chunk).min(total);
+    start..(start + chunk).min(total)
+}
+
+fn chunk_count(total: usize, chunk: usize) -> usize {
+    total.div_ceil(chunk).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Leaf pipelines: Scan with optional Filter/Project stack, fused per morsel.
+
+enum LeafStep<'p> {
+    Filter(&'p Expr),
+    Project(&'p [(Expr, String)], &'p Arc<Schema>),
+}
+
+struct LeafPipeline<'p> {
+    table: &'p str,
+    scan_schema: &'p Arc<Schema>,
+    /// Zone-map pruning from the filter sitting directly on the scan.
+    prune: Option<(usize, ScanRange)>,
+    /// Operators above the scan, bottom-up.
+    steps: Vec<LeafStep<'p>>,
+    /// Logical plan nodes covered (operator-count bookkeeping).
+    nodes: usize,
+}
+
+impl LeafPipeline<'_> {
+    fn output_schema(&self) -> Arc<Schema> {
+        for step in self.steps.iter().rev() {
+            if let LeafStep::Project(_, s) = step {
+                return Arc::clone(s);
+            }
+        }
+        Arc::clone(self.scan_schema)
+    }
+}
+
+/// Recognizes a scan-rooted pipeline (`Scan`, `Filter(Scan)`,
+/// `Project(…(Scan))`, …) that can run morsel-at-a-time without any
+/// cross-morsel state. Zone-map pruning attaches exactly where the serial
+/// executor applies it: at a filter directly over the scan.
+fn extract_leaf(plan: &PlanRef) -> Option<LeafPipeline<'_>> {
+    match plan.as_ref() {
+        LogicalPlan::Scan { table, schema, .. } => Some(LeafPipeline {
+            table: &table.name,
+            scan_schema: schema,
+            prune: None,
+            steps: Vec::new(),
+            nodes: 1,
+        }),
+        LogicalPlan::Filter { input, predicate } => {
+            let mut p = extract_leaf(input)?;
+            if p.steps.is_empty() {
+                p.prune = prune_range(predicate);
+            }
+            p.steps.push(LeafStep::Filter(predicate));
+            p.nodes += 1;
+            Some(p)
+        }
+        LogicalPlan::Project { input, exprs, schema } => {
+            let mut p = extract_leaf(input)?;
+            p.steps.push(LeafStep::Project(exprs, schema));
+            p.nodes += 1;
+            Some(p)
+        }
+        _ => None,
+    }
+}
+
+fn run_leaf(pipe: &LeafPipeline<'_>, ctx: &mut ParCtx<'_>) -> Result<Batch> {
+    ctx.metrics.operators += pipe.nodes;
+    // Pruned scans align morsels to zone-map blocks so every block belongs
+    // to exactly one morsel and the skip set matches the serial scan.
+    let morsel_rows = if pipe.prune.is_some() {
+        ctx.config.morsel_rows.div_ceil(ZONE_BLOCK_ROWS).max(1) * ZONE_BLOCK_ROWS
+    } else {
+        ctx.config.morsel_rows
+    };
+    let n = ctx.engine.morsel_count(pipe.table, morsel_rows)?;
+    let engine = ctx.engine;
+    let snapshot = ctx.snapshot;
+    let (parts, wm) = parallel_map(ctx.config.threads, n, |m, met| {
+        leaf_morsel(engine, snapshot, pipe, m, morsel_rows, met)
+    })?;
+    ctx.metrics.merge(&wm);
+    Batch::concat(pipe.output_schema(), &parts)
+}
+
+fn leaf_morsel(
+    engine: &StorageEngine,
+    snapshot: Snapshot,
+    pipe: &LeafPipeline<'_>,
+    morsel: usize,
+    morsel_rows: usize,
+    met: &mut Metrics,
+) -> Result<Batch> {
+    let t = Instant::now();
+    let raw = match &pipe.prune {
+        Some((col, range)) => {
+            engine.scan_morsel_pruned(pipe.table, snapshot, morsel, morsel_rows, *col, range)?
+        }
+        None => engine.scan_morsel(pipe.table, snapshot, morsel, morsel_rows)?,
+    };
+    met.scan_nanos += nanos_since(t);
+    met.rows_scanned += raw.num_rows();
+    let mut batch = Batch::new(Arc::clone(pipe.scan_schema), raw.columns)?;
+    for step in &pipe.steps {
+        match step {
+            LeafStep::Filter(p) => {
+                met.filter_input_rows += batch.num_rows();
+                let t = Instant::now();
+                batch = ops::filter(&batch, p)?;
+                met.filter_nanos += nanos_since(t);
+            }
+            LeafStep::Project(exprs, schema) => {
+                let t = Instant::now();
+                batch = ops::project(&batch, exprs, Arc::clone(schema))?;
+                met.project_nanos += nanos_since(t);
+            }
+        }
+    }
+    Ok(batch)
+}
+
+// ---------------------------------------------------------------------------
+// The recursive parallel executor.
+
+fn run_par(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
+    if let Some(pipe) = extract_leaf(plan) {
+        return run_leaf(&pipe, ctx);
+    }
+    ctx.metrics.operators += 1;
+    match plan.as_ref() {
+        // Scan-rooted shapes are taken by `extract_leaf` above; these arms
+        // cover Filter/Project over non-scan children.
+        LogicalPlan::Scan { table, schema, .. } => {
+            let t = Instant::now();
+            let batch = ctx.engine.scan(&table.name, ctx.snapshot)?;
+            ctx.metrics.scan_nanos += nanos_since(t);
+            ctx.metrics.rows_scanned += batch.num_rows();
+            Batch::new(Arc::clone(schema), batch.columns)
+        }
+        LogicalPlan::Values { schema, rows } => Batch::from_rows(Arc::clone(schema), rows),
+        LogicalPlan::Project { input, exprs, schema } => {
+            let child = run_par(input, ctx)?;
+            par_project(&child, exprs, Arc::clone(schema), ctx)
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let child = run_par(input, ctx)?;
+            ctx.metrics.filter_input_rows += child.num_rows();
+            par_filter(&child, predicate, ctx)
+        }
+        LogicalPlan::Join { left, right, kind, on, filter, schema, .. } => {
+            let lb = run_par(left, ctx)?;
+            let rb = run_par(right, ctx)?;
+            ctx.metrics.join_build_rows += rb.num_rows();
+            let t = Instant::now();
+            let out =
+                par_hash_join(&lb, &rb, *kind, on, filter.as_ref(), Arc::clone(schema), ctx.config)?;
+            ctx.metrics.join_nanos += nanos_since(t);
+            ctx.metrics.join_output_rows += out.num_rows();
+            Ok(out)
+        }
+        LogicalPlan::UnionAll { inputs, schema } => {
+            let mut parts = Vec::with_capacity(inputs.len());
+            for inp in inputs {
+                parts.push(run_par(inp, ctx)?);
+            }
+            let t = Instant::now();
+            let out = Batch::concat(Arc::clone(schema), &parts)?;
+            ctx.metrics.union_nanos += nanos_since(t);
+            Ok(out)
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs, schema } => {
+            let child = run_par(input, ctx)?;
+            ctx.metrics.agg_input_rows += child.num_rows();
+            let t = Instant::now();
+            let out = par_aggregate(&child, group_by, aggs, Arc::clone(schema), ctx.config)?;
+            ctx.metrics.agg_nanos += nanos_since(t);
+            Ok(out)
+        }
+        LogicalPlan::Distinct { input } => {
+            let child = run_par(input, ctx)?;
+            ops::distinct(&child)
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child = run_par(input, ctx)?;
+            let t = Instant::now();
+            let out = ops::sort(&child, keys)?;
+            ctx.metrics.sort_nanos += nanos_since(t);
+            Ok(out)
+        }
+        LogicalPlan::Limit { input, skip, fetch } => {
+            let child = match fetch {
+                Some(f) => {
+                    let budget = (*skip as usize).saturating_add(*f as usize);
+                    run_budgeted_par(input, budget, ctx)?
+                }
+                None => run_par(input, ctx)?,
+            };
+            Ok(ops::limit(&child, *skip, *fetch))
+        }
+    }
+}
+
+/// Filter over a materialized batch, chunked across the pool.
+fn par_filter(child: &Batch, predicate: &Expr, ctx: &mut ParCtx<'_>) -> Result<Batch> {
+    let chunk = ctx.config.morsel_rows;
+    let n = chunk_count(child.num_rows(), chunk);
+    let (parts, wm) = parallel_map(ctx.config.threads, n, |i, met| {
+        let t = Instant::now();
+        let mut keep = Vec::new();
+        for r in chunk_range(i, chunk, child.num_rows()) {
+            if predicate.eval_row(&child.row(r))?.as_bool()? == Some(true) {
+                keep.push(r);
+            }
+        }
+        let out = child.gather(&keep);
+        met.filter_nanos += nanos_since(t);
+        Ok(out)
+    })?;
+    ctx.metrics.merge(&wm);
+    Batch::concat(Arc::clone(&child.schema), &parts)
+}
+
+/// Projection over a materialized batch, chunked across the pool.
+fn par_project(
+    child: &Batch,
+    exprs: &[(Expr, String)],
+    schema: Arc<Schema>,
+    ctx: &mut ParCtx<'_>,
+) -> Result<Batch> {
+    let chunk = ctx.config.morsel_rows;
+    let n = chunk_count(child.num_rows(), chunk);
+    let out_schema = Arc::clone(&schema);
+    let (parts, wm) = parallel_map(ctx.config.threads, n, |i, met| {
+        let t = Instant::now();
+        let mut rows = Vec::new();
+        for r in chunk_range(i, chunk, child.num_rows()) {
+            let row = child.row(r);
+            let mut out = Vec::with_capacity(exprs.len());
+            for (e, _) in exprs {
+                out.push(e.eval_row(&row)?);
+            }
+            rows.push(out);
+        }
+        let out = Batch::from_rows(Arc::clone(&schema), &rows)?;
+        met.project_nanos += nanos_since(t);
+        Ok(out)
+    })?;
+    ctx.metrics.merge(&wm);
+    Batch::concat(out_schema, &parts)
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned parallel hash join.
+
+fn hash_key(key: &[Value]) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Join key of row `i` taken from `cols`; `None` when any part is NULL
+/// (NULL keys never match under SQL equi-join semantics).
+fn key_at(batch: &Batch, i: usize, cols: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(cols.len());
+    for &c in cols {
+        let v = batch.columns[c].get(i);
+        if v.is_null() {
+            return None;
+        }
+        key.push(v);
+    }
+    Some(key)
+}
+
+/// Parallel hash join preserving the serial executor's semantics and row
+/// order: partition the build side by key hash, build per-partition maps
+/// with match lists in build-row order, probe chunks of the other side
+/// concurrently, and concatenate probe-chunk outputs in chunk order.
+fn par_hash_join(
+    left: &Batch,
+    right: &Batch,
+    kind: JoinKind,
+    on: &[(usize, usize)],
+    residual: Option<&Expr>,
+    schema: Arc<Schema>,
+    config: ParallelConfig,
+) -> Result<Batch> {
+    if left.num_rows().max(right.num_rows()) < 2 * config.morsel_rows {
+        return ops::hash_join(left, right, kind, on, residual, schema);
+    }
+    // Mirror the serial executor's adaptive build side: an inner equi-join
+    // without residual commutes, so build on the smaller input.
+    let build_left =
+        kind == JoinKind::Inner && residual.is_none() && left.num_rows() < right.num_rows();
+    let (build, probe) = if build_left { (left, right) } else { (right, left) };
+    let build_cols: Vec<usize> =
+        on.iter().map(|&(lc, rc)| if build_left { lc } else { rc }).collect();
+    let probe_cols: Vec<usize> =
+        on.iter().map(|&(lc, rc)| if build_left { rc } else { lc }).collect();
+
+    let n_parts = (config.threads * 4).next_power_of_two();
+    let mask = n_parts - 1;
+    let chunk = config.morsel_rows;
+
+    // Phase 1: scatter build rows into per-chunk, per-partition key lists.
+    let n_chunks = chunk_count(build.num_rows(), chunk);
+    let (scattered, _) = parallel_map(config.threads, n_chunks, |ci, _met| {
+        let mut parts: Vec<Vec<(Vec<Value>, usize)>> = vec![Vec::new(); n_parts];
+        for i in chunk_range(ci, chunk, build.num_rows()) {
+            if let Some(key) = key_at(build, i, &build_cols) {
+                let p = (hash_key(&key) as usize) & mask;
+                parts[p].push((key, i));
+            }
+        }
+        Ok(parts)
+    })?;
+
+    // Phase 2: one hash map per partition. Chunks are visited in index
+    // order, so every match list holds build-row indices ascending —
+    // exactly the serial build's entry order.
+    let (maps, _) = parallel_map(config.threads, n_parts, |p, _met| {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for chunk_parts in &scattered {
+            for (key, i) in &chunk_parts[p] {
+                map.entry(key.clone()).or_default().push(*i);
+            }
+        }
+        Ok(map)
+    })?;
+
+    // Phase 3: probe in parallel over chunks of the probe side. Matches
+    // accumulate as index pairs; the output batch is assembled by a
+    // payload-level columnar gather — no row materialization.
+    let probe_chunks = chunk_count(probe.num_rows(), chunk);
+    let (parts, _) = parallel_map(config.threads, probe_chunks, |ci, _met| {
+        let mut probe_sel: Vec<usize> = Vec::new();
+        let mut build_sel: Vec<Option<usize>> = Vec::new();
+        let mut key = Vec::with_capacity(probe_cols.len());
+        for i in chunk_range(ci, chunk, probe.num_rows()) {
+            key.clear();
+            for &c in &probe_cols {
+                key.push(probe.columns[c].get(i));
+            }
+            let matches = if key.iter().any(Value::is_null) {
+                None // NULL keys never match
+            } else {
+                maps[(hash_key(&key) as usize) & mask].get(key.as_slice())
+            };
+            if build_left {
+                // Inner join; output order `build ++ probe` = left ++ right.
+                if let Some(matches) = matches {
+                    for &bi in matches {
+                        probe_sel.push(i);
+                        build_sel.push(Some(bi));
+                    }
+                }
+            } else {
+                let mut emitted = false;
+                if let Some(matches) = matches {
+                    for &bi in matches {
+                        let pass = match residual {
+                            Some(f) => {
+                                let mut combined = probe.row(i);
+                                combined.extend(build.row(bi));
+                                f.eval_row(&combined)?.as_bool()? == Some(true)
+                            }
+                            None => true,
+                        };
+                        if pass {
+                            probe_sel.push(i);
+                            build_sel.push(Some(bi));
+                            emitted = true;
+                        }
+                    }
+                }
+                if !emitted && kind == JoinKind::LeftOuter {
+                    probe_sel.push(i);
+                    build_sel.push(None);
+                }
+            }
+        }
+        let mut columns = Vec::with_capacity(schema.len());
+        if build_left {
+            for c in &build.columns {
+                columns.push(c.gather_opt(&build_sel));
+            }
+            for c in &probe.columns {
+                columns.push(c.gather(&probe_sel));
+            }
+        } else {
+            for c in &probe.columns {
+                columns.push(c.gather(&probe_sel));
+            }
+            for c in &build.columns {
+                columns.push(c.gather_opt(&build_sel));
+            }
+        }
+        Batch::new(Arc::clone(&schema), columns)
+    })?;
+    Batch::concat(schema, &parts)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel aggregation: thread-local partials merged in chunk order.
+
+type AggPartial = (Vec<Vec<Value>>, Vec<Vec<vdm_expr::Accumulator>>);
+
+/// Serial hash aggregation over one row range, producing partial states
+/// instead of finished values (group order: first-seen within the range).
+fn agg_partial(
+    input: &Batch,
+    range: Range<usize>,
+    group_by: &[(Expr, String)],
+    aggs: &[(AggExpr, String)],
+) -> Result<AggPartial> {
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut states: Vec<Vec<vdm_expr::Accumulator>> = Vec::new();
+    if group_by.is_empty() {
+        groups.insert(Vec::new(), 0);
+        order.push(Vec::new());
+        states.push(aggs.iter().map(|(a, _)| a.accumulator()).collect());
+    }
+    for i in range {
+        let row = input.row(i);
+        let mut key = Vec::with_capacity(group_by.len());
+        for (e, _) in group_by {
+            key.push(e.eval_row(&row)?);
+        }
+        let slot = match groups.get(&key) {
+            Some(&s) => s,
+            None => {
+                let s = order.len();
+                groups.insert(key.clone(), s);
+                order.push(key);
+                states.push(aggs.iter().map(|(a, _)| a.accumulator()).collect());
+                s
+            }
+        };
+        for (j, (agg, _)) in aggs.iter().enumerate() {
+            let v = match &agg.arg {
+                Some(a) => a.eval_row(&row)?,
+                None => Value::Int(1), // COUNT(*) placeholder
+            };
+            states[slot][j].update(&v)?;
+        }
+    }
+    Ok((order, states))
+}
+
+fn par_aggregate(
+    child: &Batch,
+    group_by: &[(Expr, String)],
+    aggs: &[(AggExpr, String)],
+    schema: Arc<Schema>,
+    config: ParallelConfig,
+) -> Result<Batch> {
+    let chunk = config.morsel_rows;
+    let n = chunk_count(child.num_rows(), chunk);
+    let (partials, _) = parallel_map(config.threads, n, |i, _met| {
+        agg_partial(child, chunk_range(i, chunk, child.num_rows()), group_by, aggs)
+    })?;
+    // Merge in chunk order: a group's global first occurrence lies in the
+    // earliest chunk containing it, so the merged first-seen order equals
+    // the serial executor's.
+    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut states: Vec<Vec<vdm_expr::Accumulator>> = Vec::new();
+    for (p_order, p_states) in partials {
+        for (key, accs) in p_order.into_iter().zip(p_states) {
+            match groups.get(&key) {
+                Some(&slot) => {
+                    for (j, acc) in accs.iter().enumerate() {
+                        states[slot][j].merge(acc)?;
+                    }
+                }
+                None => {
+                    groups.insert(key.clone(), order.len());
+                    order.push(key);
+                    states.push(accs);
+                }
+            }
+        }
+    }
+    let mut rows = Vec::with_capacity(order.len());
+    for (key, accs) in order.into_iter().zip(states.iter()) {
+        let mut row = key;
+        for acc in accs {
+            row.push(acc.finish()?);
+        }
+        rows.push(row);
+    }
+    Batch::from_rows(schema, &rows)
+}
+
+// ---------------------------------------------------------------------------
+// Budgeted (LIMIT-pushdown) parallel execution.
+
+/// Parallel mirror of the serial `run_budgeted`: truncation applies only
+/// where it cannot change which rows could appear (scans, projections,
+/// unions, stacked limits, literal rows); everything else runs fully and
+/// truncates afterwards.
+fn run_budgeted_par(plan: &PlanRef, budget: usize, ctx: &mut ParCtx<'_>) -> Result<Batch> {
+    ctx.metrics.operators += 1;
+    match plan.as_ref() {
+        LogicalPlan::Scan { table, schema, .. } => {
+            // Wave dispatch: `threads` morsels at a time in index order;
+            // once the completed prefix covers the budget no further wave
+            // launches. Scanned rows stay within
+            // `budget + threads * morsel_rows`, keeping pushed-down LIMIT
+            // O(k) instead of O(table).
+            let morsel_rows = ctx.config.morsel_rows;
+            let n = ctx.engine.morsel_count(&table.name, morsel_rows)?;
+            let engine = ctx.engine;
+            let snapshot = ctx.snapshot;
+            let mut parts: Vec<Batch> = Vec::new();
+            let mut have = 0usize;
+            let mut base = 0usize;
+            while base < n && have < budget {
+                let wave = (n - base).min(ctx.config.threads);
+                let (batches, wm) = parallel_map(ctx.config.threads, wave, |i, met| {
+                    let t = Instant::now();
+                    let b = engine.scan_morsel(&table.name, snapshot, base + i, morsel_rows)?;
+                    met.scan_nanos += nanos_since(t);
+                    met.rows_scanned += b.num_rows();
+                    Ok(b)
+                })?;
+                ctx.metrics.merge(&wm);
+                for b in batches {
+                    have += b.num_rows();
+                    parts.push(b);
+                }
+                base += wave;
+            }
+            let merged = Batch::concat(Arc::clone(schema), &parts)?;
+            Ok(truncate(merged, budget))
+        }
+        LogicalPlan::Values { schema, rows } => {
+            let take = rows.len().min(budget);
+            Batch::from_rows(Arc::clone(schema), &rows[..take])
+        }
+        LogicalPlan::Project { input, exprs, schema } => {
+            let child = run_budgeted_par(input, budget, ctx)?;
+            let t = Instant::now();
+            let out = ops::project(&child, exprs, Arc::clone(schema));
+            ctx.metrics.project_nanos += nanos_since(t);
+            out
+        }
+        LogicalPlan::UnionAll { inputs, schema } => {
+            let mut parts = Vec::new();
+            let mut have = 0usize;
+            for inp in inputs {
+                if have >= budget {
+                    break;
+                }
+                let b = run_budgeted_par(inp, budget - have, ctx)?;
+                have += b.num_rows();
+                parts.push(b);
+            }
+            let t = Instant::now();
+            let merged = Batch::concat(Arc::clone(schema), &parts)?;
+            ctx.metrics.union_nanos += nanos_since(t);
+            Ok(truncate(merged, budget))
+        }
+        LogicalPlan::Limit { input, skip, fetch } => {
+            let inner_budget = match fetch {
+                Some(f) => budget.min((*skip as usize).saturating_add(*f as usize)),
+                None => budget.saturating_add(*skip as usize),
+            };
+            let child = run_budgeted_par(input, inner_budget, ctx)?;
+            let limited = ops::limit(&child, *skip, *fetch);
+            Ok(truncate(limited, budget))
+        }
+        _ => {
+            ctx.metrics.operators -= 1; // run_par counts this node itself
+            let full = run_par(plan, ctx)?;
+            Ok(truncate(full, budget))
+        }
+    }
+}
+
+fn truncate(batch: Batch, budget: usize) -> Batch {
+    if batch.num_rows() <= budget {
+        return batch;
+    }
+    let prefix: Vec<usize> = (0..budget).collect();
+    batch.gather(&prefix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::execute_at;
+    use vdm_catalog::TableBuilder;
+    use vdm_expr::{AggExpr, AggFunc};
+    use vdm_types::SqlType;
+
+    fn many_rows_engine(n: i64) -> (StorageEngine, Arc<vdm_catalog::TableDef>) {
+        let def = Arc::new(
+            TableBuilder::new("t")
+                .column("k", SqlType::Int, false)
+                .column("grp", SqlType::Int, false)
+                .column("amt", SqlType::Decimal { scale: 2 }, false)
+                .primary_key(&["k"])
+                .build()
+                .unwrap(),
+        );
+        let e = StorageEngine::new();
+        e.create_table(Arc::clone(&def)).unwrap();
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 13),
+                    Value::Dec(vdm_types::Decimal::from_units((i * 7 % 1000) as i128, 2)),
+                ]
+            })
+            .collect();
+        e.insert("t", rows).unwrap();
+        // Half in main, half in delta.
+        e.merge_delta("t").unwrap();
+        let extra: Vec<Vec<Value>> = (n..n + n / 2)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 13), Value::Dec(vdm_types::Decimal::from_units(5, 2))])
+            .collect();
+        e.insert("t", extra).unwrap();
+        (e, def)
+    }
+
+    fn cfg(threads: usize) -> ParallelConfig {
+        ParallelConfig { threads, morsel_rows: 512 }
+    }
+
+    fn assert_equivalent(plan: &PlanRef, e: &StorageEngine) {
+        let snap = e.snapshot();
+        let (serial, sm) = execute_at(plan, e, snap).unwrap();
+        for threads in [2, 4] {
+            let (par, pm) = execute_parallel_at(plan, e, snap, cfg(threads)).unwrap();
+            assert_eq!(par.to_rows(), serial.to_rows(), "threads={threads}");
+            assert_eq!(pm.rows_scanned, sm.rows_scanned, "threads={threads}");
+            assert_eq!(pm.filter_input_rows, sm.filter_input_rows, "threads={threads}");
+            assert_eq!(pm.join_build_rows, sm.join_build_rows, "threads={threads}");
+            assert_eq!(pm.join_output_rows, sm.join_output_rows, "threads={threads}");
+            assert_eq!(pm.agg_input_rows, sm.agg_input_rows, "threads={threads}");
+            assert_eq!(pm.operators, sm.operators, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_scan_filter_project_matches_serial() {
+        let (e, def) = many_rows_engine(4_000);
+        let scan = LogicalPlan::scan(Arc::clone(&def));
+        assert_equivalent(&scan, &e);
+        let filtered =
+            LogicalPlan::filter(scan, Expr::col(1).eq(Expr::int(3))).unwrap();
+        assert_equivalent(&filtered, &e);
+        let projected =
+            LogicalPlan::project(filtered, vec![(Expr::col(0), "k".into()), (Expr::col(2), "amt".into())])
+                .unwrap();
+        assert_equivalent(&projected, &e);
+    }
+
+    #[test]
+    fn parallel_join_matches_serial() {
+        let (e, def) = many_rows_engine(3_000);
+        let dim = Arc::new(
+            TableBuilder::new("dim")
+                .column("g", SqlType::Int, false)
+                .column("name", SqlType::Text, false)
+                .primary_key(&["g"])
+                .build()
+                .unwrap(),
+        );
+        e.create_table(Arc::clone(&dim)).unwrap();
+        // Only some groups have dimension rows: outer joins pad the rest.
+        e.insert(
+            "dim",
+            (0..8i64).map(|g| vec![Value::Int(g), Value::str(format!("g{g}"))]).collect(),
+        )
+        .unwrap();
+        let inner = LogicalPlan::inner_join(
+            LogicalPlan::scan(Arc::clone(&def)),
+            LogicalPlan::scan(Arc::clone(&dim)),
+            vec![(1, 0)],
+        )
+        .unwrap();
+        assert_equivalent(&inner, &e);
+        let outer = LogicalPlan::left_join(
+            LogicalPlan::scan(Arc::clone(&def)),
+            LogicalPlan::scan(Arc::clone(&dim)),
+            vec![(1, 0)],
+        )
+        .unwrap();
+        assert_equivalent(&outer, &e);
+        // Left-outer with residual: padding only when the residual rejects.
+        let residual = LogicalPlan::join(
+            LogicalPlan::scan(def),
+            LogicalPlan::scan(dim),
+            JoinKind::LeftOuter,
+            vec![(1, 0)],
+            Some(Expr::col(4).eq(Expr::str("g3"))),
+            None,
+            false,
+        )
+        .unwrap();
+        assert_equivalent(&residual, &e);
+    }
+
+    #[test]
+    fn parallel_aggregate_matches_serial() {
+        let (e, def) = many_rows_engine(4_000);
+        let agg = LogicalPlan::aggregate(
+            LogicalPlan::scan(Arc::clone(&def)),
+            vec![(Expr::col(1), "g".into())],
+            vec![
+                (AggExpr::count_star(), "n".into()),
+                (AggExpr::new(AggFunc::Sum, Expr::col(2)), "total".into()),
+                (AggExpr::new(AggFunc::Min, Expr::col(0)), "lo".into()),
+                (AggExpr::new(AggFunc::Avg, Expr::col(0)), "avg_k".into()),
+            ],
+        )
+        .unwrap();
+        assert_equivalent(&agg, &e);
+        // Global aggregate (no keys) over the same data.
+        let global = LogicalPlan::aggregate(
+            LogicalPlan::scan(def),
+            vec![],
+            vec![(AggExpr::new(AggFunc::Sum, Expr::col(2)), "total".into())],
+        )
+        .unwrap();
+        assert_equivalent(&global, &e);
+    }
+
+    #[test]
+    fn budgeted_parallel_limit_is_bounded_and_exact() {
+        let (e, def) = many_rows_engine(20_000);
+        let total = e.row_count("t", e.snapshot()).unwrap();
+        let plan = LogicalPlan::limit(LogicalPlan::scan(def), 5, Some(100));
+        let snap = e.snapshot();
+        let (serial, _) = execute_at(&plan, &e, snap).unwrap();
+        let config = cfg(4);
+        let (par, pm) = execute_parallel_at(&plan, &e, snap, config).unwrap();
+        assert_eq!(par.to_rows(), serial.to_rows());
+        let bound = 105 + config.threads * config.morsel_rows;
+        assert!(
+            pm.rows_scanned <= bound,
+            "parallel budgeted scan touched {} rows (bound {bound}, table {total})",
+            pm.rows_scanned
+        );
+        assert!(pm.rows_scanned < total, "must not scan the whole table");
+    }
+
+    #[test]
+    fn serial_config_is_legacy_path() {
+        let (e, def) = many_rows_engine(1_000);
+        let plan = LogicalPlan::scan(def);
+        let snap = e.snapshot();
+        let (serial, sm) = execute_at(&plan, &e, snap).unwrap();
+        let (par, pm) = execute_parallel_at(&plan, &e, snap, ParallelConfig::serial()).unwrap();
+        assert_eq!(par.to_rows(), serial.to_rows());
+        assert_eq!(pm.rows_scanned, sm.rows_scanned);
+    }
+}

@@ -194,17 +194,175 @@ impl Column {
         }
     }
 
-    /// New column containing rows at `indices` in order.
-    pub fn take(&self, indices: &[usize]) -> Column {
-        let values: Vec<Value> = indices.iter().map(|&i| self.get(i)).collect();
-        let ty = match &self.data {
+    /// Concatenates columns of one type without a row-wise detour:
+    /// fixed-width payloads append directly, string dictionaries merge
+    /// with code remapping. Requires at least one part.
+    pub fn concat(parts: &[&Column]) -> Result<Column> {
+        let Some(first) = parts.first() else {
+            return Err(VdmError::Exec("Column::concat needs at least one part".into()));
+        };
+        let total: usize = parts.iter().map(|c| c.len()).sum();
+        let mut any_null = false;
+        let mut validity: Vec<bool> = Vec::with_capacity(total);
+        for p in parts {
+            match &p.validity {
+                Some(v) => {
+                    any_null |= v.iter().any(|b| !b);
+                    validity.extend_from_slice(v);
+                }
+                None => validity.extend(std::iter::repeat_n(true, p.len())),
+            }
+        }
+        let mismatch = || VdmError::Exec("Column::concat parts disagree in type".into());
+        let data = match &first.data {
+            ColumnData::Int(_) => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    match &p.data {
+                        ColumnData::Int(v) => out.extend_from_slice(v),
+                        _ => return Err(mismatch()),
+                    }
+                }
+                ColumnData::Int(out)
+            }
+            ColumnData::Dec { scale, .. } => {
+                let scale = *scale;
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    match &p.data {
+                        ColumnData::Dec { units, scale: s } if *s == scale => {
+                            out.extend_from_slice(units);
+                        }
+                        _ => return Err(mismatch()),
+                    }
+                }
+                ColumnData::Dec { units: out, scale }
+            }
+            ColumnData::Bool(_) => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    match &p.data {
+                        ColumnData::Bool(v) => out.extend_from_slice(v),
+                        _ => return Err(mismatch()),
+                    }
+                }
+                ColumnData::Bool(out)
+            }
+            ColumnData::Date(_) => {
+                let mut out = Vec::with_capacity(total);
+                for p in parts {
+                    match &p.data {
+                        ColumnData::Date(v) => out.extend_from_slice(v),
+                        _ => return Err(mismatch()),
+                    }
+                }
+                ColumnData::Date(out)
+            }
+            ColumnData::Str(_) => {
+                let mut dict: Vec<Arc<str>> = Vec::new();
+                let mut code_of: std::collections::HashMap<Arc<str>, u32> =
+                    std::collections::HashMap::new();
+                let mut codes: Vec<u32> = Vec::with_capacity(total);
+                for p in parts {
+                    let s = match &p.data {
+                        ColumnData::Str(s) => s,
+                        _ => return Err(mismatch()),
+                    };
+                    let remap: Vec<u32> = s
+                        .dict
+                        .iter()
+                        .map(|d| {
+                            *code_of.entry(Arc::clone(d)).or_insert_with(|| {
+                                dict.push(Arc::clone(d));
+                                (dict.len() - 1) as u32
+                            })
+                        })
+                        .collect();
+                    // NULL slots carry code 0 even over an empty dictionary;
+                    // validity masks whatever the remap lands them on.
+                    codes.extend(
+                        s.codes.iter().map(|&c| remap.get(c as usize).copied().unwrap_or(0)),
+                    );
+                }
+                ColumnData::Str(StrColumn { dict, codes })
+            }
+        };
+        Ok(Column { data, validity: if any_null { Some(validity) } else { None } })
+    }
+
+    /// The column's storage type.
+    pub fn sql_type(&self) -> SqlType {
+        match &self.data {
             ColumnData::Int(_) => SqlType::Int,
             ColumnData::Dec { scale, .. } => SqlType::Decimal { scale: *scale },
             ColumnData::Bool(_) => SqlType::Bool,
             ColumnData::Date(_) => SqlType::Date,
             ColumnData::Str(_) => SqlType::Text,
+        }
+    }
+
+    /// New column containing rows at `indices` in order.
+    pub fn take(&self, indices: &[usize]) -> Column {
+        let values: Vec<Value> = indices.iter().map(|&i| self.get(i)).collect();
+        Column::from_values(self.sql_type(), &values).expect("take preserves types")
+    }
+
+    /// Payload-level gather: `out[j] = self[indices[j]]` without value
+    /// materialization — fixed-width payloads copy directly and string
+    /// dictionaries are shared, not re-interned.
+    pub fn gather(&self, indices: &[usize]) -> Column {
+        let validity = self.validity.as_ref().map(|v| {
+            indices.iter().map(|&i| v[i]).collect::<Vec<bool>>()
+        });
+        let any_null = validity.as_ref().is_some_and(|v| v.iter().any(|b| !b));
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Dec { units, scale } => ColumnData::Dec {
+                units: indices.iter().map(|&i| units[i]).collect(),
+                scale: *scale,
+            },
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Date(v) => ColumnData::Date(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str(s) => ColumnData::Str(StrColumn {
+                dict: s.dict.clone(),
+                codes: indices.iter().map(|&i| s.codes[i]).collect(),
+            }),
         };
-        Column::from_values(ty, &values).expect("take preserves types")
+        Column { data, validity: if any_null { validity } else { None } }
+    }
+
+    /// Gather with NULL padding: `None` slots become NULL rows (the
+    /// outer-join no-match case).
+    pub fn gather_opt(&self, indices: &[Option<usize>]) -> Column {
+        let mut any_null = false;
+        let validity: Vec<bool> = indices
+            .iter()
+            .map(|ix| {
+                let valid = ix.is_some_and(|i| !self.is_null(i));
+                any_null |= !valid;
+                valid
+            })
+            .collect();
+        let data = match &self.data {
+            ColumnData::Int(v) => {
+                ColumnData::Int(indices.iter().map(|ix| ix.map_or(0, |i| v[i])).collect())
+            }
+            ColumnData::Dec { units, scale } => ColumnData::Dec {
+                units: indices.iter().map(|ix| ix.map_or(0, |i| units[i])).collect(),
+                scale: *scale,
+            },
+            ColumnData::Bool(v) => {
+                ColumnData::Bool(indices.iter().map(|ix| ix.is_some_and(|i| v[i])).collect())
+            }
+            ColumnData::Date(v) => {
+                ColumnData::Date(indices.iter().map(|ix| ix.map_or(0, |i| v[i])).collect())
+            }
+            ColumnData::Str(s) => ColumnData::Str(StrColumn {
+                dict: s.dict.clone(),
+                codes: indices.iter().map(|ix| ix.map_or(0, |i| s.codes[i])).collect(),
+            }),
+        };
+        Column { data, validity: if any_null { Some(validity) } else { None } }
     }
 }
 
@@ -272,11 +430,55 @@ impl Batch {
         (0..self.rows).map(|i| self.row(i)).collect()
     }
 
+    /// Concatenates batches column-wise under `schema` — the UNION ALL and
+    /// morsel-merge fast path (no row materialization for parts already in
+    /// the schema's types). A part column stored under a narrower unified
+    /// type (e.g. `INT` under a `DECIMAL` union field) is widened first.
+    pub fn concat(schema: Arc<Schema>, parts: &[Batch]) -> Result<Batch> {
+        if parts.is_empty() {
+            return Ok(Batch::empty(schema));
+        }
+        if parts.iter().any(|b| b.columns.len() != schema.len()) {
+            return Err(VdmError::Exec("Batch::concat parts disagree with schema".into()));
+        }
+        let mut columns = Vec::with_capacity(schema.len());
+        for i in 0..schema.len() {
+            let ty = schema.field(i).ty;
+            let widened: Vec<Option<Column>> = parts
+                .iter()
+                .map(|b| {
+                    let c = &b.columns[i];
+                    if c.sql_type() == ty {
+                        return Ok(None);
+                    }
+                    let values: Vec<Value> = (0..c.len()).map(|r| c.get(r)).collect();
+                    Column::from_values(ty, &values).map(Some)
+                })
+                .collect::<Result<_>>()?;
+            let cols: Vec<&Column> = parts
+                .iter()
+                .zip(&widened)
+                .map(|(b, w)| w.as_ref().unwrap_or(&b.columns[i]))
+                .collect();
+            columns.push(Column::concat(&cols)?);
+        }
+        Batch::new(schema, columns)
+    }
+
     /// New batch containing rows at `indices` in order.
     pub fn take(&self, indices: &[usize]) -> Batch {
         Batch {
             schema: Arc::clone(&self.schema),
             columns: self.columns.iter().map(|c| c.take(indices)).collect(),
+            rows: indices.len(),
+        }
+    }
+
+    /// Row gather at the column-payload level (see [`Column::gather`]).
+    pub fn gather(&self, indices: &[usize]) -> Batch {
+        Batch {
+            schema: Arc::clone(&self.schema),
+            columns: self.columns.iter().map(|c| c.gather(indices)).collect(),
             rows: indices.len(),
         }
     }
@@ -346,6 +548,116 @@ mod tests {
         assert_eq!(taken.row(0), rows[1]);
         // Column count mismatch.
         assert!(Batch::new(schema, vec![]).is_err());
+    }
+
+    #[test]
+    fn concat_merges_dictionaries_and_validity() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("k", SqlType::Int, false),
+            Field::new("name", SqlType::Text, true),
+            Field::new("amt", SqlType::Decimal { scale: 2 }, true),
+        ]));
+        let a = Batch::from_rows(
+            Arc::clone(&schema),
+            &[
+                vec![Value::Int(1), Value::str("DE"), Value::Dec("1.50".parse().unwrap())],
+                vec![Value::Int(2), Value::Null, Value::Null],
+            ],
+        )
+        .unwrap();
+        let b = Batch::from_rows(
+            Arc::clone(&schema),
+            &[vec![Value::Int(3), Value::str("FR"), Value::Dec("2.25".parse().unwrap())]],
+        )
+        .unwrap();
+        let empty = Batch::empty(Arc::clone(&schema));
+        let got = Batch::concat(Arc::clone(&schema), &[a.clone(), empty, b.clone()]).unwrap();
+        assert_eq!(got.num_rows(), 3);
+        let mut want = a.to_rows();
+        want.extend(b.to_rows());
+        assert_eq!(got.to_rows(), want);
+        // Dictionary is merged, not duplicated per part.
+        match got.columns[1].data() {
+            ColumnData::Str(s) => assert_eq!(s.dict_size(), 2),
+            _ => panic!("expected string column"),
+        }
+        // Zero parts yields an empty batch of the schema.
+        assert_eq!(Batch::concat(schema, &[]).unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn concat_shared_dictionary_values_keep_one_code() {
+        let vals = |names: &[&str]| {
+            names.iter().map(Value::str).collect::<Vec<_>>()
+        };
+        let a = Column::from_values(SqlType::Text, &vals(&["x", "y"])).unwrap();
+        let b = Column::from_values(SqlType::Text, &vals(&["y", "z", "x"])).unwrap();
+        let c = Column::concat(&[&a, &b]).unwrap();
+        assert_eq!(c.len(), 5);
+        match c.data() {
+            ColumnData::Str(s) => assert_eq!(s.dict_size(), 3),
+            _ => panic!("expected string column"),
+        }
+        let got: Vec<Value> = (0..5).map(|i| c.get(i)).collect();
+        assert_eq!(got, vals(&["x", "y", "y", "z", "x"]));
+    }
+
+    #[test]
+    fn concat_widens_int_parts_to_decimal_schema() {
+        let int_schema = Arc::new(Schema::new(vec![Field::new("v", SqlType::Int, false)]));
+        let dec_schema =
+            Arc::new(Schema::new(vec![Field::new("v", SqlType::Decimal { scale: 2 }, false)]));
+        let ints = Batch::from_rows(int_schema, &[vec![Value::Int(7)]]).unwrap();
+        let decs =
+            Batch::from_rows(Arc::clone(&dec_schema), &[vec![Value::Dec("1.25".parse().unwrap())]])
+                .unwrap();
+        let got = Batch::concat(dec_schema, &[ints, decs]).unwrap();
+        let vals: Vec<String> = got.to_rows().iter().map(|r| r[0].to_string()).collect();
+        assert_eq!(vals, vec!["7.00".to_string(), "1.25".to_string()]);
+    }
+
+    #[test]
+    fn concat_rejects_type_mismatch() {
+        let a = Column::from_values(SqlType::Int, &[Value::Int(1)]).unwrap();
+        let b = Column::from_values(SqlType::Bool, &[Value::Bool(true)]).unwrap();
+        assert!(Column::concat(&[&a, &b]).is_err());
+        assert!(Column::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn gather_agrees_with_take() {
+        for ty in [SqlType::Int, SqlType::Text, SqlType::Decimal { scale: 2 }] {
+            let vals: Vec<Value> = (0..6)
+                .map(|i| match (i % 3, ty) {
+                    (2, _) => Value::Null,
+                    (_, SqlType::Int) => Value::Int(i),
+                    (_, SqlType::Text) => Value::str(format!("v{i}")),
+                    _ => Value::Dec(Decimal::from_units(i as i128 * 10, 2)),
+                })
+                .collect();
+            let c = Column::from_values(ty, &vals).unwrap();
+            let idx = [5usize, 0, 2, 2, 4];
+            let fast = c.gather(&idx);
+            let slow = c.take(&idx);
+            for j in 0..idx.len() {
+                assert_eq!(fast.get(j), slow.get(j), "{ty} row {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_opt_pads_none_with_nulls() {
+        let c = Column::from_values(SqlType::Text, &[Value::str("a"), Value::Null]).unwrap();
+        let g = c.gather_opt(&[Some(0), None, Some(1), Some(0)]);
+        assert_eq!(g.get(0), Value::str("a"));
+        assert_eq!(g.get(1), Value::Null);
+        assert_eq!(g.get(2), Value::Null);
+        assert_eq!(g.get(3), Value::str("a"));
+        // All-valid gather over a null-free column drops the validity mask.
+        let dense = Column::from_values(SqlType::Int, &[Value::Int(1), Value::Int(2)]).unwrap();
+        let g = dense.gather_opt(&[Some(1), Some(0)]);
+        assert!(!g.is_null(0) && !g.is_null(1));
+        assert_eq!(g.get(0), Value::Int(2));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::column::Batch;
 use crate::store::TableStore;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -30,7 +30,7 @@ impl StorageEngine {
     /// Creates the backing store for a table definition.
     pub fn create_table(&self, def: Arc<TableDef>) -> Result<()> {
         let key = def.name.to_ascii_lowercase();
-        let mut tables = self.tables.write();
+        let mut tables = self.tables.write().unwrap();
         if tables.contains_key(&key) {
             return Err(VdmError::Storage(format!("table {:?} already stored", def.name)));
         }
@@ -41,7 +41,7 @@ impl StorageEngine {
     /// Drops a table's data.
     pub fn drop_table(&self, name: &str) -> Result<()> {
         self.tables
-            .write()
+            .write().unwrap()
             .remove(&name.to_ascii_lowercase())
             .map(|_| ())
             .ok_or_else(|| VdmError::Storage(format!("unknown table {name:?}")))
@@ -49,7 +49,7 @@ impl StorageEngine {
 
     fn table(&self, name: &str) -> Result<Arc<RwLock<TableStore>>> {
         self.tables
-            .read()
+            .read().unwrap()
             .get(&name.to_ascii_lowercase())
             .cloned()
             .ok_or_else(|| VdmError::Storage(format!("unknown table {name:?}")))
@@ -68,7 +68,7 @@ impl StorageEngine {
     pub fn insert(&self, name: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
         let table = self.table(name)?;
         let ts = self.next_ts();
-        let result = table.write().insert(rows, ts);
+        let result = table.write().unwrap().insert(rows, ts);
         result
     }
 
@@ -76,7 +76,7 @@ impl StorageEngine {
     pub fn delete_where(&self, name: &str, pred: &dyn Fn(&[Value]) -> bool) -> Result<usize> {
         let table = self.table(name)?;
         let ts = self.next_ts();
-        let n = table.write().delete_where(pred, ts);
+        let n = table.write().unwrap().delete_where(pred, ts);
         Ok(n)
     }
 
@@ -89,7 +89,7 @@ impl StorageEngine {
     ) -> Result<usize> {
         let table = self.table(name)?;
         let ts = self.next_ts();
-        let mut store = table.write();
+        let mut store = table.write().unwrap();
         let snapshot_rows = store.scan(ts - 1)?;
         let mut updated = Vec::new();
         for i in 0..snapshot_rows.num_rows() {
@@ -111,41 +111,41 @@ impl StorageEngine {
 
     /// Scans a table at `snapshot`.
     pub fn scan(&self, name: &str, snapshot: Snapshot) -> Result<Batch> {
-        self.table(name)?.read().scan(snapshot.0)
+        self.table(name)?.read().unwrap().scan(snapshot.0)
     }
 
     /// Scans at most `max_rows` of a table at `snapshot`.
     pub fn scan_limited(&self, name: &str, snapshot: Snapshot, max_rows: usize) -> Result<Batch> {
-        self.table(name)?.read().scan_limited(snapshot.0, max_rows)
+        self.table(name)?.read().unwrap().scan_limited(snapshot.0, max_rows)
     }
 
     /// Timestamp of the table's most recent write (0 = never written).
     pub fn table_version(&self, name: &str) -> Result<u64> {
-        Ok(self.table(name)?.read().last_write_ts())
+        Ok(self.table(name)?.read().unwrap().last_write_ts())
     }
 
     /// True when the table saw deletes after `since`.
     pub fn deleted_since(&self, name: &str, since: Snapshot) -> Result<bool> {
-        Ok(self.table(name)?.read().last_delete_ts() > since.0)
+        Ok(self.table(name)?.read().unwrap().last_delete_ts() > since.0)
     }
 
     /// Rows inserted after `since` and still live at `now` (incremental
     /// view maintenance feed).
     pub fn inserted_between(&self, name: &str, since: Snapshot, now: Snapshot) -> Result<Batch> {
-        self.table(name)?.read().inserted_between(since.0, now.0)
+        self.table(name)?.read().unwrap().inserted_between(since.0, now.0)
     }
 
     /// Switches a table between column-loadable and page-loadable layouts
     /// (the NSE metadata change + reload of §2.2).
     pub fn set_load_mode(&self, name: &str, mode: crate::nse::LoadMode, buffer_pages: usize) -> Result<()> {
         let table = self.table(name)?;
-        table.write().set_load_mode(mode, buffer_pages);
+        table.write().unwrap().set_load_mode(mode, buffer_pages);
         Ok(())
     }
 
     /// Page-buffer counters of a table.
     pub fn page_stats(&self, name: &str) -> Result<crate::nse::PageStats> {
-        Ok(self.table(name)?.read().page_stats())
+        Ok(self.table(name)?.read().unwrap().page_stats())
     }
 
     /// Scans with zone-map pruning on `column` over `range` (a superset of
@@ -157,37 +157,70 @@ impl StorageEngine {
         column: usize,
         range: &crate::zonemap::ScanRange,
     ) -> Result<Batch> {
-        self.table(name)?.read().scan_pruned(snapshot.0, column, range)
+        self.table(name)?.read().unwrap().scan_pruned(snapshot.0, column, range)
+    }
+
+    /// Number of fixed-size morsels a parallel scan of the table claims.
+    pub fn morsel_count(&self, name: &str, morsel_rows: usize) -> Result<usize> {
+        Ok(self.table(name)?.read().unwrap().morsel_count(morsel_rows))
+    }
+
+    /// Scans one morsel of a table at `snapshot`. Morsels concatenated in
+    /// index order reproduce [`StorageEngine::scan`] exactly.
+    pub fn scan_morsel(
+        &self,
+        name: &str,
+        snapshot: Snapshot,
+        morsel: usize,
+        morsel_rows: usize,
+    ) -> Result<Batch> {
+        self.table(name)?.read().unwrap().scan_morsel(snapshot.0, morsel, morsel_rows)
+    }
+
+    /// Morsel scan with zone-map pruning (see [`TableStore::scan_morsel_pruned`]).
+    pub fn scan_morsel_pruned(
+        &self,
+        name: &str,
+        snapshot: Snapshot,
+        morsel: usize,
+        morsel_rows: usize,
+        column: usize,
+        range: &crate::zonemap::ScanRange,
+    ) -> Result<Batch> {
+        self.table(name)?
+            .read()
+            .unwrap()
+            .scan_morsel_pruned(snapshot.0, morsel, morsel_rows, column, range)
     }
 
     /// Main-fragment blocks skipped by zone-map pruning so far.
     pub fn blocks_skipped(&self, name: &str) -> Result<u64> {
-        Ok(self.table(name)?.read().blocks_skipped())
+        Ok(self.table(name)?.read().unwrap().blocks_skipped())
     }
 
     /// Live row count at `snapshot`.
     pub fn row_count(&self, name: &str, snapshot: Snapshot) -> Result<usize> {
-        Ok(self.table(name)?.read().row_count(snapshot.0))
+        Ok(self.table(name)?.read().unwrap().row_count(snapshot.0))
     }
 
     /// Merges a table's delta into its main fragment.
     pub fn merge_delta(&self, name: &str) -> Result<()> {
         let table = self.table(name)?;
         let ts = self.clock.load(Ordering::SeqCst);
-        let result = table.write().merge_delta(ts);
+        let result = table.write().unwrap().merge_delta(ts);
         result
     }
 
     /// Delta size diagnostics.
     pub fn fragment_sizes(&self, name: &str) -> Result<(usize, usize)> {
         let t = self.table(name)?;
-        let t = t.read();
+        let t = t.read().unwrap();
         Ok((t.main_len(), t.delta_len()))
     }
 
     /// Stored table names, sorted.
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        let mut names: Vec<String> = self.tables.read().unwrap().keys().cloned().collect();
         names.sort();
         names
     }

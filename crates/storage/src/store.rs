@@ -3,7 +3,7 @@
 use crate::column::{Batch, Column};
 use crate::nse::{LoadMode, PageBuffer, PageStats};
 use crate::zonemap::{ScanRange, ZoneMaps, ZONE_BLOCK_ROWS};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::collections::HashSet;
 use std::sync::Arc;
 use vdm_catalog::TableDef;
@@ -84,18 +84,18 @@ impl TableStore {
     /// table and reloading": the page buffer is dropped.
     pub fn set_load_mode(&mut self, mode: LoadMode, buffer_pages: usize) {
         self.load_mode = mode;
-        *self.page_buffer.lock() = PageBuffer::new(buffer_pages);
+        *self.page_buffer.lock().unwrap() = PageBuffer::new(buffer_pages);
     }
 
     /// Page-buffer counters (all zero for column-loadable tables).
     pub fn page_stats(&self) -> PageStats {
-        self.page_buffer.lock().stats()
+        self.page_buffer.lock().unwrap().stats()
     }
 
     /// Accounts page traffic for a scan touching `rows` main-fragment rows.
     fn account_scan(&self, rows: usize) {
         if let LoadMode::PageLoadable { page_rows } = self.load_mode {
-            self.page_buffer.lock().touch_range(rows, page_rows);
+            self.page_buffer.lock().unwrap().touch_range(rows, page_rows);
         }
     }
 
@@ -263,6 +263,97 @@ impl TableStore {
         Batch::from_rows(Arc::clone(&self.schema), &rows)
     }
 
+    /// Number of fixed-size morsels covering the table's physical rows
+    /// (main then delta). A parallel scan claims indices `0..morsel_count`
+    /// and concatenating the morsel batches in index order reproduces the
+    /// serial scan exactly.
+    pub fn morsel_count(&self, morsel_rows: usize) -> usize {
+        let total = self.main_meta.len() + self.delta.len();
+        total.div_ceil(morsel_rows.max(1))
+    }
+
+    /// Physical row range `[morsel * morsel_rows, ..)` of main++delta,
+    /// split into the main part and the delta part.
+    fn morsel_bounds(&self, morsel: usize, morsel_rows: usize) -> (usize, usize, usize, usize) {
+        let morsel_rows = morsel_rows.max(1);
+        let start = morsel * morsel_rows;
+        let end = start + morsel_rows;
+        let main_len = self.main_meta.len();
+        let m_start = start.min(main_len);
+        let m_end = end.min(main_len);
+        let d_start = start.saturating_sub(main_len).min(self.delta.len());
+        let d_end = end.saturating_sub(main_len).min(self.delta.len());
+        (m_start, m_end, d_start, d_end)
+    }
+
+    /// Materializes the rows of one morsel visible at `ts`.
+    pub fn scan_morsel(&self, ts: u64, morsel: usize, morsel_rows: usize) -> Result<Batch> {
+        let (m_start, m_end, d_start, d_end) = self.morsel_bounds(morsel, morsel_rows);
+        self.account_scan(m_end - m_start);
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for i in m_start..m_end {
+            if self.main_meta[i].visible_at(ts) {
+                rows.push(self.main.iter().map(|c| c.get(i)).collect());
+            }
+        }
+        for i in d_start..d_end {
+            if self.delta_meta[i].visible_at(ts) {
+                rows.push(self.delta[i].clone());
+            }
+        }
+        Batch::from_rows(Arc::clone(&self.schema), &rows)
+    }
+
+    /// Morsel scan with zone-map pruning on the main fragment. Callers must
+    /// use a `morsel_rows` that is a multiple of [`ZONE_BLOCK_ROWS`] so each
+    /// block falls entirely inside one morsel; the union over all morsels
+    /// then matches [`TableStore::scan_pruned`] row for row, and skipped
+    /// blocks are counted exactly once.
+    pub fn scan_morsel_pruned(
+        &self,
+        ts: u64,
+        morsel: usize,
+        morsel_rows: usize,
+        column: usize,
+        range: &ScanRange,
+    ) -> Result<Batch> {
+        let (m_start, m_end, d_start, d_end) = self.morsel_bounds(morsel, morsel_rows);
+        self.account_scan(m_end - m_start);
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut skipped = 0u64;
+        if m_start < m_end {
+            let first_block = m_start / ZONE_BLOCK_ROWS;
+            let last_block = m_end.div_ceil(ZONE_BLOCK_ROWS);
+            for block in first_block..last_block {
+                let b_start = (block * ZONE_BLOCK_ROWS).max(m_start);
+                let b_end = ((block + 1) * ZONE_BLOCK_ROWS).min(m_end);
+                if !self.zone_maps.block_may_match(column, block, range) {
+                    // Count a skip only from the morsel holding the block's
+                    // head, so unaligned morsels never double-count.
+                    if b_start == block * ZONE_BLOCK_ROWS {
+                        skipped += 1;
+                    }
+                    continue;
+                }
+                for i in b_start..b_end {
+                    if self.main_meta[i].visible_at(ts) {
+                        rows.push(self.main.iter().map(|c| c.get(i)).collect());
+                    }
+                }
+            }
+        }
+        // The delta is unindexed: its share of the morsel is always scanned.
+        for i in d_start..d_end {
+            if self.delta_meta[i].visible_at(ts) {
+                rows.push(self.delta[i].clone());
+            }
+        }
+        if skipped > 0 {
+            *self.blocks_skipped.lock().unwrap() += skipped;
+        }
+        Batch::from_rows(Arc::clone(&self.schema), &rows)
+    }
+
     /// Scans rows visible at `ts` whose `column` value may fall in `range`,
     /// skipping main-fragment blocks whose zone map excludes the range.
     /// Callers re-apply the full predicate — pruning is a superset filter.
@@ -290,13 +381,13 @@ impl TableStore {
                 rows.push(self.delta[i].clone());
             }
         }
-        *self.blocks_skipped.lock() += skipped;
+        *self.blocks_skipped.lock().unwrap() += skipped;
         Batch::from_rows(Arc::clone(&self.schema), &rows)
     }
 
     /// Total main-fragment blocks skipped by zone-map pruning so far.
     pub fn blocks_skipped(&self) -> u64 {
-        *self.blocks_skipped.lock()
+        *self.blocks_skipped.lock().unwrap()
     }
 
     /// Total live rows at `ts`.
@@ -429,6 +520,63 @@ mod tests {
         s.insert(vec![row(3, "c")], 2).unwrap();
         assert_eq!(s.delta_len(), 1);
         assert_eq!(s.scan(2).unwrap().num_rows(), 3);
+    }
+
+    #[test]
+    fn morsel_scan_union_equals_serial_scan() {
+        let mut s = store();
+        // 10 rows in main, 5 in delta, one deleted in each fragment.
+        s.insert((0..10).map(|i| row(i, "m")).collect(), 1).unwrap();
+        s.merge_delta(1).unwrap();
+        s.insert((10..15).map(|i| row(i, "d")).collect(), 2).unwrap();
+        s.delete_where(&|r| r[0] == Value::Int(3), 3);
+        s.delete_where(&|r| r[0] == Value::Int(12), 3);
+        for morsel_rows in [1, 3, 4, 7, 100] {
+            let n = s.morsel_count(morsel_rows);
+            assert_eq!(n, 15usize.div_ceil(morsel_rows));
+            let mut rows = Vec::new();
+            for m in 0..n {
+                rows.extend(s.scan_morsel(3, m, morsel_rows).unwrap().to_rows());
+            }
+            assert_eq!(rows, s.scan(3).unwrap().to_rows(), "morsel_rows={morsel_rows}");
+        }
+        // Out-of-range morsels are empty, not errors.
+        assert_eq!(s.scan_morsel(3, 99, 4).unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn morsel_pruned_scan_matches_serial_pruned_scan() {
+        let mut s = TableStore::new(Arc::new(
+            TableBuilder::new("t")
+                .column("k", SqlType::Int, false)
+                .column("v", SqlType::Int, true)
+                .primary_key(&["k"])
+                .build()
+                .unwrap(),
+        ));
+        let n = 3 * ZONE_BLOCK_ROWS + 17;
+        s.insert(
+            (0..n as i64).map(|i| vec![Value::Int(i), Value::Int(i % 7)]).collect(),
+            1,
+        )
+        .unwrap();
+        s.merge_delta(1).unwrap();
+        s.insert(
+            (n as i64..n as i64 + 5).map(|i| vec![Value::Int(i), Value::Int(0)]).collect(),
+            2,
+        )
+        .unwrap();
+        let range = ScanRange::at_least(Value::Int(2 * ZONE_BLOCK_ROWS as i64));
+        let serial = s.scan_pruned(2, 0, &range).unwrap().to_rows();
+        let skipped_serial = s.blocks_skipped();
+        assert!(skipped_serial > 0, "pruning must fire for the test to mean anything");
+        let morsel_rows = 2 * ZONE_BLOCK_ROWS;
+        let mut rows = Vec::new();
+        for m in 0..s.morsel_count(morsel_rows) {
+            rows.extend(s.scan_morsel_pruned(2, m, morsel_rows, 0, &range).unwrap().to_rows());
+        }
+        assert_eq!(rows, serial);
+        assert_eq!(s.blocks_skipped(), 2 * skipped_serial, "same blocks skipped once each");
     }
 
     #[test]

@@ -13,10 +13,12 @@
 
 pub mod decimal;
 pub mod error;
+pub mod rng;
 pub mod schema;
 pub mod value;
 
 pub use decimal::Decimal;
 pub use error::{Result, VdmError};
+pub use rng::SplitMix64;
 pub use schema::{Field, Schema};
 pub use value::{SqlType, Value};

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Offline CI gate: build, test, lint. No network access required —
+# the workspace has zero external dependencies, so a vendored registry
+# or plain `--offline` both work from a cold cache.
+#
+# Usage: scripts/ci.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release (offline) =="
+cargo build --release --workspace --offline
+
+echo "== cargo test (offline) =="
+cargo test -q --workspace --offline
+
+echo "== cargo clippy -D warnings (offline) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI OK"

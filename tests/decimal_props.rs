@@ -1,86 +1,133 @@
 //! Property tests for the exact-decimal substrate (§7.1 depends on its
-//! semantics being airtight).
+//! semantics being airtight). Runs on the in-repo deterministic PRNG so
+//! the workspace needs no external property-testing dependency: each
+//! property is checked over a few thousand seeded random cases, and every
+//! assertion message carries the operands for reproduction.
 
-use proptest::prelude::*;
-use vdm_types::Decimal;
+use vdm_types::{Decimal, SplitMix64};
 
-fn dec_strategy() -> impl Strategy<Value = Decimal> {
-    // Units within money-like magnitudes, scales within business range.
-    (-1_000_000_000_000i128..1_000_000_000_000, 0u8..8)
-        .prop_map(|(units, scale)| Decimal::from_units(units, scale))
+const CASES: usize = 2_000;
+
+/// Units within money-like magnitudes, scales within business range.
+fn random_dec(rng: &mut SplitMix64) -> Decimal {
+    let units: i128 = rng.random_range(-1_000_000_000_000i128..1_000_000_000_000);
+    let scale: i64 = rng.random_range(0..8);
+    Decimal::from_units(units, scale as u8)
 }
 
-proptest! {
-    #[test]
-    fn addition_is_commutative_and_associative(a in dec_strategy(), b in dec_strategy(), c in dec_strategy()) {
+#[test]
+fn addition_is_commutative_and_associative() {
+    let mut rng = SplitMix64::seed_from_u64(0xDEC1);
+    for _ in 0..CASES {
+        let (a, b, c) = (random_dec(&mut rng), random_dec(&mut rng), random_dec(&mut rng));
         let ab = a.checked_add(&b).unwrap();
         let ba = b.checked_add(&a).unwrap();
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba, "{a} + {b}");
         let ab_c = ab.checked_add(&c).unwrap();
         let a_bc = a.checked_add(&b.checked_add(&c).unwrap()).unwrap();
-        prop_assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c, a_bc, "({a} + {b}) + {c}");
     }
+}
 
-    #[test]
-    fn add_then_subtract_round_trips(a in dec_strategy(), b in dec_strategy()) {
+#[test]
+fn add_then_subtract_round_trips() {
+    let mut rng = SplitMix64::seed_from_u64(0xDEC2);
+    for _ in 0..CASES {
+        let (a, b) = (random_dec(&mut rng), random_dec(&mut rng));
         let sum = a.checked_add(&b).unwrap();
         let back = sum.checked_sub(&b).unwrap();
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a, "({a} + {b}) - {b}");
     }
+}
 
-    #[test]
-    fn display_parse_round_trips(a in dec_strategy()) {
+#[test]
+fn display_parse_round_trips() {
+    let mut rng = SplitMix64::seed_from_u64(0xDEC3);
+    for _ in 0..CASES {
+        let a = random_dec(&mut rng);
         let text = a.to_string();
         let parsed: Decimal = text.parse().unwrap();
-        prop_assert_eq!(parsed, a);
-        prop_assert_eq!(parsed.scale(), a.scale());
+        assert_eq!(parsed, a, "{text}");
+        assert_eq!(parsed.scale(), a.scale(), "{text}");
     }
+}
 
-    #[test]
-    fn rounding_is_idempotent_and_monotone(a in dec_strategy(), b in dec_strategy(), s in 0u8..6) {
+#[test]
+fn rounding_is_idempotent_and_monotone() {
+    let mut rng = SplitMix64::seed_from_u64(0xDEC4);
+    for _ in 0..CASES {
+        let (a, b) = (random_dec(&mut rng), random_dec(&mut rng));
+        let s: i64 = rng.random_range(0..6);
+        let s = s as u8;
         let ra = a.round_to(s);
-        prop_assert_eq!(ra.round_to(s), ra, "idempotent");
+        assert_eq!(ra.round_to(s), ra, "idempotent at {a} scale {s}");
         if a <= b {
-            prop_assert!(a.round_to(s) <= b.round_to(s), "monotone: {a} vs {b} at scale {s}");
+            assert!(a.round_to(s) <= b.round_to(s), "monotone: {a} vs {b} at scale {s}");
         }
     }
+}
 
-    #[test]
-    fn rounding_error_is_bounded(a in dec_strategy(), s in 0u8..6) {
+#[test]
+fn rounding_error_is_bounded() {
+    let mut rng = SplitMix64::seed_from_u64(0xDEC5);
+    for _ in 0..CASES {
+        let a = random_dec(&mut rng);
+        let s: i64 = rng.random_range(0..6);
+        let s = s as u8;
         let r = a.round_to(s);
         let diff = r.checked_sub(&a).unwrap();
         let half_ulp = Decimal::from_units(5, s + 1); // 0.5 * 10^-s
         let abs = if diff < Decimal::zero(0) { diff.negate() } else { diff };
-        prop_assert!(abs <= half_ulp, "|{r} - {a}| = {abs} > {half_ulp}");
+        assert!(abs <= half_ulp, "|{r} - {a}| = {abs} > {half_ulp}");
     }
+}
 
-    #[test]
-    fn comparison_agrees_with_subtraction(a in dec_strategy(), b in dec_strategy()) {
+#[test]
+fn comparison_agrees_with_subtraction() {
+    let mut rng = SplitMix64::seed_from_u64(0xDEC6);
+    for _ in 0..CASES {
+        let (a, b) = (random_dec(&mut rng), random_dec(&mut rng));
         let diff = a.checked_sub(&b).unwrap();
         let zero = Decimal::zero(diff.scale());
         match a.cmp(&b) {
-            std::cmp::Ordering::Less => prop_assert!(diff < zero),
-            std::cmp::Ordering::Equal => prop_assert!(diff == zero),
-            std::cmp::Ordering::Greater => prop_assert!(diff > zero),
+            std::cmp::Ordering::Less => assert!(diff < zero, "{a} < {b}"),
+            std::cmp::Ordering::Equal => assert!(diff == zero, "{a} == {b}"),
+            std::cmp::Ordering::Greater => assert!(diff > zero, "{a} > {b}"),
         }
     }
+}
 
-    #[test]
-    fn rescale_widening_is_exact(a in dec_strategy(), extra in 0u8..6) {
-        let wider = a.rescale((a.scale() + extra).min(18)).unwrap();
-        prop_assert_eq!(wider, a, "widening must not change the value");
+#[test]
+fn rescale_widening_is_exact() {
+    let mut rng = SplitMix64::seed_from_u64(0xDEC7);
+    for _ in 0..CASES {
+        let a = random_dec(&mut rng);
+        let extra: i64 = rng.random_range(0..6);
+        let wider = a.rescale((a.scale() + extra as u8).min(18)).unwrap();
+        assert_eq!(wider, a, "widening {a} by {extra} must not change the value");
     }
+}
 
-    #[test]
-    fn multiplication_by_one_is_identity(a in dec_strategy()) {
-        let one = Decimal::from_int(1);
-        prop_assert_eq!(a.checked_mul(&one).unwrap(), a);
+#[test]
+fn multiplication_by_one_is_identity() {
+    let mut rng = SplitMix64::seed_from_u64(0xDEC8);
+    let one = Decimal::from_int(1);
+    for _ in 0..CASES {
+        let a = random_dec(&mut rng);
+        assert_eq!(a.checked_mul(&one).unwrap(), a, "{a} * 1");
     }
+}
 
-    /// The §7.1 bound: interchanging per-row rounding with summation can
-    /// move the total by at most half an ULP per row.
-    #[test]
-    fn sum_of_rounds_close_to_round_of_sum(values in prop::collection::vec(dec_strategy(), 1..40), s in 0u8..4) {
+/// The §7.1 bound: interchanging per-row rounding with summation can
+/// move the total by at most half an ULP per row.
+#[test]
+fn sum_of_rounds_close_to_round_of_sum() {
+    let mut rng = SplitMix64::seed_from_u64(0xDEC9);
+    for _ in 0..500 {
+        let n: usize = rng.random_range(1..40);
+        let values: Vec<Decimal> = (0..n).map(|_| random_dec(&mut rng)).collect();
+        let s: i64 = rng.random_range(0..4);
+        let s = s as u8;
         let mut sum_rounded = Decimal::zero(s);
         let mut sum_exact = Decimal::zero(0);
         for v in &values {
@@ -92,6 +139,6 @@ proptest! {
         let abs = if diff < Decimal::zero(0) { diff.negate() } else { diff };
         // n rows each contribute at most 0.5 ULP; plus 0.5 for the final round.
         let bound = Decimal::from_units(5 * (values.len() as i128 + 1), s + 1);
-        prop_assert!(abs <= bound, "|{sum_rounded} - {interchange}| = {abs} > {bound}");
+        assert!(abs <= bound, "|{sum_rounded} - {interchange}| = {abs} > {bound}");
     }
 }

@@ -1,0 +1,315 @@
+//! Serial vs parallel executor equivalence.
+//!
+//! Every operator shape — filter, project, join (inner, left outer, left
+//! outer + residual), aggregate, distinct, sort, limit, union — runs at
+//! `threads = 1` and `threads = 4` over TPC-H and ERP data. The
+//! morsel-driven executor merges partial results in morsel index order, so
+//! results must match the serial executor *exactly* (same rows, same
+//! order) and the merged row-count metrics must agree. The one sanctioned
+//! divergence is `rows_scanned` under a pushed-down LIMIT, where the
+//! parallel scan works in whole waves of morsels; a dedicated test pins
+//! its bound instead.
+
+use std::sync::Arc;
+use vdm_data::erp::{journal_entry_item_browser, Erp};
+use vdm_data::tpch::Tpch;
+use vdm_exec::{execute_at, execute_parallel_at, ParallelConfig};
+use vdm_expr::{AggExpr, AggFunc, BinOp, Expr};
+use vdm_optimizer::{Optimizer, Profile};
+use vdm_plan::{JoinKind, LogicalPlan, PlanRef, SortKey};
+use vdm_storage::StorageEngine;
+
+const THREADS: usize = 4;
+/// Small morsels so even the test-scale tables split into many of them.
+const MORSEL_ROWS: usize = 384;
+
+fn config() -> ParallelConfig {
+    ParallelConfig { threads: THREADS, morsel_rows: MORSEL_ROWS }
+}
+
+/// Sort-normalizes rows for order-insensitive comparison.
+fn normalized(batch: &vdm_storage::Batch) -> Vec<Vec<vdm_types::Value>> {
+    let mut rows = batch.to_rows();
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+/// Runs `plan` serial and parallel; asserts identical rows (exact order
+/// AND sort-normalized) and consistent merged row-count metrics.
+fn assert_equivalent(name: &str, plan: &PlanRef, engine: &StorageEngine) {
+    let snap = engine.snapshot();
+    let (serial, sm) = execute_at(plan, engine, snap).unwrap();
+    let (par, pm) = execute_parallel_at(plan, engine, snap, config()).unwrap();
+    assert_eq!(par.to_rows(), serial.to_rows(), "{name}: rows diverge");
+    assert_eq!(normalized(&par), normalized(&serial), "{name}: multisets diverge");
+    assert_eq!(pm.operators, sm.operators, "{name}: operators");
+    assert_eq!(pm.rows_scanned, sm.rows_scanned, "{name}: rows_scanned");
+    assert_eq!(pm.filter_input_rows, sm.filter_input_rows, "{name}: filter_input_rows");
+    assert_eq!(pm.join_build_rows, sm.join_build_rows, "{name}: join_build_rows");
+    assert_eq!(pm.join_output_rows, sm.join_output_rows, "{name}: join_output_rows");
+    assert_eq!(pm.agg_input_rows, sm.agg_input_rows, "{name}: agg_input_rows");
+}
+
+/// LIMIT shapes: rows equal, but `rows_scanned` only bounded (the wave
+/// dispatch may overshoot the budget by up to one wave).
+fn assert_equivalent_rows_only(name: &str, plan: &PlanRef, engine: &StorageEngine) {
+    let snap = engine.snapshot();
+    let (serial, _) = execute_at(plan, engine, snap).unwrap();
+    let (par, _) = execute_parallel_at(plan, engine, snap, config()).unwrap();
+    assert_eq!(par.to_rows(), serial.to_rows(), "{name}: rows diverge");
+}
+
+fn tpch_engine() -> (vdm_catalog::Catalog, StorageEngine) {
+    let gen = Tpch { sf: 0.2, seed: 42, with_foreign_keys: false };
+    let mut catalog = vdm_catalog::Catalog::new();
+    let engine = StorageEngine::new();
+    gen.build(&mut catalog, &engine).unwrap();
+    engine.merge_delta("orders").unwrap(); // main+delta mix across tables
+    (catalog, engine)
+}
+
+#[test]
+fn tpch_scan_filter_project_shapes() {
+    let (catalog, engine) = tpch_engine();
+    let orders = catalog.table_or_err("orders").unwrap();
+    let lineitem = catalog.table_or_err("lineitem").unwrap();
+
+    assert_equivalent("scan", &LogicalPlan::scan(Arc::clone(&orders)), &engine);
+
+    let status = LogicalPlan::filter(
+        LogicalPlan::scan(Arc::clone(&orders)),
+        Expr::col(2).eq(Expr::str("O")),
+    )
+    .unwrap();
+    assert_equivalent("filter-eq", &status, &engine);
+
+    // Range predicate on the leading key column → zone-map pruned scan.
+    let pruned = LogicalPlan::filter(
+        LogicalPlan::scan(Arc::clone(&orders)),
+        Expr::col(0).binary(BinOp::Gt, Expr::int(2_000)),
+    )
+    .unwrap();
+    assert_equivalent("filter-pruned", &pruned, &engine);
+
+    let projected = LogicalPlan::project(
+        LogicalPlan::filter(
+            LogicalPlan::scan(lineitem),
+            Expr::col(4).binary(BinOp::GtEq, Expr::int(25)),
+        )
+        .unwrap(),
+        vec![
+            (Expr::col(0), "okey".into()),
+            (
+                Expr::col(5).binary(BinOp::Mul, Expr::col(6)),
+                "discounted".into(),
+            ),
+        ],
+    )
+    .unwrap();
+    assert_equivalent("filter-project-stack", &projected, &engine);
+}
+
+#[test]
+fn tpch_join_shapes() {
+    let (catalog, engine) = tpch_engine();
+    let orders = catalog.table_or_err("orders").unwrap();
+    let customer = catalog.table_or_err("customer").unwrap();
+
+    let inner = LogicalPlan::inner_join(
+        LogicalPlan::scan(Arc::clone(&orders)),
+        LogicalPlan::scan(Arc::clone(&customer)),
+        vec![(1, 0)],
+    )
+    .unwrap();
+    assert_equivalent("join-inner", &inner, &engine);
+
+    // Build side larger than probe side exercises the adaptive build-left
+    // mirror (inner join, no residual, left smaller).
+    let inner_small_left = LogicalPlan::inner_join(
+        LogicalPlan::scan(Arc::clone(&customer)),
+        LogicalPlan::scan(Arc::clone(&orders)),
+        vec![(0, 1)],
+    )
+    .unwrap();
+    assert_equivalent("join-inner-build-left", &inner_small_left, &engine);
+
+    let outer = LogicalPlan::left_join(
+        LogicalPlan::scan(Arc::clone(&customer)),
+        LogicalPlan::scan(Arc::clone(&orders)),
+        vec![(0, 1)],
+    )
+    .unwrap();
+    assert_equivalent("join-left-outer", &outer, &engine);
+
+    // Residual condition over the combined row: matched pairs that fail it
+    // fall back to NULL padding, which the parallel probe must reproduce.
+    let customer_width = customer.schema.len();
+    let residual = LogicalPlan::join(
+        LogicalPlan::scan(customer),
+        LogicalPlan::scan(orders),
+        JoinKind::LeftOuter,
+        vec![(0, 1)],
+        Some(Expr::col(customer_width + 2).eq(Expr::str("F"))),
+        None,
+        false,
+    )
+    .unwrap();
+    assert_equivalent("join-left-outer-residual", &residual, &engine);
+}
+
+#[test]
+fn tpch_aggregate_distinct_sort_shapes() {
+    let (catalog, engine) = tpch_engine();
+    let orders = catalog.table_or_err("orders").unwrap();
+
+    let grouped = LogicalPlan::aggregate(
+        LogicalPlan::scan(Arc::clone(&orders)),
+        vec![(Expr::col(1), "cust".into())],
+        vec![
+            (AggExpr::count_star(), "n".into()),
+            (AggExpr::new(AggFunc::Sum, Expr::col(3)), "total".into()),
+            (AggExpr::new(AggFunc::Max, Expr::col(4)), "latest".into()),
+        ],
+    )
+    .unwrap();
+    assert_equivalent("aggregate-grouped", &grouped, &engine);
+
+    let global = LogicalPlan::aggregate(
+        LogicalPlan::scan(Arc::clone(&orders)),
+        vec![],
+        vec![
+            (AggExpr::new(AggFunc::Avg, Expr::col(3)), "avg_total".into()),
+            (AggExpr::new(AggFunc::Count, Expr::col(2)), "n".into()),
+        ],
+    )
+    .unwrap();
+    assert_equivalent("aggregate-global", &global, &engine);
+
+    let distinct = LogicalPlan::distinct(
+        LogicalPlan::project(
+            LogicalPlan::scan(Arc::clone(&orders)),
+            vec![(Expr::col(2), "status".into())],
+        )
+        .unwrap(),
+    );
+    assert_equivalent("distinct", &distinct, &engine);
+
+    let sorted = LogicalPlan::sort(
+        LogicalPlan::scan(orders),
+        vec![SortKey::desc(3), SortKey::asc(0)],
+    )
+    .unwrap();
+    assert_equivalent("sort", &sorted, &engine);
+}
+
+#[test]
+fn tpch_union_and_limit_shapes() {
+    let (catalog, engine) = tpch_engine();
+    let orders = catalog.table_or_err("orders").unwrap();
+    let lineitem = catalog.table_or_err("lineitem").unwrap();
+
+    let union = LogicalPlan::union_all(vec![
+        LogicalPlan::scan(Arc::clone(&orders)),
+        LogicalPlan::filter(
+            LogicalPlan::scan(Arc::clone(&orders)),
+            Expr::col(2).eq(Expr::str("P")),
+        )
+        .unwrap(),
+    ])
+    .unwrap();
+    assert_equivalent("union-all", &union, &engine);
+
+    // LIMIT drives the budgeted path: rows must match exactly; scan effort
+    // is checked separately in `budgeted_limit_scan_is_bounded`.
+    let limited = LogicalPlan::limit(LogicalPlan::scan(Arc::clone(&lineitem)), 10, Some(50));
+    assert_equivalent_rows_only("limit-offset", &limited, &engine);
+
+    let limited_union = LogicalPlan::limit(
+        LogicalPlan::union_all(vec![
+            LogicalPlan::scan(Arc::clone(&lineitem)),
+            LogicalPlan::scan(lineitem),
+        ])
+        .unwrap(),
+        0,
+        Some(200),
+    );
+    assert_equivalent_rows_only("limit-over-union", &limited_union, &engine);
+
+    // LIMIT over a join cannot push the budget below the join; both
+    // executors run it fully, so full metric parity applies.
+    let limited_join = LogicalPlan::limit(
+        LogicalPlan::inner_join(
+            LogicalPlan::scan(Arc::clone(&orders)),
+            LogicalPlan::scan(catalog.table_or_err("customer").unwrap()),
+            vec![(1, 0)],
+        )
+        .unwrap(),
+        0,
+        Some(25),
+    );
+    assert_equivalent("limit-over-join", &limited_join, &engine);
+}
+
+#[test]
+fn budgeted_limit_scan_is_bounded() {
+    let (catalog, engine) = tpch_engine();
+    let lineitem = catalog.table_or_err("lineitem").unwrap();
+    let snap = engine.snapshot();
+    let total = engine.row_count("lineitem", snap).unwrap();
+    let budget = 60usize;
+    let plan = LogicalPlan::limit(LogicalPlan::scan(lineitem), 10, Some(50));
+
+    let (_, sm) = execute_at(&plan, &engine, snap).unwrap();
+    assert_eq!(sm.rows_scanned, budget, "serial budgeted scan reads exactly the budget");
+
+    let (_, pm) = execute_parallel_at(&plan, &engine, snap, config()).unwrap();
+    let bound = budget + THREADS * MORSEL_ROWS;
+    assert!(
+        pm.rows_scanned <= bound,
+        "parallel budgeted scan read {} rows, bound {bound}",
+        pm.rows_scanned
+    );
+    assert!(
+        pm.rows_scanned < total,
+        "parallel budgeted scan must not read the whole table ({total} rows)"
+    );
+}
+
+#[test]
+fn erp_browser_plan_equivalent_serial_and_parallel() {
+    let gen = Erp { journal_rows: 6_000, seed: 4711 };
+    let mut catalog = vdm_catalog::Catalog::new();
+    let engine = StorageEngine::new();
+    let schema = gen.build(&mut catalog, &engine).unwrap();
+    let browser = journal_entry_item_browser(&schema).unwrap();
+
+    assert_equivalent("erp-browser-bound", &browser.protected, &engine);
+    let optimized = Optimizer::new(Profile::hana()).optimize(&browser.protected).unwrap();
+    assert_equivalent("erp-browser-optimized", &optimized, &engine);
+
+    // Paging over the browser (the Fig. 3 interaction) under both paths.
+    let paged = LogicalPlan::limit(optimized, 0, Some(100));
+    assert_equivalent_rows_only("erp-browser-paged", &paged, &engine);
+}
+
+#[test]
+fn every_paper_profile_agrees_across_executors() {
+    // The optimizer may rewrite plans into any shape; whatever it emits,
+    // serial and parallel execution must agree.
+    let (catalog, engine) = tpch_engine();
+    let query = vdm_bench::queries::paging(&catalog).unwrap();
+    for profile in Profile::paper_systems() {
+        let optimized = Optimizer::new(profile.clone()).optimize(&query).unwrap();
+        assert_equivalent_rows_only(
+            &format!("paging under {}", profile.name()),
+            &optimized,
+            &engine,
+        );
+    }
+}
