@@ -84,8 +84,16 @@ fn case_join() {
     let plain = hana.optimize(&page(&deep.extended_plain)).unwrap();
     let with_case = hana.optimize(&page(&deep.extended_case)).unwrap();
     report("fig14/deep_view_paging", "original", harness::time_plan(&engine, &orig, ITERS));
-    report("fig14/deep_view_paging", "extended_no_intent", harness::time_plan(&engine, &plain, ITERS));
-    report("fig14/deep_view_paging", "extended_case_join", harness::time_plan(&engine, &with_case, ITERS));
+    report(
+        "fig14/deep_view_paging",
+        "extended_no_intent",
+        harness::time_plan(&engine, &plain, ITERS),
+    );
+    report(
+        "fig14/deep_view_paging",
+        "extended_case_join",
+        harness::time_plan(&engine, &with_case, ITERS),
+    );
 }
 
 /// §7.1: aggregation pushdown across decimal rounding.
@@ -96,8 +104,16 @@ fn precision() {
     let hana = Optimizer::hana();
     let strict_opt = hana.optimize(&strict).unwrap();
     let loose_opt = hana.optimize(&loose).unwrap();
-    report("sec7/precision_loss", "exact_rounding", harness::time_plan(&engine, &strict_opt, ITERS));
-    report("sec7/precision_loss", "allow_precision_loss", harness::time_plan(&engine, &loose_opt, ITERS));
+    report(
+        "sec7/precision_loss",
+        "exact_rounding",
+        harness::time_plan(&engine, &strict_opt, ITERS),
+    );
+    report(
+        "sec7/precision_loss",
+        "allow_precision_loss",
+        harness::time_plan(&engine, &loose_opt, ITERS),
+    );
 }
 
 /// Thread sweep: the morsel-driven parallel path over the Fig. 3 browser,

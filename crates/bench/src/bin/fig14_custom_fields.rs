@@ -48,10 +48,7 @@ fn main() {
             slowdown_a_shallow.push(t_plain / t_orig.max(1e-9));
         }
         slowdown_b.push(t_case / t_orig.max(1e-9));
-        println!(
-            "{},{},{:.0},{:.0},{:.0},{}",
-            case.name, case.deep, t_orig, t_plain, t_case, hit
-        );
+        println!("{},{},{:.0},{:.0},{:.0},{}", case.name, case.deep, t_orig, t_plain, t_case, hit);
     }
     let median = |v: &mut Vec<f64>| {
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));

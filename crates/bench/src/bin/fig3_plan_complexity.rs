@@ -49,7 +49,11 @@ fn main() {
         && fig3.distincts == 1;
     println!(
         "Paper agreement: {}\n",
-        if ok3 { "EXACT (47 instances / 62 unshared / 49 joins / 5-way union / 1 group-by / 1 distinct)" } else { "DIVERGES — investigate!" }
+        if ok3 {
+            "EXACT (47 instances / 62 unshared / 49 joins / 5-way union / 1 group-by / 1 distinct)"
+        } else {
+            "DIVERGES — investigate!"
+        }
     );
 
     // Fig. 4: count(*) collapses everything but the DAC-guarded joins.
@@ -95,6 +99,9 @@ fn main() {
     let t_star_opt = harness::time_plan(&engine, &star_opt, 3);
     println!("\nselect * ... limit 100:");
     println!("  unoptimized: {}", harness::fmt_duration(t_star_raw));
-    println!("  optimized:   {} ({} joins remain — all fields used)",
-        harness::fmt_duration(t_star_opt), plan_stats(&star_opt).joins);
+    println!(
+        "  optimized:   {} ({} joins remain — all fields used)",
+        harness::fmt_duration(t_star_opt),
+        plan_stats(&star_opt).joins
+    );
 }

@@ -41,15 +41,18 @@ struct Workload {
     results: Vec<SweepResult>,
 }
 
-fn sweep(name: &'static str, rows: usize, engine: &StorageEngine, plan: &PlanRef, iters: usize) -> Workload {
+fn sweep(
+    name: &'static str,
+    rows: usize,
+    engine: &StorageEngine,
+    plan: &PlanRef,
+    iters: usize,
+) -> Workload {
     let mut results = Vec::new();
     for &threads in &THREAD_STEPS {
         let config = ParallelConfig { threads, ..ParallelConfig::default() };
         let median = harness::time_plan_parallel(engine, plan, config, iters);
-        println!(
-            "  {name:>14}  threads={threads}  median={}",
-            harness::fmt_duration(median)
-        );
+        println!("  {name:>14}  threads={threads}  median={}", harness::fmt_duration(median));
         results.push(SweepResult { threads, median });
     }
     // Per-operator-class CPU time at the sweep's endpoints, from the
@@ -123,12 +126,9 @@ fn agg_over_join(engine: &StorageEngine, fact_rows: usize) -> (PlanRef, usize) {
     engine.merge_delta("fact_sales").expect("merge fact");
     engine.merge_delta("dim_product").expect("merge dim");
 
-    let join = LogicalPlan::inner_join(
-        LogicalPlan::scan(fact),
-        LogicalPlan::scan(dim),
-        vec![(1, 0)],
-    )
-    .expect("join plan");
+    let join =
+        LogicalPlan::inner_join(LogicalPlan::scan(fact), LogicalPlan::scan(dim), vec![(1, 0)])
+            .expect("join plan");
     let plan = LogicalPlan::aggregate(
         join,
         vec![(Expr::col(4), "category".into())],
@@ -141,14 +141,80 @@ fn agg_over_join(engine: &StorageEngine, fact_rows: usize) -> (PlanRef, usize) {
     (plan, fact_rows + dim_rows as usize)
 }
 
-fn to_json(workloads: &[Workload]) -> String {
+/// Observability cost + content report for the browser workload: profiled
+/// vs unprofiled medians at `threads`, the optimizer's rewrite hit-counts,
+/// and the per-operator runtime profile (rendered into the JSON output).
+fn obs_json(
+    engine: &StorageEngine,
+    bound: &PlanRef,
+    optimized: &PlanRef,
+    threads: usize,
+) -> String {
+    let config = ParallelConfig { threads, ..ParallelConfig::default() };
+    // Interleave the paired samples (unprofiled, then profiled, per
+    // iteration) so slow machine-load drift hits both paths equally and
+    // cancels out of the overhead ratio; one warm-up run of each first.
+    let iters = 9;
+    harness::time_plan_parallel(engine, optimized, config, 1);
+    harness::time_plan_profiled(engine, optimized, config, 1);
+    let mut unprofiled_samples = Vec::with_capacity(iters);
+    let mut profiled_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        unprofiled_samples.push(harness::time_plan_parallel(engine, optimized, config, 1));
+        profiled_samples.push(harness::time_plan_profiled(engine, optimized, config, 1));
+    }
+    unprofiled_samples.sort();
+    profiled_samples.sort();
+    let unprofiled = unprofiled_samples[iters / 2];
+    let profiled = profiled_samples[iters / 2];
+    let overhead_pct =
+        (profiled.as_secs_f64() / unprofiled.as_secs_f64().max(f64::EPSILON) - 1.0) * 100.0;
+    let (_, trace) =
+        Optimizer::new(Profile::hana()).optimize_traced(bound).expect("traced optimize");
+    let (_, _, profile) =
+        vdm_exec::execute_profiled_at(optimized, engine, engine.snapshot(), config)
+            .expect("profiled run");
+    println!(
+        "  {:>14}  threads={threads} profiled={} unprofiled={} overhead={overhead_pct:.1}%",
+        "browser(obs)",
+        harness::fmt_duration(profiled),
+        harness::fmt_duration(unprofiled),
+    );
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "  \"obs\": {{\"workload\": \"browser\", \"threads\": {threads}, \"unprofiled_millis\": {:.3}, \"profiled_millis\": {:.3}, \"overhead_pct\": {overhead_pct:.2},\n    \"rewrite_hits\": {{",
+        unprofiled.as_secs_f64() * 1e3,
+        profiled.as_secs_f64() * 1e3,
+    );
+    for (i, (rule, n)) in trace.hit_counts().iter().enumerate() {
+        let _ = write!(out, "{}\"{rule}\": {n}", if i == 0 { "" } else { ", " });
+    }
+    out.push_str("},\n    \"operators\": [");
+    for (i, (id, s)) in profile.nodes.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"node\": {id}, \"rows_out\": {}, \"cpu_millis\": {:.3}, \"invocations\": {}, \"workers\": {}}}",
+            if i == 0 { "" } else { ", " },
+            s.rows_out,
+            s.nanos as f64 / 1e6,
+            s.invocations,
+            s.workers,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+fn to_json(workloads: &[Workload], obs: &str) -> String {
     let mut out = String::from("{\n  \"bench\": \"par_sweep\",\n  \"workloads\": [\n");
     for (wi, w) in workloads.iter().enumerate() {
         let serial = w.results.first().map(|r| r.median.as_secs_f64()).unwrap_or(0.0);
         let _ = write!(out, "    {{\"name\": \"{}\", \"rows\": {}, \"results\": [", w.name, w.rows);
         for (i, r) in w.results.iter().enumerate() {
             let millis = r.median.as_secs_f64() * 1e3;
-            let speedup = if r.median.as_secs_f64() > 0.0 { serial / r.median.as_secs_f64() } else { 0.0 };
+            let speedup =
+                if r.median.as_secs_f64() > 0.0 { serial / r.median.as_secs_f64() } else { 0.0 };
             let _ = write!(
                 out,
                 "{}{{\"threads\": {}, \"millis\": {millis:.3}, \"speedup\": {speedup:.2}}}",
@@ -158,7 +224,9 @@ fn to_json(workloads: &[Workload]) -> String {
         }
         let _ = writeln!(out, "]}}{}", if wi + 1 == workloads.len() { "" } else { "," });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(obs);
+    out.push_str("\n}\n");
     out
 }
 
@@ -183,6 +251,7 @@ fn main() {
     let optimized =
         Optimizer::new(Profile::hana()).optimize(&browser.protected).expect("optimize browser");
     let w1 = sweep("browser", journal_rows, &erp_engine, &optimized, 5);
+    let obs = obs_json(&erp_engine, &browser.protected, &optimized, 4);
 
     // Workload 2: ≥1M-row aggregate over join.
     println!("\n[agg_over_join] fact_rows={fact_rows}");
@@ -191,7 +260,7 @@ fn main() {
     let w2 = sweep("agg_over_join", rows, &engine, &plan, 3);
 
     let workloads = [w1, w2];
-    let json = to_json(&workloads);
+    let json = to_json(&workloads, &obs);
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("\nwrote BENCH_parallel.json:\n{json}");
 

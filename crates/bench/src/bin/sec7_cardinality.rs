@@ -27,8 +27,7 @@ fn main() {
 
     println!("== §7.3: join cardinality specification ==\n");
     let plain = "select id from orders left join currency on curr = code";
-    let declared =
-        "select id from orders left outer many to one join currency on curr = code";
+    let declared = "select id from orders left outer many to one join currency on curr = code";
     let p1 = db.optimized_plan(plain).expect("plain plan");
     let p2 = db.optimized_plan(declared).expect("declared plan");
     println!("no declaration, no unique constraint:  {} join(s) remain", plan_stats(&p1).joins);

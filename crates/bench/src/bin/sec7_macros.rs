@@ -58,10 +58,9 @@ fn main() {
     let correct = db
         .query("select expression_macro(margin) from vlineitem group by l_suppkey order by 1")
         .expect("per-supplier margins");
-    let overall = db
-        .query("select expression_macro(margin) from vlineitem")
-        .expect("overall margin")
-        .row(0)[0]
+    let overall =
+        db.query("select expression_macro(margin) from vlineitem").expect("overall margin").row(0)
+            [0]
         .as_dec()
         .expect("decimal")
         .to_f64();
@@ -76,8 +75,5 @@ fn main() {
         "difference: {:.4} — the non-additivity the paper's §7.2 warns about",
         (overall - naive_avg).abs()
     );
-    assert!(
-        (overall - naive_avg).abs() > 1e-6,
-        "the weighting difference must be observable"
-    );
+    assert!((overall - naive_avg).abs() > 1e-6, "the weighting difference must be observable");
 }

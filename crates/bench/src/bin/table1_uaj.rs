@@ -16,12 +16,8 @@ fn main() {
     let mut cells = Vec::new();
     for (name, plan) in &queries_list {
         rows.push(name.to_string());
-        cells.push(
-            systems
-                .iter()
-                .map(|p| harness::join_free_under(p, plan))
-                .collect::<Vec<bool>>(),
-        );
+        cells
+            .push(systems.iter().map(|p| harness::join_free_under(p, plan)).collect::<Vec<bool>>());
     }
     println!(
         "{}",
@@ -43,10 +39,7 @@ fn main() {
         [true, false, false, false, true],
         [true, false, false, false, false],
     ];
-    let matches = cells
-        .iter()
-        .zip(paper)
-        .all(|(got, want)| got.as_slice() == want.as_slice());
+    let matches = cells.iter().zip(paper).all(|(got, want)| got.as_slice() == want.as_slice());
     println!(
         "Paper agreement: {}",
         if matches { "EXACT (all 35 cells)" } else { "DIVERGES — investigate!" }

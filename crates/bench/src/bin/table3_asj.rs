@@ -15,12 +15,8 @@ fn main() {
     let mut cells = Vec::new();
     for (name, plan) in &queries_list {
         rows.push(name.to_string());
-        cells.push(
-            systems
-                .iter()
-                .map(|p| harness::join_free_under(p, plan))
-                .collect::<Vec<bool>>(),
-        );
+        cells
+            .push(systems.iter().map(|p| harness::join_free_under(p, plan)).collect::<Vec<bool>>());
     }
     println!(
         "{}",

@@ -47,6 +47,28 @@ pub fn time_plan_parallel(
     samples[samples.len() / 2]
 }
 
+/// Median wall time of `iters` profiled executions (EXPLAIN ANALYZE path):
+/// same engine as [`time_plan_parallel`] plus per-operator stat recording.
+/// The spread against the unprofiled median is the observability overhead.
+pub fn time_plan_profiled(
+    engine: &StorageEngine,
+    plan: &PlanRef,
+    config: vdm_exec::ParallelConfig,
+    iters: usize,
+) -> Duration {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let (batch, _, profile) =
+            vdm_exec::execute_profiled_at(plan, engine, engine.snapshot(), config)
+                .expect("plan executes");
+        std::hint::black_box((batch.num_rows(), profile.nodes.len()));
+        samples.push(start.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
 /// Optimizes under `profile` and reports whether the plan became join-free
 /// (the success criterion of Tables 1, 3, 4: "optimized into a single
 /// projection").
@@ -57,7 +79,12 @@ pub fn join_free_under(profile: &Profile, plan: &PlanRef) -> bool {
 }
 
 /// Renders a paper-style Y/− status matrix.
-pub fn render_matrix(title: &str, row_names: &[String], systems: &[Profile], cells: &[Vec<bool>]) -> String {
+pub fn render_matrix(
+    title: &str,
+    row_names: &[String],
+    systems: &[Profile],
+    cells: &[Vec<bool>],
+) -> String {
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     let name_width = row_names.iter().map(|r| r.len()).max().unwrap_or(8).max(8);

@@ -131,10 +131,7 @@ pub fn asj_basic(catalog: &Catalog) -> Result<PlanRef> {
         LogicalPlan::scan(t(catalog, "customer")),
         vec![(0, 0)],
     )?;
-    LogicalPlan::project(
-        join,
-        vec![(Expr::col(0), "k".into()), (Expr::col(6), "name".into())],
-    )
+    LogicalPlan::project(join, vec![(Expr::col(0), "k".into()), (Expr::col(6), "name".into())])
 }
 
 /// Fig. 10(b): the anchor is a subquery.
@@ -148,10 +145,7 @@ pub fn asj_subquery(catalog: &Catalog) -> Result<PlanRef> {
     )?;
     let join =
         LogicalPlan::left_join(anchor, LogicalPlan::scan(t(catalog, "customer")), vec![(0, 0)])?;
-    LogicalPlan::project(
-        join,
-        vec![(Expr::col(0), "k".into()), (Expr::col(3), "name".into())],
-    )
+    LogicalPlan::project(join, vec![(Expr::col(0), "k".into()), (Expr::col(3), "name".into())])
 }
 
 /// Fig. 10(c): filtered augmenter whose predicate subsumes the anchor's.
@@ -160,10 +154,7 @@ pub fn asj_filtered(catalog: &Catalog) -> Result<PlanRef> {
     let anchor = LogicalPlan::filter(LogicalPlan::scan(t(catalog, "customer")), pred(()))?;
     let aug = LogicalPlan::filter(LogicalPlan::scan(t(catalog, "customer")), pred(()))?;
     let join = LogicalPlan::left_join(anchor, aug, vec![(0, 0)])?;
-    LogicalPlan::project(
-        join,
-        vec![(Expr::col(0), "k".into()), (Expr::col(6), "name".into())],
-    )
+    LogicalPlan::project(join, vec![(Expr::col(0), "k".into()), (Expr::col(6), "name".into())])
 }
 
 /// Fig. 13(a): anchor-side UNION ALL with the augmenter table in both
@@ -180,10 +171,7 @@ pub fn asj_anchor_union(catalog: &Catalog) -> Result<PlanRef> {
     let anchor = LogicalPlan::union_all(vec![mk(0, 8)?, mk(8, 100)?])?;
     let join =
         LogicalPlan::left_join(anchor, LogicalPlan::scan(t(catalog, "customer")), vec![(0, 0)])?;
-    LogicalPlan::project(
-        join,
-        vec![(Expr::col(0), "k".into()), (Expr::col(6), "name".into())],
-    )
+    LogicalPlan::project(join, vec![(Expr::col(0), "k".into()), (Expr::col(6), "name".into())])
 }
 
 /// The three Fig. 10 queries in paper order.

@@ -14,9 +14,9 @@
 //!   the plan runs over just the inserted rows and the results append to
 //!   the materialization. Anything else falls back to full recomputation.
 
-use std::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::Mutex;
 use vdm_plan::{LogicalPlan, PlanRef};
 use vdm_storage::{Batch, Snapshot, StorageEngine};
 use vdm_types::{Result, Value, VdmError};
@@ -55,7 +55,12 @@ pub struct CachedView {
 }
 
 impl CachedView {
-    fn new(name: &str, plan: PlanRef, mode: CacheMode, engine: &StorageEngine) -> Result<CachedView> {
+    fn new(
+        name: &str,
+        plan: PlanRef,
+        mode: CacheMode,
+        engine: &StorageEngine,
+    ) -> Result<CachedView> {
         let snapshot = engine.snapshot();
         let batch = vdm_exec::execute_at(&plan, engine, snapshot)?.0;
         let mut dependencies = Vec::new();

@@ -78,8 +78,7 @@ impl Catalog {
 
     /// Looks up a table, erroring with the unknown name.
     pub fn table_or_err(&self, name: &str) -> Result<Arc<TableDef>> {
-        self.table(name)
-            .ok_or_else(|| VdmError::Catalog(format!("unknown table {name:?}")))
+        self.table(name).ok_or_else(|| VdmError::Catalog(format!("unknown table {name:?}")))
     }
 
     /// Looks up a SQL view by name.

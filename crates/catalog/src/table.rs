@@ -47,9 +47,7 @@ impl TableDef {
     /// True if `cols` is a superset of some unique set, i.e. at most one row
     /// can share a value combination over `cols`.
     pub fn cols_unique(&self, cols: &[usize]) -> bool {
-        self.unique_sets()
-            .iter()
-            .any(|u| u.iter().all(|c| cols.contains(c)))
+        self.unique_sets().iter().any(|u| u.iter().all(|c| cols.contains(c)))
     }
 }
 
@@ -153,11 +151,7 @@ impl TableBuilder {
                 .collect()
         };
         let primary_key = resolve(&self.primary_key)?;
-        let uniques = self
-            .uniques
-            .iter()
-            .map(|u| resolve(u))
-            .collect::<Result<Vec<_>>>()?;
+        let uniques = self.uniques.iter().map(|u| resolve(u)).collect::<Result<Vec<_>>>()?;
         let mut foreign_keys = Vec::new();
         for (cols, ref_table, ref_cols) in &self.foreign_keys {
             if cols.len() != ref_cols.len() {
@@ -172,13 +166,7 @@ impl TableBuilder {
                 ref_columns: ref_cols.clone(),
             });
         }
-        Ok(TableDef {
-            name: self.name,
-            schema,
-            primary_key,
-            uniques,
-            foreign_keys,
-        })
+        Ok(TableDef { name: self.name, schema, primary_key, uniques, foreign_keys })
     }
 }
 

@@ -15,11 +15,13 @@
 //! ```
 
 use std::sync::Arc;
+use std::time::Instant;
 use vdm_cache::{CacheMode, CachedView, ViewCache};
 use vdm_catalog::Catalog;
-use vdm_exec::Metrics;
 pub use vdm_exec::ParallelConfig;
-use vdm_optimizer::{Optimizer, Profile};
+use vdm_exec::{Metrics, NodeIndex, QueryProfile};
+use vdm_obs::MetricsRegistry;
+use vdm_optimizer::{Optimizer, Profile, Trace};
 use vdm_plan::{plan_stats, PlanRef, ViewRegistry};
 use vdm_sql::{Binder, MacroRegistry, Statement};
 use vdm_storage::{Batch, StorageEngine};
@@ -164,9 +166,7 @@ impl Database {
     /// Executes a single statement.
     pub fn execute(&mut self, sql: &str) -> Result<StatementResult> {
         let mut results = self.execute_script(sql)?;
-        results
-            .pop()
-            .ok_or_else(|| VdmError::Exec("no statement executed".into()))
+        results.pop().ok_or_else(|| VdmError::Exec("no statement executed".into()))
     }
 
     /// Executes a `;`-separated script, returning one result per statement.
@@ -202,7 +202,12 @@ impl Database {
     /// Executes a prebuilt logical plan (optimizing it first).
     pub fn execute_plan(&self, plan: &PlanRef) -> Result<(Batch, Metrics)> {
         let optimized = self.optimizer.optimize(plan)?;
-        vdm_exec::execute_parallel_at(&optimized, &self.engine, self.engine.snapshot(), self.parallel)
+        vdm_exec::execute_parallel_at(
+            &optimized,
+            &self.engine,
+            self.engine.snapshot(),
+            self.parallel,
+        )
     }
 
     /// Executes a prebuilt plan WITHOUT optimization (baseline measurement).
@@ -229,14 +234,61 @@ impl Database {
         ))
     }
 
+    /// EXPLAIN ANALYZE for a SELECT: optimizes, executes with per-operator
+    /// profiling, and renders the optimized plan annotated with runtime
+    /// stats, the structured rewrite trace, and an execution summary.
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        let plan = self.plan(sql)?;
+        self.explain_analyze_plan(&plan)
+    }
+
+    /// [`Database::explain_analyze`] over a prebuilt (unoptimized) plan.
+    pub fn explain_analyze_plan(&self, plan: &PlanRef) -> Result<String> {
+        let (optimized, trace) = self.optimizer.optimize_traced(plan)?;
+        let index = NodeIndex::new(&optimized);
+        let start = Instant::now();
+        let (batch, metrics, profile) = vdm_exec::execute_profiled_at(
+            &optimized,
+            &self.engine,
+            self.engine.snapshot(),
+            self.parallel,
+        )?;
+        let elapsed = start.elapsed();
+        record_query(&metrics, &trace, elapsed);
+        let annotated = render_analyzed(&optimized, &index, &profile);
+        Ok(format!(
+            "== EXPLAIN ANALYZE ({} thread(s)) ==\n{}== rewrite trace ==\n{}== execution summary ==\n{} row(s) returned, elapsed time={}\nrows scanned: {}, join probe rows: {}, rows joined: {}, operators: {}\n",
+            self.parallel.threads.max(1),
+            annotated,
+            trace.render_events(),
+            batch.num_rows(),
+            fmt_nanos(elapsed.as_nanos() as u64),
+            metrics.rows_scanned,
+            metrics.join_probe_rows,
+            metrics.join_output_rows,
+            metrics.operators,
+        ))
+    }
+
+    /// The process-wide metrics registry (JSON / Prometheus exporters).
+    pub fn metrics(&self) -> &'static MetricsRegistry {
+        MetricsRegistry::global()
+    }
+
     fn run_statement(&mut self, stmt: &Statement) -> Result<StatementResult> {
         match stmt {
             Statement::Select(sel) => {
                 let binder = Binder::new(&self.catalog, &self.views, &self.macros);
                 let plan = binder.bind_select(sel)?;
-                let optimized = self.optimizer.optimize(&plan)?;
-                let batch =
-                    vdm_exec::execute_parallel(&optimized, &self.engine, self.parallel)?;
+                let (optimized, trace) = self.optimizer.optimize_traced(&plan)?;
+                let start = Instant::now();
+                let (batch, metrics) = vdm_exec::execute_parallel_at(
+                    &optimized,
+                    &self.engine,
+                    self.engine.snapshot(),
+                    self.parallel,
+                )?;
+                record_query(&metrics, &trace, start.elapsed());
                 Ok(StatementResult::Rows(batch))
             }
             Statement::CreateTable(ct) => {
@@ -295,7 +347,71 @@ impl Database {
                 }
                 _ => Err(VdmError::Unsupported("EXPLAIN supports SELECT only".into())),
             },
+            Statement::ExplainAnalyze(inner) => match inner.as_ref() {
+                Statement::Select(sel) => {
+                    let plan = {
+                        let binder = Binder::new(&self.catalog, &self.views, &self.macros);
+                        binder.bind_select(sel)?
+                    };
+                    Ok(StatementResult::Explained(self.explain_analyze_plan(&plan)?))
+                }
+                _ => Err(VdmError::Unsupported("EXPLAIN ANALYZE supports SELECT only".into())),
+            },
         }
+    }
+}
+
+/// Renders `plan` with one `[#id rows=... time=...]` annotation per node,
+/// deriving each operator's input rows from its children's recorded output.
+fn render_analyzed(plan: &PlanRef, index: &NodeIndex, profile: &QueryProfile) -> String {
+    vdm_plan::explain_annotated(plan, &|node| {
+        let id = index.id_of(node)?;
+        Some(match profile.nodes.get(&id) {
+            Some(s) => {
+                let children = node.children();
+                let mut note = format!("[#{id} rows={}", s.rows_out);
+                if !children.is_empty() {
+                    let rows_in: u64 = children
+                        .iter()
+                        .filter_map(|c| index.id_of(c).and_then(|cid| profile.rows_out(cid)))
+                        .sum();
+                    note.push_str(&format!(" in={rows_in}"));
+                }
+                note.push_str(&format!(" time={} calls={}", fmt_nanos(s.nanos), s.invocations));
+                if s.workers > 1 {
+                    note.push_str(&format!(" workers={}", s.workers));
+                }
+                note.push(']');
+                note
+            }
+            // LIMIT budgets can satisfy a query before some subtrees run.
+            None => format!("[#{id} not executed]"),
+        })
+    })
+}
+
+/// Feeds one query's counters into the process-wide metrics registry.
+fn record_query(metrics: &Metrics, trace: &Trace, elapsed: std::time::Duration) {
+    let reg = MetricsRegistry::global();
+    reg.inc("vdm_queries_total", 1);
+    reg.observe("vdm_query_seconds", elapsed.as_secs_f64());
+    reg.inc("vdm_rows_scanned_total", metrics.rows_scanned as u64);
+    reg.inc("vdm_rows_joined_total", metrics.join_output_rows as u64);
+    for (rule, n) in trace.hit_counts() {
+        reg.inc(&vdm_obs::registry::label("vdm_rewrite_fired_total", "rule", &rule), n);
+    }
+}
+
+/// `1234` → `"1.23us"`: human-readable nanosecond counts.
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2}us", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
     }
 }
 
@@ -351,13 +467,37 @@ mod tests {
             .unwrap();
         assert!(text.contains("bound plan (2 tables, 1 joins)"), "{text}");
         assert!(text.contains("optimized plan (1 tables, 0 joins)"), "{text}");
-        let StatementResult::Explained(e) = db
-            .execute("explain select o_orderkey from orders")
-            .unwrap()
+        let StatementResult::Explained(e) =
+            db.execute("explain select o_orderkey from orders").unwrap()
         else {
             panic!("expected EXPLAIN output")
         };
         assert!(e.contains("Scan orders"));
+    }
+
+    #[test]
+    fn explain_analyze_reports_rows_trace_and_metrics() {
+        let mut db = db();
+        let rule = vdm_obs::registry::label("vdm_rewrite_fired_total", "rule", "uaj-removal");
+        let before = db.metrics().counter(&rule);
+        let text = db
+            .explain_analyze(
+                "select o_orderkey from orders left join customer on o_custkey = c_custkey",
+            )
+            .unwrap();
+        // The UAJ is removed, leaving a profiled scan/project pipeline.
+        assert!(text.contains("rows=3"), "{text}");
+        assert!(text.contains("time="), "{text}");
+        assert!(text.contains("uaj-removal"), "{text}");
+        assert!(db.metrics().counter(&rule) > before, "{text}");
+        // The SQL surface goes through the same path.
+        let StatementResult::Explained(e) =
+            db.execute("explain analyze select o_orderkey from orders").unwrap()
+        else {
+            panic!("expected EXPLAIN ANALYZE output")
+        };
+        assert!(e.contains("Scan orders"), "{e}");
+        assert!(e.contains("rewrite trace"), "{e}");
     }
 
     #[test]
@@ -418,14 +558,12 @@ mod tests {
     #[test]
     fn like_predicate_end_to_end() {
         let mut db = db();
-        let rows = db
-            .query("select c_name from customer where c_name like 'al%' order by 1")
-            .unwrap();
+        let rows =
+            db.query("select c_name from customer where c_name like 'al%' order by 1").unwrap();
         assert_eq!(rows.num_rows(), 1);
         assert_eq!(rows.row(0)[0], vdm_types::Value::str("alice"));
-        let rows = db
-            .query("select c_name from customer where c_name not like '%ob' order by 1")
-            .unwrap();
+        let rows =
+            db.query("select c_name from customer where c_name not like '%ob' order by 1").unwrap();
         assert_eq!(rows.num_rows(), 1);
     }
 

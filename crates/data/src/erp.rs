@@ -92,11 +92,8 @@ const SIMPLE_DIMS: &[(&str, &str)] = &[
 ];
 /// Dims re-using another simple dim's scan (extra shared references):
 /// (shared table, acdoca key column).
-const DUP_DIMS: &[(&str, &str)] = &[
-    ("usr02", "usnam2"),
-    ("tcurc", "hwaer"),
-    ("fagl_segm", "psegment"),
-];
+const DUP_DIMS: &[(&str, &str)] =
+    &[("usr02", "usnam2"), ("tcurc", "hwaer"), ("fagl_segm", "psegment")];
 /// Text-joined dims: (base, texts, acdoca key column).
 const TEXT_DIMS: &[(&str, &str, &str)] = &[
     ("ska1", "skat", "racct"),
@@ -111,18 +108,17 @@ const NESTED_DIMS: &[(&str, &str, &str, &str)] = &[
     ("anla", "anlat", "anla_grp", "anln1"),
 ];
 /// Country dims (base ⟕ shared country view): (base, acdoca key column).
-const COUNTRY_DIMS: &[(&str, &str)] = &[
-    ("t001w", "werks"),
-    ("t012", "bankl"),
-    ("twlad", "site"),
-];
+const COUNTRY_DIMS: &[(&str, &str)] = &[("t001w", "werks"), ("t012", "bankl"), ("twlad", "site")];
 /// The five business-partner role tables (Fig. 11c union).
-const PARTNER_ROLES: &[&str] =
-    &["bp_soldto", "bp_shipto", "bp_billto", "bp_payer", "bp_contact"];
+const PARTNER_ROLES: &[&str] = &["bp_soldto", "bp_shipto", "bp_billto", "bp_payer", "bp_contact"];
 
 impl Erp {
     /// Creates every table in catalog + storage.
-    pub fn create_schema(&self, catalog: &mut Catalog, engine: &StorageEngine) -> Result<ErpSchema> {
+    pub fn create_schema(
+        &self,
+        catalog: &mut Catalog,
+        engine: &StorageEngine,
+    ) -> Result<ErpSchema> {
         let mut tables = HashMap::new();
         let mut mk = |catalog: &mut Catalog, def: TableDef| -> Result<()> {
             let name = def.name.clone();
@@ -166,9 +162,7 @@ impl Erp {
         for (_, key) in COUNTRY_DIMS {
             acdoca = acdoca.column(*key, SqlType::Int, false);
         }
-        let acdoca = acdoca
-            .primary_key(&["rldnr", "rbukrs", "gjahr", "belnr", "docln"])
-            .build()?;
+        let acdoca = acdoca.primary_key(&["rldnr", "rbukrs", "gjahr", "belnr", "docln"]).build()?;
         mk(catalog, acdoca)?;
 
         // Core master data.
@@ -319,9 +313,7 @@ impl Erp {
         let dec2 = |u: i64| Value::Dec(Decimal::from_units(u as i128, 2));
 
         let plain_rows = |n: i64, label: &str| -> Vec<Vec<Value>> {
-            (1..=n)
-                .map(|i| vec![Value::Int(i), Value::str(format!("{label}-{i:04}"))])
-                .collect()
+            (1..=n).map(|i| vec![Value::Int(i), Value::str(format!("{label}-{i:04}"))]).collect()
         };
         total += engine.insert(
             "t001",
@@ -346,11 +338,7 @@ impl Erp {
             "t005",
             (1..=N_COUNTRY)
                 .map(|i| {
-                    vec![
-                        Value::Int(i),
-                        Value::str(format!("Country{i:02}")),
-                        Value::Int(i % 7),
-                    ]
+                    vec![Value::Int(i), Value::str(format!("Country{i:02}")), Value::Int(i % 7)]
                 })
                 .collect(),
         )?;
@@ -659,10 +647,7 @@ pub fn journal_entry_item_browser(schema: &ErpSchema) -> Result<Browser> {
         LogicalPlan::scan(schema.table("bseg_open")),
         vec![(Expr::col(0), "belnr".into())],
         vec![
-            (
-                vdm_expr::AggExpr::new(vdm_expr::AggFunc::Sum, Expr::col(2)),
-                "open_amount".into(),
-            ),
+            (vdm_expr::AggExpr::new(vdm_expr::AggFunc::Sum, Expr::col(2)), "open_amount".into()),
             (vdm_expr::AggExpr::count_star(), "open_items".into()),
         ],
     )?;

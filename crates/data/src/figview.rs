@@ -56,11 +56,7 @@ pub struct Fig14 {
 }
 
 /// Generates the population: tables, data, and the three plans per case.
-pub fn generate(
-    cfg: &Fig14Config,
-    catalog: &mut Catalog,
-    engine: &StorageEngine,
-) -> Result<Fig14> {
+pub fn generate(cfg: &Fig14Config, catalog: &mut Catalog, engine: &StorageEngine) -> Result<Fig14> {
     let mut rng = crate::rng(cfg.seed);
     // One shared dimension used by deep views.
     let dim = Arc::new(
@@ -74,9 +70,7 @@ pub fn generate(
     engine.create_table(Arc::clone(&dim))?;
     engine.insert(
         "f14_dim",
-        (1..=50)
-            .map(|i| vec![Value::Int(i), Value::str(format!("dim-{i:03}"))])
-            .collect(),
+        (1..=50).map(|i| vec![Value::Int(i), Value::str(format!("dim-{i:03}"))]).collect(),
     )?;
 
     let mut cases = Vec::with_capacity(cfg.n_views);
@@ -165,9 +159,7 @@ pub fn generate(
         // Some views carry an extra managed projection layer on top.
         let original = if rng.random_range(0..2) == 0 {
             let s = union.schema();
-            let exprs = (0..s.len())
-                .map(|c| (Expr::col(c), s.field(c).name.clone()))
-                .collect();
+            let exprs = (0..s.len()).map(|c| (Expr::col(c), s.field(c).name.clone())).collect();
             LogicalPlan::project(union, exprs)?
         } else {
             union
@@ -179,8 +171,7 @@ pub fn generate(
         };
         let extended_plain =
             extend_draft_with_fields(original.clone(), &pair, "bid", &spec, false)?;
-        let extended_case =
-            extend_draft_with_fields(original.clone(), &pair, "bid", &spec, true)?;
+        let extended_case = extend_draft_with_fields(original.clone(), &pair, "bid", &spec, true)?;
         cases.push(Fig14Case {
             name: format!("view_{i:03}"),
             original,

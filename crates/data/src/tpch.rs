@@ -135,9 +135,11 @@ impl Tpch {
             customer = customer.foreign_key(&["c_nationkey"], "nation", &["n_nationkey"]);
             orders = orders.foreign_key(&["o_custkey"], "customer", &["c_custkey"]);
             supplier = supplier.foreign_key(&["s_nationkey"], "nation", &["n_nationkey"]);
-            partsupp = partsupp
-                .foreign_key(&["ps_partkey"], "part", &["p_partkey"])
-                .foreign_key(&["ps_suppkey"], "supplier", &["s_suppkey"]);
+            partsupp = partsupp.foreign_key(&["ps_partkey"], "part", &["p_partkey"]).foreign_key(
+                &["ps_suppkey"],
+                "supplier",
+                &["s_suppkey"],
+            );
             lineitem = lineitem
                 .foreign_key(&["l_orderkey"], "orders", &["o_orderkey"])
                 .foreign_key(&["l_partkey"], "part", &["p_partkey"])
@@ -156,7 +158,11 @@ impl Tpch {
     }
 
     /// Registers the schema in catalog + storage.
-    pub fn create_schema(&self, catalog: &mut Catalog, engine: &StorageEngine) -> Result<Vec<Arc<TableDef>>> {
+    pub fn create_schema(
+        &self,
+        catalog: &mut Catalog,
+        engine: &StorageEngine,
+    ) -> Result<Vec<Arc<TableDef>>> {
         let mut out = Vec::new();
         for def in self.table_defs() {
             let arc = catalog.create_table(def)?;

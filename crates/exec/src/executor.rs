@@ -2,6 +2,7 @@
 
 use crate::ops;
 use std::sync::Arc;
+use vdm_obs::{NodeIndex, QueryProfile};
 use vdm_plan::{LogicalPlan, PlanRef};
 use vdm_storage::{Batch, Snapshot, StorageEngine};
 use vdm_types::{Result, VdmError};
@@ -26,6 +27,12 @@ pub struct Metrics {
     pub agg_input_rows: usize,
     /// Rows evaluated by filters.
     pub filter_input_rows: usize,
+    /// Rows probed against join hash tables (the non-build side).
+    pub join_probe_rows: usize,
+    /// Rows emitted by LIMIT operators (after skip/fetch).
+    pub limit_rows_emitted: usize,
+    /// Rows concatenated by UNION ALL operators.
+    pub union_rows_concatenated: usize,
     /// Operators executed.
     pub operators: usize,
     /// Time spent materializing scans.
@@ -53,6 +60,9 @@ impl Metrics {
         self.join_output_rows += other.join_output_rows;
         self.agg_input_rows += other.agg_input_rows;
         self.filter_input_rows += other.filter_input_rows;
+        self.join_probe_rows += other.join_probe_rows;
+        self.limit_rows_emitted += other.limit_rows_emitted;
+        self.union_rows_concatenated += other.union_rows_concatenated;
         self.operators += other.operators;
         self.scan_nanos += other.scan_nanos;
         self.filter_nanos += other.filter_nanos;
@@ -69,6 +79,30 @@ pub(crate) fn nanos_since(start: std::time::Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// Per-node profiling state for EXPLAIN ANALYZE: the node-id index of the
+/// plan being executed plus the profile being filled.
+pub struct Profiler {
+    /// Pre-order node ids of the executed plan (see `vdm_plan::number_nodes`).
+    pub index: Arc<NodeIndex>,
+    /// Stats recorded so far.
+    pub profile: QueryProfile,
+}
+
+impl Profiler {
+    /// A profiler recording against `index`.
+    pub fn new(index: Arc<NodeIndex>) -> Profiler {
+        Profiler { index, profile: QueryProfile::default() }
+    }
+
+    /// Records one execution of `plan` (no-op for nodes outside the index,
+    /// e.g. internal wrappers).
+    pub fn record(&mut self, plan: &PlanRef, rows_out: usize, nanos: u64) {
+        if let Some(id) = self.index.id_of(plan) {
+            self.profile.record(id, rows_out as u64, nanos);
+        }
+    }
+}
+
 /// Execution context: storage handle, snapshot, metrics.
 pub struct ExecContext<'a> {
     pub engine: &'a StorageEngine,
@@ -76,17 +110,29 @@ pub struct ExecContext<'a> {
     pub metrics: Metrics,
     /// Guard against runaway plans in tests.
     pub row_limit: usize,
+    /// Per-node profile sink (`None` = profiling off, the default).
+    pub profiler: Option<Profiler>,
+    /// Nanoseconds spent in child operators of the node currently running —
+    /// subtracted from its elapsed time to get self time.
+    child_nanos: u64,
 }
 
 impl<'a> ExecContext<'a> {
     /// Context reading at the engine's current snapshot.
     pub fn new(engine: &'a StorageEngine) -> ExecContext<'a> {
-        ExecContext { engine, snapshot: engine.snapshot(), metrics: Metrics::default(), row_limit: usize::MAX }
+        ExecContext::at(engine, engine.snapshot())
     }
 
     /// Context pinned to a snapshot.
     pub fn at(engine: &'a StorageEngine, snapshot: Snapshot) -> ExecContext<'a> {
-        ExecContext { engine, snapshot, metrics: Metrics::default(), row_limit: usize::MAX }
+        ExecContext {
+            engine,
+            snapshot,
+            metrics: Metrics::default(),
+            row_limit: usize::MAX,
+            profiler: None,
+            child_nanos: 0,
+        }
     }
 }
 
@@ -97,13 +143,60 @@ pub fn execute(plan: &PlanRef, engine: &StorageEngine) -> Result<Batch> {
 }
 
 /// Executes `plan` at a pinned snapshot, returning the batch and metrics.
-pub fn execute_at(plan: &PlanRef, engine: &StorageEngine, snapshot: Snapshot) -> Result<(Batch, Metrics)> {
+pub fn execute_at(
+    plan: &PlanRef,
+    engine: &StorageEngine,
+    snapshot: Snapshot,
+) -> Result<(Batch, Metrics)> {
     let mut ctx = ExecContext::at(engine, snapshot);
     let batch = run(plan, &mut ctx)?;
     Ok((batch, ctx.metrics))
 }
 
+/// Serial execution with a per-node runtime profile keyed by `index`
+/// (EXPLAIN ANALYZE). `index` must number the nodes of this `plan`.
+pub fn execute_profiled_serial(
+    plan: &PlanRef,
+    engine: &StorageEngine,
+    snapshot: Snapshot,
+    index: Arc<NodeIndex>,
+) -> Result<(Batch, Metrics, QueryProfile)> {
+    let mut ctx = ExecContext::at(engine, snapshot);
+    ctx.profiler = Some(Profiler::new(index));
+    let batch = run(plan, &mut ctx)?;
+    let profile = ctx.profiler.take().map(|p| p.profile).unwrap_or_default();
+    Ok((batch, ctx.metrics, profile))
+}
+
+/// Runs `f` (the body of one operator) under the profiling wrapper: the
+/// node's elapsed time minus the time its children accumulated is recorded
+/// as self time, together with its output rows. Zero-cost when profiling
+/// is off.
+pub(crate) fn with_profile(
+    plan: &PlanRef,
+    ctx: &mut ExecContext<'_>,
+    f: impl FnOnce(&mut ExecContext<'_>) -> Result<Batch>,
+) -> Result<Batch> {
+    if ctx.profiler.is_none() {
+        return f(ctx);
+    }
+    let start = std::time::Instant::now();
+    let saved_children = std::mem::take(&mut ctx.child_nanos);
+    let out = f(ctx);
+    let total = nanos_since(start);
+    let self_nanos = total.saturating_sub(ctx.child_nanos);
+    if let (Ok(batch), Some(p)) = (&out, ctx.profiler.as_mut()) {
+        p.record(plan, batch.num_rows(), self_nanos);
+    }
+    ctx.child_nanos = saved_children + total;
+    out
+}
+
 pub(crate) fn run(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+    with_profile(plan, ctx, |c| run_node(plan, c))
+}
+
+fn run_node(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
     use std::time::Instant;
     ctx.metrics.operators += 1;
     let out = match plan.as_ref() {
@@ -131,10 +224,18 @@ pub(crate) fn run(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
                 (LogicalPlan::Scan { table, schema, .. }, Some((col, range))) => {
                     let t = Instant::now();
                     let batch = ctx.engine.scan_pruned(&table.name, ctx.snapshot, col, &range)?;
-                    ctx.metrics.scan_nanos += nanos_since(t);
+                    let scan_nanos = nanos_since(t);
+                    ctx.metrics.scan_nanos += scan_nanos;
                     ctx.metrics.rows_scanned += batch.num_rows();
                     ctx.metrics.operators += 1; // the scan it replaces
-                    Batch::new(Arc::clone(schema), batch.columns)?
+                    let b = Batch::new(Arc::clone(schema), batch.columns)?;
+                    // The scan node never goes through run(); record it here
+                    // and charge its time as child time of the filter.
+                    if let Some(p) = ctx.profiler.as_mut() {
+                        p.record(input, b.num_rows(), scan_nanos);
+                        ctx.child_nanos += scan_nanos;
+                    }
+                    b
                 }
                 _ => run(input, ctx)?,
             };
@@ -148,6 +249,7 @@ pub(crate) fn run(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
             let lb = run(left, ctx)?;
             let rb = run(right, ctx)?;
             ctx.metrics.join_build_rows += rb.num_rows();
+            ctx.metrics.join_probe_rows += lb.num_rows();
             let t = Instant::now();
             let out = ops::hash_join(&lb, &rb, *kind, on, filter.as_ref(), Arc::clone(schema))?;
             ctx.metrics.join_nanos += nanos_since(t);
@@ -162,6 +264,7 @@ pub(crate) fn run(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
             let t = Instant::now();
             let out = Batch::concat(Arc::clone(schema), &parts)?;
             ctx.metrics.union_nanos += nanos_since(t);
+            ctx.metrics.union_rows_concatenated += out.num_rows();
             out
         }
         LogicalPlan::Aggregate { input, group_by, aggs, schema } => {
@@ -194,7 +297,9 @@ pub(crate) fn run(plan: &PlanRef, ctx: &mut ExecContext<'_>) -> Result<Batch> {
                 }
                 None => run(input, ctx)?,
             };
-            ops::limit(&child, *skip, *fetch)
+            let out = ops::limit(&child, *skip, *fetch);
+            ctx.metrics.limit_rows_emitted += out.num_rows();
+            out
         }
     };
     if out.num_rows() > ctx.row_limit {
@@ -232,7 +337,29 @@ pub(crate) fn prune_range(predicate: &vdm_expr::Expr) -> Option<(usize, vdm_stor
 /// LIMIT-without-ORDER semantics: scans, projections, unions, stacked
 /// limits, and literal rows. Anything else executes fully and is truncated
 /// afterwards.
-pub(crate) fn run_budgeted(plan: &PlanRef, budget: usize, ctx: &mut ExecContext<'_>) -> Result<Batch> {
+pub(crate) fn run_budgeted(
+    plan: &PlanRef,
+    budget: usize,
+    ctx: &mut ExecContext<'_>,
+) -> Result<Batch> {
+    match plan.as_ref() {
+        LogicalPlan::Scan { .. }
+        | LogicalPlan::Values { .. }
+        | LogicalPlan::Project { .. }
+        | LogicalPlan::UnionAll { .. }
+        | LogicalPlan::Limit { .. } => {
+            with_profile(plan, ctx, |c| run_budgeted_node(plan, budget, c))
+        }
+        _ => {
+            // run() counts, profiles, and row-limits this node itself.
+            let full = run(plan, ctx)?;
+            let take: Vec<usize> = (0..full.num_rows().min(budget)).collect();
+            Ok(full.take(&take))
+        }
+    }
+}
+
+fn run_budgeted_node(plan: &PlanRef, budget: usize, ctx: &mut ExecContext<'_>) -> Result<Batch> {
     use std::time::Instant;
     ctx.metrics.operators += 1;
     match plan.as_ref() {
@@ -268,6 +395,7 @@ pub(crate) fn run_budgeted(plan: &PlanRef, budget: usize, ctx: &mut ExecContext<
             let t = Instant::now();
             let merged = Batch::concat(Arc::clone(schema), &parts)?;
             ctx.metrics.union_nanos += nanos_since(t);
+            ctx.metrics.union_rows_concatenated += merged.num_rows();
             if merged.num_rows() > budget {
                 let take: Vec<usize> = (0..budget).collect();
                 Ok(merged.take(&take))
@@ -283,14 +411,11 @@ pub(crate) fn run_budgeted(plan: &PlanRef, budget: usize, ctx: &mut ExecContext<
             let child = run_budgeted(input, inner_budget, ctx)?;
             let limited = ops::limit(&child, *skip, *fetch);
             let take: Vec<usize> = (0..limited.num_rows().min(budget)).collect();
-            Ok(limited.take(&take))
+            let out = limited.take(&take);
+            ctx.metrics.limit_rows_emitted += out.num_rows();
+            Ok(out)
         }
-        _ => {
-            ctx.metrics.operators -= 1; // run() counts this node itself
-            let full = run(plan, ctx)?;
-            let take: Vec<usize> = (0..full.num_rows().min(budget)).collect();
-            Ok(full.take(&take))
-        }
+        _ => unreachable!("run_budgeted routes other operators through run()"),
     }
 }
 
@@ -325,10 +450,7 @@ mod tests {
         e.create_table(Arc::clone(&customer)).unwrap();
         e.insert(
             "customer",
-            vec![
-                vec![Value::Int(1), Value::str("alice")],
-                vec![Value::Int(2), Value::str("bob")],
-            ],
+            vec![vec![Value::Int(1), Value::str("alice")], vec![Value::Int(2), Value::str("bob")]],
         )
         .unwrap();
         e.insert(
@@ -399,17 +521,16 @@ mod tests {
         let mut rows = b.to_rows();
         rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
         assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(2), Value::Dec("12.50".parse().unwrap())]);
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(1), Value::Int(2), Value::Dec("12.50".parse().unwrap())]
+        );
     }
 
     #[test]
     fn global_aggregate_over_empty_input() {
         let (e, orders, _) = setup();
-        let empty = LogicalPlan::filter(
-            LogicalPlan::scan(orders),
-            Expr::boolean(false),
-        )
-        .unwrap();
+        let empty = LogicalPlan::filter(LogicalPlan::scan(orders), Expr::boolean(false)).unwrap();
         let a = LogicalPlan::aggregate(
             empty,
             vec![],
@@ -437,8 +558,13 @@ mod tests {
     #[test]
     fn union_all_and_distinct() {
         let (e, orders, _) = setup();
-        let a = LogicalPlan::project(LogicalPlan::scan(Arc::clone(&orders)), vec![(Expr::col(1), "c".into())]).unwrap();
-        let b2 = LogicalPlan::project(LogicalPlan::scan(orders), vec![(Expr::col(1), "c".into())]).unwrap();
+        let a = LogicalPlan::project(
+            LogicalPlan::scan(Arc::clone(&orders)),
+            vec![(Expr::col(1), "c".into())],
+        )
+        .unwrap();
+        let b2 = LogicalPlan::project(LogicalPlan::scan(orders), vec![(Expr::col(1), "c".into())])
+            .unwrap();
         let u = LogicalPlan::union_all(vec![a, b2]).unwrap();
         let all = execute(&u, &e).unwrap();
         assert_eq!(all.num_rows(), 6);

@@ -19,5 +19,6 @@ mod parallel;
 #[cfg(test)]
 mod ops_tests;
 
-pub use executor::{execute, execute_at, ExecContext, Metrics};
-pub use parallel::{execute_parallel, execute_parallel_at, ParallelConfig};
+pub use executor::{execute, execute_at, execute_profiled_serial, ExecContext, Metrics, Profiler};
+pub use parallel::{execute_parallel, execute_parallel_at, execute_profiled_at, ParallelConfig};
+pub use vdm_obs::{NodeIndex, NodeStats, QueryProfile};

@@ -127,11 +127,7 @@ fn union_coerces_int_into_decimal() {
     e.create_table(Arc::clone(&decs)).unwrap();
     e.insert("ints", vec![vec![Value::Int(1), Value::Int(7)]]).unwrap();
     e.insert("decs", vec![vec![Value::Int(2), Value::Dec("1.25".parse().unwrap())]]).unwrap();
-    let u = LogicalPlan::union_all(vec![
-        LogicalPlan::scan(ints),
-        LogicalPlan::scan(decs),
-    ])
-    .unwrap();
+    let u = LogicalPlan::union_all(vec![LogicalPlan::scan(ints), LogicalPlan::scan(decs)]).unwrap();
     assert_eq!(u.schema().field(1).ty, SqlType::Decimal { scale: 2 });
     let out = execute(&u, &e).unwrap();
     assert_eq!(out.num_rows(), 2);
@@ -143,12 +139,7 @@ fn union_coerces_int_into_decimal() {
 #[test]
 fn distinct_treats_nulls_as_equal() {
     let e = StorageEngine::new();
-    let t = Arc::new(
-        TableBuilder::new("d")
-            .column("v", SqlType::Int, true)
-            .build()
-            .unwrap(),
-    );
+    let t = Arc::new(TableBuilder::new("d").column("v", SqlType::Int, true).build().unwrap());
     e.create_table(Arc::clone(&t)).unwrap();
     e.insert(
         "d",
@@ -195,12 +186,7 @@ fn group_by_nullable_key_forms_null_group() {
 #[test]
 fn sort_null_placement_follows_keys() {
     let e = StorageEngine::new();
-    let t = Arc::new(
-        TableBuilder::new("s")
-            .column("v", SqlType::Int, true)
-            .build()
-            .unwrap(),
-    );
+    let t = Arc::new(TableBuilder::new("s").column("v", SqlType::Int, true).build().unwrap());
     e.create_table(Arc::clone(&t)).unwrap();
     e.insert("s", vec![vec![Value::Int(2)], vec![Value::Null], vec![Value::Int(1)]]).unwrap();
     let asc = LogicalPlan::sort(LogicalPlan::scan(Arc::clone(&t)), vec![SortKey::asc(0)]).unwrap();
@@ -213,8 +199,7 @@ fn sort_null_placement_follows_keys() {
 
 #[test]
 fn budgeted_execution_matches_full_execution() {
-    let rows: Vec<Vec<Value>> =
-        (0..500).map(|i| vec![Value::Int(i), Value::Int(i % 13)]).collect();
+    let rows: Vec<Vec<Value>> = (0..500).map(|i| vec![Value::Int(i), Value::Int(i % 13)]).collect();
     let (e, t) = engine_with("big", rows);
     // Limit over union over projected scans: the budgeted path covers all.
     let mk = || {
@@ -233,11 +218,8 @@ fn budgeted_execution_matches_full_execution() {
         "budgeted execution must not scan the full table: {metrics:?}"
     );
     // A filter below the limit disables the scan shortcut but stays correct.
-    let f = LogicalPlan::filter(
-        LogicalPlan::scan(Arc::clone(&t)),
-        Expr::col(1).eq(Expr::int(3)),
-    )
-    .unwrap();
+    let f = LogicalPlan::filter(LogicalPlan::scan(Arc::clone(&t)), Expr::col(1).eq(Expr::int(3)))
+        .unwrap();
     let plan = LogicalPlan::limit(f, 0, Some(5));
     let (batch, _) = execute_at(&plan, &e, e.snapshot()).unwrap();
     assert_eq!(batch.num_rows(), 5);
@@ -261,10 +243,7 @@ fn values_node_executes() {
 fn join_kind_residual_combinations() {
     let (e, t) = engine_with(
         "t",
-        vec![
-            vec![Value::Int(1), Value::Int(10)],
-            vec![Value::Int(2), Value::Int(20)],
-        ],
+        vec![vec![Value::Int(1), Value::Int(10)], vec![Value::Int(2), Value::Int(20)]],
     );
     // Inner join with a residual that rejects everything.
     let j = LogicalPlan::join(
@@ -304,29 +283,20 @@ fn adaptive_inner_join_build_side_agrees() {
     let big = table("big2");
     e.create_table(Arc::clone(&small)).unwrap();
     e.create_table(Arc::clone(&big)).unwrap();
-    e.insert("small", (0..5).map(|i| vec![Value::Int(i), Value::Int(i)]).collect())
-        .unwrap();
-    e.insert("big2", (0..200).map(|i| vec![Value::Int(i), Value::Int(i % 5)]).collect())
-        .unwrap();
+    e.insert("small", (0..5).map(|i| vec![Value::Int(i), Value::Int(i)]).collect()).unwrap();
+    e.insert("big2", (0..200).map(|i| vec![Value::Int(i), Value::Int(i % 5)]).collect()).unwrap();
     let inner = LogicalPlan::inner_join(
         LogicalPlan::scan(Arc::clone(&small)),
         LogicalPlan::scan(Arc::clone(&big)),
         vec![(0, 1)],
     )
     .unwrap();
-    let outer = LogicalPlan::left_join(
-        LogicalPlan::scan(small),
-        LogicalPlan::scan(big),
-        vec![(0, 1)],
-    )
-    .unwrap();
+    let outer =
+        LogicalPlan::left_join(LogicalPlan::scan(small), LogicalPlan::scan(big), vec![(0, 1)])
+            .unwrap();
     let mut inner_rows = execute(&inner, &e).unwrap().to_rows();
-    let mut outer_rows: Vec<Vec<Value>> = execute(&outer, &e)
-        .unwrap()
-        .to_rows()
-        .into_iter()
-        .filter(|r| !r[2].is_null())
-        .collect();
+    let mut outer_rows: Vec<Vec<Value>> =
+        execute(&outer, &e).unwrap().to_rows().into_iter().filter(|r| !r[2].is_null()).collect();
     let sort = |rows: &mut Vec<Vec<Value>>| {
         rows.sort_by(|a, b| {
             for (x, y) in a.iter().zip(b.iter()) {

@@ -22,7 +22,7 @@
 //! `threads * morsel_rows` rows beyond the budget (the serial path stops
 //! at exactly the budget).
 
-use crate::executor::{nanos_since, prune_range, Metrics};
+use crate::executor::{nanos_since, prune_range, Metrics, Profiler};
 use crate::ops;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use vdm_expr::{AggExpr, Expr};
+use vdm_obs::{NodeIndex, QueryProfile};
 use vdm_plan::{JoinKind, LogicalPlan, PlanRef};
 use vdm_storage::zonemap::ZONE_BLOCK_ROWS;
 use vdm_storage::{Batch, ScanRange, Snapshot, StorageEngine};
@@ -89,9 +90,31 @@ pub fn execute_parallel_at(
     if config.threads <= 1 {
         return crate::executor::execute_at(plan, engine, snapshot);
     }
-    let mut ctx = ParCtx { engine, snapshot, config, metrics: Metrics::default() };
+    let mut ctx = ParCtx::new(engine, snapshot, config);
     let batch = run_par(plan, &mut ctx)?;
     Ok((batch, ctx.metrics))
+}
+
+/// Executes `plan` with a per-node runtime profile (EXPLAIN ANALYZE),
+/// dispatching to the serial or morsel-parallel engine per `config`.
+/// Per-node `rows_out` is identical between the two; time, invocation, and
+/// worker counts legitimately differ (see [`vdm_obs::NodeStats`]).
+pub fn execute_profiled_at(
+    plan: &PlanRef,
+    engine: &StorageEngine,
+    snapshot: Snapshot,
+    config: ParallelConfig,
+) -> Result<(Batch, Metrics, QueryProfile)> {
+    let config = config.normalized();
+    let index = Arc::new(NodeIndex::new(plan));
+    if config.threads <= 1 {
+        return crate::executor::execute_profiled_serial(plan, engine, snapshot, index);
+    }
+    let mut ctx = ParCtx::new(engine, snapshot, config);
+    ctx.profiler = Some(Profiler::new(index));
+    let batch = run_par(plan, &mut ctx)?;
+    let profile = ctx.profiler.take().map(|p| p.profile).unwrap_or_default();
+    Ok((batch, ctx.metrics, profile))
 }
 
 struct ParCtx<'a> {
@@ -99,44 +122,97 @@ struct ParCtx<'a> {
     snapshot: Snapshot,
     config: ParallelConfig,
     metrics: Metrics,
+    /// Per-node profile sink (`None` = profiling off).
+    profiler: Option<Profiler>,
+    /// Child time of the node currently running (see `ExecContext`).
+    child_nanos: u64,
+}
+
+impl<'a> ParCtx<'a> {
+    fn new(engine: &'a StorageEngine, snapshot: Snapshot, config: ParallelConfig) -> ParCtx<'a> {
+        ParCtx {
+            engine,
+            snapshot,
+            config,
+            metrics: Metrics::default(),
+            profiler: None,
+            child_nanos: 0,
+        }
+    }
+
+    /// Merges a worker pool's counters and partial profile.
+    fn absorb(&mut self, metrics: &Metrics, profile: &QueryProfile) {
+        self.metrics.merge(metrics);
+        if let Some(p) = self.profiler.as_mut() {
+            p.profile.merge(profile);
+        }
+    }
+}
+
+/// Parallel twin of `executor::with_profile`: wraps one operator's body,
+/// recording output rows and self time against the node.
+fn with_profile_par(
+    plan: &PlanRef,
+    ctx: &mut ParCtx<'_>,
+    f: impl FnOnce(&mut ParCtx<'_>) -> Result<Batch>,
+) -> Result<Batch> {
+    if ctx.profiler.is_none() {
+        return f(ctx);
+    }
+    let start = Instant::now();
+    let saved_children = std::mem::take(&mut ctx.child_nanos);
+    let out = f(ctx);
+    let total = nanos_since(start);
+    let self_nanos = total.saturating_sub(ctx.child_nanos);
+    if let (Ok(batch), Some(p)) = (&out, ctx.profiler.as_mut()) {
+        p.record(plan, batch.num_rows(), self_nanos);
+    }
+    ctx.child_nanos = saved_children + total;
+    out
 }
 
 /// Runs `f` over indices `0..n` on up to `threads` workers. Results come
 /// back in index order and worker-local metrics are merged, so the output
 /// is schedule-independent; errors surface as the failing index's error
 /// (lowest index wins, matching the serial executor's first-error).
-fn parallel_map<T, F>(threads: usize, n: usize, f: F) -> Result<(Vec<T>, Metrics)>
+fn parallel_map<T, F>(threads: usize, n: usize, f: F) -> Result<(Vec<T>, Metrics, QueryProfile)>
 where
     T: Send,
-    F: Fn(usize, &mut Metrics) -> Result<T> + Sync,
+    F: Fn(usize, &mut Metrics, &mut QueryProfile) -> Result<T> + Sync,
 {
     let mut merged = Metrics::default();
+    let mut merged_profile = QueryProfile::default();
     if threads <= 1 || n <= 1 {
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            out.push(f(i, &mut merged)?);
+            out.push(f(i, &mut merged, &mut merged_profile)?);
         }
-        return Ok((out, merged));
+        return Ok((out, merged, merged_profile));
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let pool_metrics: Mutex<Metrics> = Mutex::new(Metrics::default());
+    let pool_state: Mutex<(Metrics, QueryProfile)> = Mutex::new(Default::default());
     std::thread::scope(|s| {
         for _ in 0..threads.min(n) {
             s.spawn(|| {
                 let mut local = Metrics::default();
+                let mut local_profile = QueryProfile::default();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    *slots[i].lock().unwrap() = Some(f(i, &mut local));
+                    *slots[i].lock().unwrap() = Some(f(i, &mut local, &mut local_profile));
                 }
-                pool_metrics.lock().unwrap().merge(&local);
+                let mut pool = pool_state.lock().unwrap();
+                pool.0.merge(&local);
+                pool.1.merge(&local_profile);
             });
         }
     });
-    merged.merge(&pool_metrics.into_inner().unwrap());
+    let (pool_metrics, pool_profile) = pool_state.into_inner().unwrap();
+    merged.merge(&pool_metrics);
+    merged_profile.merge(&pool_profile);
     let mut out = Vec::with_capacity(n);
     for slot in slots {
         match slot.into_inner().unwrap() {
@@ -145,7 +221,7 @@ where
             None => return Err(VdmError::Exec("parallel worker dropped a morsel".into())),
         }
     }
-    Ok((out, merged))
+    Ok((out, merged, merged_profile))
 }
 
 /// Row range of chunk `i` when `total` rows split into `chunk`-row pieces.
@@ -175,6 +251,9 @@ struct LeafPipeline<'p> {
     steps: Vec<LeafStep<'p>>,
     /// Logical plan nodes covered (operator-count bookkeeping).
     nodes: usize,
+    /// Node-address keys of the covered plan nodes: the scan first, then
+    /// one per step in `steps` order (for per-node profiling).
+    node_keys: Vec<usize>,
 }
 
 impl LeafPipeline<'_> {
@@ -200,6 +279,7 @@ fn extract_leaf(plan: &PlanRef) -> Option<LeafPipeline<'_>> {
             prune: None,
             steps: Vec::new(),
             nodes: 1,
+            node_keys: vec![NodeIndex::key(plan)],
         }),
         LogicalPlan::Filter { input, predicate } => {
             let mut p = extract_leaf(input)?;
@@ -208,12 +288,14 @@ fn extract_leaf(plan: &PlanRef) -> Option<LeafPipeline<'_>> {
             }
             p.steps.push(LeafStep::Filter(predicate));
             p.nodes += 1;
+            p.node_keys.push(NodeIndex::key(plan));
             Some(p)
         }
         LogicalPlan::Project { input, exprs, schema } => {
             let mut p = extract_leaf(input)?;
             p.steps.push(LeafStep::Project(exprs, schema));
             p.nodes += 1;
+            p.node_keys.push(NodeIndex::key(plan));
             Some(p)
         }
         _ => None,
@@ -221,6 +303,7 @@ fn extract_leaf(plan: &PlanRef) -> Option<LeafPipeline<'_>> {
 }
 
 fn run_leaf(pipe: &LeafPipeline<'_>, ctx: &mut ParCtx<'_>) -> Result<Batch> {
+    let start = Instant::now();
     ctx.metrics.operators += pipe.nodes;
     // Pruned scans align morsels to zone-map blocks so every block belongs
     // to exactly one morsel and the skip set matches the serial scan.
@@ -232,13 +315,25 @@ fn run_leaf(pipe: &LeafPipeline<'_>, ctx: &mut ParCtx<'_>) -> Result<Batch> {
     let n = ctx.engine.morsel_count(pipe.table, morsel_rows)?;
     let engine = ctx.engine;
     let snapshot = ctx.snapshot;
-    let (parts, wm) = parallel_map(ctx.config.threads, n, |m, met| {
-        leaf_morsel(engine, snapshot, pipe, m, morsel_rows, met)
+    // Pre-resolve node ids so worker closures record into plain maps.
+    let ids: Option<Vec<Option<usize>>> = ctx
+        .profiler
+        .as_ref()
+        .map(|p| pipe.node_keys.iter().map(|&k| p.index.id_of_ptr(k)).collect());
+    let (parts, wm, wp) = parallel_map(ctx.config.threads, n, |m, met, prof| {
+        leaf_morsel(engine, snapshot, pipe, m, morsel_rows, met, ids.as_deref(), prof)
     })?;
-    ctx.metrics.merge(&wm);
-    Batch::concat(pipe.output_schema(), &parts)
+    ctx.absorb(&wm, &wp);
+    let out = Batch::concat(pipe.output_schema(), &parts);
+    if ctx.profiler.is_some() {
+        // The covered nodes were recorded per morsel by the workers; charge
+        // the pipeline's wall time as child time of the enclosing operator.
+        ctx.child_nanos += nanos_since(start);
+    }
+    out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn leaf_morsel(
     engine: &StorageEngine,
     snapshot: Snapshot,
@@ -246,6 +341,8 @@ fn leaf_morsel(
     morsel: usize,
     morsel_rows: usize,
     met: &mut Metrics,
+    ids: Option<&[Option<usize>]>,
+    prof: &mut QueryProfile,
 ) -> Result<Batch> {
     let t = Instant::now();
     let raw = match &pipe.prune {
@@ -254,22 +351,32 @@ fn leaf_morsel(
         }
         None => engine.scan_morsel(pipe.table, snapshot, morsel, morsel_rows)?,
     };
-    met.scan_nanos += nanos_since(t);
+    let scan_nanos = nanos_since(t);
+    met.scan_nanos += scan_nanos;
     met.rows_scanned += raw.num_rows();
     let mut batch = Batch::new(Arc::clone(pipe.scan_schema), raw.columns)?;
-    for step in &pipe.steps {
+    if let Some(Some(id)) = ids.map(|ids| ids[0]) {
+        prof.record(id, batch.num_rows() as u64, scan_nanos);
+    }
+    for (si, step) in pipe.steps.iter().enumerate() {
+        let step_nanos;
         match step {
             LeafStep::Filter(p) => {
                 met.filter_input_rows += batch.num_rows();
                 let t = Instant::now();
                 batch = ops::filter(&batch, p)?;
-                met.filter_nanos += nanos_since(t);
+                step_nanos = nanos_since(t);
+                met.filter_nanos += step_nanos;
             }
             LeafStep::Project(exprs, schema) => {
                 let t = Instant::now();
                 batch = ops::project(&batch, exprs, Arc::clone(schema))?;
-                met.project_nanos += nanos_since(t);
+                step_nanos = nanos_since(t);
+                met.project_nanos += step_nanos;
             }
+        }
+        if let Some(Some(id)) = ids.map(|ids| ids[si + 1]) {
+            prof.record(id, batch.num_rows() as u64, step_nanos);
         }
     }
     Ok(batch)
@@ -282,6 +389,10 @@ fn run_par(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
     if let Some(pipe) = extract_leaf(plan) {
         return run_leaf(&pipe, ctx);
     }
+    with_profile_par(plan, ctx, |c| run_par_node(plan, c))
+}
+
+fn run_par_node(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
     ctx.metrics.operators += 1;
     match plan.as_ref() {
         // Scan-rooted shapes are taken by `extract_leaf` above; these arms
@@ -307,9 +418,17 @@ fn run_par(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
             let lb = run_par(left, ctx)?;
             let rb = run_par(right, ctx)?;
             ctx.metrics.join_build_rows += rb.num_rows();
+            ctx.metrics.join_probe_rows += lb.num_rows();
             let t = Instant::now();
-            let out =
-                par_hash_join(&lb, &rb, *kind, on, filter.as_ref(), Arc::clone(schema), ctx.config)?;
+            let out = par_hash_join(
+                &lb,
+                &rb,
+                *kind,
+                on,
+                filter.as_ref(),
+                Arc::clone(schema),
+                ctx.config,
+            )?;
             ctx.metrics.join_nanos += nanos_since(t);
             ctx.metrics.join_output_rows += out.num_rows();
             Ok(out)
@@ -322,6 +441,7 @@ fn run_par(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
             let t = Instant::now();
             let out = Batch::concat(Arc::clone(schema), &parts)?;
             ctx.metrics.union_nanos += nanos_since(t);
+            ctx.metrics.union_rows_concatenated += out.num_rows();
             Ok(out)
         }
         LogicalPlan::Aggregate { input, group_by, aggs, schema } => {
@@ -351,7 +471,9 @@ fn run_par(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
                 }
                 None => run_par(input, ctx)?,
             };
-            Ok(ops::limit(&child, *skip, *fetch))
+            let out = ops::limit(&child, *skip, *fetch);
+            ctx.metrics.limit_rows_emitted += out.num_rows();
+            Ok(out)
         }
     }
 }
@@ -360,7 +482,7 @@ fn run_par(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
 fn par_filter(child: &Batch, predicate: &Expr, ctx: &mut ParCtx<'_>) -> Result<Batch> {
     let chunk = ctx.config.morsel_rows;
     let n = chunk_count(child.num_rows(), chunk);
-    let (parts, wm) = parallel_map(ctx.config.threads, n, |i, met| {
+    let (parts, wm, _wp) = parallel_map(ctx.config.threads, n, |i, met, _prof| {
         let t = Instant::now();
         let mut keep = Vec::new();
         for r in chunk_range(i, chunk, child.num_rows()) {
@@ -386,7 +508,7 @@ fn par_project(
     let chunk = ctx.config.morsel_rows;
     let n = chunk_count(child.num_rows(), chunk);
     let out_schema = Arc::clone(&schema);
-    let (parts, wm) = parallel_map(ctx.config.threads, n, |i, met| {
+    let (parts, wm, _wp) = parallel_map(ctx.config.threads, n, |i, met, _prof| {
         let t = Instant::now();
         let mut rows = Vec::new();
         for r in chunk_range(i, chunk, child.num_rows()) {
@@ -460,7 +582,7 @@ fn par_hash_join(
 
     // Phase 1: scatter build rows into per-chunk, per-partition key lists.
     let n_chunks = chunk_count(build.num_rows(), chunk);
-    let (scattered, _) = parallel_map(config.threads, n_chunks, |ci, _met| {
+    let (scattered, _, _) = parallel_map(config.threads, n_chunks, |ci, _met, _prof| {
         let mut parts: Vec<Vec<(Vec<Value>, usize)>> = vec![Vec::new(); n_parts];
         for i in chunk_range(ci, chunk, build.num_rows()) {
             if let Some(key) = key_at(build, i, &build_cols) {
@@ -474,7 +596,7 @@ fn par_hash_join(
     // Phase 2: one hash map per partition. Chunks are visited in index
     // order, so every match list holds build-row indices ascending —
     // exactly the serial build's entry order.
-    let (maps, _) = parallel_map(config.threads, n_parts, |p, _met| {
+    let (maps, _, _) = parallel_map(config.threads, n_parts, |p, _met, _prof| {
         let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         for chunk_parts in &scattered {
             for (key, i) in &chunk_parts[p] {
@@ -488,7 +610,7 @@ fn par_hash_join(
     // accumulate as index pairs; the output batch is assembled by a
     // payload-level columnar gather — no row materialization.
     let probe_chunks = chunk_count(probe.num_rows(), chunk);
-    let (parts, _) = parallel_map(config.threads, probe_chunks, |ci, _met| {
+    let (parts, _, _) = parallel_map(config.threads, probe_chunks, |ci, _met, _prof| {
         let mut probe_sel: Vec<usize> = Vec::new();
         let mut build_sel: Vec<Option<usize>> = Vec::new();
         let mut key = Vec::with_capacity(probe_cols.len());
@@ -613,7 +735,7 @@ fn par_aggregate(
 ) -> Result<Batch> {
     let chunk = config.morsel_rows;
     let n = chunk_count(child.num_rows(), chunk);
-    let (partials, _) = parallel_map(config.threads, n, |i, _met| {
+    let (partials, _, _) = parallel_map(config.threads, n, |i, _met, _prof| {
         agg_partial(child, chunk_range(i, chunk, child.num_rows()), group_by, aggs)
     })?;
     // Merge in chunk order: a group's global first occurrence lies in the
@@ -657,6 +779,23 @@ fn par_aggregate(
 /// unions, stacked limits, literal rows); everything else runs fully and
 /// truncates afterwards.
 fn run_budgeted_par(plan: &PlanRef, budget: usize, ctx: &mut ParCtx<'_>) -> Result<Batch> {
+    match plan.as_ref() {
+        LogicalPlan::Scan { .. }
+        | LogicalPlan::Values { .. }
+        | LogicalPlan::Project { .. }
+        | LogicalPlan::UnionAll { .. }
+        | LogicalPlan::Limit { .. } => {
+            with_profile_par(plan, ctx, |c| run_budgeted_par_node(plan, budget, c))
+        }
+        _ => {
+            // run_par counts, profiles, and merges this subtree itself.
+            let full = run_par(plan, ctx)?;
+            Ok(truncate(full, budget))
+        }
+    }
+}
+
+fn run_budgeted_par_node(plan: &PlanRef, budget: usize, ctx: &mut ParCtx<'_>) -> Result<Batch> {
     ctx.metrics.operators += 1;
     match plan.as_ref() {
         LogicalPlan::Scan { table, schema, .. } => {
@@ -674,13 +813,14 @@ fn run_budgeted_par(plan: &PlanRef, budget: usize, ctx: &mut ParCtx<'_>) -> Resu
             let mut base = 0usize;
             while base < n && have < budget {
                 let wave = (n - base).min(ctx.config.threads);
-                let (batches, wm) = parallel_map(ctx.config.threads, wave, |i, met| {
-                    let t = Instant::now();
-                    let b = engine.scan_morsel(&table.name, snapshot, base + i, morsel_rows)?;
-                    met.scan_nanos += nanos_since(t);
-                    met.rows_scanned += b.num_rows();
-                    Ok(b)
-                })?;
+                let (batches, wm, _wp) =
+                    parallel_map(ctx.config.threads, wave, |i, met, _prof| {
+                        let t = Instant::now();
+                        let b = engine.scan_morsel(&table.name, snapshot, base + i, morsel_rows)?;
+                        met.scan_nanos += nanos_since(t);
+                        met.rows_scanned += b.num_rows();
+                        Ok(b)
+                    })?;
                 ctx.metrics.merge(&wm);
                 for b in batches {
                     have += b.num_rows();
@@ -716,6 +856,7 @@ fn run_budgeted_par(plan: &PlanRef, budget: usize, ctx: &mut ParCtx<'_>) -> Resu
             let t = Instant::now();
             let merged = Batch::concat(Arc::clone(schema), &parts)?;
             ctx.metrics.union_nanos += nanos_since(t);
+            ctx.metrics.union_rows_concatenated += merged.num_rows();
             Ok(truncate(merged, budget))
         }
         LogicalPlan::Limit { input, skip, fetch } => {
@@ -725,13 +866,11 @@ fn run_budgeted_par(plan: &PlanRef, budget: usize, ctx: &mut ParCtx<'_>) -> Resu
             };
             let child = run_budgeted_par(input, inner_budget, ctx)?;
             let limited = ops::limit(&child, *skip, *fetch);
-            Ok(truncate(limited, budget))
+            let out = truncate(limited, budget);
+            ctx.metrics.limit_rows_emitted += out.num_rows();
+            Ok(out)
         }
-        _ => {
-            ctx.metrics.operators -= 1; // run_par counts this node itself
-            let full = run_par(plan, ctx)?;
-            Ok(truncate(full, budget))
-        }
+        _ => unreachable!("run_budgeted_par routes other operators through run_par()"),
     }
 }
 
@@ -776,7 +915,13 @@ mod tests {
         // Half in main, half in delta.
         e.merge_delta("t").unwrap();
         let extra: Vec<Vec<Value>> = (n..n + n / 2)
-            .map(|i| vec![Value::Int(i), Value::Int(i % 13), Value::Dec(vdm_types::Decimal::from_units(5, 2))])
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 13),
+                    Value::Dec(vdm_types::Decimal::from_units(5, 2)),
+                ]
+            })
             .collect();
         e.insert("t", extra).unwrap();
         (e, def)
@@ -806,12 +951,13 @@ mod tests {
         let (e, def) = many_rows_engine(4_000);
         let scan = LogicalPlan::scan(Arc::clone(&def));
         assert_equivalent(&scan, &e);
-        let filtered =
-            LogicalPlan::filter(scan, Expr::col(1).eq(Expr::int(3))).unwrap();
+        let filtered = LogicalPlan::filter(scan, Expr::col(1).eq(Expr::int(3))).unwrap();
         assert_equivalent(&filtered, &e);
-        let projected =
-            LogicalPlan::project(filtered, vec![(Expr::col(0), "k".into()), (Expr::col(2), "amt".into())])
-                .unwrap();
+        let projected = LogicalPlan::project(
+            filtered,
+            vec![(Expr::col(0), "k".into()), (Expr::col(2), "amt".into())],
+        )
+        .unwrap();
         assert_equivalent(&projected, &e);
     }
 

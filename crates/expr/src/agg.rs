@@ -49,7 +49,12 @@ pub struct AggExpr {
 impl AggExpr {
     /// `COUNT(*)`.
     pub fn count_star() -> AggExpr {
-        AggExpr { func: AggFunc::CountStar, arg: None, distinct: false, allow_precision_loss: false }
+        AggExpr {
+            func: AggFunc::CountStar,
+            arg: None,
+            distinct: false,
+            allow_precision_loss: false,
+        }
     }
 
     /// A plain aggregate over `arg`.
@@ -184,9 +189,10 @@ impl Accumulator {
             AggFunc::Sum | AggFunc::Avg => match v {
                 Value::Int(i) => {
                     let cur = self.int_sum.unwrap_or(0);
-                    self.int_sum = Some(cur.checked_add(*i as i128).ok_or_else(|| {
-                        VdmError::Overflow("SUM overflow".into())
-                    })?);
+                    self.int_sum = Some(
+                        cur.checked_add(*i as i128)
+                            .ok_or_else(|| VdmError::Overflow("SUM overflow".into()))?,
+                    );
                 }
                 Value::Dec(d) => {
                     let cur = self.dec_sum.unwrap_or_else(|| Decimal::zero(d.scale()));
@@ -237,10 +243,8 @@ impl Accumulator {
             // DISTINCT partials dedup against the merged set: replaying the
             // other side's distinct values through `update` re-applies the
             // count/sum/extreme logic only for values not yet seen here.
-            let other_seen = other
-                .distinct
-                .as_ref()
-                .expect("merging DISTINCT with non-DISTINCT accumulator");
+            let other_seen =
+                other.distinct.as_ref().expect("merging DISTINCT with non-DISTINCT accumulator");
             for v in other_seen {
                 self.update(v)?;
             }
@@ -290,9 +294,7 @@ impl Accumulator {
         match self.func {
             AggFunc::CountStar | AggFunc::Count => Ok(Value::Int(self.count)),
             AggFunc::Sum => self.sum_value(),
-            AggFunc::Min | AggFunc::Max => {
-                Ok(self.extreme.clone().unwrap_or(Value::Null))
-            }
+            AggFunc::Min | AggFunc::Max => Ok(self.extreme.clone().unwrap_or(Value::Null)),
             AggFunc::Avg => {
                 if self.count == 0 {
                     return Ok(Value::Null);
@@ -419,7 +421,14 @@ mod tests {
             dec("-0.75"),
             Value::Int(7),
         ];
-        for func in [AggFunc::CountStar, AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Avg] {
+        for func in [
+            AggFunc::CountStar,
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+        ] {
             for distinct in [false, true] {
                 if func == AggFunc::CountStar && distinct {
                     continue;

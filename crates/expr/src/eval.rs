@@ -11,10 +11,9 @@ impl Expr {
     /// `TRUE OR NULL = TRUE`).
     pub fn eval_row(&self, row: &[Value]) -> Result<Value> {
         match self {
-            Expr::Col(i) => row
-                .get(*i)
-                .cloned()
-                .ok_or_else(|| VdmError::Exec(format!("row has no column {i}"))),
+            Expr::Col(i) => {
+                row.get(*i).cloned().ok_or_else(|| VdmError::Exec(format!("row has no column {i}")))
+            }
             Expr::Lit(v) => Ok(v.clone()),
             Expr::Binary { op, left, right } => {
                 if matches!(op, BinOp::And | BinOp::Or) {
@@ -113,8 +112,8 @@ pub fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
                 BinOp::Sub => a.checked_sub(&b)?,
                 BinOp::Mul => a.checked_mul(&b)?,
                 BinOp::Div => {
-                    let scale = (a.scale().max(b.scale()) + 4)
-                        .clamp(6, vdm_types::decimal::MAX_SCALE);
+                    let scale =
+                        (a.scale().max(b.scale()) + 4).clamp(6, vdm_types::decimal::MAX_SCALE);
                     a.checked_div(&b, scale)?
                 }
                 _ => unreachable!(),
@@ -308,7 +307,8 @@ mod tests {
     #[test]
     fn three_valued_logic() {
         let row = vec![Value::Null];
-        let null_b = Expr::Cast { expr: Box::new(Expr::Lit(Value::Null)), ty: vdm_types::SqlType::Bool };
+        let null_b =
+            Expr::Cast { expr: Box::new(Expr::Lit(Value::Null)), ty: vdm_types::SqlType::Bool };
         // FALSE AND NULL = FALSE
         let e = Expr::boolean(false).and(null_b.clone());
         assert_eq!(e.eval_row(&row).unwrap(), Value::Bool(false));
@@ -353,10 +353,7 @@ mod tests {
             else_expr: Some(Box::new(Expr::str("many"))),
         };
         assert_eq!(e.eval_row(&row).unwrap(), Value::str("two"));
-        let e = Expr::Func {
-            func: ScalarFunc::Coalesce,
-            args: vec![Expr::col(1), Expr::int(42)],
-        };
+        let e = Expr::Func { func: ScalarFunc::Coalesce, args: vec![Expr::col(1), Expr::int(42)] };
         assert_eq!(e.eval_row(&row).unwrap(), Value::Int(42));
     }
 
@@ -389,10 +386,7 @@ mod tests {
         assert!(like_match("aaab", "%aab"));
         // NULL propagation through the expression.
         let row = vec![Value::Null];
-        let e = Expr::Func {
-            func: ScalarFunc::Like,
-            args: vec![Expr::col(0), Expr::str("%")],
-        };
+        let e = Expr::Func { func: ScalarFunc::Like, args: vec![Expr::col(0), Expr::str("%")] };
         assert_eq!(e.eval_row(&row).unwrap(), Value::Null);
     }
 
@@ -402,10 +396,7 @@ mod tests {
         let row: Vec<Value> = vec![];
         let c = Expr::Cast { expr: Box::new(Expr::str(" 42 ")), ty: SqlType::Int };
         assert_eq!(c.eval_row(&row).unwrap(), Value::Int(42));
-        let c = Expr::Cast {
-            expr: Box::new(Expr::int(7)),
-            ty: SqlType::Decimal { scale: 2 },
-        };
+        let c = Expr::Cast { expr: Box::new(Expr::int(7)), ty: SqlType::Decimal { scale: 2 } };
         assert_eq!(c.eval_row(&row).unwrap(), dec("7.00"));
         let c = Expr::Cast { expr: Box::new(Expr::Lit(dec("2.6"))), ty: SqlType::Int };
         assert_eq!(c.eval_row(&row).unwrap(), Value::Int(3));

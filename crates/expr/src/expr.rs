@@ -23,10 +23,7 @@ pub enum BinOp {
 impl BinOp {
     /// True for `= <> < <= > >=`.
     pub fn is_comparison(&self) -> bool {
-        matches!(
-            self,
-            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
-        )
+        matches!(self, BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq)
     }
 
     /// True for `+ - * /`.
@@ -138,10 +135,7 @@ pub enum Expr {
     /// `x IS NOT NULL`.
     IsNotNull(Box<Expr>),
     /// Searched CASE: `CASE WHEN c1 THEN v1 ... ELSE e END`.
-    Case {
-        branches: Vec<(Expr, Expr)>,
-        else_expr: Option<Box<Expr>>,
-    },
+    Case { branches: Vec<(Expr, Expr)>, else_expr: Option<Box<Expr>> },
     /// Scalar function call.
     Func { func: ScalarFunc, args: Vec<Expr> },
     /// Explicit cast.
@@ -235,21 +229,21 @@ impl Expr {
                     let ty = match (op, ty) {
                         // Division always produces a decimal with headroom.
                         (BinOp::Div, SqlType::Int) => SqlType::Decimal { scale: 6 },
-                        (BinOp::Div, SqlType::Decimal { scale }) => {
-                            SqlType::Decimal { scale: (scale + 4).min(vdm_types::decimal::MAX_SCALE) }
-                        }
+                        (BinOp::Div, SqlType::Decimal { scale }) => SqlType::Decimal {
+                            scale: (scale + 4).min(vdm_types::decimal::MAX_SCALE),
+                        },
                         (BinOp::Mul, SqlType::Decimal { scale }) => {
                             // Scales add at runtime; report a conservative bound.
-                            SqlType::Decimal { scale: (scale * 2).min(vdm_types::decimal::MAX_SCALE) }
+                            SqlType::Decimal {
+                                scale: (scale * 2).min(vdm_types::decimal::MAX_SCALE),
+                            }
                         }
                         (_, t) => t,
                     };
                     Ok((ty, ln || rn))
                 } else if op.is_comparison() {
                     if lt.unify(&rt).is_none() {
-                        return Err(VdmError::Type(format!(
-                            "cannot compare {lt} with {rt}"
-                        )));
+                        return Err(VdmError::Type(format!("cannot compare {lt} with {rt}")));
                     }
                     Ok((SqlType::Bool, ln || rn))
                 } else {
@@ -395,16 +389,12 @@ impl Expr {
             Expr::IsNull(e) => Expr::IsNull(Box::new(e.transform(f))),
             Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(e.transform(f))),
             Expr::Case { branches, else_expr } => Expr::Case {
-                branches: branches
-                    .iter()
-                    .map(|(c, v)| (c.transform(f), v.transform(f)))
-                    .collect(),
+                branches: branches.iter().map(|(c, v)| (c.transform(f), v.transform(f))).collect(),
                 else_expr: else_expr.as_ref().map(|e| Box::new(e.transform(f))),
             },
-            Expr::Func { func, args } => Expr::Func {
-                func: *func,
-                args: args.iter().map(|a| a.transform(f)).collect(),
-            },
+            Expr::Func { func, args } => {
+                Expr::Func { func: *func, args: args.iter().map(|a| a.transform(f)).collect() }
+            }
             Expr::Cast { expr, ty } => Expr::Cast { expr: Box::new(expr.transform(f)), ty: *ty },
         }
     }
@@ -605,10 +595,7 @@ mod tests {
     #[test]
     fn round_result_scale_comes_from_literal() {
         let s = schema();
-        let e = Expr::Func {
-            func: ScalarFunc::Round,
-            args: vec![Expr::col(1), Expr::int(1)],
-        };
+        let e = Expr::Func { func: ScalarFunc::Round, args: vec![Expr::col(1), Expr::int(1)] };
         assert_eq!(e.data_type(&s).unwrap().0, SqlType::Decimal { scale: 1 });
     }
 

@@ -23,9 +23,7 @@ pub fn fold(expr: &Expr) -> Expr {
                 (BinOp::And, Expr::Lit(Value::Bool(true)), other)
                 | (BinOp::And, other, Expr::Lit(Value::Bool(true))) => return other.clone(),
                 (BinOp::And, Expr::Lit(Value::Bool(false)), _)
-                | (BinOp::And, _, Expr::Lit(Value::Bool(false))) => {
-                    return Expr::boolean(false)
-                }
+                | (BinOp::And, _, Expr::Lit(Value::Bool(false))) => return Expr::boolean(false),
                 (BinOp::Or, Expr::Lit(Value::Bool(false)), other)
                 | (BinOp::Or, other, Expr::Lit(Value::Bool(false))) => return other.clone(),
                 (BinOp::Or, Expr::Lit(Value::Bool(true)), _)
@@ -117,10 +115,7 @@ mod tests {
     fn folds_inside_functions() {
         let e = Expr::Func {
             func: crate::expr::ScalarFunc::Round,
-            args: vec![
-                Expr::Lit(Value::Dec("3.7".parse().unwrap())),
-                Expr::int(0),
-            ],
+            args: vec![Expr::Lit(Value::Dec("3.7".parse().unwrap())), Expr::int(0)],
         };
         assert_eq!(fold(&e), Expr::Lit(Value::Dec("4".parse().unwrap())));
     }

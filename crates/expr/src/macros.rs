@@ -81,10 +81,8 @@ mod tests {
     /// `1 - sum(supplycost) / sum(extendedprice * (1 - discount))`.
     fn margin() -> MacroDef {
         let sum_cost = AggExpr::new(AggFunc::Sum, Expr::col(0));
-        let revenue_arg = Expr::col(1).binary(
-            BinOp::Mul,
-            Expr::int(1).binary(BinOp::Sub, Expr::col(2)),
-        );
+        let revenue_arg =
+            Expr::col(1).binary(BinOp::Mul, Expr::int(1).binary(BinOp::Sub, Expr::col(2)));
         let sum_rev = AggExpr::new(AggFunc::Sum, revenue_arg);
         MacroDef {
             name: "margin".into(),
@@ -96,7 +94,8 @@ mod tests {
     #[test]
     fn validate_checks_slots() {
         assert!(margin().validate().is_ok());
-        let bad = MacroDef { name: "m".into(), body: Expr::col(5), aggs: vec![AggExpr::count_star()] };
+        let bad =
+            MacroDef { name: "m".into(), body: Expr::col(5), aggs: vec![AggExpr::count_star()] };
         assert!(bad.validate().is_err());
         let empty = MacroDef { name: "m".into(), body: Expr::int(1), aggs: vec![] };
         assert!(empty.validate().is_err());

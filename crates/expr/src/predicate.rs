@@ -82,7 +82,7 @@ fn atom_implies(p: &Atom, q: &Atom) -> bool {
         (BinOp::Eq, BinOp::Gt) => cmp == Greater,
         (BinOp::Eq, BinOp::GtEq) => cmp != Less,
         // Range-to-range implications.
-        (BinOp::Lt, BinOp::Lt) => cmp != Greater,  // x < a ⇒ x < b if a <= b
+        (BinOp::Lt, BinOp::Lt) => cmp != Greater, // x < a ⇒ x < b if a <= b
         (BinOp::Lt, BinOp::LtEq) => cmp != Greater,
         (BinOp::LtEq, BinOp::LtEq) => cmp != Greater,
         (BinOp::LtEq, BinOp::Lt) => cmp == Less, // x <= a ⇒ x < b if a < b
@@ -117,10 +117,7 @@ pub fn implies(p: &Expr, q: &Expr) -> bool {
         }
         // Atomic range implication.
         if let Some(qa) = as_atom(qc) {
-            return p_atoms
-                .iter()
-                .flatten()
-                .any(|pa| atom_implies(pa, &qa));
+            return p_atoms.iter().flatten().any(|pa| atom_implies(pa, &qa));
         }
         false
     })
@@ -249,10 +246,7 @@ mod tests {
     fn disjointness_on_equality_and_ranges() {
         assert!(disjoint(&c(0).eq(Expr::int(1)), &c(0).eq(Expr::int(2))));
         assert!(!disjoint(&c(0).eq(Expr::int(1)), &c(0).eq(Expr::int(1))));
-        assert!(disjoint(
-            &c(0).eq(Expr::int(1)),
-            &c(0).binary(BinOp::NotEq, Expr::int(1))
-        ));
+        assert!(disjoint(&c(0).eq(Expr::int(1)), &c(0).binary(BinOp::NotEq, Expr::int(1))));
         assert!(disjoint(
             &c(0).binary(BinOp::Lt, Expr::int(5)),
             &c(0).binary(BinOp::GtEq, Expr::int(5))

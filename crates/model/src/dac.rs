@@ -67,11 +67,7 @@ impl AccessPolicy {
     pub fn rules_for(&self, user: &str, view: &str) -> Vec<&DacRule> {
         self.rules
             .get(&user.to_ascii_lowercase())
-            .map(|rs| {
-                rs.iter()
-                    .filter(|r| r.view.eq_ignore_ascii_case(view))
-                    .collect()
-            })
+            .map(|rs| rs.iter().filter(|r| r.view.eq_ignore_ascii_case(view)).collect())
             .unwrap_or_default()
     }
 

@@ -59,10 +59,7 @@ impl DraftPair {
             }
             LogicalPlan::project(scan, exprs)
         };
-        LogicalPlan::union_all(vec![
-            mk(&self.active, BID_ACTIVE)?,
-            mk(&self.draft, BID_DRAFT)?,
-        ])
+        LogicalPlan::union_all(vec![mk(&self.active, BID_ACTIVE)?, mk(&self.draft, BID_DRAFT)?])
     }
 
     /// The analytical plan: active data only, no branch column.
@@ -118,10 +115,7 @@ mod tests {
     fn mismatched_draft_schema_rejected() {
         let active = doc_table("a");
         let bad = Arc::new(
-            TableBuilder::new("a_draft")
-                .column("doc_id", SqlType::Int, false)
-                .build()
-                .unwrap(),
+            TableBuilder::new("a_draft").column("doc_id", SqlType::Int, false).build().unwrap(),
         );
         assert!(DraftPair::new(active, bad).is_err());
         let bad_type = Arc::new(

@@ -90,9 +90,8 @@ pub fn extend_draft_with_fields(
     // Expose: view columns, then the custom fields.
     let js = join.schema();
     let nl = vs.len();
-    let mut exprs: Vec<(Expr, String)> = (0..nl)
-        .map(|i| (Expr::col(i), js.field(i).name.clone()))
-        .collect();
+    let mut exprs: Vec<(Expr, String)> =
+        (0..nl).map(|i| (Expr::col(i), js.field(i).name.clone())).collect();
     for (k, f) in spec.fields.iter().enumerate() {
         exprs.push((Expr::col(nl + 1 + spec.key.len() + k), f.clone()));
     }
@@ -121,25 +120,20 @@ fn build_extension_join(
     }
     // Sanity: the key must be unique on the base table, else this is not an
     // augmentation join at all.
-    let key_ords: Vec<usize> = spec
-        .key
-        .iter()
-        .map(|(_, t)| table.schema.index_of_or_err(t))
-        .collect::<Result<_>>()?;
+    let key_ords: Vec<usize> =
+        spec.key.iter().map(|(_, t)| table.schema.index_of_or_err(t)).collect::<Result<_>>()?;
     if !table.cols_unique(&key_ords) {
         return Err(VdmError::Plan(format!(
             "extension key {:?} is not unique on {:?}",
             spec.key, table.name
         )));
     }
-    let join =
-        LogicalPlan::join(view_plan, aug, JoinKind::LeftOuter, on, None, None, case_join)?;
+    let join = LogicalPlan::join(view_plan, aug, JoinKind::LeftOuter, on, None, None, case_join)?;
     // Expose view columns + the custom fields.
     let js = join.schema();
     let nl = vs.len();
-    let mut exprs: Vec<(Expr, String)> = (0..nl)
-        .map(|i| (Expr::col(i), js.field(i).name.clone()))
-        .collect();
+    let mut exprs: Vec<(Expr, String)> =
+        (0..nl).map(|i| (Expr::col(i), js.field(i).name.clone())).collect();
     for f in &spec.fields {
         let idx = ts.index_of_or_err(f)?;
         exprs.push((Expr::col(nl + idx), f.clone()));
@@ -172,10 +166,7 @@ mod tests {
     fn managed_view(table: &Arc<TableDef>) -> PlanRef {
         LogicalPlan::project(
             LogicalPlan::scan(Arc::clone(table)),
-            vec![
-                (Expr::col(0), "SalesOrder".into()),
-                (Expr::col(1), "SoldToParty".into()),
-            ],
+            vec![(Expr::col(0), "SalesOrder".into()), (Expr::col(1), "SoldToParty".into())],
         )
         .unwrap()
     }
@@ -246,8 +237,7 @@ mod tests {
         };
         let with_intent =
             extend_draft_with_fields(view.clone(), &pair, "bid", &spec, true).unwrap();
-        let without_intent =
-            extend_draft_with_fields(view, &pair, "bid", &spec, false).unwrap();
+        let without_intent = extend_draft_with_fields(view, &pair, "bid", &spec, false).unwrap();
         // Declared intent collapses the ASJ; both unions merge into one.
         let hana = Optimizer::hana();
         let opt = hana.optimize(&with_intent).unwrap();

@@ -155,12 +155,9 @@ impl VdmModel {
             .ok_or_else(|| {
                 VdmError::Catalog(format!("view {view_name:?} has no association {assoc_name:?}"))
             })?;
-        let target = self
-            .view(&assoc.target)
-            .map(|v| v.plan.clone())
-            .ok_or_else(|| {
-                VdmError::Catalog(format!("association target {:?} not found", assoc.target))
-            })?;
+        let target = self.view(&assoc.target).map(|v| v.plan.clone()).ok_or_else(|| {
+            VdmError::Catalog(format!("association target {:?} not found", assoc.target))
+        })?;
         let ls = view.plan.schema();
         let rs = target.schema();
         let on = assoc
@@ -214,8 +211,7 @@ mod tests {
     #[test]
     fn association_resolution_builds_aj() {
         let mut m = VdmModel::new();
-        m.basic_view_over("I_Customer", table("kna1", &["kunnr", "land1"]), &[], vec![])
-            .unwrap();
+        m.basic_view_over("I_Customer", table("kna1", &["kunnr", "land1"]), &[], vec![]).unwrap();
         m.basic_view_over(
             "I_SalesOrder",
             table("vbak", &["vbeln", "kunnr"]),

@@ -39,14 +39,10 @@ pub fn verify_join_cardinality(
 ) -> Result<CardinalityReport> {
     let left = engine.scan(left_table, snapshot)?;
     let right = engine.scan(right_table, snapshot)?;
-    let l_ords: Vec<usize> = on_left
-        .iter()
-        .map(|c| left.schema.index_of_or_err(c))
-        .collect::<Result<_>>()?;
-    let r_ords: Vec<usize> = on_right
-        .iter()
-        .map(|c| right.schema.index_of_or_err(c))
-        .collect::<Result<_>>()?;
+    let l_ords: Vec<usize> =
+        on_left.iter().map(|c| left.schema.index_of_or_err(c)).collect::<Result<_>>()?;
+    let r_ords: Vec<usize> =
+        on_right.iter().map(|c| right.schema.index_of_or_err(c)).collect::<Result<_>>()?;
 
     // Count right rows per key value.
     let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
@@ -208,10 +204,8 @@ mod tests {
     #[test]
     fn null_keys_are_ignored() {
         // The NULL `curr` on order 3 counts neither as matched nor unmatched.
-        let e = setup(vec![
-            vec![Value::str("EUR"), dec("1.0")],
-            vec![Value::str("USD"), dec("0.9")],
-        ]);
+        let e =
+            setup(vec![vec![Value::str("EUR"), dec("1.0")], vec![Value::str("USD"), dec("0.9")]]);
         let r = verify_join_cardinality(
             &e,
             e.snapshot(),

@@ -1,0 +1,25 @@
+//! Query-lifecycle observability: rewrite traces, per-operator runtime
+//! profiles, and a process-wide metrics registry.
+//!
+//! The paper's argument (§4–§6) is that VDM queries live or die by whether
+//! specific rewrites — UAJ removal, ASJ elimination, limit pushdown across
+//! augmentation joins — actually fire. This crate makes those decisions,
+//! and the runtime behaviour of the resulting plans, inspectable:
+//!
+//! * [`rewrite`] — a thread-local event sink the optimizer passes report
+//!   into: which rule fired, on which plan node, and what cardinality
+//!   evidence justified it.
+//! * [`profile`] — per-operator runtime stats ([`QueryProfile`]) keyed by
+//!   the stable pre-order node ids of [`NodeIndex`], recorded by both the
+//!   serial and morsel-driven parallel executors.
+//! * [`registry`] — a zero-dependency [`MetricsRegistry`] of monotonic
+//!   counters and latency histograms with JSON and Prometheus-text
+//!   exporters.
+
+pub mod profile;
+pub mod registry;
+pub mod rewrite;
+
+pub use profile::{NodeIndex, NodeStats, QueryProfile};
+pub use registry::MetricsRegistry;
+pub use rewrite::RewriteEvent;

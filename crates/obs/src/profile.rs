@@ -1,0 +1,143 @@
+//! Per-operator runtime profiles, keyed by stable plan-node ids.
+//!
+//! [`LogicalPlan`] nodes are immutable and `Arc`-shared, so a node's
+//! identity is its allocation. [`NodeIndex`] freezes that identity into
+//! small pre-order integers (the same numbering `EXPLAIN` renders), which
+//! lets worker threads record into plain maps without holding `Arc`s and
+//! lets serial and parallel profiles of the same plan be compared key by
+//! key.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use vdm_plan::{explain, LogicalPlan, PlanRef};
+
+/// Stable pre-order ids for every distinct node of a plan DAG.
+///
+/// Shared subtrees get one id (first visit wins), matching the
+/// `[shared #n]` convention of `plan::explain`.
+#[derive(Debug, Clone, Default)]
+pub struct NodeIndex {
+    ids: HashMap<usize, usize>,
+}
+
+impl NodeIndex {
+    /// Numbers `plan`'s nodes in pre-order (root = 0).
+    pub fn new(plan: &PlanRef) -> NodeIndex {
+        let ids =
+            explain::number_nodes(plan).into_iter().map(|(ptr, id)| (ptr as usize, id)).collect();
+        NodeIndex { ids }
+    }
+
+    /// The id of `plan`, if it belongs to the indexed DAG.
+    pub fn id_of(&self, plan: &PlanRef) -> Option<usize> {
+        self.id_of_ptr(Arc::as_ptr(plan) as usize)
+    }
+
+    /// Lookup by raw node address (for contexts that only kept a key).
+    pub fn id_of_ptr(&self, ptr: usize) -> Option<usize> {
+        self.ids.get(&ptr).copied()
+    }
+
+    /// The address key of `plan`, for deferred [`NodeIndex::id_of_ptr`] lookups.
+    pub fn key(plan: &Arc<LogicalPlan>) -> usize {
+        Arc::as_ptr(plan) as usize
+    }
+
+    /// Number of distinct nodes indexed.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no nodes are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// Runtime stats for one plan node.
+///
+/// Under the parallel executor, `nanos` is the *sum of worker CPU time*
+/// spent in the operator (it can exceed wall time), `invocations` counts
+/// morsels, and `workers` counts the worker-local partial profiles that
+/// touched the node. Serially all three collapse to per-call wall time,
+/// call count, and 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Rows the operator produced.
+    pub rows_out: u64,
+    /// Self time (child time excluded), summed across workers.
+    pub nanos: u64,
+    /// Times the operator ran (serial calls, or parallel morsels/tasks).
+    pub invocations: u64,
+    /// Worker-local profiles that recorded into this node.
+    pub workers: u64,
+}
+
+impl NodeStats {
+    fn absorb(&mut self, other: &NodeStats) {
+        self.rows_out += other.rows_out;
+        self.nanos += other.nanos;
+        self.invocations += other.invocations;
+        self.workers += other.workers;
+    }
+}
+
+/// A per-query, node-keyed runtime profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Stats per [`NodeIndex`] id. `BTreeMap` so renderings are ordered.
+    pub nodes: BTreeMap<usize, NodeStats>,
+}
+
+impl QueryProfile {
+    /// Adds one operator execution to node `id`.
+    pub fn record(&mut self, id: usize, rows_out: u64, nanos: u64) {
+        let s = self.nodes.entry(id).or_default();
+        s.rows_out += rows_out;
+        s.nanos += nanos;
+        s.invocations += 1;
+        s.workers = s.workers.max(1);
+    }
+
+    /// Merges a worker-local partial profile into this one.
+    pub fn merge(&mut self, other: &QueryProfile) {
+        for (id, s) in &other.nodes {
+            self.nodes.entry(*id).or_default().absorb(s);
+        }
+    }
+
+    /// Rows produced by node `id`, if it executed.
+    pub fn rows_out(&self, id: usize) -> Option<u64> {
+        self.nodes.get(&id).map(|s| s.rows_out)
+    }
+
+    /// The rows-only view used by serial/parallel equivalence checks
+    /// (nanos, invocations, and worker counts legitimately differ).
+    pub fn rows_by_node(&self) -> BTreeMap<usize, u64> {
+        self.nodes.iter().map(|(id, s)| (*id, s.rows_out)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields_and_counts_workers() {
+        let mut a = QueryProfile::default();
+        a.record(0, 10, 100);
+        a.record(0, 5, 50);
+        let mut b = QueryProfile::default();
+        b.record(0, 7, 70);
+        b.record(2, 1, 1);
+        a.merge(&b);
+        let s = a.nodes[&0];
+        assert_eq!(s.rows_out, 22);
+        assert_eq!(s.nanos, 220);
+        assert_eq!(s.invocations, 3);
+        assert_eq!(s.workers, 2);
+        assert_eq!(a.rows_out(2), Some(1));
+        assert_eq!(a.rows_out(1), None);
+    }
+}

@@ -1,0 +1,228 @@
+//! Process-wide metrics: monotonic counters and latency histograms with
+//! zero-dependency JSON and Prometheus-text exporters.
+//!
+//! Counter names may embed one Prometheus label set, e.g.
+//! `vdm_rewrite_fired_total{rule="uaj-removal"}` (see [`label`]); the
+//! exporters keep such keys intact and emit one `# TYPE` line per base
+//! metric name.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Upper bucket bounds (seconds) for latency histograms — log-spaced from
+/// 1 µs to 25 s, Prometheus `le` semantics (cumulative at export time).
+const LE_BOUNDS: [f64; 12] =
+    [1e-6, 5e-6, 25e-6, 1e-4, 5e-4, 25e-4, 1e-2, 5e-2, 25e-2, 1.0, 5.0, 25.0];
+
+/// One histogram: per-bound counts (non-cumulative internally) plus
+/// running count and sum.
+#[derive(Debug, Clone, Default)]
+struct Histogram {
+    buckets: [u64; LE_BOUNDS.len()],
+    /// Observations above the largest bound.
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: f64) {
+        match LE_BOUNDS.iter().position(|b| value <= *b) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+}
+
+/// A registry of named counters and histograms.
+///
+/// All methods take `&self`; the maps are mutex-guarded so executors and
+/// the optimizer can report from any thread. Use [`MetricsRegistry::global`]
+/// for the process-wide instance `vdm_core::Database` feeds.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, u64>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// Formats `name{key="value"}` for a labelled counter key.
+pub fn label(name: &str, key: &str, value: &str) -> String {
+    format!("{name}{{{key}=\"{}\"}}", value.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// The process-wide registry.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::default)
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry (tests; the process-wide one is [`global`]).
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The process-wide registry (alias for the free [`global`] function).
+    pub fn global() -> &'static MetricsRegistry {
+        global()
+    }
+
+    /// Adds `by` to counter `name`, creating it at zero.
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut counters = self.counters.lock().unwrap();
+        *counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Records one observation (seconds) into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut hists = self.histograms.lock().unwrap();
+        hists.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// Current value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.lock().unwrap().get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.counters.lock().unwrap().clone()
+    }
+
+    /// Renders everything as a JSON object:
+    /// `{"counters": {...}, "histograms": {"name": {"count", "sum", "buckets": [{"le", "count"}...]}}}`.
+    pub fn to_json(&self) -> String {
+        let counters = self.counters.lock().unwrap().clone();
+        let hists = self.histograms.lock().unwrap().clone();
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json_string(name)));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"sum\": {}, \"buckets\": [",
+                json_string(name),
+                h.count,
+                json_number(h.sum)
+            ));
+            let mut cumulative = 0;
+            for (bi, bound) in LE_BOUNDS.iter().enumerate() {
+                cumulative += h.buckets[bi];
+                if bi > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"le\": {}, \"count\": {cumulative}}}",
+                    json_number(*bound)
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Renders everything in the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let counters = self.counters.lock().unwrap().clone();
+        let hists = self.histograms.lock().unwrap().clone();
+        let mut out = String::new();
+        let mut last_base = String::new();
+        for (name, v) in &counters {
+            let base = name.split('{').next().unwrap_or(name);
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} counter\n"));
+                last_base = base.to_string();
+            }
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (name, h) in &hists {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0;
+            for (bi, bound) in LE_BOUNDS.iter().enumerate() {
+                cumulative += h.buckets[bi];
+                out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}.0", v.trunc() as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_export() {
+        let reg = MetricsRegistry::new();
+        reg.inc("vdm_queries_total", 1);
+        reg.inc("vdm_queries_total", 2);
+        reg.inc(&label("vdm_rewrite_fired_total", "rule", "uaj-removal"), 1);
+        assert_eq!(reg.counter("vdm_queries_total"), 3);
+
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE vdm_queries_total counter"));
+        assert!(text.contains("vdm_queries_total 3"));
+        assert!(text.contains("# TYPE vdm_rewrite_fired_total counter"));
+        assert!(text.contains("vdm_rewrite_fired_total{rule=\"uaj-removal\"} 1"));
+
+        let json = reg.to_json();
+        assert!(json.contains("\"vdm_queries_total\": 3"));
+    }
+
+    #[test]
+    fn histograms_bucket_cumulatively() {
+        let reg = MetricsRegistry::new();
+        reg.observe("vdm_query_seconds", 0.0004); // le 5e-4
+        reg.observe("vdm_query_seconds", 0.0004);
+        reg.observe("vdm_query_seconds", 30.0); // overflow
+        let text = reg.to_prometheus();
+        assert!(text.contains("vdm_query_seconds_bucket{le=\"0.0005\"} 2"));
+        assert!(text.contains("vdm_query_seconds_bucket{le=\"25\"} 2"));
+        assert!(text.contains("vdm_query_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("vdm_query_seconds_count 3"));
+        let json = reg.to_json();
+        assert!(json.contains("\"count\": 3"));
+    }
+
+    #[test]
+    fn label_escapes_quotes() {
+        assert_eq!(label("m", "k", "a\"b"), "m{k=\"a\\\"b\"}");
+    }
+}

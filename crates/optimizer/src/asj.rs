@@ -52,39 +52,57 @@ pub fn asj_pass(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
 }
 
 /// Rebuilds a node with transformed children (schema-preserving transform).
+///
+/// Identity-preserving: when no child actually changed (`Arc::ptr_eq`),
+/// the original node is returned unchanged. Bottom-up passes therefore
+/// keep the `Arc` identity of untouched subtrees, which both skips
+/// needless re-validation in the fixpoint loop and lets the rewrite trace
+/// attribute pre-numbered node ids to fire sites.
 pub(crate) fn rebuild_children(
     plan: &PlanRef,
     f: &impl Fn(&PlanRef) -> Result<PlanRef>,
 ) -> Result<PlanRef> {
+    let old_children = plan.children();
+    if old_children.is_empty() {
+        return Ok(plan.clone());
+    }
+    let mut new_children = Vec::with_capacity(old_children.len());
+    let mut changed = false;
+    for c in &old_children {
+        let nc = f(c)?;
+        changed |= !Arc::ptr_eq(&nc, c);
+        new_children.push(nc);
+    }
+    if !changed {
+        return Ok(plan.clone());
+    }
+    let mut kids = new_children.into_iter();
     Ok(match plan.as_ref() {
-        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => plan.clone(),
-        LogicalPlan::Project { input, exprs, .. } => {
-            LogicalPlan::project(f(input)?, exprs.clone())?
+        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => unreachable!("no children"),
+        LogicalPlan::Project { exprs, .. } => {
+            LogicalPlan::project(kids.next().unwrap(), exprs.clone())?
         }
-        LogicalPlan::Filter { input, predicate } => {
-            LogicalPlan::filter(f(input)?, predicate.clone())?
+        LogicalPlan::Filter { predicate, .. } => {
+            LogicalPlan::filter(kids.next().unwrap(), predicate.clone())?
         }
-        LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } => {
-            LogicalPlan::join(
-                f(left)?,
-                f(right)?,
-                *kind,
-                on.clone(),
-                filter.clone(),
-                *declared,
-                *asj_intent,
-            )?
+        LogicalPlan::Join { kind, on, filter, declared, asj_intent, .. } => LogicalPlan::join(
+            kids.next().unwrap(),
+            kids.next().unwrap(),
+            *kind,
+            on.clone(),
+            filter.clone(),
+            *declared,
+            *asj_intent,
+        )?,
+        LogicalPlan::UnionAll { .. } => LogicalPlan::union_all(kids.collect())?,
+        LogicalPlan::Aggregate { group_by, aggs, .. } => {
+            LogicalPlan::aggregate(kids.next().unwrap(), group_by.clone(), aggs.clone())?
         }
-        LogicalPlan::UnionAll { inputs, .. } => {
-            let children = inputs.iter().map(f).collect::<Result<Vec<_>>>()?;
-            LogicalPlan::union_all(children)?
+        LogicalPlan::Distinct { .. } => LogicalPlan::distinct(kids.next().unwrap()),
+        LogicalPlan::Sort { keys, .. } => LogicalPlan::sort(kids.next().unwrap(), keys.clone())?,
+        LogicalPlan::Limit { skip, fetch, .. } => {
+            LogicalPlan::limit(kids.next().unwrap(), *skip, *fetch)
         }
-        LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
-            LogicalPlan::aggregate(f(input)?, group_by.clone(), aggs.clone())?
-        }
-        LogicalPlan::Distinct { input } => LogicalPlan::distinct(f(input)?),
-        LogicalPlan::Sort { input, keys } => LogicalPlan::sort(f(input)?, keys.clone())?,
-        LogicalPlan::Limit { input, skip, fetch } => LogicalPlan::limit(f(input)?, *skip, *fetch),
     })
 }
 
@@ -236,7 +254,18 @@ fn try_asj(
         let pos = out.appended[scan_ord];
         exprs.push((Expr::col(pos), join_schema.field(nl + j).name.clone()));
     }
-    Ok(Some(LogicalPlan::project(out.plan, exprs)?))
+    let out_plan = LogicalPlan::project(out.plan, exprs)?;
+    vdm_obs::rewrite::fired(
+        "asj-elimination",
+        join,
+        Some(&out_plan),
+        &format!(
+            "§5: augmenter self-join on {}'s unique non-nullable key; \
+             references re-wired to the anchor-side instance",
+            aug.table.name
+        ),
+    );
+    Ok(Some(out_plan))
 }
 
 /// Threading spec shared down the anchor recursion.
@@ -337,9 +366,8 @@ fn thread(
             let inner = thread(input, key_anchor, key_scan, needed, spec)?;
             let mut preds = inner.preds;
             for conj in predicate::split_conjunction(predicate) {
-                let map: Vec<Option<usize>> = (0..input.schema().len())
-                    .map(|i| inner.scan_map.get(&i).copied())
-                    .collect();
+                let map: Vec<Option<usize>> =
+                    (0..input.schema().len()).map(|i| inner.scan_map.get(&i).copied()).collect();
                 if let Some(t) = translate(conj, &map) {
                     preds.push(t);
                 }
@@ -402,8 +430,7 @@ fn thread(
                 // Restore layout: [left₀.., right.., appended..].
                 let nr = right.schema().len();
                 let js = new_join.schema();
-                let mut exprs: Vec<(Expr, String)> =
-                    Vec::with_capacity(nl + nr + needed.len());
+                let mut exprs: Vec<(Expr, String)> = Vec::with_capacity(nl + nr + needed.len());
                 for i in 0..nl {
                     exprs.push((Expr::col(i), js.field(i).name.clone()));
                 }
@@ -490,9 +517,8 @@ fn thread(
                 // imply the augmenter predicate — delegated via
                 // `thread_union_pred_check` below by the ASJ caller.
                 let cs = child.schema();
-                let mut exprs: Vec<(Expr, String)> = (0..width)
-                    .map(|i| (Expr::col(i), cs.field(i).name.clone()))
-                    .collect();
+                let mut exprs: Vec<(Expr, String)> =
+                    (0..width).map(|i| (Expr::col(i), cs.field(i).name.clone())).collect();
                 for &s in needed {
                     exprs.push((Expr::col(inner.appended[&s]), format!("__asj_{s}")));
                 }
@@ -507,10 +533,8 @@ fn thread(
             // Per-child predicate collections: expose the weakest common
             // justification by keeping only conjuncts present in EVERY
             // child (a predicate that holds for all union rows).
-            let mut common: Vec<Expr> = new_children
-                .first()
-                .map(|(_, p)| p.clone())
-                .unwrap_or_default();
+            let mut common: Vec<Expr> =
+                new_children.first().map(|(_, p)| p.clone()).unwrap_or_default();
             for (_, preds) in &new_children[1..] {
                 common.retain(|c| preds.contains(c));
             }
@@ -581,10 +605,8 @@ fn try_asj_union(
             aug_children.iter().map(|c| branch_constant(c, r)).collect();
         if consts.iter().all(|c| c.is_some()) {
             let vals: Vec<Value> = consts.into_iter().flatten().collect();
-            let distinct = vals
-                .iter()
-                .enumerate()
-                .all(|(i, v)| vals.iter().skip(i + 1).all(|w| w != v));
+            let distinct =
+                vals.iter().enumerate().all(|(i, v)| vals.iter().skip(i + 1).all(|w| w != v));
             if distinct {
                 bid_pair = Some((l, r));
                 break;
@@ -623,14 +645,11 @@ fn try_asj_union(
             }
             key_scan.push(scan_ord);
         }
-        let needed_scan: Vec<usize> = match needed_out
-            .iter()
-            .map(|&j| aug.out_scan[j])
-            .collect::<Option<Vec<_>>>()
-        {
-            Some(v) => v,
-            None => return Ok(None),
-        };
+        let needed_scan: Vec<usize> =
+            match needed_out.iter().map(|&j| aug.out_scan[j]).collect::<Option<Vec<_>>>() {
+                Some(v) => v,
+                None => return Ok(None),
+            };
         branches.push(BranchInfo {
             bid,
             table: aug.table.name.to_ascii_lowercase(),
@@ -649,9 +668,8 @@ fn try_asj_union(
     // the other augmenter columns re-wire to the threaded positions.
     let width = left.schema().len();
     let js = join.schema();
-    let mut exprs: Vec<(Expr, String)> = (0..width)
-        .map(|i| (Expr::col(i), js.field(i).name.clone()))
-        .collect();
+    let mut exprs: Vec<(Expr, String)> =
+        (0..width).map(|i| (Expr::col(i), js.field(i).name.clone())).collect();
     for j in 0..nr_width {
         let name = js.field(width + j).name.clone();
         if j == bid_r {
@@ -661,7 +679,18 @@ fn try_asj_union(
             exprs.push((Expr::col(out.appended_at[pos]), name));
         }
     }
-    Ok(Some(LogicalPlan::project(out.plan, exprs)?))
+    let out_plan = LogicalPlan::project(out.plan, exprs)?;
+    vdm_obs::rewrite::fired(
+        "case-join",
+        join,
+        Some(&out_plan),
+        &format!(
+            "§6.3: UNION ALL augmenter ({} branch(es)) paired to anchor \
+             branches by branch-id constant; per-branch keys unique",
+            branches.len()
+        ),
+    );
+    Ok(Some(out_plan))
 }
 
 /// Result of threading a case join into an anchor subtree.
@@ -746,13 +775,8 @@ fn thread_case(
                     return None;
                 }
                 let branch = &branches[idx];
-                let spec = ThreadSpec {
-                    table: branch.table.clone(),
-                    outer_ok: true,
-                    profile,
-                };
-                let out =
-                    thread(child, key_ords, &branch.key_scan, &branch.needed_scan, &spec)?;
+                let spec = ThreadSpec { table: branch.table.clone(), outer_ok: true, profile };
+                let out = thread(child, key_ords, &branch.key_scan, &branch.needed_scan, &spec)?;
                 if let Some(p) = &branch.pred {
                     let path = Expr::conjunction(out.preds.clone());
                     if !out.justified && !predicate::implies(&path, p) {
@@ -760,9 +784,8 @@ fn thread_case(
                     }
                 }
                 let cs = child.schema();
-                let mut exprs: Vec<(Expr, String)> = (0..width)
-                    .map(|i| (Expr::col(i), cs.field(i).name.clone()))
-                    .collect();
+                let mut exprs: Vec<(Expr, String)> =
+                    (0..width).map(|i| (Expr::col(i), cs.field(i).name.clone())).collect();
                 for (i, &s) in branch.needed_scan.iter().enumerate() {
                     exprs.push((Expr::col(out.appended[&s]), format!("__case_{i}")));
                 }
@@ -795,13 +818,8 @@ fn branch_constant(plan: &PlanRef, b: usize) -> Option<Value> {
 fn is_shallow_branch(plan: &PlanRef) -> bool {
     match plan.as_ref() {
         LogicalPlan::Project { input, exprs, .. } => {
-            exprs
-                .iter()
-                .all(|(e, _)| matches!(e, Expr::Col(_) | Expr::Lit(_)))
-                && matches!(
-                    input.as_ref(),
-                    LogicalPlan::Scan { .. } | LogicalPlan::Filter { .. }
-                )
+            exprs.iter().all(|(e, _)| matches!(e, Expr::Col(_) | Expr::Lit(_)))
+                && matches!(input.as_ref(), LogicalPlan::Scan { .. } | LogicalPlan::Filter { .. })
                 && match input.as_ref() {
                     LogicalPlan::Filter { input: inner, .. } => {
                         matches!(inner.as_ref(), LogicalPlan::Scan { .. })

@@ -42,12 +42,27 @@ pub fn pushdown_filters(plan: &PlanRef) -> Result<PlanRef> {
     if let LogicalPlan::Filter { input, predicate } = rebuilt.as_ref() {
         let conjuncts: Vec<Expr> =
             predicate::split_conjunction(predicate).into_iter().cloned().collect();
+        let n_conjuncts = conjuncts.len();
         let (pushed, kept) = push_conjuncts(input, conjuncts)?;
+        if std::sync::Arc::ptr_eq(&pushed, input) && kept.len() == n_conjuncts {
+            return Ok(rebuilt.clone());
+        }
+        let n_kept = kept.len();
         let out = if kept.is_empty() {
             pushed
         } else {
             LogicalPlan::filter(pushed, Expr::conjunction(kept))?
         };
+        vdm_obs::rewrite::fired(
+            "filter-pushdown",
+            &rebuilt,
+            Some(&out),
+            &format!(
+                "{} of {n_conjuncts} conjunct(s) pushed below {}",
+                n_conjuncts - n_kept,
+                input.op_name()
+            ),
+        );
         return Ok(out);
     }
     Ok(rebuilt)
@@ -171,6 +186,12 @@ pub fn remove_redundant_distinct(plan: &PlanRef, profile: &Profile) -> Result<Pl
         let all: BTreeSet<usize> = (0..input.schema().len()).collect();
         let sets = vdm_plan::unique_sets(input, &opts);
         if vdm_plan::props::covers_unique(&sets, &all) {
+            vdm_obs::rewrite::fired(
+                "distinct-removal",
+                &rebuilt,
+                Some(input),
+                "input columns cover a derived unique set, so DISTINCT is a no-op",
+            );
             return Ok(input.clone());
         }
     }
@@ -186,9 +207,7 @@ pub fn cleanup(plan: &PlanRef) -> Result<PlanRef> {
         if let LogicalPlan::Project { input: grand, exprs: inner_exprs, .. } = input.as_ref() {
             let merged: Vec<(Expr, String)> = exprs
                 .iter()
-                .map(|(e, n)| {
-                    (e.substitute_columns(&|i| inner_exprs[i].0.clone()), n.clone())
-                })
+                .map(|(e, n)| (e.substitute_columns(&|i| inner_exprs[i].0.clone()), n.clone()))
                 .collect();
             return cleanup(&LogicalPlan::project(grand.clone(), merged)?);
         }

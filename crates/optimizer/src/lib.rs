@@ -62,7 +62,19 @@ impl Optimizer {
 
     /// Optimizes a plan and reports, pass by pass, which rewrites changed
     /// it — the "why did my plan shrink" view a VDM developer asks for.
+    /// Beyond the pass-level [`Trace::steps`], every rule firing is
+    /// collected as a structured [`vdm_obs::RewriteEvent`] in
+    /// [`Trace::events`] (rule name, plan-node id, cardinality evidence).
     pub fn optimize_traced(&self, plan: &PlanRef) -> Result<(PlanRef, Trace)> {
+        vdm_obs::rewrite::begin_collect();
+        let result = self.optimize_traced_inner(plan);
+        let events = vdm_obs::rewrite::finish_collect();
+        let (out, mut trace) = result?;
+        trace.events = events;
+        Ok((out, trace))
+    }
+
+    fn optimize_traced_inner(&self, plan: &PlanRef) -> Result<(PlanRef, Trace)> {
         let p = &self.profile;
         let mut trace = Trace::default();
         let mut plan = plan.clone();
@@ -81,14 +93,12 @@ impl Optimizer {
                 plan = trace.step("ASJ elimination", plan, |pl| asj::asj_pass(&pl, p))?;
             }
             if p.has(Capability::ProjectionPruning) || p.has(Capability::UajElimination) {
-                plan = trace.step("pruning + UAJ elimination", plan, |pl| {
-                    prune::prune_pass(&pl, p)
-                })?;
+                plan = trace
+                    .step("pruning + UAJ elimination", plan, |pl| prune::prune_pass(&pl, p))?;
             }
             if p.has(Capability::LimitPushdownAj) {
-                plan = trace.step("limit pushdown", plan, |pl| {
-                    limit_pushdown::limit_pass(&pl, p)
-                })?;
+                plan =
+                    trace.step("limit pushdown", plan, |pl| limit_pushdown::limit_pass(&pl, p))?;
             }
             if p.has(Capability::AllowPrecisionLoss) {
                 plan = trace.step("precision-loss interchange", plan, |pl| {
@@ -96,9 +106,8 @@ impl Optimizer {
                 })?;
             }
             if p.has(Capability::EagerAggregation) {
-                plan = trace.step("eager aggregation", plan, |pl| {
-                    precision::eager_agg_pass(&pl, p)
-                })?;
+                plan = trace
+                    .step("eager aggregation", plan, |pl| precision::eager_agg_pass(&pl, p))?;
             }
             if p.has(Capability::RemoveRedundantDistinct) {
                 plan = trace.step("distinct removal", plan, |pl| {
@@ -121,6 +130,9 @@ pub struct Trace {
     /// `(round, pass name, stats before, stats after)` for every pass that
     /// changed the plan.
     pub steps: Vec<(usize, String, vdm_plan::PlanStats, vdm_plan::PlanStats)>,
+    /// Every individual rule firing, in order (filled by
+    /// [`Optimizer::optimize_traced`]).
+    pub events: Vec<vdm_obs::RewriteEvent>,
 }
 
 impl Trace {
@@ -131,12 +143,36 @@ impl Trace {
         f: impl FnOnce(PlanRef) -> Result<PlanRef>,
     ) -> Result<PlanRef> {
         let before = plan_stats(&plan);
+        vdm_obs::rewrite::begin_pass(self.round, name, &plan);
         let out = f(plan)?;
         let after = plan_stats(&out);
         if before != after {
             self.steps.push((self.round, name.to_string(), before, after));
         }
         Ok(out)
+    }
+
+    /// Firings per rule name — the counts the metrics registry exposes as
+    /// `vdm_rewrite_fired_total{rule="..."}`.
+    pub fn hit_counts(&self) -> std::collections::BTreeMap<String, u64> {
+        let mut counts = std::collections::BTreeMap::new();
+        for e in &self.events {
+            *counts.entry(e.rule.clone()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// One line per rule firing (rule, node id, evidence, size digest).
+    pub fn render_events(&self) -> String {
+        if self.events.is_empty() {
+            return "no rewrites fired".to_string();
+        }
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
     }
 
     /// Human-readable rendering.
@@ -148,9 +184,12 @@ impl Trace {
         for (round, name, before, after) in &self.steps {
             out.push_str(&format!(
                 "round {round}: {name}: joins {} -> {}, tables {} -> {}, operators {} -> {}\n",
-                before.joins, after.joins,
-                before.table_instances, after.table_instances,
-                before.nodes, after.nodes,
+                before.joins,
+                after.joins,
+                before.table_instances,
+                after.table_instances,
+                before.nodes,
+                after.nodes,
             ));
         }
         out

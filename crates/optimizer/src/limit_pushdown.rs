@@ -23,6 +23,17 @@ fn rebuild(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
     let node = crate::asj::rebuild_children(plan, &|c| rebuild(c, profile))?;
     if let LogicalPlan::Limit { input, skip, fetch } = node.as_ref() {
         if let Some(pushed) = push_limit(input, *skip, *fetch, profile)? {
+            let fetch_s = fetch.map(|f| f.to_string()).unwrap_or_else(|| "ALL".into());
+            vdm_obs::rewrite::fired(
+                "limit-pushdown",
+                &node,
+                Some(&pushed),
+                &format!(
+                    "§4.4: LIMIT {fetch_s} OFFSET {skip} pushed below {} \
+                     (row-for-row correspondence across the augmentation)",
+                    input.op_name()
+                ),
+            );
             return Ok(pushed);
         }
     }
@@ -72,9 +83,7 @@ fn push_limit(
         LogicalPlan::Project { input: inner, exprs, .. } => {
             // LIMIT commutes with projection.
             match push_limit(inner, skip, fetch, profile)? {
-                Some(new_inner) => {
-                    Ok(Some(LogicalPlan::project(new_inner, exprs.clone())?))
-                }
+                Some(new_inner) => Ok(Some(LogicalPlan::project(new_inner, exprs.clone())?)),
                 None => Ok(None),
             }
         }

@@ -43,7 +43,14 @@ pub fn precision_pass(plan: &PlanRef) -> Result<PlanRef> {
                 .enumerate()
                 .map(|(i, e)| (e, schema.field(i).name.clone()))
                 .collect();
-            return LogicalPlan::project(agg_plan, exprs);
+            let out = LogicalPlan::project(agg_plan, exprs)?;
+            vdm_obs::rewrite::fired(
+                "precision-interchange",
+                &rebuilt,
+                Some(&out),
+                "§7.1: ALLOW_PRECISION_LOSS lets sum(round(x*k, s)) become round(sum(x)*k, s)",
+            );
+            return Ok(out);
         }
     }
     Ok(rebuilt)
@@ -102,6 +109,12 @@ pub fn eager_agg_pass(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
     let rebuilt = crate::asj::rebuild_children(plan, &|c| eager_agg_pass(c, profile))?;
     if let LogicalPlan::Aggregate { input, group_by, aggs, .. } = rebuilt.as_ref() {
         if let Some(new_plan) = try_eager(input, group_by, aggs, profile)? {
+            vdm_obs::rewrite::fired(
+                "eager-aggregation",
+                &rebuilt,
+                Some(&new_plan),
+                "aggregate pushed below an augmentation join (right side at most one match)",
+            );
             return Ok(new_plan);
         }
     }
@@ -183,10 +196,8 @@ fn try_eager(
         }
     }
     let left_schema = left.schema();
-    let pre_groups: Vec<(Expr, String)> = key_cols
-        .iter()
-        .map(|&c| (Expr::col(c), left_schema.field(c).name.clone()))
-        .collect();
+    let pre_groups: Vec<(Expr, String)> =
+        key_cols.iter().map(|&c| (Expr::col(c), left_schema.field(c).name.clone())).collect();
     let pre_aggs: Vec<(AggExpr, String)> = aggs
         .iter()
         .enumerate()
@@ -208,15 +219,8 @@ fn try_eager(
             (pos, r)
         })
         .collect();
-    let new_join = LogicalPlan::join(
-        pre,
-        right.clone(),
-        *kind,
-        new_on,
-        None,
-        *declared,
-        *asj_intent,
-    )?;
+    let new_join =
+        LogicalPlan::join(pre, right.clone(), *kind, new_on, None, *declared, *asj_intent)?;
     // Final aggregation: same groups (remapped), re-combined aggregates.
     let remap_col = |c: usize| -> usize {
         if c < nl {
@@ -226,10 +230,8 @@ fn try_eager(
             key_cols.len() + n_pre_aggs + (c - nl)
         }
     };
-    let final_groups: Vec<(Expr, String)> = group_by
-        .iter()
-        .map(|(g, n)| (g.remap_columns(&remap_col), n.clone()))
-        .collect();
+    let final_groups: Vec<(Expr, String)> =
+        group_by.iter().map(|(g, n)| (g.remap_columns(&remap_col), n.clone())).collect();
     let final_aggs: Vec<(AggExpr, String)> = aggs
         .iter()
         .enumerate()

@@ -52,7 +52,11 @@ pub fn prune_pass(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
     LogicalPlan::project(pruned, exprs)
 }
 
-fn prune(plan: &PlanRef, required: &BTreeSet<usize>, profile: &Profile) -> Result<(PlanRef, ColMap)> {
+fn prune(
+    plan: &PlanRef,
+    required: &BTreeSet<usize>,
+    profile: &Profile,
+) -> Result<(PlanRef, ColMap)> {
     // Zero-column relations are not representable; always keep one column.
     let mut required = required.clone();
     if required.is_empty() && !plan.schema().is_empty() {
@@ -87,9 +91,20 @@ fn prune(plan: &PlanRef, required: &BTreeSet<usize>, profile: &Profile) -> Resul
             let new_plan = LogicalPlan::filter(new_input, remap(predicate, &cmap))?;
             Ok((new_plan, cmap))
         }
-        LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } => prune_join(
-            plan, left, right, *kind, on, filter, *declared, *asj_intent, &required, profile,
-        ),
+        LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } => {
+            prune_join(
+                plan,
+                left,
+                right,
+                *kind,
+                on,
+                filter,
+                *declared,
+                *asj_intent,
+                &required,
+                profile,
+            )
+        }
         LogicalPlan::UnionAll { inputs, .. } => {
             let kept: Vec<usize> = required.iter().copied().collect();
             let mut new_children = Vec::with_capacity(inputs.len());
@@ -113,9 +128,8 @@ fn prune(plan: &PlanRef, required: &BTreeSet<usize>, profile: &Profile) -> Resul
         LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
             let ng = group_by.len();
             // Group keys always stay (dropping one changes grouping).
-            let kept_aggs: Vec<usize> = (0..aggs.len())
-                .filter(|j| required.contains(&(ng + j)))
-                .collect();
+            let kept_aggs: Vec<usize> =
+                (0..aggs.len()).filter(|j| required.contains(&(ng + j))).collect();
             let mut child_req = BTreeSet::new();
             for (e, _) in group_by {
                 e.referenced_columns(&mut child_req);
@@ -124,10 +138,7 @@ fn prune(plan: &PlanRef, required: &BTreeSet<usize>, profile: &Profile) -> Resul
                 aggs[j].0.referenced_columns(&mut child_req);
             }
             let (new_input, cmap) = prune(input, &child_req, profile)?;
-            let new_groups = group_by
-                .iter()
-                .map(|(e, n)| (remap(e, &cmap), n.clone()))
-                .collect();
+            let new_groups = group_by.iter().map(|(e, n)| (remap(e, &cmap), n.clone())).collect();
             let new_aggs = kept_aggs
                 .iter()
                 .map(|&j| {
@@ -199,19 +210,35 @@ fn prune_join(
     // ---- UAJ elimination ----------------------------------------------
     if profile.has(Capability::UajElimination) && req_right.is_empty() {
         let opts = profile.derive_options();
-        let removable = match kind {
+        let evidence = match kind {
             JoinKind::LeftOuter => {
                 // AJ 2a: right matches at most one row; AJ 2b: right empty.
-                vdm_plan::props::join_right_at_most_one(right, on, declared, &opts)
-                    || statically_empty(right)
+                if vdm_plan::props::join_right_at_most_one(right, on, declared, &opts) {
+                    Some(match declared {
+                        Some(d) => format!("AJ 2a: unused LEFT OUTER augmenter, at most one match (declared {d:?})"),
+                        None => "AJ 2a: unused LEFT OUTER augmenter, join columns cover a derived unique set".to_string(),
+                    })
+                } else if statically_empty(right) {
+                    Some("AJ 2b: unused LEFT OUTER augmenter is statically empty".to_string())
+                } else {
+                    None
+                }
             }
             JoinKind::Inner => {
                 // AJ 1: exactly-one lower bound needed.
-                inner_exactly_one(left, right, on, declared, profile)
+                if inner_exactly_one(left, right, on, declared, profile) {
+                    Some(match declared {
+                        Some(d) => format!("AJ 1a: unused INNER augmenter, exactly one match (declared {d:?})"),
+                        None => "AJ 1a: unused INNER augmenter, exactly one match (FK witness + unique key)".to_string(),
+                    })
+                } else {
+                    None
+                }
             }
         };
-        if removable {
+        if let Some(evidence) = evidence {
             let (new_left, lmap) = prune(left, &req_left, profile)?;
+            vdm_obs::rewrite::fired("uaj-removal", plan, Some(&new_left), &evidence);
             let mut map: ColMap = vec![None; width];
             for &i in &req_left {
                 map[i] = lmap[i];
@@ -265,9 +292,8 @@ fn prune_join(
             }
         })
     });
-    let new_plan = LogicalPlan::join(
-        new_left, new_right, kind, new_on, new_filter, declared, asj_intent,
-    )?;
+    let new_plan =
+        LogicalPlan::join(new_left, new_right, kind, new_on, new_filter, declared, asj_intent)?;
     let mut map: ColMap = vec![None; width];
     map[..nl].copy_from_slice(&lmap[..nl]);
     for i in 0..(width - nl) {
@@ -286,12 +312,9 @@ pub fn statically_empty(plan: &PlanRef) -> bool {
         LogicalPlan::Project { input, .. }
         | LogicalPlan::Distinct { input }
         | LogicalPlan::Sort { input, .. } => statically_empty(input),
-        LogicalPlan::Limit { input, fetch, .. } => {
-            *fetch == Some(0) || statically_empty(input)
-        }
+        LogicalPlan::Limit { input, fetch, .. } => *fetch == Some(0) || statically_empty(input),
         LogicalPlan::Join { left, right, kind, .. } => {
-            statically_empty(left)
-                || (*kind == JoinKind::Inner && statically_empty(right))
+            statically_empty(left) || (*kind == JoinKind::Inner && statically_empty(right))
         }
         LogicalPlan::UnionAll { inputs, .. } => inputs.iter().all(statically_empty),
         _ => false,
@@ -381,21 +404,15 @@ fn inner_exactly_one(
         if fk.columns.len() != on.len() {
             return false;
         }
-        let resolved: Option<Vec<usize>> = fk
-            .ref_columns
-            .iter()
-            .map(|n| right_table.schema.index_of(n))
-            .collect();
+        let resolved: Option<Vec<usize>> =
+            fk.ref_columns.iter().map(|n| right_table.schema.index_of(n)).collect();
         match resolved {
             Some(ref_ords) => {
                 // Pairwise alignment: fk.columns[i] ↔ ref_ords[i] must match
                 // the traced join pairs in some order.
                 on.len() == fk.columns.len()
                     && left_ords.iter().zip(&right_ords).all(|(lc, rc)| {
-                        fk.columns
-                            .iter()
-                            .zip(&ref_ords)
-                            .any(|(fc, rf)| fc == lc && rf == rc)
+                        fk.columns.iter().zip(&ref_ords).any(|(fc, rf)| fc == lc && rf == rc)
                     })
             }
             None => false,

@@ -79,11 +79,8 @@ fn engine() -> StorageEngine {
         e.create_table(t).unwrap();
     }
     let dec = |s: &str| Value::Dec(s.parse().unwrap());
-    e.insert(
-        "nation",
-        (0..5).map(|i| vec![Value::Int(i), Value::str(format!("N{i}"))]).collect(),
-    )
-    .unwrap();
+    e.insert("nation", (0..5).map(|i| vec![Value::Int(i), Value::str(format!("N{i}"))]).collect())
+        .unwrap();
     e.insert(
         "customer",
         (0..20)
@@ -257,7 +254,8 @@ fn table1_uaj_matrix_matches_paper() {
         for (si, profile) in systems.iter().enumerate() {
             let got = join_free(&Optimizer::new(profile.clone()), &q());
             assert_eq!(
-                got, expected[qi][si],
+                got,
+                expected[qi][si],
                 "{name} under {}: expected {}, got {}",
                 profile.name(),
                 expected[qi][si],
@@ -286,11 +284,9 @@ fn uaj_not_removed_when_augmenter_used() {
         vec![(1, 0)],
     )
     .unwrap();
-    let q = LogicalPlan::project(
-        join,
-        vec![(Expr::col(0), "k".into()), (Expr::col(4), "name".into())],
-    )
-    .unwrap();
+    let q =
+        LogicalPlan::project(join, vec![(Expr::col(0), "k".into()), (Expr::col(4), "name".into())])
+            .unwrap();
     let opt = Optimizer::hana().optimize(&q).unwrap();
     assert_eq!(plan_stats(&opt).joins, 1);
 }
@@ -316,8 +312,7 @@ fn aj2b_empty_augmenter_removed() {
     // Left-outer join against σ(false): many-to-zero (AJ 2b).
     let empty =
         LogicalPlan::filter(LogicalPlan::scan(lineitem()), Expr::int(1).eq(Expr::int(0))).unwrap();
-    let join =
-        LogicalPlan::left_join(LogicalPlan::scan(orders()), empty, vec![(0, 0)]).unwrap();
+    let join = LogicalPlan::left_join(LogicalPlan::scan(orders()), empty, vec![(0, 0)]).unwrap();
     let q = LogicalPlan::project(join, vec![(Expr::col(0), "k".into())]).unwrap();
     let opt = Optimizer::hana().optimize(&q).unwrap();
     assert_eq!(plan_stats(&opt).joins, 0);
@@ -378,8 +373,7 @@ fn declared_cardinality_enables_uaj_without_constraints() {
     let q = LogicalPlan::project(join, vec![(Expr::col(0), "k".into())]).unwrap();
     assert!(join_free(&Optimizer::hana(), &q));
     // Without trust, it stays.
-    let no_trust =
-        Optimizer::new(Profile::hana().without(Capability::TrustDeclaredCardinality));
+    let no_trust = Optimizer::new(Profile::hana().without(Capability::TrustDeclaredCardinality));
     assert!(!join_free(&no_trust, &q));
 }
 
@@ -451,11 +445,8 @@ fn asj_basic() -> PlanRef {
     )
     .unwrap();
     // Use an augmenter field: c_name from the right side.
-    LogicalPlan::project(
-        join,
-        vec![(Expr::col(0), "k".into()), (Expr::col(5), "name".into())],
-    )
-    .unwrap()
+    LogicalPlan::project(join, vec![(Expr::col(0), "k".into()), (Expr::col(5), "name".into())])
+        .unwrap()
 }
 
 /// Fig. 10(b): anchor is a subquery (projection + filter over the table).
@@ -470,33 +461,21 @@ fn asj_subquery() -> PlanRef {
     )
     .unwrap();
     let join = LogicalPlan::left_join(anchor, LogicalPlan::scan(customer()), vec![(0, 0)]).unwrap();
-    LogicalPlan::project(
-        join,
-        vec![(Expr::col(0), "k".into()), (Expr::col(3), "name".into())],
-    )
-    .unwrap()
+    LogicalPlan::project(join, vec![(Expr::col(0), "k".into()), (Expr::col(3), "name".into())])
+        .unwrap()
 }
 
 /// Fig. 10(c): filtered augmenter; `subsuming` controls whether the anchor
 /// predicate implies the augmenter predicate.
 fn asj_filtered(subsuming: bool) -> PlanRef {
-    let anchor = LogicalPlan::filter(
-        LogicalPlan::scan(customer()),
-        Expr::col(2).eq(Expr::int(1)),
-    )
-    .unwrap();
-    let aug_pred = if subsuming {
-        Expr::col(2).eq(Expr::int(1))
-    } else {
-        Expr::col(2).eq(Expr::int(2))
-    };
+    let anchor =
+        LogicalPlan::filter(LogicalPlan::scan(customer()), Expr::col(2).eq(Expr::int(1))).unwrap();
+    let aug_pred =
+        if subsuming { Expr::col(2).eq(Expr::int(1)) } else { Expr::col(2).eq(Expr::int(2)) };
     let aug = LogicalPlan::filter(LogicalPlan::scan(customer()), aug_pred).unwrap();
     let join = LogicalPlan::left_join(anchor, aug, vec![(0, 0)]).unwrap();
-    LogicalPlan::project(
-        join,
-        vec![(Expr::col(0), "k".into()), (Expr::col(5), "name".into())],
-    )
-    .unwrap()
+    LogicalPlan::project(join, vec![(Expr::col(0), "k".into()), (Expr::col(5), "name".into())])
+        .unwrap()
 }
 
 fn self_join_gone(optimizer: &Optimizer, plan: &PlanRef) -> bool {
@@ -510,12 +489,7 @@ fn table3_asj_matrix_only_hana() {
     for profile in Profile::paper_systems() {
         for (i, q) in queries.iter().enumerate() {
             let gone = self_join_gone(&Optimizer::new(profile.clone()), q);
-            assert_eq!(
-                gone,
-                profile.name() == "hana",
-                "ASJ query {i} under {}",
-                profile.name()
-            );
+            assert_eq!(gone, profile.name() == "hana", "ASJ query {i} under {}", profile.name());
         }
     }
 }
@@ -549,11 +523,9 @@ fn asj_blocked_when_anchor_key_computed() {
     )
     .unwrap();
     let join = LogicalPlan::left_join(anchor, LogicalPlan::scan(customer()), vec![(0, 0)]).unwrap();
-    let q = LogicalPlan::project(
-        join,
-        vec![(Expr::col(0), "k".into()), (Expr::col(2), "name".into())],
-    )
-    .unwrap();
+    let q =
+        LogicalPlan::project(join, vec![(Expr::col(0), "k".into()), (Expr::col(2), "name".into())])
+            .unwrap();
     let opt = Optimizer::hana().optimize(&q).unwrap();
     assert_eq!(plan_stats(&opt).joins, 1);
 }
@@ -588,8 +560,8 @@ fn asj_through_anchor_join() {
 
 /// Fig. 12(a): augmenter = union of disjoint subsets of customer.
 fn uaj_union_disjoint() -> PlanRef {
-    let a = LogicalPlan::filter(LogicalPlan::scan(customer()), Expr::col(2).eq(Expr::int(1)))
-        .unwrap();
+    let a =
+        LogicalPlan::filter(LogicalPlan::scan(customer()), Expr::col(2).eq(Expr::int(1))).unwrap();
     let b = LogicalPlan::filter(
         LogicalPlan::scan(customer()),
         Expr::col(2).binary(BinOp::NotEq, Expr::int(1)),
@@ -672,11 +644,8 @@ fn asj_anchor_union() -> PlanRef {
     };
     let anchor = LogicalPlan::union_all(vec![mk(0, 2), mk(2, 10)]).unwrap();
     let join = LogicalPlan::left_join(anchor, LogicalPlan::scan(customer()), vec![(0, 0)]).unwrap();
-    LogicalPlan::project(
-        join,
-        vec![(Expr::col(0), "k".into()), (Expr::col(5), "name".into())],
-    )
-    .unwrap()
+    LogicalPlan::project(join, vec![(Expr::col(0), "k".into()), (Expr::col(5), "name".into())])
+        .unwrap()
 }
 
 #[test]
@@ -761,9 +730,7 @@ fn case_join_always_recognized_heuristic_only_shallow() {
     assert!(plan_stats(&opt).joins >= 1, "deep shape must defeat the heuristic");
     // Without either capability, nothing collapses.
     let none = Optimizer::new(
-        Profile::hana()
-            .without(Capability::CaseJoin)
-            .without(Capability::AsjUnionHeuristic),
+        Profile::hana().without(Capability::CaseJoin).without(Capability::AsjUnionHeuristic),
     );
     assert!(!self_join_gone(&none, &asj_case_join(true, true)));
 }
@@ -772,11 +739,7 @@ fn case_join_always_recognized_heuristic_only_shallow() {
 fn case_join_preserves_results() {
     let e = engine();
     let hana = Optimizer::hana();
-    for q in [
-        asj_case_join(true, true),
-        asj_case_join(true, false),
-        asj_case_join(false, true),
-    ] {
+    for q in [asj_case_join(true, true), asj_case_join(true, false), asj_case_join(false, true)] {
         let opt = hana.optimize(&q).unwrap();
         assert_equivalent(&q, &opt, &e);
     }
@@ -855,11 +818,8 @@ fn distinct_removed_over_unique_input() {
     let opt = Optimizer::hana().optimize(&q).unwrap();
     assert_eq!(plan_stats(&opt).distincts, 0);
     // Over a non-unique projection it stays.
-    let p = LogicalPlan::project(
-        LogicalPlan::scan(customer()),
-        vec![(Expr::col(2), "nat".into())],
-    )
-    .unwrap();
+    let p = LogicalPlan::project(LogicalPlan::scan(customer()), vec![(Expr::col(2), "nat".into())])
+        .unwrap();
     let q = LogicalPlan::distinct(p);
     let opt = Optimizer::hana().optimize(&q).unwrap();
     assert_eq!(plan_stats(&opt).distincts, 1);
@@ -958,11 +918,9 @@ fn limit_pushes_into_union_children() {
 #[test]
 fn cleanup_merges_projection_stacks() {
     let base = LogicalPlan::scan(orders());
-    let p1 = LogicalPlan::project(
-        base,
-        vec![(Expr::col(1), "c".into()), (Expr::col(0), "k".into())],
-    )
-    .unwrap();
+    let p1 =
+        LogicalPlan::project(base, vec![(Expr::col(1), "c".into()), (Expr::col(0), "k".into())])
+            .unwrap();
     let p2 = LogicalPlan::project(p1, vec![(Expr::col(1), "key".into())]).unwrap();
     let opt = Optimizer::new(Profile::system_x()).optimize(&p2).unwrap();
     assert_eq!(plan_stats(&opt).projects, 1, "{}", vdm_plan::explain(&opt));
@@ -979,8 +937,7 @@ fn profile_differences_are_purely_about_work() {
     let mut reference: Option<Vec<Vec<Value>>> = None;
     for profile in Profile::paper_systems() {
         let opt = Optimizer::new(profile).optimize(&q).unwrap();
-        let (batch, metrics) =
-            vdm_exec::execute_at(&opt, &e, e.snapshot()).unwrap();
+        let (batch, metrics) = vdm_exec::execute_at(&opt, &e, e.snapshot()).unwrap();
         let mut rows = batch.to_rows();
         rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
         match &reference {

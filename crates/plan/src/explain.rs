@@ -10,12 +10,38 @@ use std::fmt::Write;
 
 /// Renders a plan tree as indented text.
 pub fn explain(plan: &PlanRef) -> String {
+    explain_annotated(plan, &|_| None)
+}
+
+/// Like [`explain`], appending a caller-supplied annotation to each node
+/// line (e.g. the `[#id rows=… time=…]` notes of EXPLAIN ANALYZE).
+/// Shared subtrees are annotated once, at their first (defining) render.
+pub fn explain_annotated(plan: &PlanRef, note: &dyn Fn(&PlanRef) -> Option<String>) -> String {
     let mut shared: HashMap<*const LogicalPlan, usize> = HashMap::new();
     collect_shared(plan, &mut HashMap::new(), &mut shared);
     let mut out = String::new();
     let mut printed: HashMap<*const LogicalPlan, usize> = HashMap::new();
-    render(plan, 0, &shared, &mut printed, &mut out);
+    render(plan, 0, &shared, &mut printed, note, &mut out);
     out
+}
+
+/// Numbers every distinct node of the DAG in pre-order (root = 0); shared
+/// subtrees keep the id of their first visit. These are the stable node
+/// ids the observability layer keys rewrite events and runtime profiles by.
+pub fn number_nodes(plan: &PlanRef) -> HashMap<*const LogicalPlan, usize> {
+    fn walk(plan: &PlanRef, ids: &mut HashMap<*const LogicalPlan, usize>) {
+        let ptr = std::sync::Arc::as_ptr(plan);
+        if ids.contains_key(&ptr) {
+            return;
+        }
+        ids.insert(ptr, ids.len());
+        for c in plan.children() {
+            walk(c, ids);
+        }
+    }
+    let mut ids = HashMap::new();
+    walk(plan, &mut ids);
+    ids
 }
 
 fn collect_shared(
@@ -44,6 +70,7 @@ fn render(
     indent: usize,
     shared: &HashMap<*const LogicalPlan, usize>,
     printed: &mut HashMap<*const LogicalPlan, usize>,
+    note: &dyn Fn(&PlanRef) -> Option<String>,
     out: &mut String,
 ) {
     let pad = "  ".repeat(indent);
@@ -55,13 +82,17 @@ fn render(
         }
         printed.insert(ptr, *id);
         let _ = write!(out, "{pad}#{id}: ");
-        render_node(plan, out);
     } else {
         let _ = write!(out, "{pad}");
-        render_node(plan, out);
+    }
+    render_node(plan, out);
+    if let Some(n) = note(plan) {
+        debug_assert!(out.ends_with('\n'));
+        out.pop();
+        let _ = writeln!(out, " {n}");
     }
     for c in plan.children() {
-        render(c, indent + 1, shared, printed, out);
+        render(c, indent + 1, shared, printed, note, out);
     }
 }
 
@@ -153,11 +184,7 @@ fn render_expr(e: &vdm_expr::Expr, schema: &vdm_types::Schema) -> String {
         }
         None
     });
-    pretty
-        .to_string()
-        .replace("'\u{1}", "")
-        .replace("\u{2}'", "")
-        .replace(['\u{1}', '\u{2}'], "")
+    pretty.to_string().replace("'\u{1}", "").replace("\u{2}'", "").replace(['\u{1}', '\u{2}'], "")
 }
 
 #[cfg(test)]
@@ -187,6 +214,28 @@ mod tests {
         assert!(text.contains("Filter"), "{text}");
         assert!(text.contains("k"), "field name resolved: {text}");
         assert!(text.contains("Scan orders"), "{text}");
+    }
+
+    #[test]
+    fn numbers_nodes_preorder_sharing_ids() {
+        let t = LogicalPlan::scan(table("t"));
+        let j = LogicalPlan::inner_join(Arc::clone(&t), Arc::clone(&t), vec![(0, 0)]).unwrap();
+        let ids = number_nodes(&j);
+        assert_eq!(ids.len(), 2, "join + one shared scan");
+        assert_eq!(ids[&Arc::as_ptr(&j)], 0);
+        assert_eq!(ids[&Arc::as_ptr(&t)], 1);
+    }
+
+    #[test]
+    fn annotations_attach_to_node_lines() {
+        let t = LogicalPlan::scan(table("orders"));
+        let f = LogicalPlan::filter(t, Expr::col(0).eq(Expr::int(5))).unwrap();
+        let ids = number_nodes(&f);
+        let text = explain_annotated(&f, &|p| {
+            ids.get(&Arc::as_ptr(p)).map(|id| format!("[#{id} rows=0]"))
+        });
+        assert!(text.contains("Filter (k = 5) [#0 rows=0]"), "{text}");
+        assert!(text.contains("Scan orders (inst") && text.contains(") [#1 rows=0]"), "{text}");
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub mod props;
 pub mod registry;
 pub mod stats;
 
-pub use explain::explain;
+pub use explain::{explain, explain_annotated, number_nodes};
 pub use lineage::{column_lineage, trace_column, Origin};
 pub use node::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef, SortKey};
 pub use props::{unique_sets, DeriveOptions};

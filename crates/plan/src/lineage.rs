@@ -103,11 +103,8 @@ mod tests {
     fn traces_through_pure_wrappers() {
         let t = table("t");
         let plan = LogicalPlan::project(
-            LogicalPlan::filter(
-                LogicalPlan::scan(Arc::clone(&t)),
-                Expr::col(1).eq(Expr::int(1)),
-            )
-            .unwrap(),
+            LogicalPlan::filter(LogicalPlan::scan(Arc::clone(&t)), Expr::col(1).eq(Expr::int(1)))
+                .unwrap(),
             vec![(Expr::col(1), "vee".into()), (Expr::col(0), "kay".into())],
         )
         .unwrap();
@@ -150,10 +147,7 @@ mod tests {
         let join = LogicalPlan::inner_join(a, b, vec![(0, 0)]).unwrap();
         let lin = column_lineage(&join);
         assert_eq!(lin.len(), 4);
-        let (i0, i2) = (
-            lin[0].as_ref().unwrap().instance,
-            lin[2].as_ref().unwrap().instance,
-        );
+        let (i0, i2) = (lin[0].as_ref().unwrap().instance, lin[2].as_ref().unwrap().instance);
         assert_ne!(i0, i2, "self-join instances stay distinguishable");
         assert_eq!(lin[0].as_ref().unwrap().table.name, "t");
     }
@@ -168,11 +162,9 @@ mod tests {
         )
         .unwrap();
         assert!(trace_column(&agg, 0).is_none());
-        let u = LogicalPlan::union_all(vec![
-            LogicalPlan::scan(Arc::clone(&t)),
-            LogicalPlan::scan(t),
-        ])
-        .unwrap();
+        let u =
+            LogicalPlan::union_all(vec![LogicalPlan::scan(Arc::clone(&t)), LogicalPlan::scan(t)])
+                .unwrap();
         assert!(trace_column(&u, 0).is_none());
     }
 }

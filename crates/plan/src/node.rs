@@ -61,23 +61,12 @@ static NEXT_INSTANCE: AtomicUsize = AtomicUsize::new(1);
 pub enum LogicalPlan {
     /// Base-table scan. `instance` distinguishes several scans of the same
     /// table (self joins) and identifies scans for lineage tracking.
-    Scan {
-        table: Arc<TableDef>,
-        instance: usize,
-        schema: Arc<Schema>,
-    },
+    Scan { table: Arc<TableDef>, instance: usize, schema: Arc<Schema> },
     /// Literal rows (also models the empty relation of AJ 2b).
-    Values {
-        schema: Arc<Schema>,
-        rows: Vec<Vec<Value>>,
-    },
+    Values { schema: Arc<Schema>, rows: Vec<Vec<Value>> },
     /// Projection: computes `exprs` over the input; output field `i` is
     /// named `exprs[i].1`.
-    Project {
-        input: PlanRef,
-        exprs: Vec<(Expr, String)>,
-        schema: Arc<Schema>,
-    },
+    Project { input: PlanRef, exprs: Vec<(Expr, String)>, schema: Arc<Schema> },
     /// Filter: keeps rows where the predicate evaluates to TRUE.
     Filter { input: PlanRef, predicate: Expr },
     /// Equi join with optional residual filter over the combined schema.
@@ -98,10 +87,7 @@ pub enum LogicalPlan {
         schema: Arc<Schema>,
     },
     /// Bag union of arity-compatible inputs.
-    UnionAll {
-        inputs: Vec<PlanRef>,
-        schema: Arc<Schema>,
-    },
+    UnionAll { inputs: Vec<PlanRef>, schema: Arc<Schema> },
     /// Grouped aggregation; output = group columns then aggregates.
     Aggregate {
         input: PlanRef,
@@ -114,11 +100,7 @@ pub enum LogicalPlan {
     /// ORDER BY.
     Sort { input: PlanRef, keys: Vec<SortKey> },
     /// LIMIT/OFFSET: skips `skip` rows, then emits at most `fetch` rows.
-    Limit {
-        input: PlanRef,
-        skip: u64,
-        fetch: Option<u64>,
-    },
+    Limit { input: PlanRef, skip: u64, fetch: Option<u64> },
 }
 
 impl LogicalPlan {
@@ -159,21 +141,14 @@ impl LogicalPlan {
             let (ty, nullable) = e.data_type(&in_schema)?;
             fields.push(Field::new(name.clone(), ty, nullable));
         }
-        Ok(Arc::new(LogicalPlan::Project {
-            input,
-            exprs,
-            schema: Arc::new(Schema::new(fields)),
-        }))
+        Ok(Arc::new(LogicalPlan::Project { input, exprs, schema: Arc::new(Schema::new(fields)) }))
     }
 
     /// Identity projection passing through `cols` of the input by ordinal,
     /// keeping their names.
     pub fn project_cols(input: PlanRef, cols: &[usize]) -> Result<PlanRef> {
         let schema = input.schema();
-        let exprs = cols
-            .iter()
-            .map(|&i| (Expr::col(i), schema.field(i).name.clone()))
-            .collect();
+        let exprs = cols.iter().map(|&i| (Expr::col(i), schema.field(i).name.clone())).collect();
         LogicalPlan::project(input, exprs)
     }
 
@@ -210,9 +185,7 @@ impl LogicalPlan {
             let lt = ls.field(l).ty;
             let rt = rs.field(r).ty;
             if lt.unify(&rt).is_none() {
-                return Err(VdmError::Plan(format!(
-                    "join key type mismatch: {lt} vs {rt}"
-                )));
+                return Err(VdmError::Plan(format!("join key type mismatch: {lt} vs {rt}")));
             }
         }
         let schema = Arc::new(ls.join(&rs, kind == JoinKind::LeftOuter));
@@ -271,10 +244,7 @@ impl LogicalPlan {
                 f.nullable |= other.nullable;
             }
         }
-        Ok(Arc::new(LogicalPlan::UnionAll {
-            inputs,
-            schema: Arc::new(Schema::new(fields)),
-        }))
+        Ok(Arc::new(LogicalPlan::UnionAll { inputs, schema: Arc::new(Schema::new(fields)) }))
     }
 
     /// Grouped aggregation.

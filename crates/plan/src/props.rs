@@ -111,11 +111,7 @@ fn derive(plan: &LogicalPlan, opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
     match plan {
         LogicalPlan::Scan { table, .. } => {
             if opts.from_primary_key {
-                table
-                    .unique_sets()
-                    .into_iter()
-                    .map(|v| v.into_iter().collect())
-                    .collect()
+                table.unique_sets().into_iter().map(|v| v.into_iter().collect()).collect()
             } else {
                 Vec::new()
             }
@@ -139,9 +135,7 @@ fn derive(plan: &LogicalPlan, opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
             child
                 .into_iter()
                 .filter_map(|s| {
-                    s.iter()
-                        .map(|c| pos_of.get(c).copied())
-                        .collect::<Option<BTreeSet<usize>>>()
+                    s.iter().map(|c| pos_of.get(c).copied()).collect::<Option<BTreeSet<usize>>>()
                 })
                 .collect()
         }
@@ -150,10 +144,8 @@ fn derive(plan: &LogicalPlan, opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
             if opts.from_const_filter {
                 let bound = predicate::constant_bound_columns(predicate);
                 if !bound.is_empty() {
-                    let shrunk: Vec<BTreeSet<usize>> = sets
-                        .iter()
-                        .map(|s| s.difference(&bound).copied().collect())
-                        .collect();
+                    let shrunk: Vec<BTreeSet<usize>> =
+                        sets.iter().map(|s| s.difference(&bound).copied().collect()).collect();
                     sets.extend(shrunk);
                 }
             }
@@ -189,11 +181,8 @@ fn derive(plan: &LogicalPlan, opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
             }
         }
         LogicalPlan::Limit { input, fetch, .. } => {
-            let mut sets = if opts.through_sort_limit {
-                unique_sets(input, opts)
-            } else {
-                Vec::new()
-            };
+            let mut sets =
+                if opts.through_sort_limit { unique_sets(input, opts) } else { Vec::new() };
             if matches!(fetch, Some(0) | Some(1)) {
                 sets.push(BTreeSet::new());
             }
@@ -267,11 +256,9 @@ fn derive_join(
 /// unchanged, or `None` for computed columns.
 fn as_filtered_source(plan: &LogicalPlan) -> Option<(String, Vec<Expr>, Vec<Option<usize>>)> {
     match plan {
-        LogicalPlan::Scan { table, schema, .. } => Some((
-            table.name.clone(),
-            Vec::new(),
-            (0..schema.len()).map(Some).collect(),
-        )),
+        LogicalPlan::Scan { table, schema, .. } => {
+            Some((table.name.clone(), Vec::new(), (0..schema.len()).map(Some).collect()))
+        }
         LogicalPlan::Filter { input, predicate } => {
             let (name, mut preds, map) = as_filtered_source(input)?;
             // Remap the predicate to scan ordinals; bail if it touches a
@@ -310,7 +297,10 @@ fn as_filtered_source(plan: &LogicalPlan) -> Option<(String, Vec<Expr>, Vec<Opti
     }
 }
 
-fn derive_union(inputs: &[std::sync::Arc<LogicalPlan>], opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
+fn derive_union(
+    inputs: &[std::sync::Arc<LogicalPlan>],
+    opts: &DeriveOptions,
+) -> Vec<BTreeSet<usize>> {
     if inputs.len() == 1 {
         return unique_sets(&inputs[0], opts);
     }
@@ -318,9 +308,8 @@ fn derive_union(inputs: &[std::sync::Arc<LogicalPlan>], opts: &DeriveOptions) ->
         inputs.iter().map(|c| unique_sets(c, opts)).collect();
     // A candidate S is "per-child unique" when every child has a unique set
     // contained in S (children share one output layout positionally).
-    let per_child_unique = |s: &BTreeSet<usize>| -> bool {
-        child_sets.iter().all(|sets| covers_unique(sets, s))
-    };
+    let per_child_unique =
+        |s: &BTreeSet<usize>| -> bool { child_sets.iter().all(|sets| covers_unique(sets, s)) };
 
     let mut out = Vec::new();
 
@@ -331,9 +320,7 @@ fn derive_union(inputs: &[std::sync::Arc<LogicalPlan>], opts: &DeriveOptions) ->
         let sources: Option<Vec<_>> = inputs.iter().map(|c| as_filtered_source(c)).collect();
         if let Some(sources) = sources {
             let (name0, _, map0) = &sources[0];
-            let same_shape = sources
-                .iter()
-                .all(|(n, _, m)| n == name0 && m == map0);
+            let same_shape = sources.iter().all(|(n, _, m)| n == name0 && m == map0);
             let pairwise_disjoint = || {
                 for i in 0..sources.len() {
                     for j in (i + 1)..sources.len() {
@@ -559,10 +546,7 @@ mod tests {
         let c = LogicalPlan::scan(customer());
         let p = LogicalPlan::project(
             c,
-            vec![
-                (Expr::col(1), "nat".into()),
-                (Expr::col(0), "key".into()),
-            ],
+            vec![(Expr::col(1), "nat".into()), (Expr::col(0), "key".into())],
         )
         .unwrap();
         assert!(covers_unique(&unique_sets(&p, &DeriveOptions::all()), &set(&[1])));
@@ -633,11 +617,9 @@ mod tests {
     fn declared_cardinality_trusted_when_enabled() {
         // No key on the right side at all, but the query declared m:1.
         let c = LogicalPlan::scan(customer());
-        let right = LogicalPlan::project(
-            LogicalPlan::scan(nation()),
-            vec![(Expr::col(1), "name".into())],
-        )
-        .unwrap();
+        let right =
+            LogicalPlan::project(LogicalPlan::scan(nation()), vec![(Expr::col(1), "name".into())])
+                .unwrap();
         let on = vec![];
         assert!(!join_right_at_most_one(&right, &on, None, &DeriveOptions::all()));
         assert!(join_right_at_most_one(
@@ -659,11 +641,7 @@ mod tests {
 
     #[test]
     fn values_single_row_is_singleton() {
-        let schema = vdm_types::Schema::new(vec![vdm_types::Field::new(
-            "x",
-            SqlType::Int,
-            false,
-        )]);
+        let schema = vdm_types::Schema::new(vec![vdm_types::Field::new("x", SqlType::Int, false)]);
         let v = LogicalPlan::values(schema.clone(), vec![vec![vdm_types::Value::Int(1)]]).unwrap();
         assert_eq!(unique_sets(&v, &DeriveOptions::none()), vec![BTreeSet::new()]);
         let v2 = LogicalPlan::values(

@@ -68,10 +68,7 @@ mod tests {
 
     fn plan() -> PlanRef {
         LogicalPlan::scan(Arc::new(
-            TableBuilder::new("t")
-                .column("k", SqlType::Int, false)
-                .build()
-                .unwrap(),
+            TableBuilder::new("t").column("k", SqlType::Int, false).build().unwrap(),
         ))
     }
 

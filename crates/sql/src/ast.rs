@@ -20,6 +20,9 @@ pub enum Statement {
         rows: Vec<Vec<AstExpr>>,
     },
     Explain(Box<Statement>),
+    /// `EXPLAIN ANALYZE stmt`: run the statement and render the plan
+    /// annotated with per-operator runtime statistics.
+    ExplainAnalyze(Box<Statement>),
 }
 
 /// `expr AS name` inside `WITH EXPRESSION MACROS (...)`.
@@ -115,20 +118,44 @@ pub enum AstExpr {
     Null,
     /// `*` — only valid inside `COUNT(*)`.
     Star,
-    Binary { op: AstBinOp, left: Box<AstExpr>, right: Box<AstExpr> },
+    Binary {
+        op: AstBinOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
     Not(Box<AstExpr>),
-    IsNull { expr: Box<AstExpr>, negated: bool },
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
     /// `x [NOT] IN (v1, v2, ...)` — desugared to an OR/AND chain at bind.
-    InList { expr: Box<AstExpr>, list: Vec<AstExpr>, negated: bool },
+    InList {
+        expr: Box<AstExpr>,
+        list: Vec<AstExpr>,
+        negated: bool,
+    },
     /// `x [NOT] BETWEEN lo AND hi` — desugared to range conjuncts at bind.
-    Between { expr: Box<AstExpr>, low: Box<AstExpr>, high: Box<AstExpr>, negated: bool },
+    Between {
+        expr: Box<AstExpr>,
+        low: Box<AstExpr>,
+        high: Box<AstExpr>,
+        negated: bool,
+    },
     Case {
         branches: Vec<(AstExpr, AstExpr)>,
         else_expr: Option<Box<AstExpr>>,
     },
     /// Function call (scalar or aggregate — resolved at bind time).
-    Func { name: String, args: Vec<AstExpr>, distinct: bool },
-    Cast { expr: Box<AstExpr>, type_name: String, scale: Option<u8> },
+    Func {
+        name: String,
+        args: Vec<AstExpr>,
+        distinct: bool,
+    },
+    Cast {
+        expr: Box<AstExpr>,
+        type_name: String,
+        scale: Option<u8>,
+    },
     /// `ALLOW_PRECISION_LOSS(aggregate-expr)` (§7.1).
     PrecisionLoss(Box<AstExpr>),
     /// `EXPRESSION_MACRO(name)` (§7.2).

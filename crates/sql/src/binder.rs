@@ -71,18 +71,14 @@ impl Scope {
             [qual, name] => {
                 let mut found = None;
                 for e in &self.entries {
-                    let matches_qual = e
-                        .qualifier
-                        .as_ref()
-                        .is_some_and(|q| q.eq_ignore_ascii_case(qual));
+                    let matches_qual =
+                        e.qualifier.as_ref().is_some_and(|q| q.eq_ignore_ascii_case(qual));
                     if !matches_qual {
                         continue;
                     }
                     if let Some(idx) = e.schema.index_of(name) {
                         if found.is_some() {
-                            return Err(VdmError::Bind(format!(
-                                "ambiguous column {qual}.{name}"
-                            )));
+                            return Err(VdmError::Bind(format!("ambiguous column {qual}.{name}")));
                         }
                         found = Some(e.start + idx);
                     }
@@ -130,11 +126,7 @@ impl<'a> Binder<'a> {
                 .iter()
                 .map(|(e, asc)| {
                     let col = self.resolve_output_column(e, &schema)?;
-                    Ok(SortKey {
-                        expr: Expr::col(col),
-                        asc: *asc,
-                        nulls_first: *asc,
-                    })
+                    Ok(SortKey { expr: Expr::col(col), asc: *asc, nulls_first: *asc })
                 })
                 .collect::<Result<Vec<_>>>()?;
             plan = LogicalPlan::sort(plan, keys)?;
@@ -152,17 +144,14 @@ impl<'a> Binder<'a> {
             AstExpr::Ident(parts) if parts.len() == 1 => schema.index_of_or_err(&parts[0]),
             AstExpr::Ident(parts) => schema.index_of_or_err(&parts[parts.len() - 1]),
             AstExpr::Number(n) => {
-                let k: usize = n
-                    .parse()
-                    .map_err(|_| VdmError::Bind(format!("bad ORDER BY position {n}")))?;
+                let k: usize =
+                    n.parse().map_err(|_| VdmError::Bind(format!("bad ORDER BY position {n}")))?;
                 if k == 0 || k > schema.len() {
                     return Err(VdmError::Bind(format!("ORDER BY position {k} out of range")));
                 }
                 Ok(k - 1)
             }
-            _ => Err(VdmError::Bind(
-                "ORDER BY supports output column names and positions".into(),
-            )),
+            _ => Err(VdmError::Bind("ORDER BY supports output column names and positions".into())),
         }
     }
 
@@ -265,11 +254,8 @@ impl<'a> Binder<'a> {
             .map(|h| self.bind_post(h, scope, &stmt.group_by, &group_by, &mut aggs))
             .transpose()?;
         // 3. Build Aggregate node.
-        let agg_named: Vec<(AggExpr, String)> = aggs
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (a.clone(), format!("__agg_{i}")))
-            .collect();
+        let agg_named: Vec<(AggExpr, String)> =
+            aggs.iter().enumerate().map(|(i, a)| (a.clone(), format!("__agg_{i}"))).collect();
         let mut plan = LogicalPlan::aggregate(input, group_by, agg_named)?;
         // 4. HAVING filters the grouped rows.
         if let Some(h) = having {
@@ -361,8 +347,7 @@ impl<'a> Binder<'a> {
                 aggs,
             )?))),
             AstExpr::IsNull { expr, negated } => {
-                let inner =
-                    Box::new(self.bind_post(expr, scope, group_ast, group_bound, aggs)?);
+                let inner = Box::new(self.bind_post(expr, scope, group_ast, group_bound, aggs)?);
                 Ok(if *negated { Expr::IsNotNull(inner) } else { Expr::IsNull(inner) })
             }
             AstExpr::InList { expr, list, negated } => {
@@ -433,10 +418,7 @@ impl<'a> Binder<'a> {
             return Ok(AggExpr::count_star());
         }
         if args.len() != 1 {
-            return Err(VdmError::Bind(format!(
-                "{} takes exactly one argument",
-                func.name()
-            )));
+            return Err(VdmError::Bind(format!("{} takes exactly one argument", func.name())));
         }
         let arg = self.bind_scalar(&args[0], scope)?;
         let mut agg = AggExpr::new(func, arg);
@@ -466,10 +448,8 @@ impl<'a> Binder<'a> {
             }
             AstExpr::InList { expr, list, negated } => {
                 let e = self.bind_scalar(expr, scope)?;
-                let items = list
-                    .iter()
-                    .map(|x| self.bind_scalar(x, scope))
-                    .collect::<Result<Vec<_>>>()?;
+                let items =
+                    list.iter().map(|x| self.bind_scalar(x, scope)).collect::<Result<Vec<_>>>()?;
                 Ok(desugar_in(e, items, *negated))
             }
             AstExpr::Between { expr, low, high, negated } => {
@@ -492,17 +472,13 @@ impl<'a> Binder<'a> {
             }
             AstExpr::Func { name, args, distinct } => {
                 if agg_func_by_name(name).is_some() {
-                    return Err(VdmError::Bind(format!(
-                        "aggregate {name} is not allowed here"
-                    )));
+                    return Err(VdmError::Bind(format!("aggregate {name} is not allowed here")));
                 }
                 if *distinct {
                     return Err(VdmError::Bind("DISTINCT only applies to aggregates".into()));
                 }
-                let bound = args
-                    .iter()
-                    .map(|a| self.bind_scalar(a, scope))
-                    .collect::<Result<Vec<_>>>()?;
+                let bound =
+                    args.iter().map(|a| self.bind_scalar(a, scope)).collect::<Result<Vec<_>>>()?;
                 self.finish_scalar_func(name, bound)
             }
             AstExpr::Cast { expr, type_name, scale } => {
@@ -543,9 +519,7 @@ impl<'a> Binder<'a> {
                 if let Some(view) = self.catalog.view(name) {
                     let stmt = crate::parser::parse_one(&view.sql)?;
                     let Statement::Select(sel) = stmt else {
-                        return Err(VdmError::Bind(format!(
-                            "view {name:?} body is not a SELECT"
-                        )));
+                        return Err(VdmError::Bind(format!("view {name:?} body is not a SELECT")));
                     };
                     let plan = self.bind_select_depth(&sel, depth + 1)?;
                     let scope = Scope::single(qualifier, plan.schema());
@@ -563,10 +537,7 @@ impl<'a> Binder<'a> {
                 let (rp, rs) = self.bind_table_ref(right, depth)?;
                 let nl = ls.width();
                 let scope = ls.join(rs);
-                let on_expr = on
-                    .as_ref()
-                    .map(|e| self.bind_scalar(e, &scope))
-                    .transpose()?;
+                let on_expr = on.as_ref().map(|e| self.bind_scalar(e, &scope)).transpose()?;
                 // Split conjunctions into equi-key pairs vs residual filter.
                 let mut pairs = Vec::new();
                 let mut residual = Vec::new();
@@ -582,20 +553,10 @@ impl<'a> Binder<'a> {
                     AstJoinKind::Inner => vdm_plan::JoinKind::Inner,
                     AstJoinKind::LeftOuter => vdm_plan::JoinKind::LeftOuter,
                 };
-                let filter = if residual.is_empty() {
-                    None
-                } else {
-                    Some(Expr::conjunction(residual))
-                };
-                let plan = LogicalPlan::join(
-                    lp,
-                    rp,
-                    plan_kind,
-                    pairs,
-                    filter,
-                    *cardinality,
-                    *case_join,
-                )?;
+                let filter =
+                    if residual.is_empty() { None } else { Some(Expr::conjunction(residual)) };
+                let plan =
+                    LogicalPlan::join(lp, rp, plan_kind, pairs, filter, *cardinality, *case_join)?;
                 Ok((plan, scope))
             }
         }
@@ -608,7 +569,11 @@ impl<'a> Binder<'a> {
         let mut b = TableBuilder::new(ast.name.clone());
         for c in &ast.columns {
             let implicit_pk = ast.primary_key.iter().any(|k| k.eq_ignore_ascii_case(&c.name));
-            b = b.column(c.name.clone(), sql_type(&c.type_name, c.scale)?, !(c.not_null || implicit_pk));
+            b = b.column(
+                c.name.clone(),
+                sql_type(&c.type_name, c.scale)?,
+                !(c.not_null || implicit_pk),
+            );
         }
         if !ast.primary_key.is_empty() {
             let keys: Vec<&str> = ast.primary_key.iter().map(|s| s.as_str()).collect();
@@ -648,10 +613,9 @@ impl<'a> Binder<'a> {
     ) -> Result<Vec<Vec<Value>>> {
         let width = table.schema.len();
         let positions: Vec<usize> = match columns {
-            Some(names) => names
-                .iter()
-                .map(|n| table.schema.index_of_or_err(n))
-                .collect::<Result<_>>()?,
+            Some(names) => {
+                names.iter().map(|n| table.schema.index_of_or_err(n)).collect::<Result<_>>()?
+            }
             None => (0..width).collect(),
         };
         let scope = Scope::single(None, Arc::new(Schema::empty()));
@@ -697,13 +661,9 @@ fn desugar_in(e: Expr, items: Vec<Expr>, negated: bool) -> Expr {
 /// Desugars `x [NOT] BETWEEN lo AND hi` into range comparisons.
 fn desugar_between(e: Expr, lo: Expr, hi: Expr, negated: bool) -> Expr {
     if negated {
-        e.clone()
-            .binary(vdm_expr::BinOp::Lt, lo)
-            .or(e.binary(vdm_expr::BinOp::Gt, hi))
+        e.clone().binary(vdm_expr::BinOp::Lt, lo).or(e.binary(vdm_expr::BinOp::Gt, hi))
     } else {
-        e.clone()
-            .binary(vdm_expr::BinOp::GtEq, lo)
-            .and(e.binary(vdm_expr::BinOp::LtEq, hi))
+        e.clone().binary(vdm_expr::BinOp::GtEq, lo).and(e.binary(vdm_expr::BinOp::LtEq, hi))
     }
 }
 

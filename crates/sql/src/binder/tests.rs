@@ -142,7 +142,9 @@ fn join_cardinality_annotation_lands_in_plan() {
 fn case_join_sets_intent() {
     let db = db();
     let plan = db
-        .plan("select o_orderkey from orders left outer case join customer on o_custkey = c_custkey")
+        .plan(
+            "select o_orderkey from orders left outer case join customer on o_custkey = c_custkey",
+        )
         .unwrap();
     fn find_intent(p: &PlanRef) -> bool {
         if let LogicalPlan::Join { asj_intent, .. } = p.as_ref() {
@@ -160,7 +162,10 @@ fn group_by_and_having() {
         "select o_custkey, count(*), sum(o_total) from orders \
          group by o_custkey having count(*) > 1 order by 1",
     );
-    assert_eq!(rows, vec![vec![Value::Int(1), Value::Int(2), Value::Dec("12.25".parse().unwrap())]]);
+    assert_eq!(
+        rows,
+        vec![vec![Value::Int(1), Value::Int(2), Value::Dec("12.25".parse().unwrap())]]
+    );
 }
 
 #[test]
@@ -180,9 +185,8 @@ fn group_key_must_cover_bare_columns() {
 #[test]
 fn union_all_binds_and_runs() {
     let db = db();
-    let rows = db.query(
-        "select c_custkey as k from customer union all select o_orderkey as k from orders",
-    );
+    let rows = db
+        .query("select c_custkey as k from customer union all select o_orderkey as k from orders");
     assert_eq!(rows.len(), 5);
 }
 
@@ -199,9 +203,7 @@ fn subquery_in_from() {
 fn views_expand_recursively() {
     let mut db = db();
     db.run_ddl("create view v1 as select o_orderkey, o_custkey from orders");
-    db.catalog
-        .create_view("v2", "select v1.o_orderkey from v1 where v1.o_custkey = 1")
-        .unwrap();
+    db.catalog.create_view("v2", "select v1.o_orderkey from v1 where v1.o_custkey = 1").unwrap();
     let rows = db.query("select * from v2 order by 1");
     assert_eq!(rows.len(), 2);
     // Plan views registered in the registry also resolve.
@@ -221,9 +223,8 @@ fn view_cycles_are_detected() {
 #[test]
 fn precision_loss_flag_reaches_agg() {
     let db = db();
-    let plan = db
-        .plan("select allow_precision_loss(sum(round(o_total * 1.11, 2))) from orders")
-        .unwrap();
+    let plan =
+        db.plan("select allow_precision_loss(sum(round(o_total * 1.11, 2))) from orders").unwrap();
     fn find_flag(p: &PlanRef) -> bool {
         if let LogicalPlan::Aggregate { aggs, .. } = p.as_ref() {
             return aggs.iter().any(|(a, _)| a.allow_precision_loss);

@@ -66,10 +66,7 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
             {
                 i += 1;
             }
-            out.push(Token {
-                kind: TokenKind::Ident(sql[start..i].to_string()),
-                offset: start,
-            });
+            out.push(Token { kind: TokenKind::Ident(sql[start..i].to_string()), offset: start });
             continue;
         }
         if c.is_ascii_digit() {
@@ -87,10 +84,7 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                 }
                 i += 1;
             }
-            out.push(Token {
-                kind: TokenKind::Number(sql[start..i].to_string()),
-                offset: start,
-            });
+            out.push(Token { kind: TokenKind::Number(sql[start..i].to_string()), offset: start });
             continue;
         }
         if c == '\'' {
@@ -171,9 +165,7 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             None => {
-                return Err(VdmError::Parse(format!(
-                    "unexpected character {c:?} at offset {i}"
-                )))
+                return Err(VdmError::Parse(format!("unexpected character {c:?} at offset {i}")))
             }
         }
     }

@@ -133,8 +133,7 @@ impl Parser {
         match self.peek().clone() {
             TokenKind::Number(n) => {
                 self.bump();
-                n.parse::<u64>()
-                    .map_err(|_| VdmError::Parse(format!("expected integer, got {n}")))
+                n.parse::<u64>().map_err(|_| VdmError::Parse(format!("expected integer, got {n}")))
             }
             _ => self.err("integer"),
         }
@@ -145,6 +144,10 @@ impl Parser {
     fn statement(&mut self) -> Result<Statement> {
         if self.at_kw("explain") {
             self.bump();
+            if self.at_kw("analyze") {
+                self.bump();
+                return Ok(Statement::ExplainAnalyze(Box::new(self.statement()?)));
+            }
             return Ok(Statement::Explain(Box::new(self.statement()?)));
         }
         if self.at_kw("select") {
@@ -272,10 +275,7 @@ impl Parser {
         if self.at_kw(kw) {
             Ok(())
         } else {
-            Err(VdmError::Parse(format!(
-                "expected {kw}, found {}",
-                self.peek().describe()
-            )))
+            Err(VdmError::Parse(format!("expected {kw}, found {}", self.peek().describe())))
         }
     }
 
@@ -502,11 +502,8 @@ impl Parser {
         let mut left = self.and_expr()?;
         while self.eat_kw("or") {
             let right = self.and_expr()?;
-            left = AstExpr::Binary {
-                op: AstBinOp::Or,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left =
+                AstExpr::Binary { op: AstBinOp::Or, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -515,11 +512,8 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("and") {
             let right = self.not_expr()?;
-            left = AstExpr::Binary {
-                op: AstBinOp::And,
-                left: Box::new(left),
-                right: Box::new(right),
-            };
+            left =
+                AstExpr::Binary { op: AstBinOp::And, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -551,11 +545,8 @@ impl Parser {
         };
         if self.eat_kw("like") {
             let pattern = self.additive()?;
-            let call = AstExpr::Func {
-                name: "like".into(),
-                args: vec![left, pattern],
-                distinct: false,
-            };
+            let call =
+                AstExpr::Func { name: "like".into(), args: vec![left, pattern], distinct: false };
             return Ok(if negated { AstExpr::Not(Box::new(call)) } else { call });
         }
         if self.eat_kw("in") {
@@ -796,10 +787,8 @@ mod tests {
 
     #[test]
     fn parses_joins_with_cardinality_and_case_join() {
-        let s = sel(
-            "select * from a left outer many to one join b on a.k = b.k \
-             left outer case join c on a.k = c.k",
-        );
+        let s = sel("select * from a left outer many to one join b on a.k = b.k \
+             left outer case join c on a.k = c.k");
         let TableRef::Join { left, cardinality, case_join, .. } = s.from.unwrap() else {
             panic!("expected join");
         };
@@ -824,10 +813,8 @@ mod tests {
 
     #[test]
     fn parses_group_by_having_order_limit() {
-        let s = sel(
-            "select c, count(*) from t group by c having count(*) > 2 \
-             order by c desc limit 10 offset 5",
-        );
+        let s = sel("select c, count(*) from t group by c having count(*) > 2 \
+             order by c desc limit 10 offset 5");
         assert_eq!(s.group_by.len(), 1);
         assert!(s.having.is_some());
         assert_eq!(s.order_by.len(), 1);
@@ -855,10 +842,7 @@ mod tests {
     #[test]
     fn parses_precision_loss_and_macro() {
         let s = sel("select allow_precision_loss(sum(round(p * 1.11, 2))) from t");
-        assert!(matches!(
-            &s.items[0],
-            SelectItem::Expr { expr: AstExpr::PrecisionLoss(_), .. }
-        ));
+        assert!(matches!(&s.items[0], SelectItem::Expr { expr: AstExpr::PrecisionLoss(_), .. }));
         let s = sel("select o, expression_macro(margin) from v group by o");
         assert!(matches!(
             &s.items[1],
@@ -896,8 +880,7 @@ mod tests {
 
     #[test]
     fn parses_insert() {
-        let stmt =
-            parse_one("insert into t (a, b) values (1, 'x'), (2, null)").unwrap();
+        let stmt = parse_one("insert into t (a, b) values (1, 'x'), (2, null)").unwrap();
         let Statement::Insert { rows, columns, .. } = stmt else { panic!() };
         assert_eq!(rows.len(), 2);
         assert_eq!(columns.unwrap().len(), 2);
@@ -906,10 +889,7 @@ mod tests {
     #[test]
     fn parses_case_expressions() {
         let s = sel("select case when a = 1 then 'one' else 'many' end from t");
-        assert!(matches!(
-            &s.items[0],
-            SelectItem::Expr { expr: AstExpr::Case { .. }, .. }
-        ));
+        assert!(matches!(&s.items[0], SelectItem::Expr { expr: AstExpr::Case { .. }, .. }));
         let s = sel("select case a when 1 then 'one' when 2 then 'two' end x from t");
         let SelectItem::Expr { expr: AstExpr::Case { branches, .. }, .. } = &s.items[0] else {
             panic!();
@@ -929,6 +909,17 @@ mod tests {
     fn parses_explain() {
         let stmt = parse_one("explain select 1 from t").unwrap();
         assert!(matches!(stmt, Statement::Explain(_)));
+    }
+
+    #[test]
+    fn parses_explain_analyze() {
+        let stmt = parse_one("explain analyze select 1 from t").unwrap();
+        let Statement::ExplainAnalyze(inner) = stmt else {
+            panic!("expected ExplainAnalyze");
+        };
+        assert!(matches!(*inner, Statement::Select(_)));
+        // `analyze` stays usable as an ordinary identifier elsewhere.
+        assert!(parse_one("select analyze from t").is_ok());
     }
 
     #[test]

@@ -17,7 +17,8 @@ impl StrColumn {
     /// NULL slots receive code 0 and are masked by the column validity).
     pub fn from_values(values: &[Option<Arc<str>>]) -> StrColumn {
         let mut dict: Vec<Arc<str>> = Vec::new();
-        let mut code_of: std::collections::HashMap<Arc<str>, u32> = std::collections::HashMap::new();
+        let mut code_of: std::collections::HashMap<Arc<str>, u32> =
+            std::collections::HashMap::new();
         let codes = values
             .iter()
             .map(|v| match v {
@@ -62,7 +63,10 @@ impl StrColumn {
 pub enum ColumnData {
     Int(Vec<i64>),
     /// Fixed-point decimals normalized to one scale.
-    Dec { units: Vec<i128>, scale: u8 },
+    Dec {
+        units: Vec<i128>,
+        scale: u8,
+    },
     Bool(Vec<bool>),
     Date(Vec<i32>),
     Str(StrColumn),
@@ -311,9 +315,8 @@ impl Column {
     /// materialization — fixed-width payloads copy directly and string
     /// dictionaries are shared, not re-interned.
     pub fn gather(&self, indices: &[usize]) -> Column {
-        let validity = self.validity.as_ref().map(|v| {
-            indices.iter().map(|&i| v[i]).collect::<Vec<bool>>()
-        });
+        let validity =
+            self.validity.as_ref().map(|v| indices.iter().map(|&i| v[i]).collect::<Vec<bool>>());
         let any_null = validity.as_ref().is_some_and(|v| v.iter().any(|b| !b));
         let data = match &self.data {
             ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
@@ -536,10 +539,7 @@ mod tests {
             Field::new("k", SqlType::Int, false),
             Field::new("name", SqlType::Text, true),
         ]));
-        let rows = vec![
-            vec![Value::Int(1), Value::str("a")],
-            vec![Value::Int(2), Value::Null],
-        ];
+        let rows = vec![vec![Value::Int(1), Value::str("a")], vec![Value::Int(2), Value::Null]];
         let b = Batch::from_rows(Arc::clone(&schema), &rows).unwrap();
         assert_eq!(b.num_rows(), 2);
         assert_eq!(b.to_rows(), rows);
@@ -587,9 +587,7 @@ mod tests {
 
     #[test]
     fn concat_shared_dictionary_values_keep_one_code() {
-        let vals = |names: &[&str]| {
-            names.iter().map(Value::str).collect::<Vec<_>>()
-        };
+        let vals = |names: &[&str]| names.iter().map(Value::str).collect::<Vec<_>>();
         let a = Column::from_values(SqlType::Text, &vals(&["x", "y"])).unwrap();
         let b = Column::from_values(SqlType::Text, &vals(&["y", "z", "x"])).unwrap();
         let c = Column::concat(&[&a, &b]).unwrap();

@@ -2,10 +2,10 @@
 
 use crate::column::Batch;
 use crate::store::TableStore;
-use std::sync::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::RwLock;
 use vdm_catalog::TableDef;
 use vdm_types::{Result, Value, VdmError};
 
@@ -41,7 +41,8 @@ impl StorageEngine {
     /// Drops a table's data.
     pub fn drop_table(&self, name: &str) -> Result<()> {
         self.tables
-            .write().unwrap()
+            .write()
+            .unwrap()
             .remove(&name.to_ascii_lowercase())
             .map(|_| ())
             .ok_or_else(|| VdmError::Storage(format!("unknown table {name:?}")))
@@ -49,7 +50,8 @@ impl StorageEngine {
 
     fn table(&self, name: &str) -> Result<Arc<RwLock<TableStore>>> {
         self.tables
-            .read().unwrap()
+            .read()
+            .unwrap()
             .get(&name.to_ascii_lowercase())
             .cloned()
             .ok_or_else(|| VdmError::Storage(format!("unknown table {name:?}")))
@@ -65,18 +67,24 @@ impl StorageEngine {
     }
 
     /// Inserts rows (one auto-committed transaction). Returns rows written.
+    ///
+    /// The commit timestamp is allocated while holding the table's write
+    /// lock: the clock must never advertise a timestamp whose rows are not
+    /// yet in the store, or a snapshot pinned at that instant would see the
+    /// rows appear between two reads.
     pub fn insert(&self, name: &str, rows: Vec<Vec<Value>>) -> Result<usize> {
         let table = self.table(name)?;
+        let mut store = table.write().unwrap();
         let ts = self.next_ts();
-        let result = table.write().unwrap().insert(rows, ts);
-        result
+        store.insert(rows, ts)
     }
 
     /// Deletes rows matching `pred` (one auto-committed transaction).
     pub fn delete_where(&self, name: &str, pred: &dyn Fn(&[Value]) -> bool) -> Result<usize> {
         let table = self.table(name)?;
+        let mut store = table.write().unwrap();
         let ts = self.next_ts();
-        let n = table.write().unwrap().delete_where(pred, ts);
+        let n = store.delete_where(pred, ts);
         Ok(n)
     }
 
@@ -88,8 +96,8 @@ impl StorageEngine {
         f: &dyn Fn(&mut Vec<Value>),
     ) -> Result<usize> {
         let table = self.table(name)?;
-        let ts = self.next_ts();
         let mut store = table.write().unwrap();
+        let ts = self.next_ts();
         let snapshot_rows = store.scan(ts - 1)?;
         let mut updated = Vec::new();
         for i in 0..snapshot_rows.num_rows() {
@@ -137,7 +145,12 @@ impl StorageEngine {
 
     /// Switches a table between column-loadable and page-loadable layouts
     /// (the NSE metadata change + reload of §2.2).
-    pub fn set_load_mode(&self, name: &str, mode: crate::nse::LoadMode, buffer_pages: usize) -> Result<()> {
+    pub fn set_load_mode(
+        &self,
+        name: &str,
+        mode: crate::nse::LoadMode,
+        buffer_pages: usize,
+    ) -> Result<()> {
         let table = self.table(name)?;
         table.write().unwrap().set_load_mode(mode, buffer_pages);
         Ok(())
@@ -187,10 +200,13 @@ impl StorageEngine {
         column: usize,
         range: &crate::zonemap::ScanRange,
     ) -> Result<Batch> {
-        self.table(name)?
-            .read()
-            .unwrap()
-            .scan_morsel_pruned(snapshot.0, morsel, morsel_rows, column, range)
+        self.table(name)?.read().unwrap().scan_morsel_pruned(
+            snapshot.0,
+            morsel,
+            morsel_rows,
+            column,
+            range,
+        )
     }
 
     /// Main-fragment blocks skipped by zone-map pruning so far.
@@ -275,13 +291,8 @@ mod tests {
     fn update_where_rewrites_rows() {
         let e = engine_with_table();
         e.insert("t", vec![row(1, 10), row(2, 20)]).unwrap();
-        let n = e
-            .update_where(
-                "t",
-                &|r| r[0] == Value::Int(2),
-                &|r| r[1] = Value::Int(99),
-            )
-            .unwrap();
+        let n =
+            e.update_where("t", &|r| r[0] == Value::Int(2), &|r| r[1] = Value::Int(99)).unwrap();
         assert_eq!(n, 1);
         let b = e.scan("t", e.snapshot()).unwrap();
         let mut rows = b.to_rows();

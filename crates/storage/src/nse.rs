@@ -59,7 +59,11 @@ pub struct PageBuffer {
 impl PageBuffer {
     /// Buffer holding at most `capacity` pages.
     pub fn new(capacity: usize) -> PageBuffer {
-        PageBuffer { capacity: capacity.max(1), resident: VecDeque::new(), stats: PageStats::default() }
+        PageBuffer {
+            capacity: capacity.max(1),
+            resident: VecDeque::new(),
+            stats: PageStats::default(),
+        }
     }
 
     /// Records an access to `page`, faulting and evicting as needed.

@@ -3,9 +3,9 @@
 use crate::column::{Batch, Column};
 use crate::nse::{LoadMode, PageBuffer, PageStats};
 use crate::zonemap::{ScanRange, ZoneMaps, ZONE_BLOCK_ROWS};
-use std::sync::Mutex;
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::sync::Mutex;
 use vdm_catalog::TableDef;
 use vdm_types::{Result, Schema, Value, VdmError};
 
@@ -555,17 +555,11 @@ mod tests {
                 .unwrap(),
         ));
         let n = 3 * ZONE_BLOCK_ROWS + 17;
-        s.insert(
-            (0..n as i64).map(|i| vec![Value::Int(i), Value::Int(i % 7)]).collect(),
-            1,
-        )
-        .unwrap();
+        s.insert((0..n as i64).map(|i| vec![Value::Int(i), Value::Int(i % 7)]).collect(), 1)
+            .unwrap();
         s.merge_delta(1).unwrap();
-        s.insert(
-            (n as i64..n as i64 + 5).map(|i| vec![Value::Int(i), Value::Int(0)]).collect(),
-            2,
-        )
-        .unwrap();
+        s.insert((n as i64..n as i64 + 5).map(|i| vec![Value::Int(i), Value::Int(0)]).collect(), 2)
+            .unwrap();
         let range = ScanRange::at_least(Value::Int(2 * ZONE_BLOCK_ROWS as i64));
         let serial = s.scan_pruned(2, 0, &range).unwrap().to_rows();
         let skipped_serial = s.blocks_skipped();

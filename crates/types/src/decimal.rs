@@ -122,9 +122,7 @@ impl Decimal {
     pub fn round_to(&self, scale: u8) -> Decimal {
         if scale >= self.scale {
             // Widening never needs rounding; keep exactness, adopt scale lazily.
-            return self
-                .rescale(scale)
-                .unwrap_or(Decimal { units: self.units, scale: self.scale });
+            return self.rescale(scale).unwrap_or(Decimal { units: self.units, scale: self.scale });
         }
         let factor = pow10(self.scale - scale);
         let q = self.units / factor;
@@ -175,7 +173,15 @@ impl Decimal {
             let q = units / factor;
             let r = units % factor;
             let half = factor / 2;
-            let adj = if r.abs() >= half { if units >= 0 { 1 } else { -1 } } else { 0 };
+            let adj = if r.abs() >= half {
+                if units >= 0 {
+                    1
+                } else {
+                    -1
+                }
+            } else {
+                0
+            };
             return Ok(Decimal { units: q + adj, scale: MAX_SCALE });
         }
         Ok(out)
@@ -199,7 +205,8 @@ impl Decimal {
                 .ok_or_else(|| VdmError::Overflow("decimal div overflow".into()))?;
         }
         let den = other.units;
-        let (mut num, den) = if shift < 0 { (num / pow10((-shift) as u8), den) } else { (num, den) };
+        let (mut num, den) =
+            if shift < 0 { (num / pow10((-shift) as u8), den) } else { (num, den) };
         let q = num / den;
         let r = num % den;
         // Round half away from zero on the remainder.
@@ -265,10 +272,7 @@ impl Ord for Decimal {
         let b = other.units.checked_mul(pow10(scale - other.scale));
         match (a, b) {
             (Some(a), Some(b)) => a.cmp(&b),
-            _ => self
-                .to_f64()
-                .partial_cmp(&other.to_f64())
-                .unwrap_or(Ordering::Equal),
+            _ => self.to_f64().partial_cmp(&other.to_f64()).unwrap_or(Ordering::Equal),
         }
     }
 }
@@ -308,8 +312,8 @@ impl FromStr for Decimal {
                 "decimal literal {s:?} exceeds max scale {MAX_SCALE}"
             )));
         }
-        let digits_ok =
-            int_part.chars().all(|c| c.is_ascii_digit()) && frac_part.chars().all(|c| c.is_ascii_digit());
+        let digits_ok = int_part.chars().all(|c| c.is_ascii_digit())
+            && frac_part.chars().all(|c| c.is_ascii_digit());
         if !digits_ok {
             return Err(VdmError::Parse(format!("invalid decimal literal: {s:?}")));
         }

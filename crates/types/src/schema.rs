@@ -77,8 +77,7 @@ impl Schema {
 
     /// Like [`Schema::index_of`] but errors with the unknown name.
     pub fn index_of_or_err(&self, name: &str) -> Result<usize> {
-        self.index_of(name)
-            .ok_or_else(|| VdmError::Bind(format!("unknown column {name:?}")))
+        self.index_of(name).ok_or_else(|| VdmError::Bind(format!("unknown column {name:?}")))
     }
 
     /// All indices whose name matches (detects ambiguity at bind time).

@@ -16,7 +16,9 @@ pub enum SqlType {
     Bool,
     Int,
     /// Exact fixed-point decimal with the given scale.
-    Decimal { scale: u8 },
+    Decimal {
+        scale: u8,
+    },
     Text,
     Date,
 }
@@ -39,7 +41,8 @@ impl SqlType {
             (SqlType::Decimal { scale: a }, SqlType::Decimal { scale: b }) => {
                 Some(SqlType::Decimal { scale: (*a).max(*b) })
             }
-            (SqlType::Int, SqlType::Decimal { scale }) | (SqlType::Decimal { scale }, SqlType::Int) => {
+            (SqlType::Int, SqlType::Decimal { scale })
+            | (SqlType::Decimal { scale }, SqlType::Int) => {
                 Some(SqlType::Decimal { scale: *scale })
             }
             _ => None,

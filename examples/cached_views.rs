@@ -26,7 +26,8 @@ fn main() -> vdm_types::Result<()> {
     let plan = db.optimized_plan("select * from segment_revenue")?;
 
     let mut cache = ViewCache::new();
-    let scv = cache.register("segment_revenue_scv", plan.clone(), CacheMode::Static, db.engine())?;
+    let scv =
+        cache.register("segment_revenue_scv", plan.clone(), CacheMode::Static, db.engine())?;
     let dcv = cache.register("segment_revenue_dcv", plan, CacheMode::Dynamic, db.engine())?;
 
     let time = |label: &str, f: &mut dyn FnMut() -> vdm_types::Result<usize>| {
@@ -44,7 +45,10 @@ fn main() -> vdm_types::Result<()> {
     // A transactional write lands...
     db.execute("insert into orders values (900001, 1, 'O', 77777.77, cast(10000 as date))")?;
     println!("\nafter inserting one order:");
-    println!("  SCV staleness: {} write(s) behind (serves the old snapshot)", scv.staleness(db.engine()));
+    println!(
+        "  SCV staleness: {} write(s) behind (serves the old snapshot)",
+        scv.staleness(db.engine())
+    );
     let direct = db.query("select sum(revenue) from segment_revenue")?.row(0)[0].clone();
     let via_dcv = {
         let b = dcv.read(db.engine())?;

@@ -12,7 +12,9 @@ use std::sync::Arc;
 use vdm_catalog::TableBuilder;
 use vdm_core::Database;
 use vdm_expr::Expr;
-use vdm_model::{extension::extend_draft_with_fields, extension::extend_with_fields, DraftPair, ExtensionSpec};
+use vdm_model::{
+    extension::extend_draft_with_fields, extension::extend_with_fields, DraftPair, ExtensionSpec,
+};
 use vdm_plan::{plan_stats, LogicalPlan};
 use vdm_types::{SqlType, Value};
 
@@ -54,10 +56,7 @@ fn main() -> vdm_types::Result<()> {
         fields: vec!["zz_priority".into()],
     };
     let extended = extend_with_fields(managed, Arc::clone(&vbak), &spec)?;
-    println!(
-        "extension view: {} joins before optimization",
-        plan_stats(&extended).joins
-    );
+    println!("extension view: {} joins before optimization", plan_stats(&extended).joins);
     let optimized = db.optimize(&extended)?;
     println!(
         "               {} joins after  optimization (ASJ removed, field re-wired)",

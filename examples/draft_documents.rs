@@ -45,7 +45,10 @@ fn main() -> vdm_types::Result<()> {
 
     // The operational UI sees committed + in-progress documents.
     println!("operational view (active ⊎ draft):");
-    for row in db.query("select bid, doc_id, customer, amount from sales_doc_operational order by doc_id")?.to_rows() {
+    for row in db
+        .query("select bid, doc_id, customer, amount from sales_doc_operational order by doc_id")?
+        .to_rows()
+    {
         let state = if row[0] == Value::Int(0) { "active" } else { "draft " };
         println!("  [{state}] doc {} | {} | {}", row[1], row[2], row[3]);
     }

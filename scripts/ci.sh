@@ -8,6 +8,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
 echo "== cargo build --release (offline) =="
 cargo build --release --workspace --offline
 
@@ -16,5 +19,8 @@ cargo test -q --workspace --offline
 
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo doc --no-deps (offline) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 
 echo "CI OK"

@@ -55,7 +55,9 @@ fn all_profiles_agree_on_results() {
             reference.push(sorted(db.query(q).unwrap_or_else(|e| panic!("{q}: {e}")).to_rows()));
         }
     }
-    for profile in [Profile::postgres(), Profile::system_x(), Profile::system_y(), Profile::system_z()] {
+    for profile in
+        [Profile::postgres(), Profile::system_x(), Profile::system_y(), Profile::system_z()]
+    {
         let name = profile.name().to_string();
         let mut db = tpch_db(profile);
         for (q, want) in QUERIES.iter().zip(&reference) {
@@ -90,9 +92,7 @@ fn hybrid_workload_transactions_visible_to_analytics() {
     let after = db.query("select count(*) from orders").unwrap().row(0)[0].as_int().unwrap();
     assert_eq!(after, before + 1);
     // And a delete disappears immediately.
-    db.engine()
-        .delete_where("orders", &|row| row[0] == Value::Int(999999))
-        .unwrap();
+    db.engine().delete_where("orders", &|row| row[0] == Value::Int(999999)).unwrap();
     let last = db.query("select count(*) from orders").unwrap().row(0)[0].as_int().unwrap();
     assert_eq!(last, before);
 }
@@ -146,12 +146,10 @@ fn expression_macro_end_to_end_margin() {
 #[test]
 fn precision_loss_sql_round_trip() {
     let mut db = tpch_db(Profile::hana());
-    let strict = db
-        .query("select sum(round(o_totalprice * 1.11, 2)) from orders")
-        .unwrap()
-        .row(0)[0]
-        .as_dec()
-        .unwrap();
+    let strict = db.query("select sum(round(o_totalprice * 1.11, 2)) from orders").unwrap().row(0)
+        [0]
+    .as_dec()
+    .unwrap();
     let loose = db
         .query("select allow_precision_loss(sum(round(o_totalprice * 1.11, 2))) from orders")
         .unwrap()

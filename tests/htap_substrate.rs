@@ -107,9 +107,7 @@ fn nse_page_loadable_journal() {
     assert_eq!((stats.loads, stats.hits), (0, 0));
 
     // Switch to page loadable — the §2.2 metadata change + reload.
-    engine
-        .set_load_mode("journal", LoadMode::PageLoadable { page_rows: 100 }, 20)
-        .unwrap();
+    engine.set_load_mode("journal", LoadMode::PageLoadable { page_rows: 100 }, 20).unwrap();
     engine.scan("journal", snap).unwrap();
     let cold = engine.page_stats("journal").unwrap();
     assert_eq!(cold.loads, 10, "1 000 rows / 100 per page = 10 faults");
@@ -121,17 +119,13 @@ fn nse_page_loadable_journal() {
 
     // A pushed-down LIMIT touches only the pages it needs.
     let page = LogicalPlan::limit(LogicalPlan::scan(def), 0, Some(5));
-    engine
-        .set_load_mode("journal", LoadMode::PageLoadable { page_rows: 100 }, 20)
-        .unwrap();
+    engine.set_load_mode("journal", LoadMode::PageLoadable { page_rows: 100 }, 20).unwrap();
     vdm_exec::execute(&page, &engine).unwrap();
     let paged = engine.page_stats("journal").unwrap();
     assert_eq!(paged.loads, 1, "limit 5 faults a single page, not ten");
 
     // A tiny buffer thrashes: full scans evict and refault.
-    engine
-        .set_load_mode("journal", LoadMode::PageLoadable { page_rows: 100 }, 3)
-        .unwrap();
+    engine.set_load_mode("journal", LoadMode::PageLoadable { page_rows: 100 }, 3).unwrap();
     engine.scan("journal", snap).unwrap();
     engine.scan("journal", snap).unwrap();
     let thrash = engine.page_stats("journal").unwrap();
@@ -162,9 +156,7 @@ fn zone_maps_prune_merged_blocks() {
     assert!(engine.blocks_skipped("journal").unwrap() >= 7, "7 of 8 blocks prunable");
 
     // Unmerged delta rows are always visible (never pruned away).
-    engine
-        .insert("journal", vec![vec![Value::Int(9_000), Value::Int(1)]])
-        .unwrap();
+    engine.insert("journal", vec![vec![Value::Int(9_000), Value::Int(1)]]).unwrap();
     let plan = LogicalPlan::filter(LogicalPlan::scan(def), pred).unwrap();
     let (batch, _) = execute_at(&plan, &engine, engine.snapshot()).unwrap();
     assert_eq!(batch.num_rows(), 193, "delta row found without a merge");

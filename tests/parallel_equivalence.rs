@@ -13,7 +13,7 @@
 use std::sync::Arc;
 use vdm_data::erp::{journal_entry_item_browser, Erp};
 use vdm_data::tpch::Tpch;
-use vdm_exec::{execute_at, execute_parallel_at, ParallelConfig};
+use vdm_exec::{execute_at, execute_parallel_at, execute_profiled_at, ParallelConfig};
 use vdm_expr::{AggExpr, AggFunc, BinOp, Expr};
 use vdm_optimizer::{Optimizer, Profile};
 use vdm_plan::{JoinKind, LogicalPlan, PlanRef, SortKey};
@@ -65,6 +65,20 @@ fn assert_equivalent_rows_only(name: &str, plan: &PlanRef, engine: &StorageEngin
     assert_eq!(par.to_rows(), serial.to_rows(), "{name}: rows diverge");
 }
 
+/// Profiled runs must agree on *per-operator* output rows between the
+/// serial and morsel-parallel engines (timings, invocation counts, and
+/// worker counts legitimately differ; `QueryProfile::rows_by_node`
+/// excludes them).
+fn assert_profile_rows_equal(name: &str, plan: &PlanRef, engine: &StorageEngine) {
+    let snap = engine.snapshot();
+    let serial_cfg = ParallelConfig { threads: 1, morsel_rows: MORSEL_ROWS };
+    let (sb, _, sp) = execute_profiled_at(plan, engine, snap, serial_cfg).unwrap();
+    let (pb, _, pp) = execute_profiled_at(plan, engine, snap, config()).unwrap();
+    assert_eq!(pb.to_rows(), sb.to_rows(), "{name}: rows diverge");
+    assert!(!sp.rows_by_node().is_empty(), "{name}: serial profile is empty");
+    assert_eq!(pp.rows_by_node(), sp.rows_by_node(), "{name}: per-node rows diverge");
+}
+
 fn tpch_engine() -> (vdm_catalog::Catalog, StorageEngine) {
     let gen = Tpch { sf: 0.2, seed: 42, with_foreign_keys: false };
     let mut catalog = vdm_catalog::Catalog::new();
@@ -105,10 +119,7 @@ fn tpch_scan_filter_project_shapes() {
         .unwrap(),
         vec![
             (Expr::col(0), "okey".into()),
-            (
-                Expr::col(5).binary(BinOp::Mul, Expr::col(6)),
-                "discounted".into(),
-            ),
+            (Expr::col(5).binary(BinOp::Mul, Expr::col(6)), "discounted".into()),
         ],
     )
     .unwrap();
@@ -200,11 +211,9 @@ fn tpch_aggregate_distinct_sort_shapes() {
     );
     assert_equivalent("distinct", &distinct, &engine);
 
-    let sorted = LogicalPlan::sort(
-        LogicalPlan::scan(orders),
-        vec![SortKey::desc(3), SortKey::asc(0)],
-    )
-    .unwrap();
+    let sorted =
+        LogicalPlan::sort(LogicalPlan::scan(orders), vec![SortKey::desc(3), SortKey::asc(0)])
+            .unwrap();
     assert_equivalent("sort", &sorted, &engine);
 }
 
@@ -296,6 +305,62 @@ fn erp_browser_plan_equivalent_serial_and_parallel() {
     // Paging over the browser (the Fig. 3 interaction) under both paths.
     let paged = LogicalPlan::limit(optimized, 0, Some(100));
     assert_equivalent_rows_only("erp-browser-paged", &paged, &engine);
+}
+
+#[test]
+fn per_operator_profile_rows_match_across_executors() {
+    let (catalog, engine) = tpch_engine();
+    let orders = catalog.table_or_err("orders").unwrap();
+    let customer = catalog.table_or_err("customer").unwrap();
+
+    // Leaf pipeline with zone-map pruning (filter directly on the scan).
+    let pruned = LogicalPlan::filter(
+        LogicalPlan::scan(Arc::clone(&orders)),
+        Expr::col(0).binary(BinOp::Gt, Expr::int(2_000)),
+    )
+    .unwrap();
+    assert_profile_rows_equal("profile-filter-pruned", &pruned, &engine);
+
+    // Aggregate over a join: blocking operators above a parallel probe.
+    let agg = LogicalPlan::aggregate(
+        LogicalPlan::inner_join(
+            LogicalPlan::scan(Arc::clone(&orders)),
+            LogicalPlan::scan(Arc::clone(&customer)),
+            vec![(1, 0)],
+        )
+        .unwrap(),
+        vec![(Expr::col(2), "status".into())],
+        vec![(AggExpr::count_star(), "n".into())],
+    )
+    .unwrap();
+    assert_profile_rows_equal("profile-join-agg", &agg, &engine);
+
+    // Budgeted path: the parallel scan over-reads in waves but records
+    // post-truncation output, so per-node rows still match the serial run.
+    let limited = LogicalPlan::limit(LogicalPlan::scan(Arc::clone(&orders)), 10, Some(50));
+    assert_profile_rows_equal("profile-limit-over-scan", &limited, &engine);
+
+    let limited_union = LogicalPlan::limit(
+        LogicalPlan::union_all(vec![
+            LogicalPlan::scan(Arc::clone(&orders)),
+            LogicalPlan::scan(orders),
+        ])
+        .unwrap(),
+        0,
+        Some(200),
+    );
+    assert_profile_rows_equal("profile-limit-over-union", &limited_union, &engine);
+}
+
+#[test]
+fn erp_browser_profile_rows_match_across_executors() {
+    let gen = Erp { journal_rows: 6_000, seed: 4711 };
+    let mut catalog = vdm_catalog::Catalog::new();
+    let engine = StorageEngine::new();
+    let schema = gen.build(&mut catalog, &engine).unwrap();
+    let browser = journal_entry_item_browser(&schema).unwrap();
+    let optimized = Optimizer::new(Profile::hana()).optimize(&browser.protected).unwrap();
+    assert_profile_rows_equal("erp-browser-profiled", &optimized, &engine);
 }
 
 #[test]

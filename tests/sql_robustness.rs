@@ -36,8 +36,8 @@ fn parser_never_panics_on_arbitrary_input() {
 
 const SOUP: &[&str] = &[
     "select", "from", "where", "group", "by", "left", "outer", "join", "on", "union", "all",
-    "limit", "offset", "order", "case", "when", "then", "end", "many", "to", "one", "(", ")",
-    ",", "*", "=", "t", "x", "1", "1.5", "'s'", "as", "and", "or", "not", "null", "count",
+    "limit", "offset", "order", "case", "when", "then", "end", "many", "to", "one", "(", ")", ",",
+    "*", "=", "t", "x", "1", "1.5", "'s'", "as", "and", "or", "not", "null", "count",
 ];
 
 /// SQL-shaped token soup never panics either (denser keyword mix than
@@ -53,8 +53,8 @@ fn parser_never_panics_on_token_soup() {
 }
 
 const BIND_SOUP: &[&str] = &[
-    "select", "from", "where", "t", "a", "b", "join", "on", "=", "1", "(", ")", ",", "*",
-    "count", "sum", "group", "by", "limit", "5",
+    "select", "from", "where", "t", "a", "b", "join", "on", "=", "1", "(", ")", ",", "*", "count",
+    "sum", "group", "by", "limit", "5",
 ];
 
 /// Whatever parses also binds without panicking (against an empty
@@ -91,8 +91,8 @@ fn malformed_statements_error_cleanly() {
         "select * from",
         "select * from t where",
         "select * from t group by",
-        "select * from t join u",      // missing ON
-        "select * from t limit",       // missing count
+        "select * from t join u", // missing ON
+        "select * from t limit",  // missing count
         "select * from t limit 999999999999999999999999",
         "create table t ()",
         "create table t (a unknown_type)",

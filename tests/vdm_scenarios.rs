@@ -101,9 +101,7 @@ fn layered_views_with_associations() {
     assert_eq!(rows.num_rows(), 3);
     assert_eq!(rows.row(0)[1], Value::str("Aurora"));
     // The association join disappears when unused.
-    let plan = db
-        .optimized_plan("select SalesOrder, NetAmount from C_SalesOrderEnriched")
-        .unwrap();
+    let plan = db.optimized_plan("select SalesOrder, NetAmount from C_SalesOrderEnriched").unwrap();
     assert_eq!(plan_stats(&plan).joins, 0);
 }
 
@@ -112,12 +110,9 @@ fn dac_restricts_per_user() {
     let mut db = Database::hana();
     let (vbak, kna1) = sales_world(&mut db);
     // Consumption view: orders + customer country.
-    let join = LogicalPlan::left_join(
-        LogicalPlan::scan(vbak),
-        LogicalPlan::scan(kna1),
-        vec![(1, 0)],
-    )
-    .unwrap();
+    let join =
+        LogicalPlan::left_join(LogicalPlan::scan(vbak), LogicalPlan::scan(kna1), vec![(1, 0)])
+            .unwrap();
     let view = LogicalPlan::project(
         join,
         vec![
@@ -193,10 +188,7 @@ fn custom_field_extension_through_sql() {
     // The managed view hides zz_region.
     let managed = LogicalPlan::project(
         LogicalPlan::scan(Arc::clone(&vbak)),
-        vec![
-            (Expr::col(0), "SalesOrder".into()),
-            (Expr::col(2), "NetAmount".into()),
-        ],
+        vec![(Expr::col(0), "SalesOrder".into()), (Expr::col(2), "NetAmount".into())],
     )
     .unwrap();
     let spec = ExtensionSpec {
@@ -206,9 +198,7 @@ fn custom_field_extension_through_sql() {
     let extended = extend_with_fields(managed, vbak, &spec).unwrap();
     db.register_view("sales_ext", extended);
     // The custom field flows through SQL...
-    let rows = db
-        .query("select SalesOrder, zz_region from sales_ext order by SalesOrder")
-        .unwrap();
+    let rows = db.query("select SalesOrder, zz_region from sales_ext order by SalesOrder").unwrap();
     assert_eq!(rows.row(0)[1], Value::str("EMEA"));
     assert!(rows.row(1)[1].is_null());
     // ...and the self-join is gone from the executed plan.
