@@ -1,0 +1,194 @@
+//! Optimize-time sweep: how fast is `Optimizer::optimize` itself?
+//!
+//! The paper's premise is that VDM plans are huge DAGs the optimizer must
+//! simplify *cheaply*. This bench times the optimizer (not execution) on
+//! the two canonical workloads at all five capability profiles:
+//!
+//! 1. **browser** — the Fig. 3 `journal_entry_item_browser` view (47 table
+//!    instances, 49 joins, five-way UNION ALL under DAC);
+//! 2. **fig14** — the Fig. 14 view population (original + both extension
+//!    variants per case).
+//!
+//! Each workload runs twice per profile: with the property cache (the
+//! annotated-plan path) and with `with_property_cache(false)` — the
+//! pre-refactor cost model in which every property probe re-derives from
+//! scratch. Output plans are asserted digest-identical between the two
+//! modes, so the ratio is a pure optimize-time speedup.
+//!
+//! Emits a human-readable table and machine-readable `BENCH_optimize.json`
+//! in the working directory (no external benchmarking framework).
+//!
+//! Run: `cargo run --release -p vdm-bench --bin opt_sweep`
+//! Optional args: `opt_sweep <journal_rows> <n_views> <rows_per_table>`.
+
+use std::fmt::Write as _;
+use vdm_data::erp::{journal_entry_item_browser, Erp};
+use vdm_data::figview::{generate, Fig14Config};
+use vdm_optimizer::{Optimizer, Profile};
+use vdm_plan::{plan_digest, CacheStats, PlanRef};
+use vdm_storage::StorageEngine;
+
+/// One timed sweep of the plan set: summed optimize time, summed cache
+/// counters, and a digest of every output plan (order-sensitive, for
+/// cross-mode identity checks).
+fn sweep(opt: &Optimizer, plans: &[PlanRef]) -> (u64, CacheStats, Vec<u64>) {
+    let mut total = 0u64;
+    let mut cache = CacheStats::default();
+    let mut digests = Vec::with_capacity(plans.len());
+    for plan in plans {
+        let (out, trace) = opt.optimize_traced(plan).expect("optimize");
+        total += trace.optimize_nanos;
+        cache.hits += trace.cache.hits;
+        cache.misses += trace.cache.misses;
+        cache.entries += trace.cache.entries;
+        digests.push(plan_digest(&out));
+    }
+    (total, cache, digests)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_unstable_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+struct WorkloadRow {
+    workload: &'static str,
+    plans: usize,
+    cached_millis: f64,
+    baseline_millis: f64,
+    speedup: f64,
+    cache: CacheStats,
+}
+
+/// Benchmarks one workload at one profile. Iterations are *paired* —
+/// each runs the cached sweep and the baseline sweep back to back, and
+/// the reported speedup is the median of the per-iteration ratios — so
+/// machine-noise windows (a co-tenant burst, a frequency dip) hit both
+/// modes alike instead of skewing whichever mode they landed on.
+fn bench_workload(
+    workload: &'static str,
+    profile: &Profile,
+    plans: &[PlanRef],
+    iters: usize,
+) -> WorkloadRow {
+    let cached_opt = Optimizer::new(profile.clone());
+    let baseline_opt = Optimizer::new(profile.clone()).with_property_cache(false);
+    // One warmup sweep per mode outside the timed region: first-touch
+    // effects (allocator growth, cold caches) otherwise dominate sub-ms
+    // medians. The warmup also provides the cross-mode identity check
+    // and the cache counters (both are deterministic per sweep).
+    let (_, cache, cached_digests) = sweep(&cached_opt, plans);
+    let (_, _, baseline_digests) = sweep(&baseline_opt, plans);
+    assert_eq!(
+        cached_digests,
+        baseline_digests,
+        "{workload}@{}: cached and baseline optimizers must produce identical plans",
+        profile.name()
+    );
+    let mut cached_times = Vec::with_capacity(iters);
+    let mut baseline_times = Vec::with_capacity(iters);
+    let mut ratios = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let (c, _, _) = sweep(&cached_opt, plans);
+        let (b, _, _) = sweep(&baseline_opt, plans);
+        cached_times.push(c as f64 / 1e6);
+        baseline_times.push(b as f64 / 1e6);
+        ratios.push(b as f64 / (c as f64).max(1.0));
+    }
+    let cached_millis = median(cached_times);
+    let baseline_millis = median(baseline_times);
+    let speedup = median(ratios);
+    println!(
+        "  {:>8} {workload:>8}: cached={cached_millis:>9.3}ms baseline={baseline_millis:>9.3}ms \
+         speedup={speedup:>5.2}x cache: {} hits / {} misses ({:.0}% hit rate)",
+        profile.name(),
+        cache.hits,
+        cache.misses,
+        cache.hit_rate() * 100.0,
+    );
+    WorkloadRow { workload, plans: plans.len(), cached_millis, baseline_millis, speedup, cache }
+}
+
+fn to_json(journal_rows: usize, n_views: usize, rows: &[(String, Vec<WorkloadRow>)]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"opt_sweep\",\n");
+    let _ = writeln!(out, "  \"journal_rows\": {journal_rows},");
+    let _ = writeln!(out, "  \"n_views\": {n_views},");
+    out.push_str("  \"plans_identical_across_modes\": true,\n  \"profiles\": [\n");
+    for (pi, (profile, workloads)) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{\"profile\": \"{profile}\", \"workloads\": [");
+        for (wi, w) in workloads.iter().enumerate() {
+            let _ = write!(
+                out,
+                "      {{\"name\": \"{}\", \"plans\": {}, \"cached_millis\": {:.3}, \
+                 \"baseline_millis\": {:.3}, \"speedup\": {:.2}, \"cache_hits\": {}, \
+                 \"cache_misses\": {}, \"cache_hit_rate_pct\": {:.1}}}",
+                w.workload,
+                w.plans,
+                w.cached_millis,
+                w.baseline_millis,
+                w.speedup,
+                w.cache.hits,
+                w.cache.misses,
+                w.cache.hit_rate() * 100.0,
+            );
+            let _ = writeln!(out, "{}", if wi + 1 == workloads.len() { "" } else { "," });
+        }
+        let _ = writeln!(out, "    ]}}{}", if pi + 1 == rows.len() { "" } else { "," });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let journal_rows: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
+    let n_views: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let rows_per_table: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(500);
+
+    println!("== opt_sweep: optimize-time benchmark (property cache vs re-derivation) ==");
+
+    // Fig. 3 browser view over the ERP schema.
+    let erp = Erp { journal_rows, seed: 4711 };
+    let mut catalog = vdm_catalog::Catalog::new();
+    let engine = StorageEngine::new();
+    let schema = erp.build(&mut catalog, &engine).expect("ERP generation");
+    let browser = journal_entry_item_browser(&schema).expect("browser view");
+    let browser_plans = [browser.protected.clone()];
+
+    // Fig. 14 population: every case contributes all three plan variants.
+    let cfg = Fig14Config { n_views, rows_per_table, seed: 1414 };
+    let mut fig_catalog = vdm_catalog::Catalog::new();
+    let fig_engine = StorageEngine::new();
+    let population = generate(&cfg, &mut fig_catalog, &fig_engine).expect("Fig. 14 population");
+    let fig14_plans: Vec<PlanRef> = population
+        .cases
+        .iter()
+        .flat_map(|c| [c.original.clone(), c.extended_plain.clone(), c.extended_case.clone()])
+        .collect();
+    println!(
+        "browser: journal_rows={journal_rows}; fig14: {} views ({} plans)\n",
+        n_views,
+        fig14_plans.len()
+    );
+
+    let mut rows: Vec<(String, Vec<WorkloadRow>)> = Vec::new();
+    for profile in Profile::paper_systems() {
+        let b = bench_workload("browser", &profile, &browser_plans, 25);
+        let f = bench_workload("fig14", &profile, &fig14_plans, 3);
+        rows.push((profile.name().to_string(), vec![b, f]));
+    }
+
+    let json = to_json(journal_rows, n_views, &rows);
+    std::fs::write("BENCH_optimize.json", &json).expect("write BENCH_optimize.json");
+    println!("\nwrote BENCH_optimize.json:\n{json}");
+
+    // The acceptance bar the CI smoke run watches: the Fig. 3 browser at
+    // the full-capability profile must optimize markedly faster with the
+    // cache than with per-probe re-derivation.
+    let hana = rows.iter().find(|(p, _)| p == "hana").expect("hana profile present");
+    let hb = &hana.1[0];
+    println!(
+        "hana browser: {:.3}ms cached vs {:.3}ms baseline = {:.2}x",
+        hb.cached_millis, hb.baseline_millis, hb.speedup
+    );
+}

@@ -257,8 +257,9 @@ impl Database {
         record_query(&metrics, &trace, elapsed);
         let annotated = render_analyzed(&optimized, &index, &profile);
         Ok(format!(
-            "== EXPLAIN ANALYZE ({} thread(s)) ==\n{}== rewrite trace ==\n{}== execution summary ==\n{} row(s) returned, elapsed time={}\nrows scanned: {}, join probe rows: {}, rows joined: {}, operators: {}\n",
+            "== EXPLAIN ANALYZE ({} thread(s)) ==\n{}\n{}== rewrite trace ==\n{}== execution summary ==\n{} row(s) returned, elapsed time={}\nrows scanned: {}, join probe rows: {}, rows joined: {}, operators: {}\n",
             self.parallel.threads.max(1),
+            trace.render_opt_stats(),
             annotated,
             trace.render_events(),
             batch.num_rows(),
@@ -395,6 +396,7 @@ fn record_query(metrics: &Metrics, trace: &Trace, elapsed: std::time::Duration) 
     let reg = MetricsRegistry::global();
     reg.inc("vdm_queries_total", 1);
     reg.observe("vdm_query_seconds", elapsed.as_secs_f64());
+    reg.observe("vdm_optimize_seconds", trace.optimize_nanos as f64 / 1e9);
     reg.inc("vdm_rows_scanned_total", metrics.rows_scanned as u64);
     reg.inc("vdm_rows_joined_total", metrics.join_output_rows as u64);
     for (rule, n) in trace.hit_counts() {

@@ -25,84 +25,31 @@
 //! the full recursive matching (Fig. 13b / Fig. 14b); without intent, a
 //! shallow heuristic recognizes only simple branch shapes (Fig. 14a).
 
-use crate::profile::{Capability, Profile};
+use crate::ctx::RewriteCtx;
+use crate::profile::Capability;
 use std::collections::HashMap;
 use std::sync::Arc;
 use vdm_catalog::TableDef;
 use vdm_expr::{predicate, Expr};
-use vdm_plan::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef};
+use vdm_plan::{transform_up, DeclaredCardinality, JoinKind, LogicalPlan, PlanRef};
 use vdm_types::{Result, Value};
 
-/// Runs the ASJ pass bottom-up over the whole plan.
-pub fn asj_pass(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
-    // Rebuild children first so nested ASJs collapse inside-out.
-    let rebuilt = rebuild_children(plan, &|c| asj_pass(c, profile))?;
-    if let LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } =
-        rebuilt.as_ref()
-    {
-        if filter.is_none() && !on.is_empty() {
-            if let Some(new_plan) =
-                try_asj(&rebuilt, left, right, *kind, on, *declared, *asj_intent, profile)?
-            {
-                return Ok(new_plan);
+/// Runs the ASJ pass bottom-up over the whole plan (nested ASJs collapse
+/// inside-out because the driver transforms children first).
+pub fn asj_pass(plan: &PlanRef, ctx: &RewriteCtx<'_>) -> Result<PlanRef> {
+    transform_up(plan, &mut |node| {
+        if let LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } =
+            node.as_ref()
+        {
+            if filter.is_none() && !on.is_empty() {
+                if let Some(new_plan) =
+                    try_asj(&node, left, right, *kind, on, *declared, *asj_intent, ctx)?
+                {
+                    return Ok(new_plan);
+                }
             }
         }
-    }
-    Ok(rebuilt)
-}
-
-/// Rebuilds a node with transformed children (schema-preserving transform).
-///
-/// Identity-preserving: when no child actually changed (`Arc::ptr_eq`),
-/// the original node is returned unchanged. Bottom-up passes therefore
-/// keep the `Arc` identity of untouched subtrees, which both skips
-/// needless re-validation in the fixpoint loop and lets the rewrite trace
-/// attribute pre-numbered node ids to fire sites.
-pub(crate) fn rebuild_children(
-    plan: &PlanRef,
-    f: &impl Fn(&PlanRef) -> Result<PlanRef>,
-) -> Result<PlanRef> {
-    let old_children = plan.children();
-    if old_children.is_empty() {
-        return Ok(plan.clone());
-    }
-    let mut new_children = Vec::with_capacity(old_children.len());
-    let mut changed = false;
-    for c in &old_children {
-        let nc = f(c)?;
-        changed |= !Arc::ptr_eq(&nc, c);
-        new_children.push(nc);
-    }
-    if !changed {
-        return Ok(plan.clone());
-    }
-    let mut kids = new_children.into_iter();
-    Ok(match plan.as_ref() {
-        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => unreachable!("no children"),
-        LogicalPlan::Project { exprs, .. } => {
-            LogicalPlan::project(kids.next().unwrap(), exprs.clone())?
-        }
-        LogicalPlan::Filter { predicate, .. } => {
-            LogicalPlan::filter(kids.next().unwrap(), predicate.clone())?
-        }
-        LogicalPlan::Join { kind, on, filter, declared, asj_intent, .. } => LogicalPlan::join(
-            kids.next().unwrap(),
-            kids.next().unwrap(),
-            *kind,
-            on.clone(),
-            filter.clone(),
-            *declared,
-            *asj_intent,
-        )?,
-        LogicalPlan::UnionAll { .. } => LogicalPlan::union_all(kids.collect())?,
-        LogicalPlan::Aggregate { group_by, aggs, .. } => {
-            LogicalPlan::aggregate(kids.next().unwrap(), group_by.clone(), aggs.clone())?
-        }
-        LogicalPlan::Distinct { .. } => LogicalPlan::distinct(kids.next().unwrap()),
-        LogicalPlan::Sort { keys, .. } => LogicalPlan::sort(kids.next().unwrap(), keys.clone())?,
-        LogicalPlan::Limit { skip, fetch, .. } => {
-            LogicalPlan::limit(kids.next().unwrap(), *skip, *fetch)
-        }
+        Ok(node)
     })
 }
 
@@ -179,29 +126,28 @@ fn try_asj(
     on: &[(usize, usize)],
     declared: Option<DeclaredCardinality>,
     asj_intent: bool,
-    profile: &Profile,
+    ctx: &RewriteCtx<'_>,
 ) -> Result<Option<PlanRef>> {
     if matches!(right.as_ref(), LogicalPlan::UnionAll { .. }) {
-        return try_asj_union(join, left, right, kind, on, declared, asj_intent, profile);
+        return try_asj_union(join, left, right, kind, on, declared, asj_intent, ctx);
     }
     let aug = match decompose_simple(right) {
         Some(a) => a,
         None => return Ok(None),
     };
     // Capability gates by shape.
-    if aug.pred.is_some() && !profile.has(Capability::AsjFilteredAugmenter) {
+    if aug.pred.is_some() && !ctx.has(Capability::AsjFilteredAugmenter) {
         return Ok(None);
     }
     let anchor_is_scan = matches!(left.as_ref(), LogicalPlan::Scan { .. });
-    if anchor_is_scan && !profile.has(Capability::AsjBasic) {
+    if anchor_is_scan && !ctx.has(Capability::AsjBasic) {
         return Ok(None);
     }
-    if !anchor_is_scan && !profile.has(Capability::AsjSubquery) {
+    if !anchor_is_scan && !ctx.has(Capability::AsjSubquery) {
         return Ok(None);
     }
     // The augmenter must match at most one row per anchor row.
-    let opts = profile.derive_options();
-    if !vdm_plan::props::join_right_at_most_one(right, on, declared, &opts) {
+    if !ctx.right_at_most_one(right, on, declared) {
         return Ok(None);
     }
     // Key columns at the scan, non-nullable in the base table.
@@ -226,7 +172,7 @@ fn try_asj(
     let spec = ThreadSpec {
         table: aug.table.name.to_ascii_lowercase(),
         outer_ok: kind == JoinKind::LeftOuter,
-        profile,
+        through_union: ctx.has(Capability::AsjThroughUnion),
     };
     let out = match thread(left, &key_anchor, &key_scan, &needed, &spec) {
         Some(o) => o,
@@ -269,13 +215,14 @@ fn try_asj(
 }
 
 /// Threading spec shared down the anchor recursion.
-struct ThreadSpec<'a> {
+struct ThreadSpec {
     /// Target table name (lowercase).
     table: String,
     /// The ASJ join is a left-outer join: descending into the NULL-padded
     /// side of an outer join inside the anchor is acceptable.
     outer_ok: bool,
-    profile: &'a Profile,
+    /// The profile may thread through UNION ALL anchors (Fig. 13a).
+    through_union: bool,
 }
 
 /// Result of threading base columns up through an anchor subtree.
@@ -303,7 +250,7 @@ fn thread(
     key_anchor: &[usize],
     key_scan: &[usize],
     needed: &[usize],
-    spec: &ThreadSpec<'_>,
+    spec: &ThreadSpec,
 ) -> Option<ThreadOut> {
     match plan.as_ref() {
         LogicalPlan::Scan { table, schema, .. } => {
@@ -498,7 +445,7 @@ fn thread(
             }
         }
         LogicalPlan::UnionAll { inputs, .. } => {
-            if !spec.profile.has(Capability::AsjThroughUnion) {
+            if !spec.through_union {
                 return None;
             }
             let width = plan.schema().len();
@@ -578,10 +525,10 @@ fn try_asj_union(
     on: &[(usize, usize)],
     declared: Option<DeclaredCardinality>,
     asj_intent: bool,
-    profile: &Profile,
+    ctx: &RewriteCtx<'_>,
 ) -> Result<Option<PlanRef>> {
-    let full_power = asj_intent && profile.has(Capability::CaseJoin);
-    let heuristic = profile.has(Capability::AsjUnionHeuristic);
+    let full_power = asj_intent && ctx.has(Capability::CaseJoin);
+    let heuristic = ctx.has(Capability::AsjUnionHeuristic);
     if !full_power && !heuristic {
         return Ok(None);
     }
@@ -592,8 +539,7 @@ fn try_asj_union(
         LogicalPlan::UnionAll { inputs, .. } => inputs,
         _ => return Ok(None),
     };
-    let opts = profile.derive_options();
-    if !vdm_plan::props::join_right_at_most_one(right, on, declared, &opts) {
+    if !ctx.right_at_most_one(right, on, declared) {
         return Ok(None);
     }
     // Identify the branch-id pair: the join pair whose augmenter column is
@@ -631,7 +577,7 @@ fn try_asj_union(
             Some(a) => a,
             None => return Ok(None),
         };
-        if aug.pred.is_some() && !profile.has(Capability::AsjFilteredAugmenter) {
+        if aug.pred.is_some() && !ctx.has(Capability::AsjFilteredAugmenter) {
             return Ok(None);
         }
         let mut key_scan = Vec::with_capacity(key_pairs.len());
@@ -659,7 +605,8 @@ fn try_asj_union(
         });
     }
     let key_anchor: Vec<usize> = key_pairs.iter().map(|&(l, _)| l).collect();
-    let out = match thread_case(left, bid_l, &key_anchor, &branches, full_power, profile) {
+    let through_union = ctx.has(Capability::AsjThroughUnion);
+    let out = match thread_case(left, bid_l, &key_anchor, &branches, full_power, through_union) {
         Some(o) => o,
         None => return Ok(None),
     };
@@ -710,7 +657,7 @@ fn thread_case(
     key_ords: &[usize],
     branches: &[BranchInfo],
     full_power: bool,
-    profile: &Profile,
+    through_union: bool,
 ) -> Option<CaseThread> {
     match plan.as_ref() {
         LogicalPlan::Project { input, exprs, .. } => {
@@ -722,7 +669,8 @@ fn thread_case(
             };
             let inner_bid = map(bid_ord)?;
             let inner_keys: Vec<usize> = key_ords.iter().map(|&k| map(k)).collect::<Option<_>>()?;
-            let inner = thread_case(input, inner_bid, &inner_keys, branches, full_power, profile)?;
+            let inner =
+                thread_case(input, inner_bid, &inner_keys, branches, full_power, through_union)?;
             let mut new_exprs = exprs.clone();
             let base = new_exprs.len();
             let mut appended_at = Vec::with_capacity(inner.appended_at.len());
@@ -736,21 +684,21 @@ fn thread_case(
             })
         }
         LogicalPlan::Filter { input, predicate } => {
-            let inner = thread_case(input, bid_ord, key_ords, branches, full_power, profile)?;
+            let inner = thread_case(input, bid_ord, key_ords, branches, full_power, through_union)?;
             Some(CaseThread {
                 plan: LogicalPlan::filter(inner.plan, predicate.clone()).ok()?,
                 appended_at: inner.appended_at,
             })
         }
         LogicalPlan::Sort { input, keys } => {
-            let inner = thread_case(input, bid_ord, key_ords, branches, full_power, profile)?;
+            let inner = thread_case(input, bid_ord, key_ords, branches, full_power, through_union)?;
             Some(CaseThread {
                 plan: LogicalPlan::sort(inner.plan, keys.clone()).ok()?,
                 appended_at: inner.appended_at,
             })
         }
         LogicalPlan::Limit { input, skip, fetch } => {
-            let inner = thread_case(input, bid_ord, key_ords, branches, full_power, profile)?;
+            let inner = thread_case(input, bid_ord, key_ords, branches, full_power, through_union)?;
             Some(CaseThread {
                 plan: LogicalPlan::limit(inner.plan, *skip, *fetch),
                 appended_at: inner.appended_at,
@@ -775,7 +723,8 @@ fn thread_case(
                     return None;
                 }
                 let branch = &branches[idx];
-                let spec = ThreadSpec { table: branch.table.clone(), outer_ok: true, profile };
+                let spec =
+                    ThreadSpec { table: branch.table.clone(), outer_ok: true, through_union };
                 let out = thread(child, key_ords, &branch.key_scan, &branch.needed_scan, &spec)?;
                 if let Some(p) = &branch.pred {
                     let path = Expr::conjunction(out.preds.clone());

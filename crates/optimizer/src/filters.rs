@@ -2,35 +2,53 @@
 //! removal, and plan cleanup. Every system the paper evaluates implements
 //! these, so all five profiles include them.
 
-use crate::profile::Profile;
+use crate::ctx::RewriteCtx;
 use std::collections::BTreeSet;
 use vdm_expr::{fold, predicate, Expr};
-use vdm_plan::{JoinKind, LogicalPlan, PlanRef};
+use vdm_plan::{transform_up, JoinKind, LogicalPlan, PlanRef};
 use vdm_types::Result;
 
-/// Folds constants in every expression of the plan.
+/// Folds constants in every expression of the plan. Nodes whose
+/// expressions fold to themselves are kept as-is (preserving `Arc`
+/// identity, and with it DAG sharing).
 pub fn fold_constants(plan: &PlanRef) -> Result<PlanRef> {
-    let rebuilt = crate::asj::rebuild_children(plan, &|c| fold_constants(c))?;
-    Ok(match rebuilt.as_ref() {
-        LogicalPlan::Project { input, exprs, .. } => {
-            let folded = exprs.iter().map(|(e, n)| (fold::fold(e), n.clone())).collect();
-            LogicalPlan::project(input.clone(), folded)?
-        }
-        LogicalPlan::Filter { input, predicate } => {
-            LogicalPlan::filter(input.clone(), fold::fold(predicate))?
-        }
-        LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } => {
-            LogicalPlan::join(
-                left.clone(),
-                right.clone(),
-                *kind,
-                on.clone(),
-                filter.as_ref().map(fold::fold),
-                *declared,
-                *asj_intent,
-            )?
-        }
-        _ => rebuilt,
+    transform_up(plan, &mut |node| {
+        Ok(match node.as_ref() {
+            LogicalPlan::Project { input, exprs, .. } => {
+                let folded: Vec<(Expr, String)> =
+                    exprs.iter().map(|(e, n)| (fold::fold(e), n.clone())).collect();
+                if folded == *exprs {
+                    node
+                } else {
+                    LogicalPlan::project(input.clone(), folded)?
+                }
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let folded = fold::fold(predicate);
+                if folded == *predicate {
+                    node
+                } else {
+                    LogicalPlan::filter(input.clone(), folded)?
+                }
+            }
+            LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } => {
+                let folded = filter.as_ref().map(fold::fold);
+                if folded == *filter {
+                    node
+                } else {
+                    LogicalPlan::join(
+                        left.clone(),
+                        right.clone(),
+                        *kind,
+                        on.clone(),
+                        folded,
+                        *declared,
+                        *asj_intent,
+                    )?
+                }
+            }
+            _ => node,
+        })
     })
 }
 
@@ -38,34 +56,35 @@ pub fn fold_constants(plan: &PlanRef) -> Result<PlanRef> {
 /// columns), into the matching side of joins (inner joins both sides,
 /// left-outer joins left side only), and into every UNION ALL child.
 pub fn pushdown_filters(plan: &PlanRef) -> Result<PlanRef> {
-    let rebuilt = crate::asj::rebuild_children(plan, &|c| pushdown_filters(c))?;
-    if let LogicalPlan::Filter { input, predicate } = rebuilt.as_ref() {
-        let conjuncts: Vec<Expr> =
-            predicate::split_conjunction(predicate).into_iter().cloned().collect();
-        let n_conjuncts = conjuncts.len();
-        let (pushed, kept) = push_conjuncts(input, conjuncts)?;
-        if std::sync::Arc::ptr_eq(&pushed, input) && kept.len() == n_conjuncts {
-            return Ok(rebuilt.clone());
+    transform_up(plan, &mut |node| {
+        if let LogicalPlan::Filter { input, predicate } = node.as_ref() {
+            let conjuncts: Vec<Expr> =
+                predicate::split_conjunction(predicate).into_iter().cloned().collect();
+            let n_conjuncts = conjuncts.len();
+            let (pushed, kept) = push_conjuncts(input, conjuncts)?;
+            if std::sync::Arc::ptr_eq(&pushed, input) && kept.len() == n_conjuncts {
+                return Ok(node);
+            }
+            let n_kept = kept.len();
+            let out = if kept.is_empty() {
+                pushed
+            } else {
+                LogicalPlan::filter(pushed, Expr::conjunction(kept))?
+            };
+            vdm_obs::rewrite::fired(
+                "filter-pushdown",
+                &node,
+                Some(&out),
+                &format!(
+                    "{} of {n_conjuncts} conjunct(s) pushed below {}",
+                    n_conjuncts - n_kept,
+                    input.op_name()
+                ),
+            );
+            return Ok(out);
         }
-        let n_kept = kept.len();
-        let out = if kept.is_empty() {
-            pushed
-        } else {
-            LogicalPlan::filter(pushed, Expr::conjunction(kept))?
-        };
-        vdm_obs::rewrite::fired(
-            "filter-pushdown",
-            &rebuilt,
-            Some(&out),
-            &format!(
-                "{} of {n_conjuncts} conjunct(s) pushed below {}",
-                n_conjuncts - n_kept,
-                input.op_name()
-            ),
-        );
-        return Ok(out);
-    }
-    Ok(rebuilt)
+        Ok(node)
+    })
 }
 
 /// Attempts to push each conjunct below `plan`; returns the new plan and
@@ -179,37 +198,43 @@ fn push_conjuncts(plan: &PlanRef, conjuncts: Vec<Expr>) -> Result<(PlanRef, Vec<
 
 /// Removes DISTINCT when the input is already duplicate-free (its full
 /// column set covers a unique set under the profile's derivations).
-pub fn remove_redundant_distinct(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
-    let rebuilt = crate::asj::rebuild_children(plan, &|c| remove_redundant_distinct(c, profile))?;
-    if let LogicalPlan::Distinct { input } = rebuilt.as_ref() {
-        let opts = profile.derive_options();
-        let all: BTreeSet<usize> = (0..input.schema().len()).collect();
-        let sets = vdm_plan::unique_sets(input, &opts);
-        if vdm_plan::props::covers_unique(&sets, &all) {
-            vdm_obs::rewrite::fired(
-                "distinct-removal",
-                &rebuilt,
-                Some(input),
-                "input columns cover a derived unique set, so DISTINCT is a no-op",
-            );
-            return Ok(input.clone());
+pub fn remove_redundant_distinct(plan: &PlanRef, ctx: &RewriteCtx<'_>) -> Result<PlanRef> {
+    transform_up(plan, &mut |node| {
+        if let LogicalPlan::Distinct { input } = node.as_ref() {
+            let all: BTreeSet<usize> = (0..input.schema().len()).collect();
+            let sets = ctx.unique_sets(input);
+            if vdm_plan::props::covers_unique(&sets, &all) {
+                vdm_obs::rewrite::fired(
+                    "distinct-removal",
+                    &node,
+                    Some(input),
+                    "input columns cover a derived unique set, so DISTINCT is a no-op",
+                );
+                return Ok(input.clone());
+            }
         }
-    }
-    Ok(rebuilt)
+        Ok(node)
+    })
 }
 
 /// Cleanup: merges stacked projections and drops identity projections
 /// whose names match the child's.
 pub fn cleanup(plan: &PlanRef) -> Result<PlanRef> {
-    let rebuilt = crate::asj::rebuild_children(plan, &|c| cleanup(c))?;
-    if let LogicalPlan::Project { input, exprs, .. } = rebuilt.as_ref() {
+    transform_up(plan, &mut |node| cleanup_node(node))
+}
+
+/// Local simplification step. Children are already clean when this runs;
+/// it only recurses into nodes it creates itself (a merged projection, the
+/// per-child projections of a pushed-down union).
+fn cleanup_node(node: PlanRef) -> Result<PlanRef> {
+    if let LogicalPlan::Project { input, exprs, .. } = node.as_ref() {
         // Merge Project(Project(x)).
         if let LogicalPlan::Project { input: grand, exprs: inner_exprs, .. } = input.as_ref() {
             let merged: Vec<(Expr, String)> = exprs
                 .iter()
                 .map(|(e, n)| (e.substitute_columns(&|i| inner_exprs[i].0.clone()), n.clone()))
                 .collect();
-            return cleanup(&LogicalPlan::project(grand.clone(), merged)?);
+            return cleanup_node(LogicalPlan::project(grand.clone(), merged)?);
         }
         // Push Project(UnionAll(c...)) into the children: each child then
         // merges with its own projection, removing a whole materialization
@@ -217,9 +242,9 @@ pub fn cleanup(plan: &PlanRef) -> Result<PlanRef> {
         if let LogicalPlan::UnionAll { inputs, .. } = input.as_ref() {
             let children = inputs
                 .iter()
-                .map(|c| LogicalPlan::project(c.clone(), exprs.clone()))
+                .map(|c| cleanup_node(LogicalPlan::project(c.clone(), exprs.clone())?))
                 .collect::<Result<Vec<_>>>()?;
-            return cleanup(&LogicalPlan::union_all(children)?);
+            return LogicalPlan::union_all(children);
         }
         // Drop identity projections.
         let cs = input.schema();
@@ -231,5 +256,5 @@ pub fn cleanup(plan: &PlanRef) -> Result<PlanRef> {
             return Ok(input.clone());
         }
     }
-    Ok(rebuilt)
+    Ok(node)
 }

@@ -22,32 +22,49 @@
 //!   (baseline rules every evaluated system has).
 
 pub mod asj;
+pub mod ctx;
 pub mod filters;
 pub mod limit_pushdown;
 pub mod precision;
 pub mod profile;
 pub mod prune;
 
+pub use ctx::RewriteCtx;
 pub use profile::{Capability, Profile};
 
-use vdm_plan::{plan_stats, PlanRef};
+use vdm_plan::{plan_digest, plan_stats, CacheStats, PlanRef, PropertyCache};
 use vdm_types::Result;
 
 /// The optimizer: a capability profile plus a fixpoint driver.
 #[derive(Debug, Clone)]
 pub struct Optimizer {
     profile: Profile,
+    property_cache: bool,
 }
 
 impl Optimizer {
     /// Optimizer with the given capability profile.
     pub fn new(profile: Profile) -> Optimizer {
-        Optimizer { profile }
+        Optimizer { profile, property_cache: true }
     }
 
     /// Optimizer with every capability (the HANA profile).
     pub fn hana() -> Optimizer {
         Optimizer::new(Profile::hana())
+    }
+
+    /// Toggles the annotated-plan fast path. With `false`, the optimizer
+    /// reproduces the pre-refactor cost model: every property probe
+    /// re-derives from scratch, every pruning pass re-normalizes UNION
+    /// ALL children with stacked projections (so plans grow each round,
+    /// exactly the behaviour that defeated fixpoint detection on every
+    /// UNION-bearing plan), and the loop always runs all its rounds.
+    /// Kept so `opt_sweep` can measure the refactor's speedup against an
+    /// honest baseline. Final plans are identical either way: `cleanup`
+    /// collapses the stacked projections.
+    pub fn with_property_cache(mut self, enabled: bool) -> Optimizer {
+        self.property_cache = enabled;
+        self
     }
 
     /// The active profile.
@@ -66,16 +83,24 @@ impl Optimizer {
     /// collected as a structured [`vdm_obs::RewriteEvent`] in
     /// [`Trace::events`] (rule name, plan-node id, cardinality evidence).
     pub fn optimize_traced(&self, plan: &PlanRef) -> Result<(PlanRef, Trace)> {
+        let started = std::time::Instant::now();
         vdm_obs::rewrite::begin_collect();
         let result = self.optimize_traced_inner(plan);
         let events = vdm_obs::rewrite::finish_collect();
         let (out, mut trace) = result?;
         trace.events = events;
+        trace.optimize_nanos = started.elapsed().as_nanos() as u64;
+        let reg = vdm_obs::registry::MetricsRegistry::global();
+        reg.inc("vdm_opt_property_cache_hits_total", trace.cache.hits);
+        reg.inc("vdm_opt_property_cache_misses_total", trace.cache.misses);
         Ok((out, trace))
     }
 
     fn optimize_traced_inner(&self, plan: &PlanRef) -> Result<(PlanRef, Trace)> {
         let p = &self.profile;
+        let props =
+            if self.property_cache { PropertyCache::new() } else { PropertyCache::passthrough() };
+        let ctx = RewriteCtx::new(p, &props).with_legacy_normalize(!self.property_cache);
         let mut trace = Trace::default();
         let mut plan = plan.clone();
         if p.has(Capability::ConstantFolding) {
@@ -85,40 +110,69 @@ impl Optimizer {
             plan = trace.step("filter pushdown", plan, |pl| filters::pushdown_filters(&pl))?;
         }
         // Fixpoint loop: rules enable each other (an ASJ rewrite exposes a
-        // UAJ; a UAJ removal exposes a limit pushdown; ...).
+        // UAJ; a UAJ removal exposes a limit pushdown; ...). Convergence is
+        // detected by `Arc` identity with a structural-digest fallback; the
+        // digest — unlike node counts — also catches count-neutral rewrites
+        // (e.g. an ASJ rewiring that swaps one join input for another of
+        // the same size).
+        //
+        // `noop` remembers, per pass, the plan it last returned unchanged:
+        // a pass whose input is pointer-identical to that plan is a
+        // *memoized* no-op (its result on exactly this input is already
+        // known) and is skipped — no idempotence assumption involved. Only
+        // the annotated-plan mode skips; the legacy cost model re-runs
+        // everything, like the pre-refactor optimizer did.
+        let mut noop: [Option<PlanRef>; 6] = Default::default();
+        // Digest of the plan as of the previous round's end, carried
+        // forward so each productive round hashes the plan once.
+        let mut prev_digest: Option<u64> = None;
+        let fast = self.property_cache;
+        let skip = |memo: &Option<PlanRef>, plan: &PlanRef| {
+            fast && memo.as_ref().is_some_and(|o| std::sync::Arc::ptr_eq(o, plan))
+        };
+        macro_rules! pass {
+            ($idx:expr, $name:expr, $f:expr) => {
+                if !skip(&noop[$idx], &plan) {
+                    let input = plan.clone();
+                    plan = trace.step($name, plan, $f)?;
+                    noop[$idx] = std::sync::Arc::ptr_eq(&plan, &input).then(|| plan.clone());
+                }
+            };
+        }
         for round in 0..8 {
             trace.round = round;
-            let before = plan_stats(&plan);
+            let prev = plan.clone();
             if p.any_asj() {
-                plan = trace.step("ASJ elimination", plan, |pl| asj::asj_pass(&pl, p))?;
+                pass!(0, "ASJ elimination", |pl| asj::asj_pass(&pl, &ctx));
             }
             if p.has(Capability::ProjectionPruning) || p.has(Capability::UajElimination) {
-                plan = trace
-                    .step("pruning + UAJ elimination", plan, |pl| prune::prune_pass(&pl, p))?;
+                pass!(1, "pruning + UAJ elimination", |pl| prune::prune_pass(&pl, &ctx));
             }
             if p.has(Capability::LimitPushdownAj) {
-                plan =
-                    trace.step("limit pushdown", plan, |pl| limit_pushdown::limit_pass(&pl, p))?;
+                pass!(2, "limit pushdown", |pl| limit_pushdown::limit_pass(&pl, &ctx));
             }
             if p.has(Capability::AllowPrecisionLoss) {
-                plan = trace.step("precision-loss interchange", plan, |pl| {
-                    precision::precision_pass(&pl)
-                })?;
+                pass!(3, "precision-loss interchange", |pl| precision::precision_pass(&pl));
             }
             if p.has(Capability::EagerAggregation) {
-                plan = trace
-                    .step("eager aggregation", plan, |pl| precision::eager_agg_pass(&pl, p))?;
+                pass!(4, "eager aggregation", |pl| precision::eager_agg_pass(&pl, &ctx));
             }
             if p.has(Capability::RemoveRedundantDistinct) {
-                plan = trace.step("distinct removal", plan, |pl| {
-                    filters::remove_redundant_distinct(&pl, p)
-                })?;
+                pass!(5, "distinct removal", |pl| filters::remove_redundant_distinct(&pl, &ctx));
             }
-            if plan_stats(&plan) == before {
-                break;
+            if self.property_cache {
+                if std::sync::Arc::ptr_eq(&plan, &prev) {
+                    break;
+                }
+                let digest = plan_digest(&plan);
+                if prev_digest == Some(digest) {
+                    break;
+                }
+                prev_digest = Some(digest);
             }
         }
         let out = filters::cleanup(&plan)?;
+        trace.cache = props.stats();
         Ok((out, trace))
     }
 }
@@ -133,6 +187,10 @@ pub struct Trace {
     /// Every individual rule firing, in order (filled by
     /// [`Optimizer::optimize_traced`]).
     pub events: Vec<vdm_obs::RewriteEvent>,
+    /// Wall-clock time spent in the optimizer, in nanoseconds.
+    pub optimize_nanos: u64,
+    /// Property-cache hit/miss counters for this `optimize()` call.
+    pub cache: CacheStats,
 }
 
 impl Trace {
@@ -173,6 +231,18 @@ impl Trace {
             out.push('\n');
         }
         out
+    }
+
+    /// The `[optimize ...]` stats line shown in the EXPLAIN ANALYZE
+    /// header: optimize time plus property-cache effectiveness.
+    pub fn render_opt_stats(&self) -> String {
+        format!(
+            "[optimize time={:.3}ms | property cache: {} hits, {} misses, {:.0}% hit rate]",
+            self.optimize_nanos as f64 / 1e6,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0
+        )
     }
 
     /// Human-readable rendering.

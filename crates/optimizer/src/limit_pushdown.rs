@@ -7,37 +7,31 @@
 //! `k` rows instead of the whole table — and, as the paper notes, this
 //! changes which side is worth building the hash table on.
 
-use crate::profile::Profile;
-use crate::prune::statically_empty;
-use vdm_plan::{JoinKind, LogicalPlan, PlanRef};
+use crate::ctx::RewriteCtx;
+use vdm_plan::{transform_up, JoinKind, LogicalPlan, PlanRef};
 use vdm_types::Result;
 
 /// Runs the limit-pushdown pass bottom-up.
-pub fn limit_pass(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
-    let rebuilt = rebuild(plan, profile)?;
-    Ok(rebuilt)
-}
-
-fn rebuild(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
-    // Recurse first.
-    let node = crate::asj::rebuild_children(plan, &|c| rebuild(c, profile))?;
-    if let LogicalPlan::Limit { input, skip, fetch } = node.as_ref() {
-        if let Some(pushed) = push_limit(input, *skip, *fetch, profile)? {
-            let fetch_s = fetch.map(|f| f.to_string()).unwrap_or_else(|| "ALL".into());
-            vdm_obs::rewrite::fired(
-                "limit-pushdown",
-                &node,
-                Some(&pushed),
-                &format!(
-                    "§4.4: LIMIT {fetch_s} OFFSET {skip} pushed below {} \
-                     (row-for-row correspondence across the augmentation)",
-                    input.op_name()
-                ),
-            );
-            return Ok(pushed);
+pub fn limit_pass(plan: &PlanRef, ctx: &RewriteCtx<'_>) -> Result<PlanRef> {
+    transform_up(plan, &mut |node| {
+        if let LogicalPlan::Limit { input, skip, fetch } = node.as_ref() {
+            if let Some(pushed) = push_limit(input, *skip, *fetch, ctx)? {
+                let fetch_s = fetch.map(|f| f.to_string()).unwrap_or_else(|| "ALL".into());
+                vdm_obs::rewrite::fired(
+                    "limit-pushdown",
+                    &node,
+                    Some(&pushed),
+                    &format!(
+                        "§4.4: LIMIT {fetch_s} OFFSET {skip} pushed below {} \
+                         (row-for-row correspondence across the augmentation)",
+                        input.op_name()
+                    ),
+                );
+                return Ok(pushed);
+            }
         }
-    }
-    Ok(node)
+        Ok(node)
+    })
 }
 
 /// Attempts to push `LIMIT fetch OFFSET skip` below `input`. Returns the
@@ -46,16 +40,14 @@ fn push_limit(
     input: &PlanRef,
     skip: u64,
     fetch: Option<u64>,
-    profile: &Profile,
+    ctx: &RewriteCtx<'_>,
 ) -> Result<Option<PlanRef>> {
     match input.as_ref() {
         LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } => {
             // Only across *augmentation* joins: row-for-row correspondence.
-            let opts = profile.derive_options();
             let augmentative = *kind == JoinKind::LeftOuter
                 && filter.is_none()
-                && (vdm_plan::props::join_right_at_most_one(right, on, *declared, &opts)
-                    || statically_empty(right));
+                && (ctx.right_at_most_one(right, on, *declared) || ctx.statically_empty(right));
             if !augmentative {
                 return Ok(None);
             }
@@ -65,7 +57,7 @@ fn push_limit(
             }
             let limited_left = LogicalPlan::limit(left.clone(), skip, fetch);
             // Try pushing further down recursively.
-            let new_left = match push_limit(left, skip, fetch, profile)? {
+            let new_left = match push_limit(left, skip, fetch, ctx)? {
                 Some(deeper) => deeper,
                 None => limited_left,
             };
@@ -82,7 +74,7 @@ fn push_limit(
         }
         LogicalPlan::Project { input: inner, exprs, .. } => {
             // LIMIT commutes with projection.
-            match push_limit(inner, skip, fetch, profile)? {
+            match push_limit(inner, skip, fetch, ctx)? {
                 Some(new_inner) => Ok(Some(LogicalPlan::project(new_inner, exprs.clone())?)),
                 None => Ok(None),
             }
@@ -102,7 +94,7 @@ fn push_limit(
                         return Ok(c.clone());
                     }
                     changed = true;
-                    let limited = match push_limit(c, 0, Some(child_fetch), profile)? {
+                    let limited = match push_limit(c, 0, Some(child_fetch), ctx)? {
                         Some(deeper) => deeper,
                         None => LogicalPlan::limit(c.clone(), 0, Some(child_fetch)),
                     };

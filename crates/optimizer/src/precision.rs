@@ -10,15 +10,18 @@
 //! single post-aggregation expression, and the bare `sum(x)` becomes
 //! eligible for further pushdown.
 
-use crate::profile::Profile;
+use crate::ctx::RewriteCtx;
 use vdm_expr::{AggExpr, AggFunc, BinOp, Expr, ScalarFunc};
-use vdm_plan::{JoinKind, LogicalPlan, PlanRef};
+use vdm_plan::{transform_up, JoinKind, LogicalPlan, PlanRef};
 use vdm_types::Result;
 
 /// Rewrites `allow_precision_loss(sum(round(...)))` aggregates.
 pub fn precision_pass(plan: &PlanRef) -> Result<PlanRef> {
-    let rebuilt = crate::asj::rebuild_children(plan, &|c| precision_pass(c))?;
-    if let LogicalPlan::Aggregate { input, group_by, aggs, .. } = rebuilt.as_ref() {
+    transform_up(plan, &mut |node| precision_node(node))
+}
+
+fn precision_node(node: PlanRef) -> Result<PlanRef> {
+    if let LogicalPlan::Aggregate { input, group_by, aggs, .. } = node.as_ref() {
         let mut changed = false;
         let mut new_aggs: Vec<(AggExpr, String)> = Vec::with_capacity(aggs.len());
         // Post-projection over [groups..., aggs...]: default passthrough.
@@ -37,7 +40,7 @@ pub fn precision_pass(plan: &PlanRef) -> Result<PlanRef> {
         }
         if changed {
             let agg_plan = LogicalPlan::aggregate(input.clone(), group_by.clone(), new_aggs)?;
-            let schema = rebuilt.schema();
+            let schema = node.schema();
             let exprs = post
                 .into_iter()
                 .enumerate()
@@ -46,14 +49,14 @@ pub fn precision_pass(plan: &PlanRef) -> Result<PlanRef> {
             let out = LogicalPlan::project(agg_plan, exprs)?;
             vdm_obs::rewrite::fired(
                 "precision-interchange",
-                &rebuilt,
+                &node,
                 Some(&out),
                 "§7.1: ALLOW_PRECISION_LOSS lets sum(round(x*k, s)) become round(sum(x)*k, s)",
             );
             return Ok(out);
         }
     }
-    Ok(rebuilt)
+    Ok(node)
 }
 
 /// `sum(round(X, s))` → (`sum(X)`, `round($0, s)`), and
@@ -105,27 +108,28 @@ fn rewrite_agg(agg: &AggExpr) -> Option<(AggExpr, Expr)> {
 /// Sound for augmentation joins because the join neither filters nor
 /// duplicates left rows; `SUM`/`MIN`/`MAX` re-combine, `COUNT(*)` becomes a
 /// `SUM` of partial counts.
-pub fn eager_agg_pass(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
-    let rebuilt = crate::asj::rebuild_children(plan, &|c| eager_agg_pass(c, profile))?;
-    if let LogicalPlan::Aggregate { input, group_by, aggs, .. } = rebuilt.as_ref() {
-        if let Some(new_plan) = try_eager(input, group_by, aggs, profile)? {
-            vdm_obs::rewrite::fired(
-                "eager-aggregation",
-                &rebuilt,
-                Some(&new_plan),
-                "aggregate pushed below an augmentation join (right side at most one match)",
-            );
-            return Ok(new_plan);
+pub fn eager_agg_pass(plan: &PlanRef, ctx: &RewriteCtx<'_>) -> Result<PlanRef> {
+    transform_up(plan, &mut |node| {
+        if let LogicalPlan::Aggregate { input, group_by, aggs, .. } = node.as_ref() {
+            if let Some(new_plan) = try_eager(input, group_by, aggs, ctx)? {
+                vdm_obs::rewrite::fired(
+                    "eager-aggregation",
+                    &node,
+                    Some(&new_plan),
+                    "aggregate pushed below an augmentation join (right side at most one match)",
+                );
+                return Ok(new_plan);
+            }
         }
-    }
-    Ok(rebuilt)
+        Ok(node)
+    })
 }
 
 fn try_eager(
     join: &PlanRef,
     group_by: &[(Expr, String)],
     aggs: &[(AggExpr, String)],
-    profile: &Profile,
+    ctx: &RewriteCtx<'_>,
 ) -> Result<Option<PlanRef>> {
     let LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } =
         join.as_ref()
@@ -139,8 +143,7 @@ fn try_eager(
     if matches!(left.as_ref(), LogicalPlan::Aggregate { .. }) {
         return Ok(None);
     }
-    let opts = profile.derive_options();
-    if !vdm_plan::props::join_right_at_most_one(right, on, *declared, &opts) {
+    if !ctx.right_at_most_one(right, on, *declared) {
         return Ok(None);
     }
     let nl = left.schema().len();

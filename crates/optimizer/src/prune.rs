@@ -15,23 +15,35 @@
 //! Everything else in the pass is plain column pruning, which is itself
 //! what makes the analysis compositional: pruning a join's unused output
 //! exposes the next UAJ above it.
+//!
+//! Because the pass is top-down over required-column sets it cannot ride
+//! the bottom-up [`vdm_plan::transform_up`] driver; instead it memoizes
+//! `(node pointer, required set)` pairs, so a shared subtree reached from
+//! two parents with the same requirements is pruned once and the result
+//! `Arc` is shared — and a subtree the pass leaves unchanged keeps its
+//! original `Arc` identity.
 
-use crate::profile::{Capability, Profile};
-use std::collections::BTreeSet;
+use crate::ctx::RewriteCtx;
+use crate::profile::Capability;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use vdm_catalog::TableDef;
-use vdm_expr::{fold, Expr};
+use vdm_expr::Expr;
 use vdm_plan::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef};
 use vdm_types::{Result, VdmError};
 
 /// Old-ordinal → new-ordinal mapping produced by pruning a subtree.
 type ColMap = Vec<Option<usize>>;
 
+/// `(node pointer, required set)` → pruned result, per pass invocation.
+type PruneMemo = HashMap<(usize, Vec<usize>), (PlanRef, ColMap)>;
+
 /// Runs the pruning/UAJ pass over a whole plan.
-pub fn prune_pass(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
+pub fn prune_pass(plan: &PlanRef, ctx: &RewriteCtx<'_>) -> Result<PlanRef> {
     let all: BTreeSet<usize> = (0..plan.schema().len()).collect();
     let original = plan.schema();
-    let (pruned, map) = prune(plan, &all, profile)?;
+    let mut memo = PruneMemo::new();
+    let (pruned, map) = prune(plan, &all, ctx, &mut memo)?;
     // Root required everything, so the mapping must be total; restore the
     // original column order/names with a projection if anything moved.
     let identity = map.iter().enumerate().all(|(i, m)| *m == Some(i))
@@ -55,13 +67,77 @@ pub fn prune_pass(plan: &PlanRef, profile: &Profile) -> Result<PlanRef> {
 fn prune(
     plan: &PlanRef,
     required: &BTreeSet<usize>,
-    profile: &Profile,
+    ctx: &RewriteCtx<'_>,
+    memo: &mut PruneMemo,
 ) -> Result<(PlanRef, ColMap)> {
     // Zero-column relations are not representable; always keep one column.
     let mut required = required.clone();
     if required.is_empty() && !plan.schema().is_empty() {
         required.insert(0);
     }
+    let key = (Arc::as_ptr(plan) as usize, required.iter().copied().collect::<Vec<usize>>());
+    if let Some((done, map)) = memo.get(&key) {
+        return Ok((done.clone(), map.clone()));
+    }
+    let (out, map) = prune_node(plan, &required, ctx, memo)?;
+    // Identity preservation: a rebuild that changed nothing hands back the
+    // original `Arc`, keeping DAG sharing (and property-cache entries) alive.
+    let out = if !Arc::ptr_eq(&out, plan)
+        && map.iter().enumerate().all(|(i, m)| *m == Some(i))
+        && out.schema().len() == plan.schema().len()
+        && shallow_identical(&out, plan)
+    {
+        plan.clone()
+    } else {
+        out
+    };
+    memo.insert(key, (out.clone(), map.clone()));
+    Ok((out, map))
+}
+
+/// True when `a` rebuilds `b` exactly: pointer-equal children and equal
+/// node-local content. (Cheap — never walks subtrees.)
+fn shallow_identical(a: &PlanRef, b: &PlanRef) -> bool {
+    let (ca, cb) = (a.children(), b.children());
+    if ca.len() != cb.len() || !ca.iter().zip(&cb).all(|(x, y)| Arc::ptr_eq(x, y)) {
+        return false;
+    }
+    match (a.as_ref(), b.as_ref()) {
+        (LogicalPlan::Project { exprs: ea, .. }, LogicalPlan::Project { exprs: eb, .. }) => {
+            ea == eb
+        }
+        (LogicalPlan::Filter { predicate: pa, .. }, LogicalPlan::Filter { predicate: pb, .. }) => {
+            pa == pb
+        }
+        (
+            LogicalPlan::Join {
+                kind: ka, on: oa, filter: fa, declared: da, asj_intent: ia, ..
+            },
+            LogicalPlan::Join {
+                kind: kb, on: ob, filter: fb, declared: db, asj_intent: ib, ..
+            },
+        ) => ka == kb && oa == ob && fa == fb && da == db && ia == ib,
+        (LogicalPlan::UnionAll { .. }, LogicalPlan::UnionAll { .. })
+        | (LogicalPlan::Distinct { .. }, LogicalPlan::Distinct { .. }) => true,
+        (
+            LogicalPlan::Aggregate { group_by: ga, aggs: aa, .. },
+            LogicalPlan::Aggregate { group_by: gb, aggs: ab, .. },
+        ) => ga == gb && aa == ab,
+        (LogicalPlan::Sort { keys: ka, .. }, LogicalPlan::Sort { keys: kb, .. }) => ka == kb,
+        (
+            LogicalPlan::Limit { skip: sa, fetch: fa, .. },
+            LogicalPlan::Limit { skip: sb, fetch: fb, .. },
+        ) => sa == sb && fa == fb,
+        _ => false,
+    }
+}
+
+fn prune_node(
+    plan: &PlanRef,
+    required: &BTreeSet<usize>,
+    ctx: &RewriteCtx<'_>,
+    memo: &mut PruneMemo,
+) -> Result<(PlanRef, ColMap)> {
     let width = plan.schema().len();
     match plan.as_ref() {
         LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => {
@@ -73,7 +149,12 @@ fn prune(
             for &i in &kept {
                 exprs[i].0.referenced_columns(&mut child_req);
             }
-            let (new_input, cmap) = prune(input, &child_req, profile)?;
+            let (new_input, cmap) = prune(input, &child_req, ctx, memo)?;
+            // Nothing pruned anywhere: skip the rebuild (and its schema
+            // re-derivation) — this is the common case on converged plans.
+            if kept.len() == width && Arc::ptr_eq(&new_input, input) && is_identity(&cmap) {
+                return Ok((plan.clone(), identity_map(width)));
+            }
             let new_exprs = kept
                 .iter()
                 .map(|&i| {
@@ -87,7 +168,10 @@ fn prune(
         LogicalPlan::Filter { input, predicate } => {
             let mut child_req = required.clone();
             predicate.referenced_columns(&mut child_req);
-            let (new_input, cmap) = prune(input, &child_req, profile)?;
+            let (new_input, cmap) = prune(input, &child_req, ctx, memo)?;
+            if Arc::ptr_eq(&new_input, input) && is_identity(&cmap) {
+                return Ok((plan.clone(), cmap));
+            }
             let new_plan = LogicalPlan::filter(new_input, remap(predicate, &cmap))?;
             Ok((new_plan, cmap))
         }
@@ -101,15 +185,16 @@ fn prune(
                 filter,
                 *declared,
                 *asj_intent,
-                &required,
-                profile,
+                required,
+                ctx,
+                memo,
             )
         }
         LogicalPlan::UnionAll { inputs, .. } => {
             let kept: Vec<usize> = required.iter().copied().collect();
             let mut new_children = Vec::with_capacity(inputs.len());
             for child in inputs {
-                let (pruned_child, cmap) = prune(child, &required, profile)?;
+                let (pruned_child, cmap) = prune(child, required, ctx, memo)?;
                 // Normalize every child to the same [kept...] layout.
                 let exprs = kept
                     .iter()
@@ -120,7 +205,25 @@ fn prune(
                         Ok((Expr::col(new), child.schema().field(i).name.clone()))
                     })
                     .collect::<Result<Vec<_>>>()?;
-                new_children.push(LogicalPlan::project(pruned_child, exprs)?);
+                // Skip the wrap when it would be an identity projection:
+                // otherwise every fixpoint round stacks another projection
+                // per branch and the digest never stabilizes.
+                let cs = pruned_child.schema();
+                let identity = cs.len() == exprs.len()
+                    && exprs.iter().enumerate().all(|(j, (e, n))| {
+                        matches!(e, Expr::Col(c) if *c == j)
+                            && cs.field(j).name.eq_ignore_ascii_case(n)
+                    });
+                new_children.push(if identity && !ctx.legacy_normalize() {
+                    pruned_child
+                } else {
+                    LogicalPlan::project(pruned_child, exprs)?
+                });
+            }
+            if kept.len() == width
+                && new_children.iter().zip(inputs).all(|(n, o)| Arc::ptr_eq(n, o))
+            {
+                return Ok((plan.clone(), identity_map(width)));
             }
             let new_plan = LogicalPlan::union_all(new_children)?;
             Ok((new_plan, positions_map(width, &kept)))
@@ -137,7 +240,7 @@ fn prune(
             for &j in &kept_aggs {
                 aggs[j].0.referenced_columns(&mut child_req);
             }
-            let (new_input, cmap) = prune(input, &child_req, profile)?;
+            let (new_input, cmap) = prune(input, &child_req, ctx, memo)?;
             let new_groups = group_by.iter().map(|(e, n)| (remap(e, &cmap), n.clone())).collect();
             let new_aggs = kept_aggs
                 .iter()
@@ -160,7 +263,7 @@ fn prune(
             // DISTINCT semantics depend on every column: no pruning below,
             // but still recurse to prune within (joins inside subtrees).
             let all: BTreeSet<usize> = (0..input.schema().len()).collect();
-            let (new_input, cmap) = prune(input, &all, profile)?;
+            let (new_input, cmap) = prune(input, &all, ctx, memo)?;
             debug_assert!(cmap.iter().enumerate().all(|(i, m)| *m == Some(i)));
             Ok((LogicalPlan::distinct(new_input), identity_map(width)))
         }
@@ -169,7 +272,7 @@ fn prune(
             for k in keys {
                 k.expr.referenced_columns(&mut child_req);
             }
-            let (new_input, cmap) = prune(input, &child_req, profile)?;
+            let (new_input, cmap) = prune(input, &child_req, ctx, memo)?;
             let new_keys = keys
                 .iter()
                 .map(|k| vdm_plan::SortKey {
@@ -182,7 +285,7 @@ fn prune(
             Ok((new_plan, cmap))
         }
         LogicalPlan::Limit { input, skip, fetch } => {
-            let (new_input, cmap) = prune(input, &required, profile)?;
+            let (new_input, cmap) = prune(input, required, ctx, memo)?;
             Ok((LogicalPlan::limit(new_input, *skip, *fetch), cmap))
         }
     }
@@ -199,7 +302,8 @@ fn prune_join(
     declared: Option<DeclaredCardinality>,
     asj_intent: bool,
     required: &BTreeSet<usize>,
-    profile: &Profile,
+    ctx: &RewriteCtx<'_>,
+    memo: &mut PruneMemo,
 ) -> Result<(PlanRef, ColMap)> {
     let width = plan.schema().len();
     let nl = left.schema().len();
@@ -208,17 +312,16 @@ fn prune_join(
         required.iter().copied().filter(|&i| i >= nl).map(|i| i - nl).collect();
 
     // ---- UAJ elimination ----------------------------------------------
-    if profile.has(Capability::UajElimination) && req_right.is_empty() {
-        let opts = profile.derive_options();
+    if ctx.has(Capability::UajElimination) && req_right.is_empty() {
         let evidence = match kind {
             JoinKind::LeftOuter => {
                 // AJ 2a: right matches at most one row; AJ 2b: right empty.
-                if vdm_plan::props::join_right_at_most_one(right, on, declared, &opts) {
+                if ctx.right_at_most_one(right, on, declared) {
                     Some(match declared {
                         Some(d) => format!("AJ 2a: unused LEFT OUTER augmenter, at most one match (declared {d:?})"),
                         None => "AJ 2a: unused LEFT OUTER augmenter, join columns cover a derived unique set".to_string(),
                     })
-                } else if statically_empty(right) {
+                } else if ctx.statically_empty(right) {
                     Some("AJ 2b: unused LEFT OUTER augmenter is statically empty".to_string())
                 } else {
                     None
@@ -226,7 +329,7 @@ fn prune_join(
             }
             JoinKind::Inner => {
                 // AJ 1: exactly-one lower bound needed.
-                if inner_exactly_one(left, right, on, declared, profile) {
+                if inner_exactly_one(left, right, on, declared, ctx) {
                     Some(match declared {
                         Some(d) => format!("AJ 1a: unused INNER augmenter, exactly one match (declared {d:?})"),
                         None => "AJ 1a: unused INNER augmenter, exactly one match (FK witness + unique key)".to_string(),
@@ -237,7 +340,7 @@ fn prune_join(
             }
         };
         if let Some(evidence) = evidence {
-            let (new_left, lmap) = prune(left, &req_left, profile)?;
+            let (new_left, lmap) = prune(left, &req_left, ctx, memo)?;
             vdm_obs::rewrite::fired("uaj-removal", plan, Some(&new_left), &evidence);
             let mut map: ColMap = vec![None; width];
             for &i in &req_left {
@@ -271,8 +374,15 @@ fn prune_join(
             }
         }
     }
-    let (new_left, lmap) = prune(left, &left_req, profile)?;
-    let (new_right, rmap) = prune(right, &right_req, profile)?;
+    let (new_left, lmap) = prune(left, &left_req, ctx, memo)?;
+    let (new_right, rmap) = prune(right, &right_req, ctx, memo)?;
+    if Arc::ptr_eq(&new_left, left)
+        && Arc::ptr_eq(&new_right, right)
+        && is_identity(&lmap)
+        && is_identity(&rmap)
+    {
+        return Ok((plan.clone(), identity_map(width)));
+    }
     let new_nl = new_left.schema().len();
     let new_on: Vec<(usize, usize)> = on
         .iter()
@@ -302,23 +412,11 @@ fn prune_join(
     Ok((new_plan, map))
 }
 
-/// Statically-empty relation detection (AJ 2b: `R ⟕ ∅`).
+/// Statically-empty relation detection (AJ 2b: `R ⟕ ∅`) — thin wrapper
+/// over [`vdm_plan::statically_empty`], kept for callers outside the
+/// rewrite context (tests, diagnostics).
 pub fn statically_empty(plan: &PlanRef) -> bool {
-    match plan.as_ref() {
-        LogicalPlan::Values { rows, .. } => rows.is_empty(),
-        LogicalPlan::Filter { input, predicate } => {
-            fold::is_always_false(predicate) || statically_empty(input)
-        }
-        LogicalPlan::Project { input, .. }
-        | LogicalPlan::Distinct { input }
-        | LogicalPlan::Sort { input, .. } => statically_empty(input),
-        LogicalPlan::Limit { input, fetch, .. } => *fetch == Some(0) || statically_empty(input),
-        LogicalPlan::Join { left, right, kind, .. } => {
-            statically_empty(left) || (*kind == JoinKind::Inner && statically_empty(right))
-        }
-        LogicalPlan::UnionAll { inputs, .. } => inputs.iter().all(statically_empty),
-        _ => false,
-    }
+    vdm_plan::statically_empty(plan)
 }
 
 /// Traces an output ordinal down a pure-column chain to its originating
@@ -340,52 +438,52 @@ fn inner_exactly_one(
     right: &PlanRef,
     on: &[(usize, usize)],
     declared: Option<DeclaredCardinality>,
-    profile: &Profile,
+    ctx: &RewriteCtx<'_>,
 ) -> bool {
-    if profile.has(Capability::TrustDeclaredCardinality)
+    if ctx.has(Capability::TrustDeclaredCardinality)
         && declared == Some(DeclaredCardinality::ManyToExactOne)
     {
         return true;
     }
-    if !profile.has(Capability::UniqueFromPrimaryKey) || on.is_empty() {
+    if !ctx.has(Capability::UniqueFromPrimaryKey) || on.is_empty() {
         return false;
     }
     // Trace all left keys to one scan, un-nulled and non-nullable.
     let mut left_scan: Option<(Arc<TableDef>, usize)> = None;
     let mut left_ords = Vec::with_capacity(on.len());
     for &(l, _) in on {
-        let (t, inst, c, _filtered, nulled) = match trace_to_scan(left, l) {
-            Some(x) => x,
+        let o = match ctx.origin(left, l) {
+            Some(o) => o,
             None => return false,
         };
-        if nulled || t.schema.field(c).nullable {
+        if o.nulled || o.table.schema.field(o.column).nullable {
             return false;
         }
         match &left_scan {
-            None => left_scan = Some((Arc::clone(&t), inst)),
-            Some((_, prev)) if *prev == inst => {}
+            None => left_scan = Some((Arc::clone(&o.table), o.instance)),
+            Some((_, prev)) if *prev == o.instance => {}
             _ => return false,
         }
-        left_ords.push(c);
+        left_ords.push(o.column);
     }
     let (left_table, _) = left_scan.expect("on is non-empty");
     // Trace all right keys to one *unfiltered* scan.
     let mut right_scan: Option<(Arc<TableDef>, usize)> = None;
     let mut right_ords = Vec::with_capacity(on.len());
     for &(_, r) in on {
-        let (t, inst, c, filtered, nulled) = match trace_to_scan(right, r) {
-            Some(x) => x,
+        let o = match ctx.origin(right, r) {
+            Some(o) => o,
             None => return false,
         };
-        if filtered || nulled {
+        if o.filtered || o.nulled {
             return false;
         }
         match &right_scan {
-            None => right_scan = Some((Arc::clone(&t), inst)),
-            Some((_, prev)) if *prev == inst => {}
+            None => right_scan = Some((Arc::clone(&o.table), o.instance)),
+            Some((_, prev)) if *prev == o.instance => {}
             _ => return false,
         }
-        right_ords.push(c);
+        right_ords.push(o.column);
     }
     let (right_table, _) = right_scan.expect("on is non-empty");
     // The right side must contain nothing but that scan (no extra joins
@@ -433,6 +531,10 @@ fn pure_chain_to_scan(plan: &PlanRef) -> bool {
 
 fn identity_map(width: usize) -> ColMap {
     (0..width).map(Some).collect()
+}
+
+fn is_identity(map: &ColMap) -> bool {
+    map.iter().enumerate().all(|(i, m)| *m == Some(i))
 }
 
 fn positions_map(width: usize, kept: &[usize]) -> ColMap {

@@ -666,12 +666,14 @@ fn asj_through_anchor_union_hana_only() {
 fn asj_case_join(intent: bool, shallow: bool) -> PlanRef {
     let mk_anchor = |bid: i64| -> PlanRef {
         let base = LogicalPlan::scan(customer());
+        // The deep variant adds an extra projection layer: the shallow
+        // heuristic only recognizes `Project over [Filter] Scan`, while
+        // declared-intent threading walks through arbitrary pure wrappers.
         let base = if shallow {
             base
         } else {
-            // A deeper branch: an extra augmenting join the heuristic
-            // refuses to look through.
-            LogicalPlan::left_join(base, LogicalPlan::scan(nation()), vec![(2, 0)]).unwrap()
+            LogicalPlan::project(base, (0..4).map(|i| (Expr::col(i), format!("p{i}"))).collect())
+                .unwrap()
         };
         LogicalPlan::project(
             base,

@@ -11,16 +11,22 @@
 //! individual derivations and reproduce the behaviour differences of
 //! Tables 1–4.
 
+pub mod cache;
+pub mod digest;
 pub mod explain;
 pub mod lineage;
 pub mod node;
 pub mod props;
 pub mod registry;
 pub mod stats;
+pub mod transform;
 
+pub use cache::{CacheStats, PropertyCache};
+pub use digest::plan_digest;
 pub use explain::{explain, explain_annotated, number_nodes};
 pub use lineage::{column_lineage, trace_column, Origin};
 pub use node::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef, SortKey};
-pub use props::{unique_sets, DeriveOptions};
+pub use props::{statically_empty, unique_sets, DeriveOptions};
 pub use registry::ViewRegistry;
 pub use stats::{plan_stats, PlanStats};
+pub use transform::{map_children, transform_up};

@@ -18,9 +18,9 @@
 //! relation has at most one row* (every column set, including the empty
 //! one, is then trivially unique).
 
-use crate::node::{DeclaredCardinality, JoinKind, LogicalPlan};
+use crate::node::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef};
 use std::collections::BTreeSet;
-use vdm_expr::{predicate, Expr};
+use vdm_expr::{fold, predicate, Expr};
 
 /// Which uniqueness derivations are enabled.
 ///
@@ -29,7 +29,7 @@ use vdm_expr::{predicate, Expr};
 /// variants of Fig. 5 (`through_join`, `through_sort_limit`), the Fig. 12
 /// UNION ALL patterns (`union_disjoint`, `union_branch_id`), and §7.3's
 /// declared cardinalities (`trust_declared`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DeriveOptions {
     pub from_primary_key: bool,
     pub from_group_by: bool,
@@ -86,14 +86,29 @@ pub fn covers_unique(sets: &[BTreeSet<usize>], cols: &BTreeSet<usize>) -> bool {
     sets.iter().any(|s| s.is_subset(cols))
 }
 
+/// Child-property lookup used by [`derive_with`]: the uncached path recurses
+/// directly, while the `PropertyCache` resolves shared subtrees from its memo.
+pub(crate) type SetsResolver<'a> = &'a mut dyn FnMut(&PlanRef) -> Vec<BTreeSet<usize>>;
+
 /// Derives the unique column sets of `plan`'s output under `opts`.
 pub fn unique_sets(plan: &LogicalPlan, opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
-    let sets = derive(plan, opts);
-    minimize(sets)
+    derive_with(plan, opts, &mut |child| unique_sets(child, opts))
+}
+
+/// Single-node derivation with child sets supplied by `resolve`.
+pub(crate) fn derive_with(
+    plan: &LogicalPlan,
+    opts: &DeriveOptions,
+    resolve: SetsResolver<'_>,
+) -> Vec<BTreeSet<usize>> {
+    minimize(derive(plan, opts, resolve))
 }
 
 fn minimize(mut sets: Vec<BTreeSet<usize>>) -> Vec<BTreeSet<usize>> {
-    sets.sort_by_key(|s| s.len());
+    // Total order (size, then contents) so `dedup` removes *every*
+    // duplicate, not just adjacent ones — equal-size duplicates used to
+    // survive and crowd the MAX_SETS cap on join-heavy plans.
+    sets.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
     sets.dedup();
     let mut out: Vec<BTreeSet<usize>> = Vec::new();
     for s in sets {
@@ -107,7 +122,11 @@ fn minimize(mut sets: Vec<BTreeSet<usize>>) -> Vec<BTreeSet<usize>> {
     out
 }
 
-fn derive(plan: &LogicalPlan, opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
+fn derive(
+    plan: &LogicalPlan,
+    opts: &DeriveOptions,
+    resolve: SetsResolver<'_>,
+) -> Vec<BTreeSet<usize>> {
     match plan {
         LogicalPlan::Scan { table, .. } => {
             if opts.from_primary_key {
@@ -124,7 +143,7 @@ fn derive(plan: &LogicalPlan, opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
             }
         }
         LogicalPlan::Project { input, exprs, .. } => {
-            let child = unique_sets(input, opts);
+            let child = resolve(input);
             // Map input ordinal -> first output position projecting it as-is.
             let mut pos_of: std::collections::HashMap<usize, usize> = Default::default();
             for (out_idx, (e, _)) in exprs.iter().enumerate() {
@@ -140,7 +159,7 @@ fn derive(plan: &LogicalPlan, opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
                 .collect()
         }
         LogicalPlan::Filter { input, predicate } => {
-            let mut sets = unique_sets(input, opts);
+            let mut sets = resolve(input);
             if opts.from_const_filter {
                 let bound = predicate::constant_bound_columns(predicate);
                 if !bound.is_empty() {
@@ -152,9 +171,9 @@ fn derive(plan: &LogicalPlan, opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
             sets
         }
         LogicalPlan::Join { left, right, kind, on, declared, .. } => {
-            derive_join(left, right, *kind, on, *declared, opts)
+            derive_join(left, right, *kind, on, *declared, opts, resolve)
         }
-        LogicalPlan::UnionAll { inputs, .. } => derive_union(inputs, opts),
+        LogicalPlan::UnionAll { inputs, .. } => derive_union(inputs, opts, resolve),
         LogicalPlan::Aggregate { input, group_by, .. } => {
             let mut sets = Vec::new();
             if group_by.is_empty() {
@@ -167,7 +186,7 @@ fn derive(plan: &LogicalPlan, opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
             sets
         }
         LogicalPlan::Distinct { input } => {
-            let mut sets = unique_sets(input, opts);
+            let mut sets = resolve(input);
             if opts.from_group_by {
                 sets.push((0..input.schema().len()).collect());
             }
@@ -175,14 +194,13 @@ fn derive(plan: &LogicalPlan, opts: &DeriveOptions) -> Vec<BTreeSet<usize>> {
         }
         LogicalPlan::Sort { input, .. } => {
             if opts.through_sort_limit {
-                unique_sets(input, opts)
+                resolve(input)
             } else {
                 Vec::new()
             }
         }
         LogicalPlan::Limit { input, fetch, .. } => {
-            let mut sets =
-                if opts.through_sort_limit { unique_sets(input, opts) } else { Vec::new() };
+            let mut sets = if opts.through_sort_limit { resolve(input) } else { Vec::new() };
             if matches!(fetch, Some(0) | Some(1)) {
                 sets.push(BTreeSet::new());
             }
@@ -207,26 +225,32 @@ pub fn join_right_at_most_one(
     covers_unique(&unique_sets(right, opts), &right_cols)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn derive_join(
-    left: &LogicalPlan,
-    right: &LogicalPlan,
+    left: &PlanRef,
+    right: &PlanRef,
     kind: JoinKind,
     on: &[(usize, usize)],
     declared: Option<DeclaredCardinality>,
     opts: &DeriveOptions,
+    resolve: SetsResolver<'_>,
 ) -> Vec<BTreeSet<usize>> {
     if !opts.through_join {
         return Vec::new();
     }
-    let left_sets = unique_sets(left, opts);
-    let right_sets = unique_sets(right, opts);
+    let left_sets = resolve(left);
+    let right_sets = resolve(right);
     let nl = left.schema().len();
     let shift = |s: &BTreeSet<usize>| -> BTreeSet<usize> { s.iter().map(|c| c + nl).collect() };
 
     let mut out = Vec::new();
 
     // Right side at-most-one match: left keys stay keys.
-    if join_right_at_most_one(right, on, declared, opts) {
+    let at_most_one = (opts.trust_declared && declared.is_some()) || {
+        let right_cols: BTreeSet<usize> = on.iter().map(|&(_, r)| r).collect();
+        covers_unique(&right_sets, &right_cols)
+    };
+    if at_most_one {
         out.extend(left_sets.iter().cloned());
     }
 
@@ -240,11 +264,15 @@ fn derive_join(
     }
 
     // A left key combined with a right key always identifies the row pair.
+    // Combinations already covered by a kept set are non-minimal and would
+    // be dropped by `minimize` anyway — skip them to bound the product.
     for l in left_sets.iter().take(4) {
         for r in right_sets.iter().take(4) {
             let mut c = l.clone();
             c.extend(shift(r));
-            out.push(c);
+            if !covers_unique(&out, &c) {
+                out.push(c);
+            }
         }
     }
     out
@@ -298,14 +326,14 @@ fn as_filtered_source(plan: &LogicalPlan) -> Option<(String, Vec<Expr>, Vec<Opti
 }
 
 fn derive_union(
-    inputs: &[std::sync::Arc<LogicalPlan>],
+    inputs: &[PlanRef],
     opts: &DeriveOptions,
+    resolve: SetsResolver<'_>,
 ) -> Vec<BTreeSet<usize>> {
     if inputs.len() == 1 {
-        return unique_sets(&inputs[0], opts);
+        return resolve(&inputs[0]);
     }
-    let child_sets: Vec<Vec<BTreeSet<usize>>> =
-        inputs.iter().map(|c| unique_sets(c, opts)).collect();
+    let child_sets: Vec<Vec<BTreeSet<usize>>> = inputs.iter().map(resolve).collect();
     // A candidate S is "per-child unique" when every child has a unique set
     // contained in S (children share one output layout positionally).
     let per_child_unique =
@@ -383,6 +411,33 @@ fn derive_union(
         }
     }
     out
+}
+
+/// Statically-empty relation detection (AJ 2b: `R ⟕ ∅`).
+pub fn statically_empty(plan: &LogicalPlan) -> bool {
+    statically_empty_with(plan, &mut |c| statically_empty(c))
+}
+
+/// Single-node emptiness check with child results supplied by `resolve`.
+pub(crate) fn statically_empty_with(
+    plan: &LogicalPlan,
+    resolve: &mut dyn FnMut(&PlanRef) -> bool,
+) -> bool {
+    match plan {
+        LogicalPlan::Values { rows, .. } => rows.is_empty(),
+        LogicalPlan::Filter { input, predicate } => {
+            fold::is_always_false(predicate) || resolve(input)
+        }
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Sort { input, .. } => resolve(input),
+        LogicalPlan::Limit { input, fetch, .. } => *fetch == Some(0) || resolve(input),
+        LogicalPlan::Join { left, right, kind, .. } => {
+            resolve(left) || (*kind == JoinKind::Inner && resolve(right))
+        }
+        LogicalPlan::UnionAll { inputs, .. } => inputs.iter().all(resolve),
+        _ => false,
+    }
 }
 
 /// The constant a child emits in output column `b`, when provable.

@@ -1,0 +1,145 @@
+//! The shared rewrite driver: bottom-up transformation that visits every
+//! DAG node **once** and preserves `Arc` sharing.
+//!
+//! Before this existed, every optimizer rule hand-rolled its own recursion
+//! over `children()` + per-variant rebuild. That recursion is tree-shaped:
+//! a subquery shared under two joins is visited once *per path* and — worse
+//! — rebuilt once per path, silently exploding the shared `Arc` into
+//! structurally equal but distinct subtrees that the executor then computes
+//! twice. [`transform_up`] fixes both: a per-walk pointer memo guarantees
+//! one visit and one result per node, so shared inputs stay shared in the
+//! output (pointer-equal subtrees stay pointer-equal, rewritten or not).
+
+use crate::node::{LogicalPlan, PlanRef};
+use std::collections::HashMap;
+use std::sync::Arc;
+use vdm_types::Result;
+
+/// Rebuilds `plan` over `new_children`, preserving `Arc` identity when no
+/// child actually changed (`Arc::ptr_eq`). The single-level building block
+/// of [`transform_up`]; usable on its own for one-off node surgery.
+pub fn map_children(plan: &PlanRef, new_children: Vec<PlanRef>) -> Result<PlanRef> {
+    let old_children = plan.children();
+    debug_assert_eq!(old_children.len(), new_children.len());
+    if old_children.iter().zip(&new_children).all(|(o, n)| Arc::ptr_eq(o, n)) {
+        return Ok(plan.clone());
+    }
+    let mut kids = new_children.into_iter();
+    Ok(match plan.as_ref() {
+        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => unreachable!("no children"),
+        LogicalPlan::Project { exprs, .. } => {
+            LogicalPlan::project(kids.next().unwrap(), exprs.clone())?
+        }
+        LogicalPlan::Filter { predicate, .. } => {
+            LogicalPlan::filter(kids.next().unwrap(), predicate.clone())?
+        }
+        LogicalPlan::Join { kind, on, filter, declared, asj_intent, .. } => LogicalPlan::join(
+            kids.next().unwrap(),
+            kids.next().unwrap(),
+            *kind,
+            on.clone(),
+            filter.clone(),
+            *declared,
+            *asj_intent,
+        )?,
+        LogicalPlan::UnionAll { .. } => LogicalPlan::union_all(kids.collect())?,
+        LogicalPlan::Aggregate { group_by, aggs, .. } => {
+            LogicalPlan::aggregate(kids.next().unwrap(), group_by.clone(), aggs.clone())?
+        }
+        LogicalPlan::Distinct { .. } => LogicalPlan::distinct(kids.next().unwrap()),
+        LogicalPlan::Sort { keys, .. } => LogicalPlan::sort(kids.next().unwrap(), keys.clone())?,
+        LogicalPlan::Limit { skip, fetch, .. } => {
+            LogicalPlan::limit(kids.next().unwrap(), *skip, *fetch)
+        }
+    })
+}
+
+/// Applies `f` to every node bottom-up (children already transformed when
+/// `f` sees a node), visiting each shared DAG node exactly once.
+///
+/// `f` receives the node rebuilt over its transformed children — with its
+/// original `Arc` identity whenever nothing below it changed — and returns
+/// the replacement (or the input unchanged). Because results are memoized
+/// by the *input* node's address, the two parents of a shared subtree
+/// receive the same output `Arc`: sharing survives rewriting.
+pub fn transform_up(
+    plan: &PlanRef,
+    f: &mut dyn FnMut(PlanRef) -> Result<PlanRef>,
+) -> Result<PlanRef> {
+    // Keys point into the input DAG, which outlives the walk via `plan`.
+    let mut memo: HashMap<*const LogicalPlan, PlanRef> = HashMap::new();
+    transform_up_memo(plan, f, &mut memo)
+}
+
+fn transform_up_memo(
+    plan: &PlanRef,
+    f: &mut dyn FnMut(PlanRef) -> Result<PlanRef>,
+    memo: &mut HashMap<*const LogicalPlan, PlanRef>,
+) -> Result<PlanRef> {
+    let key = Arc::as_ptr(plan);
+    if let Some(done) = memo.get(&key) {
+        return Ok(done.clone());
+    }
+    let children = plan.children();
+    let mut new_children = Vec::with_capacity(children.len());
+    for c in children {
+        new_children.push(transform_up_memo(c, f, memo)?);
+    }
+    let rebuilt = map_children(plan, new_children)?;
+    let out = f(rebuilt)?;
+    memo.insert(key, out.clone());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdm_catalog::TableBuilder;
+    use vdm_expr::Expr;
+    use vdm_types::SqlType;
+
+    fn scan() -> PlanRef {
+        LogicalPlan::scan(std::sync::Arc::new(
+            TableBuilder::new("t")
+                .column("a", SqlType::Int, false)
+                .column("b", SqlType::Int, false)
+                .primary_key(&["a"])
+                .build()
+                .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn identity_transform_returns_same_arcs() {
+        let shared = LogicalPlan::filter(scan(), Expr::col(0).eq(Expr::int(1))).unwrap();
+        let join = LogicalPlan::inner_join(shared.clone(), shared.clone(), vec![(0, 0)]).unwrap();
+        let mut visits = 0;
+        let out = transform_up(&join, &mut |node| {
+            visits += 1;
+            Ok(node)
+        })
+        .unwrap();
+        assert!(Arc::ptr_eq(&out, &join), "identity transform must not rebuild");
+        // Shared filter + its scan visited once each, plus the join.
+        assert_eq!(visits, 3);
+    }
+
+    #[test]
+    fn rewritten_shared_subtree_stays_shared() {
+        let shared = LogicalPlan::filter(scan(), Expr::col(0).eq(Expr::int(1))).unwrap();
+        let join = LogicalPlan::inner_join(shared.clone(), shared.clone(), vec![(0, 0)]).unwrap();
+        // Strip every filter: both join inputs must end up the *same* scan.
+        let out = transform_up(&join, &mut |node| {
+            if let LogicalPlan::Filter { input, .. } = node.as_ref() {
+                return Ok(input.clone());
+            }
+            Ok(node)
+        })
+        .unwrap();
+        let LogicalPlan::Join { left, right, .. } = out.as_ref() else {
+            panic!("join survives");
+        };
+        assert!(Arc::ptr_eq(left, right), "rewritten shared subtree must stay shared");
+        assert!(matches!(left.as_ref(), LogicalPlan::Scan { .. }));
+    }
+}

@@ -17,6 +17,24 @@ cargo build --release --workspace --offline
 echo "== cargo test (offline) =="
 cargo test -q --workspace --offline
 
+echo "== release-mode integration tests (offline) =="
+cargo test -q --release --workspace --offline
+
+echo "== optimizer rules go through RewriteCtx, not raw derivation =="
+if grep -rn "props::unique_sets\|vdm_plan::unique_sets" \
+    crates/optimizer/src/asj.rs crates/optimizer/src/prune.rs \
+    crates/optimizer/src/filters.rs crates/optimizer/src/limit_pushdown.rs \
+    crates/optimizer/src/precision.rs; then
+  echo "rule files must probe properties via RewriteCtx"; exit 1
+fi
+
+echo "== opt_sweep smoke run (tiny inputs, scratch dir) =="
+SWEEP_DIR="$(mktemp -d)"
+(cd "$SWEEP_DIR" && "$OLDPWD/target/release/opt_sweep" 500 10 50 > opt_sweep.log) \
+  || { cat "$SWEEP_DIR/opt_sweep.log"; rm -rf "$SWEEP_DIR"; exit 1; }
+test -s "$SWEEP_DIR/BENCH_optimize.json"
+rm -rf "$SWEEP_DIR"
+
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

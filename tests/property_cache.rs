@@ -1,0 +1,124 @@
+//! The annotated-plan core, exercised end to end: property derivation on
+//! a DAG-shaped plan must happen once per *node*, not once per *path*,
+//! and the rewrite driver must keep untouched shared subtrees shared.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use vdm_catalog::{TableBuilder, TableDef};
+use vdm_expr::{BinOp, Expr};
+use vdm_optimizer::{Optimizer, Profile};
+use vdm_plan::{plan_digest, DeriveOptions, LogicalPlan, PlanRef, PropertyCache};
+use vdm_types::SqlType;
+
+fn table_a() -> Arc<TableDef> {
+    Arc::new(
+        TableBuilder::new("ta")
+            .column("a_k", SqlType::Int, false)
+            .column("a_v", SqlType::Int, false)
+            .primary_key(&["a_k"])
+            .build()
+            .unwrap(),
+    )
+}
+
+/// Key-less table: joins against it are never augmentation joins, so the
+/// UAJ/ASJ rules leave the shape below alone.
+fn table_c() -> Arc<TableDef> {
+    Arc::new(
+        TableBuilder::new("tc")
+            .column("c_k", SqlType::Int, false)
+            .column("c_v", SqlType::Int, false)
+            .build()
+            .unwrap(),
+    )
+}
+
+/// A DAG: one shared filtered subquery joined from two union branches,
+/// via a single `Arc` (the VDM pattern — one view instance referenced by
+/// many consumers).
+fn dag_plan() -> (PlanRef, PlanRef) {
+    let shared = LogicalPlan::filter(
+        LogicalPlan::scan(table_c()),
+        Expr::col(1).binary(BinOp::Gt, Expr::int(5)),
+    )
+    .unwrap();
+    let branch = |anchor: PlanRef, shared: &PlanRef| {
+        let join = LogicalPlan::inner_join(anchor, shared.clone(), vec![(0, 0)]).unwrap();
+        let exprs =
+            (0..join.schema().len()).map(|i| (Expr::col(i), format!("o{i}"))).collect::<Vec<_>>();
+        LogicalPlan::project(join, exprs).unwrap()
+    };
+    let b1 = branch(LogicalPlan::scan(table_a()), &shared);
+    let b2 = branch(LogicalPlan::scan(table_a()), &shared);
+    (LogicalPlan::union_all(vec![b1, b2]).unwrap(), shared)
+}
+
+/// Counts how often each physical node (by address) is reachable,
+/// walking every DAG edge.
+fn ptr_counts(plan: &PlanRef, counts: &mut HashMap<*const LogicalPlan, usize>) {
+    *counts.entry(Arc::as_ptr(plan)).or_insert(0) += 1;
+    for child in plan.children() {
+        ptr_counts(child, counts);
+    }
+}
+
+#[test]
+fn shared_subtree_is_derived_once() {
+    let (plan, shared) = dag_plan();
+    let props = PropertyCache::new();
+    let opts = DeriveOptions::all();
+    props.unique_sets(&plan, &opts);
+    let first = props.stats();
+    // The shared subquery sits under both union branches: its second
+    // encounter is a hit, so hits > 0 even on a cold cache.
+    assert!(first.hits > 0, "shared subtree must hit the cache: {first:?}");
+    // A second probe of the shared node itself re-derives nothing.
+    props.unique_sets(&shared, &opts);
+    let second = props.stats();
+    assert_eq!(second.misses, first.misses, "second probe must not re-derive");
+    assert_eq!(second.hits, first.hits + 1);
+}
+
+#[test]
+fn passthrough_mode_re_derives_every_probe() {
+    let (plan, _) = dag_plan();
+    let props = PropertyCache::passthrough();
+    let opts = DeriveOptions::all();
+    props.unique_sets(&plan, &opts);
+    props.unique_sets(&plan, &opts);
+    let stats = props.stats();
+    assert_eq!(stats.hits, 0, "passthrough mode must never report a hit");
+    assert_eq!(stats.entries, 0, "passthrough mode must not retain entries");
+}
+
+#[test]
+fn optimizer_preserves_dag_sharing() {
+    let (plan, _) = dag_plan();
+    let mut before = HashMap::new();
+    ptr_counts(&plan, &mut before);
+    assert!(before.values().any(|&c| c >= 2), "input plan must share a subtree");
+
+    let optimized = Optimizer::hana().optimize(&plan).unwrap();
+    let mut after = HashMap::new();
+    ptr_counts(&optimized, &mut after);
+    assert!(
+        after.values().any(|&c| c >= 2),
+        "rewrite driver must keep the untouched shared subtree as one Arc"
+    );
+}
+
+#[test]
+fn cached_and_passthrough_agree_at_every_profile() {
+    let (plan, _) = dag_plan();
+    for profile in Profile::paper_systems() {
+        let cached = Optimizer::new(profile.clone()).optimize(&plan).unwrap();
+        let passthrough =
+            Optimizer::new(profile.clone()).with_property_cache(false).optimize(&plan).unwrap();
+        assert_eq!(
+            plan_digest(&cached),
+            plan_digest(&passthrough),
+            "profile {} must optimize identically with and without the cache",
+            profile.name()
+        );
+    }
+}
