@@ -13,7 +13,11 @@
 //! benchmarking framework).
 //!
 //! Run: `cargo run --release -p vdm-bench --bin par_sweep`
-//! Optional args: `par_sweep <fact_rows> <journal_rows>`.
+//! Optional args: `par_sweep <fact_rows> <journal_rows>`, plus
+//! `--threads=1,4` to restrict the sweep's thread steps and
+//! `--gate-agg-speedup=2.5` to exit non-zero when the agg_over_join
+//! speedup at the highest thread step falls below the gate (the CI
+//! thread-scaling smoke check).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -28,7 +32,7 @@ use vdm_plan::{LogicalPlan, PlanRef};
 use vdm_storage::StorageEngine;
 use vdm_types::{Decimal, SplitMix64, SqlType, Value};
 
-const THREAD_STEPS: [usize; 4] = [1, 2, 4, 8];
+const DEFAULT_THREAD_STEPS: [usize; 4] = [1, 2, 4, 8];
 
 struct SweepResult {
     threads: usize,
@@ -47,17 +51,33 @@ fn sweep(
     engine: &StorageEngine,
     plan: &PlanRef,
     iters: usize,
+    steps: &[usize],
 ) -> Workload {
+    // Round-robin the thread steps instead of timing each one in its own
+    // sequential block: machine-load drift over the sweep's several-minute
+    // runtime would otherwise land entirely on whichever steps run last
+    // and masquerade as a scaling regression. One warm-up pass per step
+    // first, then `iters` interleaved rounds, median per step.
+    let cfg = |threads| ParallelConfig { threads, ..ParallelConfig::default() };
+    for &threads in steps {
+        harness::time_plan_parallel(engine, plan, cfg(threads), 1);
+    }
+    let mut samples: Vec<Vec<std::time::Duration>> = vec![Vec::with_capacity(iters); steps.len()];
+    for _ in 0..iters {
+        for (si, &threads) in steps.iter().enumerate() {
+            samples[si].push(harness::time_plan_parallel(engine, plan, cfg(threads), 1));
+        }
+    }
     let mut results = Vec::new();
-    for &threads in &THREAD_STEPS {
-        let config = ParallelConfig { threads, ..ParallelConfig::default() };
-        let median = harness::time_plan_parallel(engine, plan, config, iters);
+    for (si, &threads) in steps.iter().enumerate() {
+        samples[si].sort();
+        let median = samples[si][iters / 2];
         println!("  {name:>14}  threads={threads}  median={}", harness::fmt_duration(median));
         results.push(SweepResult { threads, median });
     }
     // Per-operator-class CPU time at the sweep's endpoints, from the
     // executor's timing counters (worker-local sums, merged at joins).
-    for threads in [1, THREAD_STEPS[THREAD_STEPS.len() - 1]] {
+    for threads in [steps[0], steps[steps.len() - 1]] {
         let config = ParallelConfig { threads, ..ParallelConfig::default() };
         let (_, m) = vdm_exec::execute_parallel_at(plan, engine, engine.snapshot(), config)
             .expect("plan executes");
@@ -151,24 +171,42 @@ fn obs_json(
     threads: usize,
 ) -> String {
     let config = ParallelConfig { threads, ..ParallelConfig::default() };
-    // Interleave the paired samples (unprofiled, then profiled, per
-    // iteration) so slow machine-load drift hits both paths equally and
-    // cancels out of the overhead ratio; one warm-up run of each first.
+    // Interleave the paired samples so slow machine-load drift hits both
+    // paths equally, and *alternate which run goes first within each pair*
+    // — a fixed order hands the second run warm caches every time, which
+    // shows up as a systematic (even negative) overhead. One warm-up run
+    // of each first. The overhead estimate is the *median of the per-pair
+    // deltas*, not the delta of independent medians — two independently
+    // sorted sample sets can pick their medians from different load
+    // phases and report a spurious offset that delta-per-pair cancels.
     let iters = 9;
     harness::time_plan_parallel(engine, optimized, config, 1);
     harness::time_plan_profiled(engine, optimized, config, 1);
     let mut unprofiled_samples = Vec::with_capacity(iters);
-    let mut profiled_samples = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        unprofiled_samples.push(harness::time_plan_parallel(engine, optimized, config, 1));
-        profiled_samples.push(harness::time_plan_profiled(engine, optimized, config, 1));
+    let mut deltas = Vec::with_capacity(iters);
+    for i in 0..iters {
+        let (u, p) = if i % 2 == 0 {
+            let u = harness::time_plan_parallel(engine, optimized, config, 1);
+            let p = harness::time_plan_profiled(engine, optimized, config, 1);
+            (u, p)
+        } else {
+            let p = harness::time_plan_profiled(engine, optimized, config, 1);
+            let u = harness::time_plan_parallel(engine, optimized, config, 1);
+            (u, p)
+        };
+        unprofiled_samples.push(u);
+        deltas.push(p.as_secs_f64() - u.as_secs_f64());
     }
     unprofiled_samples.sort();
-    profiled_samples.sort();
+    deltas.sort_by(|a, b| a.total_cmp(b));
     let unprofiled = unprofiled_samples[iters / 2];
-    let profiled = profiled_samples[iters / 2];
-    let overhead_pct =
-        (profiled.as_secs_f64() / unprofiled.as_secs_f64().max(f64::EPSILON) - 1.0) * 100.0;
+    // Profiling only ever adds instructions, so the true overhead is
+    // non-negative by construction; a negative median delta means the
+    // overhead sits below this machine's run-to-run noise floor. Clamp to
+    // zero rather than publishing a spurious negative number.
+    let median_delta = deltas[iters / 2].max(0.0);
+    let profiled = Duration::from_secs_f64((unprofiled.as_secs_f64() + median_delta).max(0.0));
+    let overhead_pct = median_delta / unprofiled.as_secs_f64().max(f64::EPSILON) * 100.0;
     let (_, trace) =
         Optimizer::new(Profile::hana()).optimize_traced(bound).expect("traced optimize");
     let (_, _, profile) =
@@ -231,9 +269,25 @@ fn to_json(workloads: &[Workload], obs: &str) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let fact_rows: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
-    let journal_rows: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let mut positional: Vec<usize> = Vec::new();
+    let mut steps: Vec<usize> = DEFAULT_THREAD_STEPS.to_vec();
+    let mut gate_agg_speedup: Option<f64> = None;
+    for arg in std::env::args().skip(1) {
+        if let Some(list) = arg.strip_prefix("--threads=") {
+            steps = list
+                .split(',')
+                .map(|s| s.trim().parse().expect("--threads takes a comma-separated list"))
+                .collect();
+            assert!(!steps.is_empty(), "--threads needs at least one step");
+        } else if let Some(gate) = arg.strip_prefix("--gate-agg-speedup=") {
+            gate_agg_speedup = Some(gate.parse().expect("--gate-agg-speedup takes a number"));
+        } else {
+            positional.push(arg.parse().expect("positional args are row counts"));
+        }
+    }
+    let fact_rows: usize = positional.first().copied().unwrap_or(1_000_000);
+    let journal_rows: usize = positional.get(1).copied().unwrap_or(100_000);
+    let max_threads = *steps.iter().max().expect("non-empty steps");
 
     println!("== par_sweep: morsel-driven executor thread sweep ==");
     println!(
@@ -250,25 +304,40 @@ fn main() {
     let browser = journal_entry_item_browser(&schema).expect("browser view");
     let optimized =
         Optimizer::new(Profile::hana()).optimize(&browser.protected).expect("optimize browser");
-    let w1 = sweep("browser", journal_rows, &erp_engine, &optimized, 5);
-    let obs = obs_json(&erp_engine, &browser.protected, &optimized, 4);
+    let w1 = sweep("browser", journal_rows, &erp_engine, &optimized, 5, &steps);
+    let obs = obs_json(&erp_engine, &browser.protected, &optimized, max_threads.min(4));
 
     // Workload 2: ≥1M-row aggregate over join.
     println!("\n[agg_over_join] fact_rows={fact_rows}");
     let engine = StorageEngine::new();
     let (plan, rows) = agg_over_join(&engine, fact_rows);
-    let w2 = sweep("agg_over_join", rows, &engine, &plan, 3);
+    let w2 = sweep("agg_over_join", rows, &engine, &plan, 3, &steps);
 
     let workloads = [w1, w2];
     let json = to_json(&workloads, &obs);
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("\nwrote BENCH_parallel.json:\n{json}");
 
+    let mut agg_max_speedup = f64::INFINITY;
     for w in &workloads {
         let serial = w.results[0].median.as_secs_f64();
-        if let Some(four) = w.results.iter().find(|r| r.threads == 4) {
-            let speedup = serial / four.median.as_secs_f64().max(f64::EPSILON);
-            println!("{}: threads=4 speedup over serial = {speedup:.2}x", w.name);
+        if let Some(top) = w.results.iter().find(|r| r.threads == max_threads) {
+            let speedup = serial / top.median.as_secs_f64().max(f64::EPSILON);
+            println!("{}: threads={max_threads} speedup over serial = {speedup:.2}x", w.name);
+            if w.name == "agg_over_join" {
+                agg_max_speedup = speedup;
+            }
         }
+    }
+    if let Some(gate) = gate_agg_speedup {
+        if agg_max_speedup < gate {
+            eprintln!(
+                "FAIL: agg_over_join threads={max_threads} speedup {agg_max_speedup:.2}x is below the {gate:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "gate: agg_over_join threads={max_threads} speedup {agg_max_speedup:.2}x clears the {gate:.2}x gate"
+        );
     }
 }

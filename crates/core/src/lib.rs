@@ -399,6 +399,8 @@ fn record_query(metrics: &Metrics, trace: &Trace, elapsed: std::time::Duration) 
     reg.observe("vdm_optimize_seconds", trace.optimize_nanos as f64 / 1e9);
     reg.inc("vdm_rows_scanned_total", metrics.rows_scanned as u64);
     reg.inc("vdm_rows_joined_total", metrics.join_output_rows as u64);
+    reg.inc("vdm_morsel_steals_total", metrics.morsel_steals as u64);
+    reg.inc("vdm_morsel_size_bytes", metrics.morsel_bytes as u64);
     for (rule, n) in trace.hit_counts() {
         reg.inc(&vdm_obs::registry::label("vdm_rewrite_fired_total", "rule", &rule), n);
     }

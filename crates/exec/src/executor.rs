@@ -49,6 +49,14 @@ pub struct Metrics {
     pub sort_nanos: u64,
     /// Time spent concatenating UNION ALL branches.
     pub union_nanos: u64,
+    /// Morsels a parallel worker stole from another worker's deque
+    /// (always 0 on the serial path).
+    pub morsel_steals: usize,
+    /// Claim batches the work-stealing scheduler dispatched.
+    pub morsel_claims: usize,
+    /// Estimated payload bytes dispatched in scan morsels and operator
+    /// chunks (feeds the `vdm_morsel_size_bytes` registry counter).
+    pub morsel_bytes: usize,
 }
 
 impl Metrics {
@@ -71,6 +79,9 @@ impl Metrics {
         self.agg_nanos += other.agg_nanos;
         self.sort_nanos += other.sort_nanos;
         self.union_nanos += other.union_nanos;
+        self.morsel_steals += other.morsel_steals;
+        self.morsel_claims += other.morsel_claims;
+        self.morsel_bytes += other.morsel_bytes;
     }
 }
 

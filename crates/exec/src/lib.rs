@@ -13,8 +13,10 @@
 //! tests and benches can assert *work*, not just wall time.
 
 mod executor;
+pub mod kernels;
 mod ops;
 mod parallel;
+pub mod scheduler;
 
 #[cfg(test)]
 mod ops_tests;

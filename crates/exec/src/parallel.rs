@@ -5,13 +5,22 @@
 //! workers:
 //!
 //! * **scans** — and any filter/projection stack sitting directly on one —
-//!   split the table into fixed-size morsels claimed from a shared atomic
-//!   counter, so filters and projections run per-morsel on the pool;
-//! * **joins** partition the build side by key hash, build per-partition
-//!   hash maps in parallel, and probe morsels of the other side
-//!   concurrently;
-//! * **aggregations** accumulate thread-local partial states per chunk and
-//!   merge them in chunk order via [`vdm_expr::Accumulator::merge`];
+//!   split the table into fixed-size morsels dispatched by the
+//!   work-stealing [`crate::scheduler`], so filters and projections run
+//!   per-morsel on the pool (filters through the selection-vector
+//!   [`kernels::CompiledPredicate`] when the predicate compiles);
+//! * **projection chains** of pure pass-through/renaming nodes fuse into a
+//!   single composed column-mapping kernel
+//!   ([`vdm_plan::fusion`] + [`kernels::apply_column_map`]), with per-node
+//!   stats attributed back to every covered node;
+//! * **joins** partition the build side by key hash (columnar branch-free
+//!   hashing when both sides' key columns share a physical type), build
+//!   per-partition hash maps in parallel, and probe morsels of the other
+//!   side concurrently;
+//! * **aggregations** radix-partition rows by group-key hash so each
+//!   worker owns a disjoint key range and groups never merge across
+//!   workers ([`vdm_expr::Accumulator::merge`] is only needed on the
+//!   legacy small-input path);
 //! * **UNION ALL** concatenates branch results columnar-wise.
 //!
 //! Results are bit-identical to the serial executor *including row order*:
@@ -23,20 +32,19 @@
 //! at exactly the budget).
 
 use crate::executor::{nanos_since, prune_range, Metrics, Profiler};
+use crate::kernels::{self, FxHashMap};
 use crate::ops;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use crate::scheduler;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 use vdm_expr::{AggExpr, Expr};
 use vdm_obs::{NodeIndex, QueryProfile};
+use vdm_plan::fusion::{self, FusedChain};
 use vdm_plan::{JoinKind, LogicalPlan, PlanRef};
 use vdm_storage::zonemap::ZONE_BLOCK_ROWS;
 use vdm_storage::{Batch, ScanRange, Snapshot, StorageEngine};
-use vdm_types::{Result, Schema, Value, VdmError};
+use vdm_types::{Result, Schema, Value};
 
 /// Worker-pool configuration for the parallel executor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,56 +179,44 @@ fn with_profile_par(
     out
 }
 
-/// Runs `f` over indices `0..n` on up to `threads` workers. Results come
-/// back in index order and worker-local metrics are merged, so the output
-/// is schedule-independent; errors surface as the failing index's error
-/// (lowest index wins, matching the serial executor's first-error).
+/// OS worker threads actually spawned for a logical `threads` setting:
+/// capped at the machine's available parallelism, because oversubscribing
+/// cores only adds spawn and context-switch cost (results are
+/// schedule-independent, so the cap cannot change output). A floor of two
+/// keeps cross-worker merge paths exercised even on single-core hosts.
+fn pool_workers(threads: usize) -> usize {
+    use std::sync::OnceLock;
+    static CORES: OnceLock<usize> = OnceLock::new();
+    let cores =
+        *CORES.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    threads.min(cores.max(2))
+}
+
+/// Runs `f` over indices `0..n` on the work-stealing scheduler. Results
+/// come back in index order and worker-local metrics/profiles are merged,
+/// so the output is schedule-independent; errors surface as the failing
+/// index's error (lowest index wins, matching the serial executor's
+/// first-error). Steal and claim counts from the scheduler land in the
+/// merged metrics' `morsel_steals` / `morsel_claims`.
 fn parallel_map<T, F>(threads: usize, n: usize, f: F) -> Result<(Vec<T>, Metrics, QueryProfile)>
 where
     T: Send,
     F: Fn(usize, &mut Metrics, &mut QueryProfile) -> Result<T> + Sync,
 {
+    let (out, states, stats) = scheduler::run_with(
+        pool_workers(threads),
+        n,
+        || (Metrics::default(), QueryProfile::default()),
+        |i, state: &mut (Metrics, QueryProfile)| f(i, &mut state.0, &mut state.1),
+    )?;
     let mut merged = Metrics::default();
     let mut merged_profile = QueryProfile::default();
-    if threads <= 1 || n <= 1 {
-        let mut out = Vec::with_capacity(n);
-        for i in 0..n {
-            out.push(f(i, &mut merged, &mut merged_profile)?);
-        }
-        return Ok((out, merged, merged_profile));
+    for (m, p) in &states {
+        merged.merge(m);
+        merged_profile.merge(p);
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let pool_state: Mutex<(Metrics, QueryProfile)> = Mutex::new(Default::default());
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(n) {
-            s.spawn(|| {
-                let mut local = Metrics::default();
-                let mut local_profile = QueryProfile::default();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    *slots[i].lock().unwrap() = Some(f(i, &mut local, &mut local_profile));
-                }
-                let mut pool = pool_state.lock().unwrap();
-                pool.0.merge(&local);
-                pool.1.merge(&local_profile);
-            });
-        }
-    });
-    let (pool_metrics, pool_profile) = pool_state.into_inner().unwrap();
-    merged.merge(&pool_metrics);
-    merged_profile.merge(&pool_profile);
-    let mut out = Vec::with_capacity(n);
-    for slot in slots {
-        match slot.into_inner().unwrap() {
-            Some(Ok(v)) => out.push(v),
-            Some(Err(e)) => return Err(e),
-            None => return Err(VdmError::Exec("parallel worker dropped a morsel".into())),
-        }
-    }
+    merged.morsel_steals += stats.steals;
+    merged.morsel_claims += stats.claims;
     Ok((out, merged, merged_profile))
 }
 
@@ -240,6 +236,15 @@ fn chunk_count(total: usize, chunk: usize) -> usize {
 enum LeafStep<'p> {
     Filter(&'p Expr),
     Project(&'p [(Expr, String)], &'p Arc<Schema>),
+    /// One or more adjacent pass-through/renaming projections, composed
+    /// into a single column mapping executed by
+    /// [`kernels::apply_column_map`]. `covered` is how many plan nodes
+    /// (and `node_keys` entries) the mapping absorbs.
+    FusedMap {
+        mapping: Vec<usize>,
+        schema: &'p Arc<Schema>,
+        covered: usize,
+    },
 }
 
 struct LeafPipeline<'p> {
@@ -259,8 +264,11 @@ struct LeafPipeline<'p> {
 impl LeafPipeline<'_> {
     fn output_schema(&self) -> Arc<Schema> {
         for step in self.steps.iter().rev() {
-            if let LeafStep::Project(_, s) = step {
-                return Arc::clone(s);
+            match step {
+                LeafStep::Project(_, s) | LeafStep::FusedMap { schema: s, .. } => {
+                    return Arc::clone(s)
+                }
+                LeafStep::Filter(_) => {}
             }
         }
         Arc::clone(self.scan_schema)
@@ -293,7 +301,20 @@ fn extract_leaf(plan: &PlanRef) -> Option<LeafPipeline<'_>> {
         }
         LogicalPlan::Project { input, exprs, schema } => {
             let mut p = extract_leaf(input)?;
-            p.steps.push(LeafStep::Project(exprs, schema));
+            match fusion::column_mapping(exprs) {
+                // Pure column mapping: fuse into the step below when that
+                // is itself a (possibly already fused) column mapping.
+                Some(outer) => match p.steps.last_mut() {
+                    Some(LeafStep::FusedMap { mapping, schema: s, covered }) => {
+                        // out[j] = prev[outer[j]] — compose in place.
+                        *mapping = outer.iter().map(|&j| mapping[j]).collect();
+                        *s = schema;
+                        *covered += 1;
+                    }
+                    _ => p.steps.push(LeafStep::FusedMap { mapping: outer, schema, covered: 1 }),
+                },
+                None => p.steps.push(LeafStep::Project(exprs, schema)),
+            }
             p.nodes += 1;
             p.node_keys.push(NodeIndex::key(plan));
             Some(p)
@@ -355,31 +376,75 @@ fn leaf_morsel(
     met.scan_nanos += scan_nanos;
     met.rows_scanned += raw.num_rows();
     let mut batch = Batch::new(Arc::clone(pipe.scan_schema), raw.columns)?;
+    met.morsel_bytes += kernels::row_bytes(&batch) * batch.num_rows();
     if let Some(Some(id)) = ids.map(|ids| ids[0]) {
         prof.record(id, batch.num_rows() as u64, scan_nanos);
     }
-    for (si, step) in pipe.steps.iter().enumerate() {
+    // `node_keys` holds one entry per covered plan node; steps advance the
+    // cursor by however many nodes they absorb (FusedMap covers several).
+    let mut key_idx = 1usize;
+    for step in &pipe.steps {
         let step_nanos;
+        let covered;
         match step {
             LeafStep::Filter(p) => {
+                covered = 1;
                 met.filter_input_rows += batch.num_rows();
                 let t = Instant::now();
-                batch = ops::filter(&batch, p)?;
+                batch = filter_batch(&batch, p, 0..batch.num_rows())?;
                 step_nanos = nanos_since(t);
                 met.filter_nanos += step_nanos;
             }
             LeafStep::Project(exprs, schema) => {
+                covered = 1;
                 let t = Instant::now();
                 batch = ops::project(&batch, exprs, Arc::clone(schema))?;
                 step_nanos = nanos_since(t);
                 met.project_nanos += step_nanos;
             }
+            LeafStep::FusedMap { mapping, schema, covered: c } => {
+                covered = *c;
+                let t = Instant::now();
+                batch = kernels::apply_column_map(&batch, mapping, Arc::clone(schema))?;
+                step_nanos = nanos_since(t);
+                met.project_nanos += step_nanos;
+            }
         }
-        if let Some(Some(id)) = ids.map(|ids| ids[si + 1]) {
-            prof.record(id, batch.num_rows() as u64, step_nanos);
+        if let Some(ids) = ids {
+            // Every covered node reports this morsel's rows; the kernel
+            // time goes to the outermost covered node (the last key).
+            for (k, id) in ids[key_idx..key_idx + covered].iter().enumerate() {
+                if let Some(id) = id {
+                    let nanos = if k + 1 == covered { step_nanos } else { 0 };
+                    prof.record(*id, batch.num_rows() as u64, nanos);
+                }
+            }
         }
+        key_idx += covered;
     }
     Ok(batch)
+}
+
+/// Columnar filter over `rows` of `batch`: selection vector via the
+/// compiled-predicate kernel when the predicate is a conjunction of
+/// `col ⟨cmp⟩ literal` atoms, row-at-a-time evaluation otherwise, then a
+/// payload-level gather of the kept rows.
+fn filter_batch(batch: &Batch, predicate: &Expr, rows: Range<usize>) -> Result<Batch> {
+    let mut keep = Vec::new();
+    let compiled = kernels::CompiledPredicate::compile(predicate);
+    let fast = match &compiled {
+        Some(c) => c.eval_into(batch, rows.clone(), &mut keep),
+        None => false,
+    };
+    if !fast {
+        keep.clear();
+        for r in rows {
+            if predicate.eval_row(&batch.row(r))?.as_bool()? == Some(true) {
+                keep.push(r);
+            }
+        }
+    }
+    Ok(batch.gather(&keep))
 }
 
 // ---------------------------------------------------------------------------
@@ -389,7 +454,48 @@ fn run_par(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
     if let Some(pipe) = extract_leaf(plan) {
         return run_leaf(&pipe, ctx);
     }
+    // Scan-rooted projection chains are absorbed by the leaf pipeline
+    // above; this catches chains sitting on joins, aggregates, unions, …
+    if let Some(chain) = fusion::fused_projection_chain(plan, 2) {
+        return run_fused_chain(&chain, ctx);
+    }
     with_profile_par(plan, ctx, |c| run_par_node(plan, c))
+}
+
+/// Executes a fused projection chain: run the chain's input, then apply
+/// the composed column mapping in one kernel pass. Every covered node is
+/// recorded in the profile with the chain's row count (column maps
+/// preserve cardinality, so per-node `rows_out` matches the serial
+/// executor's node-by-node execution exactly); the kernel's self time is
+/// attributed to the outermost node of the fused group.
+fn run_fused_chain(chain: &FusedChain<'_>, ctx: &mut ParCtx<'_>) -> Result<Batch> {
+    ctx.metrics.operators += chain.nodes.len();
+    if ctx.profiler.is_none() {
+        let child = run_par(chain.input, ctx)?;
+        let t = Instant::now();
+        let out = kernels::apply_column_map(&child, &chain.mapping, Arc::clone(chain.schema))?;
+        ctx.metrics.project_nanos += nanos_since(t);
+        return Ok(out);
+    }
+    // Mirror `with_profile_par`'s child-time protocol by hand: the whole
+    // chain behaves as one profiled operator whose self time is the
+    // kernel application.
+    let start = Instant::now();
+    let saved_children = std::mem::take(&mut ctx.child_nanos);
+    let child = run_par(chain.input, ctx)?;
+    let t = Instant::now();
+    let out = kernels::apply_column_map(&child, &chain.mapping, Arc::clone(chain.schema))?;
+    let kernel_nanos = nanos_since(t);
+    ctx.metrics.project_nanos += kernel_nanos;
+    if let Some(p) = ctx.profiler.as_mut() {
+        for (i, node) in chain.nodes.iter().copied().enumerate() {
+            // `nodes` is outermost-first; the outermost carries the time.
+            let nanos = if i == 0 { kernel_nanos } else { 0 };
+            p.record(node, out.num_rows(), nanos);
+        }
+    }
+    ctx.child_nanos = saved_children + nanos_since(start);
+    Ok(out)
 }
 
 fn run_par_node(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
@@ -420,15 +526,7 @@ fn run_par_node(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
             ctx.metrics.join_build_rows += rb.num_rows();
             ctx.metrics.join_probe_rows += lb.num_rows();
             let t = Instant::now();
-            let out = par_hash_join(
-                &lb,
-                &rb,
-                *kind,
-                on,
-                filter.as_ref(),
-                Arc::clone(schema),
-                ctx.config,
-            )?;
+            let out = par_hash_join(&lb, &rb, *kind, on, filter.as_ref(), Arc::clone(schema), ctx)?;
             ctx.metrics.join_nanos += nanos_since(t);
             ctx.metrics.join_output_rows += out.num_rows();
             Ok(out)
@@ -448,7 +546,7 @@ fn run_par_node(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
             let child = run_par(input, ctx)?;
             ctx.metrics.agg_input_rows += child.num_rows();
             let t = Instant::now();
-            let out = par_aggregate(&child, group_by, aggs, Arc::clone(schema), ctx.config)?;
+            let out = par_aggregate(&child, group_by, aggs, Arc::clone(schema), ctx)?;
             ctx.metrics.agg_nanos += nanos_since(t);
             Ok(out)
         }
@@ -478,19 +576,17 @@ fn run_par_node(plan: &PlanRef, ctx: &mut ParCtx<'_>) -> Result<Batch> {
     }
 }
 
-/// Filter over a materialized batch, chunked across the pool.
+/// Filter over a materialized batch: selection-vector kernel per chunk,
+/// chunked across the pool.
 fn par_filter(child: &Batch, predicate: &Expr, ctx: &mut ParCtx<'_>) -> Result<Batch> {
     let chunk = ctx.config.morsel_rows;
     let n = chunk_count(child.num_rows(), chunk);
+    let row_bytes = kernels::row_bytes(child);
     let (parts, wm, _wp) = parallel_map(ctx.config.threads, n, |i, met, _prof| {
         let t = Instant::now();
-        let mut keep = Vec::new();
-        for r in chunk_range(i, chunk, child.num_rows()) {
-            if predicate.eval_row(&child.row(r))?.as_bool()? == Some(true) {
-                keep.push(r);
-            }
-        }
-        let out = child.gather(&keep);
+        let range = chunk_range(i, chunk, child.num_rows());
+        met.morsel_bytes += row_bytes * range.len();
+        let out = filter_batch(child, predicate, range)?;
         met.filter_nanos += nanos_since(t);
         Ok(out)
     })?;
@@ -498,20 +594,31 @@ fn par_filter(child: &Batch, predicate: &Expr, ctx: &mut ParCtx<'_>) -> Result<B
     Batch::concat(Arc::clone(&child.schema), &parts)
 }
 
-/// Projection over a materialized batch, chunked across the pool.
+/// Projection over a materialized batch. Pure column mappings apply as a
+/// single whole-batch kernel; computed projections evaluate row-at-a-time,
+/// chunked across the pool.
 fn par_project(
     child: &Batch,
     exprs: &[(Expr, String)],
     schema: Arc<Schema>,
     ctx: &mut ParCtx<'_>,
 ) -> Result<Batch> {
+    if let Some(map) = fusion::column_mapping(exprs) {
+        let t = Instant::now();
+        let out = kernels::apply_column_map(child, &map, schema)?;
+        ctx.metrics.project_nanos += nanos_since(t);
+        return Ok(out);
+    }
     let chunk = ctx.config.morsel_rows;
     let n = chunk_count(child.num_rows(), chunk);
+    let row_bytes = kernels::row_bytes(child);
     let out_schema = Arc::clone(&schema);
     let (parts, wm, _wp) = parallel_map(ctx.config.threads, n, |i, met, _prof| {
         let t = Instant::now();
+        let range = chunk_range(i, chunk, child.num_rows());
+        met.morsel_bytes += row_bytes * range.len();
         let mut rows = Vec::new();
-        for r in chunk_range(i, chunk, child.num_rows()) {
+        for r in range {
             let row = child.row(r);
             let mut out = Vec::with_capacity(exprs.len());
             for (e, _) in exprs {
@@ -530,10 +637,22 @@ fn par_project(
 // ---------------------------------------------------------------------------
 // Partitioned parallel hash join.
 
-fn hash_key(key: &[Value]) -> u64 {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    h.finish()
+/// Per-chunk partition-routing hashes for the key columns `cols` over
+/// `range`. The columnar kernel hashes typed payloads directly; it is
+/// only consistent *across two batches* when each key column pair shares
+/// a physical type (see [`kernels`] module docs), which the caller gates
+/// via `columnar`. Otherwise keys hash through `Value::hash`, canonical
+/// across the Int/Dec numeric family.
+fn routing_hashes(batch: &Batch, cols: &[usize], range: Range<usize>, columnar: bool) -> Vec<u64> {
+    if columnar {
+        return kernels::hash_keys(batch, cols, range);
+    }
+    range
+        .map(|i| {
+            let key: Vec<Value> = cols.iter().map(|&c| batch.columns[c].get(i)).collect();
+            kernels::hash_values(&key)
+        })
+        .collect()
 }
 
 /// Join key of row `i` taken from `cols`; `None` when any part is NULL
@@ -561,8 +680,9 @@ fn par_hash_join(
     on: &[(usize, usize)],
     residual: Option<&Expr>,
     schema: Arc<Schema>,
-    config: ParallelConfig,
+    ctx: &mut ParCtx<'_>,
 ) -> Result<Batch> {
+    let config = ctx.config;
     if left.num_rows().max(right.num_rows()) < 2 * config.morsel_rows {
         return ops::hash_join(left, right, kind, on, residual, schema);
     }
@@ -575,18 +695,29 @@ fn par_hash_join(
         on.iter().map(|&(lc, rc)| if build_left { lc } else { rc }).collect();
     let probe_cols: Vec<usize> =
         on.iter().map(|&(lc, rc)| if build_left { rc } else { lc }).collect();
+    // Columnar routing hashes are safe only when each key column pair has
+    // the same physical type on both sides (`Int(2) == Dec(2.00)` must not
+    // land in different partitions).
+    let columnar = build_cols
+        .iter()
+        .zip(&probe_cols)
+        .all(|(&b, &p)| build.columns[b].sql_type() == probe.columns[p].sql_type());
 
-    let n_parts = (config.threads * 4).next_power_of_two();
+    let n_parts = (pool_workers(config.threads) * 4).next_power_of_two();
     let mask = n_parts - 1;
     let chunk = config.morsel_rows;
 
     // Phase 1: scatter build rows into per-chunk, per-partition key lists.
     let n_chunks = chunk_count(build.num_rows(), chunk);
-    let (scattered, _, _) = parallel_map(config.threads, n_chunks, |ci, _met, _prof| {
+    let build_bytes = kernels::row_bytes(build);
+    let (scattered, wm1, _) = parallel_map(config.threads, n_chunks, |ci, met, _prof| {
+        let range = chunk_range(ci, chunk, build.num_rows());
+        met.morsel_bytes += build_bytes * range.len();
+        let hashes = routing_hashes(build, &build_cols, range.clone(), columnar);
         let mut parts: Vec<Vec<(Vec<Value>, usize)>> = vec![Vec::new(); n_parts];
-        for i in chunk_range(ci, chunk, build.num_rows()) {
+        for (k, i) in range.enumerate() {
             if let Some(key) = key_at(build, i, &build_cols) {
-                let p = (hash_key(&key) as usize) & mask;
+                let p = (hashes[k] as usize) & mask;
                 parts[p].push((key, i));
             }
         }
@@ -596,8 +727,8 @@ fn par_hash_join(
     // Phase 2: one hash map per partition. Chunks are visited in index
     // order, so every match list holds build-row indices ascending —
     // exactly the serial build's entry order.
-    let (maps, _, _) = parallel_map(config.threads, n_parts, |p, _met, _prof| {
-        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    let (maps, wm2, _) = parallel_map(config.threads, n_parts, |p, _met, _prof| {
+        let mut map: FxHashMap<Vec<Value>, Vec<usize>> = FxHashMap::default();
         for chunk_parts in &scattered {
             for (key, i) in &chunk_parts[p] {
                 map.entry(key.clone()).or_default().push(*i);
@@ -610,11 +741,15 @@ fn par_hash_join(
     // accumulate as index pairs; the output batch is assembled by a
     // payload-level columnar gather — no row materialization.
     let probe_chunks = chunk_count(probe.num_rows(), chunk);
-    let (parts, _, _) = parallel_map(config.threads, probe_chunks, |ci, _met, _prof| {
+    let probe_bytes = kernels::row_bytes(probe);
+    let (parts, wm3, _) = parallel_map(config.threads, probe_chunks, |ci, met, _prof| {
+        let range = chunk_range(ci, chunk, probe.num_rows());
+        met.morsel_bytes += probe_bytes * range.len();
+        let hashes = routing_hashes(probe, &probe_cols, range.clone(), columnar);
         let mut probe_sel: Vec<usize> = Vec::new();
         let mut build_sel: Vec<Option<usize>> = Vec::new();
         let mut key = Vec::with_capacity(probe_cols.len());
-        for i in chunk_range(ci, chunk, probe.num_rows()) {
+        for (k, i) in range.enumerate() {
             key.clear();
             for &c in &probe_cols {
                 key.push(probe.columns[c].get(i));
@@ -622,7 +757,7 @@ fn par_hash_join(
             let matches = if key.iter().any(Value::is_null) {
                 None // NULL keys never match
             } else {
-                maps[(hash_key(&key) as usize) & mask].get(key.as_slice())
+                maps[(hashes[k] as usize) & mask].get(key.as_slice())
             };
             if build_left {
                 // Inner join; output order `build ++ probe` = left ++ right.
@@ -675,11 +810,27 @@ fn par_hash_join(
         }
         Batch::new(Arc::clone(&schema), columns)
     })?;
+    ctx.metrics.merge(&wm1);
+    ctx.metrics.merge(&wm2);
+    ctx.metrics.merge(&wm3);
     Batch::concat(schema, &parts)
 }
 
 // ---------------------------------------------------------------------------
-// Parallel aggregation: thread-local partials merged in chunk order.
+// Parallel aggregation.
+//
+// Two strategies:
+//
+// * **partition-wise** (the default for grouped aggregation): rows are
+//   radix-partitioned by group-key hash, each worker owns a disjoint set
+//   of partitions — and therefore a disjoint key range — so a group's
+//   accumulator is updated by exactly one worker in global row order and
+//   no cross-worker state merge ever happens. Finished groups carry their
+//   global first-row index; one final sort by that index reproduces the
+//   serial executor's first-seen output order bit-for-bit.
+// * **chunk partials** (global aggregates and small inputs): thread-local
+//   partial states per chunk, merged in chunk order via
+//   [`vdm_expr::Accumulator::merge`].
 
 type AggPartial = (Vec<Vec<Value>>, Vec<Vec<vdm_expr::Accumulator>>);
 
@@ -691,7 +842,7 @@ fn agg_partial(
     group_by: &[(Expr, String)],
     aggs: &[(AggExpr, String)],
 ) -> Result<AggPartial> {
-    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
     let mut order: Vec<Vec<Value>> = Vec::new();
     let mut states: Vec<Vec<vdm_expr::Accumulator>> = Vec::new();
     if group_by.is_empty() {
@@ -726,7 +877,169 @@ fn agg_partial(
     Ok((order, states))
 }
 
+/// One aggregate's input value for row `i`: plain-column arguments read
+/// the column directly (no row materialization), computed arguments fall
+/// back to row evaluation, `COUNT(*)` uses its placeholder.
+fn agg_arg_value(child: &Batch, i: usize, agg: &AggExpr) -> Result<Value> {
+    match &agg.arg {
+        None => Ok(Value::Int(1)), // COUNT(*) placeholder
+        Some(Expr::Col(c)) => Ok(child.columns[*c].get(i)),
+        Some(e) => e.eval_row(&child.row(i)),
+    }
+}
+
 fn par_aggregate(
+    child: &Batch,
+    group_by: &[(Expr, String)],
+    aggs: &[(AggExpr, String)],
+    schema: Arc<Schema>,
+    ctx: &mut ParCtx<'_>,
+) -> Result<Batch> {
+    let config = ctx.config;
+    let chunk = config.morsel_rows;
+    // Global aggregates have a single group — nothing to partition; tiny
+    // inputs aren't worth the scatter pass.
+    if group_by.is_empty() || child.num_rows() < 2 * chunk {
+        return par_aggregate_merge(child, group_by, aggs, schema, config);
+    }
+
+    // Columnar key extraction/hashing applies when every group expression
+    // is a plain column (a single batch hashes consistently within each
+    // column, so no cross-batch type gate is needed here).
+    let key_cols: Option<Vec<usize>> = group_by
+        .iter()
+        .map(|(e, _)| match e {
+            Expr::Col(i) => Some(*i),
+            _ => None,
+        })
+        .collect();
+    let n_parts = (pool_workers(config.threads) * 4).next_power_of_two();
+    let mask = n_parts - 1;
+    let n_chunks = chunk_count(child.num_rows(), chunk);
+    let row_bytes = kernels::row_bytes(child);
+
+    // Phase 1: scatter (hash, row) pairs into per-chunk partition lists by
+    // group-key hash. Intra-chunk order is preserved, so visiting chunks
+    // in index order later yields global row order within each partition.
+    // Keys are *not* materialized here — a representative row index stands
+    // in for each group, so the hot loop allocates nothing per row.
+    let (scattered, wm1, _) = parallel_map(config.threads, n_chunks, |ci, met, _prof| {
+        let range = chunk_range(ci, chunk, child.num_rows());
+        met.morsel_bytes += row_bytes * range.len();
+        let mut parts: Vec<Vec<(u64, usize)>> = vec![Vec::new(); n_parts];
+        match &key_cols {
+            Some(cols) => {
+                let hashes = kernels::hash_keys(child, cols, range.clone());
+                for (k, i) in range.enumerate() {
+                    let h = hashes[k];
+                    parts[(h as usize) & mask].push((h, i));
+                }
+            }
+            None => {
+                let mut key = Vec::with_capacity(group_by.len());
+                for i in range {
+                    let row = child.row(i);
+                    key.clear();
+                    for (e, _) in group_by {
+                        key.push(e.eval_row(&row)?);
+                    }
+                    let h = kernels::hash_values(&key);
+                    parts[(h as usize) & mask].push((h, i));
+                }
+            }
+        }
+        Ok(parts)
+    })?;
+
+    // Phase 2: exclusive per-partition build. Equal keys always hash to
+    // the same partition, so each group belongs to exactly one partition
+    // and its accumulators see updates in global row order — no
+    // cross-worker merge, hence no merge-order sensitivity. Groups are
+    // identified by hash + key comparison against the group's first row
+    // (collision chains), so lookups never rebuild or rehash key vectors.
+    let (built, wm2, _) = parallel_map(config.threads, n_parts, |p, _met, _prof| {
+        let mut map: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+        let mut groups: Vec<(usize, Vec<vdm_expr::Accumulator>)> = Vec::new();
+        for chunk_parts in &scattered {
+            for &(h, i) in &chunk_parts[p] {
+                let slots = map.entry(h).or_default();
+                let mut slot = usize::MAX;
+                for &s in slots.iter() {
+                    if group_keys_equal(child, group_by, &key_cols, groups[s].0, i)? {
+                        slot = s;
+                        break;
+                    }
+                }
+                if slot == usize::MAX {
+                    slot = groups.len();
+                    slots.push(slot);
+                    groups.push((i, aggs.iter().map(|(a, _)| a.accumulator()).collect()));
+                }
+                for (j, (agg, _)) in aggs.iter().enumerate() {
+                    let v = agg_arg_value(child, i, agg)?;
+                    groups[slot].1[j].update(&v)?;
+                }
+            }
+        }
+        Ok(groups)
+    })?;
+    ctx.metrics.merge(&wm1);
+    ctx.metrics.merge(&wm2);
+
+    // Phase 3: groups ordered by global first occurrence reproduce the
+    // serial executor's first-seen output order exactly; the key values
+    // are materialized once per group from its representative row.
+    let mut all: Vec<(usize, Vec<vdm_expr::Accumulator>)> = built.into_iter().flatten().collect();
+    all.sort_unstable_by_key(|(first, _)| *first);
+    let mut rows = Vec::with_capacity(all.len());
+    for (repr, accs) in all {
+        let mut row: Vec<Value> = match &key_cols {
+            Some(cols) => cols.iter().map(|&c| child.columns[c].get(repr)).collect(),
+            None => {
+                let r = child.row(repr);
+                group_by.iter().map(|(e, _)| e.eval_row(&r)).collect::<Result<_>>()?
+            }
+        };
+        for acc in &accs {
+            row.push(acc.finish()?);
+        }
+        rows.push(row);
+    }
+    Batch::from_rows(schema, &rows)
+}
+
+/// True when rows `a` and `b` agree on every group-key expression. Plain
+/// column keys compare column values directly; computed keys re-evaluate
+/// per expression with short-circuiting. Uses `Value` equality, i.e. the
+/// same NULL-groups-together and Int/Dec-family semantics as the serial
+/// executor's key map.
+fn group_keys_equal(
+    child: &Batch,
+    group_by: &[(Expr, String)],
+    key_cols: &Option<Vec<usize>>,
+    a: usize,
+    b: usize,
+) -> Result<bool> {
+    match key_cols {
+        Some(cols) => Ok(cols.iter().all(|&c| child.columns[c].get(a) == child.columns[c].get(b))),
+        None => {
+            let ra = child.row(a);
+            let rb = child.row(b);
+            for (e, _) in group_by {
+                if e.eval_row(&ra)? != e.eval_row(&rb)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+/// Legacy chunk-partial aggregation: thread-local partial states merged in
+/// chunk order — a group's global first occurrence lies in the earliest
+/// chunk containing it, so the merged first-seen order equals the serial
+/// executor's.
+fn par_aggregate_merge(
     child: &Batch,
     group_by: &[(Expr, String)],
     aggs: &[(AggExpr, String)],
@@ -738,10 +1051,7 @@ fn par_aggregate(
     let (partials, _, _) = parallel_map(config.threads, n, |i, _met, _prof| {
         agg_partial(child, chunk_range(i, chunk, child.num_rows()), group_by, aggs)
     })?;
-    // Merge in chunk order: a group's global first occurrence lies in the
-    // earliest chunk containing it, so the merged first-seen order equals
-    // the serial executor's.
-    let mut groups: HashMap<Vec<Value>, usize> = HashMap::new();
+    let mut groups: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
     let mut order: Vec<Vec<Value>> = Vec::new();
     let mut states: Vec<Vec<vdm_expr::Accumulator>> = Vec::new();
     for (p_order, p_states) in partials {
@@ -812,7 +1122,7 @@ fn run_budgeted_par_node(plan: &PlanRef, budget: usize, ctx: &mut ParCtx<'_>) ->
             let mut have = 0usize;
             let mut base = 0usize;
             while base < n && have < budget {
-                let wave = (n - base).min(ctx.config.threads);
+                let wave = (n - base).min(pool_workers(ctx.config.threads));
                 let (batches, wm, _wp) =
                     parallel_map(ctx.config.threads, wave, |i, met, _prof| {
                         let t = Instant::now();
@@ -836,6 +1146,25 @@ fn run_budgeted_par_node(plan: &PlanRef, budget: usize, ctx: &mut ParCtx<'_>) ->
             Batch::from_rows(Arc::clone(schema), &rows[..take])
         }
         LogicalPlan::Project { input, exprs, schema } => {
+            // Column mappings preserve cardinality, so a whole fused chain
+            // passes the budget straight through to its input. The
+            // enclosing `with_profile_par` records the outermost node;
+            // inner covered nodes are recorded here (same rows, zero self
+            // time) so EXPLAIN ANALYZE still shows every node.
+            if let Some(chain) = fusion::fused_projection_chain(plan, 1) {
+                let child = run_budgeted_par(chain.input, budget, ctx)?;
+                let t = Instant::now();
+                let out =
+                    kernels::apply_column_map(&child, &chain.mapping, Arc::clone(chain.schema))?;
+                ctx.metrics.project_nanos += nanos_since(t);
+                ctx.metrics.operators += chain.nodes.len() - 1;
+                if let Some(p) = ctx.profiler.as_mut() {
+                    for node in chain.nodes.iter().skip(1).copied() {
+                        p.record(node, out.num_rows(), 0);
+                    }
+                }
+                return Ok(out);
+            }
             let child = run_budgeted_par(input, budget, ctx)?;
             let t = Instant::now();
             let out = ops::project(&child, exprs, Arc::clone(schema));

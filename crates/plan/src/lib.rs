@@ -14,6 +14,7 @@
 pub mod cache;
 pub mod digest;
 pub mod explain;
+pub mod fusion;
 pub mod lineage;
 pub mod node;
 pub mod props;
@@ -24,6 +25,7 @@ pub mod transform;
 pub use cache::{CacheStats, PropertyCache};
 pub use digest::plan_digest;
 pub use explain::{explain, explain_annotated, number_nodes};
+pub use fusion::{column_mapping, fused_projection_chain, FusedChain};
 pub use lineage::{column_lineage, trace_column, Origin};
 pub use node::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef, SortKey};
 pub use props::{statically_empty, unique_sets, DeriveOptions};

@@ -4,8 +4,9 @@
 use std::sync::Arc;
 use vdm_types::{Decimal, Result, Schema, SqlType, Value, VdmError};
 
-/// Dictionary-encoded string column: `codes[i]` indexes into the sorted,
-/// deduplicated `dict`.
+/// Dictionary-encoded string column: `codes[i]` indexes into the
+/// deduplicated `dict` (entries appear in first-seen order, not sorted —
+/// see [`StrColumn::from_values`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct StrColumn {
     pub dict: Vec<Arc<str>>,
@@ -80,6 +81,20 @@ impl ColumnData {
             ColumnData::Bool(v) => v.len(),
             ColumnData::Date(v) => v.len(),
             ColumnData::Str(s) => s.len(),
+        }
+    }
+
+    /// A zero-row payload of the same type (string columns get an empty
+    /// dictionary rather than a clone of this one's).
+    fn empty_like(&self) -> ColumnData {
+        match self {
+            ColumnData::Int(_) => ColumnData::Int(Vec::new()),
+            ColumnData::Dec { scale, .. } => ColumnData::Dec { units: Vec::new(), scale: *scale },
+            ColumnData::Bool(_) => ColumnData::Bool(Vec::new()),
+            ColumnData::Date(_) => ColumnData::Date(Vec::new()),
+            ColumnData::Str(_) => {
+                ColumnData::Str(StrColumn { dict: Vec::new(), codes: Vec::new() })
+            }
         }
     }
 }
@@ -315,6 +330,11 @@ impl Column {
     /// materialization — fixed-width payloads copy directly and string
     /// dictionaries are shared, not re-interned.
     pub fn gather(&self, indices: &[usize]) -> Column {
+        // All-false selection vectors are common under selective filters:
+        // return a truly empty column instead of cloning the dictionary.
+        if indices.is_empty() {
+            return Column { data: self.data.empty_like(), validity: None };
+        }
         let validity =
             self.validity.as_ref().map(|v| indices.iter().map(|&i| v[i]).collect::<Vec<bool>>());
         let any_null = validity.as_ref().is_some_and(|v| v.iter().any(|b| !b));
@@ -337,6 +357,9 @@ impl Column {
     /// Gather with NULL padding: `None` slots become NULL rows (the
     /// outer-join no-match case).
     pub fn gather_opt(&self, indices: &[Option<usize>]) -> Column {
+        if indices.is_empty() {
+            return Column { data: self.data.empty_like(), validity: None };
+        }
         let mut any_null = false;
         let validity: Vec<bool> = indices
             .iter()
@@ -656,6 +679,47 @@ mod tests {
         let g = dense.gather_opt(&[Some(1), Some(0)]);
         assert!(!g.is_null(0) && !g.is_null(1));
         assert_eq!(g.get(0), Value::Int(2));
+    }
+
+    #[test]
+    fn empty_gather_drops_the_dictionary() {
+        // The all-false-selection case: no rows kept, so no dictionary
+        // clone and no validity mask should survive.
+        let c = Column::from_values(SqlType::Text, &[Value::str("a"), Value::Null]).unwrap();
+        let g = c.gather(&[]);
+        assert_eq!(g.len(), 0);
+        assert_eq!(g.sql_type(), SqlType::Text);
+        match g.data() {
+            ColumnData::Str(s) => assert!(s.dict.is_empty(), "dict must not be cloned"),
+            other => panic!("expected Str, got {other:?}"),
+        }
+        let g = c.gather_opt(&[]);
+        assert_eq!(g.len(), 0);
+        // Decimal scale survives an empty gather.
+        let d = Column::from_values(SqlType::Decimal { scale: 2 }, &[Value::Null]).unwrap();
+        assert_eq!(d.gather(&[]).sql_type(), SqlType::Decimal { scale: 2 });
+    }
+
+    #[test]
+    fn concat_accepts_empty_gathered_parts() {
+        // Batches flowing out of all-false filter morsels concatenate with
+        // non-empty ones: empty-dictionary parts must merge cleanly.
+        let c = Column::from_values(SqlType::Text, &[Value::str("a"), Value::str("b")]).unwrap();
+        let empty = c.gather(&[]);
+        let merged = Column::concat(&[&empty, &c, &empty]).unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged.get(0), Value::str("a"));
+        assert_eq!(merged.get(1), Value::str("b"));
+        let all_empty = Column::concat(&[&empty, &empty]).unwrap();
+        assert_eq!(all_empty.len(), 0);
+    }
+
+    #[test]
+    fn single_row_gather_roundtrips() {
+        let c = Column::from_values(SqlType::Int, &[Value::Int(7)]).unwrap();
+        let g = c.gather(&[0]);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.get(0), Value::Int(7));
     }
 
     #[test]

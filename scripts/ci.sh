@@ -35,6 +35,17 @@ SWEEP_DIR="$(mktemp -d)"
 test -s "$SWEEP_DIR/BENCH_optimize.json"
 rm -rf "$SWEEP_DIR"
 
+echo "== par_sweep thread-scaling smoke gate (reduced rows, scratch dir) =="
+# Sweeps threads 1 and 4 over reduced datasets and fails if the
+# agg_over_join workload's threads=4 speedup over serial drops below
+# 2.5x — the canary for core-scaling regressions in the morsel engine.
+PAR_DIR="$(mktemp -d)"
+(cd "$PAR_DIR" && "$OLDPWD/target/release/par_sweep" 150000 8000 \
+    --threads=1,4 --gate-agg-speedup=2.5 > par_sweep.log) \
+  || { cat "$PAR_DIR/par_sweep.log"; rm -rf "$PAR_DIR"; exit 1; }
+test -s "$PAR_DIR/BENCH_parallel.json"
+rm -rf "$PAR_DIR"
+
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -2,7 +2,7 @@
 //!
 //! Every operator shape — filter, project, join (inner, left outer, left
 //! outer + residual), aggregate, distinct, sort, limit, union — runs at
-//! `threads = 1` and `threads = 4` over TPC-H and ERP data. The
+//! `threads ∈ {1, 2, 4, 8}` over TPC-H and ERP data. The
 //! morsel-driven executor merges partial results in morsel index order, so
 //! results must match the serial executor *exactly* (same rows, same
 //! order) and the merged row-count metrics must agree. The one sanctioned
@@ -22,9 +22,16 @@ use vdm_storage::StorageEngine;
 const THREADS: usize = 4;
 /// Small morsels so even the test-scale tables split into many of them.
 const MORSEL_ROWS: usize = 384;
+/// Every parallel shape is checked at each of these thread counts —
+/// bit-identity must hold across the whole sweep, not just one setting.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 fn config() -> ParallelConfig {
     ParallelConfig { threads: THREADS, morsel_rows: MORSEL_ROWS }
+}
+
+fn config_at(threads: usize) -> ParallelConfig {
+    ParallelConfig { threads, morsel_rows: MORSEL_ROWS }
 }
 
 /// Sort-normalizes rows for order-insensitive comparison.
@@ -45,15 +52,20 @@ fn normalized(batch: &vdm_storage::Batch) -> Vec<Vec<vdm_types::Value>> {
 fn assert_equivalent(name: &str, plan: &PlanRef, engine: &StorageEngine) {
     let snap = engine.snapshot();
     let (serial, sm) = execute_at(plan, engine, snap).unwrap();
-    let (par, pm) = execute_parallel_at(plan, engine, snap, config()).unwrap();
-    assert_eq!(par.to_rows(), serial.to_rows(), "{name}: rows diverge");
-    assert_eq!(normalized(&par), normalized(&serial), "{name}: multisets diverge");
-    assert_eq!(pm.operators, sm.operators, "{name}: operators");
-    assert_eq!(pm.rows_scanned, sm.rows_scanned, "{name}: rows_scanned");
-    assert_eq!(pm.filter_input_rows, sm.filter_input_rows, "{name}: filter_input_rows");
-    assert_eq!(pm.join_build_rows, sm.join_build_rows, "{name}: join_build_rows");
-    assert_eq!(pm.join_output_rows, sm.join_output_rows, "{name}: join_output_rows");
-    assert_eq!(pm.agg_input_rows, sm.agg_input_rows, "{name}: agg_input_rows");
+    for threads in THREAD_SWEEP {
+        let (par, pm) = execute_parallel_at(plan, engine, snap, config_at(threads)).unwrap();
+        assert_eq!(par.to_rows(), serial.to_rows(), "{name}@t{threads}: rows diverge");
+        assert_eq!(normalized(&par), normalized(&serial), "{name}@t{threads}: multisets diverge");
+        assert_eq!(pm.operators, sm.operators, "{name}@t{threads}: operators");
+        assert_eq!(pm.rows_scanned, sm.rows_scanned, "{name}@t{threads}: rows_scanned");
+        assert_eq!(
+            pm.filter_input_rows, sm.filter_input_rows,
+            "{name}@t{threads}: filter_input_rows"
+        );
+        assert_eq!(pm.join_build_rows, sm.join_build_rows, "{name}@t{threads}: join_build_rows");
+        assert_eq!(pm.join_output_rows, sm.join_output_rows, "{name}@t{threads}: join_output_rows");
+        assert_eq!(pm.agg_input_rows, sm.agg_input_rows, "{name}@t{threads}: agg_input_rows");
+    }
 }
 
 /// LIMIT shapes: rows equal, but `rows_scanned` only bounded (the wave
@@ -61,8 +73,10 @@ fn assert_equivalent(name: &str, plan: &PlanRef, engine: &StorageEngine) {
 fn assert_equivalent_rows_only(name: &str, plan: &PlanRef, engine: &StorageEngine) {
     let snap = engine.snapshot();
     let (serial, _) = execute_at(plan, engine, snap).unwrap();
-    let (par, _) = execute_parallel_at(plan, engine, snap, config()).unwrap();
-    assert_eq!(par.to_rows(), serial.to_rows(), "{name}: rows diverge");
+    for threads in THREAD_SWEEP {
+        let (par, _) = execute_parallel_at(plan, engine, snap, config_at(threads)).unwrap();
+        assert_eq!(par.to_rows(), serial.to_rows(), "{name}@t{threads}: rows diverge");
+    }
 }
 
 /// Profiled runs must agree on *per-operator* output rows between the
@@ -71,12 +85,17 @@ fn assert_equivalent_rows_only(name: &str, plan: &PlanRef, engine: &StorageEngin
 /// excludes them).
 fn assert_profile_rows_equal(name: &str, plan: &PlanRef, engine: &StorageEngine) {
     let snap = engine.snapshot();
-    let serial_cfg = ParallelConfig { threads: 1, morsel_rows: MORSEL_ROWS };
-    let (sb, _, sp) = execute_profiled_at(plan, engine, snap, serial_cfg).unwrap();
-    let (pb, _, pp) = execute_profiled_at(plan, engine, snap, config()).unwrap();
-    assert_eq!(pb.to_rows(), sb.to_rows(), "{name}: rows diverge");
+    let (sb, _, sp) = execute_profiled_at(plan, engine, snap, config_at(1)).unwrap();
     assert!(!sp.rows_by_node().is_empty(), "{name}: serial profile is empty");
-    assert_eq!(pp.rows_by_node(), sp.rows_by_node(), "{name}: per-node rows diverge");
+    for threads in THREAD_SWEEP {
+        let (pb, _, pp) = execute_profiled_at(plan, engine, snap, config_at(threads)).unwrap();
+        assert_eq!(pb.to_rows(), sb.to_rows(), "{name}@t{threads}: rows diverge");
+        assert_eq!(
+            pp.rows_by_node(),
+            sp.rows_by_node(),
+            "{name}@t{threads}: per-node rows diverge"
+        );
+    }
 }
 
 fn tpch_engine() -> (vdm_catalog::Catalog, StorageEngine) {
@@ -361,6 +380,169 @@ fn erp_browser_profile_rows_match_across_executors() {
     let browser = journal_entry_item_browser(&schema).unwrap();
     let optimized = Optimizer::new(Profile::hana()).optimize(&browser.protected).unwrap();
     assert_profile_rows_equal("erp-browser-profiled", &optimized, &engine);
+}
+
+#[test]
+fn fused_projection_chain_over_join_is_exact_and_attributed() {
+    let (catalog, engine) = tpch_engine();
+    let orders = catalog.table_or_err("orders").unwrap();
+    let customer = catalog.table_or_err("customer").unwrap();
+
+    // A stack of *pure column-map* projections (rename, reorder,
+    // duplicate — no computed expressions) over a join. The parallel
+    // executor fuses the whole chain into one composed column-mapping
+    // kernel, but every covered node must still report its own output
+    // rows in the profile, matching the serial run node for node.
+    let join = LogicalPlan::inner_join(
+        LogicalPlan::scan(Arc::clone(&orders)),
+        LogicalPlan::scan(customer),
+        vec![(1, 0)],
+    )
+    .unwrap();
+    let p1 = LogicalPlan::project(
+        join,
+        vec![
+            (Expr::col(0), "okey".into()),
+            (Expr::col(2), "status".into()),
+            (Expr::col(1), "cust".into()),
+        ],
+    )
+    .unwrap();
+    let p2 = LogicalPlan::project(
+        p1,
+        vec![
+            (Expr::col(1), "status".into()),
+            (Expr::col(0), "okey".into()),
+            (Expr::col(0), "okey_dup".into()),
+        ],
+    )
+    .unwrap();
+    let p3 = LogicalPlan::project(
+        p2,
+        vec![(Expr::col(2), "okey_dup".into()), (Expr::col(0), "status".into())],
+    )
+    .unwrap();
+    assert_equivalent("fused-chain-over-join", &p3, &engine);
+    assert_profile_rows_equal("fused-chain-over-join-profile", &p3, &engine);
+
+    // The same shape directly over a leaf pipeline (scan + filter), so the
+    // chain fuses into the morsel loop rather than above a join barrier.
+    let leaf =
+        LogicalPlan::filter(LogicalPlan::scan(orders), Expr::col(2).eq(Expr::str("O"))).unwrap();
+    let l1 = LogicalPlan::project(
+        leaf,
+        vec![(Expr::col(1), "cust".into()), (Expr::col(0), "okey".into())],
+    )
+    .unwrap();
+    let l2 = LogicalPlan::project(
+        l1,
+        vec![(Expr::col(1), "okey".into()), (Expr::col(0), "cust".into())],
+    )
+    .unwrap();
+    assert_equivalent("fused-chain-over-leaf", &l2, &engine);
+    assert_profile_rows_equal("fused-chain-over-leaf-profile", &l2, &engine);
+}
+
+/// Builds a `skew(k int, v int)` table of `rows` rows where one group key
+/// owns ~90% of the rows (the partition-wise aggregation's worst case).
+fn skew_engine(rows: usize) -> (PlanRef, StorageEngine) {
+    use vdm_catalog::TableBuilder;
+    use vdm_types::{SqlType, Value};
+    let table = Arc::new(
+        TableBuilder::new("skew")
+            .column("id", SqlType::Int, false)
+            .column("k", SqlType::Int, false)
+            .column("v", SqlType::Int, false)
+            .primary_key(&["id"])
+            .build()
+            .unwrap(),
+    );
+    let engine = StorageEngine::new();
+    engine.create_table(Arc::clone(&table)).unwrap();
+    let hot = rows * 9 / 10;
+    engine
+        .insert(
+            "skew",
+            (0..rows)
+                .map(|i| {
+                    let k = if i < hot { 0 } else { (i % 100) as i64 + 1 };
+                    vec![Value::Int(i as i64), Value::Int(k), Value::Int((i % 7) as i64)]
+                })
+                .collect(),
+        )
+        .unwrap();
+    engine.merge_delta("skew").unwrap();
+    (LogicalPlan::scan(table), engine)
+}
+
+#[test]
+fn skewed_aggregation_is_exact_at_every_thread_count() {
+    let (scan, engine) = skew_engine(20_000);
+    // 90% of rows hash to one group → one radix partition carries almost
+    // all the build work; stealing must rebalance it and the merged output
+    // must still be bit-identical to the serial first-seen group order.
+    let agg = LogicalPlan::aggregate(
+        scan.clone(),
+        vec![(Expr::col(1), "k".into())],
+        vec![
+            (AggExpr::count_star(), "n".into()),
+            (AggExpr::new(AggFunc::Sum, Expr::col(2)), "total".into()),
+        ],
+    )
+    .unwrap();
+    assert_equivalent("skewed-aggregate", &agg, &engine);
+    assert_profile_rows_equal("skewed-aggregate-profile", &agg, &engine);
+
+    // Group count >> partition count: the partition-wise path with many
+    // distinct keys per partition (a computed key also exercises the
+    // row-eval scatter fallback next to the columnar one above).
+    let wide = LogicalPlan::aggregate(
+        scan,
+        vec![(
+            Expr::col(0).binary(
+                BinOp::Sub,
+                Expr::col(0)
+                    .binary(BinOp::Div, Expr::int(1_000))
+                    .binary(BinOp::Mul, Expr::int(1_000)),
+            ),
+            "b".into(),
+        )],
+        vec![(AggExpr::new(AggFunc::Max, Expr::col(2)), "m".into())],
+    )
+    .unwrap();
+    assert_equivalent("wide-aggregate", &wide, &engine);
+}
+
+#[test]
+fn edge_case_batches_are_exact_at_every_thread_count() {
+    let (scan, engine) = skew_engine(1_000);
+
+    // All-false selection: every morsel filters to zero rows, and the
+    // fused projection above it must map empty batches without panicking.
+    let none = LogicalPlan::project(
+        LogicalPlan::filter(scan.clone(), Expr::col(0).binary(BinOp::Lt, Expr::int(0))).unwrap(),
+        vec![(Expr::col(1), "k".into()), (Expr::col(1), "k_dup".into())],
+    )
+    .unwrap();
+    assert_equivalent("all-false-selection", &none, &engine);
+
+    // Single-row batches: a point filter leaves exactly one surviving row
+    // among many empty morsels.
+    let one = LogicalPlan::project(
+        LogicalPlan::filter(scan.clone(), Expr::col(0).eq(Expr::int(500))).unwrap(),
+        vec![(Expr::col(2), "v".into())],
+    )
+    .unwrap();
+    assert_equivalent("single-row-selection", &one, &engine);
+
+    // Aggregate over an empty input (all morsels empty after the filter).
+    let empty_agg = LogicalPlan::aggregate(
+        LogicalPlan::filter(scan, Expr::col(0).binary(BinOp::Lt, Expr::int(0))).unwrap(),
+        vec![(Expr::col(1), "k".into())],
+        vec![(AggExpr::count_star(), "n".into())],
+    )
+    .unwrap();
+    assert_equivalent("aggregate-over-empty", &empty_agg, &engine);
 }
 
 #[test]
