@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 use vdm_plan::{LogicalPlan, PlanRef};
 use vdm_storage::{Batch, Snapshot, StorageEngine};
 use vdm_types::{Result, Value, VdmError};
@@ -39,7 +39,10 @@ pub struct CacheStats {
 }
 
 struct CacheState {
-    rows: Vec<Vec<Value>>,
+    /// The materialization, shared with readers. Refresh and maintenance
+    /// build a replacement *outside* the state lock and swap the `Arc` in,
+    /// so readers are only ever blocked for the pointer swap.
+    data: Arc<Batch>,
     as_of: Snapshot,
     stats: CacheStats,
 }
@@ -52,6 +55,10 @@ pub struct CachedView {
     /// Base tables the plan scans (maintenance dependencies).
     dependencies: Vec<String>,
     state: Mutex<CacheState>,
+    /// Serializes refresh/maintenance (which compute outside the state
+    /// lock) so concurrent maintainers don't duplicate or reorder work.
+    /// Readers never take this lock.
+    maintenance: Mutex<()>,
 }
 
 impl CachedView {
@@ -73,10 +80,11 @@ impl CachedView {
             mode,
             dependencies,
             state: Mutex::new(CacheState {
-                rows: batch.to_rows(),
+                data: Arc::new(batch),
                 as_of: snapshot,
                 stats: CacheStats { full_refreshes: 1, ..CacheStats::default() },
             }),
+            maintenance: Mutex::new(()),
         })
     }
 
@@ -111,21 +119,30 @@ impl CachedView {
     }
 
     /// Reads the view. SCV: the stored snapshot. DCV: maintained first.
-    pub fn read(&self, engine: &StorageEngine) -> Result<Batch> {
+    /// Readers share the materialization by `Arc`, so a concurrent refresh
+    /// only blocks them for the duration of the pointer swap.
+    pub fn read(&self, engine: &StorageEngine) -> Result<Arc<Batch>> {
         if self.mode == CacheMode::Dynamic {
             self.maintain(engine)?;
         }
         let mut state = self.state.lock().unwrap();
         state.stats.hits += 1;
-        Batch::from_rows(self.plan.schema(), &state.rows)
+        Ok(Arc::clone(&state.data))
     }
 
-    /// Forces a full re-materialization (the SCV periodic refresh).
+    /// Forces a full re-materialization (the SCV periodic refresh). The new
+    /// materialization is computed without holding the state lock.
     pub fn refresh(&self, engine: &StorageEngine) -> Result<()> {
+        let _serialize = self.maintenance.lock().unwrap();
+        self.refresh_serialized(engine)
+    }
+
+    /// Full recompute; caller holds the maintenance lock.
+    fn refresh_serialized(&self, engine: &StorageEngine) -> Result<()> {
         let snapshot = engine.snapshot();
         let batch = vdm_exec::execute_at(&self.plan, engine, snapshot)?.0;
         let mut state = self.state.lock().unwrap();
-        state.rows = batch.to_rows();
+        state.data = Arc::new(batch);
         state.as_of = snapshot;
         state.stats.full_refreshes += 1;
         Ok(())
@@ -134,8 +151,12 @@ impl CachedView {
     /// Brings a DCV up to date: no-op when the dependencies are unchanged,
     /// incremental append when possible, full recompute otherwise.
     fn maintain(&self, engine: &StorageEngine) -> Result<()> {
+        let _serialize = self.maintenance.lock().unwrap();
         let now = engine.snapshot();
-        let as_of = self.state.lock().unwrap().as_of;
+        let (as_of, current) = {
+            let state = self.state.lock().unwrap();
+            (state.as_of, Arc::clone(&state.data))
+        };
         let mut changed = false;
         let mut any_delete = false;
         for dep in &self.dependencies {
@@ -150,22 +171,27 @@ impl CachedView {
             return Ok(());
         }
         if !any_delete && is_distributive(&self.plan) {
-            // Incremental: run the plan over only the inserted rows.
+            // Incremental: run the plan over only the inserted rows and
+            // append — all computed off-lock, then swapped in.
             let delta_rows = eval_distributive_delta(&self.plan, engine, as_of, now)?;
+            let delta = Batch::from_rows(self.plan.schema(), &delta_rows)?;
+            let merged = Batch::concat(self.plan.schema(), &[(*current).clone(), delta])?;
             let mut state = self.state.lock().unwrap();
-            state.rows.extend(delta_rows);
+            state.data = Arc::new(merged);
             state.as_of = now;
             state.stats.incremental_refreshes += 1;
             return Ok(());
         }
-        self.refresh(engine)
+        self.refresh_serialized(engine)
     }
 }
 
-/// The registry of cached views.
+/// The registry of cached views. Internally synchronized: registration,
+/// lookup, and refresh all take `&self`, so a serving layer can share one
+/// `ViewCache` across sessions without an outer lock.
 #[derive(Default)]
 pub struct ViewCache {
-    views: HashMap<String, Arc<CachedView>>,
+    views: RwLock<HashMap<String, Arc<CachedView>>>,
 }
 
 impl ViewCache {
@@ -176,44 +202,55 @@ impl ViewCache {
 
     /// Registers and immediately materializes a cached view.
     pub fn register(
-        &mut self,
+        &self,
         name: &str,
         plan: PlanRef,
         mode: CacheMode,
         engine: &StorageEngine,
     ) -> Result<Arc<CachedView>> {
         let key = name.to_ascii_lowercase();
-        if self.views.contains_key(&key) {
+        // Materialize outside the registry lock; losing a registration race
+        // surfaces as the duplicate error below.
+        let view = Arc::new(CachedView::new(name, plan, mode, engine)?);
+        let mut views = self.views.write().unwrap();
+        if views.contains_key(&key) {
             return Err(VdmError::Catalog(format!("cached view {name:?} already exists")));
         }
-        let view = Arc::new(CachedView::new(name, plan, mode, engine)?);
-        self.views.insert(key, Arc::clone(&view));
+        views.insert(key, Arc::clone(&view));
         Ok(view)
     }
 
     /// Looks up a cached view.
     pub fn get(&self, name: &str) -> Option<Arc<CachedView>> {
-        self.views.get(&name.to_ascii_lowercase()).cloned()
+        self.views.read().unwrap().get(&name.to_ascii_lowercase()).cloned()
     }
 
     /// Drops a cached view's materialization.
-    pub fn drop_view(&mut self, name: &str) -> Result<()> {
+    pub fn drop_view(&self, name: &str) -> Result<()> {
         self.views
+            .write()
+            .unwrap()
             .remove(&name.to_ascii_lowercase())
             .map(|_| ())
             .ok_or_else(|| VdmError::Catalog(format!("unknown cached view {name:?}")))
     }
 
-    /// Refreshes every static view (the "periodic" refresh tick).
+    /// Refreshes every static view (the "periodic" refresh tick). The
+    /// registry lock is released before any view recomputes, so lookups and
+    /// reads proceed while refreshes run.
     pub fn refresh_all_static(&self, engine: &StorageEngine) -> Result<usize> {
-        let mut n = 0;
-        for v in self.views.values() {
-            if v.mode() == CacheMode::Static {
-                v.refresh(engine)?;
-                n += 1;
-            }
+        let statics: Vec<Arc<CachedView>> = self
+            .views
+            .read()
+            .unwrap()
+            .values()
+            .filter(|v| v.mode() == CacheMode::Static)
+            .cloned()
+            .collect();
+        for v in &statics {
+            v.refresh(engine)?;
         }
-        Ok(n)
+        Ok(statics.len())
     }
 }
 
@@ -332,7 +369,7 @@ mod tests {
     #[test]
     fn scv_serves_stale_until_refresh() {
         let (engine, plan, _) = setup();
-        let mut cache = ViewCache::new();
+        let cache = ViewCache::new();
         let scv = cache.register("big_sales", plan, CacheMode::Static, &engine).unwrap();
         assert_eq!(scv.read(&engine).unwrap().num_rows(), 5);
         engine.insert("sales", vec![vec![Value::Int(100), Value::Int(999)]]).unwrap();
@@ -348,7 +385,7 @@ mod tests {
     #[test]
     fn dcv_incremental_on_insert_only() {
         let (engine, plan, _) = setup();
-        let mut cache = ViewCache::new();
+        let cache = ViewCache::new();
         let dcv = cache.register("big_sales", plan, CacheMode::Dynamic, &engine).unwrap();
         assert_eq!(dcv.read(&engine).unwrap().num_rows(), 5);
         engine
@@ -372,7 +409,7 @@ mod tests {
     #[test]
     fn dcv_falls_back_to_full_on_delete() {
         let (engine, plan, _) = setup();
-        let mut cache = ViewCache::new();
+        let cache = ViewCache::new();
         let dcv = cache.register("v", plan, CacheMode::Dynamic, &engine).unwrap();
         engine.delete_where("sales", &|r| r[0] == Value::Int(9)).unwrap();
         assert_eq!(dcv.read(&engine).unwrap().num_rows(), 4);
@@ -382,7 +419,7 @@ mod tests {
     #[test]
     fn dcv_full_recompute_for_non_distributive_plans() {
         let (engine, _, agg) = setup();
-        let mut cache = ViewCache::new();
+        let cache = ViewCache::new();
         let dcv = cache.register("cnt", agg, CacheMode::Dynamic, &engine).unwrap();
         assert_eq!(dcv.read(&engine).unwrap().row(0)[0], Value::Int(10));
         engine.insert("sales", vec![vec![Value::Int(50), Value::Int(5)]]).unwrap();
@@ -394,7 +431,7 @@ mod tests {
     #[test]
     fn registry_semantics() {
         let (engine, plan, _) = setup();
-        let mut cache = ViewCache::new();
+        let cache = ViewCache::new();
         cache.register("v", plan.clone(), CacheMode::Static, &engine).unwrap();
         assert!(cache.register("V", plan, CacheMode::Static, &engine).is_err());
         assert!(cache.get("v").is_some());

@@ -13,19 +13,49 @@
 //! let batch = db.query("select v from t where k = 1").unwrap();
 //! assert_eq!(batch.row(0)[0], vdm_types::Value::str("hello"));
 //! ```
+//!
+//! Internally the facade is split for the benefit of `vdm-serve`, the
+//! concurrent serving layer:
+//!
+//! * [`DbState`] — catalog/views/macros/optimizer + a metadata version
+//!   counter; the part DDL mutates and bind/optimize reads.
+//! * [`PlanCache`] — bounded LRU of optimized parameterized plans keyed by
+//!   (canonical statement shape, profile fingerprint, parameter types).
+//! * [`QueryEnv`] — the shared SELECT path both `Database` methods and
+//!   serve sessions run through.
+//!
+//! `Database` itself is the single-owner compatibility shim over that
+//! machinery: reads (`query`, `explain*`) take `&self`; statement
+//! execution (`execute*`) takes `&mut self` because DDL must mutate
+//! [`DbState`] — the same operations `vdm-serve` routes through a write
+//! lock. `set_profile` / `set_parallelism` stay `&mut self` deliberately:
+//! they change the meaning/cost of every in-flight statement, so a shared
+//! deployment must serialize them against running queries (which the
+//! serving layer's state lock does).
 
 use std::sync::Arc;
-use std::time::Instant;
 use vdm_cache::{CacheMode, CachedView, ViewCache};
 use vdm_catalog::Catalog;
+use vdm_exec::Metrics;
 pub use vdm_exec::ParallelConfig;
-use vdm_exec::{Metrics, NodeIndex, QueryProfile};
 use vdm_obs::MetricsRegistry;
-use vdm_optimizer::{Optimizer, Profile, Trace};
+pub use vdm_optimizer::Profile;
 use vdm_plan::{plan_stats, PlanRef, ViewRegistry};
-use vdm_sql::{Binder, MacroRegistry, Statement};
+use vdm_sql::Statement;
 use vdm_storage::{Batch, StorageEngine};
 use vdm_types::{Result, VdmError};
+
+mod plan_cache;
+mod session;
+mod state;
+
+pub use plan_cache::{CachedPlan, PlanCache, PlanCacheKey, PlanCacheStats};
+pub use session::{execute_select, explain_analyze_bound, param_types_of, CacheOutcome, QueryEnv};
+pub use state::DbState;
+
+/// Plans a freshly constructed [`Database`] keeps before evicting
+/// (override with [`Database::set_plan_cache_capacity`]).
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
 
 /// Outcome of one executed statement.
 #[derive(Debug)]
@@ -34,6 +64,8 @@ pub enum StatementResult {
     Rows(Batch),
     /// DDL acknowledgement with the object name.
     Created(String),
+    /// DROP acknowledgement with the object name.
+    Dropped(String),
     /// Rows inserted.
     Inserted(usize),
     /// EXPLAIN output.
@@ -52,25 +84,32 @@ impl StatementResult {
 
 /// The assembled database.
 pub struct Database {
-    catalog: Catalog,
-    views: ViewRegistry,
-    macros: MacroRegistry,
+    state: DbState,
     engine: StorageEngine,
-    optimizer: Optimizer,
     cache: ViewCache,
+    plan_cache: PlanCache,
     parallel: ParallelConfig,
+}
+
+/// A [`Database`] decomposed into its shareable pieces — what a serving
+/// layer spreads across its own synchronization (state behind a lock,
+/// engine/caches internally synchronized).
+pub struct DatabaseParts {
+    pub state: DbState,
+    pub engine: StorageEngine,
+    pub views: ViewCache,
+    pub plan_cache: PlanCache,
+    pub parallel: ParallelConfig,
 }
 
 impl Database {
     /// Database with the given optimizer profile.
     pub fn new(profile: Profile) -> Database {
         Database {
-            catalog: Catalog::new(),
-            views: ViewRegistry::new(),
-            macros: MacroRegistry::new(),
+            state: DbState::new(profile),
             engine: StorageEngine::new(),
-            optimizer: Optimizer::new(profile),
             cache: ViewCache::new(),
+            plan_cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
             parallel: ParallelConfig::default(),
         }
     }
@@ -80,13 +119,42 @@ impl Database {
         Database::new(Profile::hana())
     }
 
-    /// Swaps the optimizer profile (e.g. to compare systems on one dataset).
+    /// Rebuilds a `Database` from [`DatabaseParts`] (the inverse of
+    /// [`Database::into_parts`]).
+    pub fn from_parts(parts: DatabaseParts) -> Database {
+        Database {
+            state: parts.state,
+            engine: parts.engine,
+            cache: parts.views,
+            plan_cache: parts.plan_cache,
+            parallel: parts.parallel,
+        }
+    }
+
+    /// Decomposes the database for a serving layer to share.
+    pub fn into_parts(self) -> DatabaseParts {
+        DatabaseParts {
+            state: self.state,
+            engine: self.engine,
+            views: self.cache,
+            plan_cache: self.plan_cache,
+            parallel: self.parallel,
+        }
+    }
+
+    /// Swaps the optimizer profile (e.g. to compare systems on one
+    /// dataset). `&mut self` on purpose: the profile changes what every
+    /// statement's plan looks like, so it must not race in-flight binds —
+    /// concurrent deployments route this through `vdm-serve`, which takes
+    /// its state write lock.
     pub fn set_profile(&mut self, profile: Profile) {
-        self.optimizer = Optimizer::new(profile);
+        self.state.set_profile(profile);
     }
 
     /// Sets the executor's worker-pool configuration. The default uses all
     /// available cores; `threads: 1` takes the exact legacy serial path.
+    /// `&mut self` like [`Database::set_profile`], and for the same
+    /// reason.
     pub fn set_parallelism(&mut self, config: ParallelConfig) {
         self.parallel = config;
     }
@@ -96,25 +164,50 @@ impl Database {
         self.parallel
     }
 
+    /// Replaces the plan cache with a fresh one of the given capacity
+    /// (0 disables caching — the baseline benches measure against).
+    pub fn set_plan_cache_capacity(&mut self, capacity: usize) {
+        self.plan_cache = PlanCache::new(capacity);
+    }
+
+    /// The plan cache (stats, capacity).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
     /// The active optimizer.
-    pub fn optimizer(&self) -> &Optimizer {
-        &self.optimizer
+    pub fn optimizer(&self) -> &vdm_optimizer::Optimizer {
+        &self.state.optimizer
+    }
+
+    /// The bind-time state (catalog, views, macros, optimizer, version).
+    pub fn state(&self) -> &DbState {
+        &self.state
     }
 
     /// Catalog access.
     pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+        &self.state.catalog
     }
 
-    /// Mutable catalog access (for generators).
+    /// Mutable catalog access (for generators). Note: direct catalog
+    /// mutation bypasses the metadata version counter; follow up with
+    /// [`Database::invalidate_plans`] if cached plans could be affected.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+        &mut self.state.catalog
     }
 
     /// Split borrow for data generators that register schema and load data
     /// in one call (`gen.build(catalog, engine)`).
     pub fn catalog_and_engine(&mut self) -> (&mut Catalog, &StorageEngine) {
-        (&mut self.catalog, &self.engine)
+        (&mut self.state.catalog, &self.engine)
+    }
+
+    /// Bumps the metadata version, invalidating every cached plan. Only
+    /// needed after out-of-band mutations via [`Database::catalog_mut`] /
+    /// [`Database::views_mut`]; the SQL surface bumps automatically.
+    pub fn invalidate_plans(&mut self) {
+        self.state.bump_version();
     }
 
     /// Storage access.
@@ -122,20 +215,22 @@ impl Database {
         &self.engine
     }
 
-    /// Plan-view registry access (for the VDM layer).
+    /// Plan-view registry access (for the VDM layer). See
+    /// [`Database::catalog_mut`] about plan invalidation.
     pub fn views_mut(&mut self) -> &mut ViewRegistry {
-        &mut self.views
+        &mut self.state.views
     }
 
     /// Registers a plan-backed view (VDM layer entry point).
     pub fn register_view(&mut self, name: &str, plan: PlanRef) {
-        self.views.register(name, plan);
+        self.state.views.register(name, plan);
+        self.state.bump_version();
     }
 
     /// Creates a cached (materialized) view over a SELECT — the SCV/DCV
     /// feature of §3. The optimized plan is materialized immediately.
     pub fn create_cached_view(
-        &mut self,
+        &self,
         name: &str,
         sql: &str,
         mode: CacheMode,
@@ -150,7 +245,7 @@ impl Database {
     }
 
     /// Reads a cached view (SCV: last refresh; DCV: maintained first).
-    pub fn read_cached(&self, name: &str) -> Result<Batch> {
+    pub fn read_cached(&self, name: &str) -> Result<Arc<Batch>> {
         let view = self
             .cache
             .get(name)
@@ -159,8 +254,25 @@ impl Database {
     }
 
     /// Refreshes every static cached view (the periodic refresh tick).
+    /// Readers of those views are only blocked for the `Arc` swap, never
+    /// for the recomputation.
     pub fn refresh_cached_views(&self) -> Result<usize> {
         self.cache.refresh_all_static(&self.engine)
+    }
+
+    /// The cached-view registry.
+    pub fn view_cache(&self) -> &ViewCache {
+        &self.cache
+    }
+
+    /// The per-query environment over this database's state.
+    fn env(&self) -> QueryEnv<'_> {
+        QueryEnv {
+            state: &self.state,
+            engine: &self.engine,
+            plan_cache: &self.plan_cache,
+            parallel: self.parallel,
+        }
     }
 
     /// Executes a single statement.
@@ -172,36 +284,68 @@ impl Database {
     /// Executes a `;`-separated script, returning one result per statement.
     pub fn execute_script(&mut self, sql: &str) -> Result<Vec<StatementResult>> {
         let stmts = vdm_sql::parse(sql)?;
-        stmts.iter().map(|s| self.run_statement(s)).collect()
+        let shapes = vdm_sql::canonical_shapes(sql).unwrap_or_default();
+        stmts
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                // Statement texts and shapes come from the same lexer split;
+                // a count mismatch (never expected) just bypasses the cache.
+                let shape =
+                    if shapes.len() == stmts.len() { Some(shapes[i].as_str()) } else { None };
+                run_statement(
+                    &mut self.state,
+                    &self.engine,
+                    &self.plan_cache,
+                    self.parallel,
+                    s,
+                    shape,
+                )
+            })
+            .collect()
     }
 
-    /// Runs a SELECT and returns its rows.
-    pub fn query(&mut self, sql: &str) -> Result<Batch> {
-        self.execute(sql)?.rows()
+    /// Runs a SELECT and returns its rows. Reads share `&self`: the whole
+    /// pipeline (cache lookup, bind/optimize on miss, execution) never
+    /// mutates database state.
+    pub fn query(&self, sql: &str) -> Result<Batch> {
+        self.query_with_params(sql, &[])
+    }
+
+    /// Runs a parameterized SELECT (`?` / `$1` placeholders), splicing
+    /// `params` in at execution time. The optimized parameterized plan is
+    /// cached by statement shape, so repeated calls skip bind + optimize.
+    pub fn query_with_params(&self, sql: &str, params: &[vdm_types::Value]) -> Result<Batch> {
+        let stmt = vdm_sql::parse_one(sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(VdmError::Bind("query() expects a SELECT; use execute()".into()));
+        };
+        let shape = vdm_sql::canonical_shape(sql)?;
+        self.env().run_select(&sel, Some(&shape), params)
     }
 
     /// Binds a SELECT to its *unoptimized* logical plan.
     pub fn plan(&self, sql: &str) -> Result<PlanRef> {
-        let stmt = vdm_sql::parser::parse_one(sql)?;
+        let stmt = vdm_sql::parse_one(sql)?;
         let Statement::Select(sel) = stmt else {
             return Err(VdmError::Bind("plan() expects a SELECT".into()));
         };
-        Binder::new(&self.catalog, &self.views, &self.macros).bind_select(&sel)
+        self.state.binder().bind_select(&sel)
     }
 
     /// Binds and optimizes a SELECT.
     pub fn optimized_plan(&self, sql: &str) -> Result<PlanRef> {
-        self.optimizer.optimize(&self.plan(sql)?)
+        self.state.optimizer.optimize(&self.plan(sql)?)
     }
 
     /// Optimizes an externally built plan with the active profile.
     pub fn optimize(&self, plan: &PlanRef) -> Result<PlanRef> {
-        self.optimizer.optimize(plan)
+        self.state.optimizer.optimize(plan)
     }
 
     /// Executes a prebuilt logical plan (optimizing it first).
     pub fn execute_plan(&self, plan: &PlanRef) -> Result<(Batch, Metrics)> {
-        let optimized = self.optimizer.optimize(plan)?;
+        let optimized = self.state.optimizer.optimize(plan)?;
         vdm_exec::execute_parallel_at(
             &optimized,
             &self.engine,
@@ -219,7 +363,7 @@ impl Database {
     /// with operator-count summaries and the optimizer's pass trace.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let plan = self.plan(sql)?;
-        let (optimized, trace) = self.optimizer.optimize_traced(&plan)?;
+        let (optimized, trace) = self.state.optimizer.optimize_traced(&plan)?;
         let before = plan_stats(&plan);
         let after = plan_stats(&optimized);
         Ok(format!(
@@ -234,188 +378,164 @@ impl Database {
         ))
     }
 
-    /// EXPLAIN ANALYZE for a SELECT: optimizes, executes with per-operator
-    /// profiling, and renders the optimized plan annotated with runtime
-    /// stats, the structured rewrite trace, and an execution summary.
+    /// EXPLAIN ANALYZE for a SELECT: resolves the plan through the plan
+    /// cache (the header reports `[plan cache: hit|miss]`), executes with
+    /// per-operator profiling, and renders the optimized plan annotated
+    /// with runtime stats, the structured rewrite trace, and an execution
+    /// summary.
     pub fn explain_analyze(&self, sql: &str) -> Result<String> {
-        let plan = self.plan(sql)?;
-        self.explain_analyze_plan(&plan)
+        let stmt = vdm_sql::parse_one(sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(VdmError::Bind("explain_analyze() expects a SELECT".into()));
+        };
+        let shape = vdm_sql::canonical_shape(sql)?;
+        self.env().explain_analyze_select(&sel, Some(&shape), &[])
     }
 
     /// [`Database::explain_analyze`] over a prebuilt (unoptimized) plan.
+    /// Prebuilt plans have no statement shape, so the plan cache is not
+    /// consulted (`[plan cache: bypass]`).
     pub fn explain_analyze_plan(&self, plan: &PlanRef) -> Result<String> {
-        let (optimized, trace) = self.optimizer.optimize_traced(plan)?;
-        let index = NodeIndex::new(&optimized);
-        let start = Instant::now();
-        let (batch, metrics, profile) = vdm_exec::execute_profiled_at(
+        let (optimized, trace) = self.state.optimizer.optimize_traced(plan)?;
+        explain_analyze_bound(
             &optimized,
+            &trace,
+            CacheOutcome::Bypass,
+            &[],
             &self.engine,
-            self.engine.snapshot(),
             self.parallel,
-        )?;
-        let elapsed = start.elapsed();
-        record_query(&metrics, &trace, elapsed);
-        let annotated = render_analyzed(&optimized, &index, &profile);
-        Ok(format!(
-            "== EXPLAIN ANALYZE ({} thread(s)) ==\n{}\n{}== rewrite trace ==\n{}== execution summary ==\n{} row(s) returned, elapsed time={}\nrows scanned: {}, join probe rows: {}, rows joined: {}, operators: {}\n",
-            self.parallel.threads.max(1),
-            trace.render_opt_stats(),
-            annotated,
-            trace.render_events(),
-            batch.num_rows(),
-            fmt_nanos(elapsed.as_nanos() as u64),
-            metrics.rows_scanned,
-            metrics.join_probe_rows,
-            metrics.join_output_rows,
-            metrics.operators,
-        ))
+        )
     }
 
     /// The process-wide metrics registry (JSON / Prometheus exporters).
     pub fn metrics(&self) -> &'static MetricsRegistry {
         MetricsRegistry::global()
     }
+}
 
-    fn run_statement(&mut self, stmt: &Statement) -> Result<StatementResult> {
-        match stmt {
-            Statement::Select(sel) => {
-                let binder = Binder::new(&self.catalog, &self.views, &self.macros);
-                let plan = binder.bind_select(sel)?;
-                let (optimized, trace) = self.optimizer.optimize_traced(&plan)?;
-                let start = Instant::now();
-                let (batch, metrics) = vdm_exec::execute_parallel_at(
-                    &optimized,
-                    &self.engine,
-                    self.engine.snapshot(),
-                    self.parallel,
-                )?;
-                record_query(&metrics, &trace, start.elapsed());
-                Ok(StatementResult::Rows(batch))
-            }
-            Statement::CreateTable(ct) => {
-                let binder = Binder::new(&self.catalog, &self.views, &self.macros);
-                let def = binder.table_def(ct)?;
-                let arc = self.catalog.create_table(def)?;
-                self.engine.create_table(Arc::clone(&arc))?;
-                Ok(StatementResult::Created(ct.name.clone()))
-            }
-            Statement::CreateView { name, or_replace, query, macros } => {
-                let (plan, defs) = {
-                    let binder = Binder::new(&self.catalog, &self.views, &self.macros);
-                    let plan = binder.bind_select(query)?;
-                    let defs = macros
-                        .iter()
-                        .map(|m| binder.bind_macro(m, &plan.schema()))
-                        .collect::<Result<Vec<_>>>()?;
-                    (plan, defs)
-                };
-                // Views are registered as plans (inlined at bind time).
-                if *or_replace {
-                    self.views.register(name, plan);
-                } else {
-                    self.views.register_new(name, plan)?;
-                }
-                for def in defs {
-                    self.macros.insert(def.name.to_ascii_lowercase(), def);
-                }
-                Ok(StatementResult::Created(name.clone()))
-            }
-            Statement::Insert { table, columns, rows } => {
-                let values = {
-                    let binder = Binder::new(&self.catalog, &self.views, &self.macros);
-                    let def = self.catalog.table_or_err(table)?;
-                    binder.insert_rows(&def, columns, rows)?
-                };
-                let n = self.engine.insert(table, values)?;
-                Ok(StatementResult::Inserted(n))
-            }
-            Statement::Explain(inner) => match inner.as_ref() {
-                Statement::Select(sel) => {
-                    let binder = Binder::new(&self.catalog, &self.views, &self.macros);
-                    let plan = binder.bind_select(sel)?;
-                    let optimized = self.optimizer.optimize(&plan)?;
-                    let before = plan_stats(&plan);
-                    let after = plan_stats(&optimized);
-                    Ok(StatementResult::Explained(format!(
-                        "== bound plan ({} tables, {} joins) ==\n{}\n== optimized plan ({} tables, {} joins) ==\n{}",
-                        before.table_instances,
-                        before.joins,
-                        vdm_plan::explain(&plan),
-                        after.table_instances,
-                        after.joins,
-                        vdm_plan::explain(&optimized),
-                    )))
-                }
-                _ => Err(VdmError::Unsupported("EXPLAIN supports SELECT only".into())),
-            },
-            Statement::ExplainAnalyze(inner) => match inner.as_ref() {
-                Statement::Select(sel) => {
-                    let plan = {
-                        let binder = Binder::new(&self.catalog, &self.views, &self.macros);
-                        binder.bind_select(sel)?
-                    };
-                    Ok(StatementResult::Explained(self.explain_analyze_plan(&plan)?))
-                }
-                _ => Err(VdmError::Unsupported("EXPLAIN ANALYZE supports SELECT only".into())),
-            },
+/// Runs one parsed statement against explicitly borrowed database parts.
+/// This is the single statement dispatcher shared by [`Database`] (which
+/// owns the parts) and `vdm-serve` (which borrows them under its locks).
+/// `shape` is the statement's canonical token rendering when the caller
+/// has it (enables plan caching for SELECTs); DDL arms bump the metadata
+/// version so stamped plans go stale.
+pub fn run_statement(
+    state: &mut DbState,
+    engine: &StorageEngine,
+    plan_cache: &PlanCache,
+    parallel: ParallelConfig,
+    stmt: &Statement,
+    shape: Option<&str>,
+) -> Result<StatementResult> {
+    fn env<'a>(
+        state: &'a DbState,
+        engine: &'a StorageEngine,
+        plan_cache: &'a PlanCache,
+        parallel: ParallelConfig,
+    ) -> QueryEnv<'a> {
+        QueryEnv { state, engine, plan_cache, parallel }
+    }
+    match stmt {
+        Statement::Select(sel) => {
+            let batch = env(state, engine, plan_cache, parallel).run_select(sel, shape, &[])?;
+            Ok(StatementResult::Rows(batch))
         }
-    }
-}
-
-/// Renders `plan` with one `[#id rows=... time=...]` annotation per node,
-/// deriving each operator's input rows from its children's recorded output.
-fn render_analyzed(plan: &PlanRef, index: &NodeIndex, profile: &QueryProfile) -> String {
-    vdm_plan::explain_annotated(plan, &|node| {
-        let id = index.id_of(node)?;
-        Some(match profile.nodes.get(&id) {
-            Some(s) => {
-                let children = node.children();
-                let mut note = format!("[#{id} rows={}", s.rows_out);
-                if !children.is_empty() {
-                    let rows_in: u64 = children
-                        .iter()
-                        .filter_map(|c| index.id_of(c).and_then(|cid| profile.rows_out(cid)))
-                        .sum();
-                    note.push_str(&format!(" in={rows_in}"));
-                }
-                note.push_str(&format!(" time={} calls={}", fmt_nanos(s.nanos), s.invocations));
-                if s.workers > 1 {
-                    note.push_str(&format!(" workers={}", s.workers));
-                }
-                note.push(']');
-                note
+        Statement::CreateTable(ct) => {
+            let def = state.binder().table_def(ct)?;
+            let arc = state.catalog.create_table(def)?;
+            engine.create_table(Arc::clone(&arc))?;
+            state.bump_version();
+            Ok(StatementResult::Created(ct.name.clone()))
+        }
+        Statement::CreateView { name, or_replace, query, macros } => {
+            let (plan, defs) = {
+                let binder = state.binder();
+                let plan = binder.bind_select(query)?;
+                let defs = macros
+                    .iter()
+                    .map(|m| binder.bind_macro(m, &plan.schema()))
+                    .collect::<Result<Vec<_>>>()?;
+                (plan, defs)
+            };
+            // Views are registered as plans (inlined at bind time).
+            if *or_replace {
+                state.views.register(name, plan);
+            } else {
+                state.views.register_new(name, plan)?;
             }
-            // LIMIT budgets can satisfy a query before some subtrees run.
-            None => format!("[#{id} not executed]"),
-        })
-    })
-}
-
-/// Feeds one query's counters into the process-wide metrics registry.
-fn record_query(metrics: &Metrics, trace: &Trace, elapsed: std::time::Duration) {
-    let reg = MetricsRegistry::global();
-    reg.inc("vdm_queries_total", 1);
-    reg.observe("vdm_query_seconds", elapsed.as_secs_f64());
-    reg.observe("vdm_optimize_seconds", trace.optimize_nanos as f64 / 1e9);
-    reg.inc("vdm_rows_scanned_total", metrics.rows_scanned as u64);
-    reg.inc("vdm_rows_joined_total", metrics.join_output_rows as u64);
-    reg.inc("vdm_morsel_steals_total", metrics.morsel_steals as u64);
-    reg.inc("vdm_morsel_size_bytes", metrics.morsel_bytes as u64);
-    for (rule, n) in trace.hit_counts() {
-        reg.inc(&vdm_obs::registry::label("vdm_rewrite_fired_total", "rule", &rule), n);
-    }
-}
-
-/// `1234` → `"1.23us"`: human-readable nanosecond counts.
-fn fmt_nanos(n: u64) -> String {
-    if n >= 1_000_000_000 {
-        format!("{:.2}s", n as f64 / 1e9)
-    } else if n >= 1_000_000 {
-        format!("{:.2}ms", n as f64 / 1e6)
-    } else if n >= 1_000 {
-        format!("{:.2}us", n as f64 / 1e3)
-    } else {
-        format!("{n}ns")
+            for def in defs {
+                state.macros.insert(def.name.to_ascii_lowercase(), def);
+            }
+            state.bump_version();
+            Ok(StatementResult::Created(name.clone()))
+        }
+        Statement::DropTable { name, if_exists } => {
+            if state.catalog.table(name).is_none() {
+                return if *if_exists {
+                    Ok(StatementResult::Dropped(name.clone()))
+                } else {
+                    Err(VdmError::Catalog(format!("unknown table {name:?}")))
+                };
+            }
+            state.catalog.drop_table(name)?;
+            engine.drop_table(name)?;
+            state.bump_version();
+            Ok(StatementResult::Dropped(name.clone()))
+        }
+        Statement::DropView { name, if_exists } => {
+            if state.views.remove(name) {
+                state.bump_version();
+                Ok(StatementResult::Dropped(name.clone()))
+            } else if *if_exists {
+                Ok(StatementResult::Dropped(name.clone()))
+            } else {
+                Err(VdmError::Catalog(format!("unknown view {name:?}")))
+            }
+        }
+        Statement::Insert { table, columns, rows } => {
+            let values = {
+                let binder = state.binder();
+                let def = state.catalog.table_or_err(table)?;
+                binder.insert_rows(&def, columns, rows)?
+            };
+            // Data changes don't bump the version: cached plans depend on
+            // metadata, not contents.
+            let n = engine.insert(table, values)?;
+            Ok(StatementResult::Inserted(n))
+        }
+        Statement::Explain(inner) => match inner.as_ref() {
+            Statement::Select(sel) => {
+                let plan = state.binder().bind_select(sel)?;
+                let optimized = state.optimizer.optimize(&plan)?;
+                let before = plan_stats(&plan);
+                let after = plan_stats(&optimized);
+                Ok(StatementResult::Explained(format!(
+                    "== bound plan ({} tables, {} joins) ==\n{}\n== optimized plan ({} tables, {} joins) ==\n{}",
+                    before.table_instances,
+                    before.joins,
+                    vdm_plan::explain(&plan),
+                    after.table_instances,
+                    after.joins,
+                    vdm_plan::explain(&optimized),
+                )))
+            }
+            _ => Err(VdmError::Unsupported("EXPLAIN supports SELECT only".into())),
+        },
+        Statement::ExplainAnalyze(inner) => match inner.as_ref() {
+            Statement::Select(sel) => {
+                // The inner SELECT's shape is the full shape minus the
+                // EXPLAIN ANALYZE prefix — so it shares cache entries with
+                // the bare statement.
+                let inner_shape = shape.map(|s| s.strip_prefix("explain analyze ").unwrap_or(s));
+                let text = env(state, engine, plan_cache, parallel).explain_analyze_select(
+                    sel,
+                    inner_shape,
+                    &[],
+                )?;
+                Ok(StatementResult::Explained(text))
+            }
+            _ => Err(VdmError::Unsupported("EXPLAIN ANALYZE supports SELECT only".into())),
+        },
     }
 }
 
@@ -439,7 +559,7 @@ mod tests {
 
     #[test]
     fn end_to_end_select() {
-        let mut db = db();
+        let db = db();
         let b = db
             .query("select c_name, count(*) as n from orders o left join customer c on o.o_custkey = c.c_custkey group by c_name order by n desc")
             .unwrap();
@@ -493,7 +613,15 @@ mod tests {
         assert!(text.contains("rows=3"), "{text}");
         assert!(text.contains("time="), "{text}");
         assert!(text.contains("uaj-removal"), "{text}");
+        assert!(text.contains("[plan cache: miss]"), "{text}");
         assert!(db.metrics().counter(&rule) > before, "{text}");
+        // A second run is served from the plan cache.
+        let again = db
+            .explain_analyze(
+                "select o_orderkey from orders left join customer on o_custkey = c_custkey",
+            )
+            .unwrap();
+        assert!(again.contains("[plan cache: hit]"), "{again}");
         // The SQL surface goes through the same path.
         let StatementResult::Explained(e) =
             db.execute("explain analyze select o_orderkey from orders").unwrap()
@@ -522,11 +650,57 @@ mod tests {
     }
 
     #[test]
+    fn drop_statements_remove_objects() {
+        let mut db = db();
+        db.execute("create view v1 as select o_orderkey from orders").unwrap();
+        let StatementResult::Dropped(name) = db.execute("drop view v1").unwrap() else {
+            panic!("expected Dropped")
+        };
+        assert_eq!(name, "v1");
+        assert!(db.query("select * from v1").is_err());
+        assert!(db.execute("drop view v1").is_err());
+        db.execute("drop view if exists v1").unwrap();
+
+        db.execute("create table scratch (k bigint primary key)").unwrap();
+        db.execute("insert into scratch values (1)").unwrap();
+        db.execute("drop table scratch").unwrap();
+        assert!(db.query("select * from scratch").is_err());
+        assert!(db.execute("drop table scratch").is_err());
+        db.execute("drop table if exists scratch").unwrap();
+    }
+
+    #[test]
+    fn plan_cache_hits_and_invalidates() {
+        let mut db = db();
+        let sql = "select c_name from customer where c_custkey = ?";
+        let a = db.query_with_params(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(a.row(0)[0], Value::str("alice"));
+        let before = db.plan_cache().stats();
+        // Same shape, different value: a hit with the other answer.
+        let b = db.query_with_params(sql, &[Value::Int(2)]).unwrap();
+        assert_eq!(b.row(0)[0], Value::str("bob"));
+        assert_eq!(db.plan_cache().stats().hits, before.hits + 1);
+        // `$1` lexes to the same shape as `?`.
+        let c = db
+            .query_with_params("select c_name from customer where c_custkey = $1", &[Value::Int(1)])
+            .unwrap();
+        assert_eq!(c.row(0)[0], Value::str("alice"));
+        assert_eq!(db.plan_cache().stats().hits, before.hits + 2);
+        // DDL bumps the metadata version: next lookup misses and re-optimizes.
+        db.execute("create table unrelated (k bigint primary key)").unwrap();
+        let d = db.query_with_params(sql, &[Value::Int(1)]).unwrap();
+        assert_eq!(d.row(0)[0], Value::str("alice"));
+        let after = db.plan_cache().stats();
+        assert_eq!(after.hits, before.hits + 2);
+        assert!(after.misses > before.misses);
+    }
+
+    #[test]
     fn constraint_violations_surface() {
         let mut db = db();
         assert!(db.execute("insert into customer values (1, 'dup')").is_err());
         assert!(db.execute("insert into customer values (5, null)").is_err());
-        assert!(db.execute("select nope from customer").is_err());
+        assert!(db.query("select nope from customer").is_err());
     }
 
     #[test]
@@ -561,7 +735,7 @@ mod tests {
 
     #[test]
     fn like_predicate_end_to_end() {
-        let mut db = db();
+        let db = db();
         let rows =
             db.query("select c_name from customer where c_name like 'al%' order by 1").unwrap();
         assert_eq!(rows.num_rows(), 1);

@@ -1,0 +1,259 @@
+//! A bounded LRU cache of optimized, parameterized plans.
+//!
+//! The serving layer's hot path is many sessions re-issuing the same
+//! statement *shapes* with different parameter values. Parse + bind +
+//! optimize is pure given (statement shape, capability profile, parameter
+//! types, catalog version), so the optimized plan — with
+//! [`Expr::Param`](vdm_expr::Expr) placeholders still in it — is cached
+//! once and each execution only pays a cheap parameter substitution
+//! ([`vdm_plan::bind_params`]).
+//!
+//! Keys are [`PlanCacheKey`]: the lexer-level canonical statement shape
+//! (see [`vdm_sql::canonical_shape`]), the optimizer profile fingerprint,
+//! and the parameter type signature. Entries are stamped with the
+//! [`DbState`](crate::DbState) metadata version they were optimized under;
+//! a stamp mismatch on lookup is treated as a miss and the stale entry is
+//! dropped, which is how DDL invalidates the cache without enumerating
+//! affected statements.
+//!
+//! All methods take `&self` (one internal mutex), and the cache reports
+//! `vdm_plan_cache_{hits,misses,evictions}_total` to the process-wide
+//! metrics registry as well as per-instance [`PlanCacheStats`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use vdm_obs::MetricsRegistry;
+use vdm_optimizer::Trace;
+use vdm_plan::PlanRef;
+use vdm_types::SqlType;
+
+/// What a cached plan is keyed by. Two statements share an entry exactly
+/// when they lex to the same canonical shape, run under the same profile,
+/// and are invoked with the same parameter types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanCacheKey {
+    /// Canonical token rendering of the statement ([`vdm_sql::canonical_shape`]).
+    pub shape: String,
+    /// Profile fingerprint ([`crate::DbState::profile_fingerprint`]).
+    pub profile: String,
+    /// Runtime types of the parameter values, in placeholder order.
+    pub param_types: Vec<SqlType>,
+}
+
+/// An optimized plan plus the context needed to reuse it.
+pub struct CachedPlan {
+    /// Optimized plan, possibly still containing `Expr::Param` leaves.
+    pub plan: PlanRef,
+    /// The optimizer trace from the original optimization (replayed into
+    /// metrics/EXPLAIN on every reuse).
+    pub trace: Trace,
+    /// Metadata version the plan was optimized under.
+    pub version: u64,
+}
+
+/// Hit/miss/eviction counters for one cache instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+}
+
+impl PlanCacheStats {
+    /// Hits over lookups (0.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    cached: Arc<CachedPlan>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<PlanCacheKey, Entry>,
+    tick: u64,
+}
+
+/// Bounded, internally synchronized LRU plan cache.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans. `capacity == 0` disables
+    /// caching entirely (every lookup is a miss, inserts are dropped) —
+    /// the baseline mode benches compare against.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity,
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The always-miss cache (capacity 0).
+    pub fn disabled() -> PlanCache {
+        PlanCache::new(0)
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// This instance's counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks up `key`. An entry stamped with a version other than
+    /// `current_version` is stale (some DDL happened since): it is removed
+    /// and the lookup misses.
+    pub fn get(&self, key: &PlanCacheKey, current_version: u64) -> Option<Arc<CachedPlan>> {
+        let hit = if self.capacity == 0 {
+            None
+        } else {
+            let mut inner = self.inner.lock().unwrap();
+            match inner.map.get(key) {
+                Some(e) if e.cached.version == current_version => {
+                    let cached = Arc::clone(&e.cached);
+                    inner.tick += 1;
+                    let tick = inner.tick;
+                    inner.map.get_mut(key).unwrap().last_used = tick;
+                    Some(cached)
+                }
+                Some(_) => {
+                    inner.map.remove(key);
+                    None
+                }
+                None => None,
+            }
+        };
+        match &hit {
+            Some(_) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                MetricsRegistry::global().inc("vdm_plan_cache_hits_total", 1);
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                MetricsRegistry::global().inc("vdm_plan_cache_misses_total", 1);
+            }
+        }
+        hit
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least recently used
+    /// one when at capacity.
+    pub fn insert(&self, key: PlanCacheKey, cached: Arc<CachedPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(lru) =
+                inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                MetricsRegistry::global().inc("vdm_plan_cache_evictions_total", 1);
+            }
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key, Entry { cached, last_used: tick });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vdm_catalog::TableBuilder;
+    use vdm_plan::LogicalPlan;
+
+    fn key(shape: &str) -> PlanCacheKey {
+        PlanCacheKey { shape: shape.into(), profile: "p".into(), param_types: vec![] }
+    }
+
+    fn plan() -> Arc<CachedPlan> {
+        let scan = LogicalPlan::scan(Arc::new(
+            TableBuilder::new("t").column("k", SqlType::Int, false).build().unwrap(),
+        ));
+        Arc::new(CachedPlan { plan: scan, trace: Trace::default(), version: 0 })
+    }
+
+    #[test]
+    fn lru_evicts_and_versions_invalidate() {
+        let cache = PlanCache::new(2);
+        assert!(cache.get(&key("a"), 0).is_none());
+        cache.insert(key("a"), plan());
+        cache.insert(key("b"), plan());
+        assert!(cache.get(&key("a"), 0).is_some());
+        // "b" is now least recently used; inserting "c" evicts it.
+        cache.insert(key("c"), plan());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("b"), 0).is_none());
+        assert!(cache.get(&key("a"), 0).is_some());
+        // A version bump turns the hit into a miss and drops the entry.
+        assert!(cache.get(&key("a"), 1).is_none());
+        assert_eq!(cache.len(), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3);
+        assert!((stats.hit_rate() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_zero_never_caches() {
+        let cache = PlanCache::disabled();
+        cache.insert(key("a"), plan());
+        assert!(cache.get(&key("a"), 0).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn keys_distinguish_profile_and_param_types() {
+        let cache = PlanCache::new(8);
+        cache.insert(key("s"), plan());
+        let other_profile =
+            PlanCacheKey { shape: "s".into(), profile: "q".into(), param_types: vec![] };
+        let other_types = PlanCacheKey {
+            shape: "s".into(),
+            profile: "p".into(),
+            param_types: vec![SqlType::Text],
+        };
+        assert!(cache.get(&key("s"), 0).is_some());
+        assert!(cache.get(&other_profile, 0).is_none());
+        assert!(cache.get(&other_types, 0).is_none());
+    }
+}

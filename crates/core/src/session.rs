@@ -1,0 +1,242 @@
+//! The shared query path: cache-aware plan resolution + execution.
+//!
+//! Both [`Database`](crate::Database) (single owner, `&mut self` facade)
+//! and `vdm-serve` sessions (many concurrent handles over shared state)
+//! run SELECTs through [`QueryEnv`]. The pipeline splits in two so a
+//! serving layer can drop its read lock on [`DbState`](crate::DbState)
+//! before execution starts:
+//!
+//! 1. [`QueryEnv::select_plan`] — plan-cache lookup by canonical shape,
+//!    bind + optimize on a miss (the only place `optimize` runs);
+//! 2. [`execute_select`] — parameter substitution, parallel execution,
+//!    metrics recording. Needs only the plan and the engine.
+
+use crate::plan_cache::{CachedPlan, PlanCache, PlanCacheKey};
+use crate::state::DbState;
+use std::sync::Arc;
+use std::time::Instant;
+use vdm_exec::{Metrics, NodeIndex, ParallelConfig, QueryProfile};
+use vdm_obs::MetricsRegistry;
+use vdm_optimizer::Trace;
+use vdm_plan::PlanRef;
+use vdm_sql::SelectStmt;
+use vdm_storage::{Batch, StorageEngine};
+use vdm_types::{Result, SqlType, Value};
+
+/// How a plan was obtained, reported in EXPLAIN ANALYZE headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the plan cache.
+    Hit,
+    /// Bound and optimized now, then cached.
+    Miss,
+    /// The entry point had no statement shape (e.g. a prebuilt plan), so
+    /// the cache was not consulted.
+    Bypass,
+}
+
+impl CacheOutcome {
+    /// The `[plan cache: ...]` header token.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Bypass => "bypass",
+        }
+    }
+}
+
+/// Runtime types of parameter values, in placeholder order. NULL carries
+/// no type; it binds as the same default the binder gives a bare NULL
+/// literal (INT, nullable).
+pub fn param_types_of(values: &[Value]) -> Vec<SqlType> {
+    values.iter().map(|v| v.sql_type().unwrap_or(SqlType::Int)).collect()
+}
+
+/// Borrowed view of everything one SELECT needs. Constructed per query —
+/// by `Database` from its own fields, by `vdm-serve` from a read-locked
+/// [`DbState`] plus its shared engine/cache.
+pub struct QueryEnv<'a> {
+    pub state: &'a DbState,
+    pub engine: &'a StorageEngine,
+    pub plan_cache: &'a PlanCache,
+    pub parallel: ParallelConfig,
+}
+
+impl QueryEnv<'_> {
+    /// Resolves the optimized (still parameterized) plan for `sel`:
+    /// plan-cache lookup when a canonical `shape` is supplied, bind +
+    /// optimize + cache-fill on a miss, straight bind + optimize when no
+    /// shape is available (script fragments, prebuilt ASTs).
+    pub fn select_plan(
+        &self,
+        sel: &SelectStmt,
+        shape: Option<&str>,
+        params: &[Value],
+    ) -> Result<(PlanRef, Trace, CacheOutcome)> {
+        let types = param_types_of(params);
+        let Some(shape) = shape else {
+            let (plan, trace) = self.bind_and_optimize(sel, &types)?;
+            return Ok((plan, trace, CacheOutcome::Bypass));
+        };
+        let key = PlanCacheKey {
+            shape: shape.to_string(),
+            profile: self.state.profile_fingerprint(),
+            param_types: types.clone(),
+        };
+        let version = self.state.version();
+        if let Some(cached) = self.plan_cache.get(&key, version) {
+            return Ok((cached.plan.clone(), cached.trace.clone(), CacheOutcome::Hit));
+        }
+        let (plan, trace) = self.bind_and_optimize(sel, &types)?;
+        self.plan_cache.insert(
+            key,
+            Arc::new(CachedPlan { plan: plan.clone(), trace: trace.clone(), version }),
+        );
+        Ok((plan, trace, CacheOutcome::Miss))
+    }
+
+    fn bind_and_optimize(
+        &self,
+        sel: &SelectStmt,
+        param_types: &[SqlType],
+    ) -> Result<(PlanRef, Trace)> {
+        let bound = self.state.binder().with_param_types(param_types).bind_select(sel)?;
+        self.state.optimizer.optimize_traced(&bound)
+    }
+
+    /// The full SELECT pipeline: plan resolution, parameter substitution,
+    /// parallel execution, metrics.
+    pub fn run_select(
+        &self,
+        sel: &SelectStmt,
+        shape: Option<&str>,
+        params: &[Value],
+    ) -> Result<Batch> {
+        let (plan, trace, _) = self.select_plan(sel, shape, params)?;
+        execute_select(&plan, params, self.engine, self.parallel, &trace)
+    }
+
+    /// EXPLAIN ANALYZE through the cached path; the header reports whether
+    /// the plan came from the cache.
+    pub fn explain_analyze_select(
+        &self,
+        sel: &SelectStmt,
+        shape: Option<&str>,
+        params: &[Value],
+    ) -> Result<String> {
+        let (plan, trace, outcome) = self.select_plan(sel, shape, params)?;
+        explain_analyze_bound(&plan, &trace, outcome, params, self.engine, self.parallel)
+    }
+}
+
+/// Executes a resolved (possibly parameterized) plan: splices `params` in,
+/// runs it on the morsel executor, and records query metrics. Needs no
+/// access to [`DbState`] — a serving layer calls this after releasing its
+/// state lock.
+pub fn execute_select(
+    plan: &PlanRef,
+    params: &[Value],
+    engine: &StorageEngine,
+    parallel: ParallelConfig,
+    trace: &Trace,
+) -> Result<Batch> {
+    let bound = vdm_plan::bind_params(plan, params)?;
+    let start = Instant::now();
+    let (batch, metrics) =
+        vdm_exec::execute_parallel_at(&bound, engine, engine.snapshot(), parallel)?;
+    record_query(&metrics, trace, start.elapsed());
+    Ok(batch)
+}
+
+/// EXPLAIN ANALYZE over a resolved plan: profiled execution plus the
+/// annotated rendering. `outcome` feeds the `[plan cache: ...]` header
+/// token.
+pub fn explain_analyze_bound(
+    plan: &PlanRef,
+    trace: &Trace,
+    outcome: CacheOutcome,
+    params: &[Value],
+    engine: &StorageEngine,
+    parallel: ParallelConfig,
+) -> Result<String> {
+    let bound = vdm_plan::bind_params(plan, params)?;
+    let index = NodeIndex::new(&bound);
+    let start = Instant::now();
+    let (batch, metrics, profile) =
+        vdm_exec::execute_profiled_at(&bound, engine, engine.snapshot(), parallel)?;
+    let elapsed = start.elapsed();
+    record_query(&metrics, trace, elapsed);
+    let annotated = render_analyzed(&bound, &index, &profile);
+    Ok(format!(
+        "== EXPLAIN ANALYZE ({} thread(s)) [plan cache: {}] ==\n{}\n{}== rewrite trace ==\n{}== execution summary ==\n{} row(s) returned, elapsed time={}\nrows scanned: {}, join probe rows: {}, rows joined: {}, operators: {}\n",
+        parallel.threads.max(1),
+        outcome.label(),
+        trace.render_opt_stats(),
+        annotated,
+        trace.render_events(),
+        batch.num_rows(),
+        fmt_nanos(elapsed.as_nanos() as u64),
+        metrics.rows_scanned,
+        metrics.join_probe_rows,
+        metrics.join_output_rows,
+        metrics.operators,
+    ))
+}
+
+/// Renders `plan` with one `[#id rows=... time=...]` annotation per node,
+/// deriving each operator's input rows from its children's recorded output.
+fn render_analyzed(plan: &PlanRef, index: &NodeIndex, profile: &QueryProfile) -> String {
+    vdm_plan::explain_annotated(plan, &|node| {
+        let id = index.id_of(node)?;
+        Some(match profile.nodes.get(&id) {
+            Some(s) => {
+                let children = node.children();
+                let mut note = format!("[#{id} rows={}", s.rows_out);
+                if !children.is_empty() {
+                    let rows_in: u64 = children
+                        .iter()
+                        .filter_map(|c| index.id_of(c).and_then(|cid| profile.rows_out(cid)))
+                        .sum();
+                    note.push_str(&format!(" in={rows_in}"));
+                }
+                note.push_str(&format!(" time={} calls={}", fmt_nanos(s.nanos), s.invocations));
+                if s.workers > 1 {
+                    note.push_str(&format!(" workers={}", s.workers));
+                }
+                note.push(']');
+                note
+            }
+            // LIMIT budgets can satisfy a query before some subtrees run.
+            None => format!("[#{id} not executed]"),
+        })
+    })
+}
+
+/// Feeds one query's counters into the process-wide metrics registry.
+pub(crate) fn record_query(metrics: &Metrics, trace: &Trace, elapsed: std::time::Duration) {
+    let reg = MetricsRegistry::global();
+    reg.inc("vdm_queries_total", 1);
+    reg.observe("vdm_query_seconds", elapsed.as_secs_f64());
+    reg.observe("vdm_optimize_seconds", trace.optimize_nanos as f64 / 1e9);
+    reg.inc("vdm_rows_scanned_total", metrics.rows_scanned as u64);
+    reg.inc("vdm_rows_joined_total", metrics.join_output_rows as u64);
+    reg.inc("vdm_morsel_steals_total", metrics.morsel_steals as u64);
+    reg.inc("vdm_morsel_size_bytes", metrics.morsel_bytes as u64);
+    for (rule, n) in trace.hit_counts() {
+        reg.inc(&vdm_obs::registry::label("vdm_rewrite_fired_total", "rule", &rule), n);
+    }
+}
+
+/// `1234` → `"1.23us"`: human-readable nanosecond counts.
+pub(crate) fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2}us", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}

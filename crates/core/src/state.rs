@@ -1,0 +1,76 @@
+//! The mutable half of a database: everything bind/optimize reads.
+//!
+//! [`DbState`] groups the catalog, view registries, and optimizer behind a
+//! single value so a serving layer ([`vdm-serve`]) can put exactly the
+//! bind-time state behind one `RwLock` while the storage engine and plan
+//! cache (both internally synchronized) stay lock-free at that level.
+//!
+//! The struct carries a monotonically increasing **metadata version**.
+//! Every DDL-shaped mutation (CREATE/DROP TABLE, CREATE/DROP VIEW, plan
+//! view registration) bumps it; cached plans are stamped with the version
+//! they were optimized under, and the plan cache treats a stamp mismatch
+//! as a miss. Profile switches do *not* bump the version — the profile
+//! fingerprint is part of the cache key, so entries for the previous
+//! profile stay valid and become reachable again if the profile is
+//! switched back.
+//!
+//! [`vdm-serve`]: ../../vdm_serve/index.html
+
+use vdm_catalog::Catalog;
+use vdm_optimizer::{Optimizer, Profile};
+use vdm_plan::ViewRegistry;
+use vdm_sql::{Binder, MacroRegistry};
+
+/// Catalog + view registries + optimizer + metadata version: the state a
+/// query's bind/optimize phase reads and DDL writes.
+pub struct DbState {
+    pub catalog: Catalog,
+    pub views: ViewRegistry,
+    pub macros: MacroRegistry,
+    pub optimizer: Optimizer,
+    version: u64,
+}
+
+impl DbState {
+    /// Fresh state with the given optimizer profile.
+    pub fn new(profile: Profile) -> DbState {
+        DbState {
+            catalog: Catalog::new(),
+            views: ViewRegistry::new(),
+            macros: MacroRegistry::new(),
+            optimizer: Optimizer::new(profile),
+            version: 0,
+        }
+    }
+
+    /// The current metadata version (bumped by every DDL mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Records a metadata change, invalidating all version-stamped cached
+    /// plans. Call after any mutation that can change how a statement
+    /// binds (table/view creation or removal, macro registration).
+    pub fn bump_version(&mut self) {
+        self.version += 1;
+    }
+
+    /// Swaps the optimizer profile. No version bump: the profile
+    /// fingerprint is part of every plan-cache key, so plans optimized
+    /// under other profiles simply stop matching.
+    pub fn set_profile(&mut self, profile: Profile) {
+        self.optimizer = Optimizer::new(profile);
+    }
+
+    /// A binder over this state's catalog, views, and macros.
+    pub fn binder(&self) -> Binder<'_> {
+        Binder::new(&self.catalog, &self.views, &self.macros)
+    }
+
+    /// Rendering of the active profile used in plan-cache keys.
+    /// (`Profile` holds only flags, so its `Debug` form is a faithful
+    /// fingerprint.)
+    pub fn profile_fingerprint(&self) -> String {
+        format!("{:?}", self.optimizer.profile())
+    }
+}

@@ -16,6 +16,7 @@ mod executor;
 pub mod kernels;
 mod ops;
 mod parallel;
+pub mod pool;
 pub mod scheduler;
 
 #[cfg(test)]
@@ -23,4 +24,5 @@ mod ops_tests;
 
 pub use executor::{execute, execute_at, execute_profiled_serial, ExecContext, Metrics, Profiler};
 pub use parallel::{execute_parallel, execute_parallel_at, execute_profiled_at, ParallelConfig};
+pub use pool::{current_worker_pool, with_worker_pool, WorkerPool};
 pub use vdm_obs::{NodeIndex, NodeStats, QueryProfile};

@@ -184,61 +184,63 @@ where
     let state_slots: Vec<Mutex<Option<S>>> = (0..threads).map(|_| Mutex::new(None)).collect();
     let busy: Vec<AtomicUsize> = (0..threads).map(|_| AtomicUsize::new(0)).collect();
 
-    std::thread::scope(|scope| {
-        for w in 0..threads {
-            let queues = &queues;
-            let slots = &slots;
-            let steals = &steals;
-            let claims = &claims;
-            let state_slots = &state_slots;
-            let busy = &busy;
-            let f = &f;
-            let mk_state = &mk_state;
-            scope.spawn(move || {
-                let mut state = mk_state();
-                let mut sizer = ClaimSizer::new();
-                let mut my_busy = 0u64;
-                // Every item runs even after another item failed: slots are
-                // all filled on exit, so the error reported below is the
-                // lowest-index one regardless of scheduling.
-                'work: loop {
-                    let run = match claim_front(&queues[w], sizer.next_claim()) {
-                        Some(r) => r,
-                        None => {
-                            // Own deque dry: sweep victims once, then quit
-                            // if everyone is dry.
-                            let mut stolen = None;
-                            for off in 1..threads {
-                                let v = (w + off) % threads;
-                                if let Some(r) = steal_back(&queues[v]) {
-                                    stolen = Some(r);
-                                    break;
-                                }
-                            }
-                            match stolen {
-                                Some(r) => {
-                                    steals.fetch_add(1, Ordering::Relaxed);
-                                    r
-                                }
-                                None => break 'work,
-                            }
+    let worker = |w: usize| {
+        let mut state = mk_state();
+        let mut sizer = ClaimSizer::new();
+        let mut my_busy = 0u64;
+        // Every item runs even after another item failed: slots are
+        // all filled on exit, so the error reported below is the
+        // lowest-index one regardless of scheduling.
+        'work: loop {
+            let run = match claim_front(&queues[w], sizer.next_claim()) {
+                Some(r) => r,
+                None => {
+                    // Own deque dry: sweep victims once, then quit
+                    // if everyone is dry. Queues are monotone-empty
+                    // (nothing is ever pushed back), so a full sweep
+                    // observing all of them empty stays true.
+                    let mut stolen = None;
+                    for off in 1..threads {
+                        let v = (w + off) % threads;
+                        if let Some(r) = steal_back(&queues[v]) {
+                            stolen = Some(r);
+                            break;
                         }
-                    };
-                    claims.fetch_add(1, Ordering::Relaxed);
-                    let items = run.len();
-                    let t0 = Instant::now();
-                    for i in run {
-                        *slots[i].lock().unwrap() = Some(f(i, &mut state));
                     }
-                    let spent = t0.elapsed().as_nanos() as u64;
-                    my_busy += spent;
-                    sizer.observe(items, spent);
+                    match stolen {
+                        Some(r) => {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            r
+                        }
+                        None => break 'work,
+                    }
                 }
-                busy[w].fetch_add(my_busy as usize, Ordering::Relaxed);
-                *state_slots[w].lock().unwrap() = Some(state);
-            });
+            };
+            claims.fetch_add(1, Ordering::Relaxed);
+            let items = run.len();
+            let t0 = Instant::now();
+            for i in run {
+                *slots[i].lock().unwrap() = Some(f(i, &mut state));
+            }
+            let spent = t0.elapsed().as_nanos() as u64;
+            my_busy += spent;
+            sizer.observe(items, spent);
         }
-    });
+        busy[w].fetch_add(my_busy as usize, Ordering::Relaxed);
+        *state_slots[w].lock().unwrap() = Some(state);
+    };
+
+    // A serving layer installs a persistent pool (`with_worker_pool`);
+    // one-shot callers get scoped threads, exactly as before.
+    match crate::pool::current_worker_pool() {
+        Some(pool) => pool.broadcast(threads, &worker),
+        None => std::thread::scope(|scope| {
+            for w in 0..threads {
+                let worker = &worker;
+                scope.spawn(move || worker(w));
+            }
+        }),
+    }
 
     let stats = SchedulerStats {
         steals: steals.load(Ordering::Relaxed),
@@ -258,10 +260,10 @@ where
         }
     }
 
-    let states = state_slots
-        .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("worker published its state"))
-        .collect();
+    // Pool dispatch may cancel a role whose share was already stolen; such
+    // a role never builds a state, so slots can be empty. Surviving states
+    // still come back in worker-index order.
+    let states = state_slots.into_iter().filter_map(|s| s.into_inner().unwrap()).collect();
     Ok((out, states, stats))
 }
 
@@ -327,6 +329,45 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, VdmError::Exec("boom 57".into()));
+    }
+
+    #[test]
+    fn pool_dispatch_matches_scoped_threads() {
+        let pool = crate::pool::WorkerPool::new(3);
+        crate::pool::with_worker_pool(&pool, || {
+            for n in [2, 7, 100, 1000] {
+                let (out, states, stats) = run_with(
+                    4,
+                    n,
+                    || 0usize,
+                    |i, s: &mut usize| {
+                        *s += 1;
+                        Ok(i * 3)
+                    },
+                )
+                .unwrap();
+                assert_eq!(out, (0..n).map(|i| i * 3).collect::<Vec<_>>());
+                // Cancelled roles publish no state, but every item ran
+                // exactly once somewhere.
+                assert_eq!(states.iter().sum::<usize>(), n);
+                assert_eq!(stats.items, n);
+            }
+            // Errors keep the lowest-index-wins contract through the pool.
+            let err = run_with(
+                4,
+                100,
+                || (),
+                |i, _| {
+                    if i >= 57 {
+                        Err(VdmError::Exec(format!("boom {i}")))
+                    } else {
+                        Ok(i)
+                    }
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, VdmError::Exec("boom 57".into()));
+        });
     }
 
     #[test]

@@ -42,6 +42,11 @@ impl Expr {
             }
             Expr::Func { func, args } => eval_func(*func, args, row),
             Expr::Cast { expr, ty } => cast(expr.eval_row(row)?, ty),
+            // Parameters must be substituted (`Expr::bind_params`) before a
+            // plan reaches the executor.
+            Expr::Param { idx, .. } => {
+                Err(VdmError::Exec(format!("unbound parameter ${}", idx + 1)))
+            }
         }
     }
 }

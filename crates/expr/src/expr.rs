@@ -140,6 +140,11 @@ pub enum Expr {
     Func { func: ScalarFunc, args: Vec<Expr> },
     /// Explicit cast.
     Cast { expr: Box<Expr>, ty: SqlType },
+    /// Prepared-statement placeholder (`?` / `$1`), 0-indexed. Carries the
+    /// type of the value it will be bound to so cached plans keep a stable
+    /// schema; it survives optimization and is replaced by a literal via
+    /// [`Expr::bind_params`] just before execution.
+    Param { idx: usize, ty: SqlType },
 }
 
 impl Expr {
@@ -161,6 +166,11 @@ impl Expr {
     /// Shorthand for a boolean literal.
     pub fn boolean(b: bool) -> Expr {
         Expr::Lit(Value::Bool(b))
+    }
+
+    /// Shorthand for a placeholder.
+    pub fn param(idx: usize, ty: SqlType) -> Expr {
+        Expr::Param { idx, ty }
     }
 
     /// Builds `self op other`.
@@ -303,6 +313,8 @@ impl Expr {
                 let (_, n) = expr.data_type(input)?;
                 Ok((*ty, n))
             }
+            // A parameter may be bound to NULL at execute time.
+            Expr::Param { ty, .. } => Ok((*ty, true)),
         }
     }
 
@@ -310,7 +322,7 @@ impl Expr {
     pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::Col(_) | Expr::Lit(_) => {}
+            Expr::Col(_) | Expr::Lit(_) | Expr::Param { .. } => {}
             Expr::Binary { left, right, .. } => {
                 left.visit(f);
                 right.visit(f);
@@ -343,15 +355,54 @@ impl Expr {
         });
     }
 
-    /// True if the expression references no columns at all.
+    /// True if the expression references no columns at all. Placeholders
+    /// count as non-constant: their value is unknown until execute time, so
+    /// constant folding must leave them alone.
     pub fn is_constant(&self) -> bool {
         let mut any = false;
         self.visit(&mut |e| {
-            if matches!(e, Expr::Col(_)) {
+            if matches!(e, Expr::Col(_) | Expr::Param { .. }) {
                 any = true;
             }
         });
         !any
+    }
+
+    /// True if the expression contains any [`Expr::Param`] placeholder.
+    pub fn contains_param(&self) -> bool {
+        let mut any = false;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Param { .. }) {
+                any = true;
+            }
+        });
+        any
+    }
+
+    /// Replaces every placeholder with the literal from `values` at its
+    /// index. Errors when an index is out of range (arity mismatch).
+    pub fn bind_params(&self, values: &[Value]) -> Result<Expr> {
+        let mut missing = None;
+        let bound = self.transform(&|e| match e {
+            Expr::Param { idx, .. } => match values.get(*idx) {
+                Some(v) => Some(Expr::Lit(v.clone())),
+                None => Some(Expr::Param { idx: *idx, ty: SqlType::Int }),
+            },
+            _ => None,
+        });
+        bound.visit(&mut |e| {
+            if let Expr::Param { idx, .. } = e {
+                missing.get_or_insert(*idx);
+            }
+        });
+        match missing {
+            Some(idx) => Err(VdmError::Plan(format!(
+                "statement expects parameter ${} but only {} value(s) were supplied",
+                idx + 1,
+                values.len()
+            ))),
+            None => Ok(bound),
+        }
     }
 
     /// Rebuilds the expression with every column ordinal passed through `f`.
@@ -379,7 +430,7 @@ impl Expr {
             return replaced;
         }
         match self {
-            Expr::Col(_) | Expr::Lit(_) => self.clone(),
+            Expr::Col(_) | Expr::Lit(_) | Expr::Param { .. } => self.clone(),
             Expr::Binary { op, left, right } => Expr::Binary {
                 op: *op,
                 left: Box::new(left.transform(f)),
@@ -520,6 +571,7 @@ impl fmt::Display for Expr {
                 write!(f, ")")
             }
             Expr::Cast { expr, ty } => write!(f, "CAST({expr} AS {ty})"),
+            Expr::Param { idx, .. } => write!(f, "?{}", idx + 1),
         }
     }
 }
@@ -597,6 +649,20 @@ mod tests {
         let s = schema();
         let e = Expr::Func { func: ScalarFunc::Round, args: vec![Expr::col(1), Expr::int(1)] };
         assert_eq!(e.data_type(&s).unwrap().0, SqlType::Decimal { scale: 1 });
+    }
+
+    #[test]
+    fn params_are_not_constant_and_bind_to_literals() {
+        let e = Expr::col(0).eq(Expr::param(0, SqlType::Int));
+        assert!(!e.is_constant());
+        assert!(e.contains_param());
+        let p = Expr::param(0, SqlType::Int).binary(BinOp::Add, Expr::int(1));
+        assert!(!p.is_constant());
+        let bound = e.bind_params(&[Value::Int(7)]).unwrap();
+        assert_eq!(bound, Expr::col(0).eq(Expr::int(7)));
+        assert!(!bound.contains_param());
+        let err = e.bind_params(&[]).unwrap_err().to_string();
+        assert!(err.contains("parameter $1"), "{err}");
     }
 
     #[test]

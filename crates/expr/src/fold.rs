@@ -49,6 +49,9 @@ pub fn fold(expr: &Expr) -> Expr {
             Expr::Func { func: *func, args: args.iter().map(fold).collect() }
         }
         Expr::Cast { expr, ty } => Expr::Cast { expr: Box::new(fold(expr)), ty: *ty },
+        // Unknown until execute time; `is_constant` below treats it as
+        // non-constant so the subtree is never evaluated at plan time.
+        Expr::Param { .. } => expr.clone(),
     };
     if folded.is_constant() && !matches!(folded, Expr::Lit(_)) {
         if let Ok(v) = folded.eval_row(&[]) {

@@ -1,5 +1,5 @@
-//! Process-wide metrics: monotonic counters and latency histograms with
-//! zero-dependency JSON and Prometheus-text exporters.
+//! Process-wide metrics: monotonic counters, up/down gauges, and latency
+//! histograms with zero-dependency JSON and Prometheus-text exporters.
 //!
 //! Counter names may embed one Prometheus label set, e.g.
 //! `vdm_rewrite_fired_total{rule="uaj-removal"}` (see [`label`]); the
@@ -36,7 +36,7 @@ impl Histogram {
     }
 }
 
-/// A registry of named counters and histograms.
+/// A registry of named counters, gauges, and histograms.
 ///
 /// All methods take `&self`; the maps are mutex-guarded so executors and
 /// the optimizer can report from any thread. Use [`MetricsRegistry::global`]
@@ -44,6 +44,7 @@ impl Histogram {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, u64>>,
+    gauges: Mutex<BTreeMap<String, i64>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
 }
 
@@ -75,6 +76,23 @@ impl MetricsRegistry {
         *counters.entry(name.to_string()).or_insert(0) += by;
     }
 
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        let mut gauges = self.gauges.lock().unwrap();
+        gauges.insert(name.to_string(), value);
+    }
+
+    /// Adds `by` (may be negative) to gauge `name`, creating it at zero.
+    pub fn gauge_add(&self, name: &str, by: i64) {
+        let mut gauges = self.gauges.lock().unwrap();
+        *gauges.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Current value of gauge `name` (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.lock().unwrap().get(name).copied().unwrap_or(0)
+    }
+
     /// Records one observation (seconds) into histogram `name`.
     pub fn observe(&self, name: &str, value: f64) {
         let mut hists = self.histograms.lock().unwrap();
@@ -92,12 +110,20 @@ impl MetricsRegistry {
     }
 
     /// Renders everything as a JSON object:
-    /// `{"counters": {...}, "histograms": {"name": {"count", "sum", "buckets": [{"le", "count"}...]}}}`.
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {"name": {"count", "sum", "buckets": [{"le", "count"}...]}}}`.
     pub fn to_json(&self) -> String {
         let counters = self.counters.lock().unwrap().clone();
+        let gauges = self.gauges.lock().unwrap().clone();
         let hists = self.histograms.lock().unwrap().clone();
         let mut out = String::from("{\n  \"counters\": {");
         for (i, (name, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {v}", json_string(name)));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -134,6 +160,7 @@ impl MetricsRegistry {
     /// Renders everything in the Prometheus text exposition format.
     pub fn to_prometheus(&self) -> String {
         let counters = self.counters.lock().unwrap().clone();
+        let gauges = self.gauges.lock().unwrap().clone();
         let hists = self.histograms.lock().unwrap().clone();
         let mut out = String::new();
         let mut last_base = String::new();
@@ -141,6 +168,15 @@ impl MetricsRegistry {
             let base = name.split('{').next().unwrap_or(name);
             if base != last_base {
                 out.push_str(&format!("# TYPE {base} counter\n"));
+                last_base = base.to_string();
+            }
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        last_base.clear();
+        for (name, v) in &gauges {
+            let base = name.split('{').next().unwrap_or(name);
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} gauge\n"));
                 last_base = base.to_string();
             }
             out.push_str(&format!("{name} {v}\n"));
@@ -219,6 +255,25 @@ mod tests {
         assert!(text.contains("vdm_query_seconds_count 3"));
         let json = reg.to_json();
         assert!(json.contains("\"count\": 3"));
+    }
+
+    #[test]
+    fn gauges_move_both_ways_and_export() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_add("vdm_prepared_statements_open", 3);
+        reg.gauge_add("vdm_prepared_statements_open", -1);
+        assert_eq!(reg.gauge("vdm_prepared_statements_open"), 2);
+        reg.gauge_set("vdm_prepared_statements_open", 7);
+        assert_eq!(reg.gauge("vdm_prepared_statements_open"), 7);
+        assert_eq!(reg.gauge("absent"), 0);
+
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE vdm_prepared_statements_open gauge"));
+        assert!(text.contains("vdm_prepared_statements_open 7"));
+
+        let json = reg.to_json();
+        assert!(json.contains("\"gauges\""));
+        assert!(json.contains("\"vdm_prepared_statements_open\": 7"));
     }
 
     #[test]

@@ -43,10 +43,26 @@ impl Fnv {
 /// structurally identical for fixpoint purposes; shared nodes hash once.
 pub fn plan_digest(plan: &PlanRef) -> u64 {
     let mut memo: HashMap<*const LogicalPlan, u64> = HashMap::new();
-    digest_memo(plan, &mut memo)
+    digest_memo(plan, &mut memo, None)
 }
 
-fn digest_memo(plan: &PlanRef, memo: &mut HashMap<*const LogicalPlan, u64>) -> u64 {
+/// Like [`plan_digest`], but scan instance ids are renumbered by first
+/// visit in traversal order. Instance ids come from a process-global
+/// counter at bind time, so two plans bound independently from the same
+/// statement never share them — this variant makes such plans compare
+/// equal (used to assert a cached plan matches a cold re-optimize) while
+/// still distinguishing *which* scans a DAG shares.
+pub fn plan_digest_canonical(plan: &PlanRef) -> u64 {
+    let mut memo: HashMap<*const LogicalPlan, u64> = HashMap::new();
+    let mut renumber: HashMap<usize, u64> = HashMap::new();
+    digest_memo(plan, &mut memo, Some(&mut renumber))
+}
+
+fn digest_memo(
+    plan: &PlanRef,
+    memo: &mut HashMap<*const LogicalPlan, u64>,
+    mut renumber: Option<&mut HashMap<usize, u64>>,
+) -> u64 {
     let key = Arc::as_ptr(plan);
     if let Some(&d) = memo.get(&key) {
         return d;
@@ -56,7 +72,14 @@ fn digest_memo(plan: &PlanRef, memo: &mut HashMap<*const LogicalPlan, u64>) -> u
     match plan.as_ref() {
         LogicalPlan::Scan { table, instance, .. } => {
             h.str(&table.name);
-            h.u64(*instance as u64);
+            let id = match renumber.as_deref_mut() {
+                Some(map) => {
+                    let next = map.len() as u64;
+                    *map.entry(*instance).or_insert(next)
+                }
+                None => *instance as u64,
+            };
+            h.u64(id);
         }
         LogicalPlan::Values { rows, schema } => {
             h.str(&format!("{rows:?}"));
@@ -80,7 +103,8 @@ fn digest_memo(plan: &PlanRef, memo: &mut HashMap<*const LogicalPlan, u64>) -> u
         }
     }
     for c in plan.children() {
-        h.u64(digest_memo(c, memo));
+        let d = digest_memo(c, memo, renumber.as_deref_mut());
+        h.u64(d);
     }
     memo.insert(key, h.0);
     h.0
@@ -112,6 +136,21 @@ mod tests {
         let p3 = LogicalPlan::filter(s, Expr::col(0).eq(Expr::int(2))).unwrap();
         assert_eq!(plan_digest(&p1), plan_digest(&p2));
         assert_ne!(plan_digest(&p1), plan_digest(&p3));
+    }
+
+    #[test]
+    fn canonical_digest_ignores_instance_numbering() {
+        // Two binds of the same statement get fresh instance ids: raw
+        // digests differ, canonical digests agree.
+        let p1 = LogicalPlan::inner_join(scan(), scan(), vec![(0, 0)]).unwrap();
+        let p2 = LogicalPlan::inner_join(scan(), scan(), vec![(0, 0)]).unwrap();
+        assert_ne!(plan_digest(&p1), plan_digest(&p2));
+        assert_eq!(plan_digest_canonical(&p1), plan_digest_canonical(&p2));
+        // But a self-join of ONE scan is still distinct from a join of two
+        // scans of the same table — sharing matters.
+        let s = scan();
+        let shared = LogicalPlan::inner_join(s.clone(), s, vec![(0, 0)]).unwrap();
+        assert_ne!(plan_digest_canonical(&shared), plan_digest_canonical(&p1));
     }
 
     #[test]

@@ -17,17 +17,19 @@ pub mod explain;
 pub mod fusion;
 pub mod lineage;
 pub mod node;
+pub mod params;
 pub mod props;
 pub mod registry;
 pub mod stats;
 pub mod transform;
 
 pub use cache::{CacheStats, PropertyCache};
-pub use digest::plan_digest;
+pub use digest::{plan_digest, plan_digest_canonical};
 pub use explain::{explain, explain_annotated, number_nodes};
 pub use fusion::{column_mapping, fused_projection_chain, FusedChain};
 pub use lineage::{column_lineage, trace_column, Origin};
 pub use node::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef, SortKey};
+pub use params::{bind_params, contains_params, max_param_index};
 pub use props::{statically_empty, unique_sets, DeriveOptions};
 pub use registry::ViewRegistry;
 pub use stats::{plan_stats, PlanStats};

@@ -1,0 +1,229 @@
+//! Execute-time parameter substitution for cached plans.
+//!
+//! A parameterized plan keeps [`Expr::Param`] placeholders through binding
+//! and optimization; the plan cache stores that optimized form once per
+//! statement shape. Each execution then calls [`bind_params`] to splice the
+//! call's literal values in — a cheap structural rewrite (shared subtrees
+//! without placeholders keep their `Arc` identity) that replaces the full
+//! parse + bind + optimize pipeline on the hot path.
+
+use crate::node::{LogicalPlan, PlanRef, SortKey};
+use crate::transform::transform_up;
+use vdm_expr::Expr;
+use vdm_types::{Result, Value};
+
+/// True when any expression anywhere in the plan contains a placeholder.
+pub fn contains_params(plan: &PlanRef) -> bool {
+    max_param_index(plan).is_some()
+}
+
+/// Highest 0-based placeholder index referenced by the plan, if any.
+pub fn max_param_index(plan: &PlanRef) -> Option<usize> {
+    let mut max: Option<usize> = None;
+    let mut note = |e: &Expr| {
+        e.visit(&mut |n| {
+            if let Expr::Param { idx, .. } = n {
+                max = Some(max.map_or(*idx, |m| m.max(*idx)));
+            }
+        });
+    };
+    for_each_expr(plan, &mut note);
+    max
+}
+
+/// Replaces every [`Expr::Param`] in the plan with the literal at its index
+/// in `values`. Nodes without placeholders are reused as-is (the rewrite is
+/// `Arc`-identity preserving), so the per-execution cost is proportional to
+/// the number of parameterized nodes, not the plan size. Errors when the
+/// plan references an index `values` does not cover.
+pub fn bind_params(plan: &PlanRef, values: &[Value]) -> Result<PlanRef> {
+    transform_up(plan, &mut |node| {
+        let rewrite = |e: &Expr| -> Result<Option<Expr>> {
+            if e.contains_param() {
+                Ok(Some(e.bind_params(values)?))
+            } else {
+                Ok(None)
+            }
+        };
+        Ok(match node.as_ref() {
+            LogicalPlan::Project { input, exprs, .. } => {
+                let mut changed = false;
+                let mut new_exprs = Vec::with_capacity(exprs.len());
+                for (e, name) in exprs {
+                    match rewrite(e)? {
+                        Some(b) => {
+                            changed = true;
+                            new_exprs.push((b, name.clone()));
+                        }
+                        None => new_exprs.push((e.clone(), name.clone())),
+                    }
+                }
+                if changed {
+                    LogicalPlan::project(input.clone(), new_exprs)?
+                } else {
+                    node
+                }
+            }
+            LogicalPlan::Filter { input, predicate } => match rewrite(predicate)? {
+                Some(p) => LogicalPlan::filter(input.clone(), p)?,
+                None => node,
+            },
+            LogicalPlan::Join { left, right, kind, on, filter, declared, asj_intent, .. } => {
+                match filter.as_ref().map(&rewrite).transpose()?.flatten() {
+                    Some(f) => LogicalPlan::join(
+                        left.clone(),
+                        right.clone(),
+                        *kind,
+                        on.clone(),
+                        Some(f),
+                        *declared,
+                        *asj_intent,
+                    )?,
+                    None => node,
+                }
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs, .. } => {
+                let mut changed = false;
+                let mut new_groups = Vec::with_capacity(group_by.len());
+                for (e, name) in group_by {
+                    match rewrite(e)? {
+                        Some(b) => {
+                            changed = true;
+                            new_groups.push((b, name.clone()));
+                        }
+                        None => new_groups.push((e.clone(), name.clone())),
+                    }
+                }
+                let mut new_aggs = Vec::with_capacity(aggs.len());
+                for (a, name) in aggs {
+                    let arg = a.arg.as_ref().map(&rewrite).transpose()?.flatten();
+                    match arg {
+                        Some(b) => {
+                            changed = true;
+                            let mut na = a.clone();
+                            na.arg = Some(b);
+                            new_aggs.push((na, name.clone()));
+                        }
+                        None => new_aggs.push((a.clone(), name.clone())),
+                    }
+                }
+                if changed {
+                    LogicalPlan::aggregate(input.clone(), new_groups, new_aggs)?
+                } else {
+                    node
+                }
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let mut changed = false;
+                let mut new_keys = Vec::with_capacity(keys.len());
+                for k in keys {
+                    match rewrite(&k.expr)? {
+                        Some(b) => {
+                            changed = true;
+                            new_keys.push(SortKey {
+                                expr: b,
+                                asc: k.asc,
+                                nulls_first: k.nulls_first,
+                            });
+                        }
+                        None => new_keys.push(k.clone()),
+                    }
+                }
+                if changed {
+                    LogicalPlan::sort(input.clone(), new_keys)?
+                } else {
+                    node
+                }
+            }
+            // Scan / Values / UnionAll / Distinct / Limit carry no
+            // expressions.
+            _ => node,
+        })
+    })
+}
+
+/// Calls `f` on every expression of every node (each DAG node once).
+fn for_each_expr(plan: &PlanRef, f: &mut impl FnMut(&Expr)) {
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![plan.clone()];
+    while let Some(node) = stack.pop() {
+        if !seen.insert(std::sync::Arc::as_ptr(&node)) {
+            continue;
+        }
+        match node.as_ref() {
+            LogicalPlan::Project { exprs, .. } => {
+                for (e, _) in exprs {
+                    f(e);
+                }
+            }
+            LogicalPlan::Filter { predicate, .. } => f(predicate),
+            LogicalPlan::Join { filter: Some(x), .. } => f(x),
+            LogicalPlan::Aggregate { group_by, aggs, .. } => {
+                for (e, _) in group_by {
+                    f(e);
+                }
+                for (a, _) in aggs {
+                    if let Some(e) = &a.arg {
+                        f(e);
+                    }
+                }
+            }
+            LogicalPlan::Sort { keys, .. } => {
+                for k in keys {
+                    f(&k.expr);
+                }
+            }
+            _ => {}
+        }
+        for c in node.children() {
+            stack.push(c.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vdm_catalog::TableBuilder;
+    use vdm_types::SqlType;
+
+    fn scan() -> PlanRef {
+        LogicalPlan::scan(Arc::new(
+            TableBuilder::new("t")
+                .column("a", SqlType::Int, false)
+                .column("b", SqlType::Int, false)
+                .primary_key(&["a"])
+                .build()
+                .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn binds_params_and_preserves_identity() {
+        let filtered =
+            LogicalPlan::filter(scan(), Expr::col(0).eq(Expr::param(0, SqlType::Int))).unwrap();
+        let plan = LogicalPlan::limit(filtered, 0, Some(10));
+        assert!(contains_params(&plan));
+        assert_eq!(max_param_index(&plan), Some(0));
+
+        let bound = bind_params(&plan, &[Value::Int(42)]).unwrap();
+        assert!(!contains_params(&bound));
+        let LogicalPlan::Limit { input, .. } = bound.as_ref() else { panic!() };
+        let LogicalPlan::Filter { predicate, .. } = input.as_ref() else { panic!() };
+        assert_eq!(*predicate, Expr::col(0).eq(Expr::int(42)));
+
+        // A plan with no placeholders comes back untouched.
+        let plain = LogicalPlan::filter(scan(), Expr::col(0).eq(Expr::int(1))).unwrap();
+        let out = bind_params(&plain, &[]).unwrap();
+        assert!(Arc::ptr_eq(&plain, &out));
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let plan =
+            LogicalPlan::filter(scan(), Expr::col(0).eq(Expr::param(1, SqlType::Int))).unwrap();
+        let err = bind_params(&plan, &[Value::Int(1)]).unwrap_err().to_string();
+        assert!(err.contains("parameter $2"), "{err}");
+    }
+}

@@ -40,6 +40,11 @@ impl ViewRegistry {
         self.views.get(&name.to_ascii_lowercase()).cloned()
     }
 
+    /// Removes a view; `true` when it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.views.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
     /// All registered view names, sorted.
     pub fn names(&self) -> Vec<String> {
         let mut out: Vec<String> = self.views.keys().cloned().collect();
@@ -90,5 +95,7 @@ mod tests {
         // Plain register replaces.
         r.register("v", plan());
         assert_eq!(r.len(), 1);
+        assert!(r.remove("V"));
+        assert!(!r.remove("v"));
     }
 }

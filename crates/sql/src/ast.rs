@@ -19,6 +19,16 @@ pub enum Statement {
         columns: Option<Vec<String>>,
         rows: Vec<Vec<AstExpr>>,
     },
+    /// `DROP TABLE [IF EXISTS] name`.
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    /// `DROP VIEW [IF EXISTS] name`.
+    DropView {
+        name: String,
+        if_exists: bool,
+    },
     Explain(Box<Statement>),
     /// `EXPLAIN ANALYZE stmt`: run the statement and render the plan
     /// annotated with per-operator runtime statistics.
@@ -160,6 +170,8 @@ pub enum AstExpr {
     PrecisionLoss(Box<AstExpr>),
     /// `EXPRESSION_MACRO(name)` (§7.2).
     MacroRef(String),
+    /// Prepared-statement placeholder (`?` / `$1`), 0-indexed.
+    Param(usize),
 }
 
 /// Binary operators in the grammar.

@@ -22,6 +22,10 @@ pub struct Binder<'a> {
     pub catalog: &'a Catalog,
     pub views: &'a ViewRegistry,
     pub macros: &'a MacroRegistry,
+    /// Types for `?`/`$n` placeholders, by 0-based index. Empty unless set
+    /// via [`Binder::with_param_types`]; binding a statement that references
+    /// `$k` with fewer than `k` types errors.
+    pub param_types: &'a [SqlType],
 }
 
 /// One named relation visible in a FROM scope.
@@ -97,7 +101,14 @@ impl<'a> Binder<'a> {
         views: &'a ViewRegistry,
         macros: &'a MacroRegistry,
     ) -> Binder<'a> {
-        Binder { catalog, views, macros }
+        Binder { catalog, views, macros, param_types: &[] }
+    }
+
+    /// Supplies placeholder types (from a prepared statement's execute-time
+    /// values) so `?`/`$n` bind as typed [`Expr::Param`] nodes.
+    pub fn with_param_types(mut self, types: &'a [SqlType]) -> Binder<'a> {
+        self.param_types = types;
+        self
     }
 
     /// Binds a full SELECT statement (with unions, ordering, paging).
@@ -385,9 +396,11 @@ impl<'a> Binder<'a> {
                 let inner = self.bind_post(expr, scope, group_ast, group_bound, aggs)?;
                 Ok(Expr::Cast { expr: Box::new(inner), ty: sql_type(type_name, *scale)? })
             }
-            AstExpr::Number(_) | AstExpr::Str(_) | AstExpr::Bool(_) | AstExpr::Null => {
-                self.bind_scalar(e, scope)
-            }
+            AstExpr::Number(_)
+            | AstExpr::Str(_)
+            | AstExpr::Bool(_)
+            | AstExpr::Null
+            | AstExpr::Param(_) => self.bind_scalar(e, scope),
             AstExpr::Ident(parts) => {
                 // Bare column: legal only if it matches a group key's bound
                 // form (e.g. GROUP BY t.c, select c).
@@ -435,6 +448,7 @@ impl<'a> Binder<'a> {
             AstExpr::Str(s) => Ok(Expr::Lit(Value::str(s.clone()))),
             AstExpr::Bool(b) => Ok(Expr::boolean(*b)),
             AstExpr::Null => Ok(Expr::Lit(Value::Null)),
+            AstExpr::Param(idx) => self.param_expr(*idx),
             AstExpr::Star => Err(VdmError::Bind("`*` is only valid in COUNT(*)".into())),
             AstExpr::Binary { op, left, right } => {
                 let l = self.bind_scalar(left, scope)?;
@@ -490,6 +504,17 @@ impl<'a> Binder<'a> {
             )),
             AstExpr::MacroRef(name) => Err(VdmError::Bind(format!(
                 "EXPRESSION_MACRO({name}) is only valid in an aggregating select list"
+            ))),
+        }
+    }
+
+    fn param_expr(&self, idx: usize) -> Result<Expr> {
+        match self.param_types.get(idx) {
+            Some(ty) => Ok(Expr::Param { idx, ty: *ty }),
+            None => Err(VdmError::Bind(format!(
+                "statement references parameter ${} but only {} parameter value(s) were supplied",
+                idx + 1,
+                self.param_types.len()
             ))),
         }
     }

@@ -22,8 +22,12 @@ pub enum TokenKind {
     Number(String),
     /// String literal with quotes removed and `''` unescaped.
     Str(String),
-    /// Punctuation / operator: `( ) , . * + - / = < > <= >= <> !=`.
+    /// Punctuation / operator: `( ) , . * + - / = < > <= >= <> != ?`.
     Sym(&'static str),
+    /// Numbered placeholder `$1`, `$2`, ... (stored 0-based). The anonymous
+    /// form `?` lexes as `Sym("?")` and is numbered positionally by the
+    /// parser / shape canonicalizer.
+    Param(usize),
     Eof,
 }
 
@@ -36,6 +40,7 @@ impl TokenKind {
             TokenKind::Number(s) => format!("number {s}"),
             TokenKind::Str(s) => format!("string '{s}'"),
             TokenKind::Sym(s) => format!("symbol {s:?}"),
+            TokenKind::Param(i) => format!("placeholder ${}", i + 1),
             TokenKind::Eof => "end of input".to_string(),
         }
     }
@@ -130,6 +135,26 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
             out.push(Token { kind: TokenKind::QuotedIdent(s), offset: start });
             continue;
         }
+        if c == '$' {
+            i += 1;
+            let digits_start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if digits_start == i {
+                return Err(VdmError::Parse(format!(
+                    "expected digits after '$' at offset {start} (placeholders are $1, $2, ...)"
+                )));
+            }
+            let n: usize = sql[digits_start..i].parse().map_err(|_| {
+                VdmError::Parse(format!("placeholder number too large: ${}", &sql[digits_start..i]))
+            })?;
+            if n == 0 {
+                return Err(VdmError::Parse("placeholders are 1-based: $1, $2, ...".into()));
+            }
+            out.push(Token { kind: TokenKind::Param(n - 1), offset: start });
+            continue;
+        }
         // Multi-char operators first.
         let two = sql.get(i..i + 2).unwrap_or("");
         let sym: Option<&'static str> = match two {
@@ -157,6 +182,7 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
             '<' => Some("<"),
             '>' => Some(">"),
             ';' => Some(";"),
+            '?' => Some("?"),
             _ => None,
         };
         match sym {
@@ -173,12 +199,108 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
     Ok(out)
 }
 
+/// Renders `sql` as a canonical token string for plan-cache keys: plain
+/// identifiers/keywords lowercased, literals kept verbatim, anonymous `?`
+/// placeholders numbered positionally so `?` and `$1` produce the same
+/// shape. Whitespace and comments never affect the result. Purely lexical —
+/// no parse, so the hot cache-hit path pays only the lexer.
+pub fn canonical_shape(sql: &str) -> Result<String> {
+    Ok(canonical_shapes(sql)?.join(" ; "))
+}
+
+/// Per-statement [`canonical_shape`]s of a `;`-separated script, in
+/// statement order (empty segments — e.g. a trailing `;` — are skipped,
+/// matching what the parser returns). Anonymous `?` numbering restarts at
+/// `$1` for each statement, mirroring the parser's per-statement parameter
+/// spaces.
+pub fn canonical_shapes(sql: &str) -> Result<Vec<String>> {
+    let tokens = lex(sql)?;
+    let mut shapes = Vec::new();
+    let mut out = String::new();
+    let mut anon = 0usize;
+    for t in &tokens {
+        if t.kind == TokenKind::Eof || t.kind == TokenKind::Sym(";") {
+            if !out.is_empty() {
+                shapes.push(std::mem::take(&mut out));
+            }
+            anon = 0;
+            if t.kind == TokenKind::Eof {
+                break;
+            }
+            continue;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        match &t.kind {
+            TokenKind::Ident(s) => {
+                for c in s.chars() {
+                    out.push(c.to_ascii_lowercase());
+                }
+            }
+            TokenKind::QuotedIdent(s) => {
+                out.push('"');
+                out.push_str(s);
+                out.push('"');
+            }
+            TokenKind::Number(s) => out.push_str(s),
+            TokenKind::Str(s) => {
+                out.push('\'');
+                for c in s.chars() {
+                    if c == '\'' {
+                        out.push('\'');
+                    }
+                    out.push(c);
+                }
+                out.push('\'');
+            }
+            TokenKind::Sym("?") => {
+                anon += 1;
+                out.push_str(&format!("${anon}"));
+            }
+            TokenKind::Sym(s) => out.push_str(s),
+            TokenKind::Param(i) => out.push_str(&format!("${}", i + 1)),
+            TokenKind::Eof => unreachable!("loop breaks at Eof"),
+        }
+    }
+    Ok(shapes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn kinds(sql: &str) -> Vec<TokenKind> {
         lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_placeholders() {
+        let k = kinds("select * from t where a = ? and b = $2");
+        assert!(k.contains(&TokenKind::Sym("?")));
+        assert!(k.contains(&TokenKind::Param(1)));
+        assert!(lex("select $x").is_err());
+        assert!(lex("select $0").is_err());
+    }
+
+    #[test]
+    fn canonical_shape_normalizes() {
+        let a = canonical_shape("SELECT  a,b FROM t\nWHERE a = ? -- c\n").unwrap();
+        let b = canonical_shape("select a , b from t where a = $1").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, "select a , b from t where a = $1");
+        // Literals and quoted identifiers stay verbatim.
+        let c = canonical_shape("select \"Mixed\" from t where s = 'It''s'").unwrap();
+        assert_eq!(c, "select \"Mixed\" from t where s = 'It''s'");
+        // Different literals are different shapes.
+        assert_ne!(
+            canonical_shape("select * from t where a = 1").unwrap(),
+            canonical_shape("select * from t where a = 2").unwrap()
+        );
+        // Scripts split per statement; `?` numbering restarts each time.
+        let shapes = canonical_shapes("select ?; select ? ;").unwrap();
+        assert_eq!(shapes, vec!["select $1".to_string(), "select $1".to_string()]);
+        assert_eq!(canonical_shape("select 1;").unwrap(), "select 1");
     }
 
     #[test]

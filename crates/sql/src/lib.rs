@@ -19,4 +19,5 @@ pub mod parser;
 
 pub use ast::{SelectStmt, Statement};
 pub use binder::{Binder, MacroRegistry};
-pub use parser::parse;
+pub use lexer::{canonical_shape, canonical_shapes};
+pub use parser::{parse, parse_one, parse_one_with_params};

@@ -8,13 +8,14 @@ use vdm_types::{Result, VdmError};
 /// Parses a string of `;`-separated statements.
 pub fn parse(sql: &str) -> Result<Vec<Statement>> {
     let tokens = lex(sql)?;
-    let mut p = Parser { tokens, pos: 0, depth: 0 };
+    let mut p = Parser { tokens, pos: 0, depth: 0, anon_params: 0, max_param: None };
     let mut out = Vec::new();
     loop {
         while p.eat_sym(";") {}
         if p.at_eof() {
             break;
         }
+        p.anon_params = 0;
         out.push(p.statement()?);
     }
     if out.is_empty() {
@@ -25,11 +26,21 @@ pub fn parse(sql: &str) -> Result<Vec<Statement>> {
 
 /// Parses exactly one statement.
 pub fn parse_one(sql: &str) -> Result<Statement> {
-    let mut stmts = parse(sql)?;
-    if stmts.len() != 1 {
-        return Err(VdmError::Parse(format!("expected one statement, got {}", stmts.len())));
+    Ok(parse_one_with_params(sql)?.0)
+}
+
+/// Parses exactly one statement, also returning the number of placeholder
+/// parameters it references (`max index + 1`, so `$3` alone means 3).
+pub fn parse_one_with_params(sql: &str) -> Result<(Statement, usize)> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0, depth: 0, anon_params: 0, max_param: None };
+    while p.eat_sym(";") {}
+    let stmt = p.statement()?;
+    while p.eat_sym(";") {}
+    if !p.at_eof() {
+        return p.err("end of statement");
     }
-    Ok(stmts.pop().expect("checked length"))
+    Ok((stmt, p.max_param.map_or(0, |m| m + 1)))
 }
 
 /// Maximum expression/FROM nesting depth — recursion in the parser is
@@ -40,6 +51,10 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     depth: u32,
+    /// Anonymous `?` placeholders seen so far (they number positionally).
+    anon_params: usize,
+    /// Highest placeholder index referenced (0-based).
+    max_param: Option<usize>,
 }
 
 impl Parser {
@@ -159,7 +174,34 @@ impl Parser {
         if self.at_kw("insert") {
             return self.insert();
         }
-        self.err("statement (SELECT, CREATE, INSERT, EXPLAIN)")
+        if self.at_kw("drop") {
+            return self.drop_statement();
+        }
+        self.err("statement (SELECT, CREATE, DROP, INSERT, EXPLAIN)")
+    }
+
+    fn drop_statement(&mut self) -> Result<Statement> {
+        self.expect_kw("drop")?;
+        let is_table = if self.eat_kw("table") {
+            true
+        } else if self.eat_kw("view") {
+            false
+        } else {
+            return self.err("TABLE or VIEW");
+        };
+        let if_exists = if self.at_kw("if") {
+            self.bump();
+            self.expect_kw("exists")?;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        Ok(if is_table {
+            Statement::DropTable { name, if_exists }
+        } else {
+            Statement::DropView { name, if_exists }
+        })
     }
 
     fn create(&mut self) -> Result<Statement> {
@@ -655,6 +697,18 @@ impl Parser {
                 self.bump();
                 Ok(AstExpr::Star)
             }
+            TokenKind::Sym("?") => {
+                self.bump();
+                let idx = self.anon_params;
+                self.anon_params += 1;
+                self.max_param = Some(self.max_param.map_or(idx, |m| m.max(idx)));
+                Ok(AstExpr::Param(idx))
+            }
+            TokenKind::Param(idx) => {
+                self.bump();
+                self.max_param = Some(self.max_param.map_or(idx, |m| m.max(idx)));
+                Ok(AstExpr::Param(idx))
+            }
             TokenKind::Ident(_) | TokenKind::QuotedIdent(_) => self.ident_or_call(),
             _ => self.err("expression"),
         }
@@ -920,6 +974,34 @@ mod tests {
         assert!(matches!(*inner, Statement::Select(_)));
         // `analyze` stays usable as an ordinary identifier elsewhere.
         assert!(parse_one("select analyze from t").is_ok());
+    }
+
+    #[test]
+    fn parses_placeholders_and_counts_them() {
+        let (stmt, n) = parse_one_with_params("select * from t where a = ? and b > ?").unwrap();
+        assert_eq!(n, 2);
+        let Statement::Select(s) = stmt else { panic!() };
+        let Some(AstExpr::Binary { left, .. }) = s.where_clause else { panic!() };
+        let AstExpr::Binary { right, .. } = *left else { panic!() };
+        assert_eq!(*right, AstExpr::Param(0));
+        // Explicit numbering can repeat and skip order.
+        let (_, n) = parse_one_with_params("select * from t where a = $2 or b = $2").unwrap();
+        assert_eq!(n, 2);
+        let (_, n) = parse_one_with_params("select 1 from t").unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn parses_drop_statements() {
+        assert_eq!(
+            parse_one("drop table t").unwrap(),
+            Statement::DropTable { name: "t".into(), if_exists: false }
+        );
+        assert_eq!(
+            parse_one("drop view if exists v").unwrap(),
+            Statement::DropView { name: "v".into(), if_exists: true }
+        );
+        assert!(parse_one("drop index i").is_err());
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn main() -> vdm_types::Result<()> {
     )?;
     let plan = db.optimized_plan("select * from segment_revenue")?;
 
-    let mut cache = ViewCache::new();
+    let cache = ViewCache::new();
     let scv =
         cache.register("segment_revenue_scv", plan.clone(), CacheMode::Static, db.engine())?;
     let dcv = cache.register("segment_revenue_dcv", plan, CacheMode::Dynamic, db.engine())?;

@@ -46,6 +46,23 @@ PAR_DIR="$(mktemp -d)"
 test -s "$PAR_DIR/BENCH_parallel.json"
 rm -rf "$PAR_DIR"
 
+echo "== serve_sweep multi-session smoke gate (reduced load, scratch dir) =="
+# 64 interactive sessions against one server: the highest step's p99
+# per-query latency and plan-cache hit rate must clear the gates — the
+# canary for serving-layer and plan-cache regressions.
+SERVE_DIR="$(mktemp -d)"
+(cd "$SERVE_DIR" && "$OLDPWD/target/release/serve_sweep" \
+    --sessions 64 --queries 6 --journal-rows 500 --think-ms 400 \
+    --gate-p99-ms 150 --gate-hit-rate 0.95 > serve_sweep.log) \
+  || { cat "$SERVE_DIR/serve_sweep.log"; rm -rf "$SERVE_DIR"; exit 1; }
+test -s "$SERVE_DIR/BENCH_serve.json"
+rm -rf "$SERVE_DIR"
+
+echo "== serve layer never optimizes directly (everything goes through the plan cache) =="
+if grep -rn "optimize(" crates/serve/src; then
+  echo "crates/serve must resolve plans via vdm-core's cached session path"; exit 1
+fi
+
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

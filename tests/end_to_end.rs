@@ -50,7 +50,7 @@ fn sorted(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
 fn all_profiles_agree_on_results() {
     let mut reference: Vec<Vec<Vec<Value>>> = Vec::new();
     {
-        let mut db = tpch_db(Profile::hana());
+        let db = tpch_db(Profile::hana());
         for q in QUERIES {
             reference.push(sorted(db.query(q).unwrap_or_else(|e| panic!("{q}: {e}")).to_rows()));
         }
@@ -59,7 +59,7 @@ fn all_profiles_agree_on_results() {
         [Profile::postgres(), Profile::system_x(), Profile::system_y(), Profile::system_z()]
     {
         let name = profile.name().to_string();
-        let mut db = tpch_db(profile);
+        let db = tpch_db(profile);
         for (q, want) in QUERIES.iter().zip(&reference) {
             let got = sorted(db.query(q).unwrap_or_else(|e| panic!("{name} / {q}: {e}")).to_rows());
             assert_eq!(&got, want, "profile {name} diverged on: {q}");
@@ -99,7 +99,7 @@ fn hybrid_workload_transactions_visible_to_analytics() {
 
 #[test]
 fn delta_merge_preserves_query_results() {
-    let mut db = tpch_db(Profile::hana());
+    let db = tpch_db(Profile::hana());
     let q = "select c_mktsegment, count(*) from customer group by c_mktsegment order by 1";
     let before = db.query(q).unwrap().to_rows();
     db.engine().merge_delta("customer").unwrap();
@@ -145,7 +145,7 @@ fn expression_macro_end_to_end_margin() {
 
 #[test]
 fn precision_loss_sql_round_trip() {
-    let mut db = tpch_db(Profile::hana());
+    let db = tpch_db(Profile::hana());
     let strict = db.query("select sum(round(o_totalprice * 1.11, 2)) from orders").unwrap().row(0)
         [0]
     .as_dec()

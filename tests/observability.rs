@@ -167,7 +167,7 @@ fn uaj_trace_names_the_rule_exactly_once() {
 
 #[test]
 fn registry_exports_prometheus_and_json_with_uaj_hits() {
-    let mut db = db();
+    let db = db();
     let rule = vdm_obs::registry::label("vdm_rewrite_fired_total", "rule", "uaj-removal");
     let reg = db.metrics();
     let queries_before = reg.counter("vdm_queries_total");
