@@ -7,19 +7,41 @@
 //! * **SCV**: serves the materialization as of its last refresh; reads are
 //!   O(1) but may be stale. [`CachedView::refresh`] re-materializes,
 //!   [`ViewCache::refresh_all_static`] is the periodic tick.
-//! * **DCV**: every read is up to date. When the base tables only saw
-//!   inserts since the materialization *and* the view plan is
-//!   **distributive** (scans, filters, projections, UNION ALL — no joins,
-//!   aggregates, DISTINCT, sorts or limits), maintenance is incremental:
-//!   the plan runs over just the inserted rows and the results append to
-//!   the materialization. Anything else falls back to full recomputation.
+//! * **DCV**: every read is up to date, at cost proportional to the
+//!   *delta* since the last maintenance. A [`DeltaPlan`] derived once at
+//!   registration classifies the view:
+//!   - delta-capable shapes (scans, filters, projections, UNION ALL, and
+//!     FK-style joins) run `vdm-exec`'s signed-delta evaluator and patch
+//!     the materialization: retracted rows are multiset-subtracted,
+//!     inserted rows appended;
+//!   - a root `Aggregate` over a delta-capable input **folds**: live
+//!     per-group accumulators absorb the input delta and the output is
+//!     re-rendered from group state. Deletes retract exactly except when
+//!     a group loses its MIN/MAX extreme, which rebuilds that group from
+//!     a key-filtered scan (or the whole view when the key is not
+//!     expressible as a literal filter);
+//!   - everything else — and any change to a *frozen* table (the
+//!     snapshot-probed side of a join) — recomputes from scratch.
+//!
+//! Incremental maintenance cannot reproduce full-recompute output
+//! *order* bit-for-bit (hash joins and revived groups land elsewhere),
+//! so equivalence is asserted as multiset equality via
+//! [`multiset_digest`]; `set_verify(true)` (the default in debug builds)
+//! checks every incremental step against a full recompute.
 
-use std::collections::HashMap;
-use std::sync::Arc;
-use std::sync::{Mutex, RwLock};
-use vdm_plan::{LogicalPlan, PlanRef};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+use vdm_exec::kernels::hash_values;
+use vdm_expr::{AggExpr, BinOp, Expr, Retraction};
+use vdm_obs::registry::{self, MetricsRegistry};
+use vdm_plan::{
+    derive_delta_plan, plan_digest_canonical, scan_tables, DeltaClass, DeltaPlan, LogicalPlan,
+    PlanRef,
+};
 use vdm_storage::{Batch, Snapshot, StorageEngine};
-use vdm_types::{Result, Value, VdmError};
+use vdm_types::{Result, Schema, Value, VdmError};
 
 /// Refresh discipline of a cached view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +58,248 @@ pub struct CacheStats {
     pub hits: usize,
     pub full_refreshes: usize,
     pub incremental_refreshes: usize,
+    /// Maintenance passes that found the dependencies unchanged.
+    pub noop_refreshes: usize,
+    /// Signed delta rows (both signs) folded into the materialization.
+    pub delta_rows: usize,
+    /// Groups rebuilt from a key-filtered scan after losing their
+    /// MIN/MAX extreme to a retraction.
+    pub group_recomputes: usize,
+    /// Whole-view recomputes forced by a MIN/MAX retraction whose group
+    /// could not be rebuilt in isolation.
+    pub minmax_full_refreshes: usize,
+}
+
+/// What a maintenance pass did — surfaced in `EXPLAIN ANALYZE`'s
+/// `[view cache: ...]` header and the `vdm_view_refresh_total` metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintainOutcome {
+    /// Dependencies unchanged (or SCV read): served as-is.
+    Fresh,
+    /// Patched from the signed delta; `delta_rows` counts both signs.
+    Incremental { delta_rows: usize },
+    /// Recomputed from scratch.
+    Full,
+}
+
+impl MaintainOutcome {
+    /// Render for the `[view cache: ...]` EXPLAIN header.
+    pub fn describe(&self) -> String {
+        match self {
+            MaintainOutcome::Fresh => "fresh".to_string(),
+            MaintainOutcome::Incremental { delta_rows } => {
+                format!("incremental(+{delta_rows} rows)")
+            }
+            MaintainOutcome::Full => "full refresh".to_string(),
+        }
+    }
+}
+
+/// Order-insensitive multiset digest of a batch: commutative sum of
+/// per-row hashes, tied to the row count. Incremental maintenance is
+/// asserted digest-equal to full recomputation under this (output *order*
+/// is not reproducible — see the module docs).
+pub fn multiset_digest(batch: &Batch) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..batch.num_rows() {
+        acc = acc.wrapping_add(hash_values(&batch.row(i)));
+    }
+    acc ^ (batch.num_rows() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Live accumulator state for a folded root aggregate: one slot per
+/// group in first-seen order (matching `ops::aggregate`), with a hidden
+/// per-group live-row count so deletes can tombstone emptied groups.
+struct GroupState {
+    index: HashMap<Vec<Value>, usize>,
+    order: Vec<Vec<Value>>,
+    accs: Vec<Vec<vdm_expr::Accumulator>>,
+    /// Input rows currently contributing to the slot; 0 = dead (skipped
+    /// when rendering, revived in place if the key reappears).
+    live: Vec<i64>,
+    /// Ungrouped aggregate: the single slot renders even when empty.
+    global: bool,
+}
+
+enum RetractOutcome {
+    Clean,
+    /// The slot lost a MIN/MAX extreme and must be rebuilt.
+    Dirty(usize),
+    /// The retracted row's group does not exist — the state is
+    /// inconsistent with the delta feed; fall back to full recompute.
+    Missing,
+}
+
+impl GroupState {
+    fn build(
+        input: &Batch,
+        group_by: &[(Expr, String)],
+        aggs: &[(AggExpr, String)],
+    ) -> Result<GroupState> {
+        let mut gs = GroupState {
+            index: HashMap::new(),
+            order: Vec::new(),
+            accs: Vec::new(),
+            live: Vec::new(),
+            global: group_by.is_empty(),
+        };
+        if gs.global {
+            gs.push_group(Vec::new(), aggs);
+        }
+        for i in 0..input.num_rows() {
+            gs.insert(&input.row(i), group_by, aggs)?;
+        }
+        Ok(gs)
+    }
+
+    fn push_group(&mut self, key: Vec<Value>, aggs: &[(AggExpr, String)]) -> usize {
+        let slot = self.order.len();
+        self.index.insert(key.clone(), slot);
+        self.order.push(key);
+        self.accs.push(aggs.iter().map(|(a, _)| a.accumulator()).collect());
+        self.live.push(0);
+        slot
+    }
+
+    fn key_of(row: &[Value], group_by: &[(Expr, String)]) -> Result<Vec<Value>> {
+        let mut key = Vec::with_capacity(group_by.len());
+        for (e, _) in group_by {
+            key.push(e.eval_row(row)?);
+        }
+        Ok(key)
+    }
+
+    fn insert(
+        &mut self,
+        row: &[Value],
+        group_by: &[(Expr, String)],
+        aggs: &[(AggExpr, String)],
+    ) -> Result<()> {
+        let key = Self::key_of(row, group_by)?;
+        let slot = match self.index.get(&key) {
+            Some(&s) => s,
+            None => self.push_group(key, aggs),
+        };
+        self.live[slot] += 1;
+        for (j, (agg, _)) in aggs.iter().enumerate() {
+            let v = match &agg.arg {
+                Some(a) => a.eval_row(row)?,
+                None => Value::Int(1), // COUNT(*) placeholder
+            };
+            self.accs[slot][j].update(&v)?;
+        }
+        Ok(())
+    }
+
+    fn retract(
+        &mut self,
+        row: &[Value],
+        group_by: &[(Expr, String)],
+        aggs: &[(AggExpr, String)],
+    ) -> Result<RetractOutcome> {
+        let key = Self::key_of(row, group_by)?;
+        let Some(&slot) = self.index.get(&key) else {
+            return Ok(RetractOutcome::Missing);
+        };
+        if self.live[slot] == 0 {
+            return Ok(RetractOutcome::Missing);
+        }
+        self.live[slot] -= 1;
+        let mut dirty = false;
+        for (j, (agg, _)) in aggs.iter().enumerate() {
+            let v = match &agg.arg {
+                Some(a) => a.eval_row(row)?,
+                None => Value::Int(1),
+            };
+            if self.accs[slot][j].retract(&v)? == Retraction::Recompute {
+                dirty = true;
+            }
+        }
+        Ok(if dirty { RetractOutcome::Dirty(slot) } else { RetractOutcome::Clean })
+    }
+
+    /// Rebuilds the dirty slots from a key-filtered scan of the input at
+    /// `now`. Returns `false` when the rebuild cannot be expressed or
+    /// the filtered rows don't map back cleanly — the caller falls back
+    /// to a whole-view recompute.
+    fn recompute_groups(
+        &mut self,
+        input: &PlanRef,
+        group_by: &[(Expr, String)],
+        aggs: &[(AggExpr, String)],
+        engine: &StorageEngine,
+        now: Snapshot,
+        dirty: &BTreeSet<usize>,
+    ) -> Result<bool> {
+        // An ungrouped aggregate's rebuild *is* a whole-view recompute.
+        if group_by.is_empty() {
+            return Ok(false);
+        }
+        let mut pred: Option<Expr> = None;
+        for &slot in dirty {
+            let mut conj: Option<Expr> = None;
+            for ((ge, _), kv) in group_by.iter().zip(&self.order[slot]) {
+                if kv.is_null() {
+                    // `expr = NULL` is never true; the group is not
+                    // reachable by an equality filter.
+                    return Ok(false);
+                }
+                let eq = ge.clone().binary(BinOp::Eq, Expr::Lit(kv.clone()));
+                conj = Some(match conj {
+                    Some(c) => c.and(eq),
+                    None => eq,
+                });
+            }
+            let conj = conj.expect("grouped view has group keys");
+            pred = Some(match pred {
+                Some(p) => p.or(conj),
+                None => conj,
+            });
+        }
+        let filtered = LogicalPlan::filter(Arc::clone(input), pred.expect("dirty set non-empty"))?;
+        let rows = vdm_exec::execute_at(&filtered, engine, now)?.0;
+        for &slot in dirty {
+            self.accs[slot] = aggs.iter().map(|(a, _)| a.accumulator()).collect();
+            self.live[slot] = 0;
+        }
+        for i in 0..rows.num_rows() {
+            let row = rows.row(i);
+            let key = Self::key_of(&row, group_by)?;
+            let Some(&slot) = self.index.get(&key) else {
+                return Ok(false);
+            };
+            if !dirty.contains(&slot) {
+                // The equality filter matched a clean group (e.g. values
+                // equal under SQL `=` but distinct as map keys).
+                return Ok(false);
+            }
+            self.live[slot] += 1;
+            for (j, (agg, _)) in aggs.iter().enumerate() {
+                let v = match &agg.arg {
+                    Some(a) => a.eval_row(&row)?,
+                    None => Value::Int(1),
+                };
+                self.accs[slot][j].update(&v)?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Renders the live groups in first-seen order.
+    fn render(&self, schema: Arc<Schema>) -> Result<Batch> {
+        let mut rows = Vec::with_capacity(self.order.len());
+        for slot in 0..self.order.len() {
+            if self.live[slot] == 0 && !self.global {
+                continue;
+            }
+            let mut row = self.order[slot].clone();
+            for acc in &self.accs[slot] {
+                row.push(acc.finish()?);
+            }
+            rows.push(row);
+        }
+        Batch::from_rows(schema, &rows)
+    }
 }
 
 struct CacheState {
@@ -44,6 +308,11 @@ struct CacheState {
     /// so readers are only ever blocked for the pointer swap.
     data: Arc<Batch>,
     as_of: Snapshot,
+    /// Live accumulator state for folded aggregates. Taken out (not
+    /// cloned) for the duration of a fold so maintenance stays O(delta);
+    /// `None` after a fold error or for non-folding views — the next
+    /// full refresh rebuilds it.
+    groups: Option<GroupState>,
     stats: CacheStats,
 }
 
@@ -52,6 +321,8 @@ pub struct CachedView {
     name: String,
     plan: PlanRef,
     mode: CacheMode,
+    /// Maintenance classification, derived once at registration.
+    delta_plan: DeltaPlan,
     /// Base tables the plan scans (maintenance dependencies).
     dependencies: Vec<String>,
     state: Mutex<CacheState>,
@@ -59,6 +330,60 @@ pub struct CachedView {
     /// lock) so concurrent maintainers don't duplicate or reorder work.
     /// Readers never take this lock.
     maintenance: Mutex<()>,
+    /// Check every incremental step against a full recompute
+    /// (multiset-digest equality). Defaults on in debug builds.
+    verify: AtomicBool,
+}
+
+/// The pieces of a folded root aggregate — the `Aggregate` node itself
+/// (possibly under the binder's renaming `Project`, which
+/// [`render_folded`] re-applies): (input, group_by, aggs, schema).
+type FoldParts<'a> = (&'a PlanRef, &'a [(Expr, String)], &'a [(AggExpr, String)], &'a Arc<Schema>);
+
+fn fold_parts(plan: &PlanRef) -> Option<FoldParts<'_>> {
+    let agg = vdm_plan::folded_aggregate(plan)?;
+    let LogicalPlan::Aggregate { input, group_by, aggs, schema } = agg.as_ref() else {
+        return None;
+    };
+    Some((input, group_by, aggs, schema))
+}
+
+/// Renders the view output from live group state: the aggregate rows in
+/// first-seen order, then the root projection (if any) on top.
+fn render_folded(plan: &PlanRef, gs: &GroupState, agg_schema: &Arc<Schema>) -> Result<Batch> {
+    let out = gs.render(Arc::clone(agg_schema))?;
+    if let LogicalPlan::Project { exprs, schema, .. } = plan.as_ref() {
+        return vdm_exec::delta::project_batch(&out, exprs, Arc::clone(schema));
+    }
+    Ok(out)
+}
+
+/// Materializes `plan` at `snapshot`; folded aggregates build group
+/// state and render from it (same first-seen order as the executor).
+fn materialize(
+    plan: &PlanRef,
+    folds_aggregate: bool,
+    engine: &StorageEngine,
+    snapshot: Snapshot,
+) -> Result<(Batch, Option<GroupState>)> {
+    if folds_aggregate {
+        if let Some((input, group_by, aggs, agg_schema)) = fold_parts(plan) {
+            let in_batch = vdm_exec::execute_at(input, engine, snapshot)?.0;
+            let gs = GroupState::build(&in_batch, group_by, aggs)?;
+            let out = render_folded(plan, &gs, agg_schema)?;
+            return Ok((out, Some(gs)));
+        }
+    }
+    Ok((vdm_exec::execute_at(plan, engine, snapshot)?.0, None))
+}
+
+fn record_refresh(kind: &'static str, seconds: f64, delta_rows: usize) {
+    let m = MetricsRegistry::global();
+    m.inc(&registry::label("vdm_view_refresh_total", "kind", kind), 1);
+    m.observe("vdm_view_refresh_seconds", seconds);
+    if delta_rows > 0 {
+        m.inc("vdm_view_delta_rows_total", delta_rows as u64);
+    }
 }
 
 impl CachedView {
@@ -68,23 +393,28 @@ impl CachedView {
         mode: CacheMode,
         engine: &StorageEngine,
     ) -> Result<CachedView> {
+        let started = Instant::now();
+        let delta_plan = derive_delta_plan(&plan);
         let snapshot = engine.snapshot();
-        let batch = vdm_exec::execute_at(&plan, engine, snapshot)?.0;
-        let mut dependencies = Vec::new();
-        collect_scans(&plan, &mut dependencies);
+        let (batch, groups) = materialize(&plan, delta_plan.folds_aggregate, engine, snapshot)?;
+        let mut dependencies = scan_tables(&plan);
         dependencies.sort();
         dependencies.dedup();
+        record_refresh("full", started.elapsed().as_secs_f64(), 0);
         Ok(CachedView {
             name: name.to_string(),
             plan,
             mode,
+            delta_plan,
             dependencies,
             state: Mutex::new(CacheState {
                 data: Arc::new(batch),
                 as_of: snapshot,
+                groups,
                 stats: CacheStats { full_refreshes: 1, ..CacheStats::default() },
             }),
             maintenance: Mutex::new(()),
+            verify: AtomicBool::new(cfg!(debug_assertions)),
         })
     }
 
@@ -96,6 +426,16 @@ impl CachedView {
     /// Mode.
     pub fn mode(&self) -> CacheMode {
         self.mode
+    }
+
+    /// The view's definition plan.
+    pub fn plan(&self) -> &PlanRef {
+        &self.plan
+    }
+
+    /// The maintenance classification derived at registration.
+    pub fn delta_plan(&self) -> &DeltaPlan {
+        &self.delta_plan
     }
 
     /// Base tables this view depends on.
@@ -118,16 +458,33 @@ impl CachedView {
         engine.snapshot().0.saturating_sub(self.state.lock().unwrap().as_of.0)
     }
 
+    /// Toggles per-step verification of incremental maintenance against
+    /// a full recompute (multiset-digest equality).
+    pub fn set_verify(&self, on: bool) {
+        self.verify.store(on, Ordering::Relaxed);
+    }
+
     /// Reads the view. SCV: the stored snapshot. DCV: maintained first.
     /// Readers share the materialization by `Arc`, so a concurrent refresh
     /// only blocks them for the duration of the pointer swap.
     pub fn read(&self, engine: &StorageEngine) -> Result<Arc<Batch>> {
-        if self.mode == CacheMode::Dynamic {
-            self.maintain(engine)?;
-        }
+        Ok(self.read_with_outcome(engine)?.0)
+    }
+
+    /// [`read`](CachedView::read), also reporting what maintenance did —
+    /// the source of `EXPLAIN ANALYZE`'s `[view cache: ...]` header.
+    pub fn read_with_outcome(
+        &self,
+        engine: &StorageEngine,
+    ) -> Result<(Arc<Batch>, MaintainOutcome)> {
+        let outcome = if self.mode == CacheMode::Dynamic {
+            self.maintain(engine)?
+        } else {
+            MaintainOutcome::Fresh
+        };
         let mut state = self.state.lock().unwrap();
         state.stats.hits += 1;
-        Ok(Arc::clone(&state.data))
+        Ok((Arc::clone(&state.data), outcome))
     }
 
     /// Forces a full re-materialization (the SCV periodic refresh). The new
@@ -139,51 +496,211 @@ impl CachedView {
 
     /// Full recompute; caller holds the maintenance lock.
     fn refresh_serialized(&self, engine: &StorageEngine) -> Result<()> {
+        let started = Instant::now();
         let snapshot = engine.snapshot();
-        let batch = vdm_exec::execute_at(&self.plan, engine, snapshot)?.0;
+        let (batch, groups) =
+            materialize(&self.plan, self.delta_plan.folds_aggregate, engine, snapshot)?;
         let mut state = self.state.lock().unwrap();
         state.data = Arc::new(batch);
         state.as_of = snapshot;
+        state.groups = groups;
         state.stats.full_refreshes += 1;
+        drop(state);
+        record_refresh("full", started.elapsed().as_secs_f64(), 0);
         Ok(())
     }
 
-    /// Brings a DCV up to date: no-op when the dependencies are unchanged,
-    /// incremental append when possible, full recompute otherwise.
-    fn maintain(&self, engine: &StorageEngine) -> Result<()> {
+    /// Brings a DCV up to date, dispatching on the precomputed
+    /// [`DeltaPlan`]: no-op when the dependencies are unchanged,
+    /// signed-delta patch or aggregate fold when the class allows it,
+    /// full recompute otherwise.
+    pub fn maintain(&self, engine: &StorageEngine) -> Result<MaintainOutcome> {
         let _serialize = self.maintenance.lock().unwrap();
+        let started = Instant::now();
         let now = engine.snapshot();
         let (as_of, current) = {
             let state = self.state.lock().unwrap();
             (state.as_of, Arc::clone(&state.data))
         };
         let mut changed = false;
+        let mut frozen_changed = false;
         let mut any_delete = false;
         for dep in &self.dependencies {
             if engine.table_version(dep)? > as_of.0 {
                 changed = true;
-            }
-            if engine.deleted_since(dep, as_of)? {
-                any_delete = true;
+                if self.delta_plan.frozen_tables.binary_search(dep).is_ok() {
+                    frozen_changed = true;
+                }
+                if engine.deleted_since(dep, as_of)? {
+                    any_delete = true;
+                }
             }
         }
         if !changed {
-            return Ok(());
+            self.state.lock().unwrap().stats.noop_refreshes += 1;
+            record_refresh("noop", started.elapsed().as_secs_f64(), 0);
+            return Ok(MaintainOutcome::Fresh);
         }
-        if !any_delete && is_distributive(&self.plan) {
-            // Incremental: run the plan over only the inserted rows and
-            // append — all computed off-lock, then swapped in.
-            let delta_rows = eval_distributive_delta(&self.plan, engine, as_of, now)?;
-            let delta = Batch::from_rows(self.plan.schema(), &delta_rows)?;
-            let merged = Batch::concat(self.plan.schema(), &[(*current).clone(), delta])?;
+        let incremental_ok = !frozen_changed
+            && match self.delta_plan.class {
+                DeltaClass::FullOnly => false,
+                // DISTINCT seen-sets carry no multiplicity: inserts fold,
+                // deletes recompute.
+                DeltaClass::IncrementalInsert => !any_delete,
+                DeltaClass::IncrementalRetract => true,
+            };
+        if incremental_ok {
+            let applied = if self.delta_plan.folds_aggregate {
+                self.fold_aggregate_delta(engine, as_of, now)?
+            } else {
+                self.apply_signed_delta(engine, as_of, now, &current)?
+            };
+            if let Some(delta_rows) = applied {
+                if self.verify.load(Ordering::Relaxed) {
+                    self.verify_against_full(engine, now)?;
+                }
+                record_refresh("incremental", started.elapsed().as_secs_f64(), delta_rows);
+                return Ok(MaintainOutcome::Incremental { delta_rows });
+            }
+            // Fell through: retraction not representable incrementally.
+        }
+        self.refresh_serialized(engine)?;
+        Ok(MaintainOutcome::Full)
+    }
+
+    /// Patches a plain (non-folding) view from its signed delta:
+    /// multiset-subtract the retractions, append the insertions.
+    /// `None` = a retracted row is missing from the materialization
+    /// (inconsistent state) — fall back to full recompute.
+    fn apply_signed_delta(
+        &self,
+        engine: &StorageEngine,
+        as_of: Snapshot,
+        now: Snapshot,
+        current: &Arc<Batch>,
+    ) -> Result<Option<usize>> {
+        let d = vdm_exec::eval_signed_delta(&self.plan, engine, as_of, now)?;
+        let delta_rows = d.rows();
+        let merged = if delta_rows == 0 {
+            None // dependencies moved but the view's output did not
+        } else {
+            let base = if d.minus.num_rows() == 0 {
+                (**current).clone()
+            } else {
+                match multiset_subtract(current, &d.minus) {
+                    Some(b) => b,
+                    None => return Ok(None),
+                }
+            };
+            Some(Batch::concat(self.plan.schema(), &[base, d.plus])?)
+        };
+        let mut state = self.state.lock().unwrap();
+        if let Some(b) = merged {
+            state.data = Arc::new(b);
+        }
+        state.as_of = now;
+        state.stats.incremental_refreshes += 1;
+        state.stats.delta_rows += delta_rows;
+        Ok(Some(delta_rows))
+    }
+
+    /// Folds the input's signed delta into live group state and
+    /// re-renders. `None` = fall back to full recompute (missing group
+    /// state, unmatched retraction, or a MIN/MAX rebuild that cannot be
+    /// scoped to its group).
+    fn fold_aggregate_delta(
+        &self,
+        engine: &StorageEngine,
+        as_of: Snapshot,
+        now: Snapshot,
+    ) -> Result<Option<usize>> {
+        let Some((input, group_by, aggs, agg_schema)) = fold_parts(&self.plan) else {
+            return Ok(None);
+        };
+        let d = vdm_exec::eval_signed_delta(input, engine, as_of, now)?;
+        let delta_rows = d.rows();
+        if delta_rows == 0 {
             let mut state = self.state.lock().unwrap();
-            state.data = Arc::new(merged);
             state.as_of = now;
             state.stats.incremental_refreshes += 1;
-            return Ok(());
+            return Ok(Some(0));
         }
-        self.refresh_serialized(engine)
+        // Take the state out (no clone): on any error it stays `None`
+        // and the next full refresh rebuilds it.
+        let Some(mut gs) = self.state.lock().unwrap().groups.take() else {
+            return Ok(None);
+        };
+        let mut dirty: BTreeSet<usize> = BTreeSet::new();
+        for i in 0..d.plus.num_rows() {
+            gs.insert(&d.plus.row(i), group_by, aggs)?;
+        }
+        for i in 0..d.minus.num_rows() {
+            match gs.retract(&d.minus.row(i), group_by, aggs)? {
+                RetractOutcome::Clean => {}
+                RetractOutcome::Dirty(slot) => {
+                    dirty.insert(slot);
+                }
+                RetractOutcome::Missing => return Ok(None),
+            }
+        }
+        let recomputed = dirty.len();
+        if !dirty.is_empty() && !gs.recompute_groups(input, group_by, aggs, engine, now, &dirty)? {
+            self.state.lock().unwrap().stats.minmax_full_refreshes += 1;
+            return Ok(None);
+        }
+        let rendered = render_folded(&self.plan, &gs, agg_schema)?;
+        let mut state = self.state.lock().unwrap();
+        state.data = Arc::new(rendered);
+        state.as_of = now;
+        state.groups = Some(gs);
+        state.stats.incremental_refreshes += 1;
+        state.stats.delta_rows += delta_rows;
+        state.stats.group_recomputes += recomputed;
+        Ok(Some(delta_rows))
     }
+
+    fn verify_against_full(&self, engine: &StorageEngine, now: Snapshot) -> Result<()> {
+        let full = vdm_exec::execute_at(&self.plan, engine, now)?.0;
+        let got = Arc::clone(&self.state.lock().unwrap().data);
+        if multiset_digest(&got) != multiset_digest(&full) {
+            return Err(VdmError::Exec(format!(
+                "cached view {:?}: incremental maintenance diverged from full recompute \
+                 ({} rows vs {} rows)",
+                self.name,
+                got.num_rows(),
+                full.num_rows()
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Multiset subtraction preserving `stored`'s order: removes one
+/// occurrence per `minus` row. `None` when a `minus` row has no match —
+/// the materialization disagrees with the delta feed.
+fn multiset_subtract(stored: &Batch, minus: &Batch) -> Option<Batch> {
+    let mut counts: HashMap<Vec<Value>, usize> = HashMap::new();
+    for i in 0..minus.num_rows() {
+        *counts.entry(minus.row(i)).or_insert(0) += 1;
+    }
+    let mut remaining = minus.num_rows();
+    let mut keep = Vec::with_capacity(stored.num_rows().saturating_sub(remaining));
+    for i in 0..stored.num_rows() {
+        if remaining > 0 {
+            if let Some(c) = counts.get_mut(&stored.row(i)) {
+                if *c > 0 {
+                    *c -= 1;
+                    remaining -= 1;
+                    continue;
+                }
+            }
+        }
+        keep.push(i);
+    }
+    if remaining > 0 {
+        return None;
+    }
+    Some(stored.take(&keep))
 }
 
 /// The registry of cached views. Internally synchronized: registration,
@@ -192,6 +709,10 @@ impl CachedView {
 #[derive(Default)]
 pub struct ViewCache {
     views: RwLock<HashMap<String, Arc<CachedView>>>,
+    /// Names reserved by in-flight registrations, so the duplicate check
+    /// happens *before* the (possibly expensive) materialization and two
+    /// racing `register` calls can't both materialize.
+    reserved: Mutex<HashSet<String>>,
 }
 
 impl ViewCache {
@@ -200,7 +721,10 @@ impl ViewCache {
         ViewCache::default()
     }
 
-    /// Registers and immediately materializes a cached view.
+    /// Registers and immediately materializes a cached view. The name is
+    /// check-and-reserved under the registry lock first, so a duplicate
+    /// fails fast without materializing and concurrent registrations of
+    /// the same name see exactly one winner.
     pub fn register(
         &self,
         name: &str,
@@ -209,14 +733,44 @@ impl ViewCache {
         engine: &StorageEngine,
     ) -> Result<Arc<CachedView>> {
         let key = name.to_ascii_lowercase();
-        // Materialize outside the registry lock; losing a registration race
-        // surfaces as the duplicate error below.
-        let view = Arc::new(CachedView::new(name, plan, mode, engine)?);
-        let mut views = self.views.write().unwrap();
-        if views.contains_key(&key) {
-            return Err(VdmError::Catalog(format!("cached view {name:?} already exists")));
+        {
+            let views = self.views.read().unwrap();
+            let mut reserved = self.reserved.lock().unwrap();
+            if views.contains_key(&key) || !reserved.insert(key.clone()) {
+                return Err(VdmError::Catalog(format!("cached view {name:?} already exists")));
+            }
         }
+        // Materialize outside the registry locks; the reservation holds
+        // the name either way.
+        let built = CachedView::new(name, plan, mode, engine);
+        let mut views = self.views.write().unwrap();
+        self.reserved.lock().unwrap().remove(&key);
+        let view = Arc::new(built?);
         views.insert(key, Arc::clone(&view));
+        Ok(view)
+    }
+
+    /// Replaces a view's definition. When the new plan's canonical digest
+    /// and mode match the existing registration, the current
+    /// materialization and maintenance plan are kept as-is (re-running
+    /// DDL or re-planning after a profile switch is free); otherwise the
+    /// view is re-derived and re-materialized.
+    pub fn reregister(
+        &self,
+        name: &str,
+        plan: PlanRef,
+        mode: CacheMode,
+        engine: &StorageEngine,
+    ) -> Result<Arc<CachedView>> {
+        let key = name.to_ascii_lowercase();
+        let existing = self
+            .get(name)
+            .ok_or_else(|| VdmError::Catalog(format!("unknown cached view {name:?}")))?;
+        if existing.mode() == mode && existing.delta_plan().digest == plan_digest_canonical(&plan) {
+            return Ok(existing);
+        }
+        let view = Arc::new(CachedView::new(name, plan, mode, engine)?);
+        self.views.write().unwrap().insert(key, Arc::clone(&view));
         Ok(view)
     }
 
@@ -254,84 +808,11 @@ impl ViewCache {
     }
 }
 
-fn collect_scans(plan: &PlanRef, out: &mut Vec<String>) {
-    if let LogicalPlan::Scan { table, .. } = plan.as_ref() {
-        out.push(table.name.to_ascii_lowercase());
-    }
-    for c in plan.children() {
-        collect_scans(c, out);
-    }
-}
-
-/// True when the plan distributes over row insertion: evaluating it on the
-/// inserted rows alone yields exactly the rows added to the view.
-fn is_distributive(plan: &PlanRef) -> bool {
-    match plan.as_ref() {
-        LogicalPlan::Scan { .. } => true,
-        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => {
-            is_distributive(input)
-        }
-        LogicalPlan::UnionAll { inputs, .. } => inputs.iter().all(is_distributive),
-        _ => false,
-    }
-}
-
-/// Evaluates a distributive plan over the rows inserted in `(as_of, now]`.
-fn eval_distributive_delta(
-    plan: &PlanRef,
-    engine: &StorageEngine,
-    as_of: Snapshot,
-    now: Snapshot,
-) -> Result<Vec<Vec<Value>>> {
-    let batch = match plan.as_ref() {
-        LogicalPlan::Scan { table, schema, .. } => {
-            let b = engine.inserted_between(&table.name, as_of, now)?;
-            Batch::new(Arc::clone(schema), b.columns)?
-        }
-        LogicalPlan::Filter { input, predicate } => {
-            let rows = eval_distributive_delta(input, engine, as_of, now)?;
-            let mut out = Vec::new();
-            for row in rows {
-                if predicate.eval_row(&row)?.as_bool()? == Some(true) {
-                    out.push(row);
-                }
-            }
-            return Ok(out);
-        }
-        LogicalPlan::Project { input, exprs, .. } => {
-            let rows = eval_distributive_delta(input, engine, as_of, now)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for row in rows {
-                let mut projected = Vec::with_capacity(exprs.len());
-                for (e, _) in exprs {
-                    projected.push(e.eval_row(&row)?);
-                }
-                out.push(projected);
-            }
-            return Ok(out);
-        }
-        LogicalPlan::UnionAll { inputs, .. } => {
-            let mut out = Vec::new();
-            for c in inputs {
-                out.extend(eval_distributive_delta(c, engine, as_of, now)?);
-            }
-            return Ok(out);
-        }
-        other => {
-            return Err(VdmError::Plan(format!(
-                "plan operator {} is not distributive",
-                other.op_name()
-            )))
-        }
-    };
-    Ok(batch.to_rows())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use vdm_catalog::TableBuilder;
-    use vdm_expr::{AggExpr, BinOp, Expr};
+    use vdm_expr::{AggExpr, AggFunc, BinOp, Expr};
     use vdm_types::SqlType;
 
     fn setup() -> (StorageEngine, PlanRef, PlanRef) {
@@ -348,22 +829,21 @@ mod tests {
         engine
             .insert("sales", (0..10).map(|i| vec![Value::Int(i), Value::Int(i * 10)]).collect())
             .unwrap();
-        // Distributive plan: filter + project.
+        // Delta-capable plan: filter + project.
         let filtered = LogicalPlan::filter(
             LogicalPlan::scan(Arc::clone(&t)),
             Expr::col(1).binary(BinOp::GtEq, Expr::int(50)),
         )
         .unwrap();
-        let distributive =
-            LogicalPlan::project(filtered, vec![(Expr::col(0), "id".into())]).unwrap();
-        // Non-distributive plan: aggregate.
+        let capable = LogicalPlan::project(filtered, vec![(Expr::col(0), "id".into())]).unwrap();
+        // Folding plan: root aggregate.
         let agg = LogicalPlan::aggregate(
             LogicalPlan::scan(t),
             vec![],
             vec![(AggExpr::count_star(), "n".into())],
         )
         .unwrap();
-        (engine, distributive, agg)
+        (engine, capable, agg)
     }
 
     #[test]
@@ -404,28 +884,108 @@ mod tests {
         // An unchanged dependency costs nothing.
         assert_eq!(dcv.read(&engine).unwrap().num_rows(), 6);
         assert_eq!(dcv.stats().incremental_refreshes, 1);
+        assert_eq!(dcv.stats().noop_refreshes, 2, "first read and the re-read were no-ops");
     }
 
     #[test]
-    fn dcv_falls_back_to_full_on_delete() {
+    fn dcv_retracts_deletes_incrementally() {
         let (engine, plan, _) = setup();
         let cache = ViewCache::new();
         let dcv = cache.register("v", plan, CacheMode::Dynamic, &engine).unwrap();
         engine.delete_where("sales", &|r| r[0] == Value::Int(9)).unwrap();
         assert_eq!(dcv.read(&engine).unwrap().num_rows(), 4);
-        assert_eq!(dcv.stats().full_refreshes, 2, "delete forces recompute");
+        let stats = dcv.stats();
+        assert_eq!(stats.full_refreshes, 1, "delete retracted, not recomputed");
+        assert_eq!(stats.incremental_refreshes, 1);
+        assert_eq!(stats.delta_rows, 1);
     }
 
     #[test]
-    fn dcv_full_recompute_for_non_distributive_plans() {
+    fn dcv_folds_root_aggregate() {
         let (engine, _, agg) = setup();
         let cache = ViewCache::new();
         let dcv = cache.register("cnt", agg, CacheMode::Dynamic, &engine).unwrap();
         assert_eq!(dcv.read(&engine).unwrap().row(0)[0], Value::Int(10));
         engine.insert("sales", vec![vec![Value::Int(50), Value::Int(5)]]).unwrap();
         assert_eq!(dcv.read(&engine).unwrap().row(0)[0], Value::Int(11));
-        assert_eq!(dcv.stats().full_refreshes, 2);
-        assert_eq!(dcv.stats().incremental_refreshes, 0);
+        engine.delete_where("sales", &|r| r[0] == Value::Int(50)).unwrap();
+        assert_eq!(dcv.read(&engine).unwrap().row(0)[0], Value::Int(10));
+        let stats = dcv.stats();
+        assert_eq!(stats.full_refreshes, 1, "only the initial materialization");
+        assert_eq!(stats.incremental_refreshes, 2);
+    }
+
+    #[test]
+    fn minmax_retraction_recomputes_the_group() {
+        let engine = StorageEngine::new();
+        let t = Arc::new(
+            TableBuilder::new("m")
+                .column("k", SqlType::Int, false)
+                .column("v", SqlType::Int, false)
+                .primary_key(&["k", "v"])
+                .build()
+                .unwrap(),
+        );
+        engine.create_table(Arc::clone(&t)).unwrap();
+        engine
+            .insert(
+                "m",
+                vec![
+                    vec![Value::Int(1), Value::Int(10)],
+                    vec![Value::Int(1), Value::Int(20)],
+                    vec![Value::Int(2), Value::Int(30)],
+                ],
+            )
+            .unwrap();
+        let agg = LogicalPlan::aggregate(
+            LogicalPlan::scan(t),
+            vec![(Expr::col(0), "k".into())],
+            vec![(AggExpr::new(AggFunc::Max, Expr::col(1)), "mx".into())],
+        )
+        .unwrap();
+        let cache = ViewCache::new();
+        let dcv = cache.register("mx", agg, CacheMode::Dynamic, &engine).unwrap();
+        assert_eq!(dcv.read(&engine).unwrap().num_rows(), 2);
+        // Delete group 1's extreme: the group is rebuilt, not the view.
+        engine.delete_where("m", &|r| r[1] == Value::Int(20)).unwrap();
+        let data = dcv.read(&engine).unwrap();
+        let rows = data.to_rows();
+        assert!(rows.contains(&vec![Value::Int(1), Value::Int(10)]));
+        assert!(rows.contains(&vec![Value::Int(2), Value::Int(30)]));
+        let stats = dcv.stats();
+        assert_eq!(stats.group_recomputes, 1);
+        assert_eq!(stats.full_refreshes, 1);
+        // Delete a non-extreme value: exact retraction, no rebuild.
+        engine.delete_where("m", &|r| r[1] == Value::Int(10)).unwrap();
+        assert_eq!(dcv.read(&engine).unwrap().num_rows(), 1, "group 1 died");
+        assert_eq!(dcv.stats().group_recomputes, 2, "10 was the remaining extreme");
+    }
+
+    #[test]
+    fn distinct_aggregate_falls_back_to_full_on_delete() {
+        let (engine, _, _) = setup();
+        let mut distinct = AggExpr::new(AggFunc::Count, Expr::col(1));
+        distinct.distinct = true;
+        let t = Arc::new(
+            TableBuilder::new("sales")
+                .column("id", SqlType::Int, false)
+                .column("amount", SqlType::Int, false)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        );
+        let agg =
+            LogicalPlan::aggregate(LogicalPlan::scan(t), vec![], vec![(distinct, "n".into())])
+                .unwrap();
+        let cache = ViewCache::new();
+        let dcv = cache.register("d", agg, CacheMode::Dynamic, &engine).unwrap();
+        assert_eq!(dcv.read(&engine).unwrap().row(0)[0], Value::Int(10));
+        engine.insert("sales", vec![vec![Value::Int(50), Value::Int(90)]]).unwrap();
+        assert_eq!(dcv.read(&engine).unwrap().row(0)[0], Value::Int(10), "90 already seen");
+        assert_eq!(dcv.stats().incremental_refreshes, 1, "inserts fold");
+        engine.delete_where("sales", &|r| r[0] == Value::Int(9)).unwrap();
+        assert_eq!(dcv.read(&engine).unwrap().row(0)[0], Value::Int(10), "50 still has 90");
+        assert_eq!(dcv.stats().full_refreshes, 2, "deletes recompute");
     }
 
     #[test]
@@ -440,5 +1000,55 @@ mod tests {
         cache.drop_view("v").unwrap();
         assert!(cache.get("v").is_none());
         assert!(cache.drop_view("v").is_err());
+    }
+
+    #[test]
+    fn racing_registrations_have_one_winner() {
+        let (engine, plan, _) = setup();
+        let cache = ViewCache::new();
+        let oks: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let plan = plan.clone();
+                    let cache = &cache;
+                    let engine = &engine;
+                    s.spawn(move || {
+                        cache.register("raced", plan, CacheMode::Static, engine).is_ok() as usize
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(oks, 1, "exactly one registration wins");
+        assert!(cache.get("raced").is_some());
+    }
+
+    #[test]
+    fn reregister_skips_rederivation_when_digest_unchanged() {
+        let (engine, plan, agg) = setup();
+        let cache = ViewCache::new();
+        let v1 = cache.register("v", plan.clone(), CacheMode::Dynamic, &engine).unwrap();
+        // Same canonical plan: the existing view (and its materialization)
+        // is kept.
+        let v2 = cache.reregister("v", plan, CacheMode::Dynamic, &engine).unwrap();
+        assert!(Arc::ptr_eq(&v1, &v2));
+        // Different plan: re-derived and re-materialized.
+        let v3 = cache.reregister("v", agg, CacheMode::Dynamic, &engine).unwrap();
+        assert!(!Arc::ptr_eq(&v1, &v3));
+        assert!(v3.delta_plan().folds_aggregate);
+        assert!(cache.reregister("nope", v3.plan().clone(), CacheMode::Static, &engine).is_err());
+    }
+
+    #[test]
+    fn multiset_digest_is_order_insensitive() {
+        let (engine, _, _) = setup();
+        let snap = engine.snapshot();
+        let a = engine.scan("sales", snap).unwrap();
+        let rev: Vec<usize> = (0..a.num_rows()).rev().collect();
+        let b = a.take(&rev);
+        assert_eq!(multiset_digest(&a), multiset_digest(&b));
+        // ...but not multiplicity-insensitive.
+        let dup: Vec<usize> = (0..a.num_rows()).chain(0..1).collect();
+        assert_ne!(multiset_digest(&a), multiset_digest(&a.take(&dup)));
     }
 }

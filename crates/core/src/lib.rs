@@ -34,7 +34,7 @@
 //! serving layer's state lock does).
 
 use std::sync::Arc;
-use vdm_cache::{CacheMode, CachedView, ViewCache};
+pub use vdm_cache::{CacheMode, CachedView, MaintainOutcome, ViewCache};
 use vdm_catalog::Catalog;
 use vdm_exec::Metrics;
 pub use vdm_exec::ParallelConfig;
@@ -251,6 +251,37 @@ impl Database {
             .get(name)
             .ok_or_else(|| VdmError::Catalog(format!("unknown cached view {name:?}")))?;
         view.read(&self.engine)
+    }
+
+    /// `EXPLAIN ANALYZE` for a cached-view read: performs the read (DCV
+    /// maintenance included), reporting what maintenance did in the
+    /// `[view cache: ...]` header — `fresh`, `incremental(+N rows)`, or
+    /// `full refresh` — followed by the maintenance counters and the
+    /// view's definition plan.
+    pub fn explain_analyze_cached(&self, name: &str) -> Result<String> {
+        let view = self
+            .cache
+            .get(name)
+            .ok_or_else(|| VdmError::Catalog(format!("unknown cached view {name:?}")))?;
+        let started = std::time::Instant::now();
+        let (data, outcome) = view.read_with_outcome(&self.engine)?;
+        let elapsed = started.elapsed();
+        let stats = view.stats();
+        Ok(format!(
+            "== EXPLAIN ANALYZE VIEW {} [view cache: {}] ==\n\
+             {} row(s) returned, elapsed time={}\n\
+             refreshes: full={}, incremental={}, noop={}, delta rows folded: {}\n\
+             == view plan ==\n{}",
+            view.name(),
+            outcome.describe(),
+            data.num_rows(),
+            crate::session::fmt_nanos(elapsed.as_nanos() as u64),
+            stats.full_refreshes,
+            stats.incremental_refreshes,
+            stats.noop_refreshes,
+            stats.delta_rows,
+            vdm_plan::explain(view.plan()),
+        ))
     }
 
     /// Refreshes every static cached view (the periodic refresh tick).

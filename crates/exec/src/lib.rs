@@ -12,6 +12,7 @@
 //! Runtime [`Metrics`] record rows flowing through each operator class so
 //! tests and benches can assert *work*, not just wall time.
 
+pub mod delta;
 mod executor;
 pub mod kernels;
 mod ops;
@@ -22,6 +23,7 @@ pub mod scheduler;
 #[cfg(test)]
 mod ops_tests;
 
+pub use delta::{eval_signed_delta, SignedBatch};
 pub use executor::{execute, execute_at, execute_profiled_serial, ExecContext, Metrics, Profiler};
 pub use parallel::{execute_parallel, execute_parallel_at, execute_profiled_at, ParallelConfig};
 pub use pool::{current_worker_pool, with_worker_pool, WorkerPool};

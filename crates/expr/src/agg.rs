@@ -140,6 +140,17 @@ impl fmt::Display for AggExpr {
     }
 }
 
+/// What [`Accumulator::retract`] achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retraction {
+    /// State subtracted exactly; `finish` reflects the removal.
+    Exact,
+    /// The removal invalidates the folded state (MIN/MAX lost its extreme,
+    /// or DISTINCT): the caller must rebuild this accumulator from the
+    /// surviving input rows.
+    Recompute,
+}
+
 /// Incremental aggregate state.
 ///
 /// `SUM`/`AVG` keep exact integer/decimal state; integer sums overflow into
@@ -287,6 +298,67 @@ impl Accumulator {
             AggFunc::CountStar => unreachable!(),
         }
         Ok(())
+    }
+
+    /// Removes one previously-`update`d value — the retraction step of
+    /// incremental view maintenance over deletes. COUNT/SUM/AVG retract
+    /// exactly (subtraction); MIN/MAX retract exactly only when the removed
+    /// value is *not* the current extreme — removing the extreme returns
+    /// [`Retraction::Recompute`], telling the maintainer this group's state
+    /// must be rebuilt from its remaining rows. DISTINCT aggregates never
+    /// retract (the seen-set carries no multiplicities).
+    pub fn retract(&mut self, v: &Value) -> Result<Retraction> {
+        if self.distinct.is_some() {
+            return Ok(Retraction::Recompute);
+        }
+        if self.func == AggFunc::CountStar {
+            self.count -= 1;
+            return Ok(Retraction::Exact);
+        }
+        if v.is_null() {
+            return Ok(Retraction::Exact); // NULLs were never accumulated.
+        }
+        match self.func {
+            AggFunc::Count => self.count -= 1,
+            AggFunc::Sum | AggFunc::Avg => {
+                match v {
+                    Value::Int(i) => {
+                        let cur = self.int_sum.unwrap_or(0);
+                        self.int_sum = Some(
+                            cur.checked_sub(*i as i128)
+                                .ok_or_else(|| VdmError::Overflow("SUM overflow".into()))?,
+                        );
+                    }
+                    Value::Dec(d) => {
+                        let cur = self.dec_sum.unwrap_or_else(|| Decimal::zero(d.scale()));
+                        self.dec_sum = Some(cur.checked_sub(d)?);
+                    }
+                    other => {
+                        return Err(VdmError::Type(format!(
+                            "{} requires numeric, got {other}",
+                            self.func.name()
+                        )))
+                    }
+                }
+                self.count -= 1;
+                if self.count == 0 {
+                    // Match a fresh accumulator exactly: SUM over zero
+                    // accumulated values is NULL, not 0.
+                    self.int_sum = None;
+                    self.dec_sum = None;
+                }
+            }
+            AggFunc::Min | AggFunc::Max => {
+                if let Some(cur) = &self.extreme {
+                    if v.total_cmp_non_null(cur) == std::cmp::Ordering::Equal {
+                        return Ok(Retraction::Recompute);
+                    }
+                }
+                self.count -= 1;
+            }
+            AggFunc::CountStar => unreachable!(),
+        }
+        Ok(Retraction::Exact)
     }
 
     /// Produces the final aggregate value.
@@ -467,6 +539,63 @@ mod tests {
         let mut empty = Accumulator::new(AggFunc::Min, false);
         empty.merge(&Accumulator::new(AggFunc::Min, false)).unwrap();
         assert_eq!(empty.finish().unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn retract_inverts_update() {
+        let vals =
+            [Value::Int(3), Value::Null, dec("1.25"), Value::Int(7), dec("-0.75"), Value::Int(5)];
+        for func in [AggFunc::CountStar, AggFunc::Count, AggFunc::Sum, AggFunc::Avg] {
+            // Feed everything, retract the last half: must equal feeding
+            // only the first half.
+            for split in 0..=vals.len() {
+                let mut acc = Accumulator::new(func, false);
+                for v in &vals {
+                    acc.update(v).unwrap();
+                }
+                for v in &vals[split..] {
+                    assert_eq!(acc.retract(v).unwrap(), Retraction::Exact, "{func:?}");
+                }
+                let mut reference = Accumulator::new(func, false);
+                for v in &vals[..split] {
+                    reference.update(v).unwrap();
+                }
+                assert_eq!(
+                    acc.finish().unwrap(),
+                    reference.finish().unwrap(),
+                    "{func:?} split={split}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_retract_flags_extreme_loss() {
+        let mut mn = Accumulator::new(AggFunc::Min, false);
+        for v in [Value::Int(3), Value::Int(1), Value::Int(2)] {
+            mn.update(&v).unwrap();
+        }
+        assert_eq!(mn.retract(&Value::Int(2)).unwrap(), Retraction::Exact);
+        assert_eq!(mn.finish().unwrap(), Value::Int(1));
+        assert_eq!(mn.retract(&Value::Int(1)).unwrap(), Retraction::Recompute);
+        // NULLs retract as no-ops.
+        assert_eq!(mn.retract(&Value::Null).unwrap(), Retraction::Exact);
+    }
+
+    #[test]
+    fn distinct_never_retracts() {
+        let mut acc = Accumulator::new(AggFunc::Count, true);
+        acc.update(&Value::Int(1)).unwrap();
+        assert_eq!(acc.retract(&Value::Int(1)).unwrap(), Retraction::Recompute);
+    }
+
+    #[test]
+    fn sum_retracted_to_empty_is_null() {
+        let mut acc = Accumulator::new(AggFunc::Sum, false);
+        acc.update(&Value::Int(5)).unwrap();
+        acc.update(&Value::Null).unwrap();
+        acc.retract(&Value::Int(5)).unwrap();
+        assert_eq!(acc.finish().unwrap(), Value::Null, "SUM of no values is NULL, not 0");
     }
 
     #[test]

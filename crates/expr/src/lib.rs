@@ -21,7 +21,7 @@ pub mod fold;
 pub mod macros;
 pub mod predicate;
 
-pub use agg::{Accumulator, AggExpr, AggFunc};
+pub use agg::{Accumulator, AggExpr, AggFunc, Retraction};
 pub use expr::{BinOp, Expr, ScalarFunc};
 pub use fold::fold;
 pub use macros::MacroDef;

@@ -1,0 +1,321 @@
+//! Maintenance planning for cached views: classify, once at registration,
+//! how a view's materialization can be kept current as its base tables
+//! change, so `maintain()` dispatches on a precomputed [`DeltaPlan`]
+//! instead of re-analyzing the plan on every read.
+//!
+//! The classification mirrors the delta algebra the executor implements
+//! (`vdm-exec`'s signed-delta evaluator):
+//!
+//! * **Delta-capable** subtrees — scans, filters, projections, UNION ALL,
+//!   `VALUES`, and FK-style joins of delta-capable inputs — propagate a
+//!   signed delta (inserted rows, retracted rows) at cost proportional to
+//!   the delta.
+//! * A join side that is *not* delta-capable (or the augmenter side of a
+//!   LEFT OUTER join, whose delta algebra is not bilinear) is **frozen**:
+//!   the view still maintains incrementally while those tables are
+//!   untouched, and falls back to a full recompute when they change.
+//! * A top-level `Aggregate` over a delta-capable input **folds**: the
+//!   delta is re-aggregated and merged group-wise into live accumulator
+//!   state. DISTINCT aggregates fold inserts but cannot retract deletes;
+//!   MIN/MAX retract exactly unless a group loses its extreme.
+//! * Everything else — DISTINCT, ORDER BY, LIMIT, non-root aggregates —
+//!   recomputes from scratch.
+
+use crate::digest::plan_digest_canonical;
+use crate::node::{JoinKind, LogicalPlan, PlanRef};
+use vdm_expr::AggFunc;
+
+/// How a view's materialization is kept current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaClass {
+    /// Insert deltas fold incrementally; any delete forces a full
+    /// recompute (DISTINCT aggregates: the seen-set has no multiplicity).
+    IncrementalInsert,
+    /// Inserts fold and deletes retract incrementally.
+    IncrementalRetract,
+    /// Every change recomputes the view from scratch.
+    FullOnly,
+}
+
+/// The per-view maintenance plan, derived once at registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaPlan {
+    pub class: DeltaClass,
+    /// Canonical plan digest: re-registration after profile/DDL changes
+    /// re-derives the plan only when this changed.
+    pub digest: u64,
+    /// Base tables (lowercased, sorted, deduped) whose change forces a
+    /// full refresh even for an incremental class — the snapshot-probed
+    /// sides of joins whose delta algebra we do not propagate.
+    pub frozen_tables: Vec<String>,
+    /// The root is an `Aggregate` folded via live accumulator state.
+    pub folds_aggregate: bool,
+    /// The folded aggregate contains MIN/MAX: a delete that removes a
+    /// group's extreme rebuilds that group (or the view) instead of
+    /// retracting exactly.
+    pub has_minmax: bool,
+}
+
+impl DeltaPlan {
+    fn full_only(digest: u64) -> DeltaPlan {
+        DeltaPlan {
+            class: DeltaClass::FullOnly,
+            digest,
+            frozen_tables: Vec::new(),
+            folds_aggregate: false,
+            has_minmax: false,
+        }
+    }
+}
+
+/// True when the subtree propagates a signed delta — the executor's
+/// `eval_signed_delta` accepts exactly these shapes. Join sides that fail
+/// this test are evaluated from a snapshot scan instead (and their tables
+/// frozen), which is how an aggregate dimension under an FK join still
+/// maintains incrementally.
+pub fn delta_capable(plan: &PlanRef) -> bool {
+    capability(plan).is_some()
+}
+
+/// `Some(frozen tables)` when the subtree is delta-capable.
+fn capability(plan: &PlanRef) -> Option<Vec<String>> {
+    match plan.as_ref() {
+        LogicalPlan::Scan { .. } | LogicalPlan::Values { .. } => Some(Vec::new()),
+        LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => capability(input),
+        LogicalPlan::UnionAll { inputs, .. } => {
+            let mut frozen = Vec::new();
+            for c in inputs {
+                frozen.extend(capability(c)?);
+            }
+            Some(frozen)
+        }
+        LogicalPlan::Join { left, right, kind, .. } => {
+            let l = capability(left);
+            // LEFT OUTER deltas are only linear in the left input: a right
+            // insert can *retract* an existing NULL-padded row, so the
+            // right side is always probed from its snapshot and frozen.
+            let r = if *kind == JoinKind::Inner { capability(right) } else { None };
+            match (l, r) {
+                (Some(mut lf), Some(rf)) => {
+                    lf.extend(rf);
+                    Some(lf)
+                }
+                (Some(mut lf), None) => {
+                    lf.extend(scan_tables(right));
+                    Some(lf)
+                }
+                (None, Some(mut rf)) if *kind == JoinKind::Inner => {
+                    rf.extend(scan_tables(left));
+                    Some(rf)
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The root `Aggregate` a view folds via live accumulator state: the
+/// plan itself, or the input of a root `Project` over one (the SQL
+/// binder wraps grouped selects in a renaming projection). The
+/// projection is re-applied when rendering from group state, so any
+/// deterministic expressions over the aggregate output are fine.
+pub fn folded_aggregate(plan: &PlanRef) -> Option<&PlanRef> {
+    match plan.as_ref() {
+        LogicalPlan::Aggregate { .. } => Some(plan),
+        LogicalPlan::Project { input, .. }
+            if matches!(input.as_ref(), LogicalPlan::Aggregate { .. }) =>
+        {
+            Some(input)
+        }
+        _ => None,
+    }
+}
+
+/// Derives the maintenance plan for a view definition.
+pub fn derive_delta_plan(plan: &PlanRef) -> DeltaPlan {
+    let digest = plan_digest_canonical(plan);
+    if let Some(agg) = folded_aggregate(plan) {
+        let LogicalPlan::Aggregate { input, aggs, .. } = agg.as_ref() else {
+            unreachable!("folded_aggregate returns Aggregate nodes");
+        };
+        let Some(frozen) = capability(input) else {
+            return DeltaPlan::full_only(digest);
+        };
+        let any_distinct = aggs.iter().any(|(a, _)| a.distinct);
+        let has_minmax =
+            aggs.iter().any(|(a, _)| !a.distinct && matches!(a.func, AggFunc::Min | AggFunc::Max));
+        return DeltaPlan {
+            class: if any_distinct {
+                DeltaClass::IncrementalInsert
+            } else {
+                DeltaClass::IncrementalRetract
+            },
+            digest,
+            frozen_tables: normalize(frozen),
+            folds_aggregate: true,
+            has_minmax,
+        };
+    }
+    match capability(plan) {
+        Some(frozen) => DeltaPlan {
+            class: DeltaClass::IncrementalRetract,
+            digest,
+            frozen_tables: normalize(frozen),
+            folds_aggregate: false,
+            has_minmax: false,
+        },
+        None => DeltaPlan::full_only(digest),
+    }
+}
+
+fn normalize(mut tables: Vec<String>) -> Vec<String> {
+    tables.sort();
+    tables.dedup();
+    tables
+}
+
+/// All base tables scanned under `plan` (lowercased, unsorted).
+pub fn scan_tables(plan: &PlanRef) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_scans(plan, &mut out);
+    out
+}
+
+fn collect_scans(plan: &PlanRef, out: &mut Vec<String>) {
+    if let LogicalPlan::Scan { table, .. } = plan.as_ref() {
+        out.push(table.name.to_ascii_lowercase());
+    }
+    for c in plan.children() {
+        collect_scans(c, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vdm_catalog::TableBuilder;
+    use vdm_expr::{AggExpr, BinOp, Expr};
+    use vdm_types::SqlType;
+
+    fn table(name: &str) -> Arc<vdm_catalog::TableDef> {
+        Arc::new(
+            TableBuilder::new(name)
+                .column("k", SqlType::Int, false)
+                .column("v", SqlType::Int, false)
+                .primary_key(&["k"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn scan(name: &str) -> PlanRef {
+        LogicalPlan::scan(table(name))
+    }
+
+    #[test]
+    fn chains_and_inner_joins_retract() {
+        let filtered =
+            LogicalPlan::filter(scan("a"), Expr::col(1).binary(BinOp::Gt, Expr::int(0))).unwrap();
+        let dp = derive_delta_plan(&filtered);
+        assert_eq!(dp.class, DeltaClass::IncrementalRetract);
+        assert!(dp.frozen_tables.is_empty());
+        assert!(!dp.folds_aggregate);
+
+        let join = LogicalPlan::inner_join(scan("a"), scan("b"), vec![(0, 0)]).unwrap();
+        let dp = derive_delta_plan(&join);
+        assert_eq!(dp.class, DeltaClass::IncrementalRetract);
+        assert!(dp.frozen_tables.is_empty(), "both sides delta-capable: nothing frozen");
+    }
+
+    #[test]
+    fn left_outer_freezes_the_augmenter_side() {
+        let join = LogicalPlan::left_join(scan("fact"), scan("dim"), vec![(0, 0)]).unwrap();
+        let dp = derive_delta_plan(&join);
+        assert_eq!(dp.class, DeltaClass::IncrementalRetract);
+        assert_eq!(dp.frozen_tables, vec!["dim".to_string()]);
+    }
+
+    #[test]
+    fn aggregate_dimension_under_join_freezes_it() {
+        let dim_agg = LogicalPlan::aggregate(
+            scan("dim"),
+            vec![(Expr::col(0), "k".into())],
+            vec![(AggExpr::count_star(), "n".into())],
+        )
+        .unwrap();
+        let join = LogicalPlan::inner_join(scan("fact"), dim_agg, vec![(0, 0)]).unwrap();
+        let dp = derive_delta_plan(&join);
+        assert_eq!(dp.class, DeltaClass::IncrementalRetract);
+        assert_eq!(dp.frozen_tables, vec!["dim".to_string()]);
+    }
+
+    #[test]
+    fn root_aggregates_fold() {
+        let agg = LogicalPlan::aggregate(
+            scan("a"),
+            vec![(Expr::col(0), "k".into())],
+            vec![
+                (AggExpr::count_star(), "n".into()),
+                (AggExpr::new(AggFunc::Max, Expr::col(1)), "m".into()),
+            ],
+        )
+        .unwrap();
+        let dp = derive_delta_plan(&agg);
+        assert_eq!(dp.class, DeltaClass::IncrementalRetract);
+        assert!(dp.folds_aggregate);
+        assert!(dp.has_minmax);
+
+        let mut distinct_agg = AggExpr::new(AggFunc::Count, Expr::col(1));
+        distinct_agg.distinct = true;
+        let agg =
+            LogicalPlan::aggregate(scan("a"), vec![], vec![(distinct_agg, "n".into())]).unwrap();
+        let dp = derive_delta_plan(&agg);
+        assert_eq!(dp.class, DeltaClass::IncrementalInsert, "DISTINCT cannot retract");
+        assert!(dp.folds_aggregate);
+    }
+
+    #[test]
+    fn projected_root_aggregate_still_folds() {
+        // The binder's renaming projection over a grouped select.
+        let agg = LogicalPlan::aggregate(
+            scan("a"),
+            vec![(Expr::col(0), "k".into())],
+            vec![(AggExpr::count_star(), "__agg_0".into())],
+        )
+        .unwrap();
+        let wrapped = LogicalPlan::project(
+            Arc::clone(&agg),
+            vec![(Expr::col(0), "k".into()), (Expr::col(1), "n".into())],
+        )
+        .unwrap();
+        assert!(folded_aggregate(&wrapped).is_some());
+        let dp = derive_delta_plan(&wrapped);
+        assert_eq!(dp.class, DeltaClass::IncrementalRetract);
+        assert!(dp.folds_aggregate);
+    }
+
+    #[test]
+    fn unsupported_shapes_are_full_only() {
+        let key = crate::node::SortKey { expr: Expr::col(0), asc: true, nulls_first: false };
+        let sorted = LogicalPlan::sort(scan("a"), vec![key]).unwrap();
+        assert_eq!(derive_delta_plan(&sorted).class, DeltaClass::FullOnly);
+        // Aggregate below a non-fold operator: not delta-capable.
+        let agg = LogicalPlan::aggregate(
+            scan("a"),
+            vec![(Expr::col(0), "k".into())],
+            vec![(AggExpr::count_star(), "n".into())],
+        )
+        .unwrap();
+        let limited = LogicalPlan::limit(agg, 0, Some(5));
+        assert_eq!(derive_delta_plan(&limited).class, DeltaClass::FullOnly);
+    }
+
+    #[test]
+    fn digest_is_canonical_across_rebinds() {
+        let a = LogicalPlan::inner_join(scan("a"), scan("b"), vec![(0, 0)]).unwrap();
+        let b = LogicalPlan::inner_join(scan("a"), scan("b"), vec![(0, 0)]).unwrap();
+        assert_eq!(derive_delta_plan(&a).digest, derive_delta_plan(&b).digest);
+    }
+}

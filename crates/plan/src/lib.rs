@@ -12,6 +12,7 @@
 //! Tables 1–4.
 
 pub mod cache;
+pub mod delta;
 pub mod digest;
 pub mod explain;
 pub mod fusion;
@@ -24,6 +25,9 @@ pub mod stats;
 pub mod transform;
 
 pub use cache::{CacheStats, PropertyCache};
+pub use delta::{
+    delta_capable, derive_delta_plan, folded_aggregate, scan_tables, DeltaClass, DeltaPlan,
+};
 pub use digest::{plan_digest, plan_digest_canonical};
 pub use explain::{explain, explain_annotated, number_nodes};
 pub use fusion::{column_mapping, fused_projection_chain, FusedChain};

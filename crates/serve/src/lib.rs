@@ -29,7 +29,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use vdm_cache::{CacheMode, CachedView, ViewCache};
+use vdm_cache::{CacheMode, CachedView, MaintainOutcome, ViewCache};
 use vdm_core::{
     execute_select, explain_analyze_bound, CacheOutcome, Database, DbState, PlanCache,
     StatementResult,
@@ -333,6 +333,17 @@ impl Session {
             .get(name)
             .ok_or_else(|| VdmError::Catalog(format!("unknown cached view {name:?}")))?;
         view.read(&self.shared.engine)
+    }
+
+    /// [`read_cached`](Session::read_cached), also reporting what DCV
+    /// maintenance did (`fresh`, `incremental(+N rows)`, `full refresh`).
+    pub fn read_cached_with_outcome(&self, name: &str) -> Result<(Arc<Batch>, MaintainOutcome)> {
+        let view = self
+            .shared
+            .views
+            .get(name)
+            .ok_or_else(|| VdmError::Catalog(format!("unknown cached view {name:?}")))?;
+        view.read_with_outcome(&self.shared.engine)
     }
 }
 

@@ -143,6 +143,13 @@ impl StorageEngine {
         self.table(name)?.read().unwrap().inserted_between(since.0, now.0)
     }
 
+    /// Rows visible at `since` but tombstoned in `(since, now]` — the
+    /// retraction feed paired with [`StorageEngine::inserted_between`].
+    /// Rows both inserted and deleted inside the window appear in neither.
+    pub fn deleted_between(&self, name: &str, since: Snapshot, now: Snapshot) -> Result<Batch> {
+        self.table(name)?.read().unwrap().deleted_between(since.0, now.0)
+    }
+
     /// Switches a table between column-loadable and page-loadable layouts
     /// (the NSE metadata change + reload of §2.2).
     pub fn set_load_mode(

@@ -23,6 +23,16 @@ impl RowMeta {
     }
 }
 
+/// One tombstoned row version, logged at delete time so incremental view
+/// maintenance can retrieve retraction deltas even after a delta merge
+/// compacted the fragment that held the row.
+#[derive(Debug, Clone)]
+struct Tombstone {
+    insert_ts: u64,
+    delete_ts: u64,
+    row: Vec<Value>,
+}
+
 /// One table's data: a read-optimized columnar `main` fragment and a
 /// write-optimized row-wise `delta`, each with per-row visibility stamps.
 #[derive(Debug)]
@@ -35,6 +45,11 @@ pub struct TableStore {
     delta_meta: Vec<RowMeta>,
     /// Live key tuples per unique constraint (PK first), for enforcement.
     key_index: Vec<HashSet<Vec<Value>>>,
+    /// Append-only tombstone log (delete-timestamp order). Authoritative
+    /// source for [`TableStore::deleted_between`]: unlike the fragments, it
+    /// survives `merge_delta` compaction, so a view whose `as_of` predates a
+    /// merge still sees every retraction.
+    tombstones: Vec<Tombstone>,
     merges: usize,
     /// Timestamp of the most recent write (insert or delete).
     last_write_ts: u64,
@@ -65,6 +80,7 @@ impl TableStore {
             delta: Vec::new(),
             delta_meta: Vec::new(),
             key_index: vec![HashSet::new(); n_keys],
+            tombstones: Vec::new(),
             merges: 0,
             last_write_ts: 0,
             last_delete_ts: 0,
@@ -110,17 +126,44 @@ impl TableStore {
     }
 
     /// Rows inserted after `ts` (exclusive) that are still live at `now` —
-    /// the append-delta used by incremental view maintenance.
+    /// the append-delta used by incremental view maintenance. Rows inserted
+    /// *and* deleted inside the window cancel out: they appear in neither
+    /// this feed nor [`TableStore::deleted_between`].
+    ///
+    /// Insert timestamps are non-decreasing within each fragment (the delta
+    /// appends in commit order; merges preserve it), so the matching suffix
+    /// is located by binary search instead of a full stamp sweep — the cost
+    /// is O(log table + delta rows), not O(table).
     pub fn inserted_between(&self, ts: u64, now: u64) -> Result<Batch> {
         let mut rows: Vec<Vec<Value>> = Vec::new();
-        for (i, meta) in self.main_meta.iter().enumerate() {
-            if meta.insert_ts > ts && meta.visible_at(now) {
+        let m_start = self.main_meta.partition_point(|m| m.insert_ts <= ts);
+        for (i, meta) in self.main_meta.iter().enumerate().skip(m_start) {
+            if meta.visible_at(now) {
                 rows.push(self.main.iter().map(|c| c.get(i)).collect());
             }
         }
-        for (i, meta) in self.delta_meta.iter().enumerate() {
-            if meta.insert_ts > ts && meta.visible_at(now) {
+        let d_start = self.delta_meta.partition_point(|m| m.insert_ts <= ts);
+        for (i, meta) in self.delta_meta.iter().enumerate().skip(d_start) {
+            if meta.visible_at(now) {
                 rows.push(self.delta[i].clone());
+            }
+        }
+        Batch::from_rows(Arc::clone(&self.schema), &rows)
+    }
+
+    /// Rows that were visible at `ts` and tombstoned by `now` — the
+    /// retraction-delta counterpart of [`TableStore::inserted_between`].
+    /// Served from the tombstone log (delete-timestamp order, binary
+    /// searched), so the cost is O(log deletes + matches) and the feed stays
+    /// correct after `merge_delta` compacts the deleted rows away.
+    pub fn deleted_between(&self, ts: u64, now: u64) -> Result<Batch> {
+        let start = self.tombstones.partition_point(|t| t.delete_ts <= ts);
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for t in &self.tombstones[start..] {
+            // `insert_ts <= ts` keeps rows born inside the window out: those
+            // cancel against the insert feed rather than retracting.
+            if t.delete_ts <= now && t.insert_ts <= ts {
+                rows.push(t.row.clone());
             }
         }
         Batch::from_rows(Arc::clone(&self.schema), &rows)
@@ -215,6 +258,11 @@ impl TableStore {
                 if pred(&row) {
                     self.main_meta[i].delete_ts = ts;
                     remove_keys(&mut self.key_index, &uniques, &row);
+                    self.tombstones.push(Tombstone {
+                        insert_ts: self.main_meta[i].insert_ts,
+                        delete_ts: ts,
+                        row,
+                    });
                     deleted += 1;
                 }
             }
@@ -224,6 +272,11 @@ impl TableStore {
             if self.delta_meta[i].visible_at(ts.saturating_sub(1)) && pred(&self.delta[i]) {
                 self.delta_meta[i].delete_ts = ts;
                 remove_keys(&mut self.key_index, &uniques, &self.delta[i]);
+                self.tombstones.push(Tombstone {
+                    insert_ts: self.delta_meta[i].insert_ts,
+                    delete_ts: ts,
+                    row: self.delta[i].clone(),
+                });
                 deleted += 1;
             }
         }
@@ -571,6 +624,38 @@ mod tests {
         }
         assert_eq!(rows, serial);
         assert_eq!(s.blocks_skipped(), 2 * skipped_serial, "same blocks skipped once each");
+    }
+
+    #[test]
+    fn delta_feeds_pair_up() {
+        let mut s = store();
+        s.insert(vec![row(1, "a"), row(2, "b"), row(3, "c")], 1).unwrap();
+        // Window (1, 4]: row 4 inserted, row 2 deleted, row 5 born+killed.
+        s.insert(vec![row(4, "d")], 2).unwrap();
+        s.delete_where(&|r| r[0] == Value::Int(2), 3);
+        s.insert(vec![row(5, "e")], 3).unwrap();
+        s.delete_where(&|r| r[0] == Value::Int(5), 4);
+        let ins = s.inserted_between(1, 4).unwrap();
+        assert_eq!(ins.to_rows(), vec![row(4, "d")], "intra-window birth+death cancels");
+        let del = s.deleted_between(1, 4).unwrap();
+        assert_eq!(del.to_rows(), vec![row(2, "b")]);
+        // A window that predates the delete sees nothing retracted.
+        assert_eq!(s.deleted_between(3, 3).unwrap().num_rows(), 0);
+        // A window starting after the delete: the tombstone is out of range.
+        assert_eq!(s.deleted_between(4, 4).unwrap().num_rows(), 0);
+    }
+
+    #[test]
+    fn deleted_between_survives_merge_compaction() {
+        let mut s = store();
+        s.insert(vec![row(1, "a"), row(2, "b")], 1).unwrap();
+        s.delete_where(&|r| r[0] == Value::Int(1), 2);
+        // Compaction at ts 5 drops the deleted row version entirely...
+        s.merge_delta(5).unwrap();
+        assert_eq!(s.main_len(), 1);
+        // ...but a maintainer whose snapshot predates the delete still gets
+        // the retraction from the tombstone log.
+        assert_eq!(s.deleted_between(1, 5).unwrap().to_rows(), vec![row(1, "a")]);
     }
 
     #[test]

@@ -46,6 +46,19 @@ PAR_DIR="$(mktemp -d)"
 test -s "$PAR_DIR/BENCH_parallel.json"
 rm -rf "$PAR_DIR"
 
+echo "== cache_sweep incremental-maintenance smoke gate (reduced rows, scratch dir) =="
+# Maintains an agg-over-join DCV across delta fractions over a reduced
+# base and fails if the 1%-delta incremental fold is not at least 5x
+# faster than a full recompute — the canary for O(delta) regressions
+# in the view-maintenance engine. Digest equivalence is asserted inside
+# the binary every round.
+CACHE_DIR="$(mktemp -d)"
+(cd "$CACHE_DIR" && "$OLDPWD/target/release/cache_sweep" 200000 \
+    --gate-delta-speedup=5 > cache_sweep.log) \
+  || { cat "$CACHE_DIR/cache_sweep.log"; rm -rf "$CACHE_DIR"; exit 1; }
+test -s "$CACHE_DIR/BENCH_cache.json"
+rm -rf "$CACHE_DIR"
+
 echo "== serve_sweep multi-session smoke gate (reduced load, scratch dir) =="
 # 64 interactive sessions against one server: the highest step's p99
 # per-query latency and plan-cache hit rate must clear the gates — the

@@ -196,6 +196,65 @@ fn registry_exports_prometheus_and_json_with_uaj_hits() {
 }
 
 #[test]
+fn golden_explain_analyze_cached_view_header() {
+    let mut db = db();
+    db.create_cached_view(
+        "cust_orders",
+        "select o_orderkey, c_name from orders join customer on o_custkey = c_custkey",
+        vdm_core::CacheMode::Dynamic,
+    )
+    .unwrap();
+    // Unchanged dependencies: served as-is.
+    let fresh = db.explain_analyze_cached("cust_orders").unwrap();
+    assert!(fresh.contains("[view cache: fresh]"), "{fresh}");
+    // One inserted order joins one customer: a 1-row signed delta.
+    db.execute("insert into orders values (13, 2, 1.00)").unwrap();
+    let text = db.explain_analyze_cached("cust_orders").unwrap();
+    assert!(text.contains("[view cache: incremental(+1 rows)]"), "{text}");
+    assert_golden("explain_analyze_cached_view.txt", &text);
+
+    // An ORDER BY view is full-only: any change recomputes.
+    db.create_cached_view(
+        "ordered",
+        "select o_orderkey from orders order by o_orderkey desc",
+        vdm_core::CacheMode::Dynamic,
+    )
+    .unwrap();
+    db.execute("insert into orders values (14, 1, 2.00)").unwrap();
+    let full = db.explain_analyze_cached("ordered").unwrap();
+    assert!(full.contains("[view cache: full refresh]"), "{full}");
+}
+
+#[test]
+fn view_refresh_metrics_are_exported() {
+    let mut db = db();
+    let reg = db.metrics();
+    let full = vdm_obs::registry::label("vdm_view_refresh_total", "kind", "full");
+    let incr = vdm_obs::registry::label("vdm_view_refresh_total", "kind", "incremental");
+    let noop = vdm_obs::registry::label("vdm_view_refresh_total", "kind", "noop");
+    let full0 = reg.counter(&full);
+    let incr0 = reg.counter(&incr);
+    let noop0 = reg.counter(&noop);
+    let delta0 = reg.counter("vdm_view_delta_rows_total");
+
+    db.create_cached_view("vm", "select o_orderkey from orders", vdm_core::CacheMode::Dynamic)
+        .unwrap();
+    assert_eq!(reg.counter(&full), full0 + 1, "registration materializes in full");
+    db.read_cached("vm").unwrap();
+    assert_eq!(reg.counter(&noop), noop0 + 1, "unchanged deps are a no-op");
+    db.execute("insert into orders values (30, 1, 3.00)").unwrap();
+    db.read_cached("vm").unwrap();
+    assert_eq!(reg.counter(&incr), incr0 + 1);
+    assert_eq!(reg.counter("vdm_view_delta_rows_total"), delta0 + 1);
+
+    let prom = reg.to_prometheus();
+    assert!(prom.contains("vdm_view_refresh_total{kind=\"incremental\"}"), "{prom}");
+    assert!(prom.contains("vdm_view_refresh_total{kind=\"full\"}"), "{prom}");
+    assert!(prom.contains("vdm_view_refresh_seconds_bucket{le=\"+Inf\"}"), "{prom}");
+    assert!(prom.contains("vdm_view_delta_rows_total"), "{prom}");
+}
+
+#[test]
 fn explain_analyze_profiles_every_executed_node() {
     let db = db();
     let text = db

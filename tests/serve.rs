@@ -205,6 +205,85 @@ fn concurrent_sessions_match_serial_browser_results() {
 }
 
 #[test]
+fn concurrent_dcv_reads_see_consistent_snapshots() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use vdm_cache::CacheMode;
+
+    // Invariant: every committed state of `t` holds rows (k, 3k) for k in
+    // a contiguous range with multiple-of-100 bounds (each write is one
+    // 100-row batch). A reader observing anything else saw a torn batch.
+    let mut db = Database::hana();
+    db.execute_script("create table t (k bigint primary key, v bigint not null);").unwrap();
+    let seed: Vec<Vec<Value>> = (0..100).map(|k| vec![Value::Int(k), Value::Int(k * 3)]).collect();
+    db.engine().insert("t", seed).unwrap();
+    let server = Server::from_database(db);
+    server
+        .create_cached_view("live", "select k, v from t where v >= 0", CacheMode::Dynamic)
+        .unwrap();
+
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let session = server.session();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut reads = 0usize;
+                    while !done.load(Ordering::Relaxed) || reads == 0 {
+                        let (batch, _) = session.read_cached_with_outcome("live").expect("read");
+                        let mut keys: Vec<i64> = Vec::with_capacity(batch.num_rows());
+                        for i in 0..batch.num_rows() {
+                            let row = batch.row(i);
+                            let (Value::Int(k), Value::Int(v)) = (row[0].clone(), row[1].clone())
+                            else {
+                                panic!("unexpected row {row:?}")
+                            };
+                            assert_eq!(v, k * 3, "torn row: {row:?}");
+                            keys.push(k);
+                        }
+                        keys.sort_unstable();
+                        let lo = *keys.first().expect("view is never empty");
+                        let hi = *keys.last().unwrap() + 1;
+                        assert_eq!(keys.len() as i64, hi - lo, "non-contiguous keys: torn batch");
+                        assert_eq!(lo % 100, 0, "partial batch visible at lo={lo}");
+                        assert_eq!(hi % 100, 0, "partial batch visible at hi={hi}");
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+        // Writer: grow by five 100-row batches, then trim three off the
+        // front — inserts append, deletes retract, all while readers
+        // maintain the DCV concurrently.
+        for phase in 1..=5i64 {
+            let rows: Vec<Vec<Value>> = (phase * 100..(phase + 1) * 100)
+                .map(|k| vec![Value::Int(k), Value::Int(k * 3)])
+                .collect();
+            server.engine().insert("t", rows).unwrap();
+        }
+        for phase in 0..3i64 {
+            let (lo, hi) = (phase * 100, phase * 100 + 100);
+            server
+                .engine()
+                .delete_where("t", &|r| matches!(r[0], Value::Int(k) if k >= lo && k < hi))
+                .unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        for h in readers {
+            assert!(h.join().expect("reader thread") > 0);
+        }
+    });
+
+    // Final state: exactly keys 300..600, reached without a full refresh.
+    let (batch, _) = server.session().read_cached_with_outcome("live").unwrap();
+    assert_eq!(batch.num_rows(), 300);
+    let stats = server.cached_view("live").unwrap().stats();
+    assert!(stats.incremental_refreshes > 0, "{stats:?}");
+    assert_eq!(stats.full_refreshes, 1, "only the registration materialization: {stats:?}");
+}
+
+#[test]
 fn prepared_parameter_handling() {
     let server = Server::new(Profile::hana());
     let session = server.session();
