@@ -36,6 +36,7 @@ use std::time::Instant;
 use vdm_exec::kernels::hash_values;
 use vdm_expr::{AggExpr, BinOp, Expr, Retraction};
 use vdm_obs::registry::{self, MetricsRegistry};
+use vdm_obs::{names, trace as qtrace};
 use vdm_plan::{
     derive_delta_plan, plan_digest_canonical, scan_tables, DeltaClass, DeltaPlan, LogicalPlan,
     PlanRef,
@@ -379,10 +380,10 @@ fn materialize(
 
 fn record_refresh(kind: &'static str, seconds: f64, delta_rows: usize) {
     let m = MetricsRegistry::global();
-    m.inc(&registry::label("vdm_view_refresh_total", "kind", kind), 1);
-    m.observe("vdm_view_refresh_seconds", seconds);
+    m.inc(&registry::label(names::VIEW_REFRESH_TOTAL, "kind", kind), 1);
+    m.observe(names::VIEW_REFRESH_SECONDS, seconds);
     if delta_rows > 0 {
-        m.inc("vdm_view_delta_rows_total", delta_rows as u64);
+        m.inc(names::VIEW_DELTA_ROWS_TOTAL, delta_rows as u64);
     }
 }
 
@@ -496,6 +497,8 @@ impl CachedView {
 
     /// Full recompute; caller holds the maintenance lock.
     fn refresh_serialized(&self, engine: &StorageEngine) -> Result<()> {
+        let _span = qtrace::span("view.refresh");
+        qtrace::attr("view", &self.name);
         let started = Instant::now();
         let snapshot = engine.snapshot();
         let (batch, groups) =
@@ -516,6 +519,8 @@ impl CachedView {
     /// full recompute otherwise.
     pub fn maintain(&self, engine: &StorageEngine) -> Result<MaintainOutcome> {
         let _serialize = self.maintenance.lock().unwrap();
+        let _span = qtrace::span("view.maintain");
+        qtrace::attr("view", &self.name);
         let started = Instant::now();
         let now = engine.snapshot();
         let (as_of, current) = {
@@ -539,6 +544,7 @@ impl CachedView {
         if !changed {
             self.state.lock().unwrap().stats.noop_refreshes += 1;
             record_refresh("noop", started.elapsed().as_secs_f64(), 0);
+            qtrace::attr("outcome", "noop");
             return Ok(MaintainOutcome::Fresh);
         }
         let incremental_ok = !frozen_changed
@@ -560,11 +566,14 @@ impl CachedView {
                     self.verify_against_full(engine, now)?;
                 }
                 record_refresh("incremental", started.elapsed().as_secs_f64(), delta_rows);
+                qtrace::attr("outcome", "incremental");
+                qtrace::attr("delta_rows", delta_rows);
                 return Ok(MaintainOutcome::Incremental { delta_rows });
             }
             // Fell through: retraction not representable incrementally.
         }
         self.refresh_serialized(engine)?;
+        qtrace::attr("outcome", "full");
         Ok(MaintainOutcome::Full)
     }
 

@@ -33,12 +33,13 @@
 //! deployment must serialize them against running queries (which the
 //! serving layer's state lock does).
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 pub use vdm_cache::{CacheMode, CachedView, MaintainOutcome, ViewCache};
 use vdm_catalog::Catalog;
 use vdm_exec::Metrics;
 pub use vdm_exec::ParallelConfig;
-use vdm_obs::MetricsRegistry;
+use vdm_obs::trace as qtrace;
+use vdm_obs::{MetricsRegistry, QueryStore, QueryTrace};
 pub use vdm_optimizer::Profile;
 use vdm_plan::{plan_stats, PlanRef, ViewRegistry};
 use vdm_sql::Statement;
@@ -50,7 +51,9 @@ mod session;
 mod state;
 
 pub use plan_cache::{CachedPlan, PlanCache, PlanCacheKey, PlanCacheStats};
-pub use session::{execute_select, explain_analyze_bound, param_types_of, CacheOutcome, QueryEnv};
+pub use session::{
+    execute_select, explain_analyze_bound, param_types_of, CacheOutcome, QueryEnv, ResolvedPlan,
+};
 pub use state::DbState;
 
 /// Plans a freshly constructed [`Database`] keeps before evicting
@@ -89,6 +92,8 @@ pub struct Database {
     cache: ViewCache,
     plan_cache: PlanCache,
     parallel: ParallelConfig,
+    /// The most recent finished query trace (see [`Database::last_trace`]).
+    last_trace: Mutex<Option<QueryTrace>>,
 }
 
 /// A [`Database`] decomposed into its shareable pieces — what a serving
@@ -111,6 +116,7 @@ impl Database {
             cache: ViewCache::new(),
             plan_cache: PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY),
             parallel: ParallelConfig::default(),
+            last_trace: Mutex::new(None),
         }
     }
 
@@ -128,6 +134,7 @@ impl Database {
             cache: parts.views,
             plan_cache: parts.plan_cache,
             parallel: parts.parallel,
+            last_trace: Mutex::new(None),
         }
     }
 
@@ -352,7 +359,39 @@ impl Database {
             return Err(VdmError::Bind("query() expects a SELECT; use execute()".into()));
         };
         let shape = vdm_sql::canonical_shape(sql)?;
-        self.env().run_select(&sel, Some(&shape), params)
+        let root = qtrace::root("query");
+        qtrace::attr("shape", format_args!("{shape:?}"));
+        let result = self.env().run_select(&sel, Some(&shape), params);
+        if let Some(trace) = root.finish() {
+            *self.last_trace.lock().unwrap() = Some(trace);
+        }
+        result
+    }
+
+    /// The trace of the most recent traced query on this handle (each
+    /// [`Database::query`] / [`Database::query_with_params`] call replaces
+    /// it while automatic tracing — [`vdm_obs::trace::set_enabled`] — is
+    /// on). Render with [`QueryTrace::render`] or export via
+    /// [`QueryTrace::to_json`].
+    pub fn last_trace(&self) -> Option<QueryTrace> {
+        self.last_trace.lock().unwrap().clone()
+    }
+
+    /// `EXPLAIN TRACE` for a SELECT: runs the query under a forced trace
+    /// (even when automatic tracing is disabled) and renders the span
+    /// tree. The same output is available via SQL:
+    /// `db.execute("explain trace select ...")`.
+    pub fn explain_trace(&self, sql: &str) -> Result<String> {
+        let stmt = vdm_sql::parse_one(sql)?;
+        let Statement::Select(sel) = stmt else {
+            return Err(VdmError::Bind("explain_trace() expects a SELECT".into()));
+        };
+        let shape = vdm_sql::canonical_shape(sql)?;
+        let (text, trace) = explain_trace_select(&self.env(), &sel, Some(&shape), &[])?;
+        if let Some(trace) = trace {
+            *self.last_trace.lock().unwrap() = Some(trace);
+        }
+        Ok(text)
     }
 
     /// Binds a SELECT to its *unoptimized* logical plan.
@@ -428,20 +467,43 @@ impl Database {
     /// consulted (`[plan cache: bypass]`).
     pub fn explain_analyze_plan(&self, plan: &PlanRef) -> Result<String> {
         let (optimized, trace) = self.state.optimizer.optimize_traced(plan)?;
-        explain_analyze_bound(
-            &optimized,
-            &trace,
-            CacheOutcome::Bypass,
-            &[],
-            &self.engine,
-            self.parallel,
-        )
+        let resolved = ResolvedPlan::bypass(optimized, trace);
+        explain_analyze_bound(&resolved, &[], &self.engine, self.parallel)
     }
 
     /// The process-wide metrics registry (JSON / Prometheus exporters).
     pub fn metrics(&self) -> &'static MetricsRegistry {
         MetricsRegistry::global()
     }
+
+    /// The process-wide query store (per-plan-digest execution history,
+    /// slow-query log). See [`vdm_obs::QueryStore`].
+    pub fn query_store(&self) -> &'static QueryStore {
+        QueryStore::global()
+    }
+}
+
+/// Runs one SELECT under a forced trace and renders the span tree,
+/// returning the rendered text and the trace itself (None only when an
+/// outer trace scope already owned the collection).
+fn explain_trace_select(
+    env: &QueryEnv<'_>,
+    sel: &vdm_sql::SelectStmt,
+    shape: Option<&str>,
+    params: &[vdm_types::Value],
+) -> Result<(String, Option<QueryTrace>)> {
+    let root = qtrace::root_forced("query");
+    if let Some(shape) = shape {
+        qtrace::attr("shape", format_args!("{shape:?}"));
+    }
+    let result = env.run_select(sel, shape, params);
+    let trace = root.finish();
+    let batch = result?;
+    let rendered = trace
+        .as_ref()
+        .map(|t| t.render())
+        .unwrap_or_else(|| "(trace owned by an enclosing trace scope)\n".to_string());
+    Ok((format!("== EXPLAIN TRACE ==\n{rendered}{} row(s) returned\n", batch.num_rows()), trace))
 }
 
 /// Runs one parsed statement against explicitly borrowed database parts.
@@ -567,6 +629,21 @@ pub fn run_statement(
             }
             _ => Err(VdmError::Unsupported("EXPLAIN ANALYZE supports SELECT only".into())),
         },
+        Statement::ExplainTrace(inner) => match inner.as_ref() {
+            Statement::Select(sel) => {
+                // Share cache entries with the bare statement, like
+                // EXPLAIN ANALYZE does.
+                let inner_shape = shape.map(|s| s.strip_prefix("explain trace ").unwrap_or(s));
+                let (text, _) = explain_trace_select(
+                    &env(state, engine, plan_cache, parallel),
+                    sel,
+                    inner_shape,
+                    &[],
+                )?;
+                Ok(StatementResult::Explained(text))
+            }
+            _ => Err(VdmError::Unsupported("EXPLAIN TRACE supports SELECT only".into())),
+        },
     }
 }
 
@@ -633,7 +710,8 @@ mod tests {
     #[test]
     fn explain_analyze_reports_rows_trace_and_metrics() {
         let mut db = db();
-        let rule = vdm_obs::registry::label("vdm_rewrite_fired_total", "rule", "uaj-removal");
+        let rule =
+            vdm_obs::registry::label(vdm_obs::names::REWRITE_FIRED_TOTAL, "rule", "uaj-removal");
         let before = db.metrics().counter(&rule);
         let text = db
             .explain_analyze(

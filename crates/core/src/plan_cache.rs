@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use vdm_obs::MetricsRegistry;
+use vdm_obs::{names, MetricsRegistry};
 use vdm_optimizer::Trace;
 use vdm_plan::PlanRef;
 use vdm_types::SqlType;
@@ -50,6 +50,9 @@ pub struct CachedPlan {
     pub trace: Trace,
     /// Metadata version the plan was optimized under.
     pub version: u64,
+    /// `vdm_plan::plan_digest_canonical` of the plan, cached so hits
+    /// don't re-hash (it keys the query store's per-shape history).
+    pub digest: u64,
 }
 
 /// Hit/miss/eviction counters for one cache instance.
@@ -160,11 +163,11 @@ impl PlanCache {
         match &hit {
             Some(_) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                MetricsRegistry::global().inc("vdm_plan_cache_hits_total", 1);
+                MetricsRegistry::global().inc(names::PLAN_CACHE_HITS_TOTAL, 1);
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
-                MetricsRegistry::global().inc("vdm_plan_cache_misses_total", 1);
+                MetricsRegistry::global().inc(names::PLAN_CACHE_MISSES_TOTAL, 1);
             }
         }
         hit
@@ -183,7 +186,7 @@ impl PlanCache {
             {
                 inner.map.remove(&lru);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
-                MetricsRegistry::global().inc("vdm_plan_cache_evictions_total", 1);
+                MetricsRegistry::global().inc(names::PLAN_CACHE_EVICTIONS_TOTAL, 1);
             }
         }
         inner.tick += 1;
@@ -207,7 +210,7 @@ mod tests {
         let scan = LogicalPlan::scan(Arc::new(
             TableBuilder::new("t").column("k", SqlType::Int, false).build().unwrap(),
         ));
-        Arc::new(CachedPlan { plan: scan, trace: Trace::default(), version: 0 })
+        Arc::new(CachedPlan { plan: scan, trace: Trace::default(), version: 0, digest: 0 })
     }
 
     #[test]

@@ -7,16 +7,23 @@
 //! before execution starts:
 //!
 //! 1. [`QueryEnv::select_plan`] — plan-cache lookup by canonical shape,
-//!    bind + optimize on a miss (the only place `optimize` runs);
+//!    bind + optimize on a miss (the only place `optimize` runs); returns
+//!    a [`ResolvedPlan`] carrying the canonical plan digest;
 //! 2. [`execute_select`] — parameter substitution, parallel execution,
-//!    metrics recording. Needs only the plan and the engine.
+//!    metrics recording, and (when the [`QueryStore`] is enabled)
+//!    per-digest history recording with slow-query capture.
+//!
+//! Both phases emit [`vdm_obs::trace`] spans, so a query running under an
+//! active trace contributes `select_plan` → `plan_cache.lookup` / `bind` /
+//! `optimize` and `execute` spans to one causal tree.
 
 use crate::plan_cache::{CachedPlan, PlanCache, PlanCacheKey};
 use crate::state::DbState;
 use std::sync::Arc;
 use std::time::Instant;
 use vdm_exec::{Metrics, NodeIndex, ParallelConfig, QueryProfile};
-use vdm_obs::MetricsRegistry;
+use vdm_obs::trace as qtrace;
+use vdm_obs::{names, ExecRecord, MetricsRegistry, QueryStore};
 use vdm_optimizer::Trace;
 use vdm_plan::PlanRef;
 use vdm_sql::SelectStmt;
@@ -43,6 +50,30 @@ impl CacheOutcome {
             CacheOutcome::Miss => "miss",
             CacheOutcome::Bypass => "bypass",
         }
+    }
+}
+
+/// A fully resolved SELECT: the optimized (still parameterized) plan plus
+/// everything downstream consumers need — the optimizer trace for
+/// EXPLAIN, the cache outcome for headers and store hit/miss accounting,
+/// and the canonical plan digest that keys the [`QueryStore`].
+pub struct ResolvedPlan {
+    pub plan: PlanRef,
+    pub trace: Trace,
+    pub outcome: CacheOutcome,
+    /// `plan_digest_canonical` of the optimized plan (cached alongside
+    /// the plan, so cache hits don't re-hash).
+    pub digest: u64,
+    /// Canonical statement shape; empty for shapeless (bypass) plans.
+    pub shape: String,
+}
+
+impl ResolvedPlan {
+    /// Wraps an already-optimized plan that never saw the plan cache
+    /// (prebuilt plans, script fragments).
+    pub fn bypass(plan: PlanRef, trace: Trace) -> ResolvedPlan {
+        let digest = vdm_plan::plan_digest_canonical(&plan);
+        ResolvedPlan { plan, trace, outcome: CacheOutcome::Bypass, digest, shape: String::new() }
     }
 }
 
@@ -73,11 +104,15 @@ impl QueryEnv<'_> {
         sel: &SelectStmt,
         shape: Option<&str>,
         params: &[Value],
-    ) -> Result<(PlanRef, Trace, CacheOutcome)> {
+    ) -> Result<ResolvedPlan> {
+        let _sp = qtrace::span("select_plan");
         let types = param_types_of(params);
         let Some(shape) = shape else {
             let (plan, trace) = self.bind_and_optimize(sel, &types)?;
-            return Ok((plan, trace, CacheOutcome::Bypass));
+            let resolved = ResolvedPlan::bypass(plan, trace);
+            qtrace::attr("cache", CacheOutcome::Bypass.label());
+            qtrace::attr("digest", format_args!("{:016x}", resolved.digest));
+            return Ok(resolved);
         };
         let key = PlanCacheKey {
             shape: shape.to_string(),
@@ -85,15 +120,36 @@ impl QueryEnv<'_> {
             param_types: types.clone(),
         };
         let version = self.state.version();
-        if let Some(cached) = self.plan_cache.get(&key, version) {
-            return Ok((cached.plan.clone(), cached.trace.clone(), CacheOutcome::Hit));
+        let cached = {
+            let _lookup = qtrace::span("plan_cache.lookup");
+            let cached = self.plan_cache.get(&key, version);
+            qtrace::attr("outcome", if cached.is_some() { "hit" } else { "miss" });
+            cached
+        };
+        if let Some(cached) = cached {
+            qtrace::attr("digest", format_args!("{:016x}", cached.digest));
+            return Ok(ResolvedPlan {
+                plan: cached.plan.clone(),
+                trace: cached.trace.clone(),
+                outcome: CacheOutcome::Hit,
+                digest: cached.digest,
+                shape: shape.to_string(),
+            });
         }
         let (plan, trace) = self.bind_and_optimize(sel, &types)?;
+        let digest = vdm_plan::plan_digest_canonical(&plan);
+        qtrace::attr("digest", format_args!("{digest:016x}"));
         self.plan_cache.insert(
             key,
-            Arc::new(CachedPlan { plan: plan.clone(), trace: trace.clone(), version }),
+            Arc::new(CachedPlan { plan: plan.clone(), trace: trace.clone(), version, digest }),
         );
-        Ok((plan, trace, CacheOutcome::Miss))
+        Ok(ResolvedPlan {
+            plan,
+            trace,
+            outcome: CacheOutcome::Miss,
+            digest,
+            shape: shape.to_string(),
+        })
     }
 
     fn bind_and_optimize(
@@ -101,7 +157,11 @@ impl QueryEnv<'_> {
         sel: &SelectStmt,
         param_types: &[SqlType],
     ) -> Result<(PlanRef, Trace)> {
-        let bound = self.state.binder().with_param_types(param_types).bind_select(sel)?;
+        let bound = {
+            let _bind = qtrace::span("bind");
+            self.state.binder().with_param_types(param_types).bind_select(sel)?
+        };
+        let _opt = qtrace::span("optimize");
         self.state.optimizer.optimize_traced(&bound)
     }
 
@@ -113,8 +173,8 @@ impl QueryEnv<'_> {
         shape: Option<&str>,
         params: &[Value],
     ) -> Result<Batch> {
-        let (plan, trace, _) = self.select_plan(sel, shape, params)?;
-        execute_select(&plan, params, self.engine, self.parallel, &trace)
+        let resolved = self.select_plan(sel, shape, params)?;
+        execute_select(&resolved, params, self.engine, self.parallel)
     }
 
     /// EXPLAIN ANALYZE through the cached path; the header reports whether
@@ -125,63 +185,173 @@ impl QueryEnv<'_> {
         shape: Option<&str>,
         params: &[Value],
     ) -> Result<String> {
-        let (plan, trace, outcome) = self.select_plan(sel, shape, params)?;
-        explain_analyze_bound(&plan, &trace, outcome, params, self.engine, self.parallel)
+        let resolved = self.select_plan(sel, shape, params)?;
+        explain_analyze_bound(&resolved, params, self.engine, self.parallel)
     }
 }
 
 /// Executes a resolved (possibly parameterized) plan: splices `params` in,
-/// runs it on the morsel executor, and records query metrics. Needs no
-/// access to [`DbState`] — a serving layer calls this after releasing its
-/// state lock.
+/// runs it on the morsel executor, and records query metrics plus (when
+/// enabled) the per-digest [`QueryStore`] history. Needs no access to
+/// [`DbState`] — a serving layer calls this after releasing its state
+/// lock. With the store enabled, execution runs the profiled path so
+/// per-node `rows_out` lands in the digest history, and executions over
+/// the store's slow threshold capture their full EXPLAIN ANALYZE text.
 pub fn execute_select(
-    plan: &PlanRef,
+    resolved: &ResolvedPlan,
     params: &[Value],
     engine: &StorageEngine,
     parallel: ParallelConfig,
-    trace: &Trace,
 ) -> Result<Batch> {
-    let bound = vdm_plan::bind_params(plan, params)?;
+    let _sp = qtrace::span("execute");
+    let bound = vdm_plan::bind_params(&resolved.plan, params)?;
+    let store = QueryStore::global();
     let start = Instant::now();
-    let (batch, metrics) =
-        vdm_exec::execute_parallel_at(&bound, engine, engine.snapshot(), parallel)?;
-    record_query(&metrics, trace, start.elapsed());
+    let (batch, metrics, profile) = if store.enabled() {
+        let (batch, metrics, profile) =
+            vdm_exec::execute_profiled_at(&bound, engine, engine.snapshot(), parallel)?;
+        (batch, metrics, Some(profile))
+    } else {
+        let (batch, metrics) =
+            vdm_exec::execute_parallel_at(&bound, engine, engine.snapshot(), parallel)?;
+        (batch, metrics, None)
+    };
+    let elapsed = start.elapsed();
+    record_query(&metrics, &resolved.trace, elapsed);
+    qtrace::attr("rows", batch.num_rows());
+    qtrace::attr("workers", parallel.threads.max(1));
+    if let Some(profile) = profile {
+        let elapsed_nanos = elapsed.as_nanos() as u64;
+        let explain = if elapsed_nanos >= store.slow_threshold_nanos() {
+            let index = NodeIndex::new(&bound);
+            Some(render_explain_analyze(
+                &bound,
+                &index,
+                &profile,
+                &resolved.trace,
+                resolved.outcome,
+                &metrics,
+                batch.num_rows(),
+                elapsed_nanos,
+                parallel.threads.max(1),
+            ))
+        } else {
+            None
+        };
+        store.record(exec_record(
+            resolved,
+            &metrics,
+            &profile,
+            &batch,
+            elapsed_nanos,
+            parallel,
+            explain,
+        ));
+    }
     Ok(batch)
 }
 
+/// Builds the store record for one finished execution.
+#[allow(clippy::too_many_arguments)]
+fn exec_record(
+    resolved: &ResolvedPlan,
+    metrics: &Metrics,
+    profile: &QueryProfile,
+    batch: &Batch,
+    latency_nanos: u64,
+    parallel: ParallelConfig,
+    explain: Option<String>,
+) -> ExecRecord {
+    ExecRecord {
+        digest: resolved.digest,
+        shape: resolved.shape.clone(),
+        latency_nanos,
+        rows_in: metrics.rows_scanned as u64,
+        rows_out: batch.num_rows() as u64,
+        cache_hit: resolved.outcome == CacheOutcome::Hit,
+        workers: parallel.threads.max(1) as u32,
+        node_rows: profile.nodes.iter().map(|(id, s)| (*id as u32, s.rows_out)).collect(),
+        explain,
+    }
+}
+
 /// EXPLAIN ANALYZE over a resolved plan: profiled execution plus the
-/// annotated rendering. `outcome` feeds the `[plan cache: ...]` header
-/// token.
+/// annotated rendering. The resolved plan's cache outcome feeds the
+/// `[plan cache: ...]` header token; the execution is recorded into the
+/// [`QueryStore`] like any other (with the rendered text attached, so a
+/// slow EXPLAIN ANALYZE also lands in the slow-query log).
 pub fn explain_analyze_bound(
-    plan: &PlanRef,
-    trace: &Trace,
-    outcome: CacheOutcome,
+    resolved: &ResolvedPlan,
     params: &[Value],
     engine: &StorageEngine,
     parallel: ParallelConfig,
 ) -> Result<String> {
-    let bound = vdm_plan::bind_params(plan, params)?;
+    let _sp = qtrace::span("execute");
+    let bound = vdm_plan::bind_params(&resolved.plan, params)?;
     let index = NodeIndex::new(&bound);
     let start = Instant::now();
     let (batch, metrics, profile) =
         vdm_exec::execute_profiled_at(&bound, engine, engine.snapshot(), parallel)?;
     let elapsed = start.elapsed();
-    record_query(&metrics, trace, elapsed);
-    let annotated = render_analyzed(&bound, &index, &profile);
-    Ok(format!(
-        "== EXPLAIN ANALYZE ({} thread(s)) [plan cache: {}] ==\n{}\n{}== rewrite trace ==\n{}== execution summary ==\n{} row(s) returned, elapsed time={}\nrows scanned: {}, join probe rows: {}, rows joined: {}, operators: {}\n",
+    record_query(&metrics, &resolved.trace, elapsed);
+    qtrace::attr("rows", batch.num_rows());
+    let text = render_explain_analyze(
+        &bound,
+        &index,
+        &profile,
+        &resolved.trace,
+        resolved.outcome,
+        &metrics,
+        batch.num_rows(),
+        elapsed.as_nanos() as u64,
         parallel.threads.max(1),
+    );
+    let store = QueryStore::global();
+    if store.enabled() {
+        let nanos = elapsed.as_nanos() as u64;
+        store.record(exec_record(
+            resolved,
+            &metrics,
+            &profile,
+            &batch,
+            nanos,
+            parallel,
+            Some(text.clone()),
+        ));
+    }
+    Ok(text)
+}
+
+/// Renders the full EXPLAIN ANALYZE text from an already-collected
+/// profile — shared by [`explain_analyze_bound`] and the slow-query
+/// capture path (which must not re-run the query to describe it).
+#[allow(clippy::too_many_arguments)]
+fn render_explain_analyze(
+    bound: &PlanRef,
+    index: &NodeIndex,
+    profile: &QueryProfile,
+    trace: &Trace,
+    outcome: CacheOutcome,
+    metrics: &Metrics,
+    rows_returned: usize,
+    elapsed_nanos: u64,
+    threads: usize,
+) -> String {
+    let annotated = render_analyzed(bound, index, profile);
+    format!(
+        "== EXPLAIN ANALYZE ({} thread(s)) [plan cache: {}] ==\n{}\n{}== rewrite trace ==\n{}== execution summary ==\n{} row(s) returned, elapsed time={}\nrows scanned: {}, join probe rows: {}, rows joined: {}, operators: {}\n",
+        threads,
         outcome.label(),
         trace.render_opt_stats(),
         annotated,
         trace.render_events(),
-        batch.num_rows(),
-        fmt_nanos(elapsed.as_nanos() as u64),
+        rows_returned,
+        fmt_nanos(elapsed_nanos),
         metrics.rows_scanned,
         metrics.join_probe_rows,
         metrics.join_output_rows,
         metrics.operators,
-    ))
+    )
 }
 
 /// Renders `plan` with one `[#id rows=... time=...]` annotation per node,
@@ -216,15 +386,15 @@ fn render_analyzed(plan: &PlanRef, index: &NodeIndex, profile: &QueryProfile) ->
 /// Feeds one query's counters into the process-wide metrics registry.
 pub(crate) fn record_query(metrics: &Metrics, trace: &Trace, elapsed: std::time::Duration) {
     let reg = MetricsRegistry::global();
-    reg.inc("vdm_queries_total", 1);
-    reg.observe("vdm_query_seconds", elapsed.as_secs_f64());
-    reg.observe("vdm_optimize_seconds", trace.optimize_nanos as f64 / 1e9);
-    reg.inc("vdm_rows_scanned_total", metrics.rows_scanned as u64);
-    reg.inc("vdm_rows_joined_total", metrics.join_output_rows as u64);
-    reg.inc("vdm_morsel_steals_total", metrics.morsel_steals as u64);
-    reg.inc("vdm_morsel_size_bytes", metrics.morsel_bytes as u64);
+    reg.inc(names::QUERIES_TOTAL, 1);
+    reg.observe(names::QUERY_SECONDS, elapsed.as_secs_f64());
+    reg.observe(names::OPTIMIZE_SECONDS, trace.optimize_nanos as f64 / 1e9);
+    reg.inc(names::ROWS_SCANNED_TOTAL, metrics.rows_scanned as u64);
+    reg.inc(names::ROWS_JOINED_TOTAL, metrics.join_output_rows as u64);
+    reg.inc(names::MORSEL_STEALS_TOTAL, metrics.morsel_steals as u64);
+    reg.inc(names::MORSEL_SIZE_BYTES, metrics.morsel_bytes as u64);
     for (rule, n) in trace.hit_counts() {
-        reg.inc(&vdm_obs::registry::label("vdm_rewrite_fired_total", "rule", &rule), n);
+        reg.inc(&vdm_obs::registry::label(names::REWRITE_FIRED_TOTAL, "rule", &rule), n);
     }
 }
 

@@ -1,0 +1,194 @@
+//! Fixed-bucket log-linear latency histograms.
+//!
+//! One bucket layout serves both the [`MetricsRegistry`]'s Prometheus
+//! histograms and the per-digest latency aggregates of the
+//! [`QueryStore`]: eight decades from 1 µs to 50 s, three linear
+//! sub-buckets per decade (1×, 2.5×, 5×). Log-linear keeps the relative
+//! quantile-estimation error bounded (a value lands in a bucket at most
+//! ~2.5× wide at its magnitude) with a fixed 24-slot footprint, so
+//! per-shape histograms stay cheap enough to keep for every plan digest.
+//!
+//! [`MetricsRegistry`]: crate::MetricsRegistry
+//! [`QueryStore`]: crate::store::QueryStore
+
+/// Upper bucket bounds in seconds, Prometheus `le` semantics. Values above
+/// the last bound land in the implicit `+Inf` overflow bucket.
+pub const LE_BOUNDS: [f64; 24] = [
+    1e-6, 2.5e-6, 5e-6, // microseconds
+    1e-5, 2.5e-5, 5e-5, //
+    1e-4, 2.5e-4, 5e-4, // fractions of a millisecond
+    1e-3, 2.5e-3, 5e-3, // milliseconds
+    1e-2, 2.5e-2, 5e-2, //
+    1e-1, 2.5e-1, 5e-1, // fractions of a second
+    1.0, 2.5, 5.0, // seconds
+    10.0, 25.0, 50.0, // tens of seconds
+];
+
+/// A log-linear histogram of durations in seconds: per-bound counts
+/// (non-cumulative internally), an overflow bucket, and running
+/// count/sum for means and Prometheus `_sum`/`_count`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencyHist {
+    buckets: [u64; LE_BOUNDS.len()],
+    overflow: u64,
+    count: u64,
+    sum: f64,
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> LatencyHist {
+        LatencyHist::default()
+    }
+
+    /// Records one observation (seconds).
+    pub fn observe(&mut self, seconds: f64) {
+        match LE_BOUNDS.iter().position(|b| seconds <= *b) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += seconds;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (seconds).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (seconds), 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Adds every observation of `other` into this histogram.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Cumulative `(le_bound, count)` pairs in Prometheus order; the
+    /// caller appends the `+Inf` row from [`LatencyHist::count`].
+    pub fn cumulative(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let mut cum = 0u64;
+        LE_BOUNDS.iter().zip(self.buckets.iter()).map(move |(b, n)| {
+            cum += n;
+            (*b, cum)
+        })
+    }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) in seconds, linearly
+    /// interpolated within the landing bucket. Observations past the last
+    /// bound estimate as the mean of the overflow region (`sum` minus the
+    /// bounded mass cannot be reconstructed exactly, so the last bound is
+    /// the floor).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            let next = cum + n;
+            if next >= target && *n > 0 {
+                let lower = if i == 0 { 0.0 } else { LE_BOUNDS[i - 1] };
+                let frac = (target - cum) as f64 / *n as f64;
+                return lower + (LE_BOUNDS[i] - lower) * frac;
+            }
+            cum = next;
+        }
+        // Target falls in the overflow bucket.
+        LE_BOUNDS[LE_BOUNDS.len() - 1].max(self.mean())
+    }
+
+    /// Raw per-bound counts plus the overflow bucket as the final element
+    /// (the JSON-lines serialization of the query store).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let mut v = self.buckets.to_vec();
+        v.push(self.overflow);
+        v
+    }
+
+    /// Rebuilds a histogram from [`LatencyHist::bucket_counts`] plus the
+    /// recorded sum. Returns `None` when the bucket layout doesn't match
+    /// (a file written under a different `LE_BOUNDS`).
+    pub fn from_parts(counts: &[u64], sum: f64) -> Option<LatencyHist> {
+        if counts.len() != LE_BOUNDS.len() + 1 {
+            return None;
+        }
+        let mut h = LatencyHist::new();
+        for (b, c) in h.buckets.iter_mut().zip(counts.iter()) {
+            *b = *c;
+        }
+        h.overflow = counts[LE_BOUNDS.len()];
+        h.count = counts.iter().sum();
+        h.sum = sum;
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_sorted_and_log_linear() {
+        for w in LE_BOUNDS.windows(2) {
+            assert!(w[0] < w[1]);
+            // Each step grows by at most 2.5x: the log-linear guarantee
+            // that bounds quantile error at any magnitude.
+            assert!(w[1] / w[0] <= 2.5 + 1e-9, "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut h = LatencyHist::new();
+        for _ in 0..100 {
+            h.observe(0.003); // bucket (2.5e-3, 5e-3]
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5);
+        assert!(p50 > 2.5e-3 && p50 <= 5e-3, "{p50}");
+        // All mass in one bucket: p99 is in the same bucket.
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 2.5e-3 && p99 <= 5e-3, "{p99}");
+    }
+
+    #[test]
+    fn overflow_and_merge_round_trip() {
+        let mut a = LatencyHist::new();
+        a.observe(100.0); // overflow
+        a.observe(1e-7); // first bucket
+        let mut b = LatencyHist::new();
+        b.observe(0.5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!(a.quantile(1.0) >= 50.0);
+
+        let rebuilt = LatencyHist::from_parts(&a.bucket_counts(), a.sum()).unwrap();
+        assert_eq!(rebuilt, a);
+        assert!(LatencyHist::from_parts(&[1, 2, 3], 0.0).is_none());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LatencyHist::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.cumulative().last(), Some((50.0, 0)));
+    }
+}

@@ -3,38 +3,17 @@
 //!
 //! Counter names may embed one Prometheus label set, e.g.
 //! `vdm_rewrite_fired_total{rule="uaj-removal"}` (see [`label`]); the
-//! exporters keep such keys intact and emit one `# TYPE` line per base
-//! metric name.
+//! exporters keep such keys intact and emit one `# HELP`/`# TYPE` pair per
+//! base metric name, with help text drawn from the [`names`] catalog.
+//! Histograms share the log-linear [`LE_BOUNDS`](crate::hist::LE_BOUNDS) layout with the query
+//! store, rendered cumulatively as Prometheus `_bucket`/`_sum`/`_count`.
 
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
-/// Upper bucket bounds (seconds) for latency histograms — log-spaced from
-/// 1 µs to 25 s, Prometheus `le` semantics (cumulative at export time).
-const LE_BOUNDS: [f64; 12] =
-    [1e-6, 5e-6, 25e-6, 1e-4, 5e-4, 25e-4, 1e-2, 5e-2, 25e-2, 1.0, 5.0, 25.0];
-
-/// One histogram: per-bound counts (non-cumulative internally) plus
-/// running count and sum.
-#[derive(Debug, Clone, Default)]
-struct Histogram {
-    buckets: [u64; LE_BOUNDS.len()],
-    /// Observations above the largest bound.
-    overflow: u64,
-    count: u64,
-    sum: f64,
-}
-
-impl Histogram {
-    fn observe(&mut self, value: f64) {
-        match LE_BOUNDS.iter().position(|b| value <= *b) {
-            Some(i) => self.buckets[i] += 1,
-            None => self.overflow += 1,
-        }
-        self.count += 1;
-        self.sum += value;
-    }
-}
+use crate::hist::LatencyHist;
+use crate::names;
+use crate::util::{json_number, json_string};
 
 /// A registry of named counters, gauges, and histograms.
 ///
@@ -45,7 +24,7 @@ impl Histogram {
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, u64>>,
     gauges: Mutex<BTreeMap<String, i64>>,
-    histograms: Mutex<BTreeMap<String, Histogram>>,
+    histograms: Mutex<BTreeMap<String, LatencyHist>>,
 }
 
 /// Formats `name{key="value"}` for a labelled counter key.
@@ -57,6 +36,14 @@ pub fn label(name: &str, key: &str, value: &str) -> String {
 pub fn global() -> &'static MetricsRegistry {
     static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
     GLOBAL.get_or_init(MetricsRegistry::default)
+}
+
+/// Emits `# HELP` (when catalogued in [`names`]) and `# TYPE` for `base`.
+fn push_header(out: &mut String, base: &str, kind: names::MetricKind) {
+    if let Some(desc) = names::describe(base) {
+        out.push_str(&format!("# HELP {base} {}\n", desc.help));
+    }
+    out.push_str(&format!("# TYPE {base} {}\n", kind.token()));
 }
 
 impl MetricsRegistry {
@@ -109,6 +96,27 @@ impl MetricsRegistry {
         self.counters.lock().unwrap().clone()
     }
 
+    /// Snapshot of histogram `name`, if any observations were recorded.
+    pub fn histogram(&self, name: &str) -> Option<LatencyHist> {
+        self.histograms.lock().unwrap().get(name).cloned()
+    }
+
+    /// Estimated `q`-quantile (seconds) of histogram `name`; 0 when the
+    /// histogram is absent or empty.
+    pub fn quantile(&self, name: &str, q: f64) -> f64 {
+        self.histograms.lock().unwrap().get(name).map(|h| h.quantile(q)).unwrap_or(0.0)
+    }
+
+    /// Every metric name currently registered (labelled keys intact),
+    /// sorted — the basis of the catalog-coverage test.
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.counters.lock().unwrap().keys().cloned().collect();
+        out.extend(self.gauges.lock().unwrap().keys().cloned());
+        out.extend(self.histograms.lock().unwrap().keys().cloned());
+        out.sort();
+        out
+    }
+
     /// Renders everything as a JSON object:
     /// `{"counters": {...}, "gauges": {...}, "histograms": {"name": {"count", "sum", "buckets": [{"le", "count"}...]}}}`.
     pub fn to_json(&self) -> String {
@@ -137,18 +145,16 @@ impl MetricsRegistry {
             out.push_str(&format!(
                 "\n    {}: {{\"count\": {}, \"sum\": {}, \"buckets\": [",
                 json_string(name),
-                h.count,
-                json_number(h.sum)
+                h.count(),
+                json_number(h.sum())
             ));
-            let mut cumulative = 0;
-            for (bi, bound) in LE_BOUNDS.iter().enumerate() {
-                cumulative += h.buckets[bi];
+            for (bi, (bound, cumulative)) in h.cumulative().enumerate() {
                 if bi > 0 {
                     out.push_str(", ");
                 }
                 out.push_str(&format!(
                     "{{\"le\": {}, \"count\": {cumulative}}}",
-                    json_number(*bound)
+                    json_number(bound)
                 ));
             }
             out.push_str("]}");
@@ -167,7 +173,7 @@ impl MetricsRegistry {
         for (name, v) in &counters {
             let base = name.split('{').next().unwrap_or(name);
             if base != last_base {
-                out.push_str(&format!("# TYPE {base} counter\n"));
+                push_header(&mut out, base, names::MetricKind::Counter);
                 last_base = base.to_string();
             }
             out.push_str(&format!("{name} {v}\n"));
@@ -176,47 +182,21 @@ impl MetricsRegistry {
         for (name, v) in &gauges {
             let base = name.split('{').next().unwrap_or(name);
             if base != last_base {
-                out.push_str(&format!("# TYPE {base} gauge\n"));
+                push_header(&mut out, base, names::MetricKind::Gauge);
                 last_base = base.to_string();
             }
             out.push_str(&format!("{name} {v}\n"));
         }
         for (name, h) in &hists {
-            out.push_str(&format!("# TYPE {name} histogram\n"));
-            let mut cumulative = 0;
-            for (bi, bound) in LE_BOUNDS.iter().enumerate() {
-                cumulative += h.buckets[bi];
+            push_header(&mut out, name, names::MetricKind::Histogram);
+            for (bound, cumulative) in h.cumulative() {
                 out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
             }
-            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
-            out.push_str(&format!("{name}_sum {}\n", h.sum));
-            out.push_str(&format!("{name}_count {}\n", h.count));
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+            out.push_str(&format!("{name}_sum {}\n", h.sum()));
+            out.push_str(&format!("{name}_count {}\n", h.count()));
         }
         out
-    }
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_number(v: f64) -> String {
-    if v == v.trunc() && v.abs() < 1e15 {
-        format!("{}.0", v.trunc() as i64)
-    } else {
-        format!("{v}")
     }
 }
 
@@ -227,12 +207,13 @@ mod tests {
     #[test]
     fn counters_accumulate_and_export() {
         let reg = MetricsRegistry::new();
-        reg.inc("vdm_queries_total", 1);
-        reg.inc("vdm_queries_total", 2);
-        reg.inc(&label("vdm_rewrite_fired_total", "rule", "uaj-removal"), 1);
-        assert_eq!(reg.counter("vdm_queries_total"), 3);
+        reg.inc(names::QUERIES_TOTAL, 1);
+        reg.inc(names::QUERIES_TOTAL, 2);
+        reg.inc(&label(names::REWRITE_FIRED_TOTAL, "rule", "uaj-removal"), 1);
+        assert_eq!(reg.counter(names::QUERIES_TOTAL), 3);
 
         let text = reg.to_prometheus();
+        assert!(text.contains("# HELP vdm_queries_total "));
         assert!(text.contains("# TYPE vdm_queries_total counter"));
         assert!(text.contains("vdm_queries_total 3"));
         assert!(text.contains("# TYPE vdm_rewrite_fired_total counter"));
@@ -245,29 +226,39 @@ mod tests {
     #[test]
     fn histograms_bucket_cumulatively() {
         let reg = MetricsRegistry::new();
-        reg.observe("vdm_query_seconds", 0.0004); // le 5e-4
-        reg.observe("vdm_query_seconds", 0.0004);
-        reg.observe("vdm_query_seconds", 30.0); // overflow
+        reg.observe(names::QUERY_SECONDS, 0.0004); // le 5e-4
+        reg.observe(names::QUERY_SECONDS, 0.0004);
+        reg.observe(names::QUERY_SECONDS, 30.0); // le 50
+        reg.observe(names::QUERY_SECONDS, 100.0); // overflow past every bound
         let text = reg.to_prometheus();
+        assert!(text.contains("# HELP vdm_query_seconds "));
+        assert!(text.contains("# TYPE vdm_query_seconds histogram"));
         assert!(text.contains("vdm_query_seconds_bucket{le=\"0.0005\"} 2"));
         assert!(text.contains("vdm_query_seconds_bucket{le=\"25\"} 2"));
-        assert!(text.contains("vdm_query_seconds_bucket{le=\"+Inf\"} 3"));
-        assert!(text.contains("vdm_query_seconds_count 3"));
+        assert!(text.contains("vdm_query_seconds_bucket{le=\"50\"} 3"));
+        assert!(text.contains("vdm_query_seconds_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("vdm_query_seconds_count 4"));
         let json = reg.to_json();
-        assert!(json.contains("\"count\": 3"));
+        assert!(json.contains("\"count\": 4"));
+
+        let p50 = reg.quantile(names::QUERY_SECONDS, 0.5);
+        assert!(p50 > 0.0 && p50 <= 5e-4, "{p50}");
+        assert_eq!(reg.quantile("absent", 0.5), 0.0);
+        assert_eq!(reg.histogram(names::QUERY_SECONDS).unwrap().count(), 4);
     }
 
     #[test]
     fn gauges_move_both_ways_and_export() {
         let reg = MetricsRegistry::new();
-        reg.gauge_add("vdm_prepared_statements_open", 3);
-        reg.gauge_add("vdm_prepared_statements_open", -1);
-        assert_eq!(reg.gauge("vdm_prepared_statements_open"), 2);
-        reg.gauge_set("vdm_prepared_statements_open", 7);
-        assert_eq!(reg.gauge("vdm_prepared_statements_open"), 7);
+        reg.gauge_add(names::PREPARED_STATEMENTS_OPEN, 3);
+        reg.gauge_add(names::PREPARED_STATEMENTS_OPEN, -1);
+        assert_eq!(reg.gauge(names::PREPARED_STATEMENTS_OPEN), 2);
+        reg.gauge_set(names::PREPARED_STATEMENTS_OPEN, 7);
+        assert_eq!(reg.gauge(names::PREPARED_STATEMENTS_OPEN), 7);
         assert_eq!(reg.gauge("absent"), 0);
 
         let text = reg.to_prometheus();
+        assert!(text.contains("# HELP vdm_prepared_statements_open "));
         assert!(text.contains("# TYPE vdm_prepared_statements_open gauge"));
         assert!(text.contains("vdm_prepared_statements_open 7"));
 
@@ -277,7 +268,32 @@ mod tests {
     }
 
     #[test]
+    fn metric_names_lists_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.inc(names::QUERIES_TOTAL, 1);
+        reg.gauge_set(names::SESSIONS_OPEN, 1);
+        reg.observe(names::QUERY_SECONDS, 0.1);
+        assert_eq!(
+            reg.metric_names(),
+            vec![
+                names::QUERIES_TOTAL.to_string(),
+                names::QUERY_SECONDS.to_string(),
+                names::SESSIONS_OPEN.to_string(),
+            ]
+        );
+    }
+
+    #[test]
     fn label_escapes_quotes() {
         assert_eq!(label("m", "k", "a\"b"), "m{k=\"a\\\"b\"}");
+    }
+
+    #[test]
+    fn shared_bucket_layout_matches_the_store() {
+        // The registry and the query store must agree on the layout so a
+        // /metrics histogram and a per-digest histogram are comparable.
+        use crate::hist::LE_BOUNDS;
+        assert_eq!(LE_BOUNDS.len(), 24);
+        assert_eq!(LE_BOUNDS[LE_BOUNDS.len() - 1], 50.0);
     }
 }

@@ -91,8 +91,8 @@ impl Optimizer {
         trace.events = events;
         trace.optimize_nanos = started.elapsed().as_nanos() as u64;
         let reg = vdm_obs::registry::MetricsRegistry::global();
-        reg.inc("vdm_opt_property_cache_hits_total", trace.cache.hits);
-        reg.inc("vdm_opt_property_cache_misses_total", trace.cache.misses);
+        reg.inc(vdm_obs::names::OPT_PROPERTY_CACHE_HITS_TOTAL, trace.cache.hits);
+        reg.inc(vdm_obs::names::OPT_PROPERTY_CACHE_MISSES_TOTAL, trace.cache.misses);
         Ok((out, trace))
     }
 

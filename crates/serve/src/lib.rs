@@ -26,24 +26,33 @@
 //! statement's canonical shape; each [`Prepared::execute`] is a plan-cache
 //! lookup plus parameter substitution. The number of open prepared
 //! statements is exported as the `vdm_prepared_statements_open` gauge.
+//!
+//! **Saturation observability**: every SELECT increments the
+//! `vdm_inflight_queries` gauge for its lifetime and records the time
+//! between admission (entering the serve layer) and execution start in the
+//! `vdm_queue_wait_seconds` histogram; open sessions are counted by
+//! `vdm_sessions_open`, and per-session query volumes by
+//! `vdm_session_queries_total{session="N"}`. Every query runs under a
+//! trace root, so [`Server::last_trace`] (or
+//! [`Session::with_trace`], which forces tracing and scoops multiple
+//! statements into one causal tree) yields the span tree covering
+//! plan-cache lookup, bind, execution, and any cached-view maintenance.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 use vdm_cache::{CacheMode, CachedView, MaintainOutcome, ViewCache};
 use vdm_core::{
-    execute_select, explain_analyze_bound, CacheOutcome, Database, DbState, PlanCache,
+    execute_select, explain_analyze_bound, Database, DbState, PlanCache, ResolvedPlan,
     StatementResult,
 };
 use vdm_exec::{with_worker_pool, ParallelConfig, WorkerPool};
-use vdm_obs::MetricsRegistry;
-use vdm_optimizer::{Profile, Trace};
-use vdm_plan::PlanRef;
+use vdm_obs::registry::{self, MetricsRegistry};
+use vdm_obs::{names, trace as qtrace, QueryTrace};
+use vdm_optimizer::Profile;
 use vdm_sql::{SelectStmt, Statement};
 use vdm_storage::{Batch, StorageEngine};
 use vdm_types::{Result, Value, VdmError};
-
-/// Gauge counting prepared statements currently alive.
-const PREPARED_OPEN_GAUGE: &str = "vdm_prepared_statements_open";
 
 /// Tuning knobs for [`Server`] construction.
 #[derive(Debug, Clone, Copy, Default)]
@@ -66,6 +75,23 @@ struct Shared {
     parallel: Mutex<ParallelConfig>,
     pool: WorkerPool,
     next_session: AtomicU64,
+    last_trace: Mutex<Option<QueryTrace>>,
+}
+
+/// RAII decrement for the in-flight query gauge (covers error paths).
+struct Inflight;
+
+impl Inflight {
+    fn enter() -> Inflight {
+        MetricsRegistry::global().gauge_add(names::INFLIGHT_QUERIES, 1);
+        Inflight
+    }
+}
+
+impl Drop for Inflight {
+    fn drop(&mut self) {
+        MetricsRegistry::global().gauge_add(names::INFLIGHT_QUERIES, -1);
+    }
 }
 
 impl Shared {
@@ -81,7 +107,7 @@ impl Shared {
         sel: &SelectStmt,
         shape: Option<&str>,
         params: &[Value],
-    ) -> Result<(PlanRef, Trace, CacheOutcome)> {
+    ) -> Result<ResolvedPlan> {
         let state = self.state.read().unwrap();
         let env = vdm_core::QueryEnv {
             state: &state,
@@ -92,14 +118,50 @@ impl Shared {
         env.select_plan(sel, shape, params)
     }
 
+    /// Stores the finished trace (when this call owned the root) so
+    /// [`Server::last_trace`] can replay the most recent query.
+    fn finish_root(&self, root: qtrace::RootGuard) {
+        if let Some(trace) = root.finish() {
+            *self.last_trace.lock().unwrap() = Some(trace);
+        }
+    }
+
     /// Plan resolution under the read lock, then lock-free execution on
-    /// the shared worker pool.
-    fn run_select(&self, sel: &SelectStmt, shape: Option<&str>, params: &[Value]) -> Result<Batch> {
+    /// the shared worker pool. `session` labels per-session counters and
+    /// the trace root; [`Prepared`] executions carry their creating
+    /// session's id.
+    fn run_select(
+        &self,
+        sel: &SelectStmt,
+        shape: Option<&str>,
+        params: &[Value],
+        session: Option<u64>,
+    ) -> Result<Batch> {
+        let reg = MetricsRegistry::global();
+        let root = qtrace::root("query");
+        if let Some(id) = session {
+            qtrace::attr("session", id);
+            reg.inc(&registry::label(names::SESSION_QUERIES_TOTAL, "session", &id.to_string()), 1);
+        }
+        if let Some(s) = shape {
+            qtrace::attr("shape", format_args!("{s:?}"));
+        }
+        let _inflight = Inflight::enter();
+        let admitted = Instant::now();
         let parallel = self.parallel();
-        let (plan, trace, _) = self.resolve(sel, shape, params)?;
-        with_worker_pool(&self.pool, || {
-            execute_select(&plan, params, &self.engine, parallel, &trace)
-        })
+        let resolved = match self.resolve(sel, shape, params) {
+            Ok(r) => r,
+            Err(e) => {
+                self.finish_root(root);
+                return Err(e);
+            }
+        };
+        let result = with_worker_pool(&self.pool, || {
+            reg.observe(names::QUEUE_WAIT_SECONDS, admitted.elapsed().as_secs_f64());
+            execute_select(&resolved, params, &self.engine, parallel)
+        });
+        self.finish_root(root);
+        result
     }
 
     fn explain_analyze(
@@ -108,11 +170,27 @@ impl Shared {
         shape: Option<&str>,
         params: &[Value],
     ) -> Result<String> {
+        let root = qtrace::root("query");
+        if let Some(s) = shape {
+            qtrace::attr("shape", format_args!("{s:?}"));
+        }
+        let _inflight = Inflight::enter();
+        let admitted = Instant::now();
         let parallel = self.parallel();
-        let (plan, trace, outcome) = self.resolve(sel, shape, params)?;
-        with_worker_pool(&self.pool, || {
-            explain_analyze_bound(&plan, &trace, outcome, params, &self.engine, parallel)
-        })
+        let resolved = match self.resolve(sel, shape, params) {
+            Ok(r) => r,
+            Err(e) => {
+                self.finish_root(root);
+                return Err(e);
+            }
+        };
+        let result = with_worker_pool(&self.pool, || {
+            MetricsRegistry::global()
+                .observe(names::QUEUE_WAIT_SECONDS, admitted.elapsed().as_secs_f64());
+            explain_analyze_bound(&resolved, params, &self.engine, parallel)
+        });
+        self.finish_root(root);
+        result
     }
 }
 
@@ -153,16 +231,24 @@ impl Server {
                 parallel: Mutex::new(parts.parallel),
                 pool: WorkerPool::new(pool_threads),
                 next_session: AtomicU64::new(1),
+                last_trace: Mutex::new(None),
             }),
         }
     }
 
-    /// Opens a new session.
+    /// Opens a new session. Open sessions are counted by the
+    /// `vdm_sessions_open` gauge.
     pub fn session(&self) -> Session {
+        MetricsRegistry::global().gauge_add(names::SESSIONS_OPEN, 1);
         Session {
             shared: Arc::clone(&self.shared),
             id: self.shared.next_session.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// The span tree of the most recently traced query, from any session.
+    pub fn last_trace(&self) -> Option<QueryTrace> {
+        self.shared.last_trace.lock().unwrap().clone()
     }
 
     /// Swaps the optimizer profile for every session. Takes the state
@@ -207,8 +293,8 @@ impl Server {
             return Err(VdmError::Bind("create_cached_view() expects a SELECT".into()));
         };
         let shape = vdm_sql::canonical_shape(sql)?;
-        let (plan, _, _) = self.shared.resolve(&sel, Some(&shape), &[])?;
-        self.shared.views.register(name, plan, mode, &self.shared.engine)
+        let resolved = self.shared.resolve(&sel, Some(&shape), &[])?;
+        self.shared.views.register(name, resolved.plan, mode, &self.shared.engine)
     }
 
     /// Looks up a cached view.
@@ -255,7 +341,31 @@ impl Session {
             return Err(VdmError::Bind("query() expects a SELECT; use execute()".into()));
         };
         let shape = vdm_sql::canonical_shape(sql)?;
-        self.shared.run_select(&sel, Some(&shape), params)
+        self.shared.run_select(&sel, Some(&shape), params, Some(self.id))
+    }
+
+    /// Runs `f` under a forced trace root named `name`: every statement
+    /// the closure executes on this session (queries, cached-view reads,
+    /// prepared executions) contributes its spans to one causal tree,
+    /// returned alongside the closure's result. Works even when automatic
+    /// tracing is disabled.
+    pub fn with_trace<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&Session) -> R,
+    ) -> (R, Option<QueryTrace>) {
+        let root = qtrace::root_forced(name);
+        let out = f(self);
+        let trace = root.finish();
+        if let Some(t) = &trace {
+            *self.shared.last_trace.lock().unwrap() = Some(t.clone());
+        }
+        (out, trace)
+    }
+
+    /// The span tree of the most recently traced query on this server.
+    pub fn last_trace(&self) -> Option<QueryTrace> {
+        self.shared.last_trace.lock().unwrap().clone()
     }
 
     /// Executes any single statement. SELECTs go through the concurrent
@@ -285,7 +395,7 @@ impl Session {
     fn execute_statement(&self, stmt: &Statement, shape: Option<&str>) -> Result<StatementResult> {
         match stmt {
             Statement::Select(sel) => {
-                Ok(StatementResult::Rows(self.shared.run_select(sel, shape, &[])?))
+                Ok(StatementResult::Rows(self.shared.run_select(sel, shape, &[], Some(self.id))?))
             }
             _ => {
                 let parallel = self.shared.parallel();
@@ -321,8 +431,14 @@ impl Session {
             return Err(VdmError::Bind("prepare() expects a SELECT".into()));
         };
         let shape = vdm_sql::canonical_shape(sql)?;
-        MetricsRegistry::global().gauge_add(PREPARED_OPEN_GAUGE, 1);
-        Ok(Prepared { shared: Arc::clone(&self.shared), select: sel, shape, param_count })
+        MetricsRegistry::global().gauge_add(names::PREPARED_STATEMENTS_OPEN, 1);
+        Ok(Prepared {
+            shared: Arc::clone(&self.shared),
+            select: sel,
+            shape,
+            param_count,
+            session: self.id,
+        })
     }
 
     /// Reads a cached view (SCV: last refresh; DCV: maintained first).
@@ -347,6 +463,12 @@ impl Session {
     }
 }
 
+impl Drop for Session {
+    fn drop(&mut self) {
+        MetricsRegistry::global().gauge_add(names::SESSIONS_OPEN, -1);
+    }
+}
+
 /// A prepared SELECT: parsed once, shape pinned, plan shared through the
 /// server's plan cache. Dropping it decrements the
 /// `vdm_prepared_statements_open` gauge.
@@ -355,6 +477,8 @@ pub struct Prepared {
     select: SelectStmt,
     shape: String,
     param_count: usize,
+    /// Id of the creating session, for per-session counter attribution.
+    session: u64,
 }
 
 impl Prepared {
@@ -371,7 +495,7 @@ impl Prepared {
     /// Executes with the given parameter values.
     pub fn execute(&self, params: &[Value]) -> Result<Batch> {
         self.check_arity(params)?;
-        self.shared.run_select(&self.select, Some(&self.shape), params)
+        self.shared.run_select(&self.select, Some(&self.shape), params, Some(self.session))
     }
 
     /// EXPLAIN ANALYZE of one execution with the given parameter values.
@@ -394,7 +518,7 @@ impl Prepared {
 
 impl Drop for Prepared {
     fn drop(&mut self) {
-        MetricsRegistry::global().gauge_add(PREPARED_OPEN_GAUGE, -1);
+        MetricsRegistry::global().gauge_add(names::PREPARED_STATEMENTS_OPEN, -1);
     }
 }
 
@@ -443,9 +567,9 @@ mod tests {
         let server = server();
         let session = server.session();
         let reg = MetricsRegistry::global();
-        let before = reg.gauge(PREPARED_OPEN_GAUGE);
+        let before = reg.gauge(names::PREPARED_STATEMENTS_OPEN);
         let p = session.prepare("select v from t where k = ?").unwrap();
-        assert_eq!(reg.gauge(PREPARED_OPEN_GAUGE), before + 1);
+        assert_eq!(reg.gauge(names::PREPARED_STATEMENTS_OPEN), before + 1);
         assert_eq!(p.param_count(), 1);
         let rows = p.execute(&[Value::Int(3)]).unwrap();
         assert_eq!(rows.row(0)[0], Value::str("three"));
@@ -453,7 +577,7 @@ mod tests {
         assert!(p.execute(&[]).is_err());
         assert!(p.execute(&[Value::Int(1), Value::Int(2)]).is_err());
         drop(p);
-        assert_eq!(reg.gauge(PREPARED_OPEN_GAUGE), before);
+        assert_eq!(reg.gauge(names::PREPARED_STATEMENTS_OPEN), before);
     }
 
     #[test]

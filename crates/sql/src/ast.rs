@@ -33,6 +33,9 @@ pub enum Statement {
     /// `EXPLAIN ANALYZE stmt`: run the statement and render the plan
     /// annotated with per-operator runtime statistics.
     ExplainAnalyze(Box<Statement>),
+    /// `EXPLAIN TRACE stmt`: run the statement under a forced trace and
+    /// render the resulting span tree.
+    ExplainTrace(Box<Statement>),
 }
 
 /// `expr AS name` inside `WITH EXPRESSION MACROS (...)`.

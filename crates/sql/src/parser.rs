@@ -163,6 +163,10 @@ impl Parser {
                 self.bump();
                 return Ok(Statement::ExplainAnalyze(Box::new(self.statement()?)));
             }
+            if self.at_kw("trace") {
+                self.bump();
+                return Ok(Statement::ExplainTrace(Box::new(self.statement()?)));
+            }
             return Ok(Statement::Explain(Box::new(self.statement()?)));
         }
         if self.at_kw("select") {

@@ -71,9 +71,28 @@ SERVE_DIR="$(mktemp -d)"
 test -s "$SERVE_DIR/BENCH_serve.json"
 rm -rf "$SERVE_DIR"
 
+echo "== obs_sweep observability-overhead smoke gate (reduced load, scratch dir) =="
+# Per-query interleaved comparison of observed (tracing + query store on)
+# vs dark execution on the browser workload: the median overhead must
+# stay under 3% — the canary for observability-cost regressions. The
+# binary also asserts the store's JSONL save/reload round-trip.
+OBS_DIR="$(mktemp -d)"
+(cd "$OBS_DIR" && "$OLDPWD/target/release/obs_sweep" \
+    --journal-rows 500 --queries 150 --rounds 5 \
+    --gate-overhead-pct 3 > obs_sweep.log) \
+  || { cat "$OBS_DIR/obs_sweep.log"; rm -rf "$OBS_DIR"; exit 1; }
+test -s "$OBS_DIR/BENCH_obs.json"
+test -s "$OBS_DIR/query_store.jsonl"
+rm -rf "$OBS_DIR"
+
 echo "== serve layer never optimizes directly (everything goes through the plan cache) =="
 if grep -rn "optimize(" crates/serve/src; then
   echo "crates/serve must resolve plans via vdm-core's cached session path"; exit 1
+fi
+
+echo "== metrics are registered only through vdm-obs (no stray metric name literals) =="
+if grep -rn '"vdm_' crates --include='*.rs' | grep -v '^crates/obs/src'; then
+  echo "metric names must come from vdm_obs::names, not string literals"; exit 1
 fi
 
 echo "== cargo clippy -D warnings (offline) =="

@@ -254,6 +254,204 @@ fn view_refresh_metrics_are_exported() {
     assert!(prom.contains("vdm_view_delta_rows_total"), "{prom}");
 }
 
+/// Masks a trace into its stable skeleton: indentation from parent depth,
+/// span names, attr keys in insertion order. Attr *values* are masked to
+/// `_` except the categorical ones (`outcome`, `view`, `cache`), so the
+/// expected string is byte-stable across runs while still pinning the
+/// causal structure.
+fn trace_skeleton(trace: &vdm_obs::QueryTrace) -> String {
+    let mut out = String::new();
+    for s in &trace.spans {
+        let mut depth = 0;
+        let mut p = s.parent;
+        while let Some(id) = p {
+            depth += 1;
+            p = trace.spans[id as usize].parent;
+        }
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&s.name);
+        for (k, v) in &s.attrs {
+            match k.as_str() {
+                "outcome" | "view" | "cache" => out.push_str(&format!(" {k}={v}")),
+                _ => out.push_str(&format!(" {k}=_")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn serve_query_trace_forms_one_causal_tree() {
+    use vdm_cache::CacheMode;
+    use vdm_serve::{ServeConfig, Server};
+
+    let mut db = Database::hana();
+    db.set_parallelism(ParallelConfig { threads: 1, morsel_rows: 1024 });
+    db.execute_script(
+        "create table a (id bigint primary key, v text not null);
+         create table b (id bigint primary key, a_id bigint not null, w bigint not null);
+         create table c (id bigint primary key, b_id bigint not null, x bigint not null);
+         insert into a values (1, 'one'), (2, 'two');
+         insert into b values (10, 1, 100), (11, 2, 200);
+         insert into c values (20, 10, 7), (21, 11, 9);",
+    )
+    .unwrap();
+    let server = Server::with_config(db, ServeConfig { pool_threads: 1 });
+    server
+        .create_cached_view("live_b", "select id, w from b where w >= 0", CacheMode::Dynamic)
+        .unwrap();
+    let session = server.session();
+
+    // One multi-join page query plus a DCV read, scooped into one scope:
+    // the whole lifecycle must land in a single causally-linked tree.
+    let sql = "select a.v, b.w, c.x from a \
+               join b on b.a_id = a.id join c on c.b_id = b.id where a.id = 1";
+    let (_, trace) = session.with_trace("browser_page", |s| {
+        assert_eq!(s.query(sql).unwrap().num_rows(), 1);
+        assert_eq!(s.read_cached("live_b").unwrap().num_rows(), 2);
+    });
+    let trace = trace.expect("with_trace owns the trace");
+
+    assert_eq!(
+        trace_skeleton(&trace),
+        "browser_page\n\
+         \x20 query session=_ shape=_\n\
+         \x20   select_plan digest=_\n\
+         \x20     plan_cache.lookup outcome=miss\n\
+         \x20     bind\n\
+         \x20     optimize\n\
+         \x20   execute rows=_ workers=_\n\
+         \x20 view.maintain view=live_b outcome=noop\n",
+        "unexpected trace shape:\n{}",
+        trace.render()
+    );
+
+    // Exactly one root; every other span is causally linked to it.
+    assert_eq!(trace.spans[0].parent, None);
+    assert!(trace.spans.iter().skip(1).all(|s| s.parent.is_some()));
+    // The rendering and the JSON export carry the same tree.
+    let text = trace.render();
+    assert!(text.starts_with("trace "), "{text}");
+    assert!(text.contains("└─ browser_page"), "{text}");
+    assert!(text.contains("├─ query"), "{text}");
+    let json = trace.to_json();
+    assert!(json.contains("\"name\": \"plan_cache.lookup\""), "{json}");
+    // The server keeps the finished trace for post-hoc inspection.
+    assert_eq!(server.last_trace().unwrap().trace_id, trace.trace_id);
+
+    // A second run of the same shape is a plan-cache hit, and the hit
+    // path resolves without bind/optimize spans.
+    let (_, trace) = session.with_trace("browser_page", |s| {
+        s.query(sql).unwrap();
+    });
+    let skeleton = trace_skeleton(&trace.unwrap());
+    assert!(skeleton.contains("plan_cache.lookup outcome=hit"), "{skeleton}");
+    assert!(!skeleton.contains("optimize"), "hit must not re-plan: {skeleton}");
+}
+
+#[test]
+fn explain_trace_statement_renders_the_span_tree() {
+    let mut db = db();
+    let StatementResult::Explained(text) =
+        db.execute(&format!("explain trace {FIG5_UAJ}")).unwrap()
+    else {
+        panic!("expected EXPLAIN TRACE output")
+    };
+    assert!(text.contains("== EXPLAIN TRACE =="), "{text}");
+    assert!(text.contains("└─ query"), "{text}");
+    assert!(text.contains("select_plan"), "{text}");
+    assert!(text.contains("execute"), "{text}");
+    assert!(text.contains("row(s) returned"), "{text}");
+
+    // The facade method also stores the trace object for export.
+    db.explain_trace(FIG5_UAJ).unwrap();
+    let trace = db.last_trace().expect("EXPLAIN TRACE stores the trace");
+    assert!(trace.spans.iter().any(|s| s.name == "execute"), "{trace:?}");
+
+    // EXPLAIN TRACE works even with automatic tracing off.
+    vdm_obs::trace::set_enabled(false);
+    let forced = db.explain_trace(FIG5_UAJ).unwrap();
+    vdm_obs::trace::set_enabled(true);
+    assert!(forced.contains("└─ query"), "{forced}");
+}
+
+#[test]
+fn metric_catalog_covers_every_registered_metric() {
+    use vdm_cache::CacheMode;
+    use vdm_obs::{names, QueryStore};
+    use vdm_serve::Server;
+    use vdm_types::Value;
+
+    // Drive every subsystem that registers metrics: queries (counters +
+    // histograms), prepared statements and sessions (gauges), plan cache,
+    // cached views, the query store, and slow-query capture.
+    let server = Server::new(vdm_optimizer::Profile::hana());
+    let session = server.session();
+    session
+        .execute_script(
+            "create table m (k bigint primary key, v bigint not null);
+             insert into m values (1, 10), (2, 20), (3, 30);",
+        )
+        .unwrap();
+    // A forced trace scope registers vdm_traces_total even if another
+    // test has automatic tracing toggled off at this instant.
+    session.with_trace("audit", |s| {
+        s.query("select v from m where k = 1").unwrap();
+    });
+    session.query("select v from m where k = 1").unwrap(); // plan-cache hit
+    let p = session.prepare("select v from m where k = ?").unwrap();
+    p.execute(&[Value::Int(2)]).unwrap();
+    session.explain_analyze("select sum(v) as s from m").unwrap();
+    server.create_cached_view("mv", "select k, v from m where v >= 0", CacheMode::Dynamic).unwrap();
+    session.execute("insert into m values (4, 40)").unwrap();
+    session.read_cached("mv").unwrap();
+    let store = QueryStore::global();
+    let prev = store.slow_threshold_nanos();
+    store.set_slow_threshold_nanos(0); // everything is "slow" for one query
+    session.query("select v from m where k = 3").unwrap();
+    store.set_slow_threshold_nanos(prev);
+    drop(p);
+
+    // Audit: every metric name any crate registered resolves in the
+    // names catalog and exports with `# HELP` and a matching `# TYPE`.
+    let reg = vdm_obs::MetricsRegistry::global();
+    let text = reg.to_prometheus();
+    let registered = reg.metric_names();
+    assert!(registered.len() >= 10, "workload registered too little: {registered:?}");
+    for name in &registered {
+        let base = name.split('{').next().unwrap();
+        let desc = names::describe(base).unwrap_or_else(|| {
+            panic!("metric {name} is registered but missing from the vdm_obs::names catalog")
+        });
+        assert!(text.contains(&format!("# HELP {base} ")), "missing # HELP for {base}");
+        assert!(
+            text.contains(&format!("# TYPE {base} {}\n", desc.kind.token())),
+            "missing or mis-typed # TYPE for {base}"
+        );
+    }
+    // And the serve-layer saturation metrics specifically exist.
+    for must in [
+        names::QUERIES_TOTAL,
+        names::QUERY_SECONDS,
+        names::TRACES_TOTAL,
+        names::STORE_RECORDS_TOTAL,
+        names::SLOW_QUERIES_TOTAL,
+        names::SESSIONS_OPEN,
+        names::INFLIGHT_QUERIES,
+        names::QUEUE_WAIT_SECONDS,
+        names::PREPARED_STATEMENTS_OPEN,
+        names::SESSION_QUERIES_TOTAL,
+        names::PLAN_CACHE_HITS_TOTAL,
+        names::VIEW_REFRESH_TOTAL,
+    ] {
+        assert!(
+            registered.iter().any(|n| n.split('{').next().unwrap() == must),
+            "expected {must} to be registered by the workload"
+        );
+    }
+}
+
 #[test]
 fn explain_analyze_profiles_every_executed_node() {
     let db = db();

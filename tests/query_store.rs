@@ -1,0 +1,153 @@
+//! The persistent plan-digest query store, end-to-end through `vdm-serve`:
+//! digest-keyed aggregation across repeated prepared executions, ring
+//! eviction order, JSON-lines round-trip, and slow-query capture.
+//!
+//! The store under test is [`QueryStore::global`] — the instance the core
+//! execution path records into — so every test serializes on one mutex
+//! and restores the knobs it changes.
+
+use std::sync::Mutex;
+use vdm_obs::{QueryStore, SlowQuery};
+use vdm_optimizer::Profile;
+use vdm_serve::Server;
+use vdm_types::Value;
+
+/// Serializes tests that mutate the process-wide store.
+static STORE_LOCK: Mutex<()> = Mutex::new(());
+
+fn server() -> Server {
+    let server = Server::new(Profile::hana());
+    server
+        .session()
+        .execute_script(
+            "create table t (k bigint primary key, v text not null);
+             insert into t values (1, 'one'), (2, 'two'), (3, 'three');",
+        )
+        .unwrap();
+    server
+}
+
+#[test]
+fn repeated_prepared_executions_aggregate_under_one_digest() {
+    let _serial = STORE_LOCK.lock().unwrap();
+    let store = QueryStore::global();
+    store.clear();
+
+    let server = server();
+    let session = server.session();
+    let p = session.prepare("select v from t where k = ?").unwrap();
+    for k in [1, 2, 3, 1, 2] {
+        assert_eq!(p.execute(&[Value::Int(k)]).unwrap().num_rows(), 1);
+    }
+
+    let aggs = store.aggregates();
+    let agg = aggs
+        .iter()
+        .find(|a| a.shape.contains("select v from t"))
+        .unwrap_or_else(|| panic!("no aggregate for the prepared shape: {aggs:?}"));
+    assert_eq!(agg.execs, 5);
+    // First execution fills the fresh server's plan cache; the rest hit.
+    assert_eq!((agg.cache_misses, agg.cache_hits), (1, 4));
+    assert_eq!(agg.rows_out_total, 5);
+    assert!(agg.rows_in_total >= 5, "scans feed rows_in: {agg:?}");
+    assert_eq!(agg.latency.count(), 5);
+    assert!(agg.workers_last >= 1);
+    // The profiled executor supplied per-node rows_out history.
+    assert!(!agg.node_rows.is_empty(), "{agg:?}");
+    assert!(agg.latency_quantile(0.95) >= agg.latency_quantile(0.5));
+
+    // The recent ring saw the same five executions, newest last.
+    let recent = store.recent();
+    assert!(recent.len() >= 5, "{recent:?}");
+    let tail = &recent[recent.len() - 5..];
+    assert!(tail.iter().all(|s| s.digest == agg.digest), "{tail:?}");
+    assert!(!tail[0].cache_hit && tail[1..].iter().all(|s| s.cache_hit), "{tail:?}");
+}
+
+#[test]
+fn ring_evicts_oldest_executions_first() {
+    let _serial = STORE_LOCK.lock().unwrap();
+    let store = QueryStore::global();
+    store.clear();
+    store.set_ring_capacity(4);
+
+    let server = server();
+    let session = server.session();
+    // Two shapes with distinct digests: one old execution, then four of
+    // the other — the old one must be evicted, order preserved.
+    session.query("select v from t where k = 1").unwrap();
+    let p = session.prepare("select k from t where v = ?").unwrap();
+    for _ in 0..4 {
+        p.execute(&[Value::str("two")]).unwrap();
+    }
+    let recent = store.recent();
+    assert_eq!(recent.len(), 4);
+    let first_digest = recent[0].digest;
+    assert!(
+        recent.iter().all(|s| s.digest == first_digest),
+        "the older shape must have been evicted: {recent:?}"
+    );
+    // Aggregates are not subject to ring eviction.
+    assert_eq!(store.aggregates().len(), 2);
+    store.set_ring_capacity(vdm_obs::store::DEFAULT_RING_CAPACITY);
+}
+
+#[test]
+fn jsonl_file_round_trip_reloads_identical_aggregates() {
+    let _serial = STORE_LOCK.lock().unwrap();
+    let store = QueryStore::global();
+    store.clear();
+
+    let server = server();
+    let session = server.session();
+    let p = session.prepare("select v from t where k = ?").unwrap();
+    for k in 1..=3 {
+        p.execute(&[Value::Int(k)]).unwrap();
+    }
+    session.query("select count(*) as n from t").unwrap();
+
+    let dir = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("query_store_roundtrip.jsonl");
+    store.save_jsonl(&path).unwrap();
+
+    // Reload into a fresh store: aggregates must be *identical* —
+    // histogram buckets, node_rows, counts, everything.
+    let reloaded = QueryStore::new();
+    assert_eq!(reloaded.load_jsonl(&path).unwrap(), 2);
+    assert_eq!(reloaded.aggregates(), store.aggregates());
+
+    // Loading the same file again merges: counts double deterministically.
+    assert_eq!(reloaded.load_jsonl(&path).unwrap(), 2);
+    for (merged, original) in reloaded.aggregates().iter().zip(store.aggregates()) {
+        assert_eq!(merged.execs, original.execs * 2);
+        assert_eq!(merged.latency.count(), original.latency.count() * 2);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn slow_threshold_captures_full_explain_analyze() {
+    let _serial = STORE_LOCK.lock().unwrap();
+    let store = QueryStore::global();
+    store.clear();
+    let prev = store.slow_threshold_nanos();
+    store.set_slow_threshold_nanos(0); // every execution is "slow"
+
+    let server = server();
+    let session = server.session();
+    session.query("select v from t where k = 2").unwrap();
+    store.set_slow_threshold_nanos(prev);
+
+    let slow: Vec<SlowQuery> =
+        store.slow_queries().into_iter().filter(|s| s.shape.contains("select v from t")).collect();
+    assert!(!slow.is_empty(), "threshold 0 must capture the query");
+    let captured = &slow[0];
+    // The capture is the full EXPLAIN ANALYZE rendering, produced from
+    // the already-collected profile (the query is not re-run).
+    assert!(captured.explain.contains("== EXPLAIN ANALYZE"), "{}", captured.explain);
+    assert!(captured.explain.contains("row(s) returned"), "{}", captured.explain);
+    assert!(captured.explain.contains("rows="), "{}", captured.explain);
+    let agg = store.aggregate(captured.digest).expect("slow query also aggregates");
+    assert_eq!(agg.execs, 1);
+}

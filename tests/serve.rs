@@ -42,8 +42,8 @@ fn cached_digest(db: &Database, sql: &str, params: &[Value]) -> (u64, CacheOutco
         plan_cache: db.plan_cache(),
         parallel: ParallelConfig::default(),
     };
-    let (plan, _, outcome) = env.select_plan(&sel, Some(&shape), params).expect("plan");
-    (plan_digest_canonical(&plan), outcome)
+    let resolved = env.select_plan(&sel, Some(&shape), params).expect("plan");
+    (plan_digest_canonical(&resolved.plan), resolved.outcome)
 }
 
 #[test]
