@@ -283,7 +283,9 @@ fn main() {
     let jsonl_path = std::path::Path::new("query_store.jsonl");
     store.save_jsonl(jsonl_path).expect("write query_store.jsonl");
     let reloaded = QueryStore::new();
-    let lines = reloaded.load_jsonl(jsonl_path).expect("reload query_store.jsonl");
+    let report = reloaded.load_jsonl(jsonl_path).expect("reload query_store.jsonl");
+    assert_eq!(report.skipped, 0, "no record may be skipped on a clean round-trip");
+    let lines = report.loaded;
     let identical = reloaded.aggregates() == aggs;
     assert!(identical, "JSONL reload must reproduce the aggregates exactly");
     let bytes = std::fs::metadata(jsonl_path).map(|m| m.len()).unwrap_or(0);

@@ -46,10 +46,12 @@ use vdm_sql::Statement;
 use vdm_storage::{Batch, StorageEngine};
 use vdm_types::{Result, VdmError};
 
+pub mod feedback;
 mod plan_cache;
 mod session;
 mod state;
 
+pub use feedback::EngineStats;
 pub use plan_cache::{CachedPlan, PlanCache, PlanCacheKey, PlanCacheStats};
 pub use session::{
     execute_select, explain_analyze_bound, param_types_of, CacheOutcome, QueryEnv, ResolvedPlan,
@@ -433,7 +435,9 @@ impl Database {
     /// with operator-count summaries and the optimizer's pass trace.
     pub fn explain(&self, sql: &str) -> Result<String> {
         let plan = self.plan(sql)?;
-        let (optimized, trace) = self.state.optimizer.optimize_traced(&plan)?;
+        let stats = EngineStats::new(&self.engine);
+        let (optimized, trace) =
+            self.state.optimizer.optimize_traced_with(&plan, Some(&stats), None)?;
         let before = plan_stats(&plan);
         let after = plan_stats(&optimized);
         Ok(format!(
@@ -443,7 +447,7 @@ impl Database {
             vdm_plan::explain(&plan),
             after.table_instances,
             after.joins,
-            vdm_plan::explain(&optimized),
+            explain_estimated(&self.state, &stats, &optimized),
             trace.render(),
         ))
     }
@@ -466,7 +470,9 @@ impl Database {
     /// Prebuilt plans have no statement shape, so the plan cache is not
     /// consulted (`[plan cache: bypass]`).
     pub fn explain_analyze_plan(&self, plan: &PlanRef) -> Result<String> {
-        let (optimized, trace) = self.state.optimizer.optimize_traced(plan)?;
+        let stats = EngineStats::new(&self.engine);
+        let (optimized, trace) =
+            self.state.optimizer.optimize_traced_with(plan, Some(&stats), None)?;
         let resolved = ResolvedPlan::bypass(optimized, trace);
         explain_analyze_bound(&resolved, &[], &self.engine, self.parallel)
     }
@@ -481,6 +487,20 @@ impl Database {
     pub fn query_store(&self) -> &'static QueryStore {
         QueryStore::global()
     }
+}
+
+/// Renders an optimized plan with one `[est=N]` cardinality annotation per
+/// node, estimated against current storage statistics under the active
+/// profile's derivation options.
+fn explain_estimated(
+    state: &DbState,
+    stats: &dyn vdm_plan::StatsProvider,
+    plan: &PlanRef,
+) -> String {
+    let props = vdm_plan::PropertyCache::new();
+    let card = vdm_plan::Cardinality::new(&props, state.optimizer.profile().derive_options())
+        .with_stats(stats);
+    vdm_plan::explain_with_estimates(plan, &card)
 }
 
 /// Runs one SELECT under a forced trace and renders the span tree,
@@ -599,7 +619,9 @@ pub fn run_statement(
         Statement::Explain(inner) => match inner.as_ref() {
             Statement::Select(sel) => {
                 let plan = state.binder().bind_select(sel)?;
-                let optimized = state.optimizer.optimize(&plan)?;
+                let stats = EngineStats::new(engine);
+                let (optimized, _) =
+                    state.optimizer.optimize_traced_with(&plan, Some(&stats), None)?;
                 let before = plan_stats(&plan);
                 let after = plan_stats(&optimized);
                 Ok(StatementResult::Explained(format!(
@@ -609,7 +631,7 @@ pub fn run_statement(
                     vdm_plan::explain(&plan),
                     after.table_instances,
                     after.joins,
-                    vdm_plan::explain(&optimized),
+                    explain_estimated(state, &stats, &optimized),
                 )))
             }
             _ => Err(VdmError::Unsupported("EXPLAIN supports SELECT only".into())),
@@ -718,8 +740,10 @@ mod tests {
                 "select o_orderkey from orders left join customer on o_custkey = c_custkey",
             )
             .unwrap();
-        // The UAJ is removed, leaving a profiled scan/project pipeline.
-        assert!(text.contains("rows=3"), "{text}");
+        // The UAJ is removed, leaving a profiled scan/project pipeline
+        // annotated with estimated and actual cardinalities.
+        assert!(text.contains("act=3"), "{text}");
+        assert!(text.contains("est="), "{text}");
         assert!(text.contains("time="), "{text}");
         assert!(text.contains("uaj-removal"), "{text}");
         assert!(text.contains("[plan cache: miss]"), "{text}");

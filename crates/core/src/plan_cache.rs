@@ -53,6 +53,10 @@ pub struct CachedPlan {
     /// `vdm_plan::plan_digest_canonical` of the plan, cached so hits
     /// don't re-hash (it keys the query store's per-shape history).
     pub digest: u64,
+    /// Per-node cardinality estimates (pre-order node id → estimated
+    /// rows) computed when the plan was optimized; compared against
+    /// observed rows from the query store to decide re-optimization.
+    pub estimates: Vec<(u32, u64)>,
 }
 
 /// Hit/miss/eviction counters for one cache instance.
@@ -210,7 +214,13 @@ mod tests {
         let scan = LogicalPlan::scan(Arc::new(
             TableBuilder::new("t").column("k", SqlType::Int, false).build().unwrap(),
         ));
-        Arc::new(CachedPlan { plan: scan, trace: Trace::default(), version: 0, digest: 0 })
+        Arc::new(CachedPlan {
+            plan: scan,
+            trace: Trace::default(),
+            version: 0,
+            digest: 0,
+            estimates: vec![],
+        })
     }
 
     #[test]

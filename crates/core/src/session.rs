@@ -17,15 +17,16 @@
 //! active trace contributes `select_plan` → `plan_cache.lookup` / `bind` /
 //! `optimize` and `execute` spans to one causal tree.
 
+use crate::feedback::{self, EngineStats};
 use crate::plan_cache::{CachedPlan, PlanCache, PlanCacheKey};
 use crate::state::DbState;
 use std::sync::Arc;
 use std::time::Instant;
 use vdm_exec::{Metrics, NodeIndex, ParallelConfig, QueryProfile};
 use vdm_obs::trace as qtrace;
-use vdm_obs::{names, ExecRecord, MetricsRegistry, QueryStore};
-use vdm_optimizer::Trace;
-use vdm_plan::PlanRef;
+use vdm_obs::{names, ExecRecord, FeedbackProvider, MetricsRegistry, QueryStore};
+use vdm_optimizer::{Capability, Trace};
+use vdm_plan::{CardOverrides, PlanRef};
 use vdm_sql::SelectStmt;
 use vdm_storage::{Batch, StorageEngine};
 use vdm_types::{Result, SqlType, Value};
@@ -66,6 +67,9 @@ pub struct ResolvedPlan {
     pub digest: u64,
     /// Canonical statement shape; empty for shapeless (bypass) plans.
     pub shape: String,
+    /// Per-node cardinality estimates (pre-order node id → rows) of the
+    /// optimized plan; empty when the entry point computed none (bypass).
+    pub estimates: Vec<(u32, u64)>,
 }
 
 impl ResolvedPlan {
@@ -73,7 +77,14 @@ impl ResolvedPlan {
     /// (prebuilt plans, script fragments).
     pub fn bypass(plan: PlanRef, trace: Trace) -> ResolvedPlan {
         let digest = vdm_plan::plan_digest_canonical(&plan);
-        ResolvedPlan { plan, trace, outcome: CacheOutcome::Bypass, digest, shape: String::new() }
+        ResolvedPlan {
+            plan,
+            trace,
+            outcome: CacheOutcome::Bypass,
+            digest,
+            shape: String::new(),
+            estimates: vec![],
+        }
     }
 }
 
@@ -108,7 +119,7 @@ impl QueryEnv<'_> {
         let _sp = qtrace::span("select_plan");
         let types = param_types_of(params);
         let Some(shape) = shape else {
-            let (plan, trace) = self.bind_and_optimize(sel, &types)?;
+            let (plan, trace) = self.bind_and_optimize(sel, &types, None)?;
             let resolved = ResolvedPlan::bypass(plan, trace);
             qtrace::attr("cache", CacheOutcome::Bypass.label());
             qtrace::attr("digest", format_args!("{:016x}", resolved.digest));
@@ -127,6 +138,11 @@ impl QueryEnv<'_> {
             cached
         };
         if let Some(cached) = cached {
+            if let Some(reoptimized) =
+                self.maybe_reoptimize(sel, shape, &types, &key, version, &cached)?
+            {
+                return Ok(reoptimized);
+            }
             qtrace::attr("digest", format_args!("{:016x}", cached.digest));
             return Ok(ResolvedPlan {
                 plan: cached.plan.clone(),
@@ -134,14 +150,22 @@ impl QueryEnv<'_> {
                 outcome: CacheOutcome::Hit,
                 digest: cached.digest,
                 shape: shape.to_string(),
+                estimates: cached.estimates.clone(),
             });
         }
-        let (plan, trace) = self.bind_and_optimize(sel, &types)?;
+        let (plan, trace) = self.bind_and_optimize(sel, &types, None)?;
         let digest = vdm_plan::plan_digest_canonical(&plan);
         qtrace::attr("digest", format_args!("{digest:016x}"));
+        let estimates = self.estimate_nodes(&plan, None);
         self.plan_cache.insert(
             key,
-            Arc::new(CachedPlan { plan: plan.clone(), trace: trace.clone(), version, digest }),
+            Arc::new(CachedPlan {
+                plan: plan.clone(),
+                trace: trace.clone(),
+                version,
+                digest,
+                estimates: estimates.clone(),
+            }),
         );
         Ok(ResolvedPlan {
             plan,
@@ -149,20 +173,100 @@ impl QueryEnv<'_> {
             outcome: CacheOutcome::Miss,
             digest,
             shape: shape.to_string(),
+            estimates,
         })
+    }
+
+    /// Feedback-driven re-optimization on a plan-cache hit: when the query
+    /// store has observed per-node cardinalities for this digest and the
+    /// worst node misestimate exceeds
+    /// [`feedback::REOPT_WORST_RATIO_THRESHOLD`], the statement is
+    /// re-optimized with the observed values as overriding estimates and
+    /// the cache entry replaced under the same key. Returns `None` when the
+    /// cached plan stands (no evidence, small misestimate, or the
+    /// capability is off).
+    fn maybe_reoptimize(
+        &self,
+        sel: &SelectStmt,
+        shape: &str,
+        types: &[SqlType],
+        key: &PlanCacheKey,
+        version: u64,
+        cached: &CachedPlan,
+    ) -> Result<Option<ResolvedPlan>> {
+        if cached.estimates.is_empty()
+            || !self.state.optimizer.profile().has(Capability::CostBasedJoinOrdering)
+        {
+            return Ok(None);
+        }
+        let store = QueryStore::global();
+        if !store.enabled() {
+            return Ok(None);
+        }
+        let Some(observed) = store.observed(cached.digest) else {
+            return Ok(None);
+        };
+        let Some((ratio, node)) =
+            feedback::worst_misestimate(&cached.estimates, &observed.node_rows)
+        else {
+            return Ok(None);
+        };
+        if ratio <= feedback::REOPT_WORST_RATIO_THRESHOLD {
+            return Ok(None);
+        }
+        let _sp = qtrace::span("reoptimize");
+        qtrace::attr("worst_ratio", format_args!("{ratio:.1}"));
+        qtrace::attr("node", node);
+        let overrides = feedback::overrides_from_observed(&cached.plan, &observed.node_rows);
+        let (plan, trace) = self.bind_and_optimize(sel, types, Some(&overrides))?;
+        let digest = vdm_plan::plan_digest_canonical(&plan);
+        qtrace::attr("digest", format_args!("{digest:016x}"));
+        // Estimates for the new entry are computed *with* the overrides, so
+        // they agree with the observed history and the loop settles: the
+        // next hit sees est ≈ act and keeps the corrected plan.
+        let estimates = self.estimate_nodes(&plan, Some(&overrides));
+        MetricsRegistry::global().inc(names::REOPTIMIZATIONS_TOTAL, 1);
+        self.plan_cache.insert(
+            key.clone(),
+            Arc::new(CachedPlan {
+                plan: plan.clone(),
+                trace: trace.clone(),
+                version,
+                digest,
+                estimates: estimates.clone(),
+            }),
+        );
+        Ok(Some(ResolvedPlan {
+            plan,
+            trace,
+            outcome: CacheOutcome::Miss,
+            digest,
+            shape: shape.to_string(),
+            estimates,
+        }))
     }
 
     fn bind_and_optimize(
         &self,
         sel: &SelectStmt,
         param_types: &[SqlType],
+        overrides: Option<&CardOverrides>,
     ) -> Result<(PlanRef, Trace)> {
         let bound = {
             let _bind = qtrace::span("bind");
             self.state.binder().with_param_types(param_types).bind_select(sel)?
         };
         let _opt = qtrace::span("optimize");
-        self.state.optimizer.optimize_traced(&bound)
+        let stats = EngineStats::new(self.engine);
+        self.state.optimizer.optimize_traced_with(&bound, Some(&stats), overrides)
+    }
+
+    /// Per-node estimates of an optimized plan against current storage
+    /// statistics (plus any feedback overrides).
+    fn estimate_nodes(&self, plan: &PlanRef, overrides: Option<&CardOverrides>) -> Vec<(u32, u64)> {
+        let stats = EngineStats::new(self.engine);
+        let opts = self.state.optimizer.profile().derive_options();
+        feedback::estimates_with(plan, &stats, opts, overrides)
     }
 
     /// The full SELECT pipeline: plan resolution, parameter substitution,
@@ -228,6 +332,7 @@ pub fn execute_select(
                 &bound,
                 &index,
                 &profile,
+                &resolved.estimates,
                 &resolved.trace,
                 resolved.outcome,
                 &metrics,
@@ -271,6 +376,7 @@ fn exec_record(
         cache_hit: resolved.outcome == CacheOutcome::Hit,
         workers: parallel.threads.max(1) as u32,
         node_rows: profile.nodes.iter().map(|(id, s)| (*id as u32, s.rows_out)).collect(),
+        node_est: resolved.estimates.clone(),
         explain,
     }
 }
@@ -299,6 +405,7 @@ pub fn explain_analyze_bound(
         &bound,
         &index,
         &profile,
+        &resolved.estimates,
         &resolved.trace,
         resolved.outcome,
         &metrics,
@@ -330,6 +437,7 @@ fn render_explain_analyze(
     bound: &PlanRef,
     index: &NodeIndex,
     profile: &QueryProfile,
+    estimates: &[(u32, u64)],
     trace: &Trace,
     outcome: CacheOutcome,
     metrics: &Metrics,
@@ -337,11 +445,18 @@ fn render_explain_analyze(
     elapsed_nanos: u64,
     threads: usize,
 ) -> String {
-    let annotated = render_analyzed(bound, index, profile);
+    let annotated = render_analyzed(bound, index, profile, estimates);
+    let observed: Vec<(u32, f64)> =
+        profile.nodes.iter().map(|(id, s)| (*id as u32, s.rows_out as f64)).collect();
+    let misestimate = feedback::worst_misestimate(estimates, &observed)
+        .filter(|(ratio, _)| *ratio >= 1.05)
+        .map(|(ratio, node)| format!("[misestimate: worst \u{d7}{ratio:.1} at node #{node}]\n"))
+        .unwrap_or_default();
     format!(
-        "== EXPLAIN ANALYZE ({} thread(s)) [plan cache: {}] ==\n{}\n{}== rewrite trace ==\n{}== execution summary ==\n{} row(s) returned, elapsed time={}\nrows scanned: {}, join probe rows: {}, rows joined: {}, operators: {}\n",
+        "== EXPLAIN ANALYZE ({} thread(s)) [plan cache: {}] ==\n{}{}\n{}== rewrite trace ==\n{}== execution summary ==\n{} row(s) returned, elapsed time={}\nrows scanned: {}, join probe rows: {}, rows joined: {}, operators: {}\n",
         threads,
         outcome.label(),
+        misestimate,
         trace.render_opt_stats(),
         annotated,
         trace.render_events(),
@@ -354,15 +469,25 @@ fn render_explain_analyze(
     )
 }
 
-/// Renders `plan` with one `[#id rows=... time=...]` annotation per node,
-/// deriving each operator's input rows from its children's recorded output.
-fn render_analyzed(plan: &PlanRef, index: &NodeIndex, profile: &QueryProfile) -> String {
+/// Renders `plan` with one `[#id est=... act=... time=...]` annotation per
+/// node (plain `rows=` when no estimate exists for the node), deriving
+/// each operator's input rows from its children's recorded output.
+fn render_analyzed(
+    plan: &PlanRef,
+    index: &NodeIndex,
+    profile: &QueryProfile,
+    estimates: &[(u32, u64)],
+) -> String {
+    let est: std::collections::HashMap<u32, u64> = estimates.iter().copied().collect();
     vdm_plan::explain_annotated(plan, &|node| {
         let id = index.id_of(node)?;
         Some(match profile.nodes.get(&id) {
             Some(s) => {
                 let children = node.children();
-                let mut note = format!("[#{id} rows={}", s.rows_out);
+                let mut note = match est.get(&(id as u32)) {
+                    Some(e) => format!("[#{id} est={e} act={}", s.rows_out),
+                    None => format!("[#{id} rows={}", s.rows_out),
+                };
                 if !children.is_empty() {
                     let rows_in: u64 = children
                         .iter()

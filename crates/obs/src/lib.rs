@@ -37,5 +37,8 @@ pub use hist::{LatencyHist, LE_BOUNDS};
 pub use profile::{NodeIndex, NodeStats, QueryProfile};
 pub use registry::MetricsRegistry;
 pub use rewrite::RewriteEvent;
-pub use store::{DigestAggregate, ExecRecord, QueryStore, SlowQuery};
+pub use store::{
+    DigestAggregate, ExecRecord, FeedbackProvider, LoadReport, ObservedCardinalities, QueryStore,
+    SlowQuery,
+};
 pub use trace::{QueryTrace, Span};

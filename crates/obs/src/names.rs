@@ -97,6 +97,9 @@ pub const STORE_RECORDS_TOTAL: &str = "vdm_store_records_total";
 /// Executions over the slow-query threshold, captured with full
 /// EXPLAIN ANALYZE output.
 pub const SLOW_QUERIES_TOTAL: &str = "vdm_slow_queries_total";
+/// Cached plans re-optimized because observed cardinalities disagreed
+/// with the plan's estimates beyond the misestimate threshold.
+pub const REOPTIMIZATIONS_TOTAL: &str = "vdm_reoptimizations_total";
 
 /// Every metric the workspace emits. Kept sorted by name so the catalog
 /// doubles as documentation.
@@ -165,6 +168,11 @@ pub const ALL: &[MetricDesc] = &[
         name: QUEUE_WAIT_SECONDS,
         kind: MetricKind::Histogram,
         help: "Admission wait before execution starts (state-lock + plan resolution), in seconds.",
+    },
+    MetricDesc {
+        name: REOPTIMIZATIONS_TOTAL,
+        kind: MetricKind::Counter,
+        help: "Cached plans re-optimized after observed cardinalities exceeded the misestimate threshold.",
     },
     MetricDesc {
         name: REWRITE_FIRED_TOTAL,

@@ -32,8 +32,11 @@ use crate::hist::LatencyHist;
 use crate::util::{json_number, json_string, Json};
 use crate::{names, registry};
 
-/// Schema version stamped on every JSON-lines record.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Schema version stamped on every JSON-lines record. Version 2 added
+/// `node_est` (per-node estimated rows); version-1 files still load, with
+/// estimates empty. Unknown versions and malformed lines are skipped and
+/// counted, never a hard failure — see [`QueryStore::load_jsonl_str`].
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One finished execution, as reported by `vdm-core`.
 #[derive(Debug, Clone, Default)]
@@ -53,6 +56,9 @@ pub struct ExecRecord {
     /// Per-plan-node output rows `(node_id, rows_out)` from the profiled
     /// executor; empty when profiling was off for this query.
     pub node_rows: Vec<(u32, u64)>,
+    /// Per-plan-node *estimated* rows `(node_id, est)` from the optimizer's
+    /// cardinality model; empty when no statistics were available.
+    pub node_est: Vec<(u32, u64)>,
     /// Rendered EXPLAIN ANALYZE text; only expected when `latency_nanos`
     /// is over the slow threshold.
     pub explain: Option<String>,
@@ -73,6 +79,10 @@ pub struct DigestAggregate {
     pub workers_last: u32,
     /// Cumulative rows_out per plan node id, sorted by node id.
     pub node_rows: BTreeMap<u32, u64>,
+    /// Estimated rows per plan node id from the most recent execution
+    /// that carried estimates (last write wins — estimates are a property
+    /// of the current plan, not an accumulating quantity).
+    pub node_est: BTreeMap<u32, u64>,
 }
 
 impl DigestAggregate {
@@ -88,6 +98,7 @@ impl DigestAggregate {
             latency: LatencyHist::new(),
             workers_last: 0,
             node_rows: BTreeMap::new(),
+            node_est: BTreeMap::new(),
         }
     }
 
@@ -127,6 +138,13 @@ impl DigestAggregate {
             }
             out.push_str(&format!("[{node}, {rows}]"));
         }
+        out.push_str("], \"node_est\": [");
+        for (i, (node, est)) in self.node_est.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("[{node}, {est}]"));
+        }
         out.push_str("]}");
         out
     }
@@ -137,7 +155,9 @@ impl DigestAggregate {
     pub fn from_json_line(line: &str) -> Result<DigestAggregate, String> {
         let v = Json::parse(line)?;
         let version = v.get("v").and_then(Json::as_u64).ok_or("missing v")?;
-        if version != SCHEMA_VERSION {
+        // v1 records lack `node_est` and load with empty estimates; later
+        // versions are unknown and rejected (the loader skip-and-counts).
+        if !(1..=SCHEMA_VERSION).contains(&version) {
             return Err(format!("unsupported schema version {version}"));
         }
         let digest_hex = v.get("digest").and_then(Json::as_str).ok_or("missing digest")?;
@@ -161,6 +181,16 @@ impl DigestAggregate {
                 pair[1].as_u64().ok_or("bad node rows")?,
             );
         }
+        let mut node_est = BTreeMap::new();
+        if version >= 2 {
+            for pair in v.get("node_est").and_then(Json::as_array).ok_or("missing node_est")? {
+                let pair = pair.as_array().filter(|p| p.len() == 2).ok_or("bad node_est pair")?;
+                node_est.insert(
+                    pair[0].as_u64().ok_or("bad node id")? as u32,
+                    pair[1].as_u64().ok_or("bad node est")?,
+                );
+            }
+        }
         Ok(DigestAggregate {
             digest,
             shape: v.get("shape").and_then(Json::as_str).ok_or("missing shape")?.to_string(),
@@ -172,6 +202,7 @@ impl DigestAggregate {
             latency,
             workers_last: need("workers_last")? as u32,
             node_rows,
+            node_est,
         })
     }
 }
@@ -304,6 +335,9 @@ impl QueryStore {
             for (node, rows) in &rec.node_rows {
                 *agg.node_rows.entry(*node).or_insert(0) += rows;
             }
+            if !rec.node_est.is_empty() {
+                agg.node_est = rec.node_est.iter().copied().collect();
+            }
 
             if inner.ring_capacity > 0 {
                 if inner.ring.len() == inner.ring_capacity {
@@ -378,16 +412,30 @@ impl QueryStore {
 
     /// Loads aggregates from JSON-lines text, merging into existing
     /// entries (histograms merge, counts add; a loaded shape wins only
-    /// for digests not yet present). Returns the number of lines loaded.
-    pub fn load_jsonl_str(&self, text: &str) -> Result<usize, String> {
-        let mut loaded = 0usize;
+    /// for digests not yet present; estimates take the incoming value
+    /// when present).
+    ///
+    /// Unknown schema versions and malformed lines are *skipped and
+    /// counted*, never a hard failure: a store written by a newer build
+    /// (schema v3+) or a corrupted tail must not take down loading of
+    /// every readable record.
+    pub fn load_jsonl_str(&self, text: &str) -> LoadReport {
+        let mut report = LoadReport::default();
         let mut inner = self.inner.lock().unwrap();
         for (lineno, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let agg = DigestAggregate::from_json_line(line)
-                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let agg = match DigestAggregate::from_json_line(line) {
+                Ok(agg) => agg,
+                Err(e) => {
+                    report.skipped += 1;
+                    if report.first_error.is_none() {
+                        report.first_error = Some(format!("line {}: {e}", lineno + 1));
+                    }
+                    continue;
+                }
+            };
             match inner.aggregates.get_mut(&agg.digest) {
                 None => {
                     inner.aggregates.insert(agg.digest, agg);
@@ -403,11 +451,14 @@ impl QueryStore {
                     for (node, rows) in agg.node_rows {
                         *existing.node_rows.entry(node).or_insert(0) += rows;
                     }
+                    if !agg.node_est.is_empty() {
+                        existing.node_est = agg.node_est;
+                    }
                 }
             }
-            loaded += 1;
+            report.loaded += 1;
         }
-        Ok(loaded)
+        report
     }
 
     /// Writes [`QueryStore::to_jsonl`] to `path` (replacing the file).
@@ -417,10 +468,55 @@ impl QueryStore {
     }
 
     /// Loads a JSON-lines file written by [`QueryStore::save_jsonl`].
-    pub fn load_jsonl(&self, path: &Path) -> std::io::Result<usize> {
+    /// IO errors fail; unreadable records are skipped (see
+    /// [`QueryStore::load_jsonl_str`]).
+    pub fn load_jsonl(&self, path: &Path) -> std::io::Result<LoadReport> {
         let text = std::fs::read_to_string(path)?;
-        self.load_jsonl_str(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Ok(self.load_jsonl_str(&text))
+    }
+}
+
+/// Outcome of a JSON-lines load: how many records merged, how many were
+/// skipped as unknown/malformed, and the first skip reason for diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    pub loaded: usize,
+    pub skipped: usize,
+    pub first_error: Option<String>,
+}
+
+/// Observed per-node cardinalities for one plan digest, averaged per
+/// execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedCardinalities {
+    /// Executions backing the averages.
+    pub execs: u64,
+    /// `(pre-order node id, average rows_out per execution)`.
+    pub node_rows: Vec<(u32, f64)>,
+}
+
+/// The optimizer-facing window onto execution feedback. Rules and the
+/// re-optimization path consume observed cardinalities *only* through
+/// this trait (CI greps that no optimizer code names `QueryStore`), so
+/// the store stays swappable and tests can feed synthetic histories.
+pub trait FeedbackProvider {
+    /// Observed per-node cardinalities for `digest`, or `None` when the
+    /// digest has no recorded executions.
+    fn observed(&self, digest: u64) -> Option<ObservedCardinalities>;
+}
+
+impl FeedbackProvider for QueryStore {
+    fn observed(&self, digest: u64) -> Option<ObservedCardinalities> {
+        let agg = self.aggregate(digest)?;
+        if agg.execs == 0 {
+            return None;
+        }
+        let node_rows = agg
+            .node_rows
+            .iter()
+            .map(|(&node, &rows)| (node, rows as f64 / agg.execs as f64))
+            .collect();
+        Some(ObservedCardinalities { execs: agg.execs, node_rows })
     }
 }
 
@@ -438,6 +534,7 @@ mod tests {
             cache_hit: hit,
             workers: 4,
             node_rows: vec![(0, 3), (1, 10)],
+            node_est: vec![(0, 5), (1, 12)],
             explain: None,
         }
     }
@@ -477,11 +574,14 @@ mod tests {
         store.record(rec(42, u64::MAX / 2, false)); // overflow bucket
         let text = store.to_jsonl();
         let reloaded = QueryStore::new();
-        assert_eq!(reloaded.load_jsonl_str(&text).unwrap(), 2);
+        let report = reloaded.load_jsonl_str(&text);
+        assert_eq!((report.loaded, report.skipped), (2, 0));
         assert_eq!(reloaded.aggregates(), store.aggregates());
-        // And the merge path doubles counts deterministically.
-        assert_eq!(reloaded.load_jsonl_str(&text).unwrap(), 2);
+        // And the merge path doubles counts deterministically (estimates
+        // are last-write-wins, not additive).
+        assert_eq!(reloaded.load_jsonl_str(&text).loaded, 2);
         assert_eq!(reloaded.aggregate(42).unwrap().execs, 2);
+        assert_eq!(reloaded.aggregate(42).unwrap().node_est.get(&0), Some(&5));
     }
 
     #[test]
@@ -508,10 +608,38 @@ mod tests {
     }
 
     #[test]
-    fn rejects_foreign_schema() {
+    fn load_skips_and_counts_foreign_or_malformed_records() {
         let store = QueryStore::new();
-        let err = store.load_jsonl_str("{\"v\": 99, \"digest\": \"0\"}").unwrap_err();
-        assert!(err.contains("schema version"), "{err}");
-        assert!(store.load_jsonl_str("not json").is_err());
+        store.record(rec(7, 1_000_000, false));
+        let good = store.to_jsonl();
+        let mixed = format!("{{\"v\": 99, \"digest\": \"0\"}}\nnot json\n{good}");
+        let fresh = QueryStore::new();
+        let report = fresh.load_jsonl_str(&mixed);
+        assert_eq!((report.loaded, report.skipped), (1, 2));
+        let first = report.first_error.unwrap();
+        assert!(first.contains("line 1") && first.contains("schema version"), "{first}");
+        assert_eq!(fresh.aggregate(7).unwrap().execs, 1);
+    }
+
+    #[test]
+    fn v1_records_load_with_empty_estimates() {
+        // A hand-built v1 line: no node_est field at all.
+        let line = "{\"v\": 1, \"digest\": \"002a\", \"shape\": \"select 1\", \
+                    \"execs\": 3, \"cache_hits\": 1, \"cache_misses\": 2, \
+                    \"rows_in\": 30, \"rows_out\": 9, \"workers_last\": 2, \
+                    \"latency_sum\": 0.5, \"latency_buckets\": []}";
+        // Pad the bucket array to the real layout so from_parts accepts it.
+        let buckets: Vec<String> = crate::hist::LE_BOUNDS.iter().map(|_| "0".to_string()).collect();
+        let line = line.replace(
+            "\"latency_buckets\": []",
+            &format!("\"latency_buckets\": [{}, 0]", buckets.join(", ")),
+        );
+        let line = format!("{}, \"node_rows\": [[0, 9]]}}", &line[..line.len() - 1]);
+        let store = QueryStore::new();
+        let report = store.load_jsonl_str(&line);
+        assert_eq!((report.loaded, report.skipped), (1, 0), "{:?}", report.first_error);
+        let agg = store.aggregate(0x2a).unwrap();
+        assert_eq!(agg.execs, 3);
+        assert!(agg.node_est.is_empty());
     }
 }

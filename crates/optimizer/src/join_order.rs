@@ -1,0 +1,500 @@
+//! Cost-based join ordering (§7's "beyond rule-based" outlook).
+//!
+//! The rule-based passes (UAJ/ASJ elimination, pruning) run first and
+//! *remove* joins; whatever inner joins survive are then reordered here by
+//! estimated cost. The pass finds maximal *commutable regions* — trees of
+//! plain inner equi-joins (no residual filter, no declared cardinality, no
+//! ASJ intent) — and re-plans each region in isolation:
+//!
+//! * leaves (anything that is not a plain inner join: scans, filters,
+//!   aggregates, outer joins, declared-cardinality joins) are kept intact,
+//!   so outer-join and DAC semantics are never disturbed;
+//! * edge selectivities are calibrated from the estimator itself on the
+//!   *original* tree (override-aware, so observed feedback flows into the
+//!   same model), making `rows(S)` independent of join order;
+//! * regions of ≤ 10 relations are planned exactly by connected-subgraph
+//!   dynamic programming over subset bitmasks (DPsub); larger regions fall
+//!   back to greedy smallest-result-first merging;
+//! * the cost is `C_out`: the sum of estimated intermediate result sizes.
+//!   The reordered tree is adopted only when strictly cheaper than the
+//!   original under the same model, and the region is wrapped in a
+//!   compensating projection restoring the exact original schema — results
+//!   stay bit-identical at every ordering.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use vdm_expr::Expr;
+use vdm_plan::{map_children, Cardinality, JoinKind, LogicalPlan, PlanRef};
+use vdm_types::Result;
+
+/// Largest region planned by exact DP; larger regions go greedy.
+pub const DP_MAX_RELATIONS: usize = 10;
+
+/// Reorders every maximal commutable inner-join region of `plan` by
+/// estimated cost. `card` supplies memoized per-node estimates (with any
+/// observed-cardinality overrides already attached).
+pub fn join_order_pass(plan: &PlanRef, card: &Cardinality) -> Result<PlanRef> {
+    let mut memo: HashMap<*const LogicalPlan, PlanRef> = HashMap::new();
+    rewrite(plan, card, &mut memo)
+}
+
+fn rewrite(
+    plan: &PlanRef,
+    card: &Cardinality,
+    memo: &mut HashMap<*const LogicalPlan, PlanRef>,
+) -> Result<PlanRef> {
+    let key = Arc::as_ptr(plan);
+    if let Some(done) = memo.get(&key) {
+        return Ok(done.clone());
+    }
+    let out = if is_region_join(plan) {
+        reorder_region(plan, card, memo)?
+    } else if plan.children().is_empty() {
+        plan.clone()
+    } else {
+        let kids =
+            plan.children().iter().map(|c| rewrite(c, card, memo)).collect::<Result<Vec<_>>>()?;
+        map_children(plan, kids)?
+    };
+    memo.insert(key, out.clone());
+    Ok(out)
+}
+
+/// A plain inner equi-join: commutable, safe to re-associate. Residual
+/// filters, declared cardinalities and ASJ intent pin a join in place (the
+/// metadata refers to that specific left/right pairing).
+fn is_region_join(plan: &PlanRef) -> bool {
+    matches!(
+        plan.as_ref(),
+        LogicalPlan::Join {
+            kind: JoinKind::Inner,
+            filter: None,
+            declared: None,
+            asj_intent: false,
+            on,
+            ..
+        } if !on.is_empty()
+    )
+}
+
+/// One hyperedge of the region's join graph: the equi-join pairs that
+/// connect two leaves, with the calibrated selectivity of applying them.
+struct Edge {
+    a: usize,
+    b: usize,
+    /// `(column local to leaf a, column local to leaf b)` pairs.
+    pairs: Vec<(usize, usize)>,
+    sel: f64,
+}
+
+/// A planned sub-join during enumeration: the plan plus the identity of
+/// each output column as `(leaf index, column local to that leaf)`.
+#[derive(Clone)]
+struct SubPlan {
+    plan: PlanRef,
+    cols: Vec<(usize, usize)>,
+}
+
+struct Region {
+    /// Leaf sub-plans in original in-order (defines the original global
+    /// column numbering: leaf 0's columns first, then leaf 1's, ...).
+    leaves: Vec<PlanRef>,
+    /// Global column ordinal → (leaf index, local column).
+    col_of: Vec<(usize, usize)>,
+    edges: Vec<Edge>,
+}
+
+fn reorder_region(
+    plan: &PlanRef,
+    card: &Cardinality,
+    memo: &mut HashMap<*const LogicalPlan, PlanRef>,
+) -> Result<PlanRef> {
+    let mut leaves: Vec<PlanRef> = Vec::new();
+    let mut raw_edges: Vec<(usize, usize)> = Vec::new();
+    collect(plan, 0, &mut leaves, &mut raw_edges, card, memo)?;
+    let n = leaves.len();
+    if !(3..=32).contains(&n) {
+        // Below 3 there is one shape modulo commutation; above 32 the
+        // bitmask machinery would overflow (and no real VDM query gets
+        // there). Keep the original shape either way.
+        return rebuild_original(plan, card, memo);
+    }
+
+    // Global column numbering over the original leaf order.
+    let mut col_of = Vec::new();
+    for (li, leaf) in leaves.iter().enumerate() {
+        for c in 0..leaf.schema().len() {
+            col_of.push((li, c));
+        }
+    }
+
+    // Group raw column pairs into per-leaf-pair hyperedges.
+    let mut by_pair: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+    for &(gl, gr) in &raw_edges {
+        let (la, ca) = col_of[gl];
+        let (lb, cb) = col_of[gr];
+        debug_assert_ne!(la, lb);
+        let (key, pair) = if la < lb { ((la, lb), (ca, cb)) } else { ((lb, la), (cb, ca)) };
+        by_pair.entry(key).or_default().push(pair);
+    }
+    let mut edges: Vec<Edge> =
+        by_pair.into_iter().map(|((a, b), pairs)| Edge { a, b, pairs, sel: 1.0 }).collect();
+    edges.sort_by_key(|e| (e.a, e.b));
+
+    // Calibrate edge selectivities from the original tree so rows(S) is
+    // order-independent and agrees with the estimator at every original
+    // intermediate.
+    calibrate(plan, card, &col_of, &mut edges);
+
+    let region = Region { leaves, col_of, edges };
+    let leaf_rows: Vec<f64> = region.leaves.iter().map(|l| card.estimate(l)).collect();
+
+    // rows(S) for every leaf subset.
+    let rows = |s: u32| -> f64 {
+        let mut r = 1.0f64;
+        for (i, leaf) in leaf_rows.iter().enumerate().take(n) {
+            if s & (1 << i) != 0 {
+                r *= leaf;
+            }
+        }
+        for e in &region.edges {
+            if s & (1 << e.a) != 0 && s & (1 << e.b) != 0 {
+                r *= e.sel;
+            }
+        }
+        r
+    };
+
+    let original_cost = original_region_cost(plan, &rows);
+
+    let (best, best_cost) =
+        if n <= DP_MAX_RELATIONS { dp_plan(&region, &rows)? } else { greedy_plan(&region, &rows)? };
+
+    if best_cost + 1e-9 >= original_cost {
+        // Not strictly cheaper under the same model: keep the original
+        // shape (stability beats churn).
+        return rebuild_original(plan, card, memo);
+    }
+
+    // Compensating projection restoring the original column order/names.
+    let schema = plan.schema();
+    let mut pos: HashMap<(usize, usize), usize> = HashMap::new();
+    for (i, lc) in best.cols.iter().enumerate() {
+        pos.insert(*lc, i);
+    }
+    let out = if best.cols == region.col_of {
+        best.plan.clone()
+    } else {
+        let exprs: Vec<(Expr, String)> = region
+            .col_of
+            .iter()
+            .enumerate()
+            .map(|(g, lc)| (Expr::Col(pos[lc]), schema.field(g).name.clone()))
+            .collect();
+        LogicalPlan::project(best.plan.clone(), exprs)?
+    };
+    vdm_obs::rewrite::fired(
+        "join-reorder",
+        plan,
+        Some(&out),
+        &format!(
+            "{} relations, cost {:.3e} -> {:.3e} (C_out, estimated)",
+            n, original_cost, best_cost
+        ),
+    );
+    Ok(out)
+}
+
+/// Recursively gathers the region under `node`: leaves in in-order, join
+/// column pairs as global ordinals. Non-region children are themselves
+/// rewritten (their own nested regions get reordered independently).
+fn collect(
+    node: &PlanRef,
+    base: usize,
+    leaves: &mut Vec<PlanRef>,
+    raw_edges: &mut Vec<(usize, usize)>,
+    card: &Cardinality,
+    memo: &mut HashMap<*const LogicalPlan, PlanRef>,
+) -> Result<usize> {
+    if is_region_join(node) {
+        let LogicalPlan::Join { left, right, on, .. } = node.as_ref() else { unreachable!() };
+        let lw = collect(left, base, leaves, raw_edges, card, memo)?;
+        let rw = collect(right, base + lw, leaves, raw_edges, card, memo)?;
+        for &(l, r) in on {
+            raw_edges.push((base + l, base + lw + r));
+        }
+        Ok(lw + rw)
+    } else {
+        let processed = rewrite(node, card, memo)?;
+        let w = processed.schema().len();
+        leaves.push(processed);
+        Ok(w)
+    }
+}
+
+/// Walks the original region tree bottom-up, assigning each internal
+/// join's *introduced* selectivity — `est(join) / (est(l) * est(r))` —
+/// evenly (geometric split) across the hyperedges it introduces. This
+/// reproduces the estimator's numbers on the original shape exactly and
+/// keeps `rows(S)` a pure product, hence order-independent.
+fn calibrate(node: &PlanRef, card: &Cardinality, col_of: &[(usize, usize)], edges: &mut [Edge]) {
+    // Re-derive leaf spans by re-walking; track (start, width) per subtree.
+    fn walk(
+        node: &PlanRef,
+        base: usize,
+        card: &Cardinality,
+        col_of: &[(usize, usize)],
+        edges: &mut [Edge],
+    ) -> usize {
+        if !is_region_join(node) {
+            return node.schema().len();
+        }
+        let LogicalPlan::Join { left, right, on, .. } = node.as_ref() else { unreachable!() };
+        let lw = walk(left, base, card, col_of, edges);
+        let rw = walk(right, base + lw, card, col_of, edges);
+        let el = card.estimate(left).max(1e-9);
+        let er = card.estimate(right).max(1e-9);
+        let ej = card.estimate(node);
+        let sel = (ej / (el * er)).clamp(1e-12, 1.0);
+        // The hyperedges this join introduces: leaf pairs straddling the
+        // two sides, named by this node's `on` pairs.
+        let mut introduced: Vec<usize> = Vec::new();
+        for &(l, r) in on {
+            let (la, _) = col_of[base + l];
+            let (lb, _) = col_of[base + lw + r];
+            let (a, b) = if la < lb { (la, lb) } else { (lb, la) };
+            if let Some(i) = edges.iter().position(|e| e.a == a && e.b == b) {
+                if !introduced.contains(&i) {
+                    introduced.push(i);
+                }
+            }
+        }
+        if !introduced.is_empty() {
+            let per = sel.powf(1.0 / introduced.len() as f64);
+            for i in introduced {
+                edges[i].sel *= per;
+            }
+        }
+        lw + rw
+    }
+    walk(node, 0, card, col_of, edges);
+}
+
+/// `C_out` of the original tree under the shared `rows(S)` model.
+fn original_region_cost(node: &PlanRef, rows: &dyn Fn(u32) -> f64) -> f64 {
+    fn walk(
+        node: &PlanRef,
+        next_leaf: &mut usize,
+        rows: &dyn Fn(u32) -> f64,
+        cost: &mut f64,
+    ) -> u32 {
+        if !is_region_join(node) {
+            *next_leaf += 1;
+            return 1u32 << (*next_leaf - 1);
+        }
+        let LogicalPlan::Join { left, right, .. } = node.as_ref() else { unreachable!() };
+        let lmask = walk(left, next_leaf, rows, cost);
+        let rmask = walk(right, next_leaf, rows, cost);
+        let s = lmask | rmask;
+        *cost += rows(s);
+        s
+    }
+    let mut next = 0usize;
+    let mut cost = 0.0;
+    walk(node, &mut next, rows, &mut cost);
+    cost
+}
+
+/// Rebuilds the original region shape with children individually
+/// rewritten (nested regions below non-join leaves still get reordered).
+fn rebuild_original(
+    plan: &PlanRef,
+    card: &Cardinality,
+    memo: &mut HashMap<*const LogicalPlan, PlanRef>,
+) -> Result<PlanRef> {
+    if is_region_join(plan) {
+        let LogicalPlan::Join { left, right, on, .. } = plan.as_ref() else { unreachable!() };
+        let l = rebuild_original(left, card, memo)?;
+        let r = rebuild_original(right, card, memo)?;
+        if Arc::ptr_eq(&l, left) && Arc::ptr_eq(&r, right) {
+            Ok(plan.clone())
+        } else {
+            LogicalPlan::inner_join(l, r, on.clone())
+        }
+    } else {
+        rewrite(plan, card, memo)
+    }
+}
+
+/// Builds the join for one DP/greedy merge step: bigger estimated side on
+/// the left (the executor builds its hash table on the right).
+fn join_parts(
+    left: &SubPlan,
+    right: &SubPlan,
+    edges: &[Edge],
+    lmask: u32,
+    rmask: u32,
+) -> Result<SubPlan> {
+    let mut lpos: HashMap<(usize, usize), usize> = HashMap::new();
+    for (i, lc) in left.cols.iter().enumerate() {
+        lpos.insert(*lc, i);
+    }
+    let mut rpos: HashMap<(usize, usize), usize> = HashMap::new();
+    for (i, lc) in right.cols.iter().enumerate() {
+        rpos.insert(*lc, i);
+    }
+    let mut on: Vec<(usize, usize)> = Vec::new();
+    for e in edges {
+        let (a_in_l, b_in_l) = (lmask & (1 << e.a) != 0, lmask & (1 << e.b) != 0);
+        let (a_in_r, b_in_r) = (rmask & (1 << e.a) != 0, rmask & (1 << e.b) != 0);
+        if a_in_l && b_in_r {
+            for &(ca, cb) in &e.pairs {
+                on.push((lpos[&(e.a, ca)], rpos[&(e.b, cb)]));
+            }
+        } else if b_in_l && a_in_r {
+            for &(ca, cb) in &e.pairs {
+                on.push((lpos[&(e.b, cb)], rpos[&(e.a, ca)]));
+            }
+        }
+    }
+    debug_assert!(!on.is_empty(), "join_parts called on disconnected split");
+    on.sort_unstable();
+    on.dedup();
+    let plan = LogicalPlan::inner_join(left.plan.clone(), right.plan.clone(), on)?;
+    let mut cols = left.cols.clone();
+    cols.extend_from_slice(&right.cols);
+    Ok(SubPlan { plan, cols })
+}
+
+/// Exact DPsub over connected subsets (≤ [`DP_MAX_RELATIONS`] leaves).
+fn dp_plan(region: &Region, rows: &dyn Fn(u32) -> f64) -> Result<(SubPlan, f64)> {
+    let n = region.leaves.len();
+    let full: u32 = (1u32 << n) - 1;
+    // Adjacency bitmasks for connectivity tests.
+    let mut adj = vec![0u32; n];
+    for e in &region.edges {
+        adj[e.a] |= 1 << e.b;
+        adj[e.b] |= 1 << e.a;
+    }
+    let connected = |s: u32| -> bool {
+        let first = s.trailing_zeros();
+        let mut seen = 1u32 << first;
+        loop {
+            let mut grown = seen;
+            let mut t = seen;
+            while t != 0 {
+                let i = t.trailing_zeros() as usize;
+                t &= t - 1;
+                grown |= adj[i] & s;
+            }
+            if grown == seen {
+                break;
+            }
+            seen = grown;
+        }
+        seen == s
+    };
+    let crossing = |a: u32, b: u32| -> bool {
+        region.edges.iter().any(|e| {
+            (a & (1 << e.a) != 0 && b & (1 << e.b) != 0)
+                || (b & (1 << e.a) != 0 && a & (1 << e.b) != 0)
+        })
+    };
+
+    let mut best: Vec<Option<(f64, SubPlan)>> = vec![None; (full as usize) + 1];
+    for (i, leaf) in region.leaves.iter().enumerate() {
+        let cols: Vec<(usize, usize)> = (0..leaf.schema().len()).map(|c| (i, c)).collect();
+        best[1usize << i] = Some((0.0, SubPlan { plan: leaf.clone(), cols }));
+    }
+    for s in 1..=full {
+        if s.count_ones() < 2 || !connected(s) {
+            continue;
+        }
+        let out_rows = rows(s);
+        let mut choice: Option<(f64, u32)> = None;
+        // Enumerate proper subsets of s; visit each unordered split once.
+        let mut t = (s - 1) & s;
+        while t != 0 {
+            let c = s & !t;
+            if t < c {
+                let (a, b) = (t, c);
+                if let (Some((ca, _)), Some((cb, _))) =
+                    (best[a as usize].as_ref(), best[b as usize].as_ref())
+                {
+                    if crossing(a, b) {
+                        let cost = ca + cb + out_rows;
+                        if choice.map(|(c0, _)| cost < c0).unwrap_or(true) {
+                            choice = Some((cost, a));
+                        }
+                    }
+                }
+            }
+            t = (t - 1) & s;
+        }
+        if let Some((cost, a)) = choice {
+            let b = s & !a;
+            let (pa, pb) = (
+                best[a as usize].as_ref().unwrap().1.clone(),
+                best[b as usize].as_ref().unwrap().1.clone(),
+            );
+            // Bigger side left (probe), smaller side right (build).
+            let joined = if rows(a) >= rows(b) {
+                join_parts(&pa, &pb, &region.edges, a, b)?
+            } else {
+                join_parts(&pb, &pa, &region.edges, b, a)?
+            };
+            best[s as usize] = Some((cost, joined));
+        }
+    }
+    let (cost, plan) =
+        best[full as usize].take().expect("region join graph is connected by construction");
+    Ok((plan, cost))
+}
+
+/// Greedy smallest-result-first merging for large regions: repeatedly
+/// joins the edge-connected component pair with the smallest estimated
+/// result.
+fn greedy_plan(region: &Region, rows: &dyn Fn(u32) -> f64) -> Result<(SubPlan, f64)> {
+    let mut comps: Vec<(u32, SubPlan)> = region
+        .leaves
+        .iter()
+        .enumerate()
+        .map(|(i, leaf)| {
+            let cols: Vec<(usize, usize)> = (0..leaf.schema().len()).map(|c| (i, c)).collect();
+            (1u32 << i, SubPlan { plan: leaf.clone(), cols })
+        })
+        .collect();
+    let mut cost = 0.0;
+    while comps.len() > 1 {
+        let mut pick: Option<(f64, usize, usize)> = None;
+        for i in 0..comps.len() {
+            for j in i + 1..comps.len() {
+                let (a, b) = (comps[i].0, comps[j].0);
+                let connected = region.edges.iter().any(|e| {
+                    (a & (1 << e.a) != 0 && b & (1 << e.b) != 0)
+                        || (b & (1 << e.a) != 0 && a & (1 << e.b) != 0)
+                });
+                if !connected {
+                    continue;
+                }
+                let r = rows(a | b);
+                if pick.map(|(r0, _, _)| r < r0).unwrap_or(true) {
+                    pick = Some((r, i, j));
+                }
+            }
+        }
+        let (r, i, j) = pick.expect("region join graph is connected by construction");
+        cost += r;
+        // i < j, so removing j first leaves i in place.
+        let (bj, pj) = comps.swap_remove(j);
+        let (bi, pi) = comps.swap_remove(i);
+        let merged = if rows(bi) >= rows(bj) {
+            join_parts(&pi, &pj, &region.edges, bi, bj)?
+        } else {
+            join_parts(&pj, &pi, &region.edges, bj, bi)?
+        };
+        comps.push((bi | bj, merged));
+    }
+    let (_, plan) = comps.pop().unwrap();
+    Ok((plan, cost))
+}

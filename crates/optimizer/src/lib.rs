@@ -24,6 +24,7 @@
 pub mod asj;
 pub mod ctx;
 pub mod filters;
+pub mod join_order;
 pub mod limit_pushdown;
 pub mod precision;
 pub mod profile;
@@ -32,7 +33,10 @@ pub mod prune;
 pub use ctx::RewriteCtx;
 pub use profile::{Capability, Profile};
 
-use vdm_plan::{plan_digest, plan_stats, CacheStats, PlanRef, PropertyCache};
+use vdm_plan::{
+    plan_digest, plan_stats, CacheStats, CardOverrides, Cardinality, PlanRef, PropertyCache,
+    StatsProvider,
+};
 use vdm_types::Result;
 
 /// The optimizer: a capability profile plus a fixpoint driver.
@@ -83,9 +87,24 @@ impl Optimizer {
     /// collected as a structured [`vdm_obs::RewriteEvent`] in
     /// [`Trace::events`] (rule name, plan-node id, cardinality evidence).
     pub fn optimize_traced(&self, plan: &PlanRef) -> Result<(PlanRef, Trace)> {
+        self.optimize_traced_with(plan, None, None)
+    }
+
+    /// [`Optimizer::optimize_traced`] plus cost-model inputs: base-table
+    /// statistics enable the cost-based join-ordering pass (when the
+    /// profile has [`Capability::CostBasedJoinOrdering`]), and observed
+    /// per-subtree cardinalities override model estimates — the feedback
+    /// path re-optimization uses. With `stats: None` the optimizer is
+    /// byte-for-byte the rule-based rewriter it always was.
+    pub fn optimize_traced_with(
+        &self,
+        plan: &PlanRef,
+        stats: Option<&dyn StatsProvider>,
+        overrides: Option<&CardOverrides>,
+    ) -> Result<(PlanRef, Trace)> {
         let started = std::time::Instant::now();
         vdm_obs::rewrite::begin_collect();
-        let result = self.optimize_traced_inner(plan);
+        let result = self.optimize_traced_inner(plan, stats, overrides);
         let events = vdm_obs::rewrite::finish_collect();
         let (out, mut trace) = result?;
         trace.events = events;
@@ -96,7 +115,12 @@ impl Optimizer {
         Ok((out, trace))
     }
 
-    fn optimize_traced_inner(&self, plan: &PlanRef) -> Result<(PlanRef, Trace)> {
+    fn optimize_traced_inner(
+        &self,
+        plan: &PlanRef,
+        stats: Option<&dyn StatsProvider>,
+        overrides: Option<&CardOverrides>,
+    ) -> Result<(PlanRef, Trace)> {
         let p = &self.profile;
         let props =
             if self.property_cache { PropertyCache::new() } else { PropertyCache::passthrough() };
@@ -169,6 +193,20 @@ impl Optimizer {
                     break;
                 }
                 prev_digest = Some(digest);
+            }
+        }
+        // Cost-based join ordering runs once, after the rule fixpoint:
+        // UAJ/ASJ-eliminated joins are already gone and never enumerated.
+        // Gated on statistics being supplied so plain `optimize()` callers
+        // (and stats-less tests) see the rule-based planner unchanged.
+        if p.has(Capability::CostBasedJoinOrdering) {
+            if let Some(stats) = stats {
+                let mut card = Cardinality::new(&props, p.derive_options()).with_stats(stats);
+                if let Some(ov) = overrides {
+                    card = card.with_overrides(ov);
+                }
+                plan = trace
+                    .step("join ordering", plan, |pl| join_order::join_order_pass(&pl, &card))?;
             }
         }
         let out = filters::cleanup(&plan)?;

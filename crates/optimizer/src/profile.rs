@@ -60,6 +60,11 @@ pub enum Capability {
 
     /// Remove DISTINCT over provably duplicate-free input.
     RemoveRedundantDistinct,
+
+    /// §7 outlook: cost-based reordering of commutable inner-join regions
+    /// using cardinality estimates (and observed feedback when available).
+    /// Only fires when the caller supplies table statistics.
+    CostBasedJoinOrdering,
 }
 
 /// A named capability set.
@@ -150,6 +155,7 @@ impl Profile {
             AllowPrecisionLoss,
             EagerAggregation,
             RemoveRedundantDistinct,
+            CostBasedJoinOrdering,
         ] {
             p = p.with(c);
         }

@@ -1,0 +1,697 @@
+//! Per-node cardinality estimation (§7 of the paper).
+//!
+//! The estimator derives a row-count estimate for every node of a logical
+//! plan DAG from four evidence sources, in decreasing order of authority:
+//!
+//! 1. **Observed overrides** — true per-subtree row counts injected by the
+//!    feedback loop (keyed by canonical subtree digest, so they survive
+//!    re-binding of parameterized plans).
+//! 2. **Table statistics** — exact base-table row counts and per-column
+//!    zone-map min/max ranges supplied by a [`StatsProvider`].
+//! 3. **Structural properties** — `PropertyCache` unique sets and column
+//!    lineage: a join whose keys are unique on both sides returns at most
+//!    `min(l, r)` rows; a witnessed foreign-key join is many-to-exactly-one
+//!    and returns the left cardinality (scaled when the dimension side is
+//!    filtered).
+//! 4. **Textbook defaults** — fixed selectivities when nothing better is
+//!    known (equality 0.1, other predicates 0.25, grouping 0.1).
+//!
+//! Estimates are memoized per DAG node by `Arc` address, mirroring
+//! `PropertyCache`, so shared subtrees are estimated once and repeated
+//! probes during join enumeration are O(1).
+
+use crate::cache::PropertyCache;
+use crate::digest::plan_digest_canonical;
+use crate::explain::{explain_annotated, number_nodes};
+use crate::node::{DeclaredCardinality, JoinKind, LogicalPlan, PlanRef};
+use crate::props::{covers_unique, DeriveOptions};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+use vdm_expr::predicate::{as_atom, split_conjunction, Atom};
+use vdm_expr::{BinOp, Expr};
+use vdm_types::Value;
+
+/// Fallback row count for tables with no statistics.
+pub const DEFAULT_TABLE_ROWS: f64 = 1000.0;
+/// Fallback selectivity for equality predicates on non-unique columns.
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.1;
+/// Fallback selectivity for range and other predicates.
+pub const DEFAULT_PRED_SELECTIVITY: f64 = 0.25;
+/// Fallback fraction of input rows surviving a GROUP BY / DISTINCT.
+pub const DEFAULT_GROUP_FRACTION: f64 = 0.1;
+
+/// Base-table statistics handed to the estimator by the storage layer.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// Visible row count.
+    pub rows: u64,
+    /// Per-column `(min, max)` over non-NULL values; `None` when the
+    /// column has no zone-map coverage (strings, empty tables).
+    pub ranges: Vec<Option<(Value, Value)>>,
+}
+
+/// Source of base-table statistics. Implemented by the storage engine;
+/// the estimator itself never touches storage directly.
+pub trait StatsProvider {
+    /// Statistics for `table`, or `None` when the table is unknown.
+    fn table_stats(&self, table: &str) -> Option<TableStats>;
+}
+
+/// Observed row counts injected as overriding estimates, keyed by the
+/// canonical digest of the subtree they were measured at. Canonical
+/// digests are stable across parameter re-binding and scan-instance
+/// renumbering, which is what lets feedback recorded on one execution
+/// apply to a structurally identical later plan.
+#[derive(Debug, Clone, Default)]
+pub struct CardOverrides {
+    rows: HashMap<u64, f64>,
+}
+
+impl CardOverrides {
+    /// An empty override set.
+    pub fn new() -> CardOverrides {
+        CardOverrides::default()
+    }
+
+    /// Records `rows` as the observed cardinality of the subtree whose
+    /// canonical digest is `digest`.
+    pub fn insert(&mut self, digest: u64, rows: f64) {
+        self.rows.insert(digest, rows.max(0.0));
+    }
+
+    /// The observed cardinality for `digest`, if recorded.
+    pub fn get(&self, digest: u64) -> Option<f64> {
+        self.rows.get(&digest).copied()
+    }
+
+    /// Number of recorded overrides.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no overrides are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Memoized per-node cardinality estimator over one plan DAG (or several
+/// sharing the same `PropertyCache`).
+pub struct Cardinality<'a> {
+    stats: Option<&'a dyn StatsProvider>,
+    overrides: Option<&'a CardOverrides>,
+    props: &'a PropertyCache,
+    opts: DeriveOptions,
+    memo: RefCell<HashMap<usize, f64>>,
+    digests: RefCell<HashMap<usize, u64>>,
+    keepalive: RefCell<Vec<PlanRef>>,
+}
+
+impl<'a> Cardinality<'a> {
+    /// An estimator with no table statistics: structural evidence and
+    /// defaults only.
+    pub fn new(props: &'a PropertyCache, opts: DeriveOptions) -> Cardinality<'a> {
+        Cardinality {
+            stats: None,
+            overrides: None,
+            props,
+            opts,
+            memo: RefCell::new(HashMap::new()),
+            digests: RefCell::new(HashMap::new()),
+            keepalive: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Attaches a base-table statistics source.
+    pub fn with_stats(mut self, stats: &'a dyn StatsProvider) -> Cardinality<'a> {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Attaches observed-cardinality overrides (the feedback loop).
+    pub fn with_overrides(mut self, overrides: &'a CardOverrides) -> Cardinality<'a> {
+        self.overrides = Some(overrides);
+        self
+    }
+
+    /// Estimated row count for `plan`, memoized by node address.
+    pub fn estimate(&self, plan: &PlanRef) -> f64 {
+        let key = PlanRef::as_ptr(plan) as usize;
+        if let Some(&rows) = self.memo.borrow().get(&key) {
+            return rows;
+        }
+        // Observed evidence outranks any model-derived estimate.
+        let rows = match self.overrides.and_then(|o| o.get(self.subtree_digest(plan))) {
+            Some(observed) => observed,
+            None => self.estimate_node(plan),
+        };
+        let rows = if rows.is_finite() { rows.max(0.0) } else { f64::MAX };
+        self.keepalive.borrow_mut().push(PlanRef::clone(plan));
+        self.memo.borrow_mut().insert(key, rows);
+        rows
+    }
+
+    /// Estimated row count rounded to a whole number of rows (what
+    /// `EXPLAIN` prints as `est=N`).
+    pub fn estimate_rounded(&self, plan: &PlanRef) -> u64 {
+        let e = self.estimate(plan);
+        if e >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            e.round() as u64
+        }
+    }
+
+    /// Canonical digest of `plan`'s subtree, memoized by node address.
+    fn subtree_digest(&self, plan: &PlanRef) -> u64 {
+        let key = PlanRef::as_ptr(plan) as usize;
+        if let Some(&d) = self.digests.borrow().get(&key) {
+            return d;
+        }
+        let d = plan_digest_canonical(plan);
+        self.keepalive.borrow_mut().push(PlanRef::clone(plan));
+        self.digests.borrow_mut().insert(key, d);
+        d
+    }
+
+    fn table_rows(&self, table: &str) -> f64 {
+        self.stats
+            .and_then(|s| s.table_stats(table))
+            .map(|t| t.rows as f64)
+            .unwrap_or(DEFAULT_TABLE_ROWS)
+    }
+
+    fn estimate_node(&self, plan: &PlanRef) -> f64 {
+        match plan.as_ref() {
+            LogicalPlan::Scan { table, .. } => self.table_rows(&table.name),
+            LogicalPlan::Values { rows, .. } => rows.len() as f64,
+            LogicalPlan::Project { input, .. } | LogicalPlan::Sort { input, .. } => {
+                self.estimate(input)
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let child = self.estimate(input);
+                child * self.predicate_selectivity(predicate, input, child)
+            }
+            LogicalPlan::Join { .. } => self.join_estimate(plan),
+            LogicalPlan::UnionAll { inputs, .. } => {
+                // UNION ALL concatenates: the estimate is the sum.
+                inputs.iter().map(|i| self.estimate(i)).sum()
+            }
+            LogicalPlan::Aggregate { input, group_by, .. } => {
+                if group_by.is_empty() {
+                    return 1.0;
+                }
+                let child = self.estimate(input);
+                let cols: Option<BTreeSet<usize>> = group_by
+                    .iter()
+                    .map(|(e, _)| match e {
+                        Expr::Col(i) => Some(*i),
+                        _ => None,
+                    })
+                    .collect();
+                match cols {
+                    Some(cols)
+                        if covers_unique(&self.props.unique_sets(input, &self.opts), &cols) =>
+                    {
+                        // Grouping on a unique key: one group per row.
+                        child
+                    }
+                    _ => (child * DEFAULT_GROUP_FRACTION).max(1.0).min(child),
+                }
+            }
+            LogicalPlan::Distinct { input } => {
+                let child = self.estimate(input);
+                if self.props.unique_sets(input, &self.opts).is_empty() {
+                    (child * DEFAULT_GROUP_FRACTION).max(1.0).min(child)
+                } else {
+                    // Some column set is already unique: DISTINCT keeps all rows.
+                    child
+                }
+            }
+            LogicalPlan::Limit { input, skip, fetch } => {
+                let child = (self.estimate(input) - *skip as f64).max(0.0);
+                match fetch {
+                    Some(n) => child.min(*n as f64),
+                    None => child,
+                }
+            }
+        }
+    }
+
+    fn join_estimate(&self, plan: &PlanRef) -> f64 {
+        let LogicalPlan::Join { left, right, kind, on, filter, declared, .. } = plan.as_ref()
+        else {
+            unreachable!("join_estimate on non-join");
+        };
+        let l = self.estimate(left);
+        let r = self.estimate(right);
+        let mut est = if on.is_empty() {
+            l * r
+        } else {
+            let lcols: BTreeSet<usize> = on.iter().map(|(a, _)| *a).collect();
+            let rcols: BTreeSet<usize> = on.iter().map(|(_, b)| *b).collect();
+            let l_unique = covers_unique(&self.props.unique_sets(left, &self.opts), &lcols);
+            let r_unique = covers_unique(&self.props.unique_sets(right, &self.opts), &rcols);
+            if l_unique && r_unique {
+                // Key-key join: one-to-at-most-one.
+                l.min(r)
+            } else if let Some(frac) = self.fk_match_fraction(left, right, on) {
+                // FK join: many-to-exactly-one against the full dimension,
+                // scaled by the fraction of the dimension that survives
+                // any filtering below the join.
+                l * frac.min(1.0)
+            } else if self.opts.trust_declared
+                && matches!(declared, Some(DeclaredCardinality::ManyToExactOne))
+            {
+                l
+            } else if r_unique
+                || (self.opts.trust_declared
+                    && matches!(declared, Some(DeclaredCardinality::ManyToOne)))
+            {
+                // At most one match per left row.
+                l
+            } else if l_unique {
+                r
+            } else {
+                // General equi-join: containment-style l*r / max distinct.
+                (l * r) / l.max(r).max(1.0)
+            }
+        };
+        if matches!(kind, JoinKind::LeftOuter) {
+            // Outer joins preserve every left row.
+            est = est.max(l);
+        }
+        if let Some(f) = filter {
+            est *= self.predicate_selectivity(f, plan, est);
+        }
+        est
+    }
+
+    /// Selectivity of `pred` evaluated over `input`'s output (estimated at
+    /// `input_rows` rows). `input` is used for lineage/uniqueness probes
+    /// only — it is never re-estimated here, so passing the node currently
+    /// being estimated (residual join filters) cannot recurse.
+    fn predicate_selectivity(&self, pred: &Expr, input: &PlanRef, input_rows: f64) -> f64 {
+        split_conjunction(pred)
+            .iter()
+            .map(|c| self.conjunct_selectivity(c, input, input_rows))
+            .product::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    fn conjunct_selectivity(&self, e: &Expr, input: &PlanRef, input_rows: f64) -> f64 {
+        if let Expr::Binary { op: BinOp::Or, left, right } = e {
+            let s1 = self.predicate_selectivity(left, input, input_rows);
+            let s2 = self.predicate_selectivity(right, input, input_rows);
+            return (s1 + s2 - s1 * s2).clamp(0.0, 1.0);
+        }
+        if let Some(atom) = as_atom(e) {
+            return self.atom_selectivity(&atom, input, input_rows);
+        }
+        match e {
+            Expr::IsNull(_) => 0.1,
+            Expr::IsNotNull(_) => 0.9,
+            Expr::Not(inner) => {
+                (1.0 - self.conjunct_selectivity(inner, input, input_rows)).clamp(0.0, 1.0)
+            }
+            _ => DEFAULT_PRED_SELECTIVITY,
+        }
+    }
+
+    fn atom_selectivity(&self, atom: &Atom, input: &PlanRef, input_rows: f64) -> f64 {
+        let range = self.base_range(input, atom.col);
+        match atom.op {
+            BinOp::Eq => {
+                let col: BTreeSet<usize> = [atom.col].into_iter().collect();
+                if covers_unique(&self.props.unique_sets(input, &self.opts), &col) {
+                    return (1.0 / input_rows.max(1.0)).min(1.0);
+                }
+                match range.and_then(|r| numeric_range(&r, &atom.value)) {
+                    Some((lo, hi, v)) => {
+                        if v < lo || v > hi {
+                            // Outside the zone-map range: no row can match.
+                            0.0
+                        } else {
+                            (1.0 / ((hi - lo) + 1.0)).clamp(0.0, 1.0)
+                        }
+                    }
+                    None => DEFAULT_EQ_SELECTIVITY,
+                }
+            }
+            BinOp::NotEq => {
+                1.0 - self.atom_selectivity(
+                    &Atom { col: atom.col, op: BinOp::Eq, value: atom.value.clone() },
+                    input,
+                    input_rows,
+                )
+            }
+            BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                match range.and_then(|r| numeric_range(&r, &atom.value)) {
+                    Some((lo, hi, v)) => {
+                        let width = (hi - lo).max(f64::MIN_POSITIVE);
+                        let frac = match atom.op {
+                            BinOp::Lt | BinOp::LtEq => (v - lo) / width,
+                            _ => (hi - v) / width,
+                        };
+                        frac.clamp(0.0, 1.0)
+                    }
+                    None => DEFAULT_PRED_SELECTIVITY,
+                }
+            }
+            _ => DEFAULT_PRED_SELECTIVITY,
+        }
+    }
+
+    /// Zone-map `(min, max)` of the base column behind output column
+    /// `col` of `input`, when it traces purely to a base table with
+    /// statistics.
+    fn base_range(&self, input: &PlanRef, col: usize) -> Option<(Value, Value)> {
+        let origin = self.props.origin(input, col)?;
+        let stats = self.stats?.table_stats(&origin.table.name)?;
+        stats.ranges.get(origin.column).cloned().flatten()
+    }
+
+    /// When `on` is witnessed as a foreign-key join from `left` into
+    /// `right`'s base table, returns the match fraction: `rows(right) /
+    /// rows(base dimension)` — 1.0 for an unfiltered dimension, smaller
+    /// when the dimension side is filtered below the join.
+    fn fk_match_fraction(
+        &self,
+        left: &PlanRef,
+        right: &PlanRef,
+        on: &[(usize, usize)],
+    ) -> Option<f64> {
+        let lorigins: Vec<_> =
+            on.iter().map(|(a, _)| self.props.origin(left, *a)).collect::<Option<_>>()?;
+        let rorigins: Vec<_> =
+            on.iter().map(|(_, b)| self.props.origin(right, *b)).collect::<Option<_>>()?;
+        // All key columns must come from one scan instance on each side,
+        // and the left path must not cross NULL-padding (padded keys
+        // match nothing, breaking exactly-one).
+        let lt = &lorigins[0];
+        let rt = &rorigins[0];
+        if lorigins.iter().any(|o| o.instance != lt.instance || o.nulled)
+            || rorigins.iter().any(|o| o.instance != rt.instance || o.nulled)
+        {
+            return None;
+        }
+        let ltab = &lt.table;
+        let rtab = &rt.table;
+        for fk in &ltab.foreign_keys {
+            if fk.ref_table != rtab.name || fk.columns.len() != on.len() {
+                continue;
+            }
+            let pairs_match = (0..on.len()).all(|i| {
+                fk.columns
+                    .iter()
+                    .position(|&c| c == lorigins[i].column)
+                    .map(|p| rtab.schema.field(rorigins[i].column).name == fk.ref_columns[p])
+                    .unwrap_or(false)
+            });
+            let non_nullable = fk.columns.iter().all(|&c| !ltab.schema.field(c).nullable);
+            if pairs_match && non_nullable {
+                let stats = self.stats?;
+                let base = stats.table_stats(&rtab.name)?.rows as f64;
+                return Some(self.estimate(right) / base.max(1.0));
+            }
+        }
+        None
+    }
+}
+
+/// Coerces a zone-map range and probe value to `f64` for interpolation.
+/// Returns `None` for non-numeric columns.
+fn numeric_range(range: &(Value, Value), probe: &Value) -> Option<(f64, f64, f64)> {
+    Some((value_to_f64(&range.0)?, value_to_f64(&range.1)?, value_to_f64(probe)?))
+}
+
+fn value_to_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Dec(d) => Some(d.to_f64()),
+        Value::Date(d) => Some(*d as f64),
+        Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+        Value::Null | Value::Str(_) => None,
+    }
+}
+
+/// Renders `plan` with a trailing `[est=N]` annotation on every node.
+pub fn explain_with_estimates(plan: &PlanRef, card: &Cardinality) -> String {
+    explain_annotated(plan, &|node| Some(format!("[est={}]", card.estimate_rounded(node))))
+}
+
+/// Pre-order node id → canonical subtree digest, the keying used to match
+/// observed per-node cardinalities back onto a plan.
+pub fn subtree_digests(plan: &PlanRef) -> HashMap<usize, u64> {
+    let ids = number_nodes(plan);
+    let mut out = HashMap::new();
+    let mut stack = vec![PlanRef::clone(plan)];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(node) = stack.pop() {
+        let ptr = PlanRef::as_ptr(&node);
+        if !seen.insert(ptr) {
+            continue;
+        }
+        if let Some(&id) = ids.get(&ptr) {
+            out.insert(id, plan_digest_canonical(&node));
+        }
+        for child in node.children() {
+            stack.push(PlanRef::clone(child));
+        }
+    }
+    out
+}
+
+/// Pre-order node id → estimated rows for every node of `plan`.
+pub fn node_estimates(plan: &PlanRef, card: &Cardinality) -> Vec<(u32, u64)> {
+    let ids = number_nodes(plan);
+    let mut out = Vec::new();
+    let mut stack = vec![PlanRef::clone(plan)];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(node) = stack.pop() {
+        let ptr = PlanRef::as_ptr(&node);
+        if !seen.insert(ptr) {
+            continue;
+        }
+        if let Some(&id) = ids.get(&ptr) {
+            out.push((id as u32, card.estimate_rounded(&node)));
+        }
+        for child in node.children() {
+            stack.push(PlanRef::clone(child));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use vdm_catalog::{TableBuilder, TableDef};
+    use vdm_types::{SplitMix64, SqlType};
+
+    struct MapStats(HashMap<String, TableStats>);
+
+    impl StatsProvider for MapStats {
+        fn table_stats(&self, table: &str) -> Option<TableStats> {
+            self.0.get(table).cloned()
+        }
+    }
+
+    fn dim() -> Arc<TableDef> {
+        Arc::new(
+            TableBuilder::new("dim")
+                .column("id", SqlType::Int, false)
+                .column("val", SqlType::Int, false)
+                .primary_key(&["id"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn fact() -> Arc<TableDef> {
+        Arc::new(
+            TableBuilder::new("fact")
+                .column("f_id", SqlType::Int, false)
+                .column("fk", SqlType::Int, false)
+                .primary_key(&["f_id"])
+                .foreign_key(&["fk"], "dim", &["id"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    /// dim: 100 rows, id in [0, 99], val in [0, 99]; fact: 10_000 rows.
+    fn stats() -> MapStats {
+        let int_range = |lo: i64, hi: i64| Some((Value::Int(lo), Value::Int(hi)));
+        let mut m = HashMap::new();
+        m.insert(
+            "dim".to_string(),
+            TableStats { rows: 100, ranges: vec![int_range(0, 99), int_range(0, 99)] },
+        );
+        m.insert(
+            "fact".to_string(),
+            TableStats { rows: 10_000, ranges: vec![int_range(0, 9_999), int_range(0, 99)] },
+        );
+        MapStats(m)
+    }
+
+    fn card<'a>(props: &'a PropertyCache, stats: &'a MapStats) -> Cardinality<'a> {
+        Cardinality::new(props, DeriveOptions::all()).with_stats(stats)
+    }
+
+    #[test]
+    fn scans_are_exact_with_stats_and_default_without() {
+        let props = PropertyCache::new();
+        let stats = stats();
+        let scan = LogicalPlan::scan(fact());
+        assert_eq!(card(&props, &stats).estimate(&scan), 10_000.0);
+        let bare = Cardinality::new(&props, DeriveOptions::all());
+        assert_eq!(bare.estimate(&scan), DEFAULT_TABLE_ROWS);
+    }
+
+    #[test]
+    fn zone_map_filters_interpolate_and_prune() {
+        let props = PropertyCache::new();
+        let stats = stats();
+        let c = card(&props, &stats);
+        // Range predicate: val <= 9 over val in [0, 99] → ~10% of 100.
+        let le = LogicalPlan::filter(
+            LogicalPlan::scan(dim()),
+            Expr::col(1).binary(BinOp::LtEq, Expr::int(9)),
+        )
+        .unwrap();
+        let est = c.estimate(&le);
+        assert!((8.0..=10.0).contains(&est), "interpolated estimate: {est}");
+        // Equality outside the zone-map range can match nothing.
+        let out =
+            LogicalPlan::filter(LogicalPlan::scan(dim()), Expr::col(1).eq(Expr::int(500))).unwrap();
+        assert_eq!(c.estimate(&out), 0.0);
+        // Equality on a unique key: exactly one row.
+        let pk =
+            LogicalPlan::filter(LogicalPlan::scan(dim()), Expr::col(0).eq(Expr::int(7))).unwrap();
+        assert_eq!(c.estimate_rounded(&pk), 1);
+    }
+
+    #[test]
+    fn unique_key_joins_take_the_min() {
+        let props = PropertyCache::new();
+        let stats = stats();
+        let c = card(&props, &stats);
+        // dim pk ⋈ fact pk: both sides unique → at most min(100, 10_000).
+        let j = LogicalPlan::inner_join(
+            LogicalPlan::scan(dim()),
+            LogicalPlan::scan(fact()),
+            vec![(0, 0)],
+        )
+        .unwrap();
+        assert_eq!(c.estimate(&j), 100.0);
+    }
+
+    #[test]
+    fn fk_joins_return_left_cardinality_scaled_by_dim_filtering() {
+        let props = PropertyCache::new();
+        let stats = stats();
+        let c = card(&props, &stats);
+        // fact.fk → dim.id is a declared FK: many-to-exactly-one.
+        let j = LogicalPlan::inner_join(
+            LogicalPlan::scan(fact()),
+            LogicalPlan::scan(dim()),
+            vec![(1, 0)],
+        )
+        .unwrap();
+        assert_eq!(c.estimate(&j), 10_000.0);
+        // A filtered dimension scales the match fraction: val <= 9 keeps
+        // ~10% of dim, so ~10% of fact rows find their dimension row.
+        let filtered = LogicalPlan::filter(
+            LogicalPlan::scan(dim()),
+            Expr::col(1).binary(BinOp::LtEq, Expr::int(9)),
+        )
+        .unwrap();
+        let j = LogicalPlan::inner_join(LogicalPlan::scan(fact()), filtered, vec![(1, 0)]).unwrap();
+        let est = c.estimate(&j);
+        assert!((800.0..=1_100.0).contains(&est), "scaled FK join: {est}");
+    }
+
+    #[test]
+    fn union_all_sums_branch_estimates() {
+        let props = PropertyCache::new();
+        let stats = stats();
+        let c = card(&props, &stats);
+        let u = LogicalPlan::union_all(vec![
+            LogicalPlan::scan(dim()),
+            LogicalPlan::scan(dim()),
+            LogicalPlan::scan(dim()),
+        ])
+        .unwrap();
+        assert_eq!(c.estimate(&u), 300.0);
+    }
+
+    /// A small random plan over dim/fact, deterministic in `seed`: the
+    /// same seed always constructs the same shape (with fresh `Arc`s).
+    fn random_plan(seed: u64) -> PlanRef {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut plan = if rng.random_range(0..2) == 0 {
+            LogicalPlan::scan(dim())
+        } else {
+            LogicalPlan::inner_join(
+                LogicalPlan::scan(fact()),
+                LogicalPlan::scan(dim()),
+                vec![(1, 0)],
+            )
+            .unwrap()
+        };
+        for _ in 0..rng.random_range(1..4) {
+            plan = match rng.random_range(0..3) {
+                0 => LogicalPlan::filter(
+                    plan,
+                    Expr::col(1).binary(BinOp::LtEq, Expr::int(rng.random_range(0..120))),
+                )
+                .unwrap(),
+                1 => LogicalPlan::project(
+                    plan,
+                    vec![(Expr::col(0), "a".into()), (Expr::col(1), "b".into())],
+                )
+                .unwrap(),
+                _ => LogicalPlan::limit(plan, 0, Some(rng.random_range(1..500))),
+            };
+        }
+        plan
+    }
+
+    #[test]
+    fn estimates_and_overrides_are_digest_invariant() {
+        // Property: two independent constructions of the same plan shape
+        // agree on canonical digests and estimates, and an override
+        // recorded against one construction's subtree digest redirects
+        // the estimate of the *other* construction — the invariance the
+        // feedback loop depends on across plan-cache re-optimizations.
+        let stats = stats();
+        for seed in 0..40u64 {
+            let a = random_plan(seed);
+            let b = random_plan(seed);
+            assert!(!Arc::ptr_eq(&a, &b));
+            assert_eq!(
+                plan_digest_canonical(&a),
+                plan_digest_canonical(&b),
+                "seed {seed}: same construction must canonicalize identically"
+            );
+            let props = PropertyCache::new();
+            let ca = card(&props, &stats);
+            let cb = card(&props, &stats);
+            assert_eq!(ca.estimate(&a), cb.estimate(&b), "seed {seed}: estimate mismatch");
+
+            let mut overrides = CardOverrides::new();
+            overrides.insert(plan_digest_canonical(&a), 123_456.0);
+            let cb = Cardinality::new(&props, DeriveOptions::all())
+                .with_stats(&stats)
+                .with_overrides(&overrides);
+            assert_eq!(
+                cb.estimate(&b),
+                123_456.0,
+                "seed {seed}: override keyed by a's digest must apply to b"
+            );
+        }
+    }
+}

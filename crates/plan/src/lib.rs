@@ -12,6 +12,7 @@
 //! Tables 1–4.
 
 pub mod cache;
+pub mod card;
 pub mod delta;
 pub mod digest;
 pub mod explain;
@@ -25,6 +26,10 @@ pub mod stats;
 pub mod transform;
 
 pub use cache::{CacheStats, PropertyCache};
+pub use card::{
+    explain_with_estimates, node_estimates, subtree_digests, CardOverrides, Cardinality,
+    StatsProvider, TableStats,
+};
 pub use delta::{
     delta_capable, derive_delta_plan, folded_aggregate, scan_tables, DeltaClass, DeltaPlan,
 };

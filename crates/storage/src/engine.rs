@@ -226,6 +226,12 @@ impl StorageEngine {
         Ok(self.table(name)?.read().unwrap().row_count(snapshot.0))
     }
 
+    /// Per-column `(min, max)` zone-map ranges over a table's main
+    /// fragment (empty until the first delta merge builds the maps).
+    pub fn column_ranges(&self, name: &str) -> Result<Vec<Option<(Value, Value)>>> {
+        Ok(self.table(name)?.read().unwrap().column_ranges())
+    }
+
     /// Merges a table's delta into its main fragment.
     pub fn merge_delta(&self, name: &str) -> Result<()> {
         let table = self.table(name)?;

@@ -443,6 +443,13 @@ impl TableStore {
         *self.blocks_skipped.lock().unwrap()
     }
 
+    /// Whole-main-fragment `(min, max)` of every column, from zone maps.
+    /// Excludes unmerged delta rows — good enough for estimation, and the
+    /// maps only exist after a delta merge anyway.
+    pub fn column_ranges(&self) -> Vec<Option<(Value, Value)>> {
+        (0..self.schema.len()).map(|c| self.zone_maps.column_range(c)).collect()
+    }
+
     /// Total live rows at `ts`.
     pub fn row_count(&self, ts: u64) -> usize {
         self.main_meta.iter().filter(|m| m.visible_at(ts)).count()

@@ -140,6 +140,35 @@ impl ZoneMaps {
         }
         range.overlaps(&s.min, &s.max)
     }
+
+    /// Whole-fragment `(min, max)` over non-NULL values of `column`, folded
+    /// across all blocks. `None` when the column has no zone maps (strings)
+    /// or holds no non-NULL values.
+    pub fn column_range(&self, column: usize) -> Option<(Value, Value)> {
+        let stats = self.maps.get(column)?.as_ref()?;
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for s in stats {
+            if s.min.is_null() {
+                continue;
+            }
+            match &min {
+                None => min = Some(s.min.clone()),
+                Some(m) if s.min.total_cmp_non_null(m) == std::cmp::Ordering::Less => {
+                    min = Some(s.min.clone())
+                }
+                _ => {}
+            }
+            match &max {
+                None => max = Some(s.max.clone()),
+                Some(m) if s.max.total_cmp_non_null(m) == std::cmp::Ordering::Greater => {
+                    max = Some(s.max.clone())
+                }
+                _ => {}
+            }
+        }
+        Some((min?, max?))
+    }
 }
 
 #[cfg(test)]

@@ -85,6 +85,25 @@ test -s "$OBS_DIR/BENCH_obs.json"
 test -s "$OBS_DIR/query_store.jsonl"
 rm -rf "$OBS_DIR"
 
+echo "== join_sweep feedback-reoptimization smoke gate (reduced rows, scratch dir) =="
+# Skewed 6-join ERP-shaped workload where static zone-map estimates
+# mis-price the hot dimension filter: the feedback-corrected join order
+# must beat the estimate-only order by at least 2x, and the live
+# plan-cache loop must re-optimize at least once — the canary for
+# cardinality-estimation and feedback-loop regressions. Multiset-digest
+# equivalence of all orderings is asserted inside the binary.
+JOIN_DIR="$(mktemp -d)"
+(cd "$JOIN_DIR" && "$OLDPWD/target/release/join_sweep" \
+    --shapes=erp --joins=6 --rows=60000 --gate=2 > join_sweep.log) \
+  || { cat "$JOIN_DIR/join_sweep.log"; rm -rf "$JOIN_DIR"; exit 1; }
+test -s "$JOIN_DIR/BENCH_join.json"
+rm -rf "$JOIN_DIR"
+
+echo "== optimizer never reads the query store (feedback flows through CardOverrides) =="
+if grep -rn "QueryStore\|vdm_obs::store" crates/optimizer/src; then
+  echo "crates/optimizer must receive observed cardinalities as CardOverrides, not read the store"; exit 1
+fi
+
 echo "== serve layer never optimizes directly (everything goes through the plan cache) =="
 if grep -rn "optimize(" crates/serve/src; then
   echo "crates/serve must resolve plans via vdm-core's cached session path"; exit 1

@@ -95,8 +95,9 @@ fn golden_explain_fig5_uaj() {
 fn golden_explain_analyze_fig5_uaj() {
     let db = db();
     let text = db.explain_analyze(FIG5_UAJ).unwrap();
-    // Per-node runtime stats and the fired rewrite must be visible.
-    assert!(text.contains("rows=3"), "{text}");
+    // Per-node estimated/actual cardinalities and the fired rewrite must
+    // be visible.
+    assert!(text.contains("est=3 act=3"), "{text}");
     assert!(text.contains("time="), "{text}");
     assert!(text.contains("uaj-removal"), "{text}");
     // The header reports optimize time + property-cache effectiveness.
@@ -141,7 +142,7 @@ fn golden_explain_analyze_parallel_column_map_projection() {
     let project_lines: Vec<&str> = text.lines().filter(|l| l.contains("Project")).collect();
     assert!(!project_lines.is_empty(), "expected a projection:\n{text}");
     for line in &project_lines {
-        assert!(line.contains("rows=3"), "fused node lost its row count: {line:?}\n{text}");
+        assert!(line.contains("act=3"), "fused node lost its row count: {line:?}\n{text}");
     }
     assert_golden("explain_analyze_parallel_column_map.txt", &text);
 }
@@ -465,15 +466,24 @@ fn explain_analyze_profiles_every_executed_node() {
     let plan_lines: Vec<&str> = text
         .lines()
         .take_while(|l| !l.starts_with("== rewrite trace"))
-        .filter(|l| !l.starts_with("==") && !l.starts_with("[optimize ") && !l.trim().is_empty())
+        .filter(|l| {
+            !l.starts_with("==")
+                && !l.starts_with("[optimize ")
+                && !l.starts_with("[misestimate")
+                && !l.trim().is_empty()
+        })
         .collect();
     assert!(!plan_lines.is_empty(), "{text}");
     for line in plan_lines {
         assert!(
-            line.contains(" [#") && line.contains("rows=") && line.contains("time="),
+            line.contains(" [#")
+                && (line.contains("rows=") || line.contains("act="))
+                && line.contains("time="),
             "unannotated operator line {line:?} in:\n{text}"
         );
     }
+    // Estimated cardinalities accompany actuals on the cached path.
+    assert!(text.contains("est="), "{text}");
     // Inner operators report their input as the children's output.
     assert!(text.contains("in="), "{text}");
 }

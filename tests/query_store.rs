@@ -114,11 +114,12 @@ fn jsonl_file_round_trip_reloads_identical_aggregates() {
     // Reload into a fresh store: aggregates must be *identical* —
     // histogram buckets, node_rows, counts, everything.
     let reloaded = QueryStore::new();
-    assert_eq!(reloaded.load_jsonl(&path).unwrap(), 2);
+    let report = reloaded.load_jsonl(&path).unwrap();
+    assert_eq!((report.loaded, report.skipped), (2, 0));
     assert_eq!(reloaded.aggregates(), store.aggregates());
 
     // Loading the same file again merges: counts double deterministically.
-    assert_eq!(reloaded.load_jsonl(&path).unwrap(), 2);
+    assert_eq!(reloaded.load_jsonl(&path).unwrap().loaded, 2);
     for (merged, original) in reloaded.aggregates().iter().zip(store.aggregates()) {
         assert_eq!(merged.execs, original.execs * 2);
         assert_eq!(merged.latency.count(), original.latency.count() * 2);
@@ -147,7 +148,8 @@ fn slow_threshold_captures_full_explain_analyze() {
     // the already-collected profile (the query is not re-run).
     assert!(captured.explain.contains("== EXPLAIN ANALYZE"), "{}", captured.explain);
     assert!(captured.explain.contains("row(s) returned"), "{}", captured.explain);
-    assert!(captured.explain.contains("rows="), "{}", captured.explain);
+    assert!(captured.explain.contains("est="), "{}", captured.explain);
+    assert!(captured.explain.contains("act="), "{}", captured.explain);
     let agg = store.aggregate(captured.digest).expect("slow query also aggregates");
     assert_eq!(agg.execs, 1);
 }
